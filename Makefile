@@ -1,0 +1,46 @@
+# Convenience targets for the DES scheduler reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race bench verify report fuzz cover fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Miniature reproduction of every figure as Go benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# CI gate: every §V claim of the paper must hold.
+verify:
+	$(GO) run ./cmd/desim verify -duration 40
+
+# Full markdown reproduction report (takes a few minutes).
+report:
+	$(GO) run ./cmd/despaper -duration 120 -out results/report.md
+
+fuzz:
+	$(GO) test -fuzz=FuzzWaterLevel -fuzztime=30s ./internal/stats
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzLoadJobs -fuzztime=30s ./internal/workload
+
+cover:
+	$(GO) test -short -cover ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f results/report.md

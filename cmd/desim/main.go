@@ -1,0 +1,315 @@
+// Command desim drives the DES scheduler reproduction: it lists and runs
+// the paper's evaluation experiments (one per figure), and runs one-off
+// simulations with any policy/architecture combination.
+//
+// Usage:
+//
+//	desim list
+//	desim run -exp fig3 [-duration 60] [-seed 1] [-rates 100,140,180] [-paper] [-out results.txt]
+//	desim run -all [-quick]
+//	desim sim -policy des -arch c -rate 120 [-cores 16] [-budget 320] [-wf]
+//	          [-discrete] [-duration 60] [-seed 1] [-partial 1.0] [-trace out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"dessched"
+	"dessched/internal/experiments"
+	"dessched/internal/plot"
+	"dessched/internal/power"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "desim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "desim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  desim list                          list experiments (paper figures)
+  desim run -exp <id> [flags]         regenerate one figure
+  desim run -all [flags]              regenerate every figure
+  desim sim [flags]                   run a single simulation
+  desim verify [-duration s]          check every paper claim; exit 1 on failure
+run flags: -duration s  -seed n  -rates a,b,c  -paper  -quick  -out file
+sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
+           -rate r  -cores m  -budget W  -partial f  -duration s  -seed n
+           -trace file.csv`)
+}
+
+func cmdList() error {
+	for _, e := range dessched.Experiments() {
+		fmt.Printf("%-8s %-14s %s\n", e.ID, e.Paper, e.Title)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	exp := fs.String("exp", "", "experiment id (see `desim list`)")
+	all := fs.Bool("all", false, "run every experiment")
+	duration := fs.Float64("duration", 60, "simulated seconds per data point")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	replicas := fs.Int("replicas", 1, "replicate each point with consecutive seeds; >1 adds std-dev tables")
+	workers := fs.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+	rates := fs.String("rates", "", "comma-separated arrival-rate sweep override")
+	paper := fs.Bool("paper", false, "full paper fidelity (1800 s per point)")
+	quick := fs.Bool("quick", false, "smoke-test fidelity (10 s, 3 rates)")
+	out := fs.String("out", "", "write results to this file instead of stdout")
+	chart := fs.Bool("chart", false, "render each table as an ASCII chart")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *exp == "" {
+		return fmt.Errorf("need -exp <id> or -all")
+	}
+
+	o := experiments.Options{Duration: *duration, Seed: *seed, Replicas: *replicas, Workers: *workers}
+	if *paper {
+		o = experiments.PaperOptions()
+	}
+	if *quick {
+		o = experiments.QuickOptions()
+	}
+	if *rates != "" {
+		o.Rates = nil
+		for _, f := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return fmt.Errorf("bad rate %q: %w", f, err)
+			}
+			o.Rates = append(o.Rates, v)
+		}
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var list []dessched.Experiment
+	if *all {
+		list = dessched.Experiments()
+	} else {
+		e, ok := dessched.ExperimentByID(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try `desim list`)", *exp)
+		}
+		list = []dessched.Experiment{e}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range list {
+		start := time.Now()
+		tabs, err := e.Run(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "== %s (%s) — %s [%.1fs]\n", e.ID, e.Paper, e.Title, time.Since(start).Seconds())
+		for _, t := range tabs {
+			t.Format(w)
+			if *chart {
+				if err := plot.Render(w, t, plot.Options{}); err != nil {
+					return err
+				}
+			}
+			if *csvDir != "" {
+				f, err := os.Create(filepath.Join(*csvDir, t.Name+".csv"))
+				if err != nil {
+					return err
+				}
+				werr := t.WriteCSV(f)
+				cerr := f.Close()
+				if werr != nil {
+					return werr
+				}
+				if cerr != nil {
+					return cerr
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// cmdVerify runs the claims experiment and fails the process when any
+// claim does not hold — a one-command CI gate for the reproduction.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	duration := fs.Float64("duration", 40, "simulated seconds per data point")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	e, ok := dessched.ExperimentByID("claims")
+	if !ok {
+		return fmt.Errorf("claims experiment missing")
+	}
+	tabs, err := e.Run(experiments.Options{Duration: *duration, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	tbl := tabs[0]
+	failed := 0
+	for i, r := range tbl.Rows {
+		status := "PASS"
+		if r.Y[2] != 1 {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s  %s (measured %.5g, threshold %.5g)\n", status, tbl.RowLabels[i], r.Y[0], r.Y[1])
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d claims failed", failed, len(tbl.Rows))
+	}
+	fmt.Printf("all %d claims hold\n", len(tbl.Rows))
+	return nil
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	policy := fs.String("policy", "des", "des | fcfs | ljf | sjf")
+	arch := fs.String("arch", "c", "architecture for DES: c | s | no")
+	wf := fs.Bool("wf", false, "water-filling power distribution for baselines")
+	discrete := fs.Bool("discrete", false, "discrete speed scaling (0.5..3.0 GHz ladder)")
+	rate := fs.Float64("rate", 120, "arrival rate, requests/s")
+	cores := fs.Int("cores", 16, "number of cores")
+	budget := fs.Float64("budget", 320, "dynamic power budget, W")
+	partial := fs.Float64("partial", 1.0, "fraction of jobs supporting partial evaluation")
+	duration := fs.Float64("duration", 60, "simulated seconds of arrivals")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	traceOut := fs.String("trace", "", "write the executed schedule trace to this CSV file")
+	events := fs.Bool("events", false, "print simulation event counts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := dessched.PaperServer()
+	cfg.Cores = *cores
+	cfg.Budget = *budget
+	if *discrete {
+		cfg.Ladder = power.DefaultLadder
+	}
+
+	var p dessched.Policy
+	switch strings.ToLower(*policy) {
+	case "des":
+		var a dessched.Arch
+		switch strings.ToLower(*arch) {
+		case "c":
+			a = dessched.CDVFS
+		case "s":
+			a = dessched.SDVFS
+		case "no":
+			a = dessched.NoDVFS
+		default:
+			return fmt.Errorf("unknown arch %q", *arch)
+		}
+		dessched.ApplyArch(&cfg, a)
+		p = dessched.NewDES(a)
+	case "fcfs":
+		cfg.Triggers = dessched.Triggers{IdleCore: true}
+		p = dessched.NewBaseline(dessched.FCFS, *wf)
+	case "ljf":
+		cfg.Triggers = dessched.Triggers{IdleCore: true}
+		p = dessched.NewBaseline(dessched.LJF, *wf)
+	case "sjf":
+		cfg.Triggers = dessched.Triggers{IdleCore: true}
+		p = dessched.NewBaseline(dessched.SJF, *wf)
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	var rec *dessched.Trace
+	if *traceOut != "" {
+		rec = dessched.NewTrace(*cores)
+		cfg.Recorder = rec
+	}
+	var counter *dessched.EventCounter
+	if *events {
+		counter = dessched.NewEventCounter()
+		cfg.Observer = counter.Observe
+	}
+
+	wl := dessched.PaperWorkload(*rate)
+	wl.Duration = *duration
+	wl.Seed = *seed
+	wl.PartialFraction = *partial
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		return err
+	}
+	res, err := dessched.Simulate(cfg, jobs, p)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+	fmt.Printf("offered load: %.0f units/s over capacity %.0f units/s (rho %.2f)\n",
+		wl.OfferedLoad(), float64(*cores)*cfg.Power.SpeedFor(*budget/float64(*cores))*1000,
+		wl.OfferedLoad()/(float64(*cores)*cfg.Power.SpeedFor(*budget/float64(*cores))*1000))
+
+	if counter != nil {
+		fmt.Print("events:")
+		for _, k := range []dessched.EventKind{
+			dessched.EvArrival, dessched.EvInvoke, dessched.EvComplete,
+			dessched.EvDeadline, dessched.EvDiscard, dessched.EvFaultEdge,
+		} {
+			fmt.Printf(" %s=%d", k, counter.Counts[k])
+		}
+		fmt.Println()
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d entries written to %s\n", len(rec.Entries), *traceOut)
+	}
+	return nil
+}

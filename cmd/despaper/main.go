@@ -1,0 +1,53 @@
+// Command despaper regenerates the paper's entire evaluation as one
+// markdown report — figures, derived tables, claims verdict, ablations and
+// extensions:
+//
+//	despaper -duration 120 -out report.md
+//	despaper -ids fig3,fig5,claims -duration 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dessched/internal/experiments"
+	"dessched/internal/report"
+)
+
+func main() {
+	duration := flag.Float64("duration", 60, "simulated seconds per data point")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+	ids := flag.String("ids", "", "comma-separated experiment ids (default: all, curated order)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	cfg := report.Config{
+		Options: experiments.Options{Duration: *duration, Seed: *seed, Workers: *workers},
+		Now:     time.Now(),
+	}
+	if *ids != "" {
+		for _, id := range strings.Split(*ids, ",") {
+			cfg.IDs = append(cfg.IDs, strings.TrimSpace(id))
+		}
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "despaper:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report.Generate(w, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "despaper:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,34 @@
+// Command desserver serves the scheduler reproduction over HTTP/JSON:
+//
+//	desserver -addr :8080
+//
+//	curl localhost:8080/v1/experiments
+//	curl -X POST localhost:8080/v1/experiments/fig5 -d '{"duration_s":20}'
+//	curl -X POST localhost:8080/v1/simulate \
+//	     -d '{"policy":"des","rate":150,"duration_s":30}'
+//
+// See internal/httpapi for the endpoint contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"dessched/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("desserver listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

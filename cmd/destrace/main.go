@@ -1,0 +1,135 @@
+// Command destrace inspects executed-schedule traces produced by
+// `desim sim -trace`: summary statistics, energy under a power model,
+// CSV/JSON conversion, and replay on the emulated Opteron validation
+// cluster (§V-G).
+//
+// Usage:
+//
+//	destrace -in trace.csv [-model default|opteron] [-json out.json]
+//	destrace -in trace.csv -measure [-cores 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dessched"
+	"dessched/internal/plot"
+	"dessched/internal/power"
+	"dessched/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace CSV (required)")
+	model := flag.String("model", "default", "power model: default | opteron")
+	jsonOut := flag.String("json", "", "also write the trace as JSON to this file")
+	measure := flag.Bool("measure", false, "replay on the emulated Opteron cluster")
+	cores := flag.Int("cores", 8, "cluster size for -measure")
+	gantt := flag.Bool("gantt", false, "render a per-core speed timeline")
+	ganttFrom := flag.Float64("from", 0, "gantt window start (s)")
+	ganttTo := flag.Float64("to", 0, "gantt window end (s; 0 = auto)")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := runOpts{
+		model: *model, jsonOut: *jsonOut, measure: *measure, cores: *cores,
+		gantt: *gantt, from: *ganttFrom, to: *ganttTo,
+	}
+	if err := run(*in, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "destrace:", err)
+		os.Exit(1)
+	}
+}
+
+type runOpts struct {
+	model   string
+	jsonOut string
+	measure bool
+	cores   int
+	gantt   bool
+	from    float64
+	to      float64
+}
+
+func run(in string, o runOpts) error {
+	model, jsonOut, measure, cores := o.model, o.jsonOut, o.measure, o.cores
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if strings.HasSuffix(strings.ToLower(in), ".json") {
+		tr, err = trace.ReadJSON(f)
+	} else {
+		tr, err = trace.ReadCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("invalid trace: %w", err)
+	}
+
+	var m power.Model
+	switch model {
+	case "default":
+		m = power.Default
+	case "opteron":
+		m = power.Opteron
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	first, last := tr.Span()
+	span := last - first
+	busy := tr.BusyTime()
+	fmt.Printf("trace: %d entries, %d cores\n", len(tr.Entries), tr.Cores)
+	fmt.Printf("span: %.3f s, busy: %.3f core-s (utilization %.1f%%)\n",
+		span, busy, 100*busy/(span*float64(tr.Cores)))
+	fmt.Printf("dynamic energy (%s model): %.1f J\n", model, tr.DynamicEnergy(m))
+	if m.B > 0 {
+		fmt.Printf("total energy incl. static:   %.1f J\n", tr.TotalEnergy(m))
+	}
+
+	perCore := make([]float64, tr.Cores)
+	for _, e := range tr.Entries {
+		perCore[e.Core] += e.End - e.Start
+	}
+	for i, b := range perCore {
+		fmt.Printf("  core %2d: busy %.3f s (%.1f%%)\n", i, b, 100*b/span)
+	}
+
+	if jsonOut != "" {
+		out, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := tr.WriteJSON(out); err != nil {
+			return err
+		}
+		fmt.Println("wrote JSON to", jsonOut)
+	}
+
+	if measure {
+		c := dessched.OpteronCluster(cores)
+		meas, err := c.MeasureEnergy(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("emulated measurement: %.1f J (busy %.1f, idle %.1f, overhead %.2f, %d transitions)\n",
+			meas.Energy, meas.BusyEnergy, meas.IdleEnergy, meas.Overhead, meas.Transitions)
+	}
+
+	if o.gantt {
+		if err := plot.Gantt(os.Stdout, tr, plot.GanttOptions{From: o.from, To: o.to, Width: 100}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

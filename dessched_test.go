@@ -1,0 +1,122 @@
+package dessched_test
+
+import (
+	"math"
+	"testing"
+
+	"dessched"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := dessched.PaperServer()
+	cfg.Cores = 4
+	cfg.Budget = 80
+	wl := dessched.PaperWorkload(30)
+	wl.Duration = 10
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NormQuality <= 0.9 {
+		t.Errorf("light-load DES quality = %v", res.NormQuality)
+	}
+	if res.BudgetViolations != 0 {
+		t.Errorf("budget violations: %d", res.BudgetViolations)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	cfg := dessched.PaperServer()
+	cfg.Cores = 4
+	cfg.Budget = 80
+	cfg.Triggers = dessched.Triggers{IdleCore: true}
+	wl := dessched.PaperWorkload(40)
+	wl.Duration = 10
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []dessched.BaselineOrder{dessched.FCFS, dessched.LJF, dessched.SJF} {
+		res, err := dessched.Simulate(cfg, jobs, dessched.NewBaseline(order, true))
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if res.NormQuality <= 0 || res.NormQuality > 1 {
+			t.Errorf("%v: quality %v", order, res.NormQuality)
+		}
+	}
+}
+
+func TestFacadeOnlineQE(t *testing.T) {
+	cfg := dessched.CoreConfig{Power: dessched.DefaultPowerModel(), Budget: 20}
+	ready := []dessched.Ready{
+		{Job: dessched.Job{ID: 1, Release: 0, Deadline: 0.15, Demand: 100, Partial: true}},
+	}
+	plan, err := dessched.OnlineQE(cfg, 0, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Segments) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if math.Abs(plan.Segments[0].Speed-100.0/150.0) > 1e-9 {
+		t.Errorf("speed = %v", plan.Segments[0].Speed)
+	}
+}
+
+func TestFacadeTraceAndCluster(t *testing.T) {
+	cfg := dessched.PaperServer()
+	cfg.Cores = 8
+	cfg.Budget = 152 - 8*dessched.OpteronPowerModel().B
+	cfg.Power = dessched.OpteronPowerModel()
+	cfg.Ladder = dessched.DiscreteLadder(0.8, 1.3, 1.8, 2.5)
+	rec := dessched.NewTrace(8)
+	cfg.Recorder = rec
+
+	wl := dessched.PaperWorkload(50)
+	wl.Duration = 10
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries) == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	m, err := dessched.OpteronCluster(8).MeasureEnergy(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Energy <= 0 {
+		t.Errorf("measured energy = %v", m.Energy)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(dessched.Experiments()) < 10 {
+		t.Errorf("only %d experiments registered", len(dessched.Experiments()))
+	}
+	if _, ok := dessched.ExperimentByID("fig3"); !ok {
+		t.Error("fig3 missing")
+	}
+}
+
+func TestFacadeQualityAndPowerHelpers(t *testing.T) {
+	q := dessched.ExponentialQuality(0.003)
+	if math.Abs(q.Eval(1000)-1) > 1e-12 {
+		t.Error("quality normalization wrong")
+	}
+	if dessched.DefaultPowerModel().Power(2) != 20 {
+		t.Error("default power model wrong")
+	}
+	l := dessched.DiscreteLadder(2, 1, 1)
+	if len(l) != 2 || l.Max() != 2 {
+		t.Errorf("ladder = %v", l)
+	}
+}

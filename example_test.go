@@ -1,0 +1,71 @@
+package dessched_test
+
+import (
+	"fmt"
+
+	"dessched"
+)
+
+// ExampleSimulate runs the paper's default server over a tiny deterministic
+// job set with DES.
+func ExampleSimulate() {
+	cfg := dessched.PaperServer()
+	cfg.Cores = 2
+	cfg.Budget = 40
+
+	jobs := []dessched.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 200, Partial: true},
+		{ID: 1, Release: 0, Deadline: 0.15, Demand: 300, Partial: true},
+	}
+	res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed %d/%d, normalized quality %.3f\n", res.Completed, res.Arrived, res.NormQuality)
+	// Output:
+	// completed 2/2, normalized quality 1.000
+}
+
+// ExampleOnlineQE plans one core directly: the overloaded window caps both
+// jobs at the 2 GHz budget speed with an equal (d-mean) split.
+func ExampleOnlineQE() {
+	cfg := dessched.CoreConfig{Power: dessched.DefaultPowerModel(), Budget: 20}
+	ready := []dessched.Ready{
+		{Job: dessched.Job{ID: 1, Release: 0, Deadline: 0.15, Demand: 500, Partial: true}},
+		{Job: dessched.Job{ID: 2, Release: 0, Deadline: 0.15, Demand: 500, Partial: true}},
+	}
+	plan, err := dessched.OnlineQE(cfg, 0, ready)
+	if err != nil {
+		panic(err)
+	}
+	for _, seg := range plan.Segments {
+		fmt.Printf("job %d: %.0f units at %.1f GHz\n", seg.ID, (seg.End-seg.Start)*seg.Speed*1000, seg.Speed)
+	}
+	// Output:
+	// job 1: 150 units at 2.0 GHz
+	// job 2: 150 units at 2.0 GHz
+}
+
+// ExampleGenerateWorkload shows the deterministic paper workload.
+func ExampleGenerateWorkload() {
+	wl := dessched.PaperWorkload(100)
+	wl.Duration = 1
+	wl.Seed = 7
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first job window: %.0f ms, demands within [130, 1000]: %t\n",
+		1000*(jobs[0].Deadline-jobs[0].Release), jobs[0].Demand >= 130 && jobs[0].Demand <= 1000)
+	// Output:
+	// first job window: 150 ms, demands within [130, 1000]: true
+}
+
+// ExampleExponentialQuality evaluates the paper's Eq. (1) at its
+// normalization points.
+func ExampleExponentialQuality() {
+	q := dessched.ExponentialQuality(0.003)
+	fmt.Printf("q(0)=%.0f q(1000)=%.0f q(192)=%.2f\n", q.Eval(0), q.Eval(1000), q.Eval(192))
+	// Output:
+	// q(0)=0 q(1000)=1 q(192)=0.46
+}

@@ -1,0 +1,79 @@
+// Capacity planning: a service owner wants to know the peak request rate a
+// server sustains at a quality SLO (the paper evaluates 0.9), and what
+// doubling the power budget buys (§V-F, Figure 8). This example bisects the
+// sustainable throughput for several budgets using the public API.
+//
+//	go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dessched"
+)
+
+const (
+	cores    = 16
+	sloQ     = 0.9
+	duration = 20 // simulated seconds per probe
+)
+
+func main() {
+	fmt.Printf("capacity plan: %d cores, quality SLO %.2f, DES on core-level DVFS\n\n", cores, sloQ)
+	fmt.Printf("%12s  %20s  %16s\n", "budget (W)", "max rate (req/s)", "J per request")
+
+	for _, budget := range []float64{160, 320, 640} {
+		rate := maxRate(budget)
+		energy := energyPerRequest(budget, rate)
+		fmt.Printf("%12.0f  %20.0f  %16.3f\n", budget, rate, energy)
+	}
+
+	fmt.Println("\nThe budget→throughput curve has diminishing returns: past the point")
+	fmt.Println("where every core can already run flat out inside the deadline window,")
+	fmt.Println("extra watts buy little (Figure 8 of the paper).")
+}
+
+// maxRate bisects the largest arrival rate whose quality meets the SLO.
+func maxRate(budget float64) float64 {
+	lo, hi := 20.0, 500.0
+	for hi-lo > 2 {
+		mid := (lo + hi) / 2
+		if quality(budget, mid) >= sloQ {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func quality(budget, rate float64) float64 {
+	res := run(budget, rate)
+	return res.NormQuality
+}
+
+func energyPerRequest(budget, rate float64) float64 {
+	res := run(budget, rate)
+	if res.Arrived == 0 {
+		return 0
+	}
+	return res.Energy / float64(res.Arrived)
+}
+
+func run(budget, rate float64) dessched.Result {
+	cfg := dessched.PaperServer()
+	cfg.Cores = cores
+	cfg.Budget = budget
+	wl := dessched.PaperWorkload(rate)
+	wl.Duration = duration
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

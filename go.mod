@@ -1,0 +1,3 @@
+module dessched
+
+go 1.23

@@ -1,0 +1,201 @@
+// Package baseline implements the comparison schedulers of §V-E: FCFS
+// (equivalent to EDF under agreeable deadlines), LJF (longest job first)
+// and SJF (shortest job first). Each is triggered when a core becomes idle
+// and assigns exactly one queued job to it; the job runs at the slowest
+// speed that finishes it by its deadline, or — when the core's power share
+// cannot sustain that speed — at the highest affordable speed until the
+// deadline, yielding partial output.
+//
+// Power is distributed statically (equal share per core) by default; the
+// WF variant re-runs the Water-Filling distribution over the cores' current
+// requirements at every scheduling event, matching the "+WF" comparison of
+// §V-E (Figure 6).
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"dessched/internal/dist"
+	"dessched/internal/power"
+	"dessched/internal/sim"
+	"dessched/internal/yds"
+)
+
+// Order selects which waiting job an idle core receives.
+type Order int
+
+// Queueing disciplines.
+const (
+	FCFS Order = iota // earliest release first (= EDF with agreeable deadlines)
+	LJF               // largest service demand first
+	SJF               // smallest service demand first
+	EDF               // earliest deadline first (footnote 2: ≡ FCFS here)
+)
+
+func (o Order) String() string {
+	switch o {
+	case FCFS:
+		return "FCFS"
+	case LJF:
+		return "LJF"
+	case SJF:
+		return "SJF"
+	case EDF:
+		return "EDF"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Greedy is a one-job-per-core policy with a fixed queueing discipline.
+// It implements sim.Policy.
+type Greedy struct {
+	order Order
+	wf    bool
+}
+
+// New returns the baseline policy for the given order; wf enables dynamic
+// Water-Filling power distribution instead of the static equal share.
+func New(order Order, wf bool) *Greedy { return &Greedy{order: order, wf: wf} }
+
+// Name implements sim.Policy.
+func (g *Greedy) Name() string {
+	if g.wf {
+		return g.order.String() + "+WF"
+	}
+	return g.order.String()
+}
+
+// Plan implements sim.Policy.
+func (g *Greedy) Plan(now float64, s *sim.State) {
+	// Hand one queued job to every free core, picked by the discipline.
+	for {
+		core := g.freeCore(now, s)
+		if core < 0 {
+			break
+		}
+		js := g.pick(s.Queue(), now)
+		if js == nil {
+			break
+		}
+		s.AssignToCore(js, core)
+	}
+
+	m := len(s.Cores)
+	current := make([]*sim.JobState, m)
+	needed := make([]float64, m) // GHz to finish exactly at the deadline
+	requests := make([]float64, m)
+	for i, c := range s.Cores {
+		js := liveJob(c)
+		current[i] = js
+		if js == nil || js.Job.Deadline <= now {
+			continue
+		}
+		needed[i] = power.SpeedForRate(js.Remaining() / (js.Job.Deadline - now))
+		if s.Cfg.MaxSpeed > 0 {
+			requests[i] = s.Cfg.Power.DynamicPower(math.Min(needed[i], s.Cfg.MaxSpeed))
+		} else {
+			requests[i] = s.Cfg.Power.DynamicPower(needed[i])
+		}
+	}
+
+	var shares []float64
+	if g.wf {
+		shares = dist.WaterFill(s.Cfg.Budget, requests)
+		// Idle cores' unused equal share stays in the pool automatically:
+		// WF only grants what is requested.
+	} else {
+		shares = dist.EqualShare(s.Cfg.Budget, m)
+	}
+
+	for i, c := range s.Cores {
+		js := current[i]
+		if js == nil || js.Job.Deadline <= now || js.Remaining() <= 0 {
+			s.SetPlan(c.Index, nil)
+			continue
+		}
+		speed := g.speedFor(s.Cfg, needed[i], shares[i])
+		if speed <= 0 {
+			s.SetPlan(c.Index, nil)
+			continue
+		}
+		end := now + js.Remaining()/power.Rate(speed)
+		if end > js.Job.Deadline {
+			end = js.Job.Deadline // run flat out until the deadline, partial result
+		}
+		s.SetPlan(c.Index, []yds.Segment{{ID: js.Job.ID, Start: now, End: end, Speed: speed}})
+	}
+}
+
+// speedFor applies the execution rule: the slowest deadline-meeting speed,
+// capped by what the core's power share (and hardware) affords; under
+// discrete scaling the speed is rectified up when affordable, else down.
+func (g *Greedy) speedFor(cfg *sim.Config, needed, share float64) float64 {
+	cap := cfg.Power.SpeedFor(share)
+	if cfg.MaxSpeed > 0 {
+		cap = math.Min(cap, cfg.MaxSpeed)
+	}
+	s := math.Min(needed, cap)
+	if cfg.Ladder.Continuous() {
+		return s
+	}
+	if up, ok := cfg.Ladder.RoundUp(s); ok && up <= cap+1e-12 {
+		return up
+	}
+	if down, ok := cfg.Ladder.RoundDown(math.Min(s, cap)); ok {
+		return down
+	}
+	return 0
+}
+
+// freeCore returns the index of a core with no live job, or -1.
+func (g *Greedy) freeCore(now float64, s *sim.State) int {
+	for i, c := range s.Cores {
+		if liveJob(c) == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// liveJob returns the core's single undeparted job, or nil.
+func liveJob(c *sim.CoreState) *sim.JobState {
+	for _, js := range c.Jobs {
+		if !js.Departed() {
+			return js
+		}
+	}
+	return nil
+}
+
+// pick selects the next queued job per the discipline, skipping jobs whose
+// deadline already passed (they depart via their deadline event).
+func (g *Greedy) pick(queue []*sim.JobState, now float64) *sim.JobState {
+	var best *sim.JobState
+	for _, js := range queue {
+		if js.Job.Deadline <= now {
+			continue
+		}
+		if best == nil {
+			best = js
+			continue
+		}
+		switch g.order {
+		case LJF:
+			if js.Job.Demand > best.Job.Demand {
+				best = js
+			}
+		case SJF:
+			if js.Job.Demand < best.Job.Demand {
+				best = js
+			}
+		case EDF:
+			if js.Job.Deadline < best.Job.Deadline {
+				best = js
+			}
+		default: // FCFS: queue is already in arrival order
+		}
+	}
+	return best
+}

@@ -1,0 +1,246 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/quality"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+func cfg(cores int, budget float64) sim.Config {
+	c := sim.PaperConfig()
+	c.Cores = cores
+	c.Budget = budget
+	c.Triggers = sim.Triggers{IdleCore: true} // §V-A: baselines trigger on idle cores
+	return c
+}
+
+func TestOrderString(t *testing.T) {
+	if FCFS.String() != "FCFS" || LJF.String() != "LJF" || SJF.String() != "SJF" {
+		t.Error("order names wrong")
+	}
+	if Order(7).String() == "" {
+		t.Error("unknown order empty")
+	}
+	if New(SJF, true).Name() != "SJF+WF" || New(FCFS, false).Name() != "FCFS" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestSingleJobRunsAtSlowestFeasibleSpeed(t *testing.T) {
+	c := cfg(1, 20)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 150, Partial: true}}
+	res, err := sim.Run(c, jobs, New(FCFS, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// 150 units over the full 150 ms window = 1 GHz → 5 W × 0.15 s.
+	want := 5.0 * 0.15
+	if math.Abs(res.Energy-want) > 1e-9 {
+		t.Errorf("Energy = %v, want %v", res.Energy, want)
+	}
+}
+
+func TestOverloadedJobRunsAtCapUntilDeadline(t *testing.T) {
+	c := cfg(1, 20) // cap 2 GHz → 300 units per window
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 900, Partial: true}}
+	res, err := sim.Run(c, jobs, New(FCFS, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlined != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	q := quality.Default()
+	if math.Abs(res.Quality-q.Eval(300)) > 1e-6 {
+		t.Errorf("Quality = %v, want q(300)", res.Quality)
+	}
+	if res.PeakPower > 20+1e-6 {
+		t.Errorf("peak %v exceeds static share", res.PeakPower)
+	}
+}
+
+func TestJobStretchesToItsDeadline(t *testing.T) {
+	// The energy rule stretches the current job over its whole remaining
+	// window, so a queued same-window job only gets the tail scraps —
+	// exactly why the baselines lose quality that DES recovers (§V-E).
+	c := cfg(1, 20)
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.4, Demand: 100, Partial: true},
+		{ID: 1, Release: 0.001, Deadline: 0.401, Demand: 100, Partial: true},
+	}
+	res, err := sim.Run(c, jobs, New(FCFS, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Deadlined != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	q := quality.Default()
+	// Job 0 completes; job 1 runs [0.4, 0.401] at the 2 GHz cap → 2 units.
+	want := q.Eval(100) + q.Eval(2)
+	if math.Abs(res.Quality-want) > 1e-6 {
+		t.Errorf("Quality = %v, want %v", res.Quality, want)
+	}
+	// Job 0's energy: 100 units over 0.4 s = 0.25 GHz for 0.4 s, plus the
+	// 1 ms burst at 2 GHz for job 1.
+	wantE := 5*0.25*0.25*0.4 + 20*0.001
+	if math.Abs(res.Energy-wantE) > 1e-9 {
+		t.Errorf("Energy = %v, want %v", res.Energy, wantE)
+	}
+}
+
+func TestSJFPrefersShortLJFPrefersLong(t *testing.T) {
+	// One core; job 0 occupies it until t=0.15. The long job's window ends
+	// at 0.35, the short one's at 0.36: each discipline completes job 0
+	// plus its preferred job and the other expires (modulo tail scraps).
+	mk := func() []job.Job {
+		return []job.Job{
+			{ID: 0, Release: 0, Deadline: 0.15, Demand: 200, Partial: true},
+			{ID: 1, Release: 0.01, Deadline: 0.35, Demand: 290, Partial: true}, // long
+			{ID: 2, Release: 0.02, Deadline: 0.36, Demand: 130, Partial: true}, // short
+		}
+	}
+	sjf, err := sim.Run(cfg(1, 20), mk(), New(SJF, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ljf, err := sim.Run(cfg(1, 20), mk(), New(LJF, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sjf.Completed != 2 || ljf.Completed != 2 {
+		t.Fatalf("completions: SJF %+v, LJF %+v", sjf, ljf)
+	}
+	q := quality.Default()
+	// SJF: jobs 0 and 2 complete; job 1 expires untouched at 0.35.
+	wantSJF := q.Eval(200) + q.Eval(130)
+	if math.Abs(sjf.Quality-wantSJF) > 1e-6 {
+		t.Errorf("SJF quality = %v, want %v", sjf.Quality, wantSJF)
+	}
+	// LJF: jobs 0 and 1 complete; job 2 gets the [0.35, 0.36] scrap at cap.
+	wantLJF := q.Eval(200) + q.Eval(290) + q.Eval(20)
+	if math.Abs(ljf.Quality-wantLJF) > 1e-6 {
+		t.Errorf("LJF quality = %v, want %v", ljf.Quality, wantLJF)
+	}
+}
+
+func TestWFVariantBeatsStaticOnUnevenLoad(t *testing.T) {
+	// Core 0 gets a heavy job, core 1 a light one: WF lends power.
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 500, Partial: true},
+		{ID: 1, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+	}
+	static, err := sim.Run(cfg(2, 40), jobs, New(FCFS, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := sim.Run(cfg(2, 40), jobs, New(FCFS, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Quality <= static.Quality {
+		t.Errorf("FCFS+WF quality %v not above static %v (Fig. 6)", wf.Quality, static.Quality)
+	}
+	if wf.BudgetViolations != 0 {
+		t.Errorf("WF variant violated budget %d times (peak %v)", wf.BudgetViolations, wf.PeakPower)
+	}
+}
+
+func TestBaselineInvariantsOnRandomWorkload(t *testing.T) {
+	wl := workload.DefaultConfig(120)
+	wl.Duration = 10
+	wl.Seed = 5
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Greedy{New(FCFS, false), New(LJF, false), New(SJF, false), New(FCFS, true), New(SJF, true)} {
+		c := cfg(8, 160)
+		res, err := sim.Run(c, jobs, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.BudgetViolations != 0 {
+			t.Errorf("%s: %d budget violations (peak %v)", p.Name(), res.BudgetViolations, res.PeakPower)
+		}
+		if res.NormQuality <= 0 || res.NormQuality > 1+1e-9 {
+			t.Errorf("%s: NormQuality = %v", p.Name(), res.NormQuality)
+		}
+		if got := res.Completed + res.Deadlined + res.Discarded; got != res.Arrived {
+			t.Errorf("%s: job accounting mismatch", p.Name())
+		}
+		if res.SkippedTime > 1e-6 {
+			t.Errorf("%s: skipped time %v", p.Name(), res.SkippedTime)
+		}
+	}
+}
+
+// Footnote 2 of the paper: with agreeable deadlines, FCFS is equivalent to
+// EDF. The two policies must produce identical results on any workload.
+func TestFCFSEquivalentToEDF(t *testing.T) {
+	for _, rate := range []float64{60, 140, 220} {
+		wl := workload.DefaultConfig(rate)
+		wl.Duration = 8
+		wl.Seed = uint64(rate)
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wf := range []bool{false, true} {
+			fcfs, err := sim.Run(cfg(8, 160), jobs, New(FCFS, wf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			edf, err := sim.Run(cfg(8, 160), jobs, New(EDF, wf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fcfs.Quality != edf.Quality || fcfs.Energy != edf.Energy ||
+				fcfs.Completed != edf.Completed || fcfs.Deadlined != edf.Deadlined {
+				t.Errorf("rate %v wf=%t: FCFS %v != EDF %v", rate, wf, fcfs, edf)
+			}
+		}
+	}
+}
+
+func TestEDFName(t *testing.T) {
+	if EDF.String() != "EDF" || New(EDF, false).Name() != "EDF" {
+		t.Error("EDF naming wrong")
+	}
+}
+
+func TestSJFEnergyDropsUnderOverload(t *testing.T) {
+	// §V-E: SJF discards long jobs under overload, so its energy falls as
+	// load rises while FCFS's grows or saturates.
+	run := func(rate float64, o Order) sim.Result {
+		wl := workload.DefaultConfig(rate)
+		wl.Duration = 10
+		wl.Seed = 11
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(cfg(8, 160), jobs, New(o, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sjfLight := run(60, SJF)
+	sjfHeavy := run(140, SJF)
+	perJobLight := sjfLight.Energy / float64(sjfLight.Arrived)
+	perJobHeavy := sjfHeavy.Energy / float64(sjfHeavy.Arrived)
+	if perJobHeavy >= perJobLight {
+		t.Errorf("SJF per-job energy should fall under overload: light %v, heavy %v", perJobLight, perJobHeavy)
+	}
+	if run(140, SJF).NormQuality >= run(140, FCFS).NormQuality {
+		t.Error("SJF quality should be below FCFS under overload (Fig. 5)")
+	}
+}

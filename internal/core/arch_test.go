@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"dessched/internal/sim"
+	"dessched/internal/trace"
+	"dessched/internal/workload"
+)
+
+// S-DVFS invariant: all cores share one speed at any instant — whenever two
+// execution slices overlap in time, their speeds are equal (§V-A).
+func TestSDVFSAllCoresShareOneSpeed(t *testing.T) {
+	wl := workload.DefaultConfig(60)
+	wl.Duration = 6
+	wl.Seed = 13
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfg(4, 80)
+	rec := trace.New(4)
+	cfg.Recorder = rec
+	if _, err := sim.Run(cfg, jobs, New(SDVFS)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries) == 0 {
+		t.Fatal("no execution recorded")
+	}
+	for i, a := range rec.Entries {
+		for _, b := range rec.Entries[i+1:] {
+			if a.Core == b.Core {
+				continue
+			}
+			overlap := a.Start < b.End-1e-12 && b.Start < a.End-1e-12
+			if overlap && a.Speed != b.Speed {
+				t.Fatalf("overlapping slices at different speeds: %+v vs %+v", a, b)
+			}
+		}
+	}
+}
+
+// No-DVFS invariant: every executed slice runs at exactly the fixed base
+// speed (2 GHz for the equal share of 80 W over 4 cores).
+func TestNoDVFSFixedSpeed(t *testing.T) {
+	wl := workload.DefaultConfig(60)
+	wl.Duration = 6
+	wl.Seed = 13
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfg(4, 80)
+	ApplyArch(&cfg, NoDVFS)
+	rec := trace.New(4)
+	cfg.Recorder = rec
+	if _, err := sim.Run(cfg, jobs, New(NoDVFS)); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rec.Entries {
+		if e.Speed != 2 {
+			t.Fatalf("No-DVFS executed at %v GHz, want the fixed 2 GHz", e.Speed)
+		}
+	}
+}
+
+// C-DVFS must actually use per-core speed diversity — otherwise the
+// architecture comparison is vacuous.
+func TestCDVFSUsesDiverseSpeeds(t *testing.T) {
+	wl := workload.DefaultConfig(60)
+	wl.Duration = 6
+	wl.Seed = 13
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfg(4, 80)
+	rec := trace.New(4)
+	cfg.Recorder = rec
+	if _, err := sim.Run(cfg, jobs, New(CDVFS)); err != nil {
+		t.Fatal(err)
+	}
+	diverse := false
+	for i, a := range rec.Entries {
+		for _, b := range rec.Entries[i+1:] {
+			if a.Core == b.Core {
+				continue
+			}
+			overlap := a.Start < b.End-1e-12 && b.Start < a.End-1e-12
+			if overlap && a.Speed != b.Speed {
+				diverse = true
+				break
+			}
+		}
+		if diverse {
+			break
+		}
+	}
+	if !diverse {
+		t.Error("C-DVFS never ran two cores at different speeds simultaneously")
+	}
+}
+
+func TestBaseSpeedWithLadderAndCap(t *testing.T) {
+	c := cfg(4, 80)
+	if got := baseSpeed(&c); got != 2 {
+		t.Errorf("baseSpeed = %v, want 2", got)
+	}
+	c.MaxSpeed = 1.7
+	if got := baseSpeed(&c); got != 1.7 {
+		t.Errorf("baseSpeed with cap = %v, want 1.7", got)
+	}
+	c = cfg(4, 80)
+	c.Ladder = []float64{0.5, 1.5, 2.5}
+	if got := baseSpeed(&c); got != 1.5 {
+		t.Errorf("baseSpeed discrete = %v, want round-down 1.5", got)
+	}
+	c.Ladder = []float64{3.0} // unaffordable
+	if got := baseSpeed(&c); got != 0 {
+		t.Errorf("baseSpeed unaffordable = %v, want 0", got)
+	}
+}

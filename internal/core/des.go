@@ -1,0 +1,301 @@
+// Package core implements the paper's primary contribution: DES (Dynamic
+// Equal Sharing, §IV), the online heuristic for scheduling best-effort
+// interactive services on a multicore server with a global power budget.
+//
+// DES = C-RR + WF + Online-QE:
+//
+//  1. Ready-job distribution: cumulative round-robin spreads newly arrived
+//     jobs across cores (non-migratory once bound).
+//  2. Budget-free independent-core scheduling: Energy-OPT with unlimited
+//     power computes each core's requested power; if the total fits the
+//     budget every job can be satisfied and those plans are used directly.
+//  3. Dynamic power distribution: otherwise Water-Filling splits the budget
+//     according to the requests.
+//  4. Budget-bounded independent-core scheduling: Online-QE plans each core
+//     under its distributed budget.
+//
+// The same policy runs on three architecture models (§V-A): C-DVFS (full
+// DES), S-DVFS (all cores share one speed: requests are leveled to the
+// maximum before distribution and the Online-QE energy step is skipped) and
+// No-DVFS (fixed base speed, quality step only).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dessched/internal/dist"
+	"dessched/internal/job"
+	"dessched/internal/qeopt"
+	"dessched/internal/sim"
+	"dessched/internal/yds"
+)
+
+// Arch selects the DVFS capability of the simulated processor (§V-A).
+type Arch int
+
+// Architecture models.
+const (
+	CDVFS  Arch = iota // per-core DVFS: the architecture DES is designed for
+	SDVFS              // system-level DVFS: one shared speed, changeable over time
+	NoDVFS             // no DVFS: fixed base speed, no energy management
+)
+
+func (a Arch) String() string {
+	switch a {
+	case CDVFS:
+		return "C-DVFS"
+	case SDVFS:
+		return "S-DVFS"
+	case NoDVFS:
+		return "No-DVFS"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// DES is the Dynamic Equal Sharing policy. The zero value is not usable;
+// construct with New. DES implements sim.Policy.
+type DES struct {
+	arch Arch
+	// Distribution can be switched to plain (non-cumulative) round-robin
+	// for the ablation study of §IV-B's cumulative property.
+	plainRR bool
+	// staticPower replaces the WF distribution with a static equal share —
+	// the ablation isolating §IV-C's contribution.
+	staticPower bool
+	crr         *dist.CRR
+}
+
+// New returns a DES policy for the given architecture.
+func New(arch Arch) *DES { return &DES{arch: arch} }
+
+// NewPlainRR returns DES with plain (reset-every-invocation) round-robin
+// distribution instead of C-RR — the ablation comparator.
+func NewPlainRR(arch Arch) *DES { return &DES{arch: arch, plainRR: true} }
+
+// NewStaticPower returns DES with static equal power sharing instead of the
+// dynamic Water-Filling distribution — the ablation comparator for §IV-C.
+func NewStaticPower(arch Arch) *DES { return &DES{arch: arch, staticPower: true} }
+
+// Name implements sim.Policy.
+func (d *DES) Name() string {
+	n := "DES"
+	if d.plainRR {
+		n = "DES-plainRR"
+	}
+	if d.staticPower {
+		n += "-static"
+	}
+	return n + "/" + d.arch.String()
+}
+
+// Arch returns the architecture model the policy runs on.
+func (d *DES) Arch() Arch { return d.arch }
+
+// ApplyArch adjusts a simulator config for the architecture: No-DVFS cores
+// cannot scale down, so they burn the base speed's power even when idle
+// (DESIGN.md, assumption 2).
+func ApplyArch(cfg *sim.Config, arch Arch) {
+	if arch == NoDVFS {
+		cfg.IdleBurnSpeed = baseSpeed(cfg)
+	} else {
+		cfg.IdleBurnSpeed = 0
+	}
+}
+
+// baseSpeed is the fixed speed of a No-DVFS core and the cap of an S-DVFS
+// core: the equal power share, rounded down to the ladder under discrete
+// scaling.
+func baseSpeed(cfg *sim.Config) float64 {
+	s := cfg.Power.SpeedFor(cfg.Budget / float64(cfg.Cores))
+	if cfg.MaxSpeed > 0 {
+		s = math.Min(s, cfg.MaxSpeed)
+	}
+	if !cfg.Ladder.Continuous() {
+		down, ok := cfg.Ladder.RoundDown(s)
+		if !ok {
+			return 0
+		}
+		s = down
+	}
+	return s
+}
+
+// Plan implements sim.Policy: one DES invocation (§IV-D).
+func (d *DES) Plan(now float64, s *sim.State) {
+	m := len(s.Cores)
+	if d.crr == nil {
+		d.crr = dist.NewCRR(m)
+	}
+	if d.plainRR {
+		d.crr.Reset()
+	}
+
+	// Step 1: ready-job distribution via C-RR.
+	waiting := s.DrainQueue()
+	targets := d.crr.Assign(len(waiting))
+	for i, js := range waiting {
+		s.Bind(js, targets[i])
+	}
+
+	switch d.arch {
+	case NoDVFS:
+		d.planFixedSpeed(now, s, baseSpeed(s.Cfg))
+	case SDVFS:
+		d.planSDVFS(now, s)
+	default:
+		d.planCDVFS(now, s)
+	}
+}
+
+// planFixedSpeed plans every core at one fixed speed: the No-DVFS path and
+// the inner step of S-DVFS.
+func (d *DES) planFixedSpeed(now float64, s *sim.State, speed float64) {
+	for _, c := range s.Cores {
+		plan, err := qeopt.OnlineFixedSpeed(now, c.ReadyJobs(now), speed)
+		if err != nil {
+			panic(fmt.Sprintf("core: fixed-speed planning failed: %v", err))
+		}
+		d.install(s, c.Index, plan)
+	}
+}
+
+// planSDVFS levels every core's requested power to the maximum request and
+// equal-shares the budget, so all cores run at one common speed (§V-A).
+func (d *DES) planSDVFS(now float64, s *sim.State) {
+	maxReq := 0.0
+	for _, c := range s.Cores {
+		req, _, err := unlimitedPlan(now, c)
+		if err != nil {
+			panic(fmt.Sprintf("core: budget-free planning failed: %v", err))
+		}
+		p := s.Cfg.Power.DynamicPower(req)
+		if p > maxReq {
+			maxReq = p
+		}
+	}
+	perCore := math.Min(maxReq, s.Cfg.Budget/float64(len(s.Cores)))
+	speed := s.Cfg.Power.SpeedFor(perCore)
+	if s.Cfg.MaxSpeed > 0 {
+		speed = math.Min(speed, s.Cfg.MaxSpeed)
+	}
+	if !s.Cfg.Ladder.Continuous() {
+		if down, ok := s.Cfg.Ladder.RoundDown(speed); ok {
+			speed = down
+		} else {
+			speed = 0
+		}
+	}
+	d.planFixedSpeed(now, s, speed)
+}
+
+// planCDVFS is the full DES: budget-free Energy-OPT per core, the budget
+// check, WF distribution, and budget-bounded Online-QE (§IV-D steps 2-4).
+func (d *DES) planCDVFS(now float64, s *sim.State) {
+	m := len(s.Cores)
+	requests := make([]float64, m)
+	plans := make([][]yds.Segment, m)
+	total := 0.0
+	for i, c := range s.Cores {
+		speed, segs, err := unlimitedPlan(now, c)
+		if err != nil {
+			panic(fmt.Sprintf("core: budget-free planning failed: %v", err))
+		}
+		requests[i] = s.Cfg.Power.DynamicPower(speed)
+		if s.Cfg.MaxSpeed > 0 {
+			requests[i] = math.Min(requests[i], s.Cfg.Power.DynamicPower(s.Cfg.MaxSpeed))
+		}
+		plans[i] = segs
+		total += requests[i]
+	}
+
+	// Step 2 exit: the optimistic schedules fit the budget, every job can
+	// be satisfied. (Under discrete scaling the speeds still need ladder
+	// rectification, so fall through to the budget-bounded path; under the
+	// static-power ablation each core is held to its equal share.)
+	fits := total <= s.Cfg.Budget
+	if d.staticPower {
+		fits = true
+		for _, r := range requests {
+			if r > s.Cfg.Budget/float64(m) {
+				fits = false
+				break
+			}
+		}
+	}
+	if fits && s.Cfg.Ladder.Continuous() && s.Cfg.MaxSpeed == 0 {
+		for i, c := range s.Cores {
+			d.install(s, c.Index, qeopt.Plan{Segments: plans[i]})
+		}
+		return
+	}
+
+	// Steps 3-4: WF power distribution, then Online-QE per core.
+	var budgets []float64
+	switch {
+	case d.staticPower:
+		budgets = dist.EqualShare(s.Cfg.Budget, m)
+	case !s.Cfg.Ladder.Continuous():
+		budgets, _ = dist.WaterFillDiscrete(s.Cfg.Budget, requests, s.Cfg.Power, s.Cfg.Ladder)
+	default:
+		budgets = dist.WaterFill(s.Cfg.Budget, requests)
+	}
+	for i, c := range s.Cores {
+		cfg := qeopt.Config{
+			Power:    s.Cfg.Power,
+			Budget:   budgets[i],
+			Ladder:   s.Cfg.Ladder,
+			MaxSpeed: s.Cfg.MaxSpeed,
+			TwoSpeed: s.Cfg.TwoSpeedDiscrete,
+		}
+		plan, err := qeopt.Online(cfg, now, c.ReadyJobs(now))
+		if err != nil {
+			panic(fmt.Sprintf("core: Online-QE failed on core %d: %v", c.Index, err))
+		}
+		d.install(s, c.Index, plan)
+	}
+}
+
+// install applies a qeopt plan to a core: discards first (so the plan's
+// segment set matches the surviving jobs), then the plan itself.
+func (d *DES) install(s *sim.State, core int, plan qeopt.Plan) {
+	if len(plan.Discarded) > 0 {
+		byID := make(map[job.ID]bool, len(plan.Discarded))
+		for _, id := range plan.Discarded {
+			byID[id] = true
+		}
+		var victims []*sim.JobState
+		for _, js := range s.Cores[core].Jobs {
+			if byID[js.Job.ID] {
+				victims = append(victims, js)
+			}
+		}
+		for _, js := range victims { // Discard mutates Cores[core].Jobs
+			s.Discard(js)
+		}
+	}
+	s.SetPlan(core, plan.Segments)
+}
+
+// unlimitedPlan runs Energy-OPT on a core's outstanding work assuming an
+// unbounded budget (§IV-D step 2). It returns the speed of the first
+// segment — the core's requested operating point, maximal because the
+// same-release YDS profile is non-increasing — and the segments.
+func unlimitedPlan(now float64, c *sim.CoreState) (speed float64, segs []yds.Segment, err error) {
+	var tasks []yds.Task
+	for _, r := range c.ReadyJobs(now) {
+		if r.Deadline <= now || r.Remaining() <= 0 {
+			continue
+		}
+		tasks = append(tasks, yds.Task{ID: r.ID, Release: now, Deadline: r.Deadline, Volume: r.Remaining()})
+	}
+	sched, err := yds.SameRelease(now, tasks)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(sched.Segments) == 0 {
+		return 0, nil, nil
+	}
+	return sched.Segments[0].Speed, sched.Segments, nil
+}

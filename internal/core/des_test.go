@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dessched/internal/baseline"
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/quality"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+func cfg(cores int, budget float64) sim.Config {
+	c := sim.PaperConfig()
+	c.Cores = cores
+	c.Budget = budget
+	return c
+}
+
+func TestArchString(t *testing.T) {
+	if CDVFS.String() != "C-DVFS" || SDVFS.String() != "S-DVFS" || NoDVFS.String() != "No-DVFS" {
+		t.Error("arch names wrong")
+	}
+	if Arch(9).String() == "" {
+		t.Error("unknown arch name empty")
+	}
+	if New(SDVFS).Arch() != SDVFS {
+		t.Error("Arch() accessor wrong")
+	}
+	if New(CDVFS).Name() != "DES/C-DVFS" {
+		t.Errorf("Name = %q", New(CDVFS).Name())
+	}
+	if NewPlainRR(CDVFS).Name() != "DES-plainRR/C-DVFS" {
+		t.Errorf("plain RR Name = %q", NewPlainRR(CDVFS).Name())
+	}
+}
+
+func TestDESSingleJobRunsAtMinimalSpeed(t *testing.T) {
+	c := cfg(1, 20)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true}}
+	res, err := sim.Run(c, jobs, New(CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Energy-OPT stretches the job over the whole window: 100 units over
+	// 0.15 s = 2/3 GHz, P = 5*(2/3)^2 ≈ 2.22 W for 0.15 s.
+	want := 5 * math.Pow(100.0/150.0, 2) * 0.15
+	if math.Abs(res.Energy-want) > 1e-9 {
+		t.Errorf("Energy = %v, want %v", res.Energy, want)
+	}
+	if res.BudgetViolations != 0 {
+		t.Errorf("budget violations: %d", res.BudgetViolations)
+	}
+}
+
+func TestDESOverloadedCoreCapsAtBudget(t *testing.T) {
+	c := cfg(1, 20) // 2 GHz cap → 300 units per 150 ms window
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 600, Partial: true}}
+	res, err := sim.Run(c, jobs, New(CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := quality.Default()
+	want := q.Eval(300) / q.Eval(600)
+	if math.Abs(res.NormQuality-want) > 1e-6 {
+		t.Errorf("NormQuality = %v, want %v", res.NormQuality, want)
+	}
+	if res.PeakPower > 20+1e-6 {
+		t.Errorf("PeakPower = %v exceeds per-core budget", res.PeakPower)
+	}
+}
+
+func TestDESCRRSpreadsJobs(t *testing.T) {
+	c := cfg(2, 40)
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 290, Partial: true},
+		{ID: 1, Release: 0, Deadline: 0.15, Demand: 290, Partial: true},
+	}
+	res, err := sim.Run(c, jobs, New(CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On one core 580 units would not fit in 300 capacity; spreading over
+	// two cores completes both.
+	if res.Completed != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestDESWaterFillingBeatsStaticShare(t *testing.T) {
+	// Heavy job on core 0, light job on core 1: WF lends core 0 the
+	// leftover power, so it processes more than the static-equal 300 units.
+	c := cfg(2, 40)
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 500, Partial: true},
+		{ID: 1, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+	}
+	des, err := sim.Run(c, jobs, New(CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := sim.Run(c, jobs, baseline.New(baseline.FCFS, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if des.Quality <= fcfs.Quality {
+		t.Errorf("DES quality %v not above static FCFS %v", des.Quality, fcfs.Quality)
+	}
+	q := quality.Default()
+	// Static share processes at most 300 units of the heavy job.
+	staticBest := q.Eval(300) + q.Eval(100)
+	if des.Quality <= staticBest+1e-9 {
+		t.Errorf("DES quality %v does not exceed static bound %v", des.Quality, staticBest)
+	}
+	if des.BudgetViolations != 0 {
+		t.Errorf("budget violations: %d", des.BudgetViolations)
+	}
+}
+
+func TestDESNoDVFSBurnsFullBudget(t *testing.T) {
+	c := cfg(2, 40)
+	ApplyArch(&c, NoDVFS)
+	if c.IdleBurnSpeed != 2 {
+		t.Fatalf("IdleBurnSpeed = %v, want base speed 2", c.IdleBurnSpeed)
+	}
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+		{ID: 1, Release: 0.2, Deadline: 0.35, Demand: 100, Partial: true},
+	}
+	res, err := sim.Run(c, jobs, New(NoDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	// No-DVFS energy = budget × span, regardless of load (Fig. 3b).
+	if math.Abs(res.Energy-c.Budget*res.Span) > 1e-6 {
+		t.Errorf("Energy = %v, want %v", res.Energy, c.Budget*res.Span)
+	}
+}
+
+func TestDESArchitectureOrdering(t *testing.T) {
+	// Fig. 3 at the paper's scale (16 cores, 320 W, light load): quality
+	// C-DVFS clearly above S-DVFS ≈ No-DVFS; energy C < S < No with No-DVFS
+	// pinned at budget × span.
+	wl := workload.DefaultConfig(120)
+	wl.Duration = 20
+	wl.Seed = 42
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(arch Arch) sim.Result {
+		c := sim.PaperConfig()
+		ApplyArch(&c, arch)
+		res, err := sim.Run(c, jobs, New(arch))
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		return res
+	}
+	cd, sd, nd := run(CDVFS), run(SDVFS), run(NoDVFS)
+	if cd.NormQuality < sd.NormQuality+0.005 {
+		t.Errorf("C-DVFS quality %v not clearly above S-DVFS %v (paper: ~2%% gap)", cd.NormQuality, sd.NormQuality)
+	}
+	if math.Abs(sd.NormQuality-nd.NormQuality) > 0.01 {
+		t.Errorf("S-DVFS %v and No-DVFS %v should be close", sd.NormQuality, nd.NormQuality)
+	}
+	if cd.Energy > sd.Energy {
+		t.Errorf("C-DVFS energy %v above S-DVFS %v", cd.Energy, sd.Energy)
+	}
+	if sd.Energy > 0.7*nd.Energy {
+		t.Errorf("S-DVFS energy %v should be well below No-DVFS %v (paper: >=35.6%% saving)", sd.Energy, nd.Energy)
+	}
+	if math.Abs(nd.Energy-320*nd.Span) > 1 {
+		t.Errorf("No-DVFS energy %v != budget x span %v", nd.Energy, 320*nd.Span)
+	}
+	for _, r := range []sim.Result{cd, sd, nd} {
+		if r.BudgetViolations != 0 {
+			t.Errorf("%s: %d budget violations (peak %v)", r.Policy, r.BudgetViolations, r.PeakPower)
+		}
+		if r.NormQuality < 0 || r.NormQuality > 1+1e-9 {
+			t.Errorf("%s: NormQuality out of range: %v", r.Policy, r.NormQuality)
+		}
+	}
+}
+
+func TestDESPartialBeatsNonPartialUnderOverload(t *testing.T) {
+	mk := func(partialFrac float64) sim.Result {
+		wl := workload.DefaultConfig(60) // overload for 2 cores at 40 W
+		wl.Duration = 15
+		wl.Seed = 7
+		wl.PartialFraction = partialFrac
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(cfg(2, 40), jobs, New(CDVFS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full, none := mk(1.0), mk(0.0)
+	if full.NormQuality <= none.NormQuality {
+		t.Errorf("partial-eval quality %v not above non-partial %v (Fig. 4)", full.NormQuality, none.NormQuality)
+	}
+}
+
+func TestDESDiscreteSpeedsStayOnLadder(t *testing.T) {
+	c := cfg(2, 40)
+	c.Ladder = power.DefaultLadder
+	wl := workload.DefaultConfig(40)
+	wl.Duration = 5
+	wl.Seed = 3
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c, jobs, New(CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetViolations != 0 {
+		t.Errorf("discrete DES violated the budget %d times (peak %v)", res.BudgetViolations, res.PeakPower)
+	}
+	if res.NormQuality <= 0 {
+		t.Errorf("no quality produced: %+v", res)
+	}
+}
+
+func TestDESRandomWorkloadInvariants(t *testing.T) {
+	wl := workload.DefaultConfig(120)
+	wl.Duration = 10
+	wl.Seed = 99
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(8, 160)
+	res, err := sim.Run(c, jobs, New(CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetViolations != 0 {
+		t.Errorf("budget violations: %d (peak %v W)", res.BudgetViolations, res.PeakPower)
+	}
+	if res.NormQuality < 0 || res.NormQuality > 1+1e-9 {
+		t.Errorf("NormQuality = %v", res.NormQuality)
+	}
+	if res.SkippedTime > 1e-6 {
+		t.Errorf("skipped plan time: %v", res.SkippedTime)
+	}
+	if res.Energy > c.Budget*res.Span*(1+1e-9) {
+		t.Errorf("energy %v exceeds budget x span %v", res.Energy, c.Budget*res.Span)
+	}
+	if got := res.Completed + res.Deadlined + res.Discarded; got != res.Arrived {
+		t.Errorf("job accounting: %d + %d + %d != %d", res.Completed, res.Deadlined, res.Discarded, res.Arrived)
+	}
+}
+
+func TestDESNonPartialDiscardCounted(t *testing.T) {
+	c := cfg(1, 20)
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 600, Partial: false},
+		{ID: 1, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+	}
+	res, err := sim.Run(c, jobs, New(CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Discarded != 1 {
+		t.Errorf("Discarded = %d, want 1 (%+v)", res.Discarded, res)
+	}
+	if res.Completed != 1 {
+		t.Errorf("partial job should complete: %+v", res)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"dessched/internal/power"
+	"dessched/internal/sim"
+	"dessched/internal/trace"
+	"dessched/internal/workload"
+)
+
+// TestSoakKitchenSink runs a long, heavily overloaded simulation with every
+// feature enabled at once — discrete two-speed scaling, fault injection,
+// per-job collection, trace recording — and checks the global invariants.
+// It exists to flush out rare event-ordering bugs that short tests miss.
+func TestSoakKitchenSink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	wl := workload.DefaultConfig(250)
+	wl.Duration = 120
+	wl.Seed = 2024
+	wl.PartialFraction = 0.9
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := sim.PaperConfig()
+	cfg.Ladder = power.DefaultLadder
+	cfg.TwoSpeedDiscrete = true
+	cfg.CollectJobs = true
+	cfg.Faults = []sim.Fault{
+		{Core: 2, Start: 20, End: 60, SpeedFactor: 0.5},
+		{Core: 3, Start: 40, End: 80, SpeedFactor: 0},
+		{Core: 2, Start: 50, End: 55, SpeedFactor: 0.5}, // overlapping fault
+	}
+	rec := trace.New(cfg.Cores)
+	cfg.Recorder = rec
+
+	res, err := sim.Run(cfg, jobs, New(CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetViolations != 0 {
+		t.Errorf("budget violations: %d (peak %.1f W)", res.BudgetViolations, res.PeakPower)
+	}
+	if res.NormQuality <= 0.3 || res.NormQuality >= 1 {
+		t.Errorf("NormQuality = %v implausible for overload", res.NormQuality)
+	}
+	if got := res.Completed + res.Deadlined + res.Discarded; got != res.Arrived {
+		t.Errorf("job accounting: %d+%d+%d != %d", res.Completed, res.Deadlined, res.Discarded, res.Arrived)
+	}
+	if res.SkippedTime > 1e-6 {
+		t.Errorf("skipped plan time: %v", res.SkippedTime)
+	}
+	if len(res.Jobs) != res.Arrived {
+		t.Errorf("collected %d outcomes for %d jobs", len(res.Jobs), res.Arrived)
+	}
+	for _, o := range res.Jobs {
+		if o.Done > o.Demand+1e-6 {
+			t.Fatalf("job %d overprocessed: %v > %v", o.ID, o.Done, o.Demand)
+		}
+		if o.DepartAt > o.Deadline+1e-6 {
+			t.Fatalf("job %d departed at %v after deadline %v", o.ID, o.DepartAt, o.Deadline)
+		}
+		if o.Quality < 0 || o.Quality > 1 {
+			t.Fatalf("job %d quality %v", o.ID, o.Quality)
+		}
+	}
+	if err := rec.Validate(); err != nil {
+		t.Errorf("invalid trace: %v", err)
+	}
+	// Trace energy accounts for the full result energy (no idle burn here).
+	if e := rec.DynamicEnergy(cfg.Power); e < res.Energy*0.999 || e > res.Energy*1.001 {
+		t.Errorf("trace energy %v vs result %v", e, res.Energy)
+	}
+	// Every recorded speed sits on the ladder.
+	for _, en := range rec.Entries {
+		ok := false
+		for _, l := range cfg.Ladder {
+			if en.Speed == l {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("off-ladder speed %v in trace", en.Speed)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package dist implements DES's two equal-sharing distribution policies
+// (§IV-B, §IV-C):
+//
+//   - C-RR (Cumulative Round-Robin) spreads newly ready jobs across cores,
+//     resuming from where the previous distribution cycle stopped so the
+//     assignment stays balanced across invocations;
+//
+//   - WF (Water-Filling) splits the server's dynamic power budget among the
+//     cores according to their requested power: cores asking less than the
+//     fair share get exactly what they ask, the surplus is shared equally
+//     among the rest. Because core power is convex in speed, equal sharing
+//     maximizes the aggregate processing rate.
+//
+// A discrete variant rectifies the water-filled speeds to a ladder per
+// §V-F: closest level not below the continuous speed when the budget still
+// supports it, otherwise the next lower level, processing cores from the
+// lowest assigned power up.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"dessched/internal/power"
+	"dessched/internal/stats"
+)
+
+// CRR is a cumulative round-robin distributor over m cores. The zero value
+// is unusable; construct with NewCRR.
+type CRR struct {
+	m    int
+	next int
+}
+
+// NewCRR returns a distributor over m cores, starting at core 0. It panics
+// when m <= 0.
+func NewCRR(m int) *CRR {
+	if m <= 0 {
+		panic(fmt.Sprintf("dist: CRR needs at least one core, got %d", m))
+	}
+	return &CRR{m: m}
+}
+
+// Assign distributes n items round-robin and returns the core index of each,
+// continuing from where the previous call stopped (the "cumulative" part).
+func (c *CRR) Assign(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = c.next
+		c.next = (c.next + 1) % c.m
+	}
+	return out
+}
+
+// Cursor returns the core index the next assignment will start from.
+func (c *CRR) Cursor() int { return c.next }
+
+// Reset rewinds the distributor to core 0 (plain, non-cumulative RR resets
+// before every invocation — kept for the ablation benchmarks).
+func (c *CRR) Reset() { c.next = 0 }
+
+// WaterFill distributes a non-negative power budget among cores with the
+// given requested powers and returns each core's assigned power. No core
+// receives more than it requested; when the total request exceeds the
+// budget, cores are filled to a common level (§IV-C).
+func WaterFill(budget float64, requests []float64) []float64 {
+	lo := make([]float64, len(requests))
+	hi := make([]float64, len(requests))
+	for i, r := range requests {
+		if r < 0 {
+			r = 0
+		}
+		hi[i] = r
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return stats.WaterShares(budget, lo, hi)
+}
+
+// EqualShare returns the static equal power split: budget/m for each core.
+// It is the default power policy of the FCFS/LJF/SJF baselines (§V-A) and
+// the S-DVFS architecture.
+func EqualShare(budget float64, m int) []float64 {
+	out := make([]float64, m)
+	if m == 0 {
+		return out
+	}
+	share := budget / float64(m)
+	if share < 0 {
+		share = 0
+	}
+	for i := range out {
+		out[i] = share
+	}
+	return out
+}
+
+// WaterFillDiscrete performs WF and then rectifies each core's speed to the
+// ladder per §V-F: processing cores from the lowest assigned power upward,
+// each speed is rounded up to the nearest ladder level if the total budget
+// still supports it (counting the continuous assignments still pending for
+// unprocessed cores), otherwise rounded down. It returns the assigned
+// powers and speeds. With a continuous ladder it reduces to WF.
+func WaterFillDiscrete(budget float64, requests []float64, m power.Model, ladder power.Ladder) (powers, speeds []float64) {
+	cont := WaterFill(budget, requests)
+	n := len(cont)
+	powers = make([]float64, n)
+	speeds = make([]float64, n)
+	if ladder.Continuous() {
+		for i, p := range cont {
+			powers[i] = p
+			speeds[i] = m.SpeedFor(p)
+		}
+		return powers, speeds
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cont[order[a]] < cont[order[b]] })
+
+	pending := 0.0 // continuous assignments not yet rectified
+	for _, p := range cont {
+		pending += p
+	}
+	used := 0.0
+	for _, i := range order {
+		pending -= cont[i]
+		s := m.SpeedFor(cont[i])
+		if s <= 0 {
+			continue
+		}
+		var chosen float64
+		if up, ok := ladder.RoundUp(s); ok && used+m.DynamicPower(up)+pending <= budget+1e-9 {
+			chosen = up
+		} else if down, ok := ladder.RoundDown(s); ok {
+			chosen = down
+		}
+		speeds[i] = chosen
+		powers[i] = m.DynamicPower(chosen)
+		used += powers[i]
+	}
+	return powers, speeds
+}

@@ -1,0 +1,254 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dessched/internal/power"
+	"dessched/internal/stats"
+)
+
+func TestCRRCumulative(t *testing.T) {
+	c := NewCRR(4)
+	if got := c.Assign(3); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("first cycle = %v", got)
+	}
+	// Second call continues at core 3 — this is what distinguishes C-RR
+	// from plain RR (§IV-B).
+	if got := c.Assign(3); got[0] != 3 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("second cycle = %v", got)
+	}
+	if c.Cursor() != 2 {
+		t.Errorf("cursor = %d, want 2", c.Cursor())
+	}
+	c.Reset()
+	if c.Cursor() != 0 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestCRRBalancedInLongRun(t *testing.T) {
+	c := NewCRR(5)
+	counts := make([]int, 5)
+	// Many invocations with awkward batch sizes.
+	for i := 0; i < 100; i++ {
+		for _, core := range c.Assign(3) {
+			counts[core]++
+		}
+	}
+	for i, n := range counts {
+		if n != 60 {
+			t.Errorf("core %d got %d jobs, want 60 (total 300 over 5 cores)", i, n)
+		}
+	}
+}
+
+func TestNonCumulativeRRImbalance(t *testing.T) {
+	// The contrast case: resetting before each batch of 3 on 4 cores
+	// starves core 3 entirely.
+	c := NewCRR(4)
+	counts := make([]int, 4)
+	for i := 0; i < 10; i++ {
+		c.Reset()
+		for _, core := range c.Assign(3) {
+			counts[core]++
+		}
+	}
+	if counts[3] != 0 || counts[0] != 10 {
+		t.Errorf("counts = %v; expected plain RR to starve core 3", counts)
+	}
+}
+
+func TestNewCRRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCRR(0) did not panic")
+		}
+	}()
+	NewCRR(0)
+}
+
+func TestWaterFillPaperFigure2(t *testing.T) {
+	// Fig. 2: core 4 requests below the equal share and gets exactly its
+	// demand; cores 1–3 share the remainder equally.
+	requests := []float64{30, 28, 26, 4}
+	got := WaterFill(40, requests)
+	want := []float64{12, 12, 12, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("WaterFill = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaterFillUnderload(t *testing.T) {
+	got := WaterFill(100, []float64{10, 20, 5})
+	want := []float64{10, 20, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WaterFill underload = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaterFillClampsNegatives(t *testing.T) {
+	got := WaterFill(10, []float64{-5, 20})
+	if got[0] != 0 || math.Abs(got[1]-10) > 1e-9 {
+		t.Errorf("WaterFill = %v, want [0 10]", got)
+	}
+	got = WaterFill(-3, []float64{5, 5})
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("negative budget: %v", got)
+	}
+}
+
+func TestEqualShare(t *testing.T) {
+	got := EqualShare(320, 16)
+	for _, p := range got {
+		if p != 20 {
+			t.Fatalf("EqualShare = %v", got)
+		}
+	}
+	if len(EqualShare(10, 0)) != 0 {
+		t.Error("EqualShare with m=0 should be empty")
+	}
+	for _, p := range EqualShare(-5, 3) {
+		if p != 0 {
+			t.Error("negative budget should clamp to 0")
+		}
+	}
+}
+
+func TestWaterFillDiscreteContinuousLadder(t *testing.T) {
+	powers, speeds := WaterFillDiscrete(40, []float64{30, 4}, power.Default, nil)
+	if math.Abs(powers[0]-30) > 1e-9 || math.Abs(powers[1]-4) > 1e-9 {
+		t.Errorf("powers = %v", powers)
+	}
+	if math.Abs(speeds[0]-power.Default.SpeedFor(30)) > 1e-12 {
+		t.Errorf("speeds = %v", speeds)
+	}
+}
+
+func TestWaterFillDiscreteRoundsUpWithinBudget(t *testing.T) {
+	// One core, continuous speed 1.26 GHz: rounds up to 1.5 (11.25 W <
+	// budget 20 W).
+	powers, speeds := WaterFillDiscrete(20, []float64{power.Default.DynamicPower(1.26)}, power.Default, power.DefaultLadder)
+	if speeds[0] != 1.5 {
+		t.Errorf("speed = %v, want 1.5", speeds[0])
+	}
+	if math.Abs(powers[0]-power.Default.DynamicPower(1.5)) > 1e-9 {
+		t.Errorf("power = %v", powers[0])
+	}
+}
+
+func TestWaterFillDiscreteRoundsDownWhenTight(t *testing.T) {
+	// Two cores each wanting 2.2 GHz with a budget fitting only 2.0+2.5:
+	// processing lowest-power first, the first rounds up to 2.5 only if the
+	// remaining continuous reservation still fits. Budget of 2*P(2.2)
+	// cannot fit two 2.5s, so at least one core rounds down to 2.0.
+	req := power.Default.DynamicPower(2.2)
+	powers, speeds := WaterFillDiscrete(2*req, []float64{req, req}, power.Default, power.DefaultLadder)
+	total := powers[0] + powers[1]
+	if total > 2*req+1e-9 {
+		t.Errorf("total power %v exceeds budget %v", total, 2*req)
+	}
+	for _, s := range speeds {
+		if s != 2.0 && s != 2.5 {
+			t.Errorf("speed %v not a rectified neighbor of 2.2", s)
+		}
+	}
+	if speeds[0] == 2.5 && speeds[1] == 2.5 {
+		t.Error("both cores rounded up beyond the budget")
+	}
+}
+
+func TestWaterFillDiscreteIdleCore(t *testing.T) {
+	powers, speeds := WaterFillDiscrete(40, []float64{0, 20}, power.Default, power.DefaultLadder)
+	if powers[0] != 0 || speeds[0] != 0 {
+		t.Errorf("idle core got power %v speed %v", powers[0], speeds[0])
+	}
+	if speeds[1] <= 0 {
+		t.Error("busy core got nothing")
+	}
+}
+
+func TestWaterFillDiscreteBelowLadderMin(t *testing.T) {
+	// A tiny request rounds up to the lowest ladder level when affordable.
+	req := power.Default.DynamicPower(0.1)
+	_, speeds := WaterFillDiscrete(20, []float64{req}, power.Default, power.DefaultLadder)
+	if speeds[0] != 0.5 {
+		t.Errorf("speed = %v, want ladder minimum 0.5", speeds[0])
+	}
+}
+
+// Property: WF conserves the budget, never exceeds any request, and is
+// min-max fair (smaller request never gets more).
+func TestWaterFillProperty(t *testing.T) {
+	prop := func(raw []uint16, budI uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		requests := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			requests[i] = float64(r) / 100
+			total += requests[i]
+		}
+		budget := float64(budI) / 65535 * total * 1.2
+		got := WaterFill(budget, requests)
+		sum := 0.0
+		for i, g := range got {
+			if g < -1e-9 || g > requests[i]+1e-9 {
+				return false
+			}
+			sum += g
+		}
+		if sum > budget+1e-6 {
+			return false
+		}
+		return stats.AlmostEqual(sum, math.Min(budget, total), 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: discrete WF never exceeds the budget and every speed is on the
+// ladder (or zero).
+func TestWaterFillDiscreteProperty(t *testing.T) {
+	prop := func(raw []uint8, budI uint16) bool {
+		if len(raw) == 0 || len(raw) > 16 {
+			return true
+		}
+		requests := make([]float64, len(raw))
+		total := 0.0
+		for i, r := range raw {
+			requests[i] = float64(r) / 4
+			total += requests[i]
+		}
+		budget := float64(budI) / 65535 * math.Max(total, 1)
+		powers, speeds := WaterFillDiscrete(budget, requests, power.Default, power.DefaultLadder)
+		sum := 0.0
+		for i := range powers {
+			sum += powers[i]
+			if speeds[i] == 0 {
+				continue
+			}
+			on := false
+			for _, l := range power.DefaultLadder {
+				if speeds[i] == l {
+					on = true
+					break
+				}
+			}
+			if !on {
+				return false
+			}
+		}
+		return sum <= budget+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,20 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var q Queue
+	// Steady-state churn at a realistic queue depth.
+	for i := 0; i < 1024; i++ {
+		q.Push(rng.Float64()*100, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := q.Pop()
+		q.Push(it.Time+rng.Float64(), i)
+	}
+}

@@ -1,0 +1,93 @@
+// Package eventq provides the discrete-event priority queue that drives the
+// simulator: a binary min-heap ordered by event time, with FIFO tie-breaking
+// by insertion sequence so simulations are fully deterministic.
+package eventq
+
+import "container/heap"
+
+// Item is a queued event: an opaque payload scheduled at an absolute time.
+type Item struct {
+	Time    float64
+	Payload any
+
+	seq   uint64
+	index int
+}
+
+// Queue is a deterministic time-ordered event queue. The zero value is ready
+// to use.
+type Queue struct {
+	h   itemHeap
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules payload at time t and returns the queued item, which can be
+// passed to Remove to cancel the event.
+func (q *Queue) Push(t float64, payload any) *Item {
+	it := &Item{Time: t, Payload: payload, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, it)
+	return it
+}
+
+// Pop removes and returns the earliest event, or nil when empty. Events with
+// equal times dequeue in insertion order.
+func (q *Queue) Pop() *Item {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Item)
+}
+
+// Peek returns the earliest event without removing it, or nil when empty.
+func (q *Queue) Peek() *Item {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Remove cancels a previously pushed event. It is a no-op when the item was
+// already popped or removed.
+func (q *Queue) Remove(it *Item) {
+	if it == nil || it.index < 0 || it.index >= len(q.h) || q.h[it.index] != it {
+		return
+	}
+	heap.Remove(&q.h, it.index)
+}
+
+type itemHeap []*Item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(a, b int) bool {
+	if h[a].Time != h[b].Time {
+		return h[a].Time < h[b].Time
+	}
+	return h[a].seq < h[b].seq
+}
+
+func (h itemHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].index = a
+	h[b].index = b
+}
+
+func (h *itemHeap) Push(x any) {
+	it := x.(*Item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}

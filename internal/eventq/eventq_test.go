@@ -1,0 +1,114 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		it := q.Pop()
+		if it == nil || it.Payload.(string) != w {
+			t.Fatalf("pop order wrong, got %v want %s", it, w)
+		}
+	}
+	if q.Pop() != nil {
+		t.Error("Pop on empty should be nil")
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Pop().Payload.(int); got != i {
+			t.Fatalf("tie-break order: got %d want %d", got, i)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Error("Peek on empty should be nil")
+	}
+	q.Push(2, "x")
+	q.Push(1, "y")
+	if q.Peek().Payload.(string) != "y" {
+		t.Error("Peek should return earliest")
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (peek must not remove)", q.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	b := q.Push(2, "b")
+	c := q.Push(3, "c")
+	q.Remove(b)
+	if q.Len() != 2 {
+		t.Fatalf("Len after remove = %d", q.Len())
+	}
+	if q.Pop() != a || q.Pop() != c {
+		t.Error("remaining order wrong after Remove")
+	}
+	// Removing again or removing popped items is a no-op.
+	q.Remove(b)
+	q.Remove(a)
+	q.Remove(nil)
+	if q.Len() != 0 {
+		t.Error("no-op removes changed queue")
+	}
+}
+
+func TestRandomizedHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q Queue
+	var times []float64
+	for i := 0; i < 2000; i++ {
+		tm := rng.Float64() * 100
+		times = append(times, tm)
+		q.Push(tm, i)
+	}
+	sort.Float64s(times)
+	for i, want := range times {
+		it := q.Pop()
+		if it.Time != want {
+			t.Fatalf("pop %d: time %v, want %v", i, it.Time, want)
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q Queue
+	last := -1.0
+	pushed, popped := 0, 0
+	for i := 0; i < 5000; i++ {
+		if q.Len() == 0 || rng.Intn(2) == 0 {
+			// Never push into the past relative to what we've popped.
+			q.Push(last+rng.Float64(), i)
+			pushed++
+		} else {
+			it := q.Pop()
+			if it.Time < last {
+				t.Fatalf("time went backwards: %v < %v", it.Time, last)
+			}
+			last = it.Time
+			popped++
+		}
+	}
+	if pushed-popped != q.Len() {
+		t.Errorf("accounting: pushed %d popped %d len %d", pushed, popped, q.Len())
+	}
+}

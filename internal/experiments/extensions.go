@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"dessched/internal/baseline"
+	"dessched/internal/core"
+	"dessched/internal/metrics"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+// Extension experiments beyond the paper's figures: they exercise the same
+// claims under conditions the paper motivates but does not evaluate —
+// diurnal load (the service pattern of §I) and partial hardware failure
+// (the robustness WF's dynamic redistribution implies).
+
+func init() {
+	register(Experiment{
+		ID:    "diurnal",
+		Title: "DES vs baselines under a diurnal (day/night) load profile",
+		Paper: "extension: §I motivates time-varying interactive load",
+		Run:   runDiurnal,
+	})
+	register(Experiment{
+		ID:    "faults",
+		Title: "Quality under core degradation: DES's WF redistribution vs static power",
+		Paper: "extension: robustness implied by §IV-C",
+		Run:   runFaults,
+	})
+}
+
+// runDiurnal sweeps the base rate of a ±50% sinusoidal profile and
+// reports quality/energy plus tail latency for DES and the strongest
+// baseline (FCFS+WF).
+func runDiurnal(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	rates := o.rates([]float64{100, 140, 180})
+	qt := &Table{Name: "diurnala", Title: "diurnal load (±50%) — normalized quality", XLabel: "base rate(req/s)",
+		Columns: []string{"DES", "FCFS+WF", "DES p99 latency(ms)", "FCFS+WF p99 latency(ms)"}}
+	et := &Table{Name: "diurnalb", Title: "diurnal load (±50%) — dynamic energy (J)", XLabel: "base rate(req/s)",
+		Columns: []string{"DES", "FCFS+WF"}}
+	for _, rate := range rates {
+		wl := workload.DefaultDiurnal(rate)
+		wl.Duration = o.Duration
+		wl.Period = o.Duration / 2 // two full cycles per run
+		wl.Seed = o.Seed
+		jobs, err := workload.GenerateDiurnal(wl)
+		if err != nil {
+			return nil, err
+		}
+
+		desCfg := sim.PaperConfig()
+		desCfg.CollectJobs = true
+		des, err := sim.Run(desCfg, jobs, core.New(core.CDVFS))
+		if err != nil {
+			return nil, err
+		}
+		fcfsCfg := baselineConfig()
+		fcfsCfg.CollectJobs = true
+		fcfs, err := sim.Run(fcfsCfg, jobs, baseline.New(baseline.FCFS, true))
+		if err != nil {
+			return nil, err
+		}
+		desSum, err := metrics.SummarizeJobs(des.Jobs)
+		if err != nil {
+			return nil, err
+		}
+		fcfsSum, err := metrics.SummarizeJobs(fcfs.Jobs)
+		if err != nil {
+			return nil, err
+		}
+		qt.Add(rate, des.NormQuality, fcfs.NormQuality, 1000*desSum.LatencyP99, 1000*fcfsSum.LatencyP99)
+		et.Add(rate, des.Energy, fcfs.Energy)
+	}
+	return []*Table{qt, et}, nil
+}
+
+// runFaults throttles a quarter of the cores to 25% speed for the middle
+// half of the run and compares DES (dynamic WF) against its static-power
+// ablation and FCFS: the dynamic redistribution should recover most of the
+// lost capacity by shifting power to healthy cores.
+func runFaults(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	rates := o.rates([]float64{120, 160})
+	qt := &Table{Name: "faultsa", Title: "4 of 16 cores throttled to 25% for half the run — normalized quality",
+		XLabel: "rate(req/s)", Columns: []string{"DES", "DES-static", "FCFS+WF", "DES healthy"}}
+	et := &Table{Name: "faultsb", Title: "core-degradation scenario — dynamic energy (J)",
+		XLabel: "rate(req/s)", Columns: []string{"DES", "DES-static", "FCFS+WF", "DES healthy"}}
+	for _, rate := range rates {
+		wl := workload.DefaultConfig(rate)
+		wl.Duration = o.Duration
+		wl.Seed = o.Seed
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			return nil, err
+		}
+		faults := make([]sim.Fault, 4)
+		for i := range faults {
+			faults[i] = sim.Fault{Core: i, Start: o.Duration / 4, End: 3 * o.Duration / 4, SpeedFactor: 0.25}
+		}
+		type cell struct{ q, e float64 }
+		run := func(cfg sim.Config, p sim.Policy, withFaults bool) (cell, error) {
+			if withFaults {
+				cfg.Faults = faults
+			}
+			res, err := sim.Run(cfg, jobs, p)
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{res.NormQuality, res.Energy}, nil
+		}
+		des, err := run(sim.PaperConfig(), core.New(core.CDVFS), true)
+		if err != nil {
+			return nil, err
+		}
+		desStatic, err := run(sim.PaperConfig(), core.NewStaticPower(core.CDVFS), true)
+		if err != nil {
+			return nil, err
+		}
+		fcfs, err := run(baselineConfig(), baseline.New(baseline.FCFS, true), true)
+		if err != nil {
+			return nil, err
+		}
+		healthy, err := run(sim.PaperConfig(), core.New(core.CDVFS), false)
+		if err != nil {
+			return nil, err
+		}
+		qt.Add(rate, des.q, desStatic.q, fcfs.q, healthy.q)
+		et.Add(rate, des.e, desStatic.e, fcfs.e, healthy.e)
+	}
+	return []*Table{qt, et}, nil
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"dessched/internal/baseline"
+	"dessched/internal/core"
+	"dessched/internal/power"
+	"dessched/internal/quality"
+	"dessched/internal/sim"
+	"dessched/internal/stats"
+	"dessched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "DES quality and energy on No-DVFS / S-DVFS / C-DVFS architectures",
+		Paper: "Figure 3(a,b)",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "DES with 0% / 50% / 100% partial-evaluation support",
+		Paper: "Figure 4(a,b)",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "DES vs FCFS / LJF / SJF with static power sharing",
+		Paper: "Figure 5(a,b)",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "DES vs FCFS / LJF / SJF enhanced with WF power distribution",
+		Paper: "Figure 6(a,b)",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Quality-function concavity: the curves and their effect on DES",
+		Paper: "Figure 7(a,b)",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Effect of the power budget on quality and energy",
+		Paper: "Figure 8(a,b)",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Effect of the number of cores at fixed load",
+		Paper: "Figure 9(a,b)",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Continuous vs discrete speed scaling",
+		Paper: "Figure 10(a,b)",
+		Run:   runFig10,
+	})
+}
+
+// sweep runs a set of named policy/config generators across arrival rates
+// and returns the paired quality and energy tables.
+type variant struct {
+	name string
+	cfg  func() sim.Config
+	pol  func() sim.Policy
+	wl   func(c *workload.Config)
+}
+
+func sweepVariants(o Options, id string, title string, rates []float64, variants []variant) ([]*Table, error) {
+	o = o.withDefaults()
+	cols := make([]string, len(variants))
+	for i, v := range variants {
+		cols[i] = v.name
+	}
+	qt := &Table{Name: id + "a", Title: title + " — normalized quality", XLabel: "rate(req/s)", Columns: cols}
+	et := &Table{Name: id + "b", Title: title + " — dynamic energy (J)", XLabel: "rate(req/s)", Columns: cols}
+
+	// Every (rate, variant, replica) point is independent: fan out on a
+	// worker pool and fill pre-indexed result slots so the output is
+	// deterministic.
+	reps := o.Replicas
+	if reps < 1 {
+		reps = 1
+	}
+	nv := len(variants)
+	qs := make([][]float64, len(rates)*nv)
+	es := make([][]float64, len(rates)*nv)
+	for k := range qs {
+		qs[k] = make([]float64, reps)
+		es[k] = make([]float64, reps)
+	}
+	err := forEachIndex(len(rates)*nv*reps, o.workers(), func(j int) error {
+		k, rep := j/reps, j%reps
+		ri, vi := k/nv, k%nv
+		v := variants[vi]
+		wl := workload.DefaultConfig(rates[ri])
+		wl.Duration = o.Duration
+		wl.Seed = o.Seed + uint64(rep)
+		if v.wl != nil {
+			v.wl(&wl)
+		}
+		res, err := runPoint(v.cfg(), wl, v.pol())
+		if err != nil {
+			return err
+		}
+		qs[k][rep] = res.NormQuality
+		es[k][rep] = res.Energy
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var qsd, esd *Table
+	if reps > 1 {
+		qsd = &Table{Name: id + "a-sd", Title: title + " — quality std dev over replicas", XLabel: qt.XLabel, Columns: cols}
+		esd = &Table{Name: id + "b-sd", Title: title + " — energy std dev over replicas", XLabel: et.XLabel, Columns: cols}
+	}
+	for ri, rate := range rates {
+		qRow := make([]float64, nv)
+		eRow := make([]float64, nv)
+		qSD := make([]float64, nv)
+		eSD := make([]float64, nv)
+		for vi := 0; vi < nv; vi++ {
+			k := ri*nv + vi
+			qRow[vi] = stats.Mean(qs[k])
+			eRow[vi] = stats.Mean(es[k])
+			qSD[vi] = stats.StdDev(qs[k])
+			eSD[vi] = stats.StdDev(es[k])
+		}
+		qt.Add(rate, qRow...)
+		et.Add(rate, eRow...)
+		if reps > 1 {
+			qsd.Add(rate, qSD...)
+			esd.Add(rate, eSD...)
+		}
+	}
+	out := []*Table{qt, et}
+	if reps > 1 {
+		out = append(out, qsd, esd)
+	}
+	return out, nil
+}
+
+func runFig3(o Options) ([]*Table, error) {
+	mk := func(arch core.Arch) variant {
+		return variant{
+			name: arch.String(),
+			cfg: func() sim.Config {
+				c := sim.PaperConfig()
+				core.ApplyArch(&c, arch)
+				return c
+			},
+			pol: func() sim.Policy { return core.New(arch) },
+		}
+	}
+	return sweepVariants(o, "fig3", "DES across architectures", o.rates(defaultSweep),
+		[]variant{mk(core.CDVFS), mk(core.SDVFS), mk(core.NoDVFS)})
+}
+
+func runFig4(o Options) ([]*Table, error) {
+	mk := func(name string, frac float64) variant {
+		return variant{
+			name: name,
+			cfg:  sim.PaperConfig,
+			pol:  func() sim.Policy { return core.New(core.CDVFS) },
+			wl:   func(c *workload.Config) { c.PartialFraction = frac },
+		}
+	}
+	return sweepVariants(o, "fig4", "DES vs partial-evaluation support", o.rates(defaultSweep),
+		[]variant{mk("0%", 0), mk("50%", 0.5), mk("100%", 1)})
+}
+
+func runFig5(o Options) ([]*Table, error) {
+	vars := []variant{
+		{name: "DES", cfg: sim.PaperConfig, pol: func() sim.Policy { return core.New(core.CDVFS) }},
+		{name: "FCFS", cfg: baselineConfig, pol: func() sim.Policy { return baseline.New(baseline.FCFS, false) }},
+		{name: "LJF", cfg: baselineConfig, pol: func() sim.Policy { return baseline.New(baseline.LJF, false) }},
+		{name: "SJF", cfg: baselineConfig, pol: func() sim.Policy { return baseline.New(baseline.SJF, false) }},
+	}
+	return sweepVariants(o, "fig5", "DES vs baselines (static power)", o.rates(defaultSweep), vars)
+}
+
+func runFig6(o Options) ([]*Table, error) {
+	vars := []variant{
+		{name: "DES", cfg: sim.PaperConfig, pol: func() sim.Policy { return core.New(core.CDVFS) }},
+		{name: "FCFS+WF", cfg: baselineConfig, pol: func() sim.Policy { return baseline.New(baseline.FCFS, true) }},
+		{name: "LJF+WF", cfg: baselineConfig, pol: func() sim.Policy { return baseline.New(baseline.LJF, true) }},
+		{name: "SJF+WF", cfg: baselineConfig, pol: func() sim.Policy { return baseline.New(baseline.SJF, true) }},
+	}
+	return sweepVariants(o, "fig6", "DES vs WF-enhanced baselines", o.rates(defaultSweep), vars)
+}
+
+func runFig7(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	// 7(a): the quality curves themselves.
+	cols := make([]string, len(quality.PaperMultipliers))
+	fns := make([]quality.Exponential, len(quality.PaperMultipliers))
+	for i, c := range quality.PaperMultipliers {
+		fns[i] = quality.NewExponential(c)
+		cols[i] = fns[i].Name()
+	}
+	curves := &Table{Name: "fig7a", Title: "quality functions q(x) by concavity c", XLabel: "volume(units)", Columns: cols}
+	for x := 0.0; x <= 1000; x += 50 {
+		ys := make([]float64, len(fns))
+		for i, f := range fns {
+			ys[i] = f.Eval(x)
+		}
+		curves.Add(x, ys...)
+	}
+
+	// 7(b): DES quality per concavity; energy should be unaffected.
+	vars := make([]variant, len(quality.PaperMultipliers))
+	for i, c := range quality.PaperMultipliers {
+		f := quality.NewExponential(c)
+		vars[i] = variant{
+			name: f.Name(),
+			cfg: func() sim.Config {
+				cfg := sim.PaperConfig()
+				cfg.Quality = f
+				return cfg
+			},
+			pol: func() sim.Policy { return core.New(core.CDVFS) },
+		}
+	}
+	tabs, err := sweepVariants(o, "fig7", "DES vs quality-function concavity", o.rates(defaultSweep), vars)
+	if err != nil {
+		return nil, err
+	}
+	tabs[0].Name, tabs[1].Name = "fig7b", "fig7c"
+	tabs[1].Title += " (paper: unaffected by concavity)"
+	if len(tabs) == 4 { // replicated run: keep the std-dev names aligned
+		tabs[2].Name, tabs[3].Name = "fig7b-sd", "fig7c-sd"
+	}
+	return append([]*Table{curves}, tabs...), nil
+}
+
+func runFig8(o Options) ([]*Table, error) {
+	budgets := []float64{80, 160, 320, 480, 640}
+	vars := make([]variant, len(budgets))
+	for i, h := range budgets {
+		h := h
+		vars[i] = variant{
+			name: formatW(h),
+			cfg: func() sim.Config {
+				c := sim.PaperConfig()
+				c.Budget = h
+				return c
+			},
+			pol: func() sim.Policy { return core.New(core.CDVFS) },
+		}
+	}
+	return sweepVariants(o, "fig8", "DES vs power budget", o.rates(defaultSweep), vars)
+}
+
+func runFig9(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	qt := &Table{Name: "fig9a", Title: "DES quality vs number of cores (rate 90, 320 W)", XLabel: "cores", Columns: []string{"quality"}}
+	et := &Table{Name: "fig9b", Title: "DES energy vs number of cores (rate 90, 320 W)", XLabel: "cores", Columns: []string{"energy(J)"}}
+	for x := 0; x <= 6; x++ {
+		m := 1 << x
+		cfg := sim.PaperConfig()
+		cfg.Cores = m
+		wl := workload.DefaultConfig(90)
+		wl.Duration = o.Duration
+		wl.Seed = o.Seed
+		res, err := runPoint(cfg, wl, core.New(core.CDVFS))
+		if err != nil {
+			return nil, err
+		}
+		qt.Add(float64(m), res.NormQuality)
+		et.Add(float64(m), res.Energy)
+	}
+	return []*Table{qt, et}, nil
+}
+
+func runFig10(o Options) ([]*Table, error) {
+	vars := []variant{
+		{name: "continuous", cfg: sim.PaperConfig, pol: func() sim.Policy { return core.New(core.CDVFS) }},
+		{name: "discrete", cfg: func() sim.Config {
+			c := sim.PaperConfig()
+			c.Ladder = power.DefaultLadder
+			return c
+		}, pol: func() sim.Policy { return core.New(core.CDVFS) }},
+		// Beyond the paper: the optimal two-speed discretization of its
+		// ref. [21] instead of the §V-F snap-up rule.
+		{name: "discrete-2speed", cfg: func() sim.Config {
+			c := sim.PaperConfig()
+			c.Ladder = power.DefaultLadder
+			c.TwoSpeedDiscrete = true
+			return c
+		}, pol: func() sim.Policy { return core.New(core.CDVFS) }},
+	}
+	return sweepVariants(o, "fig10", "continuous vs discrete speed scaling", o.rates(defaultSweep), vars)
+}
+
+func formatW(h float64) string {
+	return "H=" + trimFloat(h) + "W"
+}

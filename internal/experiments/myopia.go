@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dessched/internal/core"
+	"dessched/internal/job"
+	"dessched/internal/qeopt"
+	"dessched/internal/quality"
+	"dessched/internal/sim"
+	"dessched/internal/tians"
+	"dessched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "myopia",
+		Title: "Online-QE vs clairvoyant offline QE-OPT on a single core",
+		Paper: "extension: empirical myopia gap of §III-B",
+		Run:   runMyopia,
+	})
+}
+
+// runMyopia compares the single-core online scheduler (DES on one core,
+// which reduces to Online-QE invocations) against the offline optimal
+// QE-OPT that knows every future arrival. The quality ratio quantifies the
+// price of myopia; the offline quality is also a hard upper bound the
+// simulation must respect, making this experiment a cross-check of both
+// implementations. The offline algorithm is O(n⁴), so the instance sizes
+// stay modest.
+func runMyopia(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	rates := o.rates([]float64{4, 8, 12, 16})
+	const budget = 20.0 // one core at up to 2 GHz
+
+	t := &Table{
+		Name:    "myopia",
+		Title:   "single core, 20 W: online vs offline quality",
+		XLabel:  "rate(req/s)",
+		Columns: []string{"online", "offline", "ratio", "online energy(J)", "offline energy(J)"},
+	}
+	for _, rate := range rates {
+		wl := workload.DefaultConfig(rate)
+		wl.Duration = minf(o.Duration, 8) // keep n in O(n⁴) range
+		wl.Seed = o.Seed
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			return nil, err
+		}
+		if len(jobs) == 0 {
+			continue
+		}
+
+		// Online: the event-driven simulation of DES on one core.
+		cfg := sim.PaperConfig()
+		cfg.Cores = 1
+		cfg.Budget = budget
+		res, err := sim.Run(cfg, jobs, core.New(core.CDVFS))
+		if err != nil {
+			return nil, err
+		}
+
+		// Offline: clairvoyant QE-OPT over the whole stream.
+		tasks := make([]tians.Task, len(jobs))
+		partial := make(map[job.ID]bool, len(jobs))
+		for i, j := range jobs {
+			tasks[i] = tians.Task{ID: j.ID, Release: j.Release, Deadline: j.Deadline, Demand: j.Demand}
+			partial[j.ID] = j.Partial
+		}
+		plan, err := qeopt.Offline(qeopt.Config{Power: cfg.Power, Budget: budget}, tasks, partial)
+		if err != nil {
+			return nil, err
+		}
+		q := quality.Default()
+		offNorm := tians.TotalQuality(plan.Allocs, q.Eval)
+		maxQ := 0.0
+		for _, j := range jobs {
+			maxQ += q.Eval(j.Demand)
+		}
+		if maxQ > 0 {
+			offNorm /= maxQ
+		}
+
+		if res.NormQuality > offNorm+1e-6 {
+			return nil, fmt.Errorf("experiments: online quality %v exceeded the offline optimum %v at rate %g (bug)",
+				res.NormQuality, offNorm, rate)
+		}
+		ratio := 0.0
+		if offNorm > 0 {
+			ratio = res.NormQuality / offNorm
+		}
+		t.Add(rate, res.NormQuality, offNorm, ratio, res.Energy, plan.Energy(cfg.Power))
+	}
+	return []*Table{t}, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

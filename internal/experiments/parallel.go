@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallelism controls how many simulation points the harness runs
+// concurrently. Every point is independent (pure functions of the config
+// and seed), so sweeps parallelize perfectly; results are written to
+// pre-indexed slots, keeping output deterministic regardless of the
+// execution order.
+//
+// The default is GOMAXPROCS; Options.Workers overrides it.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndex runs fn(i) for i in [0, n) on a bounded worker pool and
+// returns the first error (by index order, so failures are deterministic
+// too).
+func forEachIndex(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = fmt.Errorf("experiments: point %d panicked: %v", i, r)
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexRunsAll(t *testing.T) {
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 50)
+	err := forEachIndex(50, 8, func(i int) error {
+		count.Add(1)
+		seen[i].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 50 {
+		t.Errorf("ran %d of 50", count.Load())
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Errorf("index %d never ran", i)
+		}
+	}
+}
+
+func TestForEachIndexSequentialFallback(t *testing.T) {
+	order := []int{}
+	err := forEachIndex(5, 1, func(i int) error {
+		order = append(order, i) // safe: single worker
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Errorf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachIndexFirstErrorByIndex(t *testing.T) {
+	e3 := errors.New("three")
+	e7 := errors.New("seven")
+	err := forEachIndex(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return e3
+		case 7:
+			return e7
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Errorf("err = %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachIndexPanicBecomesError(t *testing.T) {
+	err := forEachIndex(4, 2, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+func TestForEachIndexZero(t *testing.T) {
+	if err := forEachIndex(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Error("empty range errored")
+	}
+}
+
+func TestOptionsHelpers(t *testing.T) {
+	if o := DefaultOptions(); o.Duration != 60 || o.Seed != 1 {
+		t.Errorf("DefaultOptions = %+v", o)
+	}
+	if o := QuickOptions(); o.Duration != 10 || len(o.Rates) != 3 {
+		t.Errorf("QuickOptions = %+v", o)
+	}
+	if o := PaperOptions(); o.Duration != 1800 {
+		t.Errorf("PaperOptions = %+v", o)
+	}
+	o := Options{}.withDefaults()
+	if o.Duration != 60 || o.Seed != 1 {
+		t.Errorf("withDefaults = %+v", o)
+	}
+	if got := (Options{Rates: []float64{5}}).rates([]float64{1, 2}); len(got) != 1 || got[0] != 5 {
+		t.Errorf("rates override = %v", got)
+	}
+	if got := (Options{}).rates([]float64{1, 2}); len(got) != 2 {
+		t.Errorf("rates default = %v", got)
+	}
+	if (Options{Workers: 3}).workers() != 3 {
+		t.Error("workers override ignored")
+	}
+	if (Options{}).workers() < 1 {
+		t.Error("default workers < 1")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register(Experiment{ID: "fig3"})
+}
+
+// Parallel and sequential harness runs must produce identical tables —
+// determinism is load-bearing for the reproduction.
+func TestParallelEqualsSequential(t *testing.T) {
+	base := Options{Duration: 8, Seed: 1, Rates: []float64{120, 200}}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+
+	e, _ := ByID("fig5")
+	a, err := e.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("table counts differ")
+	}
+	for ti := range a {
+		if len(a[ti].Rows) != len(b[ti].Rows) {
+			t.Fatalf("row counts differ in table %d", ti)
+		}
+		for ri := range a[ti].Rows {
+			for ci := range a[ti].Rows[ri].Y {
+				if a[ti].Rows[ri].Y[ci] != b[ti].Rows[ri].Y[ci] {
+					t.Errorf("table %d row %d col %d: %v != %v",
+						ti, ri, ci, a[ti].Rows[ri].Y[ci], b[ti].Rows[ri].Y[ci])
+				}
+			}
+		}
+	}
+}

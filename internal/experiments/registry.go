@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+// Options controls the fidelity of an experiment run. The paper simulates
+// 1800 s per point (§V-B); the defaults here are scaled down so the whole
+// suite runs in minutes — pass PaperOptions for full fidelity.
+type Options struct {
+	Duration float64   // simulated seconds of arrivals per data point
+	Seed     uint64    // workload seed
+	Rates    []float64 // arrival-rate sweep override (nil = per-experiment default)
+	Workers  int       // concurrent simulation points (0 = GOMAXPROCS)
+
+	// Replicas > 1 repeats every sweep point with seeds Seed..Seed+n-1 and
+	// reports the mean; sweep experiments additionally emit a standard-
+	// deviation table. The paper reports single runs; replication shows
+	// which gaps exceed the workload noise.
+	Replicas int
+}
+
+// DefaultOptions returns a fast, statistically stable setup (60 s per
+// point, a few thousand jobs).
+func DefaultOptions() Options { return Options{Duration: 60, Seed: 1} }
+
+// QuickOptions returns a smoke-test setup for CI and benchmarks.
+func QuickOptions() Options {
+	return Options{Duration: 10, Seed: 1, Rates: []float64{100, 160, 220}}
+}
+
+// PaperOptions reproduces the paper's full 1800 s horizon.
+func PaperOptions() Options { return Options{Duration: 1800, Seed: 1} }
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// rates returns the sweep for a figure, honoring the override.
+func (o Options) rates(def []float64) []float64 {
+	if len(o.Rates) > 0 {
+		return o.Rates
+	}
+	return def
+}
+
+// defaultSweep is the paper's x-axis: arrival rates from light (80) to
+// overloaded (260).
+var defaultSweep = []float64{80, 100, 120, 140, 160, 180, 200, 220, 240, 260}
+
+// Experiment regenerates one figure or table of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // the figure/table in the publication
+	Run   func(o Options) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// runPoint simulates one (policy, rate) point.
+func runPoint(cfg sim.Config, wl workload.Config, p sim.Policy) (sim.Result, error) {
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, err := sim.Run(cfg, jobs, p)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if res.BudgetViolations > 0 {
+		return res, fmt.Errorf("experiments: %s violated the power budget %d times (peak %.1f W)",
+			res.Policy, res.BudgetViolations, res.PeakPower)
+	}
+	return res, nil
+}
+
+// baselineConfig is the simulator setup for the greedy baselines, which
+// trigger on idle cores only (§V-A).
+func baselineConfig() sim.Config {
+	cfg := sim.PaperConfig()
+	cfg.Triggers = sim.Triggers{IdleCore: true}
+	return cfg
+}

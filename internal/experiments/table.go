@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): each Experiment runs the simulations behind one figure
+// and emits the same series the paper plots, so the shape of the results —
+// who wins, by how much, where the curves cross — can be compared directly
+// against the publication. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one data series set: an X column plus one Y column per series.
+// When RowLabels is non-empty it is a categorical table (X is ignored).
+type Table struct {
+	Name      string
+	Title     string
+	XLabel    string
+	Columns   []string
+	Rows      []Row
+	RowLabels []string
+}
+
+// Row is one X position with one value per column (NaN allowed for "no
+// data").
+type Row struct {
+	X float64
+	Y []float64
+}
+
+// Add appends a row.
+func (t *Table) Add(x float64, ys ...float64) {
+	t.Rows = append(t.Rows, Row{X: x, Y: ys})
+}
+
+// AddLabeled appends a categorical row.
+func (t *Table) AddLabeled(label string, ys ...float64) {
+	t.RowLabels = append(t.RowLabels, label)
+	t.Rows = append(t.Rows, Row{Y: ys})
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", t.Name, t.Title)
+	headers := make([]string, 0, len(t.Columns)+1)
+	if len(t.RowLabels) > 0 {
+		headers = append(headers, "")
+	} else {
+		headers = append(headers, t.XLabel)
+	}
+	headers = append(headers, t.Columns...)
+
+	rows := make([][]string, 0, len(t.Rows)+1)
+	rows = append(rows, headers)
+	for i, r := range t.Rows {
+		cells := make([]string, 0, len(r.Y)+1)
+		if len(t.RowLabels) > 0 {
+			cells = append(cells, t.RowLabels[i])
+		} else {
+			cells = append(cells, trimFloat(r.X))
+		}
+		for _, y := range r.Y {
+			cells = append(cells, fmt.Sprintf("%.6g", y))
+		}
+		rows = append(rows, cells)
+	}
+
+	widths := make([]int, len(headers))
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, c := range r {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+}
+
+// WriteCSV emits the table as CSV: a header of the X label (or "label")
+// and column names, then one row per data point — ready for external
+// plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	head := make([]string, 0, len(t.Columns)+1)
+	if len(t.RowLabels) > 0 {
+		head = append(head, "label")
+	} else {
+		head = append(head, t.XLabel)
+	}
+	head = append(head, t.Columns...)
+	if _, err := fmt.Fprintln(w, strings.Join(head, ",")); err != nil {
+		return err
+	}
+	for i, r := range t.Rows {
+		cells := make([]string, 0, len(r.Y)+1)
+		if len(t.RowLabels) > 0 {
+			cells = append(cells, t.RowLabels[i])
+		} else {
+			cells = append(cells, fmt.Sprintf("%g", r.X))
+		}
+		for _, y := range r.Y {
+			cells = append(cells, fmt.Sprintf("%g", y))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Column returns the values of the named column, or nil when absent.
+func (t *Table) Column(name string) []float64 {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		if idx < len(r.Y) {
+			out = append(out, r.Y[idx])
+		}
+	}
+	return out
+}
+
+// Xs returns the X values of all rows.
+func (t *Table) Xs() []float64 {
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.X
+	}
+	return out
+}
+
+func trimFloat(x float64) string { return fmt.Sprintf("%g", x) }
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dessched/internal/core"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "triggers",
+		Title: "Sensitivity to the grouped-scheduling triggers (quantum × counter)",
+		Paper: "extension: §IV-E trades scheduling overhead for decision quality",
+		Run:   runTriggers,
+	})
+}
+
+// runTriggers sweeps the quantum length and the counter threshold of §IV-E
+// and reports DES quality together with the number of policy invocations —
+// the overhead proxy grouped scheduling is designed to reduce. The paper
+// fixes (500 ms, 8); this shows the surrounding design space.
+func runTriggers(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	rate := 160.0
+	if len(o.Rates) > 0 {
+		rate = o.Rates[0]
+	}
+	quanta := []float64{0.1, 0.5, 2.0}
+	counters := []int{4, 8, 16}
+
+	qt := &Table{
+		Name:   "triggersa",
+		Title:  fmt.Sprintf("DES quality at rate %g by trigger setup", rate),
+		XLabel: "quantum(ms)",
+	}
+	it := &Table{
+		Name:   "triggersb",
+		Title:  fmt.Sprintf("policy invocations per 1000 jobs at rate %g", rate),
+		XLabel: "quantum(ms)",
+	}
+	for _, c := range counters {
+		qt.Columns = append(qt.Columns, fmt.Sprintf("counter=%d", c))
+		it.Columns = append(it.Columns, fmt.Sprintf("counter=%d", c))
+	}
+
+	type point struct {
+		q, inv float64
+	}
+	pts := make([]point, len(quanta)*len(counters))
+	err := forEachIndex(len(pts), o.workers(), func(k int) error {
+		qi, ci := k/len(counters), k%len(counters)
+		cfg := sim.PaperConfig()
+		cfg.Triggers = sim.Triggers{Quantum: quanta[qi], Counter: counters[ci], IdleCore: true}
+		wl := workload.DefaultConfig(rate)
+		wl.Duration = o.Duration
+		wl.Seed = o.Seed
+		res, err := runPoint(cfg, wl, core.New(core.CDVFS))
+		if err != nil {
+			return err
+		}
+		pts[k] = point{res.NormQuality, 1000 * float64(res.Invocation) / float64(res.Arrived)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for qi, q := range quanta {
+		qs := make([]float64, len(counters))
+		is := make([]float64, len(counters))
+		for ci := range counters {
+			qs[ci] = pts[qi*len(counters)+ci].q
+			is[ci] = pts[qi*len(counters)+ci].inv
+		}
+		qt.Add(q*1000, qs...)
+		it.Add(q*1000, is...)
+	}
+	return []*Table{qt, it}, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dessched/internal/core"
+	"dessched/internal/hw"
+	"dessched/internal/power"
+	"dessched/internal/sim"
+	"dessched/internal/trace"
+	"dessched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Energy: simulation (regression model) vs emulated real system",
+		Paper: "Figure 11 (§V-G validation)",
+		Run:   runFig11,
+	})
+}
+
+// runFig11 reproduces the validation study: DES with discrete speed scaling
+// runs on an 8-core cluster model (total power budget 152 W, AMD Opteron
+// 2380 regression power function); the executed schedule trace is replayed
+// on the hardware emulator, whose energy comes from the measured
+// frequency/power table plus switching overhead and metering noise, and
+// compared with the simulation's model-based prediction.
+func runFig11(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	rates := o.rates([]float64{40, 60, 80, 100, 120})
+
+	const cores = 8
+	const totalBudget = 152.0 // W, includes static power (§V-G)
+	model := power.Opteron
+	dynBudget := totalBudget - model.B*cores
+	if dynBudget <= 0 {
+		return nil, fmt.Errorf("experiments: budget %g cannot cover static power", totalBudget)
+	}
+
+	t := &Table{
+		Name:    "fig11",
+		Title:   "total energy (J): simulation vs emulated measurement",
+		XLabel:  "rate(req/s)",
+		Columns: []string{"simulation", "real(emulated)", "rel.err"},
+	}
+	for _, rate := range rates {
+		cfg := sim.PaperConfig()
+		cfg.Cores = cores
+		cfg.Budget = dynBudget
+		cfg.Power = model
+		cfg.Ladder = power.OpteronLadder
+		rec := trace.New(cores)
+		cfg.Recorder = rec
+
+		wl := workload.DefaultConfig(rate)
+		wl.Duration = o.Duration
+		wl.Seed = o.Seed
+		res, err := runPoint(cfg, wl, core.New(core.CDVFS))
+		if err != nil {
+			return nil, err
+		}
+		_ = res
+
+		predicted := hw.PredictEnergy(rec, model)
+		cluster := hw.Opteron(cores)
+		m, err := cluster.MeasureEnergy(rec)
+		if err != nil {
+			return nil, err
+		}
+		rel := 0.0
+		if predicted > 0 {
+			rel = (m.Energy - predicted) / predicted
+		}
+		t.Add(rate, predicted, m.Energy, rel)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,256 @@
+// Package httpapi exposes the scheduler reproduction as a small JSON/HTTP
+// service, so experiments and one-off simulations can be driven from
+// notebooks or dashboards without linking Go code:
+//
+//	GET  /healthz                    liveness
+//	GET  /v1/experiments             list experiment runners
+//	POST /v1/experiments/{id}        run one experiment (body: options)
+//	POST /v1/simulate                run one simulation (body: SimRequest)
+//
+// Everything is stdlib net/http; handlers are stateless and safe for
+// concurrent use.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dessched/internal/baseline"
+	"dessched/internal/core"
+	"dessched/internal/experiments"
+	"dessched/internal/power"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+// NewMux returns the service's routing table.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealth)
+	mux.HandleFunc("GET /v1/experiments", handleList)
+	mux.HandleFunc("POST /v1/experiments/{id}", handleRunExperiment)
+	mux.HandleFunc("POST /v1/simulate", handleSimulate)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ExperimentInfo describes one runner in the listing.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Paper string `json:"paper"`
+}
+
+func handleList(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, e := range experiments.All() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// RunRequest is the body of POST /v1/experiments/{id}. Zero values take
+// the harness defaults.
+type RunRequest struct {
+	Duration float64   `json:"duration_s"`
+	Seed     uint64    `json:"seed"`
+	Rates    []float64 `json:"rates"`
+	Workers  int       `json:"workers"`
+	Replicas int       `json:"replicas"`
+}
+
+// TableJSON is one result table in the response.
+type TableJSON struct {
+	Name      string      `json:"name"`
+	Title     string      `json:"title"`
+	XLabel    string      `json:"x_label,omitempty"`
+	Columns   []string    `json:"columns"`
+	RowLabels []string    `json:"row_labels,omitempty"`
+	X         []float64   `json:"x,omitempty"`
+	Rows      [][]float64 `json:"rows"`
+}
+
+func handleRunExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := experiments.ByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+		return
+	}
+	var req RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tabs, err := e.Run(experiments.Options{
+		Duration: req.Duration,
+		Seed:     req.Seed,
+		Rates:    req.Rates,
+		Workers:  req.Workers,
+		Replicas: req.Replicas,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]TableJSON, 0, len(tabs))
+	for _, t := range tabs {
+		tj := TableJSON{Name: t.Name, Title: t.Title, XLabel: t.XLabel, Columns: t.Columns, RowLabels: t.RowLabels}
+		for _, row := range t.Rows {
+			if len(t.RowLabels) == 0 {
+				tj.X = append(tj.X, row.X)
+			}
+			tj.Rows = append(tj.Rows, row.Y)
+		}
+		out = append(out, tj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// SimRequest is the body of POST /v1/simulate.
+type SimRequest struct {
+	Policy   string   `json:"policy"`   // des | fcfs | ljf | sjf | edf
+	Arch     string   `json:"arch"`     // c | s | no (DES only; default c)
+	WF       bool     `json:"wf"`       // water-filling for baselines
+	Discrete bool     `json:"discrete"` // 0.5..3.0 GHz ladder
+	Cores    int      `json:"cores"`    // default 16
+	Budget   float64  `json:"budget_w"` // default 320
+	Rate     float64  `json:"rate"`     // required
+	Duration float64  `json:"duration_s"`
+	Seed     uint64   `json:"seed"`
+	Partial  *float64 `json:"partial_fraction"` // default 1.0
+}
+
+// SimResponse mirrors sim.Result with JSON-friendly names.
+type SimResponse struct {
+	Policy           string  `json:"policy"`
+	NormQuality      float64 `json:"norm_quality"`
+	Quality          float64 `json:"quality"`
+	EnergyJ          float64 `json:"energy_j"`
+	PeakPowerW       float64 `json:"peak_power_w"`
+	BudgetViolations int     `json:"budget_violations"`
+	Arrived          int     `json:"arrived"`
+	Completed        int     `json:"completed"`
+	Deadlined        int     `json:"deadlined"`
+	Discarded        int     `json:"discarded"`
+	Invocations      int     `json:"invocations"`
+	SpanS            float64 `json:"span_s"`
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := runSimulation(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimResponse{
+		Policy:           res.Policy,
+		NormQuality:      res.NormQuality,
+		Quality:          res.Quality,
+		EnergyJ:          res.Energy,
+		PeakPowerW:       res.PeakPower,
+		BudgetViolations: res.BudgetViolations,
+		Arrived:          res.Arrived,
+		Completed:        res.Completed,
+		Deadlined:        res.Deadlined,
+		Discarded:        res.Discarded,
+		Invocations:      res.Invocation,
+		SpanS:            res.Span,
+	})
+}
+
+func runSimulation(req SimRequest) (sim.Result, error) {
+	if req.Rate <= 0 {
+		return sim.Result{}, fmt.Errorf("rate must be positive")
+	}
+	cfg := sim.PaperConfig()
+	if req.Cores > 0 {
+		cfg.Cores = req.Cores
+	}
+	if req.Budget > 0 {
+		cfg.Budget = req.Budget
+	}
+	if req.Discrete {
+		cfg.Ladder = power.DefaultLadder
+	}
+
+	var p sim.Policy
+	switch strings.ToLower(req.Policy) {
+	case "", "des":
+		arch := core.CDVFS
+		switch strings.ToLower(req.Arch) {
+		case "", "c":
+		case "s":
+			arch = core.SDVFS
+		case "no":
+			arch = core.NoDVFS
+		default:
+			return sim.Result{}, fmt.Errorf("unknown arch %q", req.Arch)
+		}
+		core.ApplyArch(&cfg, arch)
+		p = core.New(arch)
+	case "fcfs":
+		p = baseline.New(baseline.FCFS, req.WF)
+	case "ljf":
+		p = baseline.New(baseline.LJF, req.WF)
+	case "sjf":
+		p = baseline.New(baseline.SJF, req.WF)
+	case "edf":
+		p = baseline.New(baseline.EDF, req.WF)
+	default:
+		return sim.Result{}, fmt.Errorf("unknown policy %q", req.Policy)
+	}
+	if _, isBaseline := p.(*baseline.Greedy); isBaseline {
+		cfg.Triggers = sim.Triggers{IdleCore: true}
+	}
+
+	wl := workload.DefaultConfig(req.Rate)
+	if req.Duration > 0 {
+		wl.Duration = req.Duration
+	} else {
+		wl.Duration = 30
+	}
+	if req.Seed > 0 {
+		wl.Seed = req.Seed
+	}
+	if req.Partial != nil {
+		wl.PartialFraction = *req.Partial
+	}
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(cfg, jobs, p)
+}
+
+func decodeBody(r *http.Request, dst any) error {
+	if r.Body == nil {
+		return nil
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil && err.Error() != "EOF" {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

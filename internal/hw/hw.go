@@ -1,0 +1,176 @@
+// Package hw emulates the real system of the paper's validation study
+// (§V-G): an 8-node cluster of quad-core AMD Opteron 2380 processors whose
+// cores can be set independently to 0.8/1.3/1.8/2.5 GHz, drawing a measured
+// 11.06/13.275/16.85/22.69 W respectively (static power included), metered
+// by PowerPack.
+//
+// The paper replays a DES discrete-speed scheduling trace on that cluster
+// and compares the measured energy against the simulation's prediction
+// under the regression model P = 2.6075·s^1.791 + 9.2562. We cannot run the
+// silicon, so this package substitutes an emulator that exercises the same
+// code path: the same trace replay, energy integration from the measured
+// power table rather than the regression curve, a per-transition DVFS
+// switching overhead, and bounded multiplicative measurement noise — the
+// three effects that separate a real measurement from the model. See
+// DESIGN.md (substitutions).
+package hw
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dessched/internal/power"
+	"dessched/internal/trace"
+)
+
+// Cluster is an emulated machine with a discrete speed ladder and a
+// measured power table.
+type Cluster struct {
+	Name   string
+	Cores  int
+	Ladder power.Ladder
+
+	// PowerTable maps each ladder speed to the measured per-core power in
+	// watts, static power included.
+	PowerTable map[float64]float64
+
+	// IdlePower is the per-core draw when no work executes. The paper's
+	// regression puts the Opteron's static floor at ~9.26 W.
+	IdlePower float64
+
+	// SwitchOverhead is the time (s) a core stalls on every DVFS
+	// transition; the stall is billed at the higher of the two speeds'
+	// power. Real AMD parts take tens of microseconds.
+	SwitchOverhead float64
+
+	// NoiseFrac bounds the multiplicative measurement noise: each
+	// measured component is scaled by 1 + U(-NoiseFrac, +NoiseFrac).
+	NoiseFrac float64
+
+	// Seed drives the noise generator; identical seeds reproduce
+	// identical measurements.
+	Seed uint64
+}
+
+// Opteron returns the §V-G validation cluster: 8 nodes, one scheduling core
+// per node as in the paper's 8-core DES trace (the remaining cores host the
+// OS and measurement harness), with the published frequency/power table.
+func Opteron(cores int) Cluster {
+	table := make(map[float64]float64, len(power.OpteronSamples))
+	for _, s := range power.OpteronSamples {
+		table[s.SpeedGHz] = s.PowerW
+	}
+	return Cluster{
+		Name:           "opteron-2380-cluster",
+		Cores:          cores,
+		Ladder:         power.OpteronLadder,
+		PowerTable:     table,
+		IdlePower:      power.Opteron.B,
+		SwitchOverhead: 50e-6,
+		NoiseFrac:      0.01,
+		Seed:           1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Cluster) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("hw: need at least one core, got %d", c.Cores)
+	}
+	if c.Ladder.Continuous() {
+		return fmt.Errorf("hw: a real machine needs a discrete ladder")
+	}
+	for _, s := range c.Ladder {
+		if _, ok := c.PowerTable[s]; !ok {
+			return fmt.Errorf("hw: no measured power for ladder speed %g", s)
+		}
+	}
+	if c.IdlePower < 0 || c.SwitchOverhead < 0 || c.NoiseFrac < 0 {
+		return fmt.Errorf("hw: negative physical parameter")
+	}
+	return nil
+}
+
+// Measurement is the outcome of one trace replay.
+type Measurement struct {
+	Energy      float64 // total measured energy, J (busy + idle + overhead)
+	BusyEnergy  float64
+	IdleEnergy  float64
+	Overhead    float64 // extra energy from DVFS switching stalls
+	Span        float64 // measured wall-clock span, s
+	Transitions int     // DVFS transitions observed
+}
+
+// MeasureEnergy replays a schedule trace on the emulated cluster and
+// returns the "PowerPack measurement". Every trace speed must be a ladder
+// level of the cluster; the trace must validate.
+func (c Cluster) MeasureEnergy(t *trace.Trace) (Measurement, error) {
+	if err := c.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	if err := t.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	if t.Cores > c.Cores {
+		return Measurement{}, fmt.Errorf("hw: trace uses %d cores but cluster has %d", t.Cores, c.Cores)
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, c.Seed^0xda3e39cb94b95bdb))
+	noise := func() float64 {
+		if c.NoiseFrac == 0 {
+			return 1
+		}
+		return 1 + (2*rng.Float64()-1)*c.NoiseFrac
+	}
+
+	var m Measurement
+	first, last := t.Span()
+	m.Span = last - first
+
+	lastSpeed := make(map[int]float64, c.Cores)
+	busyPerCore := make(map[int]float64, c.Cores)
+	for _, e := range t.Entries {
+		p, ok := c.PowerTable[e.Speed]
+		if !ok {
+			// Tolerate floating-point drift against ladder levels.
+			for s, tp := range c.PowerTable {
+				if math.Abs(s-e.Speed) < 1e-9 {
+					p, ok = tp, true
+					break
+				}
+			}
+		}
+		if !ok {
+			return Measurement{}, fmt.Errorf("hw: trace speed %g GHz is not a ladder level of %s", e.Speed, c.Name)
+		}
+		dur := e.End - e.Start
+		m.BusyEnergy += p * dur * noise()
+		busyPerCore[e.Core] += dur
+		if prev, seen := lastSpeed[e.Core]; !seen || prev != e.Speed {
+			if seen {
+				m.Transitions++
+				hi := p
+				if pv := c.PowerTable[prev]; pv > hi {
+					hi = pv
+				}
+				m.Overhead += hi * c.SwitchOverhead
+			}
+			lastSpeed[e.Core] = e.Speed
+		}
+	}
+	for core := 0; core < c.Cores; core++ {
+		idle := m.Span - busyPerCore[core]
+		if idle > 0 {
+			m.IdleEnergy += c.IdlePower * idle * noise()
+		}
+	}
+	m.Energy = m.BusyEnergy + m.IdleEnergy + m.Overhead
+	return m, nil
+}
+
+// PredictEnergy is the simulation-side estimate the paper compares against:
+// total energy of the same trace under the regression power model,
+// including static power for idle cores over the span.
+func PredictEnergy(t *trace.Trace, m power.Model) float64 {
+	return t.TotalEnergy(m)
+}

@@ -1,0 +1,144 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"dessched/internal/power"
+	"dessched/internal/trace"
+	"dessched/internal/yds"
+)
+
+func opteronTrace() *trace.Trace {
+	t := trace.New(2)
+	t.RecordExec(0, yds.Segment{ID: 1, Start: 0, End: 10, Speed: 2.5})
+	t.RecordExec(0, yds.Segment{ID: 2, Start: 10, End: 20, Speed: 1.3})
+	t.RecordExec(1, yds.Segment{ID: 3, Start: 0, End: 5, Speed: 0.8})
+	return t
+}
+
+func TestOpteronValidates(t *testing.T) {
+	c := Opteron(8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores != 8 || c.Ladder.Max() != 2.5 {
+		t.Errorf("cluster = %+v", c)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	c := Opteron(0)
+	if c.Validate() == nil {
+		t.Error("zero cores accepted")
+	}
+	c = Opteron(4)
+	c.Ladder = nil
+	if c.Validate() == nil {
+		t.Error("continuous ladder accepted")
+	}
+	c = Opteron(4)
+	delete(c.PowerTable, 1.8)
+	if c.Validate() == nil {
+		t.Error("missing table entry accepted")
+	}
+	c = Opteron(4)
+	c.NoiseFrac = -1
+	if c.Validate() == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestMeasureEnergyNoiseFree(t *testing.T) {
+	c := Opteron(2)
+	c.NoiseFrac = 0
+	c.SwitchOverhead = 0
+	m, err := c.MeasureEnergy(opteronTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Busy: 10s at 22.69 + 10s at 13.275 + 5s at 11.06.
+	wantBusy := 10*22.69 + 10*13.275 + 5*11.06
+	if math.Abs(m.BusyEnergy-wantBusy) > 1e-9 {
+		t.Errorf("BusyEnergy = %v, want %v", m.BusyEnergy, wantBusy)
+	}
+	// Idle: core 1 idles 15 of the 20 s span at the static floor.
+	wantIdle := power.Opteron.B * 15
+	if math.Abs(m.IdleEnergy-wantIdle) > 1e-9 {
+		t.Errorf("IdleEnergy = %v, want %v", m.IdleEnergy, wantIdle)
+	}
+	if m.Transitions != 1 {
+		t.Errorf("Transitions = %d, want 1", m.Transitions)
+	}
+	if m.Span != 20 {
+		t.Errorf("Span = %v", m.Span)
+	}
+}
+
+func TestMeasureMatchesRegressionModel(t *testing.T) {
+	// The crux of Fig. 11: the measured-table energy and the regression
+	// model's prediction for the same trace agree within a few percent.
+	c := Opteron(2)
+	tr := opteronTrace()
+	m, err := c.MeasureEnergy(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := PredictEnergy(tr, power.Opteron)
+	if rel := math.Abs(m.Energy-pred) / pred; rel > 0.03 {
+		t.Errorf("measured %v vs predicted %v: relative gap %v", m.Energy, pred, rel)
+	}
+}
+
+func TestMeasureDeterministicPerSeed(t *testing.T) {
+	c := Opteron(2)
+	a, err := c.MeasureEnergy(opteronTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.MeasureEnergy(opteronTrace())
+	if a.Energy != b.Energy {
+		t.Error("same seed produced different measurements")
+	}
+	c.Seed = 99
+	d, _ := c.MeasureEnergy(opteronTrace())
+	if d.Energy == a.Energy {
+		t.Error("different seed produced identical noisy measurement")
+	}
+}
+
+func TestMeasureRejectsOffLadderSpeed(t *testing.T) {
+	c := Opteron(2)
+	tr := trace.New(1)
+	tr.RecordExec(0, yds.Segment{ID: 1, Start: 0, End: 1, Speed: 2.0})
+	if _, err := c.MeasureEnergy(tr); err == nil {
+		t.Error("off-ladder speed accepted")
+	}
+}
+
+func TestMeasureRejectsTooManyCores(t *testing.T) {
+	c := Opteron(1)
+	if _, err := c.MeasureEnergy(opteronTrace()); err == nil {
+		t.Error("trace with more cores than cluster accepted")
+	}
+}
+
+func TestSwitchOverheadCounted(t *testing.T) {
+	c := Opteron(1)
+	c.NoiseFrac = 0
+	c.SwitchOverhead = 0.5 // implausibly large to make it visible
+	tr := trace.New(1)
+	tr.RecordExec(0, yds.Segment{ID: 1, Start: 0, End: 1, Speed: 0.8})
+	tr.RecordExec(0, yds.Segment{ID: 2, Start: 1, End: 2, Speed: 2.5})
+	m, err := c.MeasureEnergy(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Transitions != 1 {
+		t.Fatalf("Transitions = %d", m.Transitions)
+	}
+	want := 22.69 * 0.5 // billed at the higher speed's power
+	if math.Abs(m.Overhead-want) > 1e-9 {
+		t.Errorf("Overhead = %v, want %v", m.Overhead, want)
+	}
+}

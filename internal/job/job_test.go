@@ -1,0 +1,235 @@
+package job
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mk(id ID, r, d, w float64) Job {
+	return Job{ID: id, Release: r, Deadline: d, Demand: w, Partial: true}
+}
+
+func TestValidate(t *testing.T) {
+	if err := mk(1, 0, 1, 10).Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	bad := []Job{
+		mk(2, 0, 1, 0),
+		mk(3, 0, 1, -5),
+		mk(4, 1, 1, 10),
+		mk(5, 2, 1, 10),
+	}
+	for _, j := range bad {
+		if j.Validate() == nil {
+			t.Errorf("Validate accepted %v", j)
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	if got := mk(1, 0.5, 0.65, 100).Window(); got != 0.15000000000000002 && got != 0.15 {
+		t.Errorf("Window = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := mk(7, 0, 0.15, 192).String()
+	if !strings.Contains(s, "J7") || !strings.Contains(s, "partial=true") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAgreeable(t *testing.T) {
+	good := []Job{mk(1, 0, 0.15, 10), mk(2, 0.01, 0.16, 10), mk(3, 0.02, 0.17, 10)}
+	if !Agreeable(good) {
+		t.Error("agreeable set rejected")
+	}
+	// Same release, different deadlines is still agreeable.
+	tie := []Job{mk(1, 0, 0.3, 10), mk(2, 0, 0.1, 10)}
+	if !Agreeable(tie) {
+		t.Error("equal-release set rejected")
+	}
+	bad := []Job{mk(1, 0, 0.5, 10), mk(2, 0.1, 0.2, 10)}
+	if Agreeable(bad) {
+		t.Error("non-agreeable set accepted")
+	}
+	if !Agreeable(nil) {
+		t.Error("empty set should be agreeable")
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	good := []Job{mk(1, 0, 0.15, 10), mk(2, 0.01, 0.16, 10)}
+	if err := ValidateAll(good); err != nil {
+		t.Errorf("ValidateAll rejected good set: %v", err)
+	}
+	withBad := []Job{mk(1, 0, 0.15, 10), mk(2, 0.01, 0.16, -1)}
+	if ValidateAll(withBad) == nil {
+		t.Error("ValidateAll accepted invalid demand")
+	}
+	notAgreeable := []Job{mk(1, 0, 0.5, 10), mk(2, 0.1, 0.2, 10)}
+	if ValidateAll(notAgreeable) == nil {
+		t.Error("ValidateAll accepted non-agreeable set")
+	}
+}
+
+func TestSortByRelease(t *testing.T) {
+	jobs := []Job{mk(3, 2, 3, 1), mk(1, 0, 1, 1), mk(2, 1, 2, 1)}
+	SortByRelease(jobs)
+	for i, want := range []ID{1, 2, 3} {
+		if jobs[i].ID != want {
+			t.Fatalf("SortByRelease order = %v", jobs)
+		}
+	}
+	// Tie-break by deadline then ID.
+	ties := []Job{mk(2, 0, 2, 1), mk(1, 0, 1, 1), {ID: 0, Release: 0, Deadline: 1, Demand: 1}}
+	SortByRelease(ties)
+	if ties[0].ID != 0 || ties[1].ID != 1 || ties[2].ID != 2 {
+		t.Errorf("tie-break order = %v", ties)
+	}
+}
+
+func TestSortByDeadline(t *testing.T) {
+	jobs := []Job{mk(3, 0, 3, 1), mk(1, 0, 1, 1), mk(2, 0, 2, 1)}
+	SortByDeadline(jobs)
+	for i, want := range []ID{1, 2, 3} {
+		if jobs[i].ID != want {
+			t.Fatalf("SortByDeadline order = %v", jobs)
+		}
+	}
+}
+
+func TestTotalDemandAndSpan(t *testing.T) {
+	jobs := []Job{mk(1, 0.2, 1, 100), mk(2, 0.1, 2, 50)}
+	if got := TotalDemand(jobs); got != 150 {
+		t.Errorf("TotalDemand = %v", got)
+	}
+	first, last := Span(jobs)
+	if first != 0.1 || last != 2 {
+		t.Errorf("Span = (%v, %v)", first, last)
+	}
+	f, l := Span(nil)
+	if f != 0 || l != 0 {
+		t.Errorf("Span(empty) = (%v, %v)", f, l)
+	}
+}
+
+func TestReadyRemaining(t *testing.T) {
+	r := Ready{Job: mk(1, 0, 1, 100), Done: 40}
+	if got := r.Remaining(); got != 60 {
+		t.Errorf("Remaining = %v", got)
+	}
+	over := Ready{Job: mk(1, 0, 1, 100), Done: 120}
+	if got := over.Remaining(); got != 0 {
+		t.Errorf("Remaining overdone = %v, want 0", got)
+	}
+}
+
+func TestSortReadyByDeadline(t *testing.T) {
+	rs := []Ready{
+		{Job: mk(2, 0, 2, 1)},
+		{Job: mk(1, 0, 1, 1)},
+		{Job: mk(3, 0, 3, 1)},
+	}
+	SortReadyByDeadline(rs)
+	if rs[0].ID != 1 || rs[1].ID != 2 || rs[2].ID != 3 {
+		t.Errorf("order = %v", rs)
+	}
+}
+
+func TestAgreeableEqualReleaseRuns(t *testing.T) {
+	// Two jobs share a release with different deadlines (allowed), then a
+	// later release carries a deadline earlier than one of them (violation).
+	set := []Job{
+		mk(1, 0, 0.5, 10),
+		mk(2, 0, 0.1, 10), // same release, earlier deadline: fine
+		mk(3, 0.2, 0.3, 10),
+	}
+	if Agreeable(set) {
+		t.Error("job 3 (r=0.2, d=0.3) violates against job 1 (r=0, d=0.5)")
+	}
+	ok := []Job{
+		mk(1, 0, 0.25, 10),
+		mk(2, 0, 0.1, 10),
+		mk(3, 0.2, 0.3, 10),
+	}
+	if !Agreeable(ok) {
+		t.Error("valid equal-release set rejected")
+	}
+	// Violation only visible across an equal-release run boundary.
+	run := []Job{
+		mk(1, 0, 0.4, 10),
+		mk(2, 0.1, 0.4, 10),
+		mk(3, 0.1, 0.2, 10), // r=0.1 > r=0, d=0.2 < 0.4: violation vs job 1
+	}
+	if Agreeable(run) {
+		t.Error("cross-run violation missed")
+	}
+}
+
+// Agreeable against the O(n²) pairwise definition on random sets.
+func TestAgreeableMatchesPairwiseDefinition(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		n := len(raw) / 2
+		if n > 12 {
+			n = 12
+		}
+		jobs := make([]Job, n)
+		for i := 0; i < n; i++ {
+			r := float64(raw[2*i]%8) / 10
+			d := r + 0.05 + float64(raw[2*i+1]%8)/10
+			jobs[i] = mk(ID(i), r, d, 10)
+		}
+		pairwise := true
+		for i := range jobs {
+			for k := range jobs {
+				if jobs[i].Release < jobs[k].Release && jobs[i].Deadline > jobs[k].Deadline {
+					pairwise = false
+				}
+			}
+		}
+		return Agreeable(jobs) == pairwise
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a set generated with deadline = release + constant window is
+// always agreeable, regardless of arrival order.
+func TestAgreeableConstantWindowProperty(t *testing.T) {
+	prop := func(rels []uint16) bool {
+		jobs := make([]Job, len(rels))
+		for i, r := range rels {
+			rel := float64(r) / 100
+			jobs[i] = mk(ID(i), rel, rel+0.15, 10)
+		}
+		return Agreeable(jobs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sorting by release on an agreeable constant-window set yields
+// non-decreasing deadlines.
+func TestSortConsistencyProperty(t *testing.T) {
+	prop := func(rels []uint16) bool {
+		jobs := make([]Job, len(rels))
+		for i, r := range rels {
+			rel := float64(r) / 100
+			jobs[i] = mk(ID(i), rel, rel+0.15, 10)
+		}
+		SortByRelease(jobs)
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].Deadline < jobs[i-1].Deadline {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

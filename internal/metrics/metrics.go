@@ -1,0 +1,63 @@
+// Package metrics provides the derived evaluation metrics of §V: normalized
+// quality series and the throughput a scheduler sustains at a target
+// quality (the basis of the paper's "DES supports up to 69% higher
+// throughput" claim).
+package metrics
+
+import (
+	"fmt"
+)
+
+// QualityAt is a measurement function: it runs one simulation at the given
+// arrival rate and returns the normalized quality.
+type QualityAt func(rate float64) (float64, error)
+
+// ThroughputAtQuality finds the highest arrival rate in [lo, hi] whose
+// normalized quality stays at or above target, by bisection to within tol
+// requests/s. Quality is assumed non-increasing in the rate (true for every
+// policy in this module under a fixed seed). It returns lo when even the
+// lowest rate misses the target, and hi when the highest still meets it.
+func ThroughputAtQuality(f QualityAt, target, lo, hi, tol float64) (float64, error) {
+	if lo >= hi {
+		return 0, fmt.Errorf("metrics: need lo < hi, got [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		return 0, fmt.Errorf("metrics: tolerance must be positive, got %g", tol)
+	}
+	qHi, err := f(hi)
+	if err != nil {
+		return 0, err
+	}
+	if qHi >= target {
+		return hi, nil
+	}
+	qLo, err := f(lo)
+	if err != nil {
+		return 0, err
+	}
+	if qLo < target {
+		return lo, nil
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		q, err := f(mid)
+		if err != nil {
+			return 0, err
+		}
+		if q >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// Speedup returns the relative throughput gain of a over b in percent:
+// 100*(a-b)/b.
+func Speedup(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}

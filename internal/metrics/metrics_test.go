@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestThroughputAtQualityBasic(t *testing.T) {
+	// Synthetic quality curve: 1 until rate 150, then linear decay; target
+	// 0.9 crossed at rate 190.
+	f := func(rate float64) (float64, error) {
+		if rate <= 150 {
+			return 1, nil
+		}
+		return 1 - (rate-150)/400, nil
+	}
+	got, err := ThroughputAtQuality(f, 0.9, 50, 400, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-190) > 0.2 {
+		t.Errorf("throughput = %v, want ~190", got)
+	}
+}
+
+func TestThroughputAtQualityEdges(t *testing.T) {
+	always := func(rate float64) (float64, error) { return 1, nil }
+	got, err := ThroughputAtQuality(always, 0.9, 10, 100, 1)
+	if err != nil || got != 100 {
+		t.Errorf("always-good: %v, %v", got, err)
+	}
+	never := func(rate float64) (float64, error) { return 0.1, nil }
+	got, err = ThroughputAtQuality(never, 0.9, 10, 100, 1)
+	if err != nil || got != 10 {
+		t.Errorf("never-good: %v, %v", got, err)
+	}
+}
+
+func TestThroughputAtQualityErrors(t *testing.T) {
+	f := func(rate float64) (float64, error) { return 0, errors.New("boom") }
+	if _, err := ThroughputAtQuality(f, 0.9, 10, 100, 1); err == nil {
+		t.Error("measurement error swallowed")
+	}
+	ok := func(rate float64) (float64, error) { return 1, nil }
+	if _, err := ThroughputAtQuality(ok, 0.9, 100, 10, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := ThroughputAtQuality(ok, 0.9, 10, 100, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(196, 164); math.Abs(got-19.51) > 0.01 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if got := Speedup(196, 116); math.Abs(got-68.97) > 0.01 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if Speedup(5, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"fmt"
+
+	"dessched/internal/sim"
+	"dessched/internal/stats"
+)
+
+// JobSummary aggregates per-job outcomes of a run with Config.CollectJobs:
+// latency percentiles, satisfaction rate, and quality distribution — the
+// SLO-facing view of a schedule that aggregate quality alone hides.
+type JobSummary struct {
+	Jobs          int
+	SatisfiedFrac float64 // fraction processed to full demand
+	DiscardedFrac float64
+	ZeroFrac      float64 // fraction departing with zero quality
+
+	LatencyP50 float64
+	LatencyP95 float64
+	LatencyP99 float64
+
+	QualityMean float64
+	QualityP5   float64 // the unlucky tail of per-job quality
+}
+
+// SummarizeJobs computes the summary. It returns an error when the run was
+// made without Config.CollectJobs.
+func SummarizeJobs(outcomes []sim.JobOutcome) (JobSummary, error) {
+	if len(outcomes) == 0 {
+		return JobSummary{}, fmt.Errorf("metrics: no job outcomes recorded (set Config.CollectJobs)")
+	}
+	var s JobSummary
+	s.Jobs = len(outcomes)
+	latencies := make([]float64, 0, len(outcomes))
+	qualities := make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Satisfied() {
+			s.SatisfiedFrac++
+		}
+		if o.Reason == sim.PolicyDiscard {
+			s.DiscardedFrac++
+		}
+		if o.Quality == 0 {
+			s.ZeroFrac++
+		}
+		latencies = append(latencies, o.Latency())
+		qualities = append(qualities, o.Quality)
+	}
+	n := float64(s.Jobs)
+	s.SatisfiedFrac /= n
+	s.DiscardedFrac /= n
+	s.ZeroFrac /= n
+	s.LatencyP50 = stats.Percentile(latencies, 50)
+	s.LatencyP95 = stats.Percentile(latencies, 95)
+	s.LatencyP99 = stats.Percentile(latencies, 99)
+	s.QualityMean = stats.Mean(qualities)
+	s.QualityP5 = stats.Percentile(qualities, 5)
+	return s, nil
+}
+
+// String renders a compact human-readable summary.
+func (s JobSummary) String() string {
+	return fmt.Sprintf("jobs %d: satisfied %.1f%%, zero-quality %.1f%%, latency p50/p95/p99 %.0f/%.0f/%.0f ms, quality mean %.3f p5 %.3f",
+		s.Jobs, 100*s.SatisfiedFrac, 100*s.ZeroFrac,
+		1000*s.LatencyP50, 1000*s.LatencyP95, 1000*s.LatencyP99,
+		s.QualityMean, s.QualityP5)
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dessched/internal/sim"
+)
+
+func outcomes() []sim.JobOutcome {
+	return []sim.JobOutcome{
+		{ID: 0, Release: 0, DepartAt: 0.10, Demand: 100, Done: 100, Quality: 0.3, Reason: sim.Completed},
+		{ID: 1, Release: 0, DepartAt: 0.15, Demand: 200, Done: 50, Quality: 0.1, Reason: sim.DeadlineHit},
+		{ID: 2, Release: 0.1, DepartAt: 0.25, Demand: 300, Done: 0, Quality: 0, Reason: sim.DeadlineHit},
+		{ID: 3, Release: 0.2, DepartAt: 0.21, Demand: 400, Done: 10, Quality: 0, Reason: sim.PolicyDiscard},
+	}
+}
+
+func TestSummarizeJobs(t *testing.T) {
+	s, err := SummarizeJobs(outcomes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != 4 {
+		t.Errorf("Jobs = %d", s.Jobs)
+	}
+	if math.Abs(s.SatisfiedFrac-0.25) > 1e-12 {
+		t.Errorf("SatisfiedFrac = %v", s.SatisfiedFrac)
+	}
+	if math.Abs(s.DiscardedFrac-0.25) > 1e-12 {
+		t.Errorf("DiscardedFrac = %v", s.DiscardedFrac)
+	}
+	if math.Abs(s.ZeroFrac-0.5) > 1e-12 {
+		t.Errorf("ZeroFrac = %v", s.ZeroFrac)
+	}
+	// Latencies: 0.10, 0.15, 0.15, 0.01 → p50 = 0.125.
+	if math.Abs(s.LatencyP50-0.125) > 1e-9 {
+		t.Errorf("LatencyP50 = %v", s.LatencyP50)
+	}
+	if s.LatencyP99 < s.LatencyP95 || s.LatencyP95 < s.LatencyP50 {
+		t.Error("latency percentiles not ordered")
+	}
+	if math.Abs(s.QualityMean-0.1) > 1e-12 {
+		t.Errorf("QualityMean = %v", s.QualityMean)
+	}
+}
+
+func TestSummarizeJobsEmpty(t *testing.T) {
+	if _, err := SummarizeJobs(nil); err == nil {
+		t.Error("empty outcomes accepted")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, _ := SummarizeJobs(outcomes())
+	out := s.String()
+	if !strings.Contains(out, "jobs 4") || !strings.Contains(out, "p50/p95/p99") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestJobOutcomeHelpers(t *testing.T) {
+	o := sim.JobOutcome{Release: 0.1, DepartAt: 0.25, Reason: sim.Completed}
+	if math.Abs(o.Latency()-0.15) > 1e-12 {
+		t.Errorf("Latency = %v", o.Latency())
+	}
+	if !o.Satisfied() {
+		t.Error("Completed should be satisfied")
+	}
+	o.Reason = sim.DeadlineHit
+	if o.Satisfied() {
+		t.Error("DeadlineHit should not be satisfied")
+	}
+}

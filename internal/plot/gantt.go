@@ -1,0 +1,88 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"dessched/internal/trace"
+)
+
+// GanttOptions controls the timeline rendering.
+type GanttOptions struct {
+	Width float64 // characters across the full time span (default 80)
+	From  float64 // render window start (default: trace start)
+	To    float64 // render window end (default: trace end; 0 = auto)
+}
+
+// Gantt renders a trace as one timeline row per core. Each cell shows the
+// speed tier in effect (' ' idle, '.' <25% of peak, '-' <50%, '=' <75%,
+// '#' otherwise), so speed-scaling behavior — the staircases of Energy-OPT,
+// WF shifting power between cores — is visible at a glance.
+func Gantt(w io.Writer, t *trace.Trace, o GanttOptions) error {
+	if len(t.Entries) == 0 {
+		return fmt.Errorf("plot: empty trace")
+	}
+	first, last := t.Span()
+	if o.To != 0 {
+		if o.To <= o.From {
+			return fmt.Errorf("plot: render window [%g, %g] is empty", o.From, o.To)
+		}
+		first, last = o.From, o.To
+	}
+	if last <= first {
+		return fmt.Errorf("plot: empty render window")
+	}
+	width := int(o.Width)
+	if width <= 0 {
+		width = 80
+	}
+
+	peak := 0.0
+	for _, e := range t.Entries {
+		peak = math.Max(peak, e.Speed)
+	}
+	tier := func(s float64) byte {
+		switch {
+		case s <= 0:
+			return ' '
+		case s < 0.25*peak:
+			return '.'
+		case s < 0.5*peak:
+			return '-'
+		case s < 0.75*peak:
+			return '='
+		default:
+			return '#'
+		}
+	}
+
+	rows := make([][]byte, t.Cores)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	scale := float64(width) / (last - first)
+	for _, e := range t.Entries {
+		lo := int((math.Max(e.Start, first) - first) * scale)
+		hi := int(math.Ceil((math.Min(e.End, last) - first) * scale))
+		if hi > width {
+			hi = width
+		}
+		if hi == lo && lo < width {
+			hi = lo + 1
+		}
+		for c := lo; c < hi; c++ {
+			if c >= 0 && c < width {
+				rows[e.Core][c] = tier(e.Speed)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "gantt: t ∈ [%.3f, %.3f] s, peak speed %.2f GHz ('.'<25%% '-'<50%% '='<75%% '#'>=75%%)\n",
+		first, last, peak)
+	for i, row := range rows {
+		fmt.Fprintf(w, "core %2d |%s|\n", i, string(row))
+	}
+	return nil
+}

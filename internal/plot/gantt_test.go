@@ -1,0 +1,66 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dessched/internal/trace"
+	"dessched/internal/yds"
+)
+
+func ganttTrace() *trace.Trace {
+	t := trace.New(2)
+	t.RecordExec(0, yds.Segment{ID: 1, Start: 0, End: 0.5, Speed: 2.0})
+	t.RecordExec(0, yds.Segment{ID: 2, Start: 0.5, End: 1.0, Speed: 0.4})
+	t.RecordExec(1, yds.Segment{ID: 3, Start: 0.25, End: 0.75, Speed: 1.0})
+	return t
+}
+
+func TestGanttBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, ganttTrace(), GanttOptions{Width: 40}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 cores
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("core 0 should show a full-speed tier: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], ".") {
+		t.Errorf("core 0 should show a low-speed tier: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-") && !strings.Contains(lines[2], "=") {
+		t.Errorf("core 1 should show a mid tier: %q", lines[2])
+	}
+	// Core 1 idles at both ends.
+	row1 := lines[2][strings.Index(lines[2], "|")+1:]
+	if row1[0] != ' ' {
+		t.Errorf("core 1 should start idle: %q", row1)
+	}
+}
+
+func TestGanttWindow(t *testing.T) {
+	var buf bytes.Buffer
+	err := Gantt(&buf, ganttTrace(), GanttOptions{Width: 20, From: 0.5, To: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Inside [0.5, 1.0] core 0 runs only the slow segment.
+	if strings.Contains(lines[1], "#") {
+		t.Errorf("windowed core 0 should not show full speed: %q", lines[1])
+	}
+}
+
+func TestGanttErrors(t *testing.T) {
+	if err := Gantt(&bytes.Buffer{}, trace.New(2), GanttOptions{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := Gantt(&bytes.Buffer{}, ganttTrace(), GanttOptions{From: 2, To: 1}); err == nil {
+		t.Error("inverted window accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Package plot renders experiment tables as ASCII line charts so the CLI
+// can show the paper's figures directly in a terminal — one glyph per
+// series, shared axes, auto-scaled.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"dessched/internal/experiments"
+)
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+}
+
+// glyphs mark the series, in column order.
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws every series of the table into one chart. Categorical
+// tables (RowLabels set) render as horizontal bars instead.
+func Render(w io.Writer, t *experiments.Table, o Options) error {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	if len(t.Rows) == 0 {
+		return fmt.Errorf("plot: table %q has no rows", t.Name)
+	}
+	if len(t.RowLabels) > 0 {
+		return renderBars(w, t, o)
+	}
+	return renderLines(w, t, o)
+}
+
+func renderLines(w io.Writer, t *experiments.Table, o Options) error {
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		xMin = math.Min(xMin, r.X)
+		xMax = math.Max(xMax, r.X)
+		for _, y := range r.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// A little headroom so extremes don't sit on the frame.
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+
+	grid := make([][]byte, o.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", o.Width))
+	}
+	for _, r := range t.Rows {
+		col := int(math.Round((r.X - xMin) / (xMax - xMin) * float64(o.Width-1)))
+		for si, y := range r.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			row := int(math.Round((yMax - y) / (yMax - yMin) * float64(o.Height-1)))
+			if row >= 0 && row < o.Height && col >= 0 && col < o.Width {
+				grid[row][col] = glyphs[si%len(glyphs)]
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s — %s\n", t.Name, t.Title)
+	for i, line := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%10.4g", yMax)
+		case o.Height - 1:
+			label = fmt.Sprintf("%10.4g", yMin)
+		case (o.Height - 1) / 2:
+			label = fmt.Sprintf("%10.4g", (yMax+yMin)/2)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%10s  %-10.4g%s%10.4g\n", "", xMin,
+		strings.Repeat(" ", maxInt(0, o.Width-20)), xMax)
+	fmt.Fprintf(w, "%12s%s: ", "", t.XLabel)
+	for i, c := range t.Columns {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%c=%s", glyphs[i%len(glyphs)], c)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func renderBars(w io.Writer, t *experiments.Table, o Options) error {
+	fmt.Fprintf(w, "%s — %s\n", t.Name, t.Title)
+	maxVal := math.Inf(-1)
+	labelW := 0
+	for i, r := range t.Rows {
+		if len(r.Y) > 0 {
+			maxVal = math.Max(maxVal, r.Y[0])
+		}
+		if len(t.RowLabels[i]) > labelW {
+			labelW = len(t.RowLabels[i])
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	for i, r := range t.Rows {
+		if len(r.Y) == 0 {
+			continue
+		}
+		n := int(math.Round(r.Y[0] / maxVal * float64(o.Width-1)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "%*s |%s %.4g\n", labelW, t.RowLabels[i], strings.Repeat("█", n), r.Y[0])
+	}
+	if len(t.Columns) > 0 {
+		fmt.Fprintf(w, "%*s  (%s)\n", labelW, "", t.Columns[0])
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

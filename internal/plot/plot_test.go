@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dessched/internal/experiments"
+)
+
+func lineTable() *experiments.Table {
+	t := &experiments.Table{Name: "demo", Title: "two series", XLabel: "rate", Columns: []string{"up", "down"}}
+	t.Add(0, 0.0, 1.0)
+	t.Add(50, 0.5, 0.5)
+	t.Add(100, 1.0, 0.0)
+	return t
+}
+
+func TestRenderLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, lineTable(), Options{Width: 40, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "+=down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series glyphs missing from grid")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + height rows + x-axis + legend.
+	if len(lines) != 1+10+2 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderCrossingSeriesPositions(t *testing.T) {
+	// "up" starts bottom-left; "down" starts top-left.
+	var buf bytes.Buffer
+	if err := Render(&buf, lineTable(), Options{Width: 21, Height: 7}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	top, bottom := lines[1], lines[7]
+	if !strings.Contains(top, "+") {
+		t.Errorf("down-series should start in the top row: %q", top)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Errorf("up-series should start in the bottom row: %q", bottom)
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	tbl := &experiments.Table{Name: "tput", Title: "throughput", Columns: []string{"rate"}}
+	tbl.AddLabeled("DES", 200)
+	tbl.AddLabeled("SJF", 100)
+	var buf bytes.Buffer
+	if err := Render(&buf, tbl, Options{Width: 20}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DES") || !strings.Contains(out, "█") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	// DES bar must be about twice the SJF bar.
+	desBar := strings.Count(strings.Split(out, "\n")[1], "█")
+	sjfBar := strings.Count(strings.Split(out, "\n")[2], "█")
+	if desBar < 2*sjfBar-1 {
+		t.Errorf("bar proportions wrong: %d vs %d", desBar, sjfBar)
+	}
+}
+
+func TestRenderEmptyTable(t *testing.T) {
+	tbl := &experiments.Table{Name: "empty"}
+	if err := Render(&bytes.Buffer{}, tbl, Options{}); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	tbl := &experiments.Table{Name: "const", Title: "flat", XLabel: "x", Columns: []string{"y"}}
+	tbl.Add(1, 5)
+	tbl.Add(2, 5)
+	var buf bytes.Buffer
+	if err := Render(&buf, tbl, Options{Width: 10, Height: 4}); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+}
+
+func TestRenderDefaultsApplied(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, lineTable(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.String()) == 0 {
+		t.Error("no output with default options")
+	}
+}

@@ -1,0 +1,127 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"dessched/internal/stats"
+)
+
+// Sample is one measured (speed, power) operating point of a real core, as
+// collected by a power meter such as PowerPack (§V-G).
+type Sample struct {
+	SpeedGHz float64
+	PowerW   float64
+}
+
+// OpteronSamples are the published measurements of the AMD Opteron 2380
+// validation cluster: speeds 0.8/1.3/1.8/2.5 GHz draw 11.06/13.275/16.85/
+// 22.69 W per core respectively (§V-G).
+var OpteronSamples = []Sample{
+	{0.8, 11.06},
+	{1.3, 13.275},
+	{1.8, 16.85},
+	{2.5, 22.69},
+}
+
+// Fit performs the paper's regression (§V-G): it fits P = a*s^β + b to the
+// samples by least squares. β is found by golden-section search on [1, 4];
+// for each candidate β the optimal (a, b) follow from the linear normal
+// equations. At least three samples with distinct speeds are required.
+func Fit(samples []Sample) (Model, error) {
+	if len(samples) < 3 {
+		return Model{}, fmt.Errorf("power: Fit needs >= 3 samples, got %d", len(samples))
+	}
+	distinct := map[float64]bool{}
+	for _, s := range samples {
+		if s.SpeedGHz <= 0 {
+			return Model{}, fmt.Errorf("power: non-positive speed %g in samples", s.SpeedGHz)
+		}
+		distinct[s.SpeedGHz] = true
+	}
+	if len(distinct) < 3 {
+		return Model{}, fmt.Errorf("power: Fit needs >= 3 distinct speeds, got %d", len(distinct))
+	}
+
+	solveAB := func(beta float64) (a, b float64, ok bool) {
+		// Least squares for P_i = a*x_i + b with x_i = s_i^beta.
+		var sx, sxx, sp, sxp float64
+		n := float64(len(samples))
+		for _, s := range samples {
+			x := math.Pow(s.SpeedGHz, beta)
+			sx += x
+			sxx += x * x
+			sp += s.PowerW
+			sxp += x * s.PowerW
+		}
+		return solve2(sxx, sx, sx, n, sxp, sp)
+	}
+	sse := func(beta float64) float64 {
+		a, b, ok := solveAB(beta)
+		if !ok || a <= 0 {
+			return math.Inf(1)
+		}
+		e := 0.0
+		for _, s := range samples {
+			d := Model{A: a, Beta: beta, B: b}.Power(s.SpeedGHz) - s.PowerW
+			e += d * d
+		}
+		return e
+	}
+
+	beta := stats.GoldenMin(sse, 1.0001, 4, 1e-10)
+	a, b, ok := solveAB(beta)
+	if !ok {
+		return Model{}, fmt.Errorf("power: regression degenerate")
+	}
+	if b < 0 {
+		// Static power cannot be negative; refit with b pinned to zero.
+		b = 0
+		beta = stats.GoldenMin(func(bt float64) float64 {
+			av := fitAOnly(samples, bt)
+			e := 0.0
+			for _, s := range samples {
+				d := Model{A: av, Beta: bt}.Power(s.SpeedGHz) - s.PowerW
+				e += d * d
+			}
+			return e
+		}, 1.0001, 4, 1e-10)
+		a = fitAOnly(samples, beta)
+	}
+	m := Model{A: a, Beta: beta, B: b}
+	if err := m.Validate(); err != nil {
+		return Model{}, fmt.Errorf("power: regression produced invalid model: %w", err)
+	}
+	return m, nil
+}
+
+// fitAOnly returns the least-squares a for P = a*s^beta (b = 0).
+func fitAOnly(samples []Sample, beta float64) float64 {
+	var num, den float64
+	for _, s := range samples {
+		x := math.Pow(s.SpeedGHz, beta)
+		num += x * s.PowerW
+		den += x * x
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func solve2(a11, a12, a21, a22, b1, b2 float64) (x, y float64, ok bool) {
+	return stats.Solve2x2(a11, a12, a21, a22, b1, b2)
+}
+
+// RMSE returns the root-mean-square error of the model against the samples.
+func RMSE(m Model, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, s := range samples {
+		d := m.Power(s.SpeedGHz) - s.PowerW
+		e += d * d
+	}
+	return math.Sqrt(e / float64(len(samples)))
+}

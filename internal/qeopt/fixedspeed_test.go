@@ -1,0 +1,134 @@
+package qeopt
+
+import (
+	"math"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/yds"
+)
+
+func TestFixedSpeedEmptyAndZeroSpeed(t *testing.T) {
+	p, err := OnlineFixedSpeed(0, nil, 2)
+	if err != nil || len(p.Segments) != 0 {
+		t.Errorf("empty: %+v, %v", p, err)
+	}
+	p, err = OnlineFixedSpeed(0, []job.Ready{ready(1, 0, 1, 100)}, 0)
+	if err != nil || len(p.Segments) != 0 {
+		t.Errorf("zero speed: %+v, %v", p, err)
+	}
+}
+
+func TestFixedSpeedAllSatisfiedBackToBack(t *testing.T) {
+	rs := []job.Ready{
+		ready(1, 0, 0.15, 100),
+		ready(2, 0, 0.16, 120),
+	}
+	p, err := OnlineFixedSpeed(0, rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %+v", p.Segments)
+	}
+	// EDF order, contiguous, all at exactly the fixed speed.
+	if p.Segments[0].ID != 1 || p.Segments[1].ID != 2 {
+		t.Errorf("order wrong: %+v", p.Segments)
+	}
+	if p.Segments[0].Speed != 2 || p.Segments[1].Speed != 2 {
+		t.Errorf("speeds wrong: %+v", p.Segments)
+	}
+	if math.Abs(p.Segments[0].End-p.Segments[1].Start) > 1e-12 {
+		t.Error("segments not contiguous")
+	}
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(1); math.Abs(v-100) > 1e-9 {
+		t.Errorf("volume(1) = %v", v)
+	}
+}
+
+func TestFixedSpeedDeprivedEqualShare(t *testing.T) {
+	rs := []job.Ready{
+		ready(1, 0, 0.15, 500),
+		ready(2, 0, 0.15, 500),
+	}
+	p, err := OnlineFixedSpeed(0, rs, 2) // capacity 300
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(1); math.Abs(v-150) > 1e-9 {
+		t.Errorf("volume(1) = %v, want 150", v)
+	}
+	if v := sched.VolumeOf(2); math.Abs(v-150) > 1e-9 {
+		t.Errorf("volume(2) = %v, want 150", v)
+	}
+	if end := sched.End(); end > 0.15+1e-9 {
+		t.Errorf("plan runs past deadline: %v", end)
+	}
+}
+
+func TestFixedSpeedDiscardsNonPartial(t *testing.T) {
+	strict := ready(1, 0, 0.15, 500)
+	strict.Partial = false
+	p, err := OnlineFixedSpeed(0, []job.Ready{strict, ready(2, 0, 0.15, 500)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Discarded) != 1 || p.Discarded[0] != 1 {
+		t.Fatalf("Discarded = %v", p.Discarded)
+	}
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(2); math.Abs(v-300) > 1e-9 {
+		t.Errorf("survivor volume = %v, want the whole capacity", v)
+	}
+}
+
+func TestFixedSpeedSkipsExpired(t *testing.T) {
+	rs := []job.Ready{
+		ready(1, 0, 0.05, 100), // expired at now = 0.1
+		ready(2, 0, 0.20, 100),
+	}
+	p, err := OnlineFixedSpeed(0.1, rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range p.Segments {
+		if seg.ID == 1 {
+			t.Error("expired job scheduled")
+		}
+		if seg.Start < 0.1 {
+			t.Error("segment before now")
+		}
+	}
+}
+
+func TestFixedSpeedMatchesOnlineQualityAtBudgetSpeed(t *testing.T) {
+	// The quality step is the same; only the energy step differs. Volumes
+	// must agree between Online (at budget speed) and OnlineFixedSpeed.
+	rs := []job.Ready{
+		ready(1, 0, 0.10, 400),
+		ready(2, 0, 0.20, 300),
+		ready(3, 0, 0.20, 350),
+	}
+	online, err := Online(cfg20W(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := OnlineFixedSpeed(0, rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := yds.Schedule{Segments: online.Segments}
+	sf := yds.Schedule{Segments: fixed.Segments}
+	for _, id := range []job.ID{1, 2, 3} {
+		if math.Abs(so.VolumeOf(id)-sf.VolumeOf(id)) > 1e-6 {
+			t.Errorf("job %d: online volume %v != fixed %v", id, so.VolumeOf(id), sf.VolumeOf(id))
+		}
+	}
+	// Fixed-speed energy is never below the Energy-OPT'd plan.
+	if fixed.Energy(power.Default) < online.Energy(power.Default)-1e-9 {
+		t.Errorf("fixed-speed energy %v below Energy-OPT %v", fixed.Energy(power.Default), online.Energy(power.Default))
+	}
+}

@@ -1,0 +1,387 @@
+// Package qeopt composes Quality-OPT and Energy-OPT into the paper's
+// single-core schedulers for the lexicographic ⟨quality, energy⟩ metric
+// (§III):
+//
+//   - QE-OPT (Offline): run Quality-OPT at the maximum speed the power
+//     budget allows to fix each job's processing volume (maximum quality),
+//     then run Energy-OPT over those volumes to pick the slowest feasible
+//     speeds (minimum energy). Theorem 1 guarantees the Energy-OPT speeds
+//     never exceed the budget speed, so the composition is feasible;
+//     Theorem 2 shows it is optimal.
+//
+//   - Online-QE (Online): the myopic O(n²) version invoked at scheduling
+//     events. All ready jobs are treated as released "now"; a job's prior
+//     progress enters Quality-OPT as a floor on its total volume, which
+//     generalizes the paper's release-time adjustment for the currently
+//     running job (DESIGN.md, assumption 5). The power budget may differ
+//     at every invocation, which is what lets DES redistribute power across
+//     cores dynamically.
+//
+// Both entry points also handle jobs without partial-evaluation support
+// (§V-D): a non-partial job that the plan cannot run to completion is
+// discarded and the schedule recomputed, one job at a time.
+package qeopt
+
+import (
+	"fmt"
+	"math"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/tians"
+	"dessched/internal/yds"
+)
+
+// Config carries the per-core scheduling environment for one invocation.
+type Config struct {
+	Power    power.Model  // core power model
+	Budget   float64      // dynamic power budget for this core, W
+	Ladder   power.Ladder // discrete speed ladder; empty means continuous DVFS
+	MaxSpeed float64      // hardware speed cap in GHz; 0 means unbounded
+
+	// TwoSpeed selects the optimal discretization of Li, Yao & Yao (the
+	// paper's ref. [21]) instead of §V-F's snap-up rectification: each
+	// continuous segment executes at the two adjacent ladder speeds,
+	// time-split to deliver exactly the planned volume in exactly the
+	// planned window. By convexity this never costs more energy than
+	// rounding up, and it preserves the Energy-OPT timing. Ignored for
+	// continuous ladders.
+	TwoSpeed bool
+}
+
+// SpeedCap returns the fastest speed the core may use: the budget speed,
+// clamped by the hardware cap and, under discrete scaling, rounded down to
+// the ladder.
+func (c Config) SpeedCap() float64 {
+	s := c.Power.SpeedFor(c.Budget)
+	if c.MaxSpeed > 0 && s > c.MaxSpeed {
+		s = c.MaxSpeed
+	}
+	if !c.Ladder.Continuous() {
+		down, ok := c.Ladder.RoundDown(s)
+		if !ok {
+			return 0
+		}
+		s = down
+	}
+	return s
+}
+
+// Plan is one core's executable schedule from an invocation instant onward.
+type Plan struct {
+	Segments  []yds.Segment      // ordered execution segments
+	Allocs    []tians.Allocation // planned additional volume per job
+	Discarded []job.ID           // non-partial jobs dropped as uncompletable
+}
+
+// RequiredPower returns the dynamic power the plan draws at its start.
+// For continuous plans the speed profile is non-increasing, so this is also
+// the plan's peak power.
+func (p Plan) RequiredPower(m power.Model) float64 {
+	if len(p.Segments) == 0 {
+		return 0
+	}
+	return m.DynamicPower(p.Segments[0].Speed)
+}
+
+// Energy returns the dynamic energy of the whole plan.
+func (p Plan) Energy(m power.Model) float64 {
+	return yds.Schedule{Segments: p.Segments}.Energy(m)
+}
+
+// Online computes the myopic optimal plan for the ready jobs at time now
+// under the configuration. Expired or completed jobs receive no segments.
+// Jobs appear in the plan in EDF order; the schedule is non-preemptive.
+func Online(cfg Config, now float64, ready []job.Ready) (Plan, error) {
+	sStar := cfg.SpeedCap()
+	if sStar <= 0 || len(ready) == 0 {
+		return Plan{}, nil
+	}
+
+	tasks := make([]tians.Task, 0, len(ready))
+	partial := make(map[job.ID]bool, len(ready))
+	for _, r := range ready {
+		if r.Deadline <= now || r.Remaining() <= 0 {
+			continue
+		}
+		tasks = append(tasks, tians.Task{
+			ID:       r.ID,
+			Release:  now,
+			Deadline: r.Deadline,
+			Demand:   r.Demand,
+			Progress: r.Done,
+		})
+		partial[r.ID] = r.Partial
+	}
+
+	var discarded []job.ID
+	var allocs []tians.Allocation
+	for {
+		var err error
+		allocs, err = tians.SameRelease(now, sStar, tasks)
+		if err != nil {
+			return Plan{}, err
+		}
+		drop, ok := worstNonPartialShortfall(tasks, allocs, partial)
+		if !ok {
+			break
+		}
+		discarded = append(discarded, drop)
+		tasks = removeTask(tasks, drop)
+	}
+
+	plan, err := buildPlan(cfg, now, sStar, tasks, allocs)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.Discarded = discarded
+	return plan, nil
+}
+
+// Offline computes the QE-OPT schedule for a full job set with arbitrary
+// release times and agreeable deadlines under a fixed budget. Partial flags
+// are supplied per job ID; missing entries default to partial-capable.
+// Offline is the continuous-DVFS optimality setting of §III-A: a discrete
+// Ladder only caps the planning speed (via SpeedCap); per-segment ladder
+// rectification is an online concern and is not applied here.
+func Offline(cfg Config, tasks []tians.Task, partial map[job.ID]bool) (Plan, error) {
+	sStar := cfg.SpeedCap()
+	if sStar <= 0 || len(tasks) == 0 {
+		return Plan{}, nil
+	}
+	work := append([]tians.Task(nil), tasks...)
+
+	var discarded []job.ID
+	var allocs []tians.Allocation
+	for {
+		var err error
+		allocs, err = tians.Offline(sStar, work)
+		if err != nil {
+			return Plan{}, err
+		}
+		drop, ok := worstNonPartialShortfall(work, allocs, partial)
+		if !ok {
+			break
+		}
+		discarded = append(discarded, drop)
+		work = removeTask(work, drop)
+	}
+
+	// Energy step on the original windows with demands replaced by the
+	// Quality-OPT volumes (§III-A step 2).
+	byID := make(map[job.ID]tians.Task, len(work))
+	for _, t := range work {
+		byID[t.ID] = t
+	}
+	ydsTasks := make([]yds.Task, 0, len(allocs))
+	for _, a := range allocs {
+		if a.Volume <= 0 {
+			continue
+		}
+		t := byID[a.ID]
+		ydsTasks = append(ydsTasks, yds.Task{ID: a.ID, Release: t.Release, Deadline: t.Deadline, Volume: a.Volume})
+	}
+	sched, err := yds.Offline(ydsTasks)
+	if err != nil {
+		return Plan{}, err
+	}
+	if s := sched.MaxSpeed(); s > sStar*(1+1e-9)+1e-12 {
+		return Plan{}, fmt.Errorf("qeopt: Energy-OPT speed %g exceeds budget speed %g (Theorem 1 violated)", s, sStar)
+	}
+	return Plan{Segments: clampSpeeds(sched.Segments, sStar), Allocs: allocs, Discarded: discarded}, nil
+}
+
+// worstNonPartialShortfall returns the non-partial job with the largest gap
+// between demand and allocated total, or ok=false when every non-partial
+// job is fully served.
+func worstNonPartialShortfall(tasks []tians.Task, allocs []tians.Allocation, partial map[job.ID]bool) (job.ID, bool) {
+	demand := make(map[job.ID]float64, len(tasks))
+	for _, t := range tasks {
+		demand[t.ID] = t.Demand
+	}
+	const tol = 1e-6
+	worst, worstGap := job.ID(0), 0.0
+	found := false
+	for _, a := range allocs {
+		if partial[a.ID] {
+			continue
+		}
+		if gap := demand[a.ID] - a.Total; gap > tol && gap > worstGap {
+			worst, worstGap, found = a.ID, gap, true
+		}
+	}
+	return worst, found
+}
+
+func removeTask(tasks []tians.Task, id job.ID) []tians.Task {
+	out := tasks[:0]
+	for _, t := range tasks {
+		if t.ID != id {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// buildPlan runs the energy step for the online (same-release) case and,
+// under discrete scaling, rectifies segment speeds to ladder levels.
+func buildPlan(cfg Config, now, sStar float64, tasks []tians.Task, allocs []tians.Allocation) (Plan, error) {
+	byID := make(map[job.ID]tians.Task, len(tasks))
+	for _, t := range tasks {
+		byID[t.ID] = t
+	}
+	ydsTasks := make([]yds.Task, 0, len(allocs))
+	for _, a := range allocs {
+		if a.Volume <= 0 {
+			continue
+		}
+		t := byID[a.ID]
+		ydsTasks = append(ydsTasks, yds.Task{ID: a.ID, Release: now, Deadline: t.Deadline, Volume: a.Volume})
+	}
+	sched, err := yds.SameRelease(now, ydsTasks)
+	if err != nil {
+		return Plan{}, err
+	}
+	if s := sched.MaxSpeed(); s > sStar*(1+1e-9)+1e-12 {
+		return Plan{}, fmt.Errorf("qeopt: Energy-OPT speed %g exceeds budget speed %g (Theorem 1 violated)", s, sStar)
+	}
+	segs := clampSpeeds(sched.Segments, sStar)
+	if !cfg.Ladder.Continuous() {
+		if cfg.TwoSpeed {
+			segs = rectifyTwoSpeed(cfg, segs)
+		} else {
+			segs = rectifyDiscrete(cfg, now, segs, byID)
+		}
+	}
+	return Plan{Segments: segs, Allocs: allocs}, nil
+}
+
+// rectifyTwoSpeed replaces each continuous segment by at most two chunks at
+// the adjacent ladder speeds, delivering the same volume over the same
+// window ([21]). Speeds never exceed the highest ladder level the budget
+// affords; since planning capped speeds at that level, the split always
+// fits.
+func rectifyTwoSpeed(cfg Config, segs []yds.Segment) []yds.Segment {
+	capSpeed := cfg.Power.SpeedFor(cfg.Budget)
+	if cfg.MaxSpeed > 0 {
+		capSpeed = math.Min(capSpeed, cfg.MaxSpeed)
+	}
+	var out []yds.Segment
+	for _, seg := range segs {
+		dur := seg.End - seg.Start
+		vol := seg.Volume()
+		if dur <= 0 || vol <= 0 {
+			continue
+		}
+		s := seg.Speed
+		hi, okHi := cfg.Ladder.RoundUp(s)
+		if !okHi || cfg.Power.DynamicPower(hi) > cfg.Budget+1e-12 || hi > capSpeed+1e-12 {
+			// The level above is unaffordable; the planning cap is itself a
+			// ladder level, so it becomes the high speed.
+			var ok bool
+			hi, ok = cfg.Ladder.RoundDown(capSpeed + 1e-12)
+			if !ok {
+				continue // no affordable level at all: the core stays idle
+			}
+		}
+		lo, okLo := cfg.Ladder.RoundDown(s)
+		if okLo && math.Abs(lo-s) < 1e-12 {
+			// Already on the ladder (within float drift): snap exactly.
+			seg.Speed = lo
+			out = append(out, seg)
+			continue
+		}
+		if math.Abs(hi-s) < 1e-12 {
+			seg.Speed = hi
+			out = append(out, seg)
+			continue
+		}
+		if !okLo {
+			lo = 0 // below the bottom level: idle fills the remainder
+		}
+		rateHi, rateLo := power.Rate(hi), power.Rate(lo)
+		var tHi float64
+		if rateHi > rateLo {
+			tHi = (vol - rateLo*dur) / (rateHi - rateLo)
+		} else {
+			tHi = dur
+		}
+		tHi = math.Max(0, math.Min(tHi, dur))
+		cur := seg.Start
+		if tHi > 1e-12 {
+			out = append(out, yds.Segment{ID: seg.ID, Start: cur, End: cur + tHi, Speed: hi})
+			cur += tHi
+		}
+		if lo > 0 && seg.End-cur > 1e-12 {
+			out = append(out, yds.Segment{ID: seg.ID, Start: cur, End: seg.End, Speed: lo})
+		}
+	}
+	return out
+}
+
+// clampSpeeds caps floating-point overshoot of the budget speed.
+func clampSpeeds(segs []yds.Segment, sStar float64) []yds.Segment {
+	out := append([]yds.Segment(nil), segs...)
+	for i := range out {
+		if out[i].Speed > sStar {
+			// Keep the volume intact: stretch the segment instead. The
+			// overshoot is at most a relative 1e-9, so the stretch is
+			// negligible; downstream deadline checks use tolerances.
+			vol := out[i].Volume()
+			out[i].Speed = sStar
+			out[i].End = out[i].Start + vol/power.Rate(sStar)
+		}
+	}
+	return out
+}
+
+// rectifyDiscrete rebuilds the segment list under discrete speed scaling
+// (§V-F): each segment's speed is rounded up to the nearest ladder level the
+// core's budget supports, else down; segments run back-to-back from now and
+// are truncated at their job's deadline when rounding down loses capacity.
+func rectifyDiscrete(cfg Config, now float64, segs []yds.Segment, byID map[job.ID]tians.Task) []yds.Segment {
+	var out []yds.Segment
+	cur := now
+	for _, seg := range segs {
+		vol := seg.Volume()
+		speed := snapSpeed(cfg, seg.Speed)
+		if speed <= 0 || vol <= 0 {
+			continue
+		}
+		deadline := byID[seg.ID].Deadline
+		if cur >= deadline {
+			continue
+		}
+		dur := vol / power.Rate(speed)
+		end := cur + dur
+		if end > deadline {
+			end = deadline
+		}
+		if end-cur <= 1e-12 {
+			continue
+		}
+		out = append(out, yds.Segment{ID: seg.ID, Start: cur, End: end, Speed: speed})
+		cur = end
+	}
+	return out
+}
+
+// snapSpeed applies the paper's rectification rule: the smallest ladder
+// speed not below s if the budget can power it, otherwise the next lower
+// ladder speed (0 when even the lowest level is unaffordable or s is 0).
+func snapSpeed(cfg Config, s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	cap := cfg.Power.SpeedFor(cfg.Budget)
+	if cfg.MaxSpeed > 0 {
+		cap = math.Min(cap, cfg.MaxSpeed)
+	}
+	if up, ok := cfg.Ladder.RoundUp(s); ok && up <= cap+1e-12 {
+		return up
+	}
+	if down, ok := cfg.Ladder.RoundDown(math.Min(s, cap)); ok {
+		return down
+	}
+	return 0
+}

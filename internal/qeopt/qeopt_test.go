@@ -1,0 +1,400 @@
+package qeopt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/quality"
+	"dessched/internal/tians"
+	"dessched/internal/yds"
+)
+
+func cfg20W() Config {
+	return Config{Power: power.Default, Budget: 20} // 2 GHz cap
+}
+
+func ready(id job.ID, r, d, w float64) job.Ready {
+	return job.Ready{Job: job.Job{ID: id, Release: r, Deadline: d, Demand: w, Partial: true}}
+}
+
+func TestSpeedCap(t *testing.T) {
+	if got := cfg20W().SpeedCap(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("SpeedCap = %v, want 2", got)
+	}
+	c := cfg20W()
+	c.MaxSpeed = 1.5
+	if got := c.SpeedCap(); got != 1.5 {
+		t.Errorf("SpeedCap with MaxSpeed = %v, want 1.5", got)
+	}
+	c = cfg20W()
+	c.Ladder = power.NewLadder(0.5, 1.0, 1.8)
+	if got := c.SpeedCap(); got != 1.8 {
+		t.Errorf("SpeedCap discrete = %v, want 1.8", got)
+	}
+	c.Ladder = power.NewLadder(3.0) // lowest level unaffordable at 20 W
+	if got := c.SpeedCap(); got != 0 {
+		t.Errorf("SpeedCap unaffordable ladder = %v, want 0", got)
+	}
+}
+
+func TestOnlineEmptyAndZeroBudget(t *testing.T) {
+	p, err := Online(cfg20W(), 0, nil)
+	if err != nil || len(p.Segments) != 0 {
+		t.Errorf("empty ready: %v, %v", p, err)
+	}
+	p, err = Online(Config{Power: power.Default, Budget: 0}, 0, []job.Ready{ready(1, 0, 1, 100)})
+	if err != nil || len(p.Segments) != 0 {
+		t.Errorf("zero budget: %v, %v", p, err)
+	}
+}
+
+func TestOnlineLightLoadSatisfiesAndSlowsDown(t *testing.T) {
+	rs := []job.Ready{
+		ready(1, 0, 0.15, 100),
+		ready(2, 0, 0.16, 150),
+	}
+	p, err := Online(cfg20W(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(1); math.Abs(v-100) > 1e-6 {
+		t.Errorf("job 1 volume = %v", v)
+	}
+	if v := sched.VolumeOf(2); math.Abs(v-150) > 1e-6 {
+		t.Errorf("job 2 volume = %v", v)
+	}
+	// Energy must be below running both jobs at the 2 GHz cap.
+	atCap := power.Default.DynamicPower(2) * (250.0 / 2000.0)
+	if e := p.Energy(power.Default); e >= atCap {
+		t.Errorf("energy %v not below full-speed energy %v", e, atCap)
+	}
+	if p.RequiredPower(power.Default) > 20+1e-9 {
+		t.Errorf("required power %v exceeds budget", p.RequiredPower(power.Default))
+	}
+}
+
+func TestOnlineOverloadCapsAtBudgetSpeed(t *testing.T) {
+	rs := []job.Ready{
+		ready(1, 0, 0.15, 500),
+		ready(2, 0, 0.15, 500),
+	}
+	p, err := Online(cfg20W(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity = 0.15 * 2000 = 300 units < 1000: fully deprived, equal split
+	// at the budget speed.
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(1); math.Abs(v-150) > 1e-6 {
+		t.Errorf("job 1 volume = %v, want 150", v)
+	}
+	if v := sched.VolumeOf(2); math.Abs(v-150) > 1e-6 {
+		t.Errorf("job 2 volume = %v, want 150", v)
+	}
+	if s := sched.MaxSpeed(); math.Abs(s-2) > 1e-9 {
+		t.Errorf("max speed = %v, want the 2 GHz cap", s)
+	}
+}
+
+func TestOnlineRunningJobProgressFloor(t *testing.T) {
+	// The running job's progress acts as a floor: totals equalize.
+	run := ready(1, -0.05, 0.15, 500)
+	run.Done = 100
+	run.Running = true
+	rs := []job.Ready{run, ready(2, 0, 0.15, 500)}
+	p, err := Online(cfg20W(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 300: totals level solves (L-100)+(L) = 300 → L = 200.
+	var a1, a2 tians.Allocation
+	for _, a := range p.Allocs {
+		if a.ID == 1 {
+			a1 = a
+		} else {
+			a2 = a
+		}
+	}
+	if math.Abs(a1.Total-200) > 1e-6 || math.Abs(a2.Total-200) > 1e-6 {
+		t.Errorf("totals = %v, %v; want 200 each", a1.Total, a2.Total)
+	}
+	if math.Abs(a1.Volume-100) > 1e-6 {
+		t.Errorf("running job additional volume = %v, want 100", a1.Volume)
+	}
+}
+
+func TestOnlineDiscardsUncompletableNonPartial(t *testing.T) {
+	strict := ready(1, 0, 0.15, 500)
+	strict.Partial = false
+	rs := []job.Ready{strict, ready(2, 0, 0.15, 500)}
+	p, err := Online(cfg20W(), 0, rs) // capacity 300 < 500: strict job can't finish
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Discarded) != 1 || p.Discarded[0] != 1 {
+		t.Fatalf("Discarded = %v, want [1]", p.Discarded)
+	}
+	// The partial job now gets the whole capacity.
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(2); math.Abs(v-300) > 1e-6 {
+		t.Errorf("job 2 volume = %v, want 300", v)
+	}
+}
+
+func TestOnlineKeepsCompletableNonPartial(t *testing.T) {
+	// Light load: the quality-optimal schedule completes the strict job, so
+	// it is kept (§V-D checks completion under the current schedule only).
+	strict := ready(1, 0, 0.15, 100)
+	strict.Partial = false
+	rs := []job.Ready{strict, ready(2, 0, 0.15, 150)}
+	p, err := Online(cfg20W(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Discarded) != 0 {
+		t.Fatalf("Discarded = %v, want none", p.Discarded)
+	}
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(1); math.Abs(v-100) > 1e-6 {
+		t.Errorf("strict job volume = %v, want full 100", v)
+	}
+}
+
+func TestOnlineDiscardFreesCapacityForOtherStrictJob(t *testing.T) {
+	// Two strict jobs over capacity 300: the larger one is discarded first,
+	// after which the smaller completes and is kept.
+	a := ready(1, 0, 0.15, 250)
+	a.Partial = false
+	b := ready(2, 0, 0.15, 450)
+	b.Partial = false
+	p, err := Online(cfg20W(), 0, []job.Ready{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Discarded) != 1 || p.Discarded[0] != 2 {
+		t.Fatalf("Discarded = %v, want [2]", p.Discarded)
+	}
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(1); math.Abs(v-250) > 1e-6 {
+		t.Errorf("surviving strict job volume = %v, want 250", v)
+	}
+}
+
+func TestOnlineDiscreteSpeedsOnLadder(t *testing.T) {
+	c := cfg20W()
+	c.Ladder = power.DefaultLadder
+	rs := []job.Ready{
+		ready(1, 0, 0.15, 120),
+		ready(2, 0, 0.2, 340),
+		ready(3, 0, 0.2, 90),
+	}
+	p, err := Online(c, 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range p.Segments {
+		onLadder := false
+		for _, l := range c.Ladder {
+			if math.Abs(seg.Speed-l) < 1e-12 {
+				onLadder = true
+				break
+			}
+		}
+		if !onLadder {
+			t.Errorf("segment speed %v not on ladder", seg.Speed)
+		}
+		d := segDeadline(rs, seg.ID)
+		if seg.End > d+1e-9 {
+			t.Errorf("segment for job %d runs past deadline", seg.ID)
+		}
+	}
+	for i := 1; i < len(p.Segments); i++ {
+		if p.Segments[i].Start < p.Segments[i-1].End-1e-9 {
+			t.Error("discrete segments overlap")
+		}
+	}
+}
+
+func segDeadline(rs []job.Ready, id job.ID) float64 {
+	for _, r := range rs {
+		if r.ID == id {
+			return r.Deadline
+		}
+	}
+	return 0
+}
+
+func TestOnlineMyopicEqualsOfflineOnSameReleaseInstance(t *testing.T) {
+	rs := []job.Ready{
+		ready(1, 0, 0.1, 400),
+		ready(2, 0, 0.2, 300),
+		ready(3, 0, 0.2, 800),
+	}
+	pOn, err := Online(cfg20W(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]tians.Task, len(rs))
+	partial := map[job.ID]bool{}
+	for i, r := range rs {
+		tasks[i] = tians.Task{ID: r.ID, Release: 0, Deadline: r.Deadline, Demand: r.Demand}
+		partial[r.ID] = true
+	}
+	pOff, err := Offline(cfg20W(), tasks, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := quality.Default()
+	qOn := tians.TotalQuality(pOn.Allocs, q.Eval)
+	qOff := tians.TotalQuality(pOff.Allocs, q.Eval)
+	if math.Abs(qOn-qOff) > 1e-9 {
+		t.Errorf("online quality %v != offline %v", qOn, qOff)
+	}
+	eOn, eOff := pOn.Energy(power.Default), pOff.Energy(power.Default)
+	if math.Abs(eOn-eOff) > 1e-6*math.Max(1, eOff) {
+		t.Errorf("online energy %v != offline %v", eOn, eOff)
+	}
+}
+
+func TestOfflineDiscardsUncompletableNonPartial(t *testing.T) {
+	tasks := []tians.Task{
+		{ID: 1, Release: 0, Deadline: 0.15, Demand: 500},
+		{ID: 2, Release: 0, Deadline: 0.15, Demand: 500},
+	}
+	partial := map[job.ID]bool{1: false, 2: true}
+	p, err := Offline(cfg20W(), tasks, partial) // capacity 300
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Discarded) != 1 || p.Discarded[0] != 1 {
+		t.Fatalf("Discarded = %v, want [1]", p.Discarded)
+	}
+	sched := yds.Schedule{Segments: p.Segments}
+	if v := sched.VolumeOf(2); math.Abs(v-300) > 1e-6 {
+		t.Errorf("survivor volume = %v, want 300", v)
+	}
+}
+
+func TestOfflineEmptyAndZeroBudget(t *testing.T) {
+	p, err := Offline(cfg20W(), nil, nil)
+	if err != nil || len(p.Segments) != 0 {
+		t.Errorf("empty: %+v, %v", p, err)
+	}
+	p, err = Offline(Config{Power: power.Default, Budget: 0},
+		[]tians.Task{{ID: 1, Release: 0, Deadline: 1, Demand: 10}}, nil)
+	if err != nil || len(p.Segments) != 0 {
+		t.Errorf("zero budget: %+v, %v", p, err)
+	}
+}
+
+func TestOfflineTheorem1HoldsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.IntN(7)
+		tasks := make([]tians.Task, n)
+		rel := 0.0
+		partial := map[job.ID]bool{}
+		for i := 0; i < n; i++ {
+			rel += rng.Float64() * 0.04
+			tasks[i] = tians.Task{
+				ID:       job.ID(i),
+				Release:  rel,
+				Deadline: rel + 0.15,
+				Demand:   130 + rng.Float64()*870,
+			}
+			partial[job.ID(i)] = true
+		}
+		budget := 5 + rng.Float64()*40
+		c := Config{Power: power.Default, Budget: budget}
+		p, err := Offline(c, tasks, partial)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sStar := c.SpeedCap()
+		for _, seg := range p.Segments {
+			if seg.Speed > sStar+1e-9 {
+				t.Fatalf("trial %d: speed %v exceeds cap %v", trial, seg.Speed, sStar)
+			}
+		}
+		if rp := p.RequiredPower(power.Default); rp > budget*(1+1e-9) {
+			t.Fatalf("trial %d: required power %v exceeds budget %v", trial, rp, budget)
+		}
+	}
+}
+
+// Online with a varying budget: a second invocation with a smaller budget
+// still produces a feasible plan from the current state.
+func TestOnlineBudgetChangeAcrossInvocations(t *testing.T) {
+	rs := []job.Ready{ready(1, 0, 0.15, 300), ready(2, 0, 0.15, 300)}
+	p1, err := Online(cfg20W(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Segments) == 0 {
+		t.Fatal("no segments in first plan")
+	}
+	// Advance to t=0.05 with job 1 partially done; budget halves.
+	done := yds.Schedule{Segments: p1.Segments}
+	prog1 := 0.0
+	for _, seg := range p1.Segments {
+		if seg.Start < 0.05 && seg.ID == 1 {
+			end := math.Min(seg.End, 0.05)
+			prog1 += (end - seg.Start) * power.Rate(seg.Speed)
+		}
+	}
+	_ = done
+	rs2 := []job.Ready{
+		{Job: rs[0].Job, Done: prog1, Running: true},
+		rs[1],
+	}
+	c2 := Config{Power: power.Default, Budget: 10}
+	p2, err := Online(c2, 0.05, rs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range p2.Segments {
+		if seg.Speed > c2.SpeedCap()+1e-9 {
+			t.Errorf("segment speed %v exceeds new cap %v", seg.Speed, c2.SpeedCap())
+		}
+		if seg.Start < 0.05-1e-12 {
+			t.Errorf("segment starts before invocation time: %+v", seg)
+		}
+	}
+}
+
+// Property-style check of Theorem 1 in the online form: Energy-OPT over
+// Quality-OPT volumes never exceeds the budget speed.
+func TestOnlineTheorem1Randomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.IntN(10)
+		rs := make([]job.Ready, n)
+		for i := 0; i < n; i++ {
+			rs[i] = ready(job.ID(i), 0, 0.02+rng.Float64()*0.3, 130+rng.Float64()*870)
+			if rng.IntN(4) == 0 {
+				rs[i].Done = rng.Float64() * rs[i].Demand
+			}
+		}
+		budget := 2 + rng.Float64()*60
+		c := Config{Power: power.Default, Budget: budget}
+		p, err := Online(c, 0, rs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, seg := range p.Segments {
+			if seg.Speed > c.SpeedCap()+1e-9 {
+				t.Fatalf("trial %d: speed %v > cap %v", trial, seg.Speed, c.SpeedCap())
+			}
+		}
+		// Speeds non-increasing (continuous case).
+		for i := 1; i < len(p.Segments); i++ {
+			if p.Segments[i].Speed > p.Segments[i-1].Speed+1e-9 {
+				t.Fatalf("trial %d: speeds increase", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package qeopt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/yds"
+)
+
+func twoSpeedCfg() Config {
+	return Config{Power: power.Default, Budget: 20, Ladder: power.DefaultLadder, TwoSpeed: true}
+}
+
+func snapCfg() Config {
+	return Config{Power: power.Default, Budget: 20, Ladder: power.DefaultLadder}
+}
+
+func TestTwoSpeedPreservesVolumeAndWindow(t *testing.T) {
+	rs := []job.Ready{
+		ready(1, 0, 0.15, 120),
+		ready(2, 0, 0.20, 340),
+		ready(3, 0, 0.20, 90),
+	}
+	cont, err := Online(Config{Power: power.Default, Budget: 20}, 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := Online(twoSpeedCfg(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := yds.Schedule{Segments: cont.Segments}
+	sd := yds.Schedule{Segments: disc.Segments}
+	for _, id := range []job.ID{1, 2, 3} {
+		if math.Abs(sc.VolumeOf(id)-sd.VolumeOf(id)) > 1e-6 {
+			t.Errorf("job %d: continuous volume %v != two-speed %v", id, sc.VolumeOf(id), sd.VolumeOf(id))
+		}
+	}
+	// Timing preserved: the two-speed plan ends exactly when the
+	// continuous one does.
+	if math.Abs(sc.End()-sd.End()) > 1e-9 {
+		t.Errorf("end times differ: %v vs %v", sc.End(), sd.End())
+	}
+}
+
+func TestTwoSpeedSpeedsOnLadder(t *testing.T) {
+	rs := []job.Ready{ready(1, 0, 0.15, 137), ready(2, 0, 0.18, 411)}
+	p, err := Online(twoSpeedCfg(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range p.Segments {
+		on := false
+		for _, l := range power.DefaultLadder {
+			if math.Abs(seg.Speed-l) < 1e-12 {
+				on = true
+			}
+		}
+		if !on {
+			t.Errorf("speed %v not on ladder", seg.Speed)
+		}
+		if power.Default.DynamicPower(seg.Speed) > 20+1e-9 {
+			t.Errorf("speed %v exceeds the 20 W budget", seg.Speed)
+		}
+	}
+	for i := 1; i < len(p.Segments); i++ {
+		if p.Segments[i].Start < p.Segments[i-1].End-1e-9 {
+			t.Error("two-speed segments overlap")
+		}
+	}
+}
+
+// Convexity: two-speed interpolation never consumes more energy than the
+// snap-up rule for the same allocation.
+func TestTwoSpeedNeverWorseThanSnapUp(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 5))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.IntN(6)
+		rs := make([]job.Ready, n)
+		for i := range rs {
+			rs[i] = ready(job.ID(i), 0, 0.05+rng.Float64()*0.25, 130+rng.Float64()*600)
+		}
+		two, err := Online(twoSpeedCfg(), 0, rs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		snap, err := Online(snapCfg(), 0, rs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Compare energy per delivered unit (the snap-up rule may truncate
+		// volume at deadlines, the two-speed rule does not).
+		vTwo, vSnap := 0.0, 0.0
+		for _, seg := range two.Segments {
+			vTwo += seg.Volume()
+		}
+		for _, seg := range snap.Segments {
+			vSnap += seg.Volume()
+		}
+		if vTwo <= 0 || vSnap <= 0 {
+			continue
+		}
+		eTwo := two.Energy(power.Default) / vTwo
+		eSnap := snap.Energy(power.Default) / vSnap
+		if eTwo > eSnap+1e-9 {
+			t.Fatalf("trial %d: two-speed %v J/unit above snap-up %v", trial, eTwo, eSnap)
+		}
+	}
+}
+
+func TestTwoSpeedDeliversAtLeastSnapUpVolume(t *testing.T) {
+	// Snap-up can truncate long jobs at their deadline (the §V-F quality
+	// loss); two-speed never does, since it keeps the feasible timing.
+	rs := []job.Ready{ready(1, 0, 0.15, 290)} // ideal speed 1.933 GHz, between 1.5 and 2.0
+	two, err := Online(twoSpeedCfg(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := yds.Schedule{Segments: two.Segments}
+	if v := sd.VolumeOf(1); math.Abs(v-290) > 1e-6 {
+		t.Errorf("two-speed volume = %v, want full 290", v)
+	}
+	// And it used exactly the two adjacent levels.
+	speeds := map[float64]bool{}
+	for _, seg := range two.Segments {
+		speeds[seg.Speed] = true
+	}
+	if !speeds[2.0] || !speeds[1.5] || len(speeds) != 2 {
+		t.Errorf("speeds = %v, want {1.5, 2.0}", speeds)
+	}
+}
+
+func TestTwoSpeedOnLadderSegmentUntouched(t *testing.T) {
+	// A job whose ideal speed is exactly a ladder level keeps one segment.
+	rs := []job.Ready{ready(1, 0, 0.15, 300)} // exactly 2.0 GHz
+	two, err := Online(twoSpeedCfg(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two.Segments) != 1 || math.Abs(two.Segments[0].Speed-2.0) > 1e-12 {
+		t.Errorf("segments = %+v", two.Segments)
+	}
+}

@@ -1,0 +1,116 @@
+package qeopt
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/yds"
+)
+
+func TestValidateAcceptsOnlinePlans(t *testing.T) {
+	rs := []job.Ready{
+		ready(1, 0, 0.1, 400),
+		ready(2, 0, 0.2, 300),
+	}
+	p, err := Online(cfg20W(), 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(cfg20W(), 0, rs); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	rs := []job.Ready{ready(1, 0, 0.1, 400)}
+	cfg := cfg20W()
+	mk := func(segs ...yds.Segment) Plan { return Plan{Segments: segs} }
+
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"unknown job", mk(yds.Segment{ID: 9, Start: 0, End: 0.05, Speed: 1})},
+		{"past deadline", mk(yds.Segment{ID: 1, Start: 0.05, End: 0.15, Speed: 1})},
+		{"over budget", mk(yds.Segment{ID: 1, Start: 0, End: 0.05, Speed: 3})},
+		{"inverted", mk(yds.Segment{ID: 1, Start: 0.05, End: 0.01, Speed: 1})},
+		{"overlap", mk(
+			yds.Segment{ID: 1, Start: 0, End: 0.06, Speed: 1},
+			yds.Segment{ID: 1, Start: 0.05, End: 0.09, Speed: 1},
+		)},
+		{"over volume", mk(yds.Segment{ID: 1, Start: 0, End: 0.1, Speed: 2},
+			// 0.1 s * 2 GHz = 200 + another 201 > 400 demand
+			yds.Segment{ID: 1, Start: 0.1, End: 0.2005, Speed: 2})},
+	}
+	for _, c := range cases {
+		// Give the over-volume case a longer window so only volume trips.
+		readySet := rs
+		if c.name == "over volume" {
+			readySet = []job.Ready{ready(1, 0, 0.3, 350)}
+		}
+		if err := c.plan.Validate(cfg, 0, readySet); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+
+	discardedPlan := Plan{
+		Segments:  []yds.Segment{{ID: 1, Start: 0, End: 0.05, Speed: 1}},
+		Discarded: []job.ID{1},
+	}
+	if err := discardedPlan.Validate(cfg, 0, rs); err == nil {
+		t.Error("segments for a discarded job accepted")
+	}
+}
+
+func TestValidateDiscreteLadderEnforced(t *testing.T) {
+	cfg := cfg20W()
+	cfg.Ladder = power.DefaultLadder
+	rs := []job.Ready{ready(1, 0, 0.2, 100)}
+	offLadder := Plan{Segments: []yds.Segment{{ID: 1, Start: 0, End: 0.1, Speed: 0.7}}}
+	if err := offLadder.Validate(cfg, 0, rs); err == nil {
+		t.Error("off-ladder speed accepted")
+	}
+	p, err := Online(cfg, 0, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(cfg, 0, rs); err != nil {
+		t.Errorf("discrete plan rejected: %v", err)
+	}
+}
+
+// Property: every Online plan validates, across budgets, ladders, two-speed
+// mode, and progress floors.
+func TestValidateOnlineRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 3))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.IntN(8)
+		rs := make([]job.Ready, n)
+		for i := range rs {
+			rs[i] = ready(job.ID(i), 0, 0.03+rng.Float64()*0.3, 130+rng.Float64()*870)
+			if rng.IntN(3) == 0 {
+				rs[i].Done = rng.Float64() * rs[i].Demand
+			}
+			if rng.IntN(5) == 0 {
+				rs[i].Partial = false
+			}
+		}
+		cfg := Config{Power: power.Default, Budget: 4 + rng.Float64()*40}
+		switch rng.IntN(3) {
+		case 1:
+			cfg.Ladder = power.DefaultLadder
+		case 2:
+			cfg.Ladder = power.DefaultLadder
+			cfg.TwoSpeed = true
+		}
+		p, err := Online(cfg, 0, rs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.Validate(cfg, 0, rs); err != nil {
+			t.Fatalf("trial %d: %v\ncfg %+v\nready %+v\nplan %+v", trial, err, cfg, rs, p)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package quality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Piecewise is a concave piecewise-linear quality function defined by
+// breakpoints: q interpolates linearly between them and is constant after
+// the last one. Real services often express quality this way — e.g. a
+// search engine's "fraction of index shards consulted" tiers or a video
+// server's bitrate ladders. Construct with NewPiecewise, which enforces
+// monotonicity and concavity so the scheduling optimality results still
+// apply.
+type Piecewise struct {
+	xs []float64
+	ys []float64
+}
+
+// Point is one (volume, quality) breakpoint.
+type Point struct {
+	X, Y float64
+}
+
+// NewPiecewise builds a piecewise-linear quality function through the
+// points plus the implicit origin (0, 0). Points must have positive,
+// strictly increasing X after sorting; Y must be non-decreasing; and the
+// slopes must be non-increasing (concavity). Violations return an error.
+func NewPiecewise(points ...Point) (Piecewise, error) {
+	if len(points) == 0 {
+		return Piecewise{}, fmt.Errorf("quality: need at least one breakpoint")
+	}
+	ps := append([]Point(nil), points...)
+	sort.Slice(ps, func(a, b int) bool { return ps[a].X < ps[b].X })
+	p := Piecewise{xs: []float64{0}, ys: []float64{0}}
+	prevSlope := 0.0
+	for i, pt := range ps {
+		if pt.X <= p.xs[len(p.xs)-1] {
+			return Piecewise{}, fmt.Errorf("quality: breakpoint x=%g not strictly increasing", pt.X)
+		}
+		if pt.Y < p.ys[len(p.ys)-1] {
+			return Piecewise{}, fmt.Errorf("quality: breakpoint y=%g decreases", pt.Y)
+		}
+		slope := (pt.Y - p.ys[len(p.ys)-1]) / (pt.X - p.xs[len(p.xs)-1])
+		if i > 0 && slope > prevSlope+1e-12 {
+			return Piecewise{}, fmt.Errorf("quality: slope increases at x=%g (not concave)", pt.X)
+		}
+		prevSlope = slope
+		p.xs = append(p.xs, pt.X)
+		p.ys = append(p.ys, pt.Y)
+	}
+	return p, nil
+}
+
+// Eval implements Function.
+func (p Piecewise) Eval(x float64) float64 {
+	if len(p.xs) == 0 || x <= 0 {
+		return 0
+	}
+	if x >= p.xs[len(p.xs)-1] {
+		return p.ys[len(p.ys)-1]
+	}
+	i := sort.SearchFloat64s(p.xs, x)
+	if p.xs[i] == x {
+		return p.ys[i]
+	}
+	x0, x1 := p.xs[i-1], p.xs[i]
+	y0, y1 := p.ys[i-1], p.ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// Name implements Function.
+func (p Piecewise) Name() string {
+	var b strings.Builder
+	b.WriteString("piecewise(")
+	for i := 1; i < len(p.xs); i++ {
+		if i > 1 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g:%g", p.xs[i], p.ys[i])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// SearchTiers returns a quality function modeling a web-search backend that
+// consults index tiers of diminishing value: the first tier (most relevant
+// shards) contributes most of the result quality.
+func SearchTiers() Piecewise {
+	p, err := NewPiecewise(
+		Point{X: 200, Y: 0.55},
+		Point{X: 500, Y: 0.85},
+		Point{X: 1000, Y: 1.0},
+	)
+	if err != nil {
+		panic(err) // static data; cannot fail
+	}
+	return p
+}

@@ -1,0 +1,100 @@
+package quality
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPiecewiseValid(t *testing.T) {
+	p, err := NewPiecewise(Point{X: 100, Y: 0.5}, Point{X: 300, Y: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-5, 0}, {0, 0}, {50, 0.25}, {100, 0.5}, {200, 0.7}, {300, 0.9}, {999, 0.9},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNewPiecewiseSortsInput(t *testing.T) {
+	a, err := NewPiecewise(Point{X: 300, Y: 0.9}, Point{X: 100, Y: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewPiecewise(Point{X: 100, Y: 0.5}, Point{X: 300, Y: 0.9})
+	for _, x := range []float64{50, 150, 250, 400} {
+		if a.Eval(x) != b.Eval(x) {
+			t.Fatalf("order-dependent result at %g", x)
+		}
+	}
+}
+
+func TestNewPiecewiseRejections(t *testing.T) {
+	cases := [][]Point{
+		{},                                   // empty
+		{{X: 0, Y: 0.5}},                     // x not > 0
+		{{X: -10, Y: 0.5}},                   // negative x
+		{{X: 100, Y: 0.5}, {X: 100, Y: 0.6}}, // duplicate x
+		{{X: 100, Y: 0.5}, {X: 200, Y: 0.4}}, // decreasing y
+		{{X: 100, Y: 0.2}, {X: 200, Y: 0.9}}, // convex (slope rises)
+	}
+	for i, ps := range cases {
+		if _, err := NewPiecewise(ps...); err == nil {
+			t.Errorf("case %d accepted: %v", i, ps)
+		}
+	}
+}
+
+func TestPiecewiseConcaveAndMonotone(t *testing.T) {
+	p := SearchTiers()
+	if !IsNonDecreasingOn(p, 1200, 240, 0) {
+		t.Error("SearchTiers not monotone")
+	}
+	if !IsConcaveOn(p, 1200, 40, 1e-12) {
+		t.Error("SearchTiers not concave")
+	}
+	if p.Eval(1000) != 1 || p.Eval(2000) != 1 {
+		t.Error("SearchTiers saturation wrong")
+	}
+}
+
+func TestPiecewiseName(t *testing.T) {
+	p := SearchTiers()
+	if !strings.Contains(p.Name(), "200:0.55") {
+		t.Errorf("Name = %q", p.Name())
+	}
+	var empty Piecewise
+	if empty.Eval(10) != 0 {
+		t.Error("zero-value Piecewise should evaluate to 0")
+	}
+}
+
+// Property: any two-segment construction accepted by NewPiecewise is
+// concave at random evaluation points.
+func TestPiecewiseConcavityProperty(t *testing.T) {
+	prop := func(x1i, y1i, x2i, y2i, ai, bi uint16) bool {
+		x1 := 1 + float64(x1i)/65535*500
+		y1 := float64(y1i) / 65535
+		x2 := x1 + 1 + float64(x2i)/65535*500
+		// Force a concave second slope.
+		slope1 := y1 / x1
+		y2 := y1 + slope1*(x2-x1)*float64(y2i)/65535
+		p, err := NewPiecewise(Point{X: x1, Y: y1}, Point{X: x2, Y: y2})
+		if err != nil {
+			return true // the constructor may reject degenerate combos
+		}
+		a := float64(ai) / 65535 * (x2 + 100)
+		b := float64(bi) / 65535 * (x2 + 100)
+		mid := p.Eval((a + b) / 2)
+		return mid >= (p.Eval(a)+p.Eval(b))/2-1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

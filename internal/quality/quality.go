@@ -1,0 +1,173 @@
+// Package quality implements the response-quality functions of best-effort
+// interactive services: monotonically increasing, (strictly) concave maps
+// from a job's processed volume to the quality of its (partial) result.
+//
+// The paper's driving family (Eq. 1) is
+//
+//	q(x) = (1 - e^(-c*x)) / (1 - e^(-1000*c))
+//
+// normalized so q(0)=0 and q(1000)=1 where 1000 processing units is the
+// maximum service demand of a request. A larger multiplier c yields a more
+// concave function: more of the total quality is earned by the earliest
+// processing, so partial execution is more profitable.
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function maps a processed volume (in processing units, >= 0) to a quality
+// value. Implementations must be non-decreasing with Eval(0) == 0.
+// Scheduling optimality in package tians additionally requires strict
+// concavity, which all constructors here except Step provide.
+type Function interface {
+	// Eval returns the quality earned by processing x units of a request.
+	Eval(x float64) float64
+	// Name returns a short human-readable identifier for reports.
+	Name() string
+}
+
+// Exponential is the paper's Eq. (1) quality function with concavity
+// multiplier C and normalization span Span (the paper uses Span = 1000,
+// the maximum service demand).
+type Exponential struct {
+	C    float64 // concavity multiplier, > 0
+	Span float64 // demand at which quality is normalized to 1
+}
+
+// NewExponential returns the paper's quality function with multiplier c and
+// the default normalization span of 1000 processing units. It panics if
+// c <= 0.
+func NewExponential(c float64) Exponential {
+	if c <= 0 {
+		panic(fmt.Sprintf("quality: multiplier c must be positive, got %g", c))
+	}
+	return Exponential{C: c, Span: 1000}
+}
+
+// Eval implements Function. Volumes below zero clamp to zero quality; the
+// function keeps rising (toward its asymptote) past Span, matching Eq. (1).
+func (e Exponential) Eval(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return (1 - math.Exp(-e.C*x)) / (1 - math.Exp(-e.C*e.Span))
+}
+
+// Name implements Function.
+func (e Exponential) Name() string { return fmt.Sprintf("exp(c=%g)", e.C) }
+
+// Derivative returns q'(x), the marginal quality per processing unit.
+func (e Exponential) Derivative(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return e.C * math.Exp(-e.C*x) / (1 - math.Exp(-e.C*e.Span))
+}
+
+// Linear is the degenerate (weakly concave) quality function q(x) = x/Span,
+// clamped to [0, 1]. It models services whose value is proportional to the
+// work done, and is useful as a boundary case in tests.
+type Linear struct {
+	Span float64
+}
+
+// Eval implements Function.
+func (l Linear) Eval(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= l.Span {
+		return 1
+	}
+	return x / l.Span
+}
+
+// Name implements Function.
+func (l Linear) Name() string { return fmt.Sprintf("linear(span=%g)", l.Span) }
+
+// Step is the strict all-or-nothing quality model: a request earns quality 1
+// only when processed to at least its full demand. Step is per-job (it needs
+// the demand), so it is expressed as a closure over the demand via ForDemand.
+// It is the model the paper's Figure 4 applies to non-partial jobs.
+type Step struct {
+	Demand float64
+}
+
+// Eval implements Function.
+func (s Step) Eval(x float64) float64 {
+	if x >= s.Demand {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Function.
+func (s Step) Name() string { return fmt.Sprintf("step(w=%g)", s.Demand) }
+
+// Sqrt is q(x) = sqrt(x/Span) clamped at 1: an alternative strictly concave
+// family used in sensitivity tests.
+type Sqrt struct {
+	Span float64
+}
+
+// Eval implements Function.
+func (s Sqrt) Eval(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= s.Span {
+		return 1
+	}
+	return math.Sqrt(x / s.Span)
+}
+
+// Name implements Function.
+func (s Sqrt) Name() string { return fmt.Sprintf("sqrt(span=%g)", s.Span) }
+
+// PaperMultipliers are the concavity constants swept in the paper's
+// Figure 7: c ∈ {0.009, 0.005, 0.003, 0.002, 0.001, 0.0005}. DefaultC is the
+// value used everywhere else.
+var PaperMultipliers = []float64{0.009, 0.005, 0.003, 0.002, 0.001, 0.0005}
+
+// DefaultC is the default concavity multiplier used by the paper (§V-B).
+const DefaultC = 0.003
+
+// Default returns the paper's default quality function, exp with c = 0.003.
+func Default() Exponential { return NewExponential(DefaultC) }
+
+// IsConcaveOn numerically verifies concavity of f on [0, hi] by testing the
+// midpoint inequality f((a+b)/2) >= (f(a)+f(b))/2 - tol on n uniformly spaced
+// pairs. It is a test helper exposed for reuse by dependent packages.
+func IsConcaveOn(f Function, hi float64, n int, tol float64) bool {
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j <= n; j++ {
+			a := hi * float64(i) / float64(n)
+			b := hi * float64(j) / float64(n)
+			mid := f.Eval((a + b) / 2)
+			if mid < (f.Eval(a)+f.Eval(b))/2-tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsNonDecreasingOn numerically verifies monotonicity of f on [0, hi] at n+1
+// sample points.
+func IsNonDecreasingOn(f Function, hi float64, n int, tol float64) bool {
+	prev := f.Eval(0)
+	for i := 1; i <= n; i++ {
+		x := hi * float64(i) / float64(n)
+		v := f.Eval(x)
+		if v < prev-tol {
+			return false
+		}
+		prev = v
+	}
+	return true
+}

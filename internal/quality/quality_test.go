@@ -1,0 +1,189 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialEndpoints(t *testing.T) {
+	for _, c := range PaperMultipliers {
+		f := NewExponential(c)
+		if got := f.Eval(0); got != 0 {
+			t.Errorf("c=%g: Eval(0) = %v, want 0", c, got)
+		}
+		if got := f.Eval(1000); math.Abs(got-1) > 1e-12 {
+			t.Errorf("c=%g: Eval(1000) = %v, want 1", c, got)
+		}
+		if got := f.Eval(-10); got != 0 {
+			t.Errorf("c=%g: Eval(-10) = %v, want 0", c, got)
+		}
+	}
+}
+
+func TestExponentialKnownValues(t *testing.T) {
+	f := NewExponential(0.003)
+	// Hand-computed: (1-e^-0.39)/(1-e^-3).
+	want := (1 - math.Exp(-0.39)) / (1 - math.Exp(-3))
+	if got := f.Eval(130); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eval(130) = %v, want %v", got, want)
+	}
+}
+
+func TestExponentialMonotoneAndConcave(t *testing.T) {
+	for _, c := range PaperMultipliers {
+		f := NewExponential(c)
+		if !IsNonDecreasingOn(f, 1000, 200, 0) {
+			t.Errorf("c=%g: not non-decreasing", c)
+		}
+		if !IsConcaveOn(f, 1000, 40, 1e-12) {
+			t.Errorf("c=%g: not concave", c)
+		}
+	}
+}
+
+// Larger c must dominate pointwise on (0, 1000): more concave earns more
+// quality from the same partial volume (paper Fig. 7a).
+func TestConcavityOrdering(t *testing.T) {
+	for i := 0; i+1 < len(PaperMultipliers); i++ {
+		hi := NewExponential(PaperMultipliers[i])
+		lo := NewExponential(PaperMultipliers[i+1])
+		for _, x := range []float64{50, 130, 192, 500, 900} {
+			if hi.Eval(x) <= lo.Eval(x) {
+				t.Errorf("c=%g should dominate c=%g at x=%g: %v vs %v",
+					PaperMultipliers[i], PaperMultipliers[i+1], x, hi.Eval(x), lo.Eval(x))
+			}
+		}
+	}
+}
+
+func TestExponentialDerivative(t *testing.T) {
+	f := NewExponential(0.003)
+	// Finite-difference check at several points.
+	for _, x := range []float64{0, 10, 130, 500, 999} {
+		h := 1e-6
+		fd := (f.Eval(x+h) - f.Eval(x)) / h
+		if math.Abs(fd-f.Derivative(x)) > 1e-6 {
+			t.Errorf("Derivative(%g) = %v, finite diff %v", x, f.Derivative(x), fd)
+		}
+	}
+	// Derivative must be strictly decreasing (strict concavity).
+	prev := f.Derivative(0)
+	for x := 10.0; x <= 1000; x += 10 {
+		d := f.Derivative(x)
+		if d >= prev {
+			t.Fatalf("derivative not strictly decreasing at x=%g", x)
+		}
+		prev = d
+	}
+}
+
+func TestNewExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewExponential(0) did not panic")
+		}
+	}()
+	NewExponential(0)
+}
+
+func TestLinear(t *testing.T) {
+	f := Linear{Span: 1000}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {500, 0.5}, {1000, 1}, {2000, 1},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.x); got != c.want {
+			t.Errorf("Linear.Eval(%g) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if !IsConcaveOn(f, 1000, 20, 1e-12) {
+		t.Error("Linear not (weakly) concave")
+	}
+}
+
+func TestStep(t *testing.T) {
+	f := Step{Demand: 200}
+	if f.Eval(199.999) != 0 || f.Eval(200) != 1 || f.Eval(500) != 1 {
+		t.Error("Step thresholds wrong")
+	}
+	if f.Eval(0) != 0 {
+		t.Error("Step at zero wrong")
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	f := Sqrt{Span: 400}
+	if got := f.Eval(100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Sqrt.Eval(100) = %v, want 0.5", got)
+	}
+	if f.Eval(400) != 1 || f.Eval(800) != 1 || f.Eval(-3) != 0 {
+		t.Error("Sqrt boundary values wrong")
+	}
+	if !IsConcaveOn(f, 400, 30, 1e-12) {
+		t.Error("Sqrt not concave")
+	}
+}
+
+func TestDefault(t *testing.T) {
+	f := Default()
+	if f.C != DefaultC || f.Span != 1000 {
+		t.Errorf("Default() = %+v", f)
+	}
+	if f.Name() != "exp(c=0.003)" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Linear{Span: 10}).Name() == "" || (Step{Demand: 1}).Name() == "" || (Sqrt{Span: 2}).Name() == "" {
+		t.Error("empty names")
+	}
+}
+
+// Property: for any multiplier and any pair 0 <= x < y, Eval(x) < Eval(y)
+// (strict monotonicity) and quality stays in [0, ~asymptote].
+func TestExponentialStrictMonotoneProperty(t *testing.T) {
+	prop := func(ci, xi, yi uint16) bool {
+		c := 0.0001 + float64(ci)/65535*0.01
+		x := float64(xi) / 65535 * 1000
+		y := float64(yi) / 65535 * 1000
+		if x > y {
+			x, y = y, x
+		}
+		if y-x < 1e-9 {
+			return true
+		}
+		f := NewExponential(c)
+		return f.Eval(x) < f.Eval(y) && f.Eval(x) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the chord inequality with random interior weight, i.e. true
+// concavity, not just midpoint concavity.
+func TestExponentialChordConcavityProperty(t *testing.T) {
+	prop := func(ai, bi, li uint16) bool {
+		f := Default()
+		a := float64(ai) / 65535 * 1000
+		b := float64(bi) / 65535 * 1000
+		lam := float64(li) / 65535
+		mid := f.Eval(lam*a + (1-lam)*b)
+		chord := lam*f.Eval(a) + (1-lam)*f.Eval(b)
+		return mid >= chord-1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExponentialEval(b *testing.B) {
+	f := Default()
+	x := 0.0
+	for i := 0; i < b.N; i++ {
+		x += f.Eval(float64(i % 1000))
+	}
+	_ = x
+}

@@ -1,0 +1,175 @@
+// Package refopt provides slow, independent reference optimizers used only
+// by tests to cross-check the closed-form schedulers: a projected local
+// search over the same-release allocation polytope. Because the objective
+// Σ f(progress + x_j) is concave and the feasible set (prefix capacities +
+// boxes) is a polytope, any local optimum of the search is global, so the
+// search's best value is a tight lower bound that Quality-OPT's allocation
+// must match or beat.
+package refopt
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// Task mirrors tians.Task for the same-release setting: all tasks become
+// available at time zero of the horizon and must finish by Deadline.
+type Task struct {
+	Deadline float64
+	Demand   float64
+	Progress float64
+}
+
+// Instance is a same-release quality-maximization instance on one core of
+// fixed speed.
+type Instance struct {
+	Rate  float64 // processing rate, units/s
+	Tasks []Task  // will be sorted by deadline internally
+}
+
+// prefixCaps returns the cumulative capacity available to each
+// deadline-ordered prefix.
+func (in *Instance) prefixCaps() []float64 {
+	caps := make([]float64, len(in.Tasks))
+	for i, t := range in.Tasks {
+		caps[i] = t.Deadline * in.Rate
+	}
+	return caps
+}
+
+// Feasible reports whether the additional allocations x (deadline order)
+// respect boxes and prefix capacities within tol.
+func (in *Instance) Feasible(x []float64, tol float64) bool {
+	sum := 0.0
+	caps := in.prefixCaps()
+	for i, t := range in.Tasks {
+		if x[i] < -tol || x[i] > t.Demand-t.Progress+tol {
+			return false
+		}
+		sum += x[i]
+		if sum > caps[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Quality evaluates Σ f(progress + x_j).
+func (in *Instance) Quality(x []float64, f func(float64) float64) float64 {
+	q := 0.0
+	for i, t := range in.Tasks {
+		q += f(t.Progress + x[i])
+	}
+	return q
+}
+
+// Search runs a multi-start projected local search and returns the best
+// quality found. restarts controls the number of random starting points;
+// the search at each start alternates "grow" moves (use spare capacity)
+// and "transfer" moves (shift volume between jobs when the marginal
+// quality favors it), with a geometrically shrinking step.
+func Search(in Instance, f func(float64) float64, restarts int, seed uint64) float64 {
+	sort.Slice(in.Tasks, func(a, b int) bool { return in.Tasks[a].Deadline < in.Tasks[b].Deadline })
+	rng := rand.New(rand.NewPCG(seed, seed^0x94d049bb133111eb))
+	n := len(in.Tasks)
+	if n == 0 {
+		return 0
+	}
+	caps := in.prefixCaps()
+
+	best := 0.0
+	for r := 0; r < restarts; r++ {
+		x := in.randomFeasible(rng)
+		q := in.Quality(x, f)
+
+		maxStep := 0.0
+		for _, t := range in.Tasks {
+			if h := t.Demand - t.Progress; h > maxStep {
+				maxStep = h
+			}
+		}
+		for step := maxStep / 2; step > 1e-4; step /= 2 {
+			improved := true
+			for improved {
+				improved = false
+				// Grow moves.
+				for j := 0; j < n; j++ {
+					cand := append([]float64(nil), x...)
+					cand[j] += step
+					if !in.feasibleFast(cand, caps) {
+						continue
+					}
+					if nq := in.Quality(cand, f); nq > q+1e-12 {
+						x, q, improved = cand, nq, true
+					}
+				}
+				// Transfer moves.
+				for a := 0; a < n; a++ {
+					for b := 0; b < n; b++ {
+						if a == b || x[a] < step {
+							continue
+						}
+						cand := append([]float64(nil), x...)
+						cand[a] -= step
+						cand[b] += step
+						if !in.feasibleFast(cand, caps) {
+							continue
+						}
+						if nq := in.Quality(cand, f); nq > q+1e-12 {
+							x, q, improved = cand, nq, true
+						}
+					}
+				}
+			}
+		}
+		if q > best {
+			best = q
+		}
+	}
+	return best
+}
+
+func (in *Instance) feasibleFast(x []float64, caps []float64) bool {
+	const tol = 1e-9
+	sum := 0.0
+	for i, t := range in.Tasks {
+		if x[i] < -tol || x[i] > t.Demand-t.Progress+tol {
+			return false
+		}
+		sum += x[i]
+		if sum > caps[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// randomFeasible fills jobs in a random order with random fractions of the
+// remaining headroom, then repairs prefix violations by truncation.
+func (in *Instance) randomFeasible(rng *rand.Rand) []float64 {
+	n := len(in.Tasks)
+	x := make([]float64, n)
+	order := rng.Perm(n)
+	for _, j := range order {
+		x[j] = rng.Float64() * (in.Tasks[j].Demand - in.Tasks[j].Progress)
+	}
+	// Repair: walk prefixes, truncating the latest allocations first.
+	caps := in.prefixCaps()
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += x[i]
+		if sum > caps[i] {
+			over := sum - caps[i]
+			for j := i; j >= 0 && over > 0; j-- {
+				cut := x[j]
+				if cut > over {
+					cut = over
+				}
+				x[j] -= cut
+				over -= cut
+			}
+			sum = caps[i]
+		}
+	}
+	return x
+}

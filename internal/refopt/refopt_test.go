@@ -1,0 +1,81 @@
+package refopt
+
+import (
+	"math"
+	"testing"
+
+	"dessched/internal/quality"
+)
+
+func TestFeasible(t *testing.T) {
+	in := Instance{Rate: 1000, Tasks: []Task{
+		{Deadline: 0.1, Demand: 200},
+		{Deadline: 0.2, Demand: 200},
+	}}
+	if !in.Feasible([]float64{100, 100}, 1e-9) {
+		t.Error("feasible point rejected")
+	}
+	if in.Feasible([]float64{150, 100}, 1e-9) {
+		t.Error("prefix violation accepted") // prefix 1: 150 > 100
+	}
+	if in.Feasible([]float64{-5, 100}, 1e-9) {
+		t.Error("negative allocation accepted")
+	}
+	if in.Feasible([]float64{50, 300}, 1e-9) {
+		t.Error("box violation accepted")
+	}
+}
+
+func TestQuality(t *testing.T) {
+	in := Instance{Rate: 1000, Tasks: []Task{{Deadline: 1, Demand: 100, Progress: 50}}}
+	got := in.Quality([]float64{25}, func(x float64) float64 { return x })
+	if got != 75 {
+		t.Errorf("Quality = %v", got)
+	}
+}
+
+func TestSearchSingleJobSaturates(t *testing.T) {
+	q := quality.Default()
+	in := Instance{Rate: 1000, Tasks: []Task{{Deadline: 0.5, Demand: 300}}}
+	best := Search(in, q.Eval, 4, 1)
+	if math.Abs(best-q.Eval(300)) > 1e-3 {
+		t.Errorf("Search = %v, want q(300) = %v", best, q.Eval(300))
+	}
+}
+
+func TestSearchFindsEqualSplit(t *testing.T) {
+	// Two identical overloaded jobs: the concave optimum is the equal
+	// split, q(150)*2.
+	q := quality.Default()
+	in := Instance{Rate: 1000, Tasks: []Task{
+		{Deadline: 0.3, Demand: 500},
+		{Deadline: 0.3, Demand: 500},
+	}}
+	best := Search(in, q.Eval, 6, 2)
+	want := 2 * q.Eval(150)
+	if best < want-1e-3 {
+		t.Errorf("Search = %v, want >= %v", best, want)
+	}
+	// And it cannot exceed the true optimum.
+	if best > want+1e-3 {
+		t.Errorf("Search = %v exceeds the analytic optimum %v", best, want)
+	}
+}
+
+func TestSearchEmpty(t *testing.T) {
+	if got := Search(Instance{Rate: 1000}, func(x float64) float64 { return x }, 3, 1); got != 0 {
+		t.Errorf("empty instance = %v", got)
+	}
+}
+
+func TestRandomFeasibleAlwaysFeasible(t *testing.T) {
+	in := Instance{Rate: 500, Tasks: []Task{
+		{Deadline: 0.05, Demand: 400},
+		{Deadline: 0.1, Demand: 300},
+		{Deadline: 0.3, Demand: 900},
+	}}
+	best := Search(in, quality.Default().Eval, 5, 3)
+	if best <= 0 {
+		t.Errorf("Search found nothing: %v", best)
+	}
+}

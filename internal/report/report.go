@@ -1,0 +1,134 @@
+// Package report turns the experiment suite into a single markdown
+// reproduction report: every figure's tables, the ablations and extensions,
+// and the programmatic claims verdict — the artifact a reviewer would ask
+// for. cmd/despaper is its CLI.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"dessched/internal/experiments"
+)
+
+// Config selects what goes into the report.
+type Config struct {
+	Options experiments.Options
+	// IDs restricts the experiments (nil = all, in a curated order).
+	IDs []string
+	// Now stamps the report; zero means "omit the timestamp" (keeps tests
+	// deterministic).
+	Now time.Time
+}
+
+// curatedOrder puts the paper's figures first, then the derived tables,
+// then the extensions.
+var curatedOrder = []string{
+	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+	"tput", "esave", "claims",
+	"ablate", "myopia", "diurnal", "faults", "triggers",
+}
+
+// Generate runs the experiments and writes the markdown report. It fails
+// fast on the first experiment error.
+func Generate(w io.Writer, cfg Config) error {
+	ids := cfg.IDs
+	if len(ids) == 0 {
+		ids = defaultIDs()
+	}
+	fmt.Fprintln(w, "# DES reproduction report")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Du et al., *Energy-Efficient Scheduling for Best-Effort Interactive Services to Achieve High Response Quality*, IPDPS 2013.\n\n")
+	if !cfg.Now.IsZero() {
+		fmt.Fprintf(w, "Generated %s.\n", cfg.Now.Format(time.RFC3339))
+	}
+	o := cfg.Options
+	fmt.Fprintf(w, "Fidelity: %.0f simulated seconds per data point, seed %d.\n\n",
+		orDefault(o.Duration, 60), orDefaultU(o.Seed, 1))
+
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("report: unknown experiment %q", id)
+		}
+		start := time.Now()
+		tabs, err := e.Run(o)
+		if err != nil {
+			return fmt.Errorf("report: %s: %w", id, err)
+		}
+		fmt.Fprintf(w, "## %s — %s\n\n*%s* (ran in %.1fs)\n\n", e.ID, e.Title, e.Paper, time.Since(start).Seconds())
+		for _, t := range tabs {
+			writeMarkdownTable(w, t)
+		}
+	}
+	return nil
+}
+
+func defaultIDs() []string {
+	known := map[string]bool{}
+	for _, e := range experiments.All() {
+		known[e.ID] = true
+	}
+	var ids []string
+	for _, id := range curatedOrder {
+		if known[id] {
+			ids = append(ids, id)
+			delete(known, id)
+		}
+	}
+	// Anything new and uncurated goes at the end, sorted.
+	var rest []string
+	for id := range known {
+		rest = append(rest, id)
+	}
+	sort.Strings(rest)
+	return append(ids, rest...)
+}
+
+// writeMarkdownTable renders one table as GitHub-flavored markdown.
+func writeMarkdownTable(w io.Writer, t *experiments.Table) {
+	fmt.Fprintf(w, "**%s** — %s\n\n", t.Name, t.Title)
+	head := make([]string, 0, len(t.Columns)+1)
+	if len(t.RowLabels) > 0 {
+		head = append(head, "")
+	} else {
+		head = append(head, t.XLabel)
+	}
+	head = append(head, t.Columns...)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(head, " | "))
+	sep := make([]string, len(head))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for i, r := range t.Rows {
+		cells := make([]string, 0, len(r.Y)+1)
+		if len(t.RowLabels) > 0 {
+			cells = append(cells, t.RowLabels[i])
+		} else {
+			cells = append(cells, fmt.Sprintf("%g", r.X))
+		}
+		for _, y := range r.Y {
+			cells = append(cells, fmt.Sprintf("%.5g", y))
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+	fmt.Fprintln(w)
+}
+
+func orDefault(v, def float64) float64 {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+func orDefaultU(v, def uint64) uint64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dessched/internal/experiments"
+)
+
+func TestGenerateSubset(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Options: experiments.Options{Duration: 6, Seed: 1, Rates: []float64{120}},
+		IDs:     []string{"fig5", "esave"},
+	}
+	if err := Generate(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# DES reproduction report",
+		"## fig5",
+		"**fig5a**",
+		"| rate(req/s) | DES | FCFS | LJF | SJF |",
+		"## esave",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Generated ") {
+		t.Error("zero Now should omit the timestamp")
+	}
+}
+
+func TestGenerateUnknownID(t *testing.T) {
+	cfg := Config{IDs: []string{"nope"}}
+	if err := Generate(&bytes.Buffer{}, cfg); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestDefaultIDsCoverRegistry(t *testing.T) {
+	ids := defaultIDs()
+	if len(ids) != len(experiments.All()) {
+		t.Fatalf("defaultIDs has %d entries, registry %d", len(ids), len(experiments.All()))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+		if _, ok := experiments.ByID(id); !ok {
+			t.Errorf("unknown id %q in defaults", id)
+		}
+	}
+	// Curated order: figures first.
+	if ids[0] != "fig3" || ids[1] != "fig4" {
+		t.Errorf("curated order broken: %v", ids[:3])
+	}
+}
+
+func TestMarkdownCategoricalTable(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := &experiments.Table{Name: "x", Title: "demo", Columns: []string{"v"}}
+	tbl.AddLabeled("DES", 1.25)
+	writeMarkdownTable(&buf, tbl)
+	out := buf.String()
+	if !strings.Contains(out, "| DES | 1.25 |") {
+		t.Errorf("markdown = %q", out)
+	}
+}

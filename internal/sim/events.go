@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+
+	"dessched/internal/job"
+)
+
+// EventKind classifies the notable occurrences of a simulation run.
+type EventKind int
+
+// Event kinds.
+const (
+	EvArrival   EventKind = iota // a job entered the waiting queue
+	EvInvoke                     // the policy was invoked
+	EvComplete                   // a job finished its full demand
+	EvDeadline                   // a job's deadline expired with partial work
+	EvDiscard                    // the policy dropped a job
+	EvFaultEdge                  // a fault window opened or closed
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvArrival:
+		return "arrival"
+	case EvInvoke:
+		return "invoke"
+	case EvComplete:
+		return "complete"
+	case EvDeadline:
+		return "deadline"
+	case EvDiscard:
+		return "discard"
+	case EvFaultEdge:
+		return "fault-edge"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observed occurrence. Job is -1 for events without a job;
+// Core is -1 for events without a core.
+type Event struct {
+	Time float64
+	Kind EventKind
+	Job  job.ID
+	Core int
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%.6f %s", e.Time, e.Kind)
+	if e.Job >= 0 {
+		s += fmt.Sprintf(" job=%d", e.Job)
+	}
+	if e.Core >= 0 {
+		s += fmt.Sprintf(" core=%d", e.Core)
+	}
+	return s
+}
+
+// Observer receives events as they happen; set Config.Observer to enable.
+// Calls are synchronous from the simulation loop, so observers must be
+// fast and must not call back into the State API.
+type Observer func(Event)
+
+// EventCounter is a ready-made Observer tallying events by kind.
+type EventCounter struct {
+	Counts map[EventKind]int
+}
+
+// NewEventCounter returns an empty counter.
+func NewEventCounter() *EventCounter { return &EventCounter{Counts: map[EventKind]int{}} }
+
+// Observe implements the Observer contract; pass counter.Observe.
+func (c *EventCounter) Observe(e Event) { c.Counts[e.Kind]++ }
+
+func (e *engine) emit(ev Event) {
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(ev)
+	}
+}

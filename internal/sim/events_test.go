@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"dessched/internal/job"
+)
+
+func TestEventKindStrings(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvArrival: "arrival", EvInvoke: "invoke", EvComplete: "complete",
+		EvDeadline: "deadline", EvDiscard: "discard", EvFaultEdge: "fault-edge",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 1.5, Kind: EvComplete, Job: 3, Core: 2}
+	if got := e.String(); got != "1.500000 complete job=3 core=2" {
+		t.Errorf("String = %q", got)
+	}
+	e = Event{Time: 0, Kind: EvInvoke, Job: -1, Core: -1}
+	if got := e.String(); got != "0.000000 invoke" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestObserverSeesLifecycle(t *testing.T) {
+	cfg := testCfg(1)
+	counter := NewEventCounter()
+	var ordered []Event
+	cfg.Observer = func(e Event) {
+		counter.Observe(e)
+		ordered = append(ordered, e)
+	}
+	cfg.Faults = []Fault{{Core: 0, Start: 0.05, End: 0.06, SpeedFactor: 0.5}}
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+		{ID: 1, Release: 0.01, Deadline: 0.16, Demand: 600, Partial: true},
+	}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.Counts[EvArrival] != 2 {
+		t.Errorf("arrivals = %d", counter.Counts[EvArrival])
+	}
+	if counter.Counts[EvComplete]+counter.Counts[EvDeadline] != 2 {
+		t.Errorf("departures = %d + %d", counter.Counts[EvComplete], counter.Counts[EvDeadline])
+	}
+	if counter.Counts[EvInvoke] != res.Invocation {
+		t.Errorf("invoke events %d != result invocations %d", counter.Counts[EvInvoke], res.Invocation)
+	}
+	if counter.Counts[EvFaultEdge] != 2 {
+		t.Errorf("fault edges = %d, want 2", counter.Counts[EvFaultEdge])
+	}
+	// Events arrive in non-decreasing time order.
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].Time < ordered[i-1].Time-1e-12 {
+			t.Fatalf("events out of order: %v after %v", ordered[i], ordered[i-1])
+		}
+	}
+}

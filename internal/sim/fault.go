@@ -1,0 +1,45 @@
+package sim
+
+import "fmt"
+
+// Fault models a degradation of one core during a time window — a thermal
+// throttling episode (SpeedFactor in (0,1)) or an outage (SpeedFactor 0).
+// While faulted, the core completes only SpeedFactor of the work its plan
+// calls for but still draws the planned power (throttled cycles are
+// wasted); the policy is re-invoked at both fault boundaries so it can
+// re-balance work and power onto the healthy cores. Fault injection
+// exercises the robustness the paper attributes to DES's dynamic
+// redistribution (§IV): WF automatically shifts the stalled core's power
+// share to the others once its requested power drops.
+type Fault struct {
+	Core        int
+	Start, End  float64
+	SpeedFactor float64 // effective fraction of planned speed, in [0, 1]
+}
+
+// Validate reports parameter errors; the core count is checked by the
+// engine against the configuration.
+func (f Fault) Validate(cores int) error {
+	if f.Core < 0 || f.Core >= cores {
+		return fmt.Errorf("sim: fault core %d out of range [0, %d)", f.Core, cores)
+	}
+	if f.End <= f.Start {
+		return fmt.Errorf("sim: fault window [%g, %g] empty", f.Start, f.End)
+	}
+	if f.SpeedFactor < 0 || f.SpeedFactor > 1 {
+		return fmt.Errorf("sim: fault speed factor %g outside [0, 1]", f.SpeedFactor)
+	}
+	return nil
+}
+
+// speedFactor returns the effective speed multiplier of a core at time t.
+// Overlapping faults compound multiplicatively.
+func (e *engine) speedFactor(core int, t float64) float64 {
+	f := 1.0
+	for _, fl := range e.cfg.Faults {
+		if fl.Core == core && t >= fl.Start && t < fl.End {
+			f *= fl.SpeedFactor
+		}
+	}
+	return f
+}

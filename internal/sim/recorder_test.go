@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/trace"
+)
+
+// The trace recorder must capture exactly the execution the engine charges
+// for: trace dynamic energy == Result.Energy (no idle burn configured) and
+// trace busy time == the per-core busy accounting.
+func TestRecorderEnergyMatchesResult(t *testing.T) {
+	cfg := testCfg(2)
+	rec := trace.New(2)
+	cfg.Recorder = rec
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+		{ID: 1, Release: 0.01, Deadline: 0.16, Demand: 250, Partial: true},
+		{ID: 2, Release: 0.02, Deadline: 0.17, Demand: 700, Partial: true},
+	}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if e := rec.DynamicEnergy(cfg.Power); math.Abs(e-res.Energy) > 1e-9*math.Max(1, res.Energy) {
+		t.Errorf("trace energy %v != result energy %v", e, res.Energy)
+	}
+	// Volume delivered in the trace equals the jobs' recorded progress.
+	total := 0.0
+	for _, en := range rec.Entries {
+		total += (en.End - en.Start) * en.Speed * 1000
+	}
+	wantVol := 0.0
+	cfg2 := cfg
+	cfg2.Recorder = nil
+	cfg2.CollectJobs = true
+	res2, err := Run(cfg2, jobs, &fifoPolicy{speed: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res2.Jobs {
+		wantVol += o.Done
+	}
+	if math.Abs(total-wantVol) > 1e-6*math.Max(1, wantVol) {
+		t.Errorf("trace volume %v != job progress %v", total, wantVol)
+	}
+	_ = res
+}

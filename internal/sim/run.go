@@ -1,0 +1,444 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dessched/internal/eventq"
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/yds"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Policy string
+
+	Quality     float64 // sum of per-job quality at departure
+	MaxQuality  float64 // sum of q(demand) over all jobs — the normalizer
+	NormQuality float64 // Quality / MaxQuality
+	Energy      float64 // dynamic energy, J (execution + idle burn)
+	IdleEnergy  float64 // portion of Energy charged to idle cores (No-DVFS)
+
+	PeakPower        float64 // maximum observed instantaneous dynamic power
+	BudgetViolations int     // events where power exceeded the budget (audit)
+
+	Arrived    int
+	Completed  int
+	Deadlined  int
+	Discarded  int
+	Invocation int // policy invocations
+
+	Span        float64 // first release to last departure, seconds
+	SkippedTime float64 // planned time skipped because its job had departed (audit)
+
+	// Jobs holds one outcome per job when Config.CollectJobs is set, in
+	// arrival order. Use metrics.SummarizeJobs for percentiles.
+	Jobs []JobOutcome
+}
+
+// JobOutcome is one job's fate, recorded when Config.CollectJobs is set.
+type JobOutcome struct {
+	ID       job.ID
+	Release  float64
+	Deadline float64
+	Demand   float64
+	Done     float64
+	Quality  float64
+	DepartAt float64
+	Reason   DepartReason
+	Core     int // -1 when never assigned
+}
+
+// Latency returns the job's response time (departure minus release).
+func (o JobOutcome) Latency() float64 { return o.DepartAt - o.Release }
+
+// Satisfied reports whether the job was processed to its full demand.
+func (o JobOutcome) Satisfied() bool { return o.Reason == Completed }
+
+type evArrival struct{ js *JobState }
+type evDeadline struct{ js *JobState }
+type evSegment struct {
+	core    *CoreState
+	version int
+}
+type evQuantum struct{}
+type evFaultEdge struct{}
+
+type engine struct {
+	cfg    Config
+	policy Policy
+	events eventq.Queue
+	cores  []*CoreState
+	queue  []*JobState
+	all    []*JobState
+	state  *State
+
+	undeparted      int
+	pendingArrivals int
+	lastDeparture   float64
+
+	invocations      int
+	peakPower        float64
+	budgetViolations int
+	skippedTime      float64
+	quantumLive      bool
+}
+
+// Run simulates the policy over the job stream and returns the aggregate
+// result. Jobs must be valid with agreeable deadlines (job.ValidateAll).
+func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := job.ValidateAll(jobs); err != nil {
+		return Result{}, err
+	}
+	e := &engine{cfg: cfg, policy: p}
+	e.cores = make([]*CoreState, cfg.Cores)
+	for i := range e.cores {
+		e.cores[i] = &CoreState{Index: i}
+	}
+	e.state = &State{Cfg: &e.cfg, Cores: e.cores, engine: e}
+
+	firstRelease := math.Inf(1)
+	for i := range jobs {
+		js := &JobState{Job: jobs[i], Core: -1}
+		e.all = append(e.all, js)
+		e.events.Push(js.Job.Release, evArrival{js})
+		e.events.Push(js.Job.Deadline, evDeadline{js})
+		if js.Job.Release < firstRelease {
+			firstRelease = js.Job.Release
+		}
+	}
+	e.undeparted = len(jobs)
+	e.pendingArrivals = len(jobs)
+	if len(jobs) == 0 {
+		return e.result(0, 0), nil
+	}
+	if cfg.Triggers.Quantum > 0 {
+		e.events.Push(firstRelease, evQuantum{})
+		e.quantumLive = true
+	}
+	for _, f := range cfg.Faults {
+		e.events.Push(f.Start, evFaultEdge{})
+		e.events.Push(f.End, evFaultEdge{})
+	}
+
+	for {
+		it := e.events.Pop()
+		if it == nil {
+			break
+		}
+		now := it.Time
+		switch ev := it.Payload.(type) {
+		case evArrival:
+			e.onArrival(now, ev.js)
+		case evDeadline:
+			if !ev.js.Departed() {
+				e.depart(ev.js, now, DeadlineHit)
+				// Freed capacity: under idle-core triggering a departure
+				// that idles the core behaves like a plan running dry.
+				if e.cfg.Triggers.IdleCore && ev.js.Core >= 0 && e.cores[ev.js.Core].Idle(now) && e.liveWork() {
+					e.invoke(now)
+				}
+			}
+		case evSegment:
+			if ev.version != ev.core.planVersion {
+				break // stale: the plan was replaced
+			}
+			e.settleCore(ev.core, now)
+			if e.cfg.Triggers.IdleCore && ev.core.Idle(now) && e.liveWork() {
+				e.invoke(now)
+			}
+		case evQuantum:
+			e.quantumLive = false
+			e.invoke(now)
+			if e.undeparted > 0 || e.pendingArrivals > 0 {
+				e.events.Push(now+e.cfg.Triggers.Quantum, evQuantum{})
+				e.quantumLive = true
+			}
+		case evFaultEdge:
+			// Settle everything on the old fault regime, then let the
+			// policy redistribute work and power.
+			e.emit(Event{Time: now, Kind: EvFaultEdge, Job: -1, Core: -1})
+			e.invoke(now)
+		}
+		e.audit(now)
+		if e.undeparted == 0 && e.pendingArrivals == 0 {
+			break
+		}
+	}
+	// Final settle so energy accounting is complete.
+	last := e.lastDeparture
+	for _, c := range e.cores {
+		e.settleCore(c, last)
+	}
+	return e.result(firstRelease, last), nil
+}
+
+func (e *engine) onArrival(now float64, js *JobState) {
+	e.pendingArrivals--
+	e.queue = append(e.queue, js)
+	e.state.queue = e.queue
+	e.emit(Event{Time: now, Kind: EvArrival, Job: js.Job.ID, Core: -1})
+
+	t := e.cfg.Triggers
+	switch {
+	case t.OnArrival:
+		e.invoke(now)
+	case t.Counter > 0 && len(e.queue) >= t.Counter:
+		e.invoke(now)
+	case t.IdleCore && e.anyCoreIdle(now):
+		e.invoke(now)
+	}
+}
+
+func (e *engine) anyCoreIdle(now float64) bool {
+	for _, c := range e.cores {
+		e.settleCore(c, now)
+		if c.Idle(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// liveWork reports whether anything remains to schedule: waiting jobs or
+// assigned jobs with remaining demand.
+func (e *engine) liveWork() bool {
+	if len(e.queue) > 0 {
+		return true
+	}
+	for _, c := range e.cores {
+		for _, js := range c.Jobs {
+			if !js.Departed() && js.Remaining() > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *engine) invoke(now float64) {
+	for _, c := range e.cores {
+		e.settleCore(c, now)
+	}
+	e.invocations++
+	e.emit(Event{Time: now, Kind: EvInvoke, Job: -1, Core: -1})
+	e.state.Now = now
+	e.state.queue = e.queue
+	e.policy.Plan(now, e.state)
+	e.queue = e.state.queue
+}
+
+// schedulePlanEvents pushes a segment-end event for every segment of the
+// core's freshly installed plan.
+func (e *engine) schedulePlanEvents(c *CoreState) {
+	for _, seg := range c.plan {
+		e.events.Push(seg.End, evSegment{core: c, version: c.planVersion})
+	}
+}
+
+// settleCore integrates the core's plan up to time T: job progress, energy,
+// busy time, and completion departures. It is idempotent for T at or before
+// the last settled instant.
+func (e *engine) settleCore(c *CoreState, T float64) {
+	if T <= c.settledTo {
+		return
+	}
+	type completion struct {
+		js *JobState
+		at float64
+	}
+	var completions []completion
+	for c.planCursor < len(c.plan) {
+		seg := c.plan[c.planCursor]
+		if seg.Start >= T {
+			break
+		}
+		from := math.Max(seg.Start, c.settledTo)
+		to := math.Min(seg.End, T)
+		if to > from {
+			js := e.findOnCore(c, seg.ID)
+			if js != nil && !js.Departed() {
+				dt := to - from
+				c.energy += e.cfg.Power.DynamicPower(seg.Speed) * dt
+				c.busyTime += dt
+				if e.cfg.Recorder != nil {
+					e.cfg.Recorder.RecordExec(c.Index, yds.Segment{ID: seg.ID, Start: from, End: to, Speed: seg.Speed})
+				}
+				// Fault regimes never change inside a settled slice
+				// (fault-edge events force a settle at each boundary),
+				// so the midpoint factor is the slice's factor.
+				factor := 1.0
+				if len(e.cfg.Faults) > 0 {
+					factor = e.speedFactor(c.Index, (from+to)/2)
+				}
+				js.Done += dt * power.Rate(seg.Speed) * factor
+				if js.Done >= js.Job.Demand-1e-9 {
+					js.Done = js.Job.Demand
+					completions = append(completions, completion{js, to})
+				}
+			} else {
+				e.skippedTime += to - from
+			}
+		}
+		if seg.End <= T {
+			c.planCursor++
+		} else {
+			break
+		}
+	}
+	c.settledTo = T
+	for _, cp := range completions {
+		e.depart(cp.js, cp.at, Completed)
+	}
+}
+
+func (e *engine) findOnCore(c *CoreState, id job.ID) *JobState {
+	for _, js := range c.Jobs {
+		if js.Job.ID == id {
+			return js
+		}
+	}
+	return nil
+}
+
+// depart removes a job from the system, crediting its quality: full quality
+// when complete, partial-volume quality for partial-evaluation jobs, zero
+// otherwise.
+func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
+	if js.Departed() {
+		return
+	}
+	if js.Core >= 0 {
+		e.settleCore(e.cores[js.Core], t)
+		if js.Departed() {
+			return // the settle completed it
+		}
+	}
+	done := math.Min(js.Done, js.Job.Demand)
+	switch {
+	case done >= js.Job.Demand-1e-9:
+		reason = Completed
+		js.Quality = e.cfg.Quality.Eval(js.Job.Demand)
+	case js.Job.Partial:
+		js.Quality = e.cfg.Quality.Eval(done)
+	default:
+		js.Quality = 0
+	}
+	js.Reason = reason
+	js.DepartAt = t
+	kind := EvDeadline
+	switch reason {
+	case Completed:
+		kind = EvComplete
+	case PolicyDiscard:
+		kind = EvDiscard
+	}
+	e.emit(Event{Time: t, Kind: kind, Job: js.Job.ID, Core: js.Core})
+	e.undeparted--
+	if t > e.lastDeparture {
+		e.lastDeparture = t
+	}
+	if js.Core >= 0 {
+		c := e.cores[js.Core]
+		for i, other := range c.Jobs {
+			if other == js {
+				c.Jobs = append(c.Jobs[:i], c.Jobs[i+1:]...)
+				break
+			}
+		}
+	} else {
+		for i, other := range e.queue {
+			if other == js {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				e.state.queue = e.queue
+				break
+			}
+		}
+	}
+}
+
+// audit samples instantaneous power just after an event and tracks the peak
+// and budget violations. Idle burn (No-DVFS) counts toward the draw.
+func (e *engine) audit(now float64) {
+	total := 0.0
+	for _, c := range e.cores {
+		s := c.SpeedAt(now)
+		if s == 0 {
+			s = e.cfg.IdleBurnSpeed
+		}
+		total += e.cfg.Power.DynamicPower(s)
+	}
+	if total > e.peakPower {
+		e.peakPower = total
+	}
+	if total > e.cfg.Budget*(1+1e-6)+1e-9 {
+		e.budgetViolations++
+	}
+}
+
+func (e *engine) result(firstRelease, last float64) Result {
+	r := Result{
+		Policy:           e.policy.Name(),
+		Arrived:          len(e.all),
+		Invocation:       e.invocations,
+		PeakPower:        e.peakPower,
+		BudgetViolations: e.budgetViolations,
+		SkippedTime:      e.skippedTime,
+	}
+	for _, js := range e.all {
+		r.Quality += js.Quality
+		r.MaxQuality += e.cfg.Quality.Eval(js.Job.Demand)
+		switch js.Reason {
+		case Completed:
+			r.Completed++
+		case DeadlineHit:
+			r.Deadlined++
+		case PolicyDiscard:
+			r.Discarded++
+		}
+		if e.cfg.CollectJobs {
+			r.Jobs = append(r.Jobs, JobOutcome{
+				ID:       js.Job.ID,
+				Release:  js.Job.Release,
+				Deadline: js.Job.Deadline,
+				Demand:   js.Job.Demand,
+				Done:     js.Done,
+				Quality:  js.Quality,
+				DepartAt: js.DepartAt,
+				Reason:   js.Reason,
+				Core:     js.Core,
+			})
+		}
+	}
+	if r.MaxQuality > 0 {
+		r.NormQuality = r.Quality / r.MaxQuality
+	}
+	span := last - firstRelease
+	if span < 0 || len(e.all) == 0 {
+		span = 0
+	}
+	r.Span = span
+	busy := 0.0
+	for _, c := range e.cores {
+		r.Energy += c.energy
+		busy += c.busyTime
+	}
+	if e.cfg.IdleBurnSpeed > 0 {
+		idle := span*float64(len(e.cores)) - busy
+		if idle > 0 {
+			r.IdleEnergy = e.cfg.Power.DynamicPower(e.cfg.IdleBurnSpeed) * idle
+			r.Energy += r.IdleEnergy
+		}
+	}
+	return r
+}
+
+// String renders a one-line summary for logs and CLI output.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: quality %.4f (norm %.4f), energy %.0f J, peak %.1f W, jobs %d (done %d, deadline %d, discard %d), invocations %d",
+		r.Policy, r.Quality, r.NormQuality, r.Energy, r.PeakPower, r.Arrived, r.Completed, r.Deadlined, r.Discarded, r.Invocation)
+}

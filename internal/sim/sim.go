@@ -1,0 +1,246 @@
+// Package sim is the discrete-event simulator the paper's evaluation runs
+// on (§V-A): a multicore server with per-core DVFS (continuous or discrete),
+// a global dynamic power budget, best-effort jobs with deadlines and partial
+// evaluation, and pluggable scheduling policies invoked through the
+// triggering events of §IV-E (quantum, idle-core, counter, and optional
+// immediate scheduling).
+//
+// The simulator owns time, job lifecycle (arrival → assignment → execution →
+// departure at completion, deadline, or discard), energy integration, and a
+// power audit; policies own job-to-core assignment and per-core execution
+// plans. Policies live in internal/core (DES) and internal/baseline
+// (FCFS/LJF/SJF) and implement the Policy interface; sim never imports them.
+package sim
+
+import (
+	"fmt"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/quality"
+	"dessched/internal/yds"
+)
+
+// Policy is a multicore scheduling algorithm driven by the simulator. Plan
+// is called at every triggering event; it may drain the waiting queue onto
+// cores and replace core plans through the State API.
+type Policy interface {
+	Name() string
+	Plan(now float64, s *State)
+}
+
+// Triggers selects which events invoke the policy (§IV-E).
+type Triggers struct {
+	Quantum   float64 // > 0: periodic invocation every Quantum seconds
+	Counter   int     // > 0: invoke once this many jobs wait in the queue
+	IdleCore  bool    // invoke when a core exhausts its plan, or a job arrives while a core is idle
+	OnArrival bool    // immediate scheduling: invoke on every arrival
+}
+
+// PaperTriggers returns the paper's §V-B trigger setup: 500 ms quantum,
+// counter of 8, idle-core on.
+func PaperTriggers() Triggers {
+	return Triggers{Quantum: 0.5, Counter: 8, IdleCore: true}
+}
+
+// Config describes the simulated server.
+type Config struct {
+	Cores   int              // number of cores m
+	Budget  float64          // total dynamic power budget H, watts
+	Power   power.Model      // per-core power model
+	Ladder  power.Ladder     // discrete speed ladder; empty = continuous DVFS
+	Quality quality.Function // quality function applied to processed volume
+
+	Triggers Triggers
+
+	// IdleBurnSpeed is the speed whose dynamic power an idle core is
+	// charged for. It is 0 for DVFS-capable systems (activity-gated idle)
+	// and the fixed base speed for the No-DVFS architecture, which cannot
+	// scale down and therefore burns the whole budget continuously
+	// (DESIGN.md, assumption 2).
+	IdleBurnSpeed float64
+
+	// MaxSpeed optionally caps every core's speed in GHz (0 = uncapped,
+	// beyond the budget-implied limit).
+	MaxSpeed float64
+
+	// Recorder, when non-nil, receives every executed slice of work as it
+	// is settled — used to capture schedule traces for replay (§V-G
+	// validation) and inspection. See package trace.
+	Recorder Recorder
+
+	// TwoSpeedDiscrete selects the optimal two-speed discretization
+	// (paper ref. [21]) instead of §V-F's snap-up rule when Ladder is
+	// discrete; see qeopt.Config.TwoSpeed.
+	TwoSpeedDiscrete bool
+
+	// Faults optionally degrades cores during time windows (throttling or
+	// outage); the policy is re-invoked at every fault boundary. See Fault.
+	Faults []Fault
+
+	// CollectJobs records a per-job outcome in Result.Jobs (off by default
+	// to keep long runs lean).
+	CollectJobs bool
+
+	// Observer, when non-nil, receives every notable simulation event
+	// (arrivals, invocations, departures, fault edges) synchronously.
+	Observer Observer
+}
+
+// Recorder receives executed work slices. Implementations must not retain
+// the segment beyond the call.
+type Recorder interface {
+	RecordExec(core int, seg yds.Segment)
+}
+
+// PaperConfig returns the paper's default simulation setup (§V-B): 16
+// cores, 320 W budget, P = 5·s², exponential quality with c = 0.003,
+// continuous DVFS, and the paper's triggers.
+func PaperConfig() Config {
+	return Config{
+		Cores:    16,
+		Budget:   320,
+		Power:    power.Default,
+		Quality:  quality.Default(),
+		Triggers: PaperTriggers(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: need at least one core, got %d", c.Cores)
+	}
+	if c.Budget <= 0 {
+		return fmt.Errorf("sim: power budget must be positive, got %g", c.Budget)
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.Quality == nil {
+		return fmt.Errorf("sim: quality function is required")
+	}
+	if c.Triggers.Quantum <= 0 && c.Triggers.Counter <= 0 && !c.Triggers.IdleCore && !c.Triggers.OnArrival {
+		return fmt.Errorf("sim: at least one trigger must be enabled")
+	}
+	if c.IdleBurnSpeed < 0 || c.MaxSpeed < 0 {
+		return fmt.Errorf("sim: negative speed in config")
+	}
+	for _, f := range c.Faults {
+		if err := f.Validate(c.Cores); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DepartReason says why a job left the system.
+type DepartReason int
+
+// Departure reasons.
+const (
+	NotDeparted   DepartReason = iota
+	Completed                  // processed to full demand before the deadline
+	DeadlineHit                // deadline expired with partial (or zero) progress
+	PolicyDiscard              // the policy dropped it (uncompletable non-partial, starved running job)
+)
+
+func (r DepartReason) String() string {
+	switch r {
+	case Completed:
+		return "completed"
+	case DeadlineHit:
+		return "deadline"
+	case PolicyDiscard:
+		return "discarded"
+	default:
+		return "in-system"
+	}
+}
+
+// JobState tracks one job through the simulation.
+type JobState struct {
+	Job      job.Job
+	Done     float64      // processed volume so far, units
+	Core     int          // assigned core, or -1 while waiting
+	Reason   DepartReason // why it departed (NotDeparted while in system)
+	DepartAt float64      // departure time
+	Quality  float64      // quality credited at departure
+}
+
+// Departed reports whether the job has left the system.
+func (j *JobState) Departed() bool { return j.Reason != NotDeparted }
+
+// Remaining returns the outstanding demand, never negative.
+func (j *JobState) Remaining() float64 {
+	r := j.Job.Demand - j.Done
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// CoreState is one simulated core as visible to policies.
+type CoreState struct {
+	Index int
+	Jobs  []*JobState // assigned, undeparted jobs in arrival order
+
+	plan        []yds.Segment // absolute-time execution plan from the last invocation
+	planVersion int
+	planCursor  int     // first segment not fully settled
+	settledTo   float64 // execution integrated up to here
+	busyTime    float64 // total executing time
+	energy      float64 // dynamic energy from execution
+}
+
+// Plan returns the core's current plan (shared slice; policies must not
+// mutate it — use State.SetPlan).
+func (c *CoreState) Plan() []yds.Segment { return c.plan }
+
+// Idle reports whether the core has no execution planned at or after t.
+func (c *CoreState) Idle(t float64) bool {
+	for i := c.planCursor; i < len(c.plan); i++ {
+		if c.plan[i].End > t {
+			return false
+		}
+	}
+	return true
+}
+
+// SpeedAt returns the planned speed at time t (0 when idle).
+func (c *CoreState) SpeedAt(t float64) float64 {
+	for i := c.planCursor; i < len(c.plan); i++ {
+		seg := c.plan[i]
+		if t >= seg.Start && t < seg.End {
+			return seg.Speed
+		}
+		if seg.Start > t {
+			break
+		}
+	}
+	return 0
+}
+
+// ReadyJobs converts the core's live jobs to the job.Ready form consumed by
+// Online-QE, marking the job currently executing at time t as Running.
+func (c *CoreState) ReadyJobs(t float64) []job.Ready {
+	var runningID job.ID = -1
+	for i := c.planCursor; i < len(c.plan); i++ {
+		seg := c.plan[i]
+		if t >= seg.Start && t < seg.End {
+			runningID = seg.ID
+			break
+		}
+		if seg.Start > t {
+			break
+		}
+	}
+	out := make([]job.Ready, 0, len(c.Jobs))
+	for _, js := range c.Jobs {
+		if js.Departed() {
+			continue
+		}
+		out = append(out, job.Ready{Job: js.Job, Done: js.Done, Running: js.Job.ID == runningID})
+	}
+	return out
+}

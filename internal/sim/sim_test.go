@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/quality"
+	"dessched/internal/yds"
+)
+
+// fifoPolicy is a minimal test policy: one core, run each queued job
+// back-to-back at a fixed speed until its deadline.
+type fifoPolicy struct {
+	speed float64
+}
+
+func (p *fifoPolicy) Name() string { return "test-fifo" }
+
+func (p *fifoPolicy) Plan(now float64, s *State) {
+	c := s.Cores[0]
+	for _, js := range s.DrainQueue() {
+		s.Bind(js, 0)
+	}
+	var segs []yds.Segment
+	cur := now
+	for _, r := range c.ReadyJobs(now) {
+		if r.Deadline <= now || r.Remaining() <= 0 {
+			continue
+		}
+		end := cur + r.Remaining()/power.Rate(p.speed)
+		if end > r.Deadline {
+			end = r.Deadline
+		}
+		if end <= cur {
+			continue
+		}
+		segs = append(segs, yds.Segment{ID: r.ID, Start: cur, End: end, Speed: p.speed})
+		cur = end
+	}
+	s.SetPlan(0, segs)
+}
+
+func testCfg(cores int) Config {
+	cfg := PaperConfig()
+	cfg.Cores = cores
+	cfg.Budget = 20 * float64(cores)
+	cfg.Triggers = Triggers{IdleCore: true, Quantum: 0.5}
+	return cfg
+}
+
+func TestRunSingleJobCompletes(t *testing.T) {
+	cfg := testCfg(1)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Deadlined != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if math.Abs(res.NormQuality-1) > 1e-9 {
+		t.Errorf("NormQuality = %v, want 1", res.NormQuality)
+	}
+	// 100 units at 1 GHz = 0.1 s at 5 W.
+	if math.Abs(res.Energy-0.5) > 1e-9 {
+		t.Errorf("Energy = %v, want 0.5", res.Energy)
+	}
+	if res.BudgetViolations != 0 {
+		t.Errorf("budget violations: %d", res.BudgetViolations)
+	}
+}
+
+func TestRunDeadlinePartialQuality(t *testing.T) {
+	cfg := testCfg(1)
+	// 1 GHz for 0.15 s processes 150 of 600 units.
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 600, Partial: true}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlined != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	q := quality.Default()
+	want := q.Eval(150) / q.Eval(600)
+	if math.Abs(res.NormQuality-want) > 1e-6 {
+		t.Errorf("NormQuality = %v, want %v", res.NormQuality, want)
+	}
+}
+
+func TestRunNonPartialGetsZero(t *testing.T) {
+	cfg := testCfg(1)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 600, Partial: false}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != 0 {
+		t.Errorf("non-partial incomplete job earned quality %v", res.Quality)
+	}
+}
+
+func TestRunQueuedJobExpires(t *testing.T) {
+	cfg := testCfg(1)
+	// Job 0 occupies the core until its deadline; job 1 has the same window
+	// and expires in the queue untouched.
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 600, Partial: true},
+		{ID: 1, Release: 0.001, Deadline: 0.151, Demand: 100, Partial: true},
+	}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlined != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	q := quality.Default()
+	// Job 0's deadline frees the core at t=0.15; the idle-core trigger lets
+	// job 1 use its final millisecond (1 unit at 1 GHz).
+	wantQ := q.Eval(150) + q.Eval(1)
+	if math.Abs(res.Quality-wantQ) > 1e-6 {
+		t.Errorf("Quality = %v, want %v", res.Quality, wantQ)
+	}
+}
+
+func TestRunIdleBurnAccountsFullBudget(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.IdleBurnSpeed = 2 // No-DVFS-style: core burns 20 W always
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+		{ID: 1, Release: 0.85, Deadline: 1.0, Demand: 100, Partial: true},
+	}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Span = 1.0 s (release 0 to job 1's completion at 0.9... its last
+	// departure) — both jobs complete at 0.05 and 0.9; span = 0.9.
+	// Busy: 0.05 + 0.05 = 0.1 s at 20 W = 2 J; idle: 0.8 s at 20 W = 16 J.
+	if math.Abs(res.Span-0.9) > 1e-9 {
+		t.Fatalf("Span = %v, want 0.9", res.Span)
+	}
+	if math.Abs(res.Energy-cfg.Budget*res.Span) > 1e-6 {
+		t.Errorf("Energy = %v, want %v (budget x span)", res.Energy, cfg.Budget*res.Span)
+	}
+	if math.Abs(res.IdleEnergy-16) > 1e-6 {
+		t.Errorf("IdleEnergy = %v, want 16", res.IdleEnergy)
+	}
+}
+
+func TestRunValidatesConfigAndJobs(t *testing.T) {
+	if _, err := Run(Config{}, nil, &fifoPolicy{speed: 1}); err == nil {
+		t.Error("accepted invalid config")
+	}
+	cfg := testCfg(1)
+	bad := []job.Job{{ID: 0, Release: 1, Deadline: 0.5, Demand: 10}}
+	if _, err := Run(cfg, bad, &fifoPolicy{speed: 1}); err == nil {
+		t.Error("accepted invalid jobs")
+	}
+}
+
+func TestRunEmptyJobs(t *testing.T) {
+	res, err := Run(testCfg(2), nil, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 0 || res.Energy != 0 || res.NormQuality != 0 {
+		t.Errorf("empty run = %+v", res)
+	}
+}
+
+func TestCounterTrigger(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.Triggers = Triggers{Counter: 2} // only the counter trigger
+	// Two jobs arriving close together: the policy runs only once both are
+	// queued.
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.5, Demand: 100, Partial: true},
+		{ID: 1, Release: 0.01, Deadline: 0.51, Demand: 100, Partial: true},
+	}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	// First invocation strictly after the second arrival.
+	if res.Invocation < 1 {
+		t.Error("policy never invoked")
+	}
+}
+
+func TestQuantumTriggerDrivesLonelyJob(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.Triggers = Triggers{Quantum: 0.05, Counter: 8} // no idle-core trigger
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.5, Demand: 100, Partial: true}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The counter never reaches 8; the quantum tick at t=0 must schedule it.
+	if res.Completed != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestPeakPowerAudit(t *testing.T) {
+	cfg := testCfg(1)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 3}) // 45 W > 20 W budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetViolations == 0 {
+		t.Error("audit missed an over-budget plan")
+	}
+	if math.Abs(res.PeakPower-45) > 1e-9 {
+		t.Errorf("PeakPower = %v, want 45", res.PeakPower)
+	}
+}
+
+func TestCoreStateHelpers(t *testing.T) {
+	c := &CoreState{Index: 0}
+	if !c.Idle(0) {
+		t.Error("empty core should be idle")
+	}
+	c.plan = []yds.Segment{{ID: 1, Start: 1, End: 2, Speed: 1.5}}
+	if c.Idle(1.5) {
+		t.Error("core with future plan should not be idle")
+	}
+	if got := c.SpeedAt(1.5); got != 1.5 {
+		t.Errorf("SpeedAt = %v", got)
+	}
+	if got := c.SpeedAt(2.5); got != 0 {
+		t.Errorf("SpeedAt past plan = %v", got)
+	}
+	js := &JobState{Job: job.Job{ID: 1, Release: 0, Deadline: 2, Demand: 100}, Core: 0}
+	c.Jobs = append(c.Jobs, js)
+	ready := c.ReadyJobs(1.5)
+	if len(ready) != 1 || !ready[0].Running {
+		t.Errorf("ReadyJobs = %+v", ready)
+	}
+	ready = c.ReadyJobs(0.5)
+	if len(ready) != 1 || ready[0].Running {
+		t.Errorf("ReadyJobs before plan = %+v", ready)
+	}
+}
+
+func TestJobStateHelpers(t *testing.T) {
+	js := &JobState{Job: job.Job{ID: 1, Demand: 100}, Done: 30}
+	if js.Departed() {
+		t.Error("fresh job departed")
+	}
+	if js.Remaining() != 70 {
+		t.Errorf("Remaining = %v", js.Remaining())
+	}
+	js.Done = 150
+	if js.Remaining() != 0 {
+		t.Errorf("Remaining overdone = %v", js.Remaining())
+	}
+}
+
+func TestDepartReasonString(t *testing.T) {
+	for r, want := range map[DepartReason]string{
+		NotDeparted:   "in-system",
+		Completed:     "completed",
+		DeadlineHit:   "deadline",
+		PolicyDiscard: "discarded",
+	} {
+		if r.String() != want {
+			t.Errorf("String(%d) = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := PaperConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper config invalid: %v", err)
+	}
+	mod := func(f func(*Config)) Config {
+		c := PaperConfig()
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mod(func(c *Config) { c.Cores = 0 }),
+		mod(func(c *Config) { c.Budget = 0 }),
+		mod(func(c *Config) { c.Power.A = -1 }),
+		mod(func(c *Config) { c.Quality = nil }),
+		mod(func(c *Config) { c.Triggers = Triggers{} }),
+		mod(func(c *Config) { c.IdleBurnSpeed = -1 }),
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

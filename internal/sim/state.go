@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+
+	"dessched/internal/yds"
+)
+
+// State is the policy-facing view of the simulation at an invocation
+// instant. Policies drain the waiting queue, bind jobs to cores
+// (non-migratory: a job stays on its core until departure), and install
+// per-core plans.
+type State struct {
+	Now   float64
+	Cfg   *Config
+	Cores []*CoreState
+
+	engine *engine
+	queue  []*JobState
+}
+
+// Queue returns the jobs waiting for core assignment, in arrival order.
+func (s *State) Queue() []*JobState { return s.queue }
+
+// AssignToCore binds a waiting job to a core. It panics if the job is not
+// in the waiting queue or the core index is out of range — both indicate a
+// policy bug.
+func (s *State) AssignToCore(js *JobState, core int) {
+	if core < 0 || core >= len(s.Cores) {
+		panic(fmt.Sprintf("sim: core index %d out of range", core))
+	}
+	idx := -1
+	for i, q := range s.queue {
+		if q == js {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("sim: job %d is not waiting", js.Job.ID))
+	}
+	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	js.Core = core
+	s.Cores[core].Jobs = append(s.Cores[core].Jobs, js)
+	s.engine.queue = s.queue
+}
+
+// DrainQueue removes and returns every waiting job, preserving arrival
+// order; the policy must then assign or discard each one.
+func (s *State) DrainQueue() []*JobState {
+	q := s.queue
+	s.queue = nil
+	s.engine.queue = nil
+	return q
+}
+
+// Bind attaches a previously drained job to a core (same semantics as
+// AssignToCore but without queue membership checks).
+func (s *State) Bind(js *JobState, core int) {
+	if core < 0 || core >= len(s.Cores) {
+		panic(fmt.Sprintf("sim: core index %d out of range", core))
+	}
+	js.Core = core
+	s.Cores[core].Jobs = append(s.Cores[core].Jobs, js)
+}
+
+// Requeue returns a drained job to the waiting queue (used by policies that
+// assign only a subset per invocation, e.g. the one-job-per-core baselines).
+func (s *State) Requeue(js *JobState) {
+	js.Core = -1
+	s.queue = append(s.queue, js)
+	s.engine.queue = s.queue
+}
+
+// SetPlan installs a new execution plan for a core, replacing any previous
+// plan from the current instant onward. Segments must be ordered,
+// non-overlapping, start no earlier than Now, and reference jobs assigned
+// to the core; violations panic (policy bugs).
+func (s *State) SetPlan(core int, segs []yds.Segment) {
+	c := s.Cores[core]
+	deadlines := make(map[int64]float64, len(c.Jobs))
+	for _, js := range c.Jobs {
+		if !js.Departed() {
+			deadlines[int64(js.Job.ID)] = js.Job.Deadline
+		}
+	}
+	prevEnd := s.Now
+	for _, seg := range segs {
+		if seg.Start < s.Now-1e-9 {
+			panic(fmt.Sprintf("sim: plan segment for job %d starts at %g before now %g", seg.ID, seg.Start, s.Now))
+		}
+		if seg.Start < prevEnd-1e-9 {
+			panic(fmt.Sprintf("sim: plan segments overlap at job %d", seg.ID))
+		}
+		if seg.End < seg.Start {
+			panic(fmt.Sprintf("sim: inverted segment for job %d", seg.ID))
+		}
+		d, ok := deadlines[int64(seg.ID)]
+		if !ok {
+			panic(fmt.Sprintf("sim: plan references job %d not assigned to core %d", seg.ID, core))
+		}
+		if seg.End > d+1e-6 {
+			panic(fmt.Sprintf("sim: plan runs job %d to %g past its deadline %g", seg.ID, seg.End, d))
+		}
+		prevEnd = seg.End
+	}
+	c.plan = segs
+	c.planCursor = 0
+	c.planVersion++
+	s.engine.schedulePlanEvents(c)
+}
+
+// Discard departs a job immediately with its current progress (§V-D: jobs
+// without partial-evaluation support that cannot complete, or a running job
+// whose recomputed demand is non-positive).
+func (s *State) Discard(js *JobState) {
+	s.engine.depart(js, s.Now, PolicyDiscard)
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(empty) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 25); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Percentile interp = %v, want 2.5", got)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	// Root of x^2 - 2 on [0, 2] is sqrt(2).
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-10)
+	if err != nil {
+		t.Fatalf("Bisect error: %v", err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-9 {
+		t.Errorf("Bisect = %v, want sqrt(2)", x)
+	}
+}
+
+func TestBisectExactEndpoints(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 1, 1e-12); err != nil || x != 0 {
+		t.Errorf("Bisect endpoint zero: got %v, %v", x, err)
+	}
+	if x, err := Bisect(f, -1, 0, 1e-12); err != nil || x != 0 {
+		t.Errorf("Bisect hi endpoint zero: got %v, %v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-9); err != ErrNoBracket {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestGoldenMin(t *testing.T) {
+	// Minimum of (x-3)^2 + 1 is at x=3.
+	f := func(x float64) float64 { return (x-3)*(x-3) + 1 }
+	x := GoldenMin(f, 0, 10, 1e-9)
+	if math.Abs(x-3) > 1e-6 {
+		t.Errorf("GoldenMin = %v, want 3", x)
+	}
+}
+
+func TestLinFit(t *testing.T) {
+	// y = 2x + 1 exactly.
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7}
+	m, c := LinFit(x, y)
+	if math.Abs(m-2) > 1e-12 || math.Abs(c-1) > 1e-12 {
+		t.Errorf("LinFit = (%v, %v), want (2, 1)", m, c)
+	}
+}
+
+func TestSolve2x2(t *testing.T) {
+	// x + y = 3; x - y = 1 => x=2, y=1.
+	x, y, ok := Solve2x2(1, 1, 1, -1, 3, 1)
+	if !ok || math.Abs(x-2) > 1e-12 || math.Abs(y-1) > 1e-12 {
+		t.Errorf("Solve2x2 = (%v, %v, %v)", x, y, ok)
+	}
+	if _, _, ok := Solve2x2(1, 1, 2, 2, 3, 6); ok {
+		t.Error("Solve2x2 accepted singular system")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1+1e-12, 1e-9) {
+		t.Error("AlmostEqual rejected close values")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Error("AlmostEqual accepted distant values")
+	}
+	if !AlmostEqual(1e12, 1e12+1, 1e-9) {
+		t.Error("AlmostEqual rejected relatively close large values")
+	}
+}
+
+// Property: bisection finds the root of any monotone cubic that brackets zero.
+func TestBisectProperty(t *testing.T) {
+	prop := func(seed uint8) bool {
+		r := float64(seed)/255*10 - 5 // root in [-5, 5]
+		f := func(x float64) float64 { return (x - r) * ((x-r)*(x-r) + 1) }
+		x, err := Bisect(f, -6, 6, 1e-10)
+		return err == nil && math.Abs(x-r) < 1e-8
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Percentile(xs, 50) lies between Min and Max.
+func TestPercentileBoundsProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := Percentile(xs, 50)
+		return p >= Min(xs) && p <= Max(xs)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// WaterLevel solves the generic water-filling problem shared by the paper's
+// "WF" power-distribution policy (§IV-C) and Quality-OPT's d-mean job
+// allocation (§III): given per-item floors lo[i], ceilings hi[i] and a total
+// capacity C >= 0, find the level L minimizing max-unfairness such that
+//
+//	sum_i ( clamp(L, lo[i], hi[i]) - lo[i] ) = min(C, sum_i (hi[i]-lo[i]))
+//
+// Each item's share is clamp(L, lo[i], hi[i]) - lo[i]: items whose ceiling
+// lies below the level are saturated ("satisfied"); items whose floor lies
+// above it receive nothing; the rest are filled exactly to the level.
+//
+// It returns the level and saturated=true when the capacity suffices to fill
+// every item to its ceiling (in which case level is +Inf). lo[i] <= hi[i]
+// is required; the function panics otherwise, and on mismatched lengths.
+func WaterLevel(capacity float64, lo, hi []float64) (level float64, saturated bool) {
+	if len(lo) != len(hi) {
+		panic("stats: WaterLevel length mismatch")
+	}
+	total := 0.0
+	for i := range lo {
+		if hi[i] < lo[i] {
+			panic("stats: WaterLevel ceiling below floor")
+		}
+		total += hi[i] - lo[i]
+	}
+	if capacity >= total {
+		return math.Inf(1), true
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+
+	// g(L) = sum clamp(L, lo, hi) - lo is piecewise linear and
+	// non-decreasing; walk its breakpoints (all lo and hi values) in order.
+	breaks := make([]float64, 0, 2*len(lo))
+	breaks = append(breaks, lo...)
+	breaks = append(breaks, hi...)
+	sort.Float64s(breaks)
+
+	fill := func(L float64) float64 {
+		s := 0.0
+		for i := range lo {
+			v := L
+			if v < lo[i] {
+				v = lo[i]
+			}
+			if v > hi[i] {
+				v = hi[i]
+			}
+			s += v - lo[i]
+		}
+		return s
+	}
+
+	prev := breaks[0]
+	for _, b := range breaks {
+		if fill(b) >= capacity {
+			// The level lies in [prev, b]; g is linear there with slope
+			// equal to the number of items whose [lo, hi] straddles it.
+			need := capacity - fill(prev)
+			slope := 0.0
+			for i := range lo {
+				if lo[i] <= prev && hi[i] >= b && hi[i] > lo[i] {
+					slope++
+				}
+			}
+			if slope == 0 || need <= 0 {
+				return prev, false
+			}
+			return prev + need/slope, false
+		}
+		prev = b
+	}
+	// capacity < total guarantees we return inside the loop, but guard
+	// against floating-point drift at the last breakpoint.
+	return breaks[len(breaks)-1], false
+}
+
+// WaterShares applies WaterLevel and returns each item's share
+// clamp(L, lo, hi) - lo. Shares always sum to min(capacity, sum(hi-lo)) up
+// to floating-point error.
+func WaterShares(capacity float64, lo, hi []float64) []float64 {
+	level, saturated := WaterLevel(capacity, lo, hi)
+	out := make([]float64, len(lo))
+	for i := range lo {
+		if saturated {
+			out[i] = hi[i] - lo[i]
+			continue
+		}
+		v := level
+		if v < lo[i] {
+			v = lo[i]
+		}
+		if v > hi[i] {
+			v = hi[i]
+		}
+		out[i] = v - lo[i]
+	}
+	return out
+}

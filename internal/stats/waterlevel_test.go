@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWaterLevelSaturated(t *testing.T) {
+	lo := []float64{0, 0, 0}
+	hi := []float64{1, 2, 3}
+	level, sat := WaterLevel(10, lo, hi)
+	if !sat || !math.IsInf(level, 1) {
+		t.Errorf("expected saturation, got (%v, %v)", level, sat)
+	}
+	shares := WaterShares(10, lo, hi)
+	for i, want := range []float64{1, 2, 3} {
+		if shares[i] != want {
+			t.Errorf("share[%d] = %v, want %v", i, shares[i], want)
+		}
+	}
+}
+
+func TestWaterLevelPaperExample(t *testing.T) {
+	// Figure 2: four cores, one requesting less than the equal share gets
+	// its demand; the other three split the rest equally.
+	// Requests 10, 9, 8, 1 with budget 16: core 4 gets 1, level for the
+	// rest: 15/3 = 5.
+	lo := []float64{0, 0, 0, 0}
+	hi := []float64{10, 9, 8, 1}
+	shares := WaterShares(16, lo, hi)
+	want := []float64{5, 5, 5, 1}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 1e-12 {
+			t.Errorf("shares = %v, want %v", shares, want)
+			break
+		}
+	}
+	level, sat := WaterLevel(16, lo, hi)
+	if sat || math.Abs(level-5) > 1e-12 {
+		t.Errorf("level = %v, want 5", level)
+	}
+}
+
+func TestWaterLevelWithFloors(t *testing.T) {
+	// Items with prior progress (floors): capacity fills the lowest first.
+	lo := []float64{4, 0}
+	hi := []float64{10, 10}
+	// With capacity 4, the second item catches up to 4 and then both rise
+	// to 4 (exactly consumed at L=4): shares (0, 4).
+	shares := WaterShares(4, lo, hi)
+	if math.Abs(shares[0]-0) > 1e-12 || math.Abs(shares[1]-4) > 1e-12 {
+		t.Errorf("shares = %v, want [0 4]", shares)
+	}
+	// With capacity 6, both rise to 5: shares (1, 5).
+	shares = WaterShares(6, lo, hi)
+	if math.Abs(shares[0]-1) > 1e-12 || math.Abs(shares[1]-5) > 1e-12 {
+		t.Errorf("shares = %v, want [1 5]", shares)
+	}
+}
+
+func TestWaterLevelZeroAndNegativeCapacity(t *testing.T) {
+	lo := []float64{0, 2}
+	hi := []float64{5, 6}
+	for _, c := range []float64{0, -3} {
+		shares := WaterShares(c, lo, hi)
+		for i, s := range shares {
+			if s != 0 {
+				t.Errorf("capacity %v: share[%d] = %v, want 0", c, i, s)
+			}
+		}
+	}
+}
+
+func TestWaterLevelEmpty(t *testing.T) {
+	level, sat := WaterLevel(5, nil, nil)
+	if !sat || !math.IsInf(level, 1) {
+		t.Errorf("empty: (%v, %v)", level, sat)
+	}
+}
+
+func TestWaterLevelExactBoundary(t *testing.T) {
+	lo := []float64{0, 0}
+	hi := []float64{3, 7}
+	// capacity exactly total: saturated.
+	if _, sat := WaterLevel(10, lo, hi); !sat {
+		t.Error("capacity == total should saturate")
+	}
+	// capacity just below.
+	level, sat := WaterLevel(10-1e-9, lo, hi)
+	if sat || level > 7 {
+		t.Errorf("level = %v, sat=%v", level, sat)
+	}
+}
+
+func TestWaterLevelPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("length mismatch", func() { WaterLevel(1, []float64{0}, nil) })
+	assertPanic("ceiling below floor", func() { WaterLevel(1, []float64{2}, []float64{1}) })
+}
+
+// Property: shares are non-negative, never exceed hi-lo, and sum to
+// min(capacity, total headroom).
+func TestWaterSharesConservationProperty(t *testing.T) {
+	prop := func(raw []uint16, capI uint16) bool {
+		n := len(raw) / 2
+		if n == 0 {
+			return true
+		}
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		total := 0.0
+		for i := 0; i < n; i++ {
+			lo[i] = float64(raw[2*i]) / 1000
+			hi[i] = lo[i] + float64(raw[2*i+1])/1000
+			total += hi[i] - lo[i]
+		}
+		capacity := float64(capI) / 65535 * total * 1.5
+		shares := WaterShares(capacity, lo, hi)
+		sum := 0.0
+		for i, s := range shares {
+			if s < -1e-9 || s > hi[i]-lo[i]+1e-9 {
+				return false
+			}
+			sum += s
+		}
+		want := math.Min(capacity, total)
+		return math.Abs(sum-want) < 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min-max fairness — for items with equal floors, a smaller
+// ceiling never receives more than a larger ceiling.
+func TestWaterSharesFairnessProperty(t *testing.T) {
+	prop := func(raw []uint16, capI uint16) bool {
+		n := len(raw)
+		if n < 2 {
+			return true
+		}
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		total := 0.0
+		for i, r := range raw {
+			hi[i] = float64(r) / 100
+			total += hi[i]
+		}
+		capacity := float64(capI) / 65535 * total
+		shares := WaterShares(capacity, lo, hi)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if hi[i] <= hi[j] && shares[i] > shares[j]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

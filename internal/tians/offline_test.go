@@ -1,0 +1,198 @@
+package tians
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/quality"
+)
+
+func TestOfflineMatchesSameReleaseWhenReleasesEqual(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 1, Demand: 2000},
+		{ID: 2, Release: 0, Deadline: 2, Demand: 100},
+		{ID: 3, Release: 0, Deadline: 2, Demand: 900},
+	}
+	off, err := Offline(1.0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := SameRelease(0, 1.0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, ms := allocByID(off), allocByID(on)
+	for id := job.ID(1); id <= 3; id++ {
+		if math.Abs(mo[id].Total-ms[id].Total) > 1e-6 {
+			t.Errorf("task %d: offline %v vs same-release %v", id, mo[id].Total, ms[id].Total)
+		}
+	}
+}
+
+func TestOfflineEqualSplitAcrossOverlap(t *testing.T) {
+	// Two staggered overloaded jobs: the busiest deprived interval is their
+	// union, so concavity dictates an equal split rather than greedy-first.
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 1, Demand: 1500},
+		{ID: 2, Release: 0.5, Deadline: 1.5, Demand: 1500},
+	}
+	allocs, err := Offline(1.0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if math.Abs(m[1].Total-750) > 1e-6 || math.Abs(m[2].Total-750) > 1e-6 {
+		t.Errorf("allocs = %v, want 750/750", allocs)
+	}
+	if err := FeasibleOffline(1.0, tasks, allocs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfflineAllSatisfiable(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 0.15, Demand: 100},
+		{ID: 2, Release: 0.05, Deadline: 0.2, Demand: 120},
+	}
+	allocs, err := Offline(2.0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if m[1].Total != 100 || m[2].Total != 120 {
+		t.Errorf("allocs = %v", allocs)
+	}
+	if err := FeasibleOffline(2.0, tasks, allocs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfflineIsolatedOverload(t *testing.T) {
+	// A lone overloaded job is capped by its own window; its neighbor stays
+	// fully served.
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 0.1, Demand: 500}, // cap 100 at 1 GHz
+		{ID: 2, Release: 0.1, Deadline: 0.5, Demand: 100},
+	}
+	allocs, err := Offline(1.0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if math.Abs(m[1].Total-100) > 1e-6 || math.Abs(m[2].Total-100) > 1e-6 {
+		t.Errorf("allocs = %v, want 100/100", allocs)
+	}
+}
+
+func TestOfflineErrors(t *testing.T) {
+	if _, err := Offline(-1, nil); err == nil {
+		t.Error("accepted negative speed")
+	}
+	if _, err := Offline(1, []Task{{ID: 1, Release: 1, Deadline: 1, Demand: 5}}); err == nil {
+		t.Error("accepted empty window")
+	}
+	if _, err := Offline(1, []Task{{ID: 1, Release: 0, Deadline: 1, Demand: -5}}); err == nil {
+		t.Error("accepted negative demand")
+	}
+}
+
+func TestOfflineZeroSpeed(t *testing.T) {
+	allocs, err := Offline(0, []Task{{ID: 1, Release: 0, Deadline: 1, Demand: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs[0].Volume != 0 {
+		t.Errorf("zero speed allocated: %v", allocs)
+	}
+}
+
+// Randomized: offline allocations are always feasible and never worse than
+// the greedy EDF-order allocation (serve earliest-deadline first up to its
+// remaining window capacity).
+func TestOfflineRandomizedDominatesGreedy(t *testing.T) {
+	q := quality.Default()
+	rng := rand.New(rand.NewPCG(21, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(6)
+		tasks := make([]Task, n)
+		rel := 0.0
+		for i := 0; i < n; i++ {
+			rel += rng.Float64() * 0.06
+			tasks[i] = Task{
+				ID:       job.ID(i),
+				Release:  rel,
+				Deadline: rel + 0.15,
+				Demand:   130 + rng.Float64()*870,
+			}
+		}
+		speed := 0.5 + rng.Float64()*2
+		allocs, err := Offline(speed, tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := FeasibleOffline(speed, tasks, allocs); err != nil {
+			t.Fatalf("trial %d: %v (tasks %+v, allocs %+v)", trial, err, tasks, allocs)
+		}
+		got := TotalQuality(allocs, q.Eval)
+
+		// Greedy: run jobs back-to-back in EDF order at full speed, each
+		// until completion or deadline.
+		rate := speed * 1000
+		cur := tasks[0].Release
+		greedy := 0.0
+		for _, tk := range tasks {
+			if cur < tk.Release {
+				cur = tk.Release
+			}
+			avail := math.Max(0, tk.Deadline-cur) * rate
+			v := math.Min(tk.Demand, avail)
+			greedy += q.Eval(v)
+			cur += v / rate
+		}
+		if got < greedy-1e-6 {
+			t.Fatalf("trial %d: offline quality %v below greedy %v\ntasks %+v\nallocs %+v",
+				trial, got, greedy, tasks, allocs)
+		}
+	}
+}
+
+// Randomized two-job optimality against an exhaustive grid on the exact
+// feasibility polytope (window caps plus the union-interval constraint).
+func TestOfflineTwoJobGridOptimal(t *testing.T) {
+	q := quality.Default()
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 25; trial++ {
+		r2 := rng.Float64() * 0.1
+		tasks := []Task{
+			{ID: 1, Release: 0, Deadline: 0.15, Demand: 130 + rng.Float64()*870},
+			{ID: 2, Release: r2, Deadline: r2 + 0.15, Demand: 130 + rng.Float64()*870},
+		}
+		speed := 0.3 + rng.Float64()
+		rate := speed * 1000
+		allocs, err := Offline(speed, tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := TotalQuality(allocs, q.Eval)
+
+		capA := 0.15 * rate
+		capB := 0.15 * rate
+		capAB := (tasks[1].Deadline - 0) * rate
+		best := 0.0
+		for x := 0.0; x <= math.Min(tasks[0].Demand, capA)+0.5; x += 0.5 {
+			y := math.Min(tasks[1].Demand, math.Min(capB, capAB-x))
+			if y < 0 {
+				y = 0
+			}
+			if v := q.Eval(x) + q.Eval(y); v > best {
+				best = v
+			}
+		}
+		if got < best-1e-3 {
+			t.Fatalf("trial %d: quality %v below grid optimum %v (tasks %+v allocs %+v)",
+				trial, got, best, tasks, allocs)
+		}
+	}
+}

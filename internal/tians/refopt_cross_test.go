@@ -1,0 +1,49 @@
+package tians
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/quality"
+	"dessched/internal/refopt"
+)
+
+// Quality-OPT's closed-form allocation must match or beat an independent
+// projected local search on random instances, including ones with prior
+// progress (the generalization Online-QE relies on). Since the objective is
+// concave over a polytope, the search converges to the global optimum, so
+// the two must agree within the search's step tolerance.
+func TestSameReleaseMatchesReferenceOptimizer(t *testing.T) {
+	q := quality.Default()
+	rng := rand.New(rand.NewPCG(101, 7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(6)
+		tasks := make([]Task, n)
+		ref := make([]refopt.Task, n)
+		d := 0.0
+		for i := 0; i < n; i++ {
+			d += 0.02 + rng.Float64()*0.08
+			w := 130 + rng.Float64()*870
+			prog := 0.0
+			if rng.IntN(3) == 0 {
+				prog = rng.Float64() * w * 0.8
+			}
+			tasks[i] = Task{ID: job.ID(i), Deadline: d, Demand: w, Progress: prog}
+			ref[i] = refopt.Task{Deadline: d, Demand: w, Progress: prog}
+		}
+		speed := 0.5 + rng.Float64()*2
+
+		allocs, err := SameRelease(0, speed, tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := TotalQuality(allocs, q.Eval)
+		best := refopt.Search(refopt.Instance{Rate: speed * 1000, Tasks: ref}, q.Eval, 4, uint64(trial+1))
+
+		if got < best-1e-3 {
+			t.Fatalf("trial %d: Quality-OPT %v below reference search %v\ntasks %+v speed %v",
+				trial, got, best, tasks, speed)
+		}
+	}
+}

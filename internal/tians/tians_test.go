@@ -1,0 +1,272 @@
+package tians
+
+import (
+	"math"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/quality"
+)
+
+func allocByID(allocs []Allocation) map[job.ID]Allocation {
+	m := map[job.ID]Allocation{}
+	for _, a := range allocs {
+		m[a.ID] = a
+	}
+	return m
+}
+
+func TestSameReleaseAllSatisfiable(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Deadline: 1, Demand: 500},
+		{ID: 2, Deadline: 1, Demand: 300},
+	}
+	allocs, err := SameRelease(0, 2.0, tasks) // capacity 2000 >= 800
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if m[1].Total != 500 || m[2].Total != 300 {
+		t.Errorf("allocs = %v", allocs)
+	}
+	if err := FeasibleSameRelease(0, 2.0, tasks, allocs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameReleaseDMeanEqualShare(t *testing.T) {
+	// Capacity 900 over demands {100, 500, 900}: job 1 satisfied, the two
+	// deprived jobs split the remaining 800 equally (d-mean 400).
+	tasks := []Task{
+		{ID: 1, Deadline: 1, Demand: 100},
+		{ID: 2, Deadline: 1, Demand: 500},
+		{ID: 3, Deadline: 1, Demand: 900},
+	}
+	allocs, err := SameRelease(0, 0.9, tasks) // rate 900 units/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if math.Abs(m[1].Total-100) > 1e-9 || math.Abs(m[2].Total-400) > 1e-9 || math.Abs(m[3].Total-400) > 1e-9 {
+		t.Errorf("allocs = %v, want totals 100/400/400", allocs)
+	}
+	if err := FeasibleSameRelease(0, 0.9, tasks, allocs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameReleaseProgressEqualizesTotals(t *testing.T) {
+	// Totals, not increments, are equalized when a job has prior progress.
+	tasks := []Task{
+		{ID: 1, Deadline: 1, Demand: 500, Progress: 200},
+		{ID: 2, Deadline: 1, Demand: 500, Progress: 0},
+	}
+	allocs, err := SameRelease(0, 0.3, tasks) // capacity 300
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if math.Abs(m[1].Volume-50) > 1e-9 || math.Abs(m[2].Volume-250) > 1e-9 {
+		t.Errorf("allocs = %v, want volumes 50/250", allocs)
+	}
+	if math.Abs(m[1].Total-250) > 1e-9 || math.Abs(m[2].Total-250) > 1e-9 {
+		t.Errorf("totals not equalized: %v", allocs)
+	}
+}
+
+func TestSameReleaseRunningJobStarved(t *testing.T) {
+	// A job far ahead of the water level receives nothing more — the
+	// paper's w1' <= 0 discard case.
+	tasks := []Task{
+		{ID: 1, Deadline: 1, Demand: 500, Progress: 400},
+		{ID: 2, Deadline: 1, Demand: 500, Progress: 0},
+	}
+	allocs, err := SameRelease(0, 0.1, tasks) // capacity 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if m[1].Volume != 0 {
+		t.Errorf("job 1 should get nothing, got %v", m[1].Volume)
+	}
+	if math.Abs(m[2].Volume-100) > 1e-9 {
+		t.Errorf("job 2 should get the full capacity, got %v", m[2].Volume)
+	}
+}
+
+func TestSameReleaseBusiestPrefixFirst(t *testing.T) {
+	// Prefix [0, 1] (level 1000) is busier than [0, 2] (level 1900):
+	// job 1 is capped by its own deadline, job 2 then runs in full.
+	tasks := []Task{
+		{ID: 1, Deadline: 1, Demand: 2000},
+		{ID: 2, Deadline: 2, Demand: 100},
+	}
+	allocs, err := SameRelease(0, 1.0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if math.Abs(m[1].Total-1000) > 1e-9 || math.Abs(m[2].Total-100) > 1e-9 {
+		t.Errorf("allocs = %v, want totals 1000/100", allocs)
+	}
+	if err := FeasibleSameRelease(0, 1.0, tasks, allocs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameReleaseLaterPrefixBusier(t *testing.T) {
+	// The longer prefix is the deprived one; both jobs share its capacity.
+	tasks := []Task{
+		{ID: 1, Deadline: 1, Demand: 900},
+		{ID: 2, Deadline: 1.2, Demand: 900},
+	}
+	allocs, err := SameRelease(0, 1.0, tasks) // cap(1)=1000 sat; cap(1.2)=1200 deprived
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	// Water level on [0, 1.2]: 2L = 1200 → L = 600.
+	if math.Abs(m[1].Total-600) > 1e-9 || math.Abs(m[2].Total-600) > 1e-9 {
+		t.Errorf("allocs = %v, want totals 600/600", allocs)
+	}
+	if err := FeasibleSameRelease(0, 1.0, tasks, allocs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameReleaseExpiredAndFinished(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Deadline: 0.5, Demand: 100},              // expired at now=1
+		{ID: 2, Deadline: 2, Demand: 100, Progress: 100}, // already complete
+		{ID: 3, Deadline: 2, Demand: 100},
+	}
+	allocs, err := SameRelease(1, 1.0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := allocByID(allocs)
+	if m[1].Volume != 0 || m[2].Volume != 0 {
+		t.Errorf("expired/finished jobs got volume: %v", allocs)
+	}
+	if m[3].Total != 100 {
+		t.Errorf("job 3 = %v, want full", m[3])
+	}
+}
+
+func TestSameReleaseZeroSpeed(t *testing.T) {
+	tasks := []Task{{ID: 1, Deadline: 1, Demand: 100}}
+	allocs, err := SameRelease(0, 0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs[0].Volume != 0 {
+		t.Errorf("zero speed allocated volume: %v", allocs)
+	}
+}
+
+func TestSameReleaseErrors(t *testing.T) {
+	if _, err := SameRelease(0, -1, nil); err == nil {
+		t.Error("accepted negative speed")
+	}
+	if _, err := SameRelease(0, 1, []Task{{ID: 1, Deadline: 1, Demand: 0}}); err == nil {
+		t.Error("accepted zero demand")
+	}
+	if _, err := SameRelease(0, 1, []Task{{ID: 1, Deadline: 1, Demand: 5, Progress: -1}}); err == nil {
+		t.Error("accepted negative progress")
+	}
+}
+
+// Optimality against a fine grid for two jobs with a common deadline.
+func TestSameReleaseOptimalTwoJobsGrid(t *testing.T) {
+	q := quality.Default()
+	tasks := []Task{
+		{ID: 1, Deadline: 0.15, Demand: 700},
+		{ID: 2, Deadline: 0.15, Demand: 400},
+	}
+	speed := 2.0 // capacity 300 units
+	allocs, err := SameRelease(0, speed, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TotalQuality(allocs, q.Eval)
+	capacity := 0.15 * 2000
+	best := 0.0
+	for x := 0.0; x <= 300.001; x += 0.25 {
+		x1 := math.Min(x, 700)
+		x2 := math.Min(capacity-x1, 400)
+		if x2 < 0 {
+			continue
+		}
+		if v := q.Eval(x1) + q.Eval(x2); v > best {
+			best = v
+		}
+	}
+	if got < best-1e-6 {
+		t.Errorf("quality %v below grid optimum %v", got, best)
+	}
+}
+
+// Optimality against a 2-D grid for three jobs over two deadlines, checking
+// the prefix-capacity feasibility constraints.
+func TestSameReleaseOptimalThreeJobsGrid(t *testing.T) {
+	q := quality.Default()
+	tasks := []Task{
+		{ID: 1, Deadline: 0.1, Demand: 500},
+		{ID: 2, Deadline: 0.2, Demand: 600},
+		{ID: 3, Deadline: 0.2, Demand: 300},
+	}
+	speed := 1.5 // cap1 = 150, cap2 = 300
+	allocs, err := SameRelease(0, speed, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FeasibleSameRelease(0, speed, tasks, allocs); err != nil {
+		t.Fatal(err)
+	}
+	got := TotalQuality(allocs, q.Eval)
+
+	cap2 := 0.2 * 1500
+	best := 0.0
+	for x1 := 0.0; x1 <= 150.001; x1 += 1 {
+		for x2 := 0.0; x2 <= 300.001; x2 += 1 {
+			x3 := math.Min(300, cap2-x1-x2)
+			if x3 < 0 || x2 > 600 {
+				continue
+			}
+			if v := q.Eval(x1) + q.Eval(x2) + q.Eval(x3); v > best {
+				best = v
+			}
+		}
+	}
+	if got < best-1e-4 {
+		t.Errorf("quality %v below grid optimum %v", got, best)
+	}
+}
+
+func TestTotalQuality(t *testing.T) {
+	allocs := []Allocation{{ID: 1, Total: 100}, {ID: 2, Total: 200}}
+	got := TotalQuality(allocs, func(x float64) float64 { return x })
+	if got != 300 {
+		t.Errorf("TotalQuality = %v", got)
+	}
+}
+
+func TestFeasibleSameReleaseCatchesViolations(t *testing.T) {
+	tasks := []Task{{ID: 1, Deadline: 1, Demand: 5000}}
+	bad := []Allocation{{ID: 1, Volume: 3000, Total: 3000}}
+	if FeasibleSameRelease(0, 1.0, tasks, bad) == nil {
+		t.Error("accepted allocation exceeding capacity")
+	}
+	over := []Allocation{{ID: 1, Volume: 6000, Total: 6000}}
+	if FeasibleSameRelease(0, 10.0, tasks, over) == nil {
+		t.Error("accepted total beyond demand")
+	}
+	unknown := []Allocation{{ID: 9, Volume: 1, Total: 1}}
+	if FeasibleSameRelease(0, 1.0, tasks, unknown) == nil {
+		t.Error("accepted unknown task")
+	}
+	neg := []Allocation{{ID: 1, Volume: -2, Total: 0}}
+	if FeasibleSameRelease(0, 1.0, tasks, neg) == nil {
+		t.Error("accepted negative volume")
+	}
+}

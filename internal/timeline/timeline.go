@@ -1,0 +1,95 @@
+// Package timeline implements the interval-excision bookkeeping shared by
+// the offline Energy-OPT (YDS) and Quality-OPT (Tians) recursions: both
+// repeatedly pick a critical interval, consume it entirely, and continue on
+// a "compressed" timeline with that interval removed. A Timeline converts
+// between real time and the compressed virtual time and reports which real
+// intervals make up a virtual range.
+package timeline
+
+import (
+	"math"
+	"sort"
+)
+
+// Interval is a half-open real-time interval [Start, End).
+type Interval struct {
+	Start, End float64
+}
+
+// Length returns End - Start.
+func (iv Interval) Length() float64 { return iv.End - iv.Start }
+
+// Timeline tracks disjoint excised (consumed) real intervals. The zero
+// value is an empty timeline where virtual time equals real time.
+type Timeline struct {
+	excised []Interval // sorted, disjoint
+}
+
+// Virtual maps a real instant to virtual (compressed) time: real time minus
+// the excised length before it. Instants inside an excised interval collapse
+// to its left edge.
+func (tl *Timeline) Virtual(t float64) float64 {
+	removed := 0.0
+	for _, e := range tl.excised {
+		if t >= e.End {
+			removed += e.End - e.Start
+		} else if t > e.Start {
+			removed += t - e.Start
+		}
+	}
+	return t - removed
+}
+
+// FreeIntervals returns the real, still-free intervals composing the
+// virtual range [vStart, vEnd], in order. Sub-picosecond floating-point
+// slivers are dropped. The returned lengths sum to vEnd - vStart (minus
+// dropped slivers).
+func (tl *Timeline) FreeIntervals(vStart, vEnd float64) []Interval {
+	var out []Interval
+	if vEnd <= vStart {
+		return out
+	}
+	// Enumerate the free gaps of the real line in order, tracking the
+	// cumulative virtual length seen so far.
+	gaps := make([]Interval, 0, len(tl.excised)+1)
+	prev := 0.0
+	for _, e := range tl.excised {
+		if e.Start > prev {
+			gaps = append(gaps, Interval{prev, e.Start})
+		}
+		prev = e.End
+	}
+	gaps = append(gaps, Interval{prev, math.Inf(1)})
+
+	vCursor := 0.0
+	for _, g := range gaps {
+		gapLen := g.End - g.Start
+		if vCursor+gapLen <= vStart {
+			vCursor += gapLen
+			continue
+		}
+		fromV := math.Max(vCursor, vStart)
+		toV := math.Min(vCursor+gapLen, vEnd)
+		if toV-fromV > 1e-12 {
+			out = append(out, Interval{g.Start + (fromV - vCursor), g.Start + (toV - vCursor)})
+		}
+		vCursor += gapLen
+		if vCursor >= vEnd {
+			break
+		}
+	}
+	return out
+}
+
+// Excise marks the real intervals as consumed. The inputs must not overlap
+// already-excised intervals (they come from FreeIntervals, which guarantees
+// this).
+func (tl *Timeline) Excise(ivs []Interval) {
+	tl.excised = append(tl.excised, ivs...)
+	sort.Slice(tl.excised, func(a, b int) bool { return tl.excised[a].Start < tl.excised[b].Start })
+}
+
+// Excised returns a copy of the consumed intervals, sorted by start.
+func (tl *Timeline) Excised() []Interval {
+	return append([]Interval(nil), tl.excised...)
+}

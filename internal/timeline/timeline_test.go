@@ -1,0 +1,126 @@
+package timeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVirtualIdentityWhenEmpty(t *testing.T) {
+	var tl Timeline
+	for _, x := range []float64{0, 1.5, 100} {
+		if got := tl.Virtual(x); got != x {
+			t.Errorf("Virtual(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestVirtualWithExcisions(t *testing.T) {
+	var tl Timeline
+	tl.Excise([]Interval{{1, 2}, {4, 5}})
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.5},
+		{1, 1},
+		{1.5, 1}, // inside first excision collapses to its left edge
+		{2, 1},   // right edge
+		{3, 2},   // 3 - 1 removed
+		{4.5, 3}, // 4.5 - 1 - 0.5
+		{6, 4},   // 6 - 2
+	}
+	for _, c := range cases {
+		if got := tl.Virtual(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Virtual(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFreeIntervalsSpansGaps(t *testing.T) {
+	var tl Timeline
+	tl.Excise([]Interval{{1, 2}, {4, 5}})
+	// Virtual [0.5, 3.5] = real [0.5, 1] + [2, 4] + [5, 5.5].
+	ivs := tl.FreeIntervals(0.5, 3.5)
+	want := []Interval{{0.5, 1}, {2, 4}, {5, 5.5}}
+	if len(ivs) != len(want) {
+		t.Fatalf("FreeIntervals = %v, want %v", ivs, want)
+	}
+	for i := range want {
+		if math.Abs(ivs[i].Start-want[i].Start) > 1e-12 || math.Abs(ivs[i].End-want[i].End) > 1e-12 {
+			t.Fatalf("FreeIntervals = %v, want %v", ivs, want)
+		}
+	}
+}
+
+func TestFreeIntervalsEmptyRange(t *testing.T) {
+	var tl Timeline
+	if got := tl.FreeIntervals(2, 2); len(got) != 0 {
+		t.Errorf("empty range returned %v", got)
+	}
+	if got := tl.FreeIntervals(3, 2); len(got) != 0 {
+		t.Errorf("inverted range returned %v", got)
+	}
+}
+
+func TestExcisedCopy(t *testing.T) {
+	var tl Timeline
+	tl.Excise([]Interval{{3, 4}, {1, 2}})
+	got := tl.Excised()
+	if len(got) != 2 || got[0].Start != 1 || got[1].Start != 3 {
+		t.Errorf("Excised = %v", got)
+	}
+	got[0].Start = 99 // mutation must not leak back
+	if tl.Excised()[0].Start != 1 {
+		t.Error("Excised returned internal slice")
+	}
+}
+
+func TestIntervalLength(t *testing.T) {
+	if (Interval{1, 3.5}).Length() != 2.5 {
+		t.Error("Length wrong")
+	}
+}
+
+// Property: FreeIntervals always returns disjoint, ordered intervals whose
+// total length equals the virtual span, and excising them keeps Virtual
+// consistent (the virtual span collapses to a point).
+func TestFreeExciseRoundTripProperty(t *testing.T) {
+	prop := func(cuts []uint8, a, b uint8) bool {
+		var tl Timeline
+		// Build a few disjoint excisions from the cuts.
+		cur := 0.0
+		for _, c := range cuts {
+			if len(tl.Excised()) >= 5 {
+				break
+			}
+			gap := 0.1 + float64(c%16)/10
+			length := 0.1 + float64(c/16)/10
+			tl.Excise([]Interval{{cur + gap, cur + gap + length}})
+			cur += gap + length
+		}
+		lo := float64(a) / 255 * 3
+		hi := lo + float64(b)/255*3
+		ivs := tl.FreeIntervals(lo, hi)
+		total := 0.0
+		prevEnd := math.Inf(-1)
+		for _, iv := range ivs {
+			if iv.Start < prevEnd-1e-12 {
+				return false // overlap or disorder
+			}
+			prevEnd = iv.End
+			total += iv.Length()
+		}
+		if math.Abs(total-(hi-lo)) > 1e-9 && hi > lo {
+			return false
+		}
+		// After excising, the whole virtual range must collapse.
+		tl.Excise(ivs)
+		for _, iv := range ivs {
+			if math.Abs(tl.Virtual(iv.End)-tl.Virtual(iv.Start)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the parser, and that
+// anything it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("core,job,start,end,speed_ghz\n0,1,0,0.5,2\n")
+	f.Add("0,1,0,0.5,2\n1,2,0.5,1,1.5\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("0,1,NaN,1,2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV failed on accepted trace: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back.Entries) != len(tr.Entries) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(back.Entries), len(tr.Entries))
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package trace records the execution schedule a simulation actually ran —
+// which job executed on which core, when, and at what speed — so it can be
+// replayed: against a hardware emulator for the §V-G energy validation,
+// into CSV/JSON for inspection, or through an independent energy model.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/yds"
+)
+
+// Entry is one executed slice of work.
+type Entry struct {
+	Core  int     `json:"core"`
+	JobID job.ID  `json:"job"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Speed float64 `json:"speed"` // GHz
+}
+
+// Trace is an execution record. It implements the simulator's Recorder
+// hook; pass it via sim.Config.Recorder to capture a run.
+type Trace struct {
+	Cores   int
+	Entries []Entry
+}
+
+// New returns an empty trace for a server with the given core count.
+func New(cores int) *Trace { return &Trace{Cores: cores} }
+
+// RecordExec implements the simulator's Recorder interface. Adjacent slices
+// of the same job at the same speed are coalesced.
+func (t *Trace) RecordExec(core int, seg yds.Segment) {
+	if seg.End <= seg.Start {
+		return
+	}
+	if n := len(t.Entries); n > 0 {
+		last := &t.Entries[n-1]
+		if last.Core == core && last.JobID == seg.ID && last.Speed == seg.Speed &&
+			absf(last.End-seg.Start) < 1e-12 {
+			last.End = seg.End
+			return
+		}
+	}
+	t.Entries = append(t.Entries, Entry{Core: core, JobID: seg.ID, Start: seg.Start, End: seg.End, Speed: seg.Speed})
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BusyTime returns the total core-seconds of execution.
+func (t *Trace) BusyTime() float64 {
+	s := 0.0
+	for _, e := range t.Entries {
+		s += e.End - e.Start
+	}
+	return s
+}
+
+// Span returns the earliest start and the latest end across all entries.
+func (t *Trace) Span() (first, last float64) {
+	if len(t.Entries) == 0 {
+		return 0, 0
+	}
+	first, last = t.Entries[0].Start, t.Entries[0].End
+	for _, e := range t.Entries[1:] {
+		if e.Start < first {
+			first = e.Start
+		}
+		if e.End > last {
+			last = e.End
+		}
+	}
+	return first, last
+}
+
+// DynamicEnergy integrates the model's dynamic power over the trace.
+func (t *Trace) DynamicEnergy(m power.Model) float64 {
+	e := 0.0
+	for _, en := range t.Entries {
+		e += m.DynamicPower(en.Speed) * (en.End - en.Start)
+	}
+	return e
+}
+
+// TotalEnergy integrates total model power (dynamic + static) over the
+// trace's busy time plus static power over every core's idle time within
+// [first, last].
+func (t *Trace) TotalEnergy(m power.Model) float64 {
+	first, last := t.Span()
+	idle := float64(t.Cores)*(last-first) - t.BusyTime()
+	if idle < 0 {
+		idle = 0
+	}
+	e := m.B * idle
+	for _, en := range t.Entries {
+		e += m.Power(en.Speed) * (en.End - en.Start)
+	}
+	return e
+}
+
+// Validate checks per-core chronological order and non-overlap. Entries
+// are expected grouped per core in time order (as recorded).
+func (t *Trace) Validate() error {
+	lastEnd := make([]float64, t.Cores)
+	for i, e := range t.Entries {
+		if e.Core < 0 || e.Core >= t.Cores {
+			return fmt.Errorf("trace: entry %d has core %d out of range", i, e.Core)
+		}
+		if e.End < e.Start {
+			return fmt.Errorf("trace: entry %d inverted", i)
+		}
+		if e.Speed < 0 {
+			return fmt.Errorf("trace: entry %d has negative speed", i)
+		}
+		if e.Start < lastEnd[e.Core]-1e-9 {
+			return fmt.Errorf("trace: entry %d overlaps previous work on core %d", i, e.Core)
+		}
+		lastEnd[e.Core] = e.End
+	}
+	return nil
+}
+
+// SortByTime orders entries by start time (stable within equal starts).
+func (t *Trace) SortByTime() {
+	sort.SliceStable(t.Entries, func(a, b int) bool { return t.Entries[a].Start < t.Entries[b].Start })
+}
+
+// WriteCSV emits "core,job,start,end,speed" rows with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"core", "job", "start", "end", "speed_ghz"}); err != nil {
+		return err
+	}
+	for _, e := range t.Entries {
+		rec := []string{
+			strconv.Itoa(e.Core),
+			strconv.FormatInt(int64(e.JobID), 10),
+			strconv.FormatFloat(e.Start, 'g', -1, 64),
+			strconv.FormatFloat(e.End, 'g', -1, 64),
+			strconv.FormatFloat(e.Speed, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the WriteCSV format. The core count is inferred as
+// max(core)+1 unless the trace already has one set higher.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{}
+	for i, rec := range recs {
+		if i == 0 && len(rec) > 0 && rec[0] == "core" {
+			continue // header
+		}
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 5", i, len(rec))
+		}
+		var e Entry
+		var jid int64
+		if _, err := fmt.Sscanf(rec[0], "%d", &e.Core); err != nil {
+			return nil, fmt.Errorf("trace: row %d core: %w", i, err)
+		}
+		if _, err := fmt.Sscanf(rec[1], "%d", &jid); err != nil {
+			return nil, fmt.Errorf("trace: row %d job: %w", i, err)
+		}
+		e.JobID = job.ID(jid)
+		for fi, dst := range []*float64{&e.Start, &e.End, &e.Speed} {
+			v, err := strconv.ParseFloat(rec[2+fi], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d field %d: %w", i, 2+fi, err)
+			}
+			*dst = v
+		}
+		if e.Core+1 > t.Cores {
+			t.Cores = e.Core + 1
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	return t, nil
+}
+
+// WriteJSON emits the trace as a single JSON object.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Cores   int     `json:"cores"`
+		Entries []Entry `json:"entries"`
+	}{t.Cores, t.Entries})
+}
+
+// ReadJSON parses the WriteJSON format.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var raw struct {
+		Cores   int     `json:"cores"`
+		Entries []Entry `json:"entries"`
+	}
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, err
+	}
+	return &Trace{Cores: raw.Cores, Entries: raw.Entries}, nil
+}

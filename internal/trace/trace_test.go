@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dessched/internal/power"
+	"dessched/internal/yds"
+)
+
+func sample() *Trace {
+	t := New(2)
+	t.RecordExec(0, yds.Segment{ID: 1, Start: 0, End: 0.1, Speed: 2})
+	t.RecordExec(1, yds.Segment{ID: 2, Start: 0, End: 0.2, Speed: 1})
+	t.RecordExec(0, yds.Segment{ID: 3, Start: 0.1, End: 0.3, Speed: 1.5})
+	return t
+}
+
+func TestRecordCoalesces(t *testing.T) {
+	tr := New(1)
+	tr.RecordExec(0, yds.Segment{ID: 1, Start: 0, End: 0.1, Speed: 2})
+	tr.RecordExec(0, yds.Segment{ID: 1, Start: 0.1, End: 0.2, Speed: 2})
+	if len(tr.Entries) != 1 || tr.Entries[0].End != 0.2 {
+		t.Errorf("coalescing failed: %+v", tr.Entries)
+	}
+	// Different speed breaks the run.
+	tr.RecordExec(0, yds.Segment{ID: 1, Start: 0.2, End: 0.3, Speed: 1})
+	if len(tr.Entries) != 2 {
+		t.Errorf("speed change should split: %+v", tr.Entries)
+	}
+	// Zero-length slices are dropped.
+	tr.RecordExec(0, yds.Segment{ID: 1, Start: 0.3, End: 0.3, Speed: 1})
+	if len(tr.Entries) != 2 {
+		t.Error("zero-length slice recorded")
+	}
+}
+
+func TestBusySpanEnergy(t *testing.T) {
+	tr := sample()
+	if got := tr.BusyTime(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("BusyTime = %v", got)
+	}
+	first, last := tr.Span()
+	if first != 0 || last != 0.3 {
+		t.Errorf("Span = (%v, %v)", first, last)
+	}
+	wantDyn := 20*0.1 + 5*0.2 + 5*1.5*1.5*0.2
+	if got := tr.DynamicEnergy(power.Default); math.Abs(got-wantDyn) > 1e-9 {
+		t.Errorf("DynamicEnergy = %v, want %v", got, wantDyn)
+	}
+	m := power.Model{A: 5, Beta: 2, B: 3}
+	// Busy total power + idle static: idle = 2*0.3 - 0.5 = 0.1 core-s.
+	wantTotal := wantDyn + 3*0.5 + 3*0.1
+	if got := tr.TotalEnergy(m); math.Abs(got-wantTotal) > 1e-9 {
+		t.Errorf("TotalEnergy = %v, want %v", got, wantTotal)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad := New(1)
+	bad.Entries = []Entry{
+		{Core: 0, JobID: 1, Start: 0, End: 0.2, Speed: 1},
+		{Core: 0, JobID: 2, Start: 0.1, End: 0.3, Speed: 1},
+	}
+	if bad.Validate() == nil {
+		t.Error("overlap accepted")
+	}
+	oob := New(1)
+	oob.Entries = []Entry{{Core: 5, JobID: 1, Start: 0, End: 1, Speed: 1}}
+	if oob.Validate() == nil {
+		t.Error("out-of-range core accepted")
+	}
+	inv := New(1)
+	inv.Entries = []Entry{{Core: 0, JobID: 1, Start: 1, End: 0, Speed: 1}}
+	if inv.Validate() == nil {
+		t.Error("inverted entry accepted")
+	}
+	neg := New(1)
+	neg.Entries = []Entry{{Core: 0, JobID: 1, Start: 0, End: 1, Speed: -1}}
+	if neg.Validate() == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cores != 2 || len(back.Entries) != len(tr.Entries) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for i := range tr.Entries {
+		if tr.Entries[i] != back.Entries[i] {
+			t.Errorf("entry %d: %+v != %+v", i, tr.Entries[i], back.Entries[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cores != tr.Cores || len(back.Entries) != len(tr.Entries) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n")); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("x,1,0,1,2\n")); err == nil {
+		t.Error("bad core accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("0,1,zz,1,2\n")); err == nil {
+		t.Error("bad float accepted")
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	tr := New(2)
+	tr.Entries = []Entry{
+		{Core: 0, JobID: 2, Start: 0.2, End: 0.3, Speed: 1},
+		{Core: 1, JobID: 1, Start: 0.0, End: 0.1, Speed: 1},
+	}
+	tr.SortByTime()
+	if tr.Entries[0].JobID != 1 {
+		t.Errorf("sort failed: %+v", tr.Entries)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New(4)
+	if tr.BusyTime() != 0 || tr.DynamicEnergy(power.Default) != 0 {
+		t.Error("empty trace has energy")
+	}
+	f, l := tr.Span()
+	if f != 0 || l != 0 {
+		t.Error("empty span wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dessched/internal/job"
+)
+
+// FuzzLoadJobs ensures arbitrary input never panics, and that accepted
+// streams are valid and round-trip through SaveJobs.
+func FuzzLoadJobs(f *testing.F) {
+	f.Add("id,release,deadline,demand,partial\n0,0,0.15,100,true\n")
+	f.Add("0,0,0.15,100,true\n1,0.1,0.25,200,false\n")
+	f.Add("")
+	f.Add("nonsense,,,\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		jobs, err := LoadJobs(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := job.ValidateAll(jobs); err != nil {
+			t.Fatalf("LoadJobs accepted invalid stream: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := SaveJobs(&buf, jobs); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadJobs(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(jobs) {
+			t.Fatalf("round trip changed count")
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dessched/internal/job"
+)
+
+// SaveJobs writes a job stream as CSV ("id,release,deadline,demand,partial"
+// with a header) so a generated workload — or a converted production
+// trace — can be replayed bit-identically later.
+func SaveJobs(w io.Writer, jobs []job.Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "release", "deadline", "demand", "partial"}); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		rec := []string{
+			strconv.FormatInt(int64(j.ID), 10),
+			strconv.FormatFloat(j.Release, 'g', -1, 64),
+			strconv.FormatFloat(j.Deadline, 'g', -1, 64),
+			strconv.FormatFloat(j.Demand, 'g', -1, 64),
+			strconv.FormatBool(j.Partial),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadJobs parses the SaveJobs format and validates the stream.
+func LoadJobs(r io.Reader) ([]job.Job, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var jobs []job.Job
+	for i, rec := range recs {
+		if i == 0 && len(rec) > 0 && rec[0] == "id" {
+			continue
+		}
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("workload: row %d has %d fields, want 5", i, len(rec))
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d id: %w", i, err)
+		}
+		var j job.Job
+		j.ID = job.ID(id)
+		for fi, dst := range []*float64{&j.Release, &j.Deadline, &j.Demand} {
+			v, err := strconv.ParseFloat(rec[1+fi], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d field %d: %w", i, 1+fi, err)
+			}
+			*dst = v
+		}
+		j.Partial, err = strconv.ParseBool(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d partial: %w", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := job.ValidateAll(jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}

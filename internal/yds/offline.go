@@ -1,0 +1,185 @@
+package yds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dessched/internal/power"
+	"dessched/internal/timeline"
+)
+
+// Offline computes the Energy-OPT schedule for tasks with arbitrary release
+// times and agreeable deadlines. All tasks are completed in full; the result
+// minimizes dynamic energy for any convex power function. Tasks with
+// non-positive volume are ignored. It returns an error for invalid windows
+// or when the greedy placement cannot respect a window (which indicates a
+// non-agreeable input).
+func Offline(tasks []Task) (Schedule, error) {
+	pending := make([]Task, 0, len(tasks))
+	for _, t := range tasks {
+		if t.Volume <= 0 {
+			continue
+		}
+		if t.Deadline <= t.Release {
+			return Schedule{}, fmt.Errorf("yds: task %d has empty window [%g, %g]", t.ID, t.Release, t.Deadline)
+		}
+		pending = append(pending, t)
+	}
+
+	var tl timeline.Timeline
+	var out Schedule
+	const tol = 1e-9
+
+	for len(pending) > 0 {
+		// Virtual windows of the pending tasks.
+		vr := make([]float64, len(pending))
+		vd := make([]float64, len(pending))
+		for i, t := range pending {
+			vr[i] = tl.Virtual(t.Release)
+			vd[i] = tl.Virtual(t.Deadline)
+			if vd[i]-vr[i] <= tol {
+				return Schedule{}, fmt.Errorf("yds: task %d has no residual window", pending[i].ID)
+			}
+		}
+
+		// Critical interval: maximize intensity over all (release, deadline)
+		// endpoint pairs; ties prefer the shortest interval, then the
+		// earliest.
+		bestG, bestZ, bestZp := -1.0, 0.0, 0.0
+		var bestGroup []int
+		for i := range pending {
+			for k := range pending {
+				z, zp := vr[i], vd[k]
+				if zp-z <= tol {
+					continue
+				}
+				var group []int
+				vol := 0.0
+				for x := range pending {
+					if vr[x] >= z-tol && vd[x] <= zp+tol {
+						group = append(group, x)
+						vol += pending[x].Volume
+					}
+				}
+				if len(group) == 0 {
+					continue
+				}
+				g := vol / (zp - z)
+				better := g > bestG+1e-12
+				if !better && g > bestG-1e-12 && bestGroup != nil {
+					if zp-z < (bestZp-bestZ)-1e-12 {
+						better = true
+					} else if math.Abs((zp-z)-(bestZp-bestZ)) <= 1e-12 && z < bestZ-1e-12 {
+						better = true
+					}
+				}
+				if better {
+					bestG, bestZ, bestZp, bestGroup = g, z, zp, group
+				}
+			}
+		}
+		if bestGroup == nil {
+			return Schedule{}, fmt.Errorf("yds: no critical interval found for %d tasks", len(pending))
+		}
+
+		// Schedule the group in EDF order at the critical speed inside the
+		// free real time of the interval.
+		speed := power.SpeedForRate(bestG)
+		group := make([]Task, 0, len(bestGroup))
+		inGroup := make(map[int]bool, len(bestGroup))
+		for _, idx := range bestGroup {
+			group = append(group, pending[idx])
+			inGroup[idx] = true
+		}
+		sort.Slice(group, func(a, b int) bool {
+			if group[a].Deadline != group[b].Deadline {
+				return group[a].Deadline < group[b].Deadline
+			}
+			if group[a].Release != group[b].Release {
+				return group[a].Release < group[b].Release
+			}
+			return group[a].ID < group[b].ID
+		})
+		free := tl.FreeIntervals(bestZ, bestZp)
+		segs, err := placeEDF(group, free, bestG, speed)
+		if err != nil {
+			return Schedule{}, err
+		}
+		out.Segments = append(out.Segments, segs...)
+		tl.Excise(free)
+
+		next := pending[:0]
+		for i := range pending {
+			if !inGroup[i] {
+				next = append(next, pending[i])
+			}
+		}
+		pending = next
+	}
+
+	sort.Slice(out.Segments, func(a, b int) bool { return out.Segments[a].Start < out.Segments[b].Start })
+	return out, nil
+}
+
+// placeEDF lays the group's tasks out in deadline order at the given rate
+// (units/s) across the free real intervals, never starting a task before
+// its release and never running past the last free instant.
+func placeEDF(group []Task, free []timeline.Interval, rate, speed float64) ([]Segment, error) {
+	const tol = 1e-6
+	var segs []Segment
+	fi := 0
+	var cur float64
+	if len(free) > 0 {
+		cur = free[0].Start
+	}
+	for _, t := range group {
+		if cur < t.Release {
+			cur = t.Release
+			for fi < len(free) && free[fi].End <= cur {
+				fi++
+			}
+			if fi < len(free) && cur < free[fi].Start {
+				cur = free[fi].Start
+			}
+		}
+		remaining := t.Volume
+		lastEnd := cur
+		for remaining > tol*rate {
+			if fi >= len(free) {
+				return nil, fmt.Errorf("yds: ran out of interval placing task %d (non-agreeable deadlines?)", t.ID)
+			}
+			if cur < free[fi].Start {
+				cur = free[fi].Start
+			}
+			avail := free[fi].End - cur
+			if avail <= 1e-12 {
+				fi++
+				continue
+			}
+			dur := remaining / rate
+			if dur > avail {
+				dur = avail
+			}
+			segs = append(segs, Segment{ID: t.ID, Start: cur, End: cur + dur, Speed: speed})
+			remaining -= dur * rate
+			cur += dur
+			lastEnd = cur
+			if cur >= free[fi].End-1e-12 {
+				fi++
+				if fi < len(free) {
+					cur = free[fi].Start
+				}
+			}
+		}
+		cur = lastEnd
+		// Re-sync the interval cursor with the true completion instant.
+		for fi < len(free) && free[fi].End <= cur+1e-12 {
+			fi++
+		}
+		if lastEnd > t.Deadline+tol {
+			return nil, fmt.Errorf("yds: task %d finishes at %g past deadline %g (non-agreeable deadlines?)", t.ID, lastEnd, t.Deadline)
+		}
+	}
+	return segs, nil
+}

@@ -1,0 +1,209 @@
+package yds
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+)
+
+func TestOfflineMatchesSameReleaseWhenReleasesEqual(t *testing.T) {
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 0.05, Volume: 300},
+		{ID: 2, Release: 0, Deadline: 0.10, Volume: 50},
+		{ID: 3, Release: 0, Deadline: 0.15, Volume: 420},
+	}
+	off, err := Offline(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := SameRelease(0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Validate(tasks); err != nil {
+		t.Fatal(err)
+	}
+	eo, es := off.Energy(power.Default), on.Energy(power.Default)
+	if math.Abs(eo-es) > 1e-6*math.Max(1, es) {
+		t.Errorf("offline energy %v != same-release energy %v", eo, es)
+	}
+}
+
+func TestOfflineClassicTwoJobExample(t *testing.T) {
+	// Disjoint high/low intensity periods: the dense job forms its own
+	// critical interval; the sparse one spreads over the remaining time.
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 1.0, Volume: 100},   // sparse
+		{ID: 2, Release: 0.4, Deadline: 0.6, Volume: 400}, // dense
+	}
+	// Not agreeable (job 2 released later with earlier deadline)? r1<r2,
+	// d1>d2 — indeed non-agreeable, but YDS with preemption-free EDF can
+	// still fail; pick an agreeable variant instead.
+	tasks = []Task{
+		{ID: 1, Release: 0, Deadline: 0.5, Volume: 100},
+		{ID: 2, Release: 0.4, Deadline: 1.0, Volume: 400},
+	}
+	s, err := Offline(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tasks); err != nil {
+		t.Fatal(err)
+	}
+	// Critical interval is [0.4, 1.0] with g = 400/0.6 ≈ 666.7 units/s;
+	// job 1 then runs on virtual [0, 0.4] at 250 units/s.
+	if math.Abs(s.MaxSpeed()-power.SpeedForRate(400/0.6)) > 1e-9 {
+		t.Errorf("MaxSpeed = %v, want %v", s.MaxSpeed(), power.SpeedForRate(400/0.6))
+	}
+	if math.Abs(s.VolumeOf(1)-100) > 1e-6 || math.Abs(s.VolumeOf(2)-400) > 1e-6 {
+		t.Errorf("volumes: %v, %v", s.VolumeOf(1), s.VolumeOf(2))
+	}
+}
+
+func TestOfflineLaterGroupRunsAroundEarlierOne(t *testing.T) {
+	// A long sparse job whose window contains a dense critical interval:
+	// its execution must be split around the dense group's interval.
+	tasks := []Task{
+		{ID: 1, Release: 0, Deadline: 2.0, Volume: 200},
+		{ID: 2, Release: 0.9, Deadline: 1.1, Volume: 500},
+	}
+	// Make agreeable: give job 1 deadline 2.0 and job 2 release 0.9,
+	// deadline 1.1 — r1 < r2 but d1 > d2: non-agreeable. Use same-deadline
+	// trick instead: job windows nested with equal deadlines is agreeable
+	// only when releases align. Skip: use release order matching deadline
+	// order, with the dense job LAST.
+	tasks = []Task{
+		{ID: 1, Release: 0, Deadline: 1.0, Volume: 100},
+		{ID: 2, Release: 0.5, Deadline: 1.0, Volume: 450},
+	}
+	s, err := Offline(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tasks); err != nil {
+		t.Fatal(err)
+	}
+	// Critical interval [0.5, 1.0] g = 900; then job 1 in virtual [0, 0.5]
+	// at 200 units/s.
+	if math.Abs(s.MaxSpeed()-0.9) > 1e-9 {
+		t.Errorf("MaxSpeed = %v, want 0.9", s.MaxSpeed())
+	}
+	e := s.Energy(power.Default)
+	want := power.Default.DynamicPower(0.9)*0.5 + power.Default.DynamicPower(0.2)*0.5
+	if math.Abs(e-want) > 1e-6 {
+		t.Errorf("energy = %v, want %v", e, want)
+	}
+}
+
+func TestOfflineZeroVolumeAndErrors(t *testing.T) {
+	s, err := Offline([]Task{{ID: 1, Release: 0, Deadline: 1, Volume: 0}})
+	if err != nil || len(s.Segments) != 0 {
+		t.Errorf("zero volume: %v, %v", s, err)
+	}
+	if _, err := Offline([]Task{{ID: 1, Release: 1, Deadline: 1, Volume: 5}}); err == nil {
+		t.Error("accepted empty window")
+	}
+}
+
+func TestOfflineStaggeredReleases(t *testing.T) {
+	// Paper-like stream: constant 150 ms windows, staggered releases.
+	tasks := []Task{
+		{ID: 0, Release: 0.00, Deadline: 0.15, Volume: 200},
+		{ID: 1, Release: 0.02, Deadline: 0.17, Volume: 500},
+		{ID: 2, Release: 0.05, Deadline: 0.20, Volume: 130},
+		{ID: 3, Release: 0.09, Deadline: 0.24, Volume: 700},
+		{ID: 4, Release: 0.10, Deadline: 0.25, Volume: 150},
+	}
+	s, err := Offline(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tasks); err != nil {
+		t.Fatal(err)
+	}
+	// Energy must not exceed running everything at the peak speed.
+	sMax := s.MaxSpeed()
+	total := 0.0
+	for _, tk := range tasks {
+		total += tk.Volume
+	}
+	bound := power.Default.DynamicPower(sMax) * total / power.Rate(sMax)
+	if e := s.Energy(power.Default); e > bound+1e-9 {
+		t.Errorf("energy %v exceeds constant-speed bound %v", e, bound)
+	}
+}
+
+// Randomized: agreeable constant-window instances must validate, and the
+// offline energy must never exceed the same-release-at-zero upper bound
+// computed on the union instance (a feasible alternative only when all
+// releases are zero, so compare only the validity and a peak-speed bound).
+func TestOfflineRandomAgreeable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.IntN(8)
+		tasks := make([]Task, n)
+		rel := 0.0
+		for i := 0; i < n; i++ {
+			rel += rng.Float64() * 0.05
+			tasks[i] = Task{
+				ID:       job.ID(i),
+				Release:  rel,
+				Deadline: rel + 0.15,
+				Volume:   1 + rng.Float64()*500,
+			}
+		}
+		s, err := Offline(tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v (tasks %+v)", trial, err, tasks)
+		}
+		if err := s.Validate(tasks); err != nil {
+			t.Fatalf("trial %d: %v (tasks %+v)", trial, err, tasks)
+		}
+	}
+}
+
+// The offline optimum never consumes more energy than the myopic
+// same-release schedule computed at time of first release over adjusted
+// windows — checked on instances where all releases coincide (where both
+// must agree) and on staggered instances where offline must win or tie
+// against a greedy per-job constant-speed schedule.
+func TestOfflineBeatsGreedyPerJob(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(5)
+		tasks := make([]Task, n)
+		rel := 0.0
+		for i := 0; i < n; i++ {
+			rel += 0.03 + rng.Float64()*0.05
+			tasks[i] = Task{ID: job.ID(i), Release: rel, Deadline: rel + 0.2, Volume: 10 + rng.Float64()*100}
+		}
+		s, err := Offline(tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Greedy: run each job back-to-back in EDF order, each at the speed
+		// needed to finish by its deadline starting when the previous ends.
+		cur := tasks[0].Release
+		greedy := 0.0
+		feasible := true
+		for _, tk := range tasks {
+			if cur < tk.Release {
+				cur = tk.Release
+			}
+			span := tk.Deadline - cur
+			if span <= 0 {
+				feasible = false
+				break
+			}
+			sp := power.SpeedForRate(tk.Volume / span)
+			greedy += power.Default.DynamicPower(sp) * span
+			cur = tk.Deadline
+		}
+		if feasible && s.Energy(power.Default) > greedy+1e-6 {
+			t.Fatalf("trial %d: offline energy %v > greedy %v", trial, s.Energy(power.Default), greedy)
+		}
+	}
+}
