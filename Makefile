@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench verify report fuzz cover fmt vet clean
+.PHONY: all build test test-race bench verify chaos report fuzz cover fmt vet clean
 
 all: build vet test
 
@@ -22,6 +22,12 @@ bench:
 # CI gate: every §V claim of the paper must hold.
 verify:
 	$(GO) run ./cmd/desim verify -duration 40
+
+# Seeded fault-injection soak: core outages, a budget drop, and an arrival
+# burst with quality-aware shedding; deterministic per seed.
+chaos:
+	$(GO) run ./cmd/desim chaos -seed 1 -duration 20 -cores 8 -budget 160 -rate 60 \
+		-admission quality-aware -max-queue 64
 
 # Full markdown reproduction report (takes a few minutes).
 report:

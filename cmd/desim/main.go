@@ -9,6 +9,9 @@
 //	desim run -all [-quick]
 //	desim sim -policy des -arch c -rate 120 [-cores 16] [-budget 320] [-wf]
 //	          [-discrete] [-duration 60] [-seed 1] [-partial 1.0] [-trace out.csv]
+//	desim chaos -seed 1 [-rate 120] [-duration 30] [-cores 16] [-budget 320]
+//	            [-core-faults 3] [-budget-faults 1] [-bursts 1]
+//	            [-admission quality-aware -max-queue 64]
 package main
 
 import (
@@ -40,6 +43,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "sim":
 		err = cmdSim(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
@@ -61,11 +66,15 @@ func usage() {
   desim run -exp <id> [flags]         regenerate one figure
   desim run -all [flags]              regenerate every figure
   desim sim [flags]                   run a single simulation
+  desim chaos [flags]                 seeded fault-injection soak + resilience report
   desim verify [-duration s]          check every paper claim; exit 1 on failure
 run flags: -duration s  -seed n  -rates a,b,c  -paper  -quick  -out file
 sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
            -rate r  -cores m  -budget W  -partial f  -duration s  -seed n
-           -trace file.csv`)
+           -trace file.csv
+chaos flags: -seed n  -rate r  -duration s  -cores m  -budget W  -arch c|s|no
+             -core-faults n  -budget-faults n  -bursts n  -outage-frac f
+             -admission none|tail-drop|quality-aware  -max-queue n`)
 }
 
 func cmdList() error {
@@ -204,6 +213,89 @@ func cmdVerify(args []string) error {
 		return fmt.Errorf("%d of %d claims failed", failed, len(tbl.Rows))
 	}
 	fmt.Printf("all %d claims hold\n", len(tbl.Rows))
+	return nil
+}
+
+// cmdChaos runs one seeded fault-injection soak: it samples a chaos plan,
+// runs the policy through it (with optional admission-control shedding),
+// runs the fault-free twin, and prints the resilience report. The same
+// seed always reproduces the same plan and report.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "chaos + workload seed")
+	rate := fs.Float64("rate", 120, "nominal arrival rate, requests/s")
+	duration := fs.Float64("duration", 30, "simulated seconds of arrivals")
+	cores := fs.Int("cores", 16, "number of cores")
+	budget := fs.Float64("budget", 320, "dynamic power budget, W")
+	arch := fs.String("arch", "c", "architecture for DES: c | s | no")
+	coreFaults := fs.Int("core-faults", 3, "number of core speed faults")
+	budgetFaults := fs.Int("budget-faults", 1, "number of budget-drop windows")
+	bursts := fs.Int("bursts", 1, "number of arrival-burst windows")
+	outageFrac := fs.Float64("outage-frac", 0.3, "fraction of core faults that are full outages")
+	admit := fs.String("admission", "none", "load shedding: none | tail-drop | quality-aware")
+	maxQueue := fs.Int("max-queue", 64, "queue length beyond which admission control sheds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var a dessched.Arch
+	switch strings.ToLower(*arch) {
+	case "c":
+		a = dessched.CDVFS
+	case "s":
+		a = dessched.SDVFS
+	case "no":
+		a = dessched.NoDVFS
+	default:
+		return fmt.Errorf("unknown arch %q", *arch)
+	}
+
+	pol, err := dessched.ParseAdmissionPolicy(*admit)
+	if err != nil {
+		return err
+	}
+
+	chaos := dessched.DefaultChaos(*seed, *duration, *cores)
+	chaos.CoreFaults = *coreFaults
+	chaos.BudgetFaults = *budgetFaults
+	chaos.Bursts = *bursts
+	chaos.OutageFraction = *outageFrac
+	plan, err := chaos.Generate()
+	if err != nil {
+		return err
+	}
+	fmt.Println(plan.String())
+
+	run := func(faulted bool) (dessched.Result, error) {
+		cfg := dessched.PaperServer()
+		cfg.Cores = *cores
+		cfg.Budget = *budget
+		dessched.ApplyArch(&cfg, a)
+		wl := dessched.PaperWorkload(*rate)
+		wl.Duration = *duration
+		wl.Seed = *seed
+		if faulted {
+			wl.Bursts = plan.Apply(&cfg)
+			cfg.Admission = dessched.AdmissionConfig{Policy: pol, MaxQueue: *maxQueue}
+		}
+		jobs, err := dessched.GenerateWorkload(wl)
+		if err != nil {
+			return dessched.Result{}, err
+		}
+		return dessched.Simulate(cfg, jobs, dessched.NewDES(a))
+	}
+
+	faulted, err := run(true)
+	if err != nil {
+		return err
+	}
+	twin, err := run(false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("faulted:   ", faulted.String())
+	fmt.Println("fault-free:", twin.String())
+	fmt.Println(dessched.Resilience(twin, faulted).String())
 	return nil
 }
 

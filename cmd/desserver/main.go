@@ -6,15 +6,25 @@
 //	curl -X POST localhost:8080/v1/experiments/fig5 -d '{"duration_s":20}'
 //	curl -X POST localhost:8080/v1/simulate \
 //	     -d '{"policy":"des","rate":150,"duration_s":30}'
+//	curl -X POST localhost:8080/v1/simulate \
+//	     -d '{"policy":"des","rate":150,"chaos_seed":1,"admission":{"policy":"quality-aware","max_queue":64}}'
 //
-// See internal/httpapi for the endpoint contract.
+// The server is hardened for unattended operation: handler panics return
+// 500 without taking the process down, requests beyond the concurrency
+// limit are shed with 429 + Retry-After, request bodies and service times
+// are bounded, and SIGINT/SIGTERM trigger a graceful shutdown that drains
+// in-flight requests. See internal/httpapi for the endpoint contract.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dessched/internal/httpapi"
@@ -22,13 +32,29 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 32, "in-flight request limit before shedding with 429")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-request service timeout")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit, bytes")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.NewMux(),
+		Addr: *addr,
+		Handler: httpapi.NewHandler(httpapi.Options{
+			MaxConcurrent:  *maxConcurrent,
+			RequestTimeout: *timeout,
+			MaxBodyBytes:   *maxBody,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("desserver listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+	// A clean signal-driven shutdown returns nil; only real serving
+	// failures are fatal (http.ErrServerClosed is not an error).
+	if err := httpapi.ListenAndServe(ctx, srv, *drain); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("desserver: drained and stopped")
 }

@@ -37,6 +37,7 @@ package dessched
 import (
 	"io"
 
+	"dessched/internal/admission"
 	"dessched/internal/baseline"
 	"dessched/internal/core"
 	"dessched/internal/experiments"
@@ -110,6 +111,21 @@ type (
 
 	// Fault degrades one core during a time window (throttling/outage).
 	Fault = sim.Fault
+	// BudgetFault drops the power budget to a fraction during a window.
+	BudgetFault = sim.BudgetFault
+	// Burst scales the workload arrival rate during a window.
+	Burst = workload.Burst
+	// ChaosConfig parameterizes a seeded random fault schedule.
+	ChaosConfig = sim.ChaosConfig
+	// ChaosPlan is one sampled fault schedule (core, budget, burst faults).
+	ChaosPlan = sim.ChaosPlan
+	// AdmissionConfig configures the load-shedding stage in front of the
+	// scheduler queue.
+	AdmissionConfig = admission.Config
+	// AdmissionPolicy selects how jobs are shed when the queue overflows.
+	AdmissionPolicy = admission.Policy
+	// ResilienceReport compares a faulted run against its fault-free twin.
+	ResilienceReport = metrics.ResilienceReport
 	// JobOutcome is one job's recorded fate (Config.CollectJobs).
 	JobOutcome = sim.JobOutcome
 	// JobSummary aggregates per-job outcomes (latency percentiles, SLO view).
@@ -134,7 +150,36 @@ const (
 	EvDeadline  = sim.EvDeadline
 	EvDiscard   = sim.EvDiscard
 	EvFaultEdge = sim.EvFaultEdge
+	EvShed      = sim.EvShed
+	EvRequeue   = sim.EvRequeue
 )
+
+// Admission-control policies for the load-shedding stage.
+const (
+	// AdmitAll disables shedding (the default).
+	AdmitAll = admission.None
+	// TailDrop sheds the newest arrival once the queue exceeds MaxQueue.
+	TailDrop = admission.TailDrop
+	// QualityAware sheds the queued job with the lowest marginal quality
+	// per unit of demand — the cheapest work to lose.
+	QualityAware = admission.QualityAware
+)
+
+// ParseAdmissionPolicy parses "none", "tail-drop", or "quality-aware".
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) { return admission.ParsePolicy(s) }
+
+// DefaultChaos returns a moderate chaos schedule generator: a few core
+// faults (some outages), one budget fault, and one arrival burst sampled
+// deterministically from seed over the horizon.
+func DefaultChaos(seed uint64, horizon float64, cores int) ChaosConfig {
+	return sim.DefaultChaos(seed, horizon, cores)
+}
+
+// Resilience compares a faulted run against its fault-free twin: quality
+// retained, energy overhead, shed fraction, deadline and violation deltas.
+func Resilience(baseline, faulted Result) ResilienceReport {
+	return metrics.Resilience(baseline, faulted)
+}
 
 // NewEventCounter returns an empty simulation-event tally; pass its Observe
 // method as ServerConfig.Observer.

@@ -1,8 +1,20 @@
-// Fault tolerance: a quarter of the server's cores throttle to 25% speed
-// mid-run (thermal emergency, co-tenant interference, failing VRM). DES's
-// water-filling power distribution notices the throttled cores request less
-// power and shifts the budget to the healthy ones — static equal sharing
-// cannot. This extension exercises the robustness §IV-C implies.
+// Fault tolerance: three degradation scenarios for a server that must keep
+// answering while its hardware misbehaves.
+//
+//  1. Core throttling — a quarter of the cores drop to 25% speed (thermal
+//     emergency, co-tenant interference, failing VRM). DES's water-filling
+//     power distribution notices the throttled cores request less power and
+//     shifts the budget to the healthy ones — static equal sharing cannot.
+//  2. Budget fault — the rack's power cap halves mid-run (capping event,
+//     failed PSU). Water-filling redistributes the shrunken budget; the
+//     resilience report quantifies the quality retained versus the
+//     fault-free twin.
+//  3. Arrival burst + quality-aware shedding — traffic doubles for the
+//     middle third of the run. Without admission control the queue drags
+//     every job past its deadline; shedding the lowest-value-per-unit work
+//     keeps the rest on time and total quality higher.
+//
+// This extension exercises the robustness §IV-C implies.
 //
 //	go run ./examples/faulttolerance
 package main
@@ -14,32 +26,35 @@ import (
 	"dessched"
 )
 
-func main() {
-	wl := dessched.PaperWorkload(140)
-	wl.Duration = 30
+func simulate(cfg dessched.ServerConfig, wl dessched.WorkloadConfig, p dessched.Policy) dessched.Result {
 	jobs, err := dessched.GenerateWorkload(wl)
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, err := dessched.Simulate(cfg, jobs, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
 
-	// Cores 0-3 run at quarter speed during the middle half of the run.
+func throttlingScenario() {
+	fmt.Println("-- core throttling: 16 cores, 320 W, 140 req/s; cores 0-3 at 25% for t ∈ [7.5, 22.5) s")
+	wl := dessched.PaperWorkload(140)
+	wl.Duration = 30
 	faults := []dessched.Fault{
 		{Core: 0, Start: 7.5, End: 22.5, SpeedFactor: 0.25},
 		{Core: 1, Start: 7.5, End: 22.5, SpeedFactor: 0.25},
 		{Core: 2, Start: 7.5, End: 22.5, SpeedFactor: 0.25},
 		{Core: 3, Start: 7.5, End: 22.5, SpeedFactor: 0.25},
 	}
-
 	run := func(name string, p dessched.Policy, withFaults bool) {
 		cfg := dessched.PaperServer()
 		cfg.CollectJobs = true
 		if withFaults {
 			cfg.Faults = faults
 		}
-		res, err := dessched.Simulate(cfg, jobs, p)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := simulate(cfg, wl, p)
 		sum, err := dessched.SummarizeJobs(res.Jobs)
 		if err != nil {
 			log.Fatal(err)
@@ -47,13 +62,75 @@ func main() {
 		fmt.Printf("%-22s quality %.4f  energy %7.0f J  satisfied %5.1f%%  p99 %3.0f ms\n",
 			name, res.NormQuality, res.Energy, 100*sum.SatisfiedFrac, 1000*sum.LatencyP99)
 	}
-
-	fmt.Println("16 cores, 320 W, 140 req/s; cores 0-3 throttled to 25% for t ∈ [7.5, 22.5) s")
 	run("DES (healthy)", dessched.NewDES(dessched.CDVFS), false)
 	run("DES + faults", dessched.NewDES(dessched.CDVFS), true)
 	run("DES-static + faults", dessched.NewStaticPowerDES(dessched.CDVFS), true)
-
 	fmt.Println("\nWith water-filling, the throttled cores' unused power share flows to")
 	fmt.Println("the healthy cores, which run faster and absorb most of the lost")
 	fmt.Println("capacity; pinning each core to an equal share forfeits that slack.")
+}
+
+func budgetFaultScenario() {
+	fmt.Println("\n-- budget fault: power cap drops to 40% for t ∈ [10, 20) s")
+	wl := dessched.PaperWorkload(140)
+	wl.Duration = 30
+	cfg := dessched.PaperServer()
+	cfg.BudgetFaults = []dessched.BudgetFault{{Start: 10, End: 20, Fraction: 0.4}}
+	faulted := simulate(cfg, wl, dessched.NewDES(dessched.CDVFS))
+	twin := simulate(dessched.PaperServer(), wl, dessched.NewDES(dessched.CDVFS))
+	fmt.Println(dessched.Resilience(twin, faulted).String())
+	fmt.Println("\nWater-filling re-solves the power distribution at the fault edges, so")
+	fmt.Println("the shrunken budget is still spent where it buys the most quality.")
+}
+
+func sheddingScenario() {
+	fmt.Println("\n-- arrival burst: 4 cores, 80 W, all-or-nothing jobs, FCFS; rate trebles for t ∈ [10, 20) s")
+	// A greedy baseline serving rigid all-or-nothing jobs is the regime
+	// admission control exists for: FCFS binds one job per free core, the
+	// queue backs up under the burst, and every late job is a total loss.
+	// (DES itself degrades gracefully here — Online-QE discards doomed work
+	// on its own — so the stage matters most for naive policies.)
+	wl := dessched.PaperWorkload(30)
+	wl.Duration = 30
+	wl.Deadline = 0.5
+	wl.PartialFraction = 0
+	wl.Bursts = []dessched.Burst{{Start: 10, End: 20, Multiplier: 3}}
+	twinWl := wl
+	twinWl.Bursts = nil
+	server := func() dessched.ServerConfig {
+		cfg := dessched.PaperServer()
+		cfg.Cores = 4
+		cfg.Budget = 80
+		cfg.Triggers = dessched.Triggers{IdleCore: true}
+		return cfg
+	}
+	twin := simulate(server(), twinWl, dessched.NewBaseline(dessched.FCFS, true))
+	for _, c := range []struct {
+		name string
+		pol  dessched.AdmissionPolicy
+	}{
+		{"no admission control", dessched.AdmitAll},
+		{"tail-drop", dessched.TailDrop},
+		{"quality-aware", dessched.QualityAware},
+	} {
+		cfg := server()
+		if c.pol != dessched.AdmitAll {
+			cfg.Admission = dessched.AdmissionConfig{Policy: c.pol, MaxQueue: 16}
+		}
+		res := simulate(cfg, wl, dessched.NewBaseline(dessched.FCFS, true))
+		fmt.Printf("%-22s quality %8.2f  deadline misses %4d  shed %3d\n",
+			c.name, res.Quality, res.Deadlined, res.Shed)
+		if c.pol == dessched.QualityAware {
+			fmt.Println(dessched.Resilience(twin, res).String())
+		}
+	}
+	fmt.Println("\nShedding the queued job with the least quality per unit of demand")
+	fmt.Println("sacrifices the work that was worth the least; the jobs that remain")
+	fmt.Println("meet their deadlines instead of everyone missing together.")
+}
+
+func main() {
+	throttlingScenario()
+	budgetFaultScenario()
+	sheddingScenario()
 }

@@ -1,0 +1,82 @@
+// Package admission is the load-shedding stage in front of the scheduler.
+// Under overload the waiting queue grows without bound and every policy
+// eventually collapses: deadlines expire faster than cores can drain work,
+// and (for non-partial jobs) quality falls off a cliff. Admission control
+// bounds the queue and chooses which jobs to turn away so that overload
+// degrades quality gracefully instead.
+//
+// Three policies are provided:
+//
+//   - None: admit everything (the paper's setting).
+//   - TailDrop: when the queue is over its limit, drop the newest arrival —
+//     the classic router discipline, oblivious to job value.
+//   - QualityAware: drop the queued job with the lowest marginal quality
+//     per unit of demand, q(demand)/demand. Under a concave quality
+//     function this sheds the large jobs whose completion buys the least
+//     quality per cycle, preserving throughput of high-value work.
+//
+// The stage runs inside the simulator on every arrival (sim.Config.Admission)
+// and mirrors the admission gate a production server would place before its
+// scheduler.
+package admission
+
+import "fmt"
+
+// Policy selects the shedding discipline.
+type Policy int
+
+// Shedding disciplines.
+const (
+	None Policy = iota
+	TailDrop
+	QualityAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case None:
+		return "none"
+	case TailDrop:
+		return "tail-drop"
+	case QualityAware:
+		return "quality-aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a policy name (as used by CLI flags and the HTTP API)
+// to its Policy value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "none":
+		return None, nil
+	case "tail-drop", "taildrop":
+		return TailDrop, nil
+	case "quality-aware", "qualityaware", "quality":
+		return QualityAware, nil
+	default:
+		return None, fmt.Errorf("admission: unknown policy %q (want none, tail-drop, or quality-aware)", s)
+	}
+}
+
+// Config is the admission stage's configuration. The zero value admits
+// everything.
+type Config struct {
+	Policy   Policy
+	MaxQueue int // shed whenever more than MaxQueue jobs wait; required when Policy != None
+}
+
+// Enabled reports whether the stage sheds at all.
+func (c Config) Enabled() bool { return c.Policy != None }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Policy < None || c.Policy > QualityAware {
+		return fmt.Errorf("admission: unknown policy %d", int(c.Policy))
+	}
+	if c.Policy != None && c.MaxQueue <= 0 {
+		return fmt.Errorf("admission: policy %s needs MaxQueue > 0, got %d", c.Policy, c.MaxQueue)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package admission
+
+import "testing"
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+	}{
+		{"", None},
+		{"none", None},
+		{"tail-drop", TailDrop},
+		{"taildrop", TailDrop},
+		{"quality-aware", QualityAware},
+		{"qualityaware", QualityAware},
+		{"quality", QualityAware},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParsePolicy("random-early"); err == nil {
+		t.Error("unknown policy name accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		None: "none", TailDrop: "tail-drop", QualityAware: "quality-aware",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config enabled")
+	}
+	if err := (Config{Policy: TailDrop, MaxQueue: 4}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{Policy: TailDrop}).Validate(); err == nil {
+		t.Error("enabled policy without MaxQueue accepted")
+	}
+	if err := (Config{Policy: Policy(9), MaxQueue: 4}).Validate(); err == nil {
+		t.Error("out-of-range policy accepted")
+	}
+}

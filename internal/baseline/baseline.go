@@ -102,11 +102,11 @@ func (g *Greedy) Plan(now float64, s *sim.State) {
 
 	var shares []float64
 	if g.wf {
-		shares = dist.WaterFill(s.Cfg.Budget, requests)
+		shares = dist.WaterFill(s.Budget(), requests)
 		// Idle cores' unused equal share stays in the pool automatically:
 		// WF only grants what is requested.
 	} else {
-		shares = dist.EqualShare(s.Cfg.Budget, m)
+		shares = dist.EqualShare(s.Budget(), m)
 	}
 
 	for i, c := range s.Cores {
@@ -149,10 +149,10 @@ func (g *Greedy) speedFor(cfg *sim.Config, needed, share float64) float64 {
 	return 0
 }
 
-// freeCore returns the index of a core with no live job, or -1.
+// freeCore returns the index of a non-outaged core with no live job, or -1.
 func (g *Greedy) freeCore(now float64, s *sim.State) int {
 	for i, c := range s.Cores {
-		if liveJob(c) == nil {
+		if liveJob(c) == nil && s.CoreFaultFactor(i) > 0 {
 			return i
 		}
 	}

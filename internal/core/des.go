@@ -132,9 +132,10 @@ func (d *DES) Plan(now float64, s *sim.State) {
 		d.crr.Reset()
 	}
 
-	// Step 1: ready-job distribution via C-RR.
+	// Step 1: ready-job distribution via C-RR, skipping outaged cores so
+	// evacuated (and fresh) jobs land where they can actually run.
 	waiting := s.DrainQueue()
-	targets := d.crr.Assign(len(waiting))
+	targets := d.crr.AssignAvail(len(waiting), s.AvailableCores())
 	for i, js := range waiting {
 		s.Bind(js, targets[i])
 	}
@@ -175,7 +176,7 @@ func (d *DES) planSDVFS(now float64, s *sim.State) {
 			maxReq = p
 		}
 	}
-	perCore := math.Min(maxReq, s.Cfg.Budget/float64(len(s.Cores)))
+	perCore := math.Min(maxReq, s.Budget()/float64(len(s.Cores)))
 	speed := s.Cfg.Power.SpeedFor(perCore)
 	if s.Cfg.MaxSpeed > 0 {
 		speed = math.Min(speed, s.Cfg.MaxSpeed)
@@ -192,8 +193,11 @@ func (d *DES) planSDVFS(now float64, s *sim.State) {
 
 // planCDVFS is the full DES: budget-free Energy-OPT per core, the budget
 // check, WF distribution, and budget-bounded Online-QE (§IV-D steps 2-4).
+// The budget is the effective (possibly budget-faulted) one, so WF
+// redistributes a smaller pool during budget-drop windows.
 func (d *DES) planCDVFS(now float64, s *sim.State) {
 	m := len(s.Cores)
+	budget := s.Budget()
 	requests := make([]float64, m)
 	plans := make([][]yds.Segment, m)
 	total := 0.0
@@ -214,11 +218,11 @@ func (d *DES) planCDVFS(now float64, s *sim.State) {
 	// be satisfied. (Under discrete scaling the speeds still need ladder
 	// rectification, so fall through to the budget-bounded path; under the
 	// static-power ablation each core is held to its equal share.)
-	fits := total <= s.Cfg.Budget
+	fits := total <= budget
 	if d.staticPower {
 		fits = true
 		for _, r := range requests {
-			if r > s.Cfg.Budget/float64(m) {
+			if r > budget/float64(m) {
 				fits = false
 				break
 			}
@@ -235,11 +239,11 @@ func (d *DES) planCDVFS(now float64, s *sim.State) {
 	var budgets []float64
 	switch {
 	case d.staticPower:
-		budgets = dist.EqualShare(s.Cfg.Budget, m)
+		budgets = dist.EqualShare(budget, m)
 	case !s.Cfg.Ladder.Continuous():
-		budgets, _ = dist.WaterFillDiscrete(s.Cfg.Budget, requests, s.Cfg.Power, s.Cfg.Ladder)
+		budgets, _ = dist.WaterFillDiscrete(budget, requests, s.Cfg.Power, s.Cfg.Ladder)
 	default:
-		budgets = dist.WaterFill(s.Cfg.Budget, requests)
+		budgets = dist.WaterFill(budget, requests)
 	}
 	for i, c := range s.Cores {
 		cfg := qeopt.Config{

@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAssignAvailSkipsDeadCores(t *testing.T) {
+	c := NewCRR(4)
+	avail := []bool{true, false, true, true}
+	if got := c.AssignAvail(4, avail); !reflect.DeepEqual(got, []int{0, 2, 3, 0}) {
+		t.Errorf("assignments = %v", got)
+	}
+	// Cumulative across calls, still skipping core 1.
+	if got := c.AssignAvail(2, avail); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("second cycle = %v", got)
+	}
+	// Once the core recovers it rejoins the rotation.
+	if got := c.AssignAvail(2, []bool{true, true, true, true}); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("after recovery = %v", got)
+	}
+}
+
+func TestAssignAvailAllDeadFallsBack(t *testing.T) {
+	c := NewCRR(3)
+	if got := c.AssignAvail(3, []bool{false, false, false}); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("fallback assignments = %v", got)
+	}
+}
+
+func TestAssignAvailLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	NewCRR(3).AssignAvail(1, []bool{true})
+}
+
+func TestAssignAvailMatchesAssignWhenAllUp(t *testing.T) {
+	a, b := NewCRR(5), NewCRR(5)
+	all := []bool{true, true, true, true, true}
+	if got, want := a.AssignAvail(12, all), b.Assign(12); !reflect.DeepEqual(got, want) {
+		t.Errorf("AssignAvail = %v, Assign = %v", got, want)
+	}
+}

@@ -52,6 +52,37 @@ func (c *CRR) Assign(n int) []int {
 	return out
 }
 
+// AssignAvail distributes n items round-robin over the available cores
+// only, advancing the cumulative cursor past unavailable ones — the
+// fault-aware variant used when cores are outaged. When no core is
+// available it falls back to plain round-robin over all cores (the jobs
+// will miss their deadlines either way, but the assignment stays total and
+// deterministic). avail must have length m.
+func (c *CRR) AssignAvail(n int, avail []bool) []int {
+	if len(avail) != c.m {
+		panic(fmt.Sprintf("dist: AssignAvail got %d availability flags for %d cores", len(avail), c.m))
+	}
+	any := false
+	for _, a := range avail {
+		if a {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return c.Assign(n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		for !avail[c.next] {
+			c.next = (c.next + 1) % c.m
+		}
+		out[i] = c.next
+		c.next = (c.next + 1) % c.m
+	}
+	return out
+}
+
 // Cursor returns the core index the next assignment will start from.
 func (c *CRR) Cursor() int { return c.next }
 

@@ -8,18 +8,28 @@
 //	POST /v1/simulate                run one simulation (body: SimRequest)
 //
 // Everything is stdlib net/http; handlers are stateless and safe for
-// concurrent use.
+// concurrent use. NewHandler wraps the routes in a hardening stack —
+// panic recovery, concurrency shedding (429 + Retry-After), request body
+// limits (413), and per-request timeouts (503) — and Serve adds graceful
+// signal-driven shutdown with connection draining; desserver uses both.
+// /v1/simulate accepts fault injection (core, budget, burst, chaos) and
+// admission-control settings, and faulted runs return a resilience report
+// against their fault-free twin.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 
+	"dessched/internal/admission"
 	"dessched/internal/baseline"
 	"dessched/internal/core"
 	"dessched/internal/experiments"
+	"dessched/internal/metrics"
 	"dessched/internal/power"
 	"dessched/internal/sim"
 	"dessched/internal/workload"
@@ -84,7 +94,7 @@ func handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	var req RunRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeDecodeError(w, err)
 		return
 	}
 	tabs, err := e.Run(experiments.Options{
@@ -112,6 +122,34 @@ func handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// FaultJSON is one core speed fault (throttle or outage) in a SimRequest.
+type FaultJSON struct {
+	Core        int     `json:"core"`
+	Start       float64 `json:"start_s"`
+	End         float64 `json:"end_s"`
+	SpeedFactor float64 `json:"speed_factor"` // 0 = outage
+}
+
+// BudgetFaultJSON drops the power budget to a fraction during a window.
+type BudgetFaultJSON struct {
+	Start    float64 `json:"start_s"`
+	End      float64 `json:"end_s"`
+	Fraction float64 `json:"fraction"`
+}
+
+// BurstJSON scales the arrival rate during a window.
+type BurstJSON struct {
+	Start      float64 `json:"start_s"`
+	End        float64 `json:"end_s"`
+	Multiplier float64 `json:"multiplier"`
+}
+
+// AdmissionJSON configures the load-shedding stage.
+type AdmissionJSON struct {
+	Policy   string `json:"policy"` // none | tail-drop | quality-aware
+	MaxQueue int    `json:"max_queue"`
+}
+
 // SimRequest is the body of POST /v1/simulate.
 type SimRequest struct {
 	Policy   string   `json:"policy"`   // des | fcfs | ljf | sjf | edf
@@ -124,9 +162,22 @@ type SimRequest struct {
 	Duration float64  `json:"duration_s"`
 	Seed     uint64   `json:"seed"`
 	Partial  *float64 `json:"partial_fraction"` // default 1.0
+
+	// Fault injection. When any fault is present the response carries a
+	// resilience report comparing the run against its fault-free twin.
+	Faults       []FaultJSON       `json:"faults,omitempty"`
+	BudgetFaults []BudgetFaultJSON `json:"budget_faults,omitempty"`
+	Bursts       []BurstJSON       `json:"bursts,omitempty"`
+	// ChaosSeed, when set, samples a DefaultChaos fault schedule over the
+	// run's duration and applies it on top of any explicit faults.
+	ChaosSeed *uint64 `json:"chaos_seed,omitempty"`
+
+	// Admission configures load shedding in front of the scheduler.
+	Admission *AdmissionJSON `json:"admission,omitempty"`
 }
 
-// SimResponse mirrors sim.Result with JSON-friendly names.
+// SimResponse mirrors sim.Result with JSON-friendly names. Faulted runs
+// additionally carry a resilience report against the fault-free twin.
 type SimResponse struct {
 	Policy           string  `json:"policy"`
 	NormQuality      float64 `json:"norm_quality"`
@@ -138,52 +189,31 @@ type SimResponse struct {
 	Completed        int     `json:"completed"`
 	Deadlined        int     `json:"deadlined"`
 	Discarded        int     `json:"discarded"`
+	Shed             int     `json:"shed,omitempty"`
+	Requeued         int     `json:"requeued,omitempty"`
 	Invocations      int     `json:"invocations"`
 	SpanS            float64 `json:"span_s"`
+
+	Resilience *metrics.ResilienceReport `json:"resilience,omitempty"`
 }
 
 func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeDecodeError(w, err)
 		return
 	}
-	res, err := runSimulation(req)
+	resp, err := runSimulation(r.Context(), req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SimResponse{
-		Policy:           res.Policy,
-		NormQuality:      res.NormQuality,
-		Quality:          res.Quality,
-		EnergyJ:          res.Energy,
-		PeakPowerW:       res.PeakPower,
-		BudgetViolations: res.BudgetViolations,
-		Arrived:          res.Arrived,
-		Completed:        res.Completed,
-		Deadlined:        res.Deadlined,
-		Discarded:        res.Discarded,
-		Invocations:      res.Invocation,
-		SpanS:            res.Span,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func runSimulation(req SimRequest) (sim.Result, error) {
-	if req.Rate <= 0 {
-		return sim.Result{}, fmt.Errorf("rate must be positive")
-	}
-	cfg := sim.PaperConfig()
-	if req.Cores > 0 {
-		cfg.Cores = req.Cores
-	}
-	if req.Budget > 0 {
-		cfg.Budget = req.Budget
-	}
-	if req.Discrete {
-		cfg.Ladder = power.DefaultLadder
-	}
-
+// simPolicy builds the policy (and adjusts the config) for a request.
+// Policies are stateful across invocations, so each run needs a fresh one.
+func simPolicy(req SimRequest, cfg *sim.Config) (sim.Policy, error) {
 	var p sim.Policy
 	switch strings.ToLower(req.Policy) {
 	case "", "des":
@@ -195,9 +225,9 @@ func runSimulation(req SimRequest) (sim.Result, error) {
 		case "no":
 			arch = core.NoDVFS
 		default:
-			return sim.Result{}, fmt.Errorf("unknown arch %q", req.Arch)
+			return nil, fmt.Errorf("unknown arch %q", req.Arch)
 		}
-		core.ApplyArch(&cfg, arch)
+		core.ApplyArch(cfg, arch)
 		p = core.New(arch)
 	case "fcfs":
 		p = baseline.New(baseline.FCFS, req.WF)
@@ -208,10 +238,27 @@ func runSimulation(req SimRequest) (sim.Result, error) {
 	case "edf":
 		p = baseline.New(baseline.EDF, req.WF)
 	default:
-		return sim.Result{}, fmt.Errorf("unknown policy %q", req.Policy)
+		return nil, fmt.Errorf("unknown policy %q", req.Policy)
 	}
 	if _, isBaseline := p.(*baseline.Greedy); isBaseline {
 		cfg.Triggers = sim.Triggers{IdleCore: true}
+	}
+	return p, nil
+}
+
+func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
+	if req.Rate <= 0 {
+		return SimResponse{}, fmt.Errorf("rate must be positive")
+	}
+	cfg := sim.PaperConfig()
+	if req.Cores > 0 {
+		cfg.Cores = req.Cores
+	}
+	if req.Budget > 0 {
+		cfg.Budget = req.Budget
+	}
+	if req.Discrete {
+		cfg.Ladder = power.DefaultLadder
 	}
 
 	wl := workload.DefaultConfig(req.Rate)
@@ -226,11 +273,81 @@ func runSimulation(req SimRequest) (sim.Result, error) {
 	if req.Partial != nil {
 		wl.PartialFraction = *req.Partial
 	}
-	jobs, err := workload.Generate(wl)
-	if err != nil {
-		return sim.Result{}, err
+
+	// Fault injection: explicit faults plus an optional sampled chaos plan.
+	for _, f := range req.Faults {
+		cfg.Faults = append(cfg.Faults, sim.Fault{Core: f.Core, Start: f.Start, End: f.End, SpeedFactor: f.SpeedFactor})
 	}
-	return sim.Run(cfg, jobs, p)
+	for _, f := range req.BudgetFaults {
+		cfg.BudgetFaults = append(cfg.BudgetFaults, sim.BudgetFault{Start: f.Start, End: f.End, Fraction: f.Fraction})
+	}
+	for _, b := range req.Bursts {
+		wl.Bursts = append(wl.Bursts, workload.Burst{Start: b.Start, End: b.End, Multiplier: b.Multiplier})
+	}
+	if req.ChaosSeed != nil {
+		plan, err := sim.DefaultChaos(*req.ChaosSeed, wl.Duration, cfg.Cores).Generate()
+		if err != nil {
+			return SimResponse{}, err
+		}
+		wl.Bursts = append(wl.Bursts, plan.Apply(&cfg)...)
+	}
+	if req.Admission != nil {
+		pol, err := admission.ParsePolicy(req.Admission.Policy)
+		if err != nil {
+			return SimResponse{}, err
+		}
+		cfg.Admission = admission.Config{Policy: pol, MaxQueue: req.Admission.MaxQueue}
+	}
+	faulted := len(cfg.Faults) > 0 || len(cfg.BudgetFaults) > 0 || len(wl.Bursts) > 0
+
+	run := func(cfg sim.Config, wl workload.Config) (sim.Result, error) {
+		p, err := simPolicy(req, &cfg)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return sim.Run(cfg, jobs, p)
+	}
+	res, err := run(cfg, wl)
+	if err != nil {
+		return SimResponse{}, err
+	}
+	resp := SimResponse{
+		Policy:           res.Policy,
+		NormQuality:      res.NormQuality,
+		Quality:          res.Quality,
+		EnergyJ:          res.Energy,
+		PeakPowerW:       res.PeakPower,
+		BudgetViolations: res.BudgetViolations,
+		Arrived:          res.Arrived,
+		Completed:        res.Completed,
+		Deadlined:        res.Deadlined,
+		Discarded:        res.Discarded,
+		Shed:             res.Shed,
+		Requeued:         res.Requeued,
+		Invocations:      res.Invocation,
+		SpanS:            res.Span,
+	}
+	if faulted {
+		if err := ctx.Err(); err != nil {
+			return SimResponse{}, err // request timed out or client left: skip the twin
+		}
+		twinCfg := cfg
+		twinCfg.Faults = nil
+		twinCfg.BudgetFaults = nil
+		twinWl := wl
+		twinWl.Bursts = nil
+		twin, err := run(twinCfg, twinWl)
+		if err != nil {
+			return SimResponse{}, err
+		}
+		report := metrics.Resilience(twin, res)
+		resp.Resilience = &report
+	}
+	return resp, nil
 }
 
 func decodeBody(r *http.Request, dst any) error {
@@ -243,6 +360,17 @@ func decodeBody(r *http.Request, dst any) error {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
+}
+
+// writeDecodeError maps a body-decoding failure to its status: 413 when
+// the hardening stack's size limit tripped, 400 otherwise.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,87 @@
+package httpapi
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Options configures the hardening middleware around the service. Zero
+// values take the listed defaults.
+type Options struct {
+	// MaxConcurrent bounds simultaneously served requests; excess requests
+	// are shed immediately with 429 and a Retry-After header rather than
+	// queueing behind CPU-bound simulations. Default 32.
+	MaxConcurrent int
+	// RequestTimeout bounds one request's service time; the client gets
+	// 503 when it elapses. Default 120 s (experiments legitimately run
+	// long). The handler observes cancellation through the request
+	// context at its checkpoints.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds the request body; oversized bodies get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 32
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 120 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// NewHandler returns the service with the full hardening stack applied:
+// panic recovery outermost, then concurrency shedding, body size limits,
+// and per-request timeouts around the routing table. This is what
+// desserver serves; NewMux stays available for embedding the bare routes.
+func NewHandler(o Options) http.Handler { return Harden(NewMux(), o) }
+
+// Harden wraps any handler in the service's protective middleware stack.
+func Harden(h http.Handler, o Options) http.Handler {
+	o = o.withDefaults()
+	h = http.TimeoutHandler(h, o.RequestTimeout, `{"error":"request timed out"}`)
+	h = http.MaxBytesHandler(h, o.MaxBodyBytes)
+	h = limitConcurrency(h, o.MaxConcurrent)
+	return recoverPanics(h)
+}
+
+// recoverPanics converts a handler panic into a 500 response and keeps the
+// server up; the stack goes to the log, not the client.
+func recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v) // deliberate connection abort, not a bug
+				}
+				log.Printf("httpapi: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// limitConcurrency sheds requests beyond n in flight with 429 + Retry-After
+// instead of letting them pile up behind CPU-bound simulation work.
+func limitConcurrency(h http.Handler, n int) http.Handler {
+	sem := make(chan struct{}, n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, fmt.Errorf("server at concurrency limit, retry shortly"))
+		}
+	})
+}

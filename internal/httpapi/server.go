@@ -1,0 +1,42 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs srv on the listener until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests get up to drain to
+// finish, and a clean shutdown returns nil. A non-nil return is a real
+// serving failure — http.ErrServerClosed is never surfaced.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if serveErr := <-errCh; !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+// ListenAndServe binds srv.Addr and runs Serve.
+func ListenAndServe(ctx context.Context, srv *http.Server, drain time.Duration) error {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, srv, ln, drain)
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"fmt"
+
+	"dessched/internal/sim"
+)
+
+// ResilienceReport compares a faulted run against its fault-free twin —
+// the same policy over the same base workload with no injected faults —
+// and quantifies how gracefully the schedule degraded: how much quality
+// survived, what the faults cost in energy, and how much load was turned
+// away or displaced. It is the output of chaos soaks (desim chaos) and of
+// faulted /v1/simulate calls.
+type ResilienceReport struct {
+	Policy string `json:"policy"`
+
+	BaselineQuality float64 `json:"baseline_norm_quality"` // fault-free twin
+	FaultedQuality  float64 `json:"faulted_norm_quality"`
+	QualityRetained float64 `json:"quality_retained"` // faulted/baseline normalized quality
+
+	BaselineEnergyJ float64 `json:"baseline_energy_j"`
+	FaultedEnergyJ  float64 `json:"faulted_energy_j"`
+	EnergyOverhead  float64 `json:"energy_overhead"` // faulted/baseline energy - 1 (negative = faults saved energy)
+
+	ShedFraction     float64 `json:"shed_fraction"`     // jobs turned away by admission / jobs arrived
+	RequeuedJobs     int     `json:"requeued_jobs"`     // evacuated from outaged cores
+	DeadlinedDelta   int     `json:"deadlined_delta"`   // extra deadline misses under faults
+	BudgetViolations int     `json:"budget_violations"` // audit events over the effective budget, faulted run
+}
+
+// Resilience builds the report from a fault-free baseline result and the
+// faulted result of the same policy.
+func Resilience(baseline, faulted sim.Result) ResilienceReport {
+	r := ResilienceReport{
+		Policy:           faulted.Policy,
+		BaselineQuality:  baseline.NormQuality,
+		FaultedQuality:   faulted.NormQuality,
+		BaselineEnergyJ:  baseline.Energy,
+		FaultedEnergyJ:   faulted.Energy,
+		RequeuedJobs:     faulted.Requeued,
+		DeadlinedDelta:   faulted.Deadlined - baseline.Deadlined,
+		BudgetViolations: faulted.BudgetViolations,
+	}
+	if baseline.NormQuality > 0 {
+		r.QualityRetained = faulted.NormQuality / baseline.NormQuality
+	}
+	if baseline.Energy > 0 {
+		r.EnergyOverhead = faulted.Energy/baseline.Energy - 1
+	}
+	if faulted.Arrived > 0 {
+		r.ShedFraction = float64(faulted.Shed) / float64(faulted.Arrived)
+	}
+	return r
+}
+
+// String renders a compact human-readable report.
+func (r ResilienceReport) String() string {
+	return fmt.Sprintf(
+		"resilience %s: quality retained %.1f%% (%.4f -> %.4f), energy overhead %+.1f%%, shed %.1f%%, requeued %d, extra deadline misses %d, budget violations %d",
+		r.Policy, 100*r.QualityRetained, r.BaselineQuality, r.FaultedQuality,
+		100*r.EnergyOverhead, 100*r.ShedFraction, r.RequeuedJobs, r.DeadlinedDelta, r.BudgetViolations)
+}

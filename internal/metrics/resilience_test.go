@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"dessched/internal/core"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+func TestResilienceReportFields(t *testing.T) {
+	baseline := sim.Result{Policy: "DES", NormQuality: 0.9, Energy: 1000, Deadlined: 5}
+	faulted := sim.Result{Policy: "DES", NormQuality: 0.72, Energy: 1100, Deadlined: 9,
+		Arrived: 200, Shed: 10, Requeued: 3, BudgetViolations: 1}
+	r := Resilience(baseline, faulted)
+	if !near(r.QualityRetained, 0.8) {
+		t.Errorf("QualityRetained = %v", r.QualityRetained)
+	}
+	if !near(r.EnergyOverhead, 0.1) {
+		t.Errorf("EnergyOverhead = %v", r.EnergyOverhead)
+	}
+	if !near(r.ShedFraction, 0.05) {
+		t.Errorf("ShedFraction = %v", r.ShedFraction)
+	}
+	if r.DeadlinedDelta != 4 || r.RequeuedJobs != 3 || r.BudgetViolations != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestResilienceZeroBaselines(t *testing.T) {
+	r := Resilience(sim.Result{}, sim.Result{NormQuality: 0.5, Energy: 10})
+	if r.QualityRetained != 0 || r.EnergyOverhead != 0 {
+		t.Errorf("zero-baseline report = %+v", r)
+	}
+}
+
+// chaosReport runs one seeded chaos soak end to end — sampled fault plan,
+// burst-faulted workload, faulted DES run, fault-free twin — and returns
+// the resilience report.
+func chaosReport(t *testing.T, seed uint64) ResilienceReport {
+	t.Helper()
+	cfg := sim.PaperConfig()
+	cfg.Cores = 4
+	cfg.Budget = 80
+	plan, err := sim.DefaultChaos(seed, 10, cfg.Cores).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.DefaultConfig(30)
+	wl.Duration = 10
+	wl.Bursts = plan.Apply(&cfg)
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := sim.Run(cfg, jobs, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twinCfg := sim.PaperConfig()
+	twinCfg.Cores = cfg.Cores
+	twinCfg.Budget = cfg.Budget
+	twinWl := wl
+	twinWl.Bursts = nil
+	twinJobs, err := workload.Generate(twinWl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := sim.Run(twinCfg, twinJobs, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Resilience(baseline, faulted)
+}
+
+// TestChaosResilienceReproducible is the determinism acceptance criterion:
+// the same ChaosConfig seed must reproduce an identical resilience report
+// across runs.
+func TestChaosResilienceReproducible(t *testing.T) {
+	a := chaosReport(t, 7)
+	b := chaosReport(t, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+	if a.QualityRetained <= 0 || a.QualityRetained > 1.001 {
+		t.Errorf("implausible quality retention: %+v", a)
+	}
+	c := chaosReport(t, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+func near(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}

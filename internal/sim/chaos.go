@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dessched/internal/workload"
+)
+
+// ChaosConfig samples a random fault schedule — core speed faults, budget
+// faults, and arrival bursts — for soak-testing a policy's graceful
+// degradation. Sampling is deterministic per seed: the same config always
+// yields the same ChaosPlan, so a chaos run (and its resilience report) is
+// exactly reproducible.
+type ChaosConfig struct {
+	Seed    uint64
+	Horizon float64 // time span to scatter fault windows over, seconds
+	Cores   int     // core count of the server under test
+
+	CoreFaults   int // number of core speed faults (throttle or outage)
+	BudgetFaults int // number of budget-drop windows
+	Bursts       int // number of arrival-burst windows
+
+	// OutageFraction of the core faults are full outages (SpeedFactor 0);
+	// the rest throttle to a factor in [0.2, 0.9). Default 0.3.
+	OutageFraction float64
+}
+
+// DefaultChaos returns a moderate schedule: three core faults, one budget
+// fault, and one burst scattered over the horizon.
+func DefaultChaos(seed uint64, horizon float64, cores int) ChaosConfig {
+	return ChaosConfig{
+		Seed:           seed,
+		Horizon:        horizon,
+		Cores:          cores,
+		CoreFaults:     3,
+		BudgetFaults:   1,
+		Bursts:         1,
+		OutageFraction: 0.3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ChaosConfig) Validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("sim: chaos horizon must be positive, got %g", c.Horizon)
+	}
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: chaos needs at least one core, got %d", c.Cores)
+	}
+	if c.CoreFaults < 0 || c.BudgetFaults < 0 || c.Bursts < 0 {
+		return fmt.Errorf("sim: negative chaos fault count")
+	}
+	if c.OutageFraction < 0 || c.OutageFraction > 1 {
+		return fmt.Errorf("sim: outage fraction %g outside [0, 1]", c.OutageFraction)
+	}
+	return nil
+}
+
+// ChaosPlan is one sampled fault schedule, ready to apply: Faults and
+// BudgetFaults go into Config, Bursts into the workload config.
+type ChaosPlan struct {
+	Faults       []Fault
+	BudgetFaults []BudgetFault
+	Bursts       []workload.Burst
+}
+
+// String renders the plan for logs.
+func (p ChaosPlan) String() string {
+	s := fmt.Sprintf("chaos plan: %d core faults, %d budget faults, %d bursts",
+		len(p.Faults), len(p.BudgetFaults), len(p.Bursts))
+	for _, f := range p.Faults {
+		kind := "throttle"
+		if f.Outage() {
+			kind = "outage"
+		}
+		s += fmt.Sprintf("\n  core %d %s x%.2f over [%.2f, %.2f)", f.Core, kind, f.SpeedFactor, f.Start, f.End)
+	}
+	for _, f := range p.BudgetFaults {
+		s += fmt.Sprintf("\n  budget x%.2f over [%.2f, %.2f)", f.Fraction, f.Start, f.End)
+	}
+	for _, b := range p.Bursts {
+		s += fmt.Sprintf("\n  arrivals x%.2f over [%.2f, %.2f)", b.Multiplier, b.Start, b.End)
+	}
+	return s
+}
+
+// Generate samples the fault schedule. Windows span 2–15% of the horizon
+// each and are placed uniformly; overlaps are allowed (they compound, like
+// real correlated failures).
+func (c ChaosConfig) Generate() (ChaosPlan, error) {
+	if err := c.Validate(); err != nil {
+		return ChaosPlan{}, err
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, c.Seed^0x94d049bb133111eb))
+	window := func() (start, end float64) {
+		length := (0.02 + 0.13*rng.Float64()) * c.Horizon
+		start = rng.Float64() * (c.Horizon - length)
+		return start, start + length
+	}
+	outageFrac := c.OutageFraction
+	var plan ChaosPlan
+	for i := 0; i < c.CoreFaults; i++ {
+		start, end := window()
+		factor := 0.2 + 0.7*rng.Float64()
+		if rng.Float64() < outageFrac {
+			factor = 0
+		}
+		plan.Faults = append(plan.Faults, Fault{
+			Core:        rng.IntN(c.Cores),
+			Start:       start,
+			End:         end,
+			SpeedFactor: factor,
+		})
+	}
+	for i := 0; i < c.BudgetFaults; i++ {
+		start, end := window()
+		plan.BudgetFaults = append(plan.BudgetFaults, BudgetFault{
+			Start:    start,
+			End:      end,
+			Fraction: 0.3 + 0.5*rng.Float64(),
+		})
+	}
+	for i := 0; i < c.Bursts; i++ {
+		start, end := window()
+		plan.Bursts = append(plan.Bursts, workload.Burst{
+			Start:      start,
+			End:        end,
+			Multiplier: 1.5 + 1.5*rng.Float64(),
+		})
+	}
+	return plan, nil
+}
+
+// Apply installs the plan's server-side faults into a simulator config
+// (appending to any already present) and returns the workload bursts for
+// the stream generator.
+func (p ChaosPlan) Apply(cfg *Config) []workload.Burst {
+	cfg.Faults = append(cfg.Faults, p.Faults...)
+	cfg.BudgetFaults = append(cfg.BudgetFaults, p.BudgetFaults...)
+	return p.Bursts
+}

@@ -17,6 +17,8 @@ const (
 	EvDeadline                   // a job's deadline expired with partial work
 	EvDiscard                    // the policy dropped a job
 	EvFaultEdge                  // a fault window opened or closed
+	EvShed                       // the admission stage turned a job away
+	EvRequeue                    // an outaged core's job returned to the queue
 )
 
 func (k EventKind) String() string {
@@ -33,6 +35,10 @@ func (k EventKind) String() string {
 		return "discard"
 	case EvFaultEdge:
 		return "fault-edge"
+	case EvShed:
+		return "shed"
+	case EvRequeue:
+		return "requeue"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -1,3 +1,20 @@
+// Fault injection: the typed fault-event model the robustness evaluation
+// runs on. Three fault shapes are simulatable, covering the perturbations
+// §IV's dynamic redistribution is claimed to absorb:
+//
+//   - Fault (core speed fault): one core throttles (SpeedFactor in (0,1))
+//     or dies outright (SpeedFactor 0) during a window. Outaged cores are
+//     evacuated — their resident jobs return to the waiting queue at the
+//     fault edge so the policy's C-RR redistributes them — instead of
+//     silently stalling.
+//   - BudgetFault: the global dynamic power budget drops to a fraction of
+//     its nominal value during a window (PSU derating, cap lowered by a
+//     cluster manager), forcing WF to redistribute a smaller pool.
+//   - Arrival bursts are a workload-time fault (see workload.Burst): a rate
+//     multiplier over a window, applied when the stream is generated.
+//
+// The policy is re-invoked at every fault boundary so it can re-balance
+// work and power; see ChaosConfig for sampling random fault schedules.
 package sim
 
 import "fmt"
@@ -6,22 +23,26 @@ import "fmt"
 // throttling episode (SpeedFactor in (0,1)) or an outage (SpeedFactor 0).
 // While faulted, the core completes only SpeedFactor of the work its plan
 // calls for but still draws the planned power (throttled cycles are
-// wasted); the policy is re-invoked at both fault boundaries so it can
-// re-balance work and power onto the healthy cores. Fault injection
-// exercises the robustness the paper attributes to DES's dynamic
-// redistribution (§IV): WF automatically shifts the stalled core's power
-// share to the others once its requested power drops.
+// wasted). An outaged core is additionally evacuated at the fault edge:
+// its undeparted jobs are re-queued for redistribution and its plan is
+// cleared, so it draws no power while dead.
 type Fault struct {
 	Core        int
 	Start, End  float64
 	SpeedFactor float64 // effective fraction of planned speed, in [0, 1]
 }
 
+// Outage reports whether the fault kills the core outright.
+func (f Fault) Outage() bool { return f.SpeedFactor == 0 }
+
 // Validate reports parameter errors; the core count is checked by the
 // engine against the configuration.
 func (f Fault) Validate(cores int) error {
 	if f.Core < 0 || f.Core >= cores {
 		return fmt.Errorf("sim: fault core %d out of range [0, %d)", f.Core, cores)
+	}
+	if f.Start < 0 {
+		return fmt.Errorf("sim: fault start %g is negative", f.Start)
 	}
 	if f.End <= f.Start {
 		return fmt.Errorf("sim: fault window [%g, %g] empty", f.Start, f.End)
@@ -30,6 +51,40 @@ func (f Fault) Validate(cores int) error {
 		return fmt.Errorf("sim: fault speed factor %g outside [0, 1]", f.SpeedFactor)
 	}
 	return nil
+}
+
+// BudgetFault drops the global power budget to Fraction of its nominal
+// value during [Start, End). Overlapping budget faults compound
+// multiplicatively, mirroring core speed faults.
+type BudgetFault struct {
+	Start, End float64
+	Fraction   float64 // effective budget multiplier, in [0, 1]
+}
+
+// Validate reports parameter errors.
+func (f BudgetFault) Validate() error {
+	if f.Start < 0 {
+		return fmt.Errorf("sim: budget fault start %g is negative", f.Start)
+	}
+	if f.End <= f.Start {
+		return fmt.Errorf("sim: budget fault window [%g, %g] empty", f.Start, f.End)
+	}
+	if f.Fraction < 0 || f.Fraction > 1 {
+		return fmt.Errorf("sim: budget fraction %g outside [0, 1]", f.Fraction)
+	}
+	return nil
+}
+
+// BudgetAt returns the effective power budget at time t: the nominal
+// budget scaled by every budget fault active at t.
+func (c *Config) BudgetAt(t float64) float64 {
+	b := c.Budget
+	for _, f := range c.BudgetFaults {
+		if t >= f.Start && t < f.End {
+			b *= f.Fraction
+		}
+	}
+	return b
 }
 
 // speedFactor returns the effective speed multiplier of a core at time t.

@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dessched/internal/admission"
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/workload"
+	"dessched/internal/yds"
+)
+
+// rrPolicy is a two-plus-core test policy: round-robin jobs onto available
+// (non-outaged) cores and run each core's jobs back-to-back at a fixed
+// speed until their deadlines.
+type rrPolicy struct {
+	speed float64
+	next  int
+}
+
+func (p *rrPolicy) Name() string { return "test-rr" }
+
+func (p *rrPolicy) Plan(now float64, s *State) {
+	avail := s.AvailableCores()
+	anyUp := false
+	for _, a := range avail {
+		anyUp = anyUp || a
+	}
+	for _, js := range s.DrainQueue() {
+		for anyUp && !avail[p.next] {
+			p.next = (p.next + 1) % len(s.Cores)
+		}
+		s.Bind(js, p.next)
+		p.next = (p.next + 1) % len(s.Cores)
+	}
+	for _, c := range s.Cores {
+		var segs []yds.Segment
+		cur := now
+		for _, r := range c.ReadyJobs(now) {
+			if r.Deadline <= now || r.Remaining() <= 0 {
+				continue
+			}
+			end := math.Min(cur+r.Remaining()/power.Rate(p.speed), r.Deadline)
+			if end <= cur {
+				continue
+			}
+			segs = append(segs, yds.Segment{ID: r.ID, Start: cur, End: end, Speed: p.speed})
+			cur = end
+		}
+		s.SetPlan(c.Index, segs)
+	}
+}
+
+func TestFaultValidateRejectsNegativeStart(t *testing.T) {
+	f := Fault{Core: 0, Start: -0.5, End: 1, SpeedFactor: 0.5}
+	if f.Validate(1) == nil {
+		t.Error("negative fault start accepted")
+	}
+	// Regression guard: zero start stays valid.
+	if err := (Fault{Core: 0, Start: 0, End: 1, SpeedFactor: 0.5}).Validate(1); err != nil {
+		t.Errorf("zero start rejected: %v", err)
+	}
+}
+
+func TestBudgetFaultValidate(t *testing.T) {
+	if err := (BudgetFault{Start: 1, End: 2, Fraction: 0.5}).Validate(); err != nil {
+		t.Errorf("valid budget fault rejected: %v", err)
+	}
+	bad := []BudgetFault{
+		{Start: -1, End: 2, Fraction: 0.5},
+		{Start: 2, End: 2, Fraction: 0.5},
+		{Start: 1, End: 2, Fraction: -0.1},
+		{Start: 1, End: 2, Fraction: 1.5},
+	}
+	for i, f := range bad {
+		if f.Validate() == nil {
+			t.Errorf("case %d: invalid budget fault accepted", i)
+		}
+	}
+	cfg := testCfg(1)
+	cfg.BudgetFaults = []BudgetFault{bad[0]}
+	if cfg.Validate() == nil {
+		t.Error("config with invalid budget fault accepted")
+	}
+}
+
+func TestBudgetAtCompounds(t *testing.T) {
+	cfg := testCfg(1) // budget 20
+	cfg.BudgetFaults = []BudgetFault{
+		{Start: 1, End: 3, Fraction: 0.5},
+		{Start: 2, End: 4, Fraction: 0.5},
+	}
+	for _, tc := range []struct{ t, want float64 }{
+		{0.5, 20}, {1.5, 10}, {2.5, 5}, {3.5, 10}, {4.5, 20},
+	} {
+		if got := cfg.BudgetAt(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("BudgetAt(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+}
+
+// budgetProbe records the effective budget the policy sees at each
+// invocation.
+type budgetProbe struct {
+	rrPolicy
+	seen []float64
+}
+
+func (p *budgetProbe) Plan(now float64, s *State) {
+	p.seen = append(p.seen, s.Budget())
+	p.rrPolicy.Plan(now, s)
+}
+
+func TestBudgetFaultVisibleToPolicy(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.BudgetFaults = []BudgetFault{{Start: 0.05, End: 0.1, Fraction: 0.25}}
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 50, Partial: true},
+		{ID: 1, Release: 0.06, Deadline: 0.21, Demand: 50, Partial: true},
+	}
+	p := &budgetProbe{rrPolicy: rrPolicy{speed: 1}}
+	if _, err := Run(cfg, jobs, p); err != nil {
+		t.Fatal(err)
+	}
+	sawFull, sawFaulted := false, false
+	for _, b := range p.seen {
+		switch {
+		case math.Abs(b-cfg.Budget) < 1e-9:
+			sawFull = true
+		case math.Abs(b-cfg.Budget*0.25) < 1e-9:
+			sawFaulted = true
+		default:
+			t.Errorf("unexpected effective budget %g", b)
+		}
+	}
+	if !sawFull || !sawFaulted {
+		t.Errorf("policy saw budgets %v, want both nominal and faulted", p.seen)
+	}
+}
+
+func TestOutageEvacuatesJobsToHealthyCore(t *testing.T) {
+	cfg := testCfg(2)
+	// Core 0 dies shortly after the job lands on it and stays dead past
+	// the deadline; without evacuation the job would stall to zero.
+	cfg.Faults = []Fault{{Core: 0, Start: 0.02, End: 1, SpeedFactor: 0}}
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true}}
+	counter := NewEventCounter()
+	cfg.Observer = counter.Observe
+	res, err := Run(cfg, jobs, &rrPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("evacuated job did not complete: %+v", res)
+	}
+	if res.Requeued != 1 || counter.Counts[EvRequeue] != 1 {
+		t.Errorf("Requeued = %d, EvRequeue = %d, want 1 each", res.Requeued, counter.Counts[EvRequeue])
+	}
+}
+
+func TestOutageWithoutEvacuationTwin(t *testing.T) {
+	// The same scenario on a single-core server: there is nowhere to
+	// evacuate to, so the job is re-queued, re-bound to the dead core,
+	// and deadlines out with only its pre-fault progress.
+	cfg := testCfg(1)
+	cfg.Faults = []Fault{{Core: 0, Start: 0.02, End: 1, SpeedFactor: 0}}
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true}}
+	res, err := Run(cfg, jobs, &rrPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("job completed on a dead single core: %+v", res)
+	}
+	want := cfg.Quality.Eval(20) / cfg.Quality.Eval(100) // 0.02 s at 1 GHz
+	if math.Abs(res.NormQuality-want) > 1e-6 {
+		t.Errorf("NormQuality = %v, want %v", res.NormQuality, want)
+	}
+}
+
+func TestDeadCoreDrawsNoPowerAfterEvacuation(t *testing.T) {
+	cfg := testCfg(2)
+	cfg.Faults = []Fault{{Core: 0, Start: 0.05, End: 1, SpeedFactor: 0}}
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.15, Demand: 1000, Partial: true}}
+	res, err := Run(cfg, jobs, &rrPolicy{speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 burns only its 50 ms pre-outage slice (evacuation clears its
+	// plan); core 1 then runs the evacuated job until the deadline. Total:
+	// 0.05 s + 0.10 s at 2 GHz.
+	want := cfg.Power.DynamicPower(2) * 0.15
+	if math.Abs(res.Energy-want) > 1e-9 {
+		t.Errorf("Energy = %g, want %g (no wasted cycles on the dead core)", res.Energy, want)
+	}
+}
+
+func TestAdmissionValidate(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.Admission = admission.Config{Policy: admission.TailDrop} // MaxQueue missing
+	if cfg.Validate() == nil {
+		t.Error("admission config without MaxQueue accepted")
+	}
+	cfg.Admission.MaxQueue = 4
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid admission config rejected: %v", err)
+	}
+}
+
+func TestTailDropBoundsQueue(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.Triggers = Triggers{Quantum: 10} // never drain before the flood ends
+	cfg.Admission = admission.Config{Policy: admission.TailDrop, MaxQueue: 3}
+	var jobs []job.Job
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, job.Job{ID: job.ID(i), Release: float64(i) * 1e-3, Deadline: 5, Demand: 100, Partial: true})
+	}
+	counter := NewEventCounter()
+	cfg.Observer = counter.Observe
+	res, err := Run(cfg, jobs, &rrPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quantum invocation at the first release binds job 0 to the core;
+	// jobs 1-3 fill the queue to its limit and jobs 4-9 are tail-dropped.
+	if res.Shed != 6 || counter.Counts[EvShed] != 6 {
+		t.Errorf("Shed = %d, EvShed = %d, want 6 each", res.Shed, counter.Counts[EvShed])
+	}
+	if res.Completed != 1 || res.Deadlined != 3 {
+		t.Errorf("Completed = %d, Deadlined = %d, want 1 and 3", res.Completed, res.Deadlined)
+	}
+}
+
+func TestQualityAwareShedsLowestValuePerUnit(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.Triggers = Triggers{Quantum: 10}
+	cfg.Admission = admission.Config{Policy: admission.QualityAware, MaxQueue: 2}
+	cfg.CollectJobs = true
+	// Concave quality: the 900-unit job has the lowest q(d)/d and must be
+	// the one turned away. Job 0 is drained onto the core by the quantum
+	// invocation at its release; jobs 1-3 then overflow the queue.
+	jobs := []job.Job{
+		{ID: 0, Release: 0.001, Deadline: 5, Demand: 150, Partial: true},
+		{ID: 1, Release: 0.002, Deadline: 5, Demand: 900, Partial: true},
+		{ID: 2, Release: 0.003, Deadline: 5, Demand: 200, Partial: true},
+		{ID: 3, Release: 0.004, Deadline: 5, Demand: 400, Partial: true},
+	}
+	res, err := Run(cfg, jobs, &rrPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", res.Shed)
+	}
+	for _, o := range res.Jobs {
+		if o.ID == 1 && o.Reason != Shed {
+			t.Errorf("large job not shed: %+v", o)
+		}
+		if o.ID != 1 && o.Reason == Shed {
+			t.Errorf("small job shed: %+v", o)
+		}
+	}
+}
+
+// TestQualityAwareSheddingBeatsCollapseUnderBurst is the acceptance
+// scenario of the robustness issue: a 2x arrival burst overloads the
+// server; without admission control the queue explodes and deadlines
+// collapse across the board, while quality-aware shedding sacrifices the
+// lowest-value-per-cycle jobs and keeps total quality strictly higher.
+func TestQualityAwareSheddingBeatsCollapseUnderBurst(t *testing.T) {
+	wl := workload.DefaultConfig(8)
+	wl.Duration = 20
+	wl.Deadline = 0.5
+	wl.PartialFraction = 0 // all-or-nothing jobs: overload hurts
+	wl.Bursts = []workload.Burst{{Start: 5, End: 15, Multiplier: 2}}
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ac admission.Config) Result {
+		cfg := testCfg(1)
+		cfg.Admission = ac
+		res, err := Run(cfg, jobs, &rrPolicy{speed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	none := run(admission.Config{})
+	aware := run(admission.Config{Policy: admission.QualityAware, MaxQueue: 4})
+	if aware.Shed == 0 {
+		t.Fatal("quality-aware stage shed nothing under a 2x burst")
+	}
+	if aware.Quality <= none.Quality {
+		t.Errorf("quality-aware shedding (%g) not strictly better than none (%g)",
+			aware.Quality, none.Quality)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	cc := DefaultChaos(42, 30, 16)
+	a, err := cc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	cc.Seed = 43
+	c, err := cc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+	if len(a.Faults) != cc.CoreFaults || len(a.BudgetFaults) != cc.BudgetFaults || len(a.Bursts) != cc.Bursts {
+		t.Errorf("plan sizes wrong: %+v", a)
+	}
+}
+
+func TestChaosPlanValid(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		cc := ChaosConfig{Seed: seed, Horizon: 30, Cores: 8,
+			CoreFaults: 5, BudgetFaults: 3, Bursts: 2, OutageFraction: 0.5}
+		plan, err := cc.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testCfg(8)
+		bursts := plan.Apply(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("seed %d: sampled faults invalid: %v", seed, err)
+		}
+		for _, b := range bursts {
+			if err := b.Validate(); err != nil {
+				t.Errorf("seed %d: sampled burst invalid: %v", seed, err)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"dessched/internal/admission"
 	"dessched/internal/eventq"
 	"dessched/internal/job"
 	"dessched/internal/power"
@@ -27,6 +28,8 @@ type Result struct {
 	Completed  int
 	Deadlined  int
 	Discarded  int
+	Shed       int // turned away by the admission stage
+	Requeued   int // evacuated from outaged cores back to the queue
 	Invocation int // policy invocations
 
 	Span        float64 // first release to last departure, seconds
@@ -82,6 +85,8 @@ type engine struct {
 	peakPower        float64
 	budgetViolations int
 	skippedTime      float64
+	shed             int
+	requeued         int
 	quantumLive      bool
 }
 
@@ -124,6 +129,10 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 		e.events.Push(f.Start, evFaultEdge{})
 		e.events.Push(f.End, evFaultEdge{})
 	}
+	for _, f := range cfg.BudgetFaults {
+		e.events.Push(f.Start, evFaultEdge{})
+		e.events.Push(f.End, evFaultEdge{})
+	}
 
 	for {
 		it := e.events.Pop()
@@ -159,9 +168,11 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 				e.quantumLive = true
 			}
 		case evFaultEdge:
-			// Settle everything on the old fault regime, then let the
-			// policy redistribute work and power.
+			// Settle everything on the old fault regime, evacuate cores
+			// that just went dark, then let the policy redistribute work
+			// and power.
 			e.emit(Event{Time: now, Kind: EvFaultEdge, Job: -1, Core: -1})
+			e.evacuateOutages(now)
 			e.invoke(now)
 		}
 		e.audit(now)
@@ -182,6 +193,7 @@ func (e *engine) onArrival(now float64, js *JobState) {
 	e.queue = append(e.queue, js)
 	e.state.queue = e.queue
 	e.emit(Event{Time: now, Kind: EvArrival, Job: js.Job.ID, Core: -1})
+	e.admit(now)
 
 	t := e.cfg.Triggers
 	switch {
@@ -191,6 +203,64 @@ func (e *engine) onArrival(now float64, js *JobState) {
 		e.invoke(now)
 	case t.IdleCore && e.anyCoreIdle(now):
 		e.invoke(now)
+	}
+}
+
+// admit runs the load-shedding stage: while the waiting queue exceeds its
+// limit, turn a job away per the admission policy. Tail-drop rejects the
+// newest arrival; quality-aware rejects the queued job with the lowest
+// marginal quality per unit demand (the large jobs whose cycles buy the
+// least quality under a concave quality function). Ties break toward the
+// oldest job so runs are deterministic.
+func (e *engine) admit(now float64) {
+	ac := e.cfg.Admission
+	if !ac.Enabled() {
+		return
+	}
+	for len(e.queue) > ac.MaxQueue {
+		victim := e.queue[len(e.queue)-1] // tail-drop
+		if ac.Policy == admission.QualityAware {
+			worst := math.Inf(1)
+			for _, js := range e.queue {
+				v := e.cfg.Quality.Eval(js.Job.Demand) / js.Job.Demand
+				if v < worst {
+					worst = v
+					victim = js
+				}
+			}
+		}
+		e.shed++
+		e.depart(victim, now, Shed)
+	}
+}
+
+// evacuateOutages moves every undeparted job off cores whose fault factor
+// just hit zero: the jobs return to the waiting queue (the policy's C-RR
+// redistributes them at the invocation that follows) and the dead core's
+// plan is cleared so it neither executes nor draws power while dark.
+func (e *engine) evacuateOutages(now float64) {
+	for _, c := range e.cores {
+		if e.speedFactor(c.Index, now) > 0 {
+			continue
+		}
+		e.settleCore(c, now)
+		if len(c.Jobs) == 0 && len(c.plan) == 0 {
+			continue
+		}
+		for _, js := range c.Jobs {
+			if js.Departed() {
+				continue
+			}
+			js.Core = -1
+			e.queue = append(e.queue, js)
+			e.requeued++
+			e.emit(Event{Time: now, Kind: EvRequeue, Job: js.Job.ID, Core: c.Index})
+		}
+		c.Jobs = c.Jobs[:0]
+		c.plan = nil
+		c.planCursor = 0
+		c.planVersion++ // stale-out pending segment events
+		e.state.queue = e.queue
 	}
 }
 
@@ -336,6 +406,8 @@ func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
 		kind = EvComplete
 	case PolicyDiscard:
 		kind = EvDiscard
+	case Shed:
+		kind = EvShed
 	}
 	e.emit(Event{Time: t, Kind: kind, Job: js.Job.ID, Core: js.Core})
 	e.undeparted--
@@ -362,7 +434,8 @@ func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
 }
 
 // audit samples instantaneous power just after an event and tracks the peak
-// and budget violations. Idle burn (No-DVFS) counts toward the draw.
+// and budget violations against the effective (budget-faulted) budget.
+// Idle burn (No-DVFS) counts toward the draw.
 func (e *engine) audit(now float64) {
 	total := 0.0
 	for _, c := range e.cores {
@@ -375,7 +448,7 @@ func (e *engine) audit(now float64) {
 	if total > e.peakPower {
 		e.peakPower = total
 	}
-	if total > e.cfg.Budget*(1+1e-6)+1e-9 {
+	if total > e.cfg.BudgetAt(now)*(1+1e-6)+1e-9 {
 		e.budgetViolations++
 	}
 }
@@ -388,6 +461,8 @@ func (e *engine) result(firstRelease, last float64) Result {
 		PeakPower:        e.peakPower,
 		BudgetViolations: e.budgetViolations,
 		SkippedTime:      e.skippedTime,
+		Shed:             e.shed,
+		Requeued:         e.requeued,
 	}
 	for _, js := range e.all {
 		r.Quality += js.Quality
@@ -439,6 +514,13 @@ func (e *engine) result(firstRelease, last float64) Result {
 
 // String renders a one-line summary for logs and CLI output.
 func (r Result) String() string {
-	return fmt.Sprintf("%s: quality %.4f (norm %.4f), energy %.0f J, peak %.1f W, jobs %d (done %d, deadline %d, discard %d), invocations %d",
+	s := fmt.Sprintf("%s: quality %.4f (norm %.4f), energy %.0f J, peak %.1f W, jobs %d (done %d, deadline %d, discard %d), invocations %d",
 		r.Policy, r.Quality, r.NormQuality, r.Energy, r.PeakPower, r.Arrived, r.Completed, r.Deadlined, r.Discarded, r.Invocation)
+	if r.Shed > 0 {
+		s += fmt.Sprintf(", shed %d", r.Shed)
+	}
+	if r.Requeued > 0 {
+		s += fmt.Sprintf(", requeued %d", r.Requeued)
+	}
+	return s
 }

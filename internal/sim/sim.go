@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 
+	"dessched/internal/admission"
 	"dessched/internal/job"
 	"dessched/internal/power"
 	"dessched/internal/quality"
@@ -78,6 +79,15 @@ type Config struct {
 	// outage); the policy is re-invoked at every fault boundary. See Fault.
 	Faults []Fault
 
+	// BudgetFaults optionally drops the global power budget to a fraction
+	// during time windows; policies observe the effective budget through
+	// State.Budget and the power audit tracks it. See BudgetFault.
+	BudgetFaults []BudgetFault
+
+	// Admission is the load-shedding stage run on every arrival, before
+	// the scheduler sees the queue. The zero value admits everything.
+	Admission admission.Config
+
 	// CollectJobs records a per-job outcome in Result.Jobs (off by default
 	// to keep long runs lean).
 	CollectJobs bool
@@ -131,7 +141,12 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
-	return nil
+	for _, f := range c.BudgetFaults {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.Admission.Validate()
 }
 
 // DepartReason says why a job left the system.
@@ -143,6 +158,7 @@ const (
 	Completed                  // processed to full demand before the deadline
 	DeadlineHit                // deadline expired with partial (or zero) progress
 	PolicyDiscard              // the policy dropped it (uncompletable non-partial, starved running job)
+	Shed                       // the admission stage turned it away under overload
 )
 
 func (r DepartReason) String() string {
@@ -153,6 +169,8 @@ func (r DepartReason) String() string {
 		return "deadline"
 	case PolicyDiscard:
 		return "discarded"
+	case Shed:
+		return "shed"
 	default:
 		return "in-system"
 	}

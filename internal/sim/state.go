@@ -22,6 +22,29 @@ type State struct {
 // Queue returns the jobs waiting for core assignment, in arrival order.
 func (s *State) Queue() []*JobState { return s.queue }
 
+// Budget returns the effective power budget at the invocation instant:
+// the nominal budget scaled by any active budget faults. Policies must
+// plan against this value, not Cfg.Budget, so power redistribution reacts
+// to budget faults at their edges.
+func (s *State) Budget() float64 { return s.Cfg.BudgetAt(s.Now) }
+
+// CoreFaultFactor returns the effective speed multiplier of a core at the
+// invocation instant: 1 when healthy, 0 during an outage. Policies should
+// avoid routing work to cores with factor 0.
+func (s *State) CoreFaultFactor(core int) float64 {
+	return s.engine.speedFactor(core, s.Now)
+}
+
+// AvailableCores reports, per core, whether the core can make progress at
+// the invocation instant (fault factor > 0).
+func (s *State) AvailableCores() []bool {
+	avail := make([]bool, len(s.Cores))
+	for i := range s.Cores {
+		avail[i] = s.CoreFaultFactor(i) > 0
+	}
+	return avail
+}
+
 // AssignToCore binds a waiting job to a core. It panics if the job is not
 // in the waiting queue or the core index is out of range — both indicate a
 // policy bug.

@@ -64,6 +64,29 @@ func (b BoundedPareto) Mean() float64 {
 	return num / (1 - ratio)
 }
 
+// Burst is an arrival-rate fault: during [Start, End) the stream's rate is
+// scaled by Multiplier (> 1 a flash crowd, < 1 a drought). Overlapping
+// bursts compound multiplicatively. Bursts are applied at generation time,
+// so a burst-faulted stream is deterministic per seed like any other.
+type Burst struct {
+	Start, End float64
+	Multiplier float64
+}
+
+// Validate reports parameter errors.
+func (b Burst) Validate() error {
+	if b.Start < 0 {
+		return fmt.Errorf("workload: burst start %g is negative", b.Start)
+	}
+	if b.End <= b.Start {
+		return fmt.Errorf("workload: burst window [%g, %g] empty", b.Start, b.End)
+	}
+	if b.Multiplier <= 0 {
+		return fmt.Errorf("workload: burst multiplier must be positive, got %g", b.Multiplier)
+	}
+	return nil
+}
+
 // Config describes one synthetic request stream.
 type Config struct {
 	Rate            float64       // mean arrival rate, requests per second (Poisson)
@@ -72,6 +95,7 @@ type Config struct {
 	Demand          BoundedPareto // service-demand distribution
 	PartialFraction float64       // fraction of jobs supporting partial evaluation, in [0, 1]
 	Seed            uint64        // RNG seed; equal configs generate equal streams
+	Bursts          []Burst       // arrival-burst faults; empty = homogeneous Poisson
 }
 
 // DefaultConfig returns the paper's simulation setup (§V-B) at the given
@@ -102,24 +126,63 @@ func (c Config) Validate() error {
 	if c.PartialFraction < 0 || c.PartialFraction > 1 {
 		return fmt.Errorf("workload: partial fraction must be in [0,1], got %g", c.PartialFraction)
 	}
+	for _, b := range c.Bursts {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+	}
 	return c.Demand.Validate()
+}
+
+// RateAt returns the instantaneous arrival rate at time t: the base rate
+// scaled by every burst active at t.
+func (c Config) RateAt(t float64) float64 {
+	r := c.Rate
+	for _, b := range c.Bursts {
+		if t >= b.Start && t < b.End {
+			r *= b.Multiplier
+		}
+	}
+	return r
+}
+
+// peakRate returns an upper bound on RateAt over the whole horizon, the
+// thinning envelope for burst-faulted generation.
+func (c Config) peakRate() float64 {
+	peak := c.Rate
+	// The rate is piecewise constant, so its maximum is attained just
+	// after some burst's start edge.
+	for _, b := range c.Bursts {
+		if r := c.RateAt(b.Start); r > peak {
+			peak = r
+		}
+	}
+	return peak
 }
 
 // Generate produces the full request stream for the configuration: jobs
 // sorted by release time with dense IDs from 0. Deadlines are agreeable by
 // construction (constant response window). An invalid config returns an
-// error.
+// error. Without bursts the stream is homogeneous Poisson (bit-identical
+// to earlier releases of this package); with bursts it is non-homogeneous
+// Poisson sampled by Lewis-Shedler thinning at the peak rate, still
+// deterministic per seed.
 func Generate(c Config) ([]job.Job, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(c.Seed, c.Seed^0x9e3779b97f4a7c15))
+	peak := c.peakRate()
+	thinned := len(c.Bursts) > 0
 	var jobs []job.Job
 	t := 0.0
 	for {
-		t += rng.ExpFloat64() / c.Rate
+		t += rng.ExpFloat64() / peak
 		if t >= c.Duration {
 			break
+		}
+		if thinned && rng.Float64() > c.RateAt(t)/peak {
+			continue // thinned out
 		}
 		j := job.Job{
 			ID:       job.ID(len(jobs)),
