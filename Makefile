@@ -1,8 +1,9 @@
 # Convenience targets for the DES scheduler reproduction.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test test-race bench verify chaos report fuzz cover fmt vet clean
+.PHONY: all build test test-race bench verify chaos report fuzz cover fmt vet clean trace-view
 
 all: build vet test
 
@@ -33,10 +34,20 @@ chaos:
 report:
 	$(GO) run ./cmd/despaper -duration 120 -out results/report.md
 
+# Override FUZZTIME for a quick smoke run: make fuzz FUZZTIME=5s
 fuzz:
-	$(GO) test -fuzz=FuzzWaterLevel -fuzztime=30s ./internal/stats
-	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace
-	$(GO) test -fuzz=FuzzLoadJobs -fuzztime=30s ./internal/workload
+	$(GO) test -fuzz=FuzzWaterLevel -fuzztime=$(FUZZTIME) ./internal/stats
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -fuzz=FuzzLoadJobs -fuzztime=$(FUZZTIME) ./internal/workload
+
+# Run a short chaotic simulation and export it as a Perfetto trace.
+# Open results/trace.json in https://ui.perfetto.dev to browse per-core
+# job lanes (speed-annotated) with fault windows overlaid.
+trace-view:
+	@mkdir -p results
+	$(GO) run ./cmd/desim sim -rate 60 -duration 5 -cores 8 -budget 160 \
+		-chaos-seed 1 -perfetto results/trace.json -telemetry results/metrics.prom
+	@echo "open https://ui.perfetto.dev and load results/trace.json"
 
 cover:
 	$(GO) test -short -cover ./...

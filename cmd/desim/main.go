@@ -9,6 +9,7 @@
 //	desim run -all [-quick]
 //	desim sim -policy des -arch c -rate 120 [-cores 16] [-budget 320] [-wf]
 //	          [-discrete] [-duration 60] [-seed 1] [-partial 1.0] [-trace out.csv]
+//	          [-chaos-seed 1] [-telemetry metrics.prom] [-perfetto trace.json]
 //	desim chaos -seed 1 [-rate 120] [-duration 30] [-cores 16] [-budget 320]
 //	            [-core-faults 3] [-budget-faults 1] [-bursts 1]
 //	            [-admission quality-aware -max-queue 64]
@@ -28,6 +29,7 @@ import (
 	"dessched/internal/experiments"
 	"dessched/internal/plot"
 	"dessched/internal/power"
+	"dessched/internal/telemetry"
 )
 
 func main() {
@@ -71,7 +73,7 @@ func usage() {
 run flags: -duration s  -seed n  -rates a,b,c  -paper  -quick  -out file
 sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
            -rate r  -cores m  -budget W  -partial f  -duration s  -seed n
-           -trace file.csv
+           -trace file.csv  -chaos-seed n  -telemetry file.prom  -perfetto file.json
 chaos flags: -seed n  -rate r  -duration s  -cores m  -budget W  -arch c|s|no
              -core-faults n  -budget-faults n  -bursts n  -outage-frac f
              -admission none|tail-drop|quality-aware  -max-queue n`)
@@ -313,6 +315,9 @@ func cmdSim(args []string) error {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	traceOut := fs.String("trace", "", "write the executed schedule trace to this CSV file")
 	events := fs.Bool("events", false, "print simulation event counts")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "apply a seeded chaos fault plan to the run (0 = none)")
+	telemetryOut := fs.String("telemetry", "", "write a Prometheus-format metrics snapshot of the run to this file")
+	perfettoOut := fs.String("perfetto", "", "write the executed schedule as Perfetto/Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -353,21 +358,53 @@ func cmdSim(args []string) error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
-	var rec *dessched.Trace
-	if *traceOut != "" {
-		rec = dessched.NewTrace(*cores)
-		cfg.Recorder = rec
-	}
-	var counter *dessched.EventCounter
-	if *events {
-		counter = dessched.NewEventCounter()
-		cfg.Observer = counter.Observe
-	}
-
 	wl := dessched.PaperWorkload(*rate)
 	wl.Duration = *duration
 	wl.Seed = *seed
 	wl.PartialFraction = *partial
+	if *chaosSeed > 0 {
+		plan, err := dessched.DefaultChaos(*chaosSeed, *duration, *cores).Generate()
+		if err != nil {
+			return err
+		}
+		fmt.Println(plan.String())
+		wl.Bursts = plan.Apply(&cfg)
+	}
+
+	// Instrumentation: a schedule trace (CSV and/or Perfetto), a metrics
+	// collector (-telemetry), and an event tally (-events) can all ride
+	// the same run; recorders and observers tee.
+	var rec *dessched.Trace
+	if *traceOut != "" || *perfettoOut != "" {
+		rec = dessched.NewTrace(*cores)
+	}
+	var reg *telemetry.Registry
+	var collector *telemetry.SimCollector
+	if *telemetryOut != "" {
+		reg = telemetry.NewRegistry()
+		collector = telemetry.NewSimCollector(reg, *cores)
+	}
+	switch {
+	case rec != nil && collector != nil:
+		cfg.Recorder = telemetry.MultiRecorder(rec, collector)
+	case rec != nil:
+		cfg.Recorder = rec
+	case collector != nil:
+		cfg.Recorder = collector
+	}
+	var counter *dessched.EventCounter
+	if *events {
+		counter = dessched.NewEventCounter()
+	}
+	switch {
+	case counter != nil && collector != nil:
+		cfg.Observer = telemetry.MultiObserver(counter.Observe, collector.Observe)
+	case counter != nil:
+		cfg.Observer = counter.Observe
+	case collector != nil:
+		cfg.Observer = collector.Observe
+	}
+
 	jobs, err := dessched.GenerateWorkload(wl)
 	if err != nil {
 		return err
@@ -392,7 +429,7 @@ func cmdSim(args []string) error {
 		fmt.Println()
 	}
 
-	if rec != nil {
+	if rec != nil && *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			return err
@@ -402,6 +439,30 @@ func cmdSim(args []string) error {
 			return err
 		}
 		fmt.Printf("trace: %d entries written to %s\n", len(rec.Entries), *traceOut)
+	}
+	if rec != nil && *perfettoOut != "" {
+		f, err := os.Create(*perfettoOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts := telemetry.PerfettoOptions{Faults: cfg.Faults, BudgetFaults: cfg.BudgetFaults}
+		if err := telemetry.WritePerfetto(f, rec, opts); err != nil {
+			return err
+		}
+		fmt.Printf("perfetto: %d slices written to %s (load in https://ui.perfetto.dev)\n", len(rec.Entries), *perfettoOut)
+	}
+	if collector != nil {
+		collector.Finish(res)
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WritePrometheus(f, reg.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: metrics snapshot written to %s\n", *telemetryOut)
 	}
 	return nil
 }

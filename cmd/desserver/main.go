@@ -14,6 +14,10 @@
 // limit are shed with 429 + Retry-After, request bodies and service times
 // are bounded, and SIGINT/SIGTERM trigger a graceful shutdown that drains
 // in-flight requests. See internal/httpapi for the endpoint contract.
+//
+// Observability: GET /metrics serves Prometheus text exposition (request
+// latency, in-flight, shed/429 and 413 counters, build_info), and -pprof
+// opts into net/http/pprof under /debug/pprof/. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -36,10 +40,14 @@ func main() {
 	timeout := flag.Duration("timeout", 120*time.Second, "per-request service timeout")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit, bytes")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	metrics := httpapi.NewServerMetrics(nil)
+	log.Printf("desserver build: %s", metrics.Build)
 
 	srv := &http.Server{
 		Addr: *addr,
@@ -47,10 +55,15 @@ func main() {
 			MaxConcurrent:  *maxConcurrent,
 			RequestTimeout: *timeout,
 			MaxBodyBytes:   *maxBody,
+			Metrics:        metrics,
+			Pprof:          *pprof,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("desserver listening on %s\n", *addr)
+	if *pprof {
+		fmt.Println("desserver: pprof enabled at /debug/pprof/")
+	}
 	// A clean signal-driven shutdown returns nil; only real serving
 	// failures are fatal (http.ErrServerClosed is not an error).
 	if err := httpapi.ListenAndServe(ctx, srv, *drain); err != nil {

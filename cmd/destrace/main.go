@@ -7,6 +7,7 @@
 //
 //	destrace -in trace.csv [-model default|opteron] [-json out.json]
 //	destrace -in trace.csv -measure [-cores 8]
+//	destrace -in trace.csv -perfetto trace.json   # view in ui.perfetto.dev
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"dessched"
 	"dessched/internal/plot"
 	"dessched/internal/power"
+	"dessched/internal/telemetry"
 	"dessched/internal/trace"
 )
 
@@ -30,6 +32,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "render a per-core speed timeline")
 	ganttFrom := flag.Float64("from", 0, "gantt window start (s)")
 	ganttTo := flag.Float64("to", 0, "gantt window end (s; 0 = auto)")
+	perfetto := flag.String("perfetto", "", "write the trace as Perfetto/Chrome trace-event JSON to this file")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -37,7 +40,7 @@ func main() {
 	}
 	opts := runOpts{
 		model: *model, jsonOut: *jsonOut, measure: *measure, cores: *cores,
-		gantt: *gantt, from: *ganttFrom, to: *ganttTo,
+		gantt: *gantt, from: *ganttFrom, to: *ganttTo, perfetto: *perfetto,
 	}
 	if err := run(*in, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "destrace:", err)
@@ -46,13 +49,14 @@ func main() {
 }
 
 type runOpts struct {
-	model   string
-	jsonOut string
-	measure bool
-	cores   int
-	gantt   bool
-	from    float64
-	to      float64
+	model    string
+	jsonOut  string
+	measure  bool
+	cores    int
+	gantt    bool
+	from     float64
+	to       float64
+	perfetto string
 }
 
 func run(in string, o runOpts) error {
@@ -124,6 +128,21 @@ func run(in string, o runOpts) error {
 		}
 		fmt.Printf("emulated measurement: %.1f J (busy %.1f, idle %.1f, overhead %.2f, %d transitions)\n",
 			meas.Energy, meas.BusyEnergy, meas.IdleEnergy, meas.Overhead, meas.Transitions)
+	}
+
+	if o.perfetto != "" {
+		// A raw trace carries no fault context; the export shows the
+		// per-core job lanes only. Use `desim sim -perfetto` to overlay
+		// fault windows from a live run.
+		out, err := os.Create(o.perfetto)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := telemetry.WritePerfetto(out, tr, telemetry.PerfettoOptions{}); err != nil {
+			return err
+		}
+		fmt.Println("wrote Perfetto trace to", o.perfetto, "(load in https://ui.perfetto.dev)")
 	}
 
 	if o.gantt {

@@ -3,6 +3,7 @@
 // notebooks or dashboards without linking Go code:
 //
 //	GET  /healthz                    liveness
+//	GET  /metrics                    Prometheus text exposition
 //	GET  /v1/experiments             list experiment runners
 //	POST /v1/experiments/{id}        run one experiment (body: options)
 //	POST /v1/simulate                run one simulation (body: SimRequest)
@@ -10,8 +11,11 @@
 // Everything is stdlib net/http; handlers are stateless and safe for
 // concurrent use. NewHandler wraps the routes in a hardening stack —
 // panic recovery, concurrency shedding (429 + Retry-After), request body
-// limits (413), and per-request timeouts (503) — and Serve adds graceful
-// signal-driven shutdown with connection draining; desserver uses both.
+// limits (413), and per-request timeouts (503) — plus request
+// instrumentation (latency histogram, in-flight gauge, per-code response
+// counters; see ServerMetrics) and opt-in pprof endpoints, and Serve adds
+// graceful signal-driven shutdown with connection draining; desserver
+// uses both. See docs/OBSERVABILITY.md for the metric catalog.
 // /v1/simulate accepts fault injection (core, budget, burst, chaos) and
 // admission-control settings, and faulted runs return a resilience report
 // against their fault-free twin.

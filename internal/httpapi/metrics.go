@@ -1,0 +1,124 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"dessched/internal/telemetry"
+)
+
+// ServerMetrics instruments the HTTP service: request latency histogram,
+// in-flight gauge, per-status-code response counts, dedicated shed (429)
+// and body-too-large (413) counters, and the conventional build_info
+// gauge. One instance backs one exposition endpoint.
+type ServerMetrics struct {
+	Registry *telemetry.Registry
+	Build    telemetry.BuildInfo
+
+	latency   *telemetry.Histogram
+	inFlight  *telemetry.Gauge
+	responses *telemetry.CounterVec
+	shed      *telemetry.Counter
+	tooLarge  *telemetry.Counter
+}
+
+// NewServerMetrics registers the server metric families on reg (a nil reg
+// gets a fresh registry) and returns the handle.
+func NewServerMetrics(reg *telemetry.Registry) *ServerMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &ServerMetrics{
+		Registry: reg,
+		Build:    telemetry.RegisterBuildInfo(reg),
+		latency: reg.Histogram("http_request_duration_seconds",
+			"Wall-clock service time per request, including hardening middleware.",
+			telemetry.DefLatencyBuckets()),
+		inFlight: reg.Gauge("http_requests_in_flight",
+			"Requests currently being served."),
+		responses: reg.CounterVec("http_responses_total",
+			"Responses by HTTP status code.", "code"),
+		shed: reg.Counter("http_requests_shed_total",
+			"Requests shed with 429 by the concurrency limiter."),
+		tooLarge: reg.Counter("http_request_too_large_total",
+			"Requests rejected with 413 for an oversized body."),
+	}
+	// Pre-register the codes the hardening stack can emit so they are
+	// visible (as zeros) from the first scrape.
+	for _, code := range []string{"200", "400", "404", "413", "429", "500", "503"} {
+		m.responses.With(code)
+	}
+	return m
+}
+
+// Instrument wraps a handler with request accounting. Place it outside
+// the hardening stack so shed (429), oversized (413), timed-out (503),
+// and panicking (500) requests are all counted with their final status.
+func (m *ServerMetrics) Instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			m.inFlight.Dec()
+			m.latency.Observe(time.Since(start).Seconds())
+			status := sw.status
+			if status == 0 {
+				// Nothing was written: either a panic is unwinding (the
+				// recovery middleware above us will write 500) or the
+				// handler returned silently; count it as 500.
+				status = http.StatusInternalServerError
+			}
+			m.responses.With(strconv.Itoa(status)).Inc()
+			switch status {
+			case http.StatusTooManyRequests:
+				m.shed.Inc()
+			case http.StatusRequestEntityTooLarge:
+				m.tooLarge.Inc()
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// ExpositionHandler serves the registry as Prometheus text exposition.
+func (m *ServerMetrics) ExpositionHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = telemetry.WritePrometheus(w, m.Registry.Snapshot())
+	})
+}
+
+// statusWriter captures the first status code written to the response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// mountPprof exposes net/http/pprof on the mux without touching the
+// default serve mux. The profiling endpoints bypass the hardening stack:
+// profiles legitimately run longer than the request timeout, and a
+// saturated server is exactly when they are needed.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,234 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dessched/internal/telemetry"
+)
+
+// get fires one request at the handler and returns the recorder.
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// GET /metrics must return valid Prometheus exposition — validated by
+// parsing it, not by string matching — covering the request latency
+// histogram, the in-flight gauge, the shed/429 counters, and build_info.
+func TestMetricsEndpointParses(t *testing.T) {
+	h := NewHandler(Options{MaxBodyBytes: 256})
+
+	if w := do(t, h, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", w.Code)
+	}
+	// An oversized (but syntactically valid) body must trip the 413
+	// counter: the decoder has to hit the byte limit, not a syntax error.
+	big := `{"policy":"` + strings.Repeat("a", 600) + `"}`
+	if w := do(t, h, "POST", "/v1/simulate", big); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", w.Code)
+	}
+
+	w := do(t, h, "GET", "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	fams, err := telemetry.ParsePrometheus(w.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	byName := map[string]telemetry.PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	lat, ok := byName["http_request_duration_seconds"]
+	if !ok || lat.Type != "histogram" {
+		t.Fatalf("latency histogram missing or mistyped: %+v", lat)
+	}
+	var count float64
+	for _, s := range lat.Samples {
+		if s.Name == "http_request_duration_seconds_count" {
+			count = s.Value
+		}
+	}
+	if count < 2 {
+		t.Errorf("latency count = %g, want >= 2 (healthz + oversized post)", count)
+	}
+
+	if f, ok := byName["http_requests_in_flight"]; !ok || f.Type != "gauge" {
+		t.Fatalf("in-flight gauge missing: %+v", f)
+	}
+	if f, ok := byName["http_requests_shed_total"]; !ok || f.Type != "counter" {
+		t.Fatalf("shed counter missing: %+v", f)
+	} else if f.Samples[0].Value != 0 {
+		t.Errorf("shed = %g before any shedding", f.Samples[0].Value)
+	}
+	if f := byName["http_request_too_large_total"]; len(f.Samples) == 0 || f.Samples[0].Value != 1 {
+		t.Errorf("too-large counter = %+v, want 1", f.Samples)
+	}
+	codes := map[string]float64{}
+	for _, s := range byName["http_responses_total"].Samples {
+		codes[s.Labels["code"]] = s.Value
+	}
+	if codes["200"] < 1 || codes["413"] != 1 {
+		t.Errorf("response codes = %v", codes)
+	}
+	if codes["429"] != 0 {
+		t.Errorf("429 count = %g before any shedding", codes["429"])
+	}
+
+	bi, ok := byName["build_info"]
+	if !ok || len(bi.Samples) != 1 || bi.Samples[0].Value != 1 {
+		t.Fatalf("build_info = %+v", bi)
+	}
+	for _, l := range []string{"version", "go_version", "revision"} {
+		if bi.Samples[0].Labels[l] == "" {
+			t.Errorf("build_info missing label %q", l)
+		}
+	}
+}
+
+// Shed requests (429 from the concurrency limiter) are counted, and the
+// /metrics endpoint itself stays reachable while the API is saturated.
+func TestShedRequestsCounted(t *testing.T) {
+	m := NewServerMetrics(telemetry.NewRegistry())
+	release := make(chan struct{})
+	started := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	h := m.Instrument(Harden(slow, Options{MaxConcurrent: 1}))
+	root := http.NewServeMux()
+	root.Handle("/", h)
+	root.Handle("GET /metrics", m.ExpositionHandler())
+
+	srv := httptest.NewServer(root)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/work")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started // the slow request now owns the only slot
+
+	resp, err := http.Get(srv.URL + "/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", resp.StatusCode)
+	}
+
+	// Scrape while saturated: /metrics bypasses the limiter.
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParsePrometheus(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed, inFlight float64
+	for _, f := range fams {
+		switch f.Name {
+		case "http_requests_shed_total":
+			shed = f.Samples[0].Value
+		case "http_requests_in_flight":
+			inFlight = f.Samples[0].Value
+		}
+	}
+	if shed != 1 {
+		t.Errorf("shed counter = %g, want 1", shed)
+	}
+	if inFlight != 1 {
+		t.Errorf("in-flight = %g while one request is parked", inFlight)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// A handler panic is recovered into a 500 and still counted.
+func TestPanicCounted(t *testing.T) {
+	m := NewServerMetrics(telemetry.NewRegistry())
+	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { panic("kaboom") })
+	h := m.Instrument(Harden(boom, Options{}))
+	w := do(t, h, "GET", "/x", "")
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panic = %d, want 500", w.Code)
+	}
+	found := false
+	for _, f := range m.Registry.Snapshot().Families {
+		if f.Name != "http_responses_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.LabelValues[0] == "500" && s.Value == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("500 response not counted")
+	}
+}
+
+// -pprof mounts the profiling endpoints; without it they 404 through the
+// API handler.
+func TestPprofOptIn(t *testing.T) {
+	on := NewHandler(Options{Pprof: true})
+	w := do(t, on, "GET", "/debug/pprof/cmdline", "")
+	if w.Code != http.StatusOK {
+		t.Errorf("pprof enabled: cmdline = %d", w.Code)
+	}
+	off := NewHandler(Options{})
+	w = do(t, off, "GET", "/debug/pprof/cmdline", "")
+	if w.Code != http.StatusNotFound {
+		t.Errorf("pprof disabled: cmdline = %d, want 404", w.Code)
+	}
+}
+
+// Latency observations land in sane buckets (sub-second for healthz).
+func TestLatencyObserved(t *testing.T) {
+	m := NewServerMetrics(telemetry.NewRegistry())
+	h := m.Instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+	do(t, h, "GET", "/", "")
+	for _, f := range m.Registry.Snapshot().Families {
+		if f.Name == "http_request_duration_seconds" {
+			s := f.Series[0]
+			if s.Count != 1 {
+				t.Fatalf("count = %d", s.Count)
+			}
+			if s.Sum < 0.002 {
+				t.Errorf("sum = %g, want >= 2ms", s.Sum)
+			}
+		}
+	}
+}

@@ -23,6 +23,13 @@ type Options struct {
 	// MaxBodyBytes bounds the request body; oversized bodies get 413.
 	// Default 1 MiB.
 	MaxBodyBytes int64
+	// Metrics, when non-nil, supplies the registry and instrumentation
+	// behind GET /metrics; NewHandler creates one when nil.
+	Metrics *ServerMetrics
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/,
+	// outside the hardening stack. Off by default: profiling endpoints
+	// are a debugging surface, opt in with desserver -pprof.
+	Pprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -38,11 +45,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// NewHandler returns the service with the full hardening stack applied:
-// panic recovery outermost, then concurrency shedding, body size limits,
-// and per-request timeouts around the routing table. This is what
-// desserver serves; NewMux stays available for embedding the bare routes.
-func NewHandler(o Options) http.Handler { return Harden(NewMux(), o) }
+// NewHandler returns the full service: the API routes behind the
+// hardening stack and request instrumentation, GET /metrics serving the
+// Prometheus exposition, and (opt-in) the pprof endpoints. The metrics
+// and pprof routes sit outside the concurrency limiter and timeout so
+// the server stays observable exactly when it is saturated; panic
+// recovery still wraps everything. NewMux stays available for embedding
+// the bare routes.
+func NewHandler(o Options) http.Handler {
+	m := o.Metrics
+	if m == nil {
+		m = NewServerMetrics(nil)
+	}
+	root := http.NewServeMux()
+	root.Handle("/", m.Instrument(Harden(NewMux(), o)))
+	root.Handle("GET /metrics", m.ExpositionHandler())
+	if o.Pprof {
+		mountPprof(root)
+	}
+	return recoverPanics(root)
+}
 
 // Harden wraps any handler in the service's protective middleware stack.
 func Harden(h http.Handler, o Options) http.Handler {

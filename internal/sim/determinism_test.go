@@ -1,0 +1,118 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dessched/internal/admission"
+	"dessched/internal/core"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+// chaoticConfig is a faulty, admission-controlled setup driving the real
+// DES policy, used to pin down observer determinism.
+func chaoticConfig() sim.Config {
+	cfg := sim.PaperConfig()
+	cfg.Cores = 4
+	cfg.Budget = 80
+	cfg.Faults = []sim.Fault{
+		{Core: 0, Start: 0.3, End: 0.8, SpeedFactor: 0.4},
+		{Core: 3, Start: 0.6, End: 1.2, SpeedFactor: 0}, // outage
+	}
+	cfg.BudgetFaults = []sim.BudgetFault{{Start: 1.0, End: 1.6, Fraction: 0.6}}
+	// The counter trigger drains the queue at 8 waiting jobs, so the
+	// admission limit must sit below that to ever trip.
+	cfg.Admission = admission.Config{Policy: admission.QualityAware, MaxQueue: 5}
+	return cfg
+}
+
+// The observer event stream of a seeded run must be exactly reproducible:
+// same seed, same faults, same admission policy → identical event
+// sequences (kind, job, core, time, queue depth, quality), in order.
+func TestObserverDeterministicPerSeed(t *testing.T) {
+	capture := func() []sim.Event {
+		cfg := chaoticConfig()
+		var events []sim.Event
+		cfg.Observer = func(e sim.Event) { events = append(events, e) }
+		wl := workload.DefaultConfig(200)
+		wl.Duration = 2
+		wl.Seed = 11
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.ApplyArch(&cfg, core.CDVFS)
+		if _, err := sim.Run(cfg, jobs, core.New(core.CDVFS)); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a, b := capture(), capture()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("no events observed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// The run actually exercised the interesting paths.
+	kinds := map[sim.EventKind]int{}
+	for _, e := range a {
+		kinds[e.Kind]++
+	}
+	if kinds[sim.EvShed] == 0 {
+		t.Error("no shed events — admission control never tripped")
+	}
+	if kinds[sim.EvFaultEdge] != 6 {
+		t.Errorf("fault edges = %d, want 6", kinds[sim.EvFaultEdge])
+	}
+	if kinds[sim.EvRequeue] == 0 {
+		t.Error("no requeue events — the outage never evacuated jobs")
+	}
+}
+
+// EventCounter.Reset makes one counter reusable across sequential runs:
+// after a reset, a re-run of the same seed reproduces the same tallies.
+func TestEventCounterResetReuse(t *testing.T) {
+	counter := sim.NewEventCounter()
+	runOnce := func() {
+		cfg := chaoticConfig()
+		cfg.Observer = counter.Observe
+		wl := workload.DefaultConfig(150)
+		wl.Duration = 1
+		wl.Seed = 3
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.ApplyArch(&cfg, core.CDVFS)
+		if _, err := sim.Run(cfg, jobs, core.New(core.CDVFS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runOnce()
+	first := make(map[sim.EventKind]int, len(counter.Counts))
+	for k, v := range counter.Counts {
+		first[k] = v
+	}
+	if len(first) == 0 {
+		t.Fatal("counter saw nothing")
+	}
+	counter.Reset()
+	if len(counter.Counts) != 0 {
+		t.Fatalf("Reset left %v", counter.Counts)
+	}
+	runOnce()
+	if len(counter.Counts) != len(first) {
+		t.Fatalf("kinds after reuse: %v, want %v", counter.Counts, first)
+	}
+	for k, v := range first {
+		if counter.Counts[k] != v {
+			t.Errorf("%v = %d after reuse, want %d", k, counter.Counts[k], v)
+		}
+	}
+}

@@ -51,6 +51,16 @@ type Event struct {
 	Kind EventKind
 	Job  job.ID
 	Core int
+
+	// Queue is the waiting-queue length sampled at the instant the event
+	// fired, before the event's own effect is applied (a shed job is still
+	// counted in its own EvShed event).
+	Queue int
+
+	// Quality is the quality credited to the departing job; it is only
+	// meaningful on departure events (complete, deadline, discard, shed)
+	// and zero elsewhere.
+	Quality float64
 }
 
 func (e Event) String() string {
@@ -69,7 +79,11 @@ func (e Event) String() string {
 // fast and must not call back into the State API.
 type Observer func(Event)
 
-// EventCounter is a ready-made Observer tallying events by kind.
+// EventCounter is a ready-made Observer tallying events by kind. Like
+// every Observer it is invoked synchronously from the single goroutine
+// that drives Run, so it needs no locking — but for the same reason one
+// counter must not be shared by simulations running concurrently. To
+// reuse a counter across sequential runs, call Reset between them.
 type EventCounter struct {
 	Counts map[EventKind]int
 }
@@ -80,8 +94,16 @@ func NewEventCounter() *EventCounter { return &EventCounter{Counts: map[EventKin
 // Observe implements the Observer contract; pass counter.Observe.
 func (c *EventCounter) Observe(e Event) { c.Counts[e.Kind]++ }
 
+// Reset clears the tallies so the counter can be reused for another run.
+func (c *EventCounter) Reset() { clear(c.Counts) }
+
+// emit delivers an event to the configured observer. The nil check is the
+// whole disabled-telemetry cost: when no Observer is set, simulation runs
+// pay one branch per event and nothing else (benchmarked in
+// observer_bench_test.go).
 func (e *engine) emit(ev Event) {
 	if e.cfg.Observer != nil {
+		ev.Queue = len(e.queue)
 		e.cfg.Observer(ev)
 	}
 }

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"dessched/internal/job"
+)
+
+// benchJobs builds a deterministic stream without pulling in the workload
+// package (which would cycle through this package's importers in tests).
+func benchJobs(n int) []job.Job {
+	jobs := make([]job.Job, n)
+	// Simple LCG so the stream is fixed but non-trivial.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	t := 0.0
+	for i := range jobs {
+		t += next() * 0.004
+		jobs[i] = job.Job{
+			ID:       job.ID(i),
+			Release:  t,
+			Deadline: t + 0.15,
+			Demand:   130 + 500*next(),
+			Partial:  true,
+		}
+	}
+	return jobs
+}
+
+// The engine's emit path is a single nil check when no Observer is set;
+// compare these two to confirm disabled telemetry is free.
+//
+//	go test -bench=BenchmarkRun -benchmem ./internal/sim
+func BenchmarkRunNilObserver(b *testing.B) {
+	cfg := testCfg(2)
+	jobs := benchJobs(400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, jobs, &fifoPolicy{speed: 1.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunEventCounterObserver(b *testing.B) {
+	cfg := testCfg(2)
+	counter := NewEventCounter()
+	cfg.Observer = counter.Observe
+	jobs := benchJobs(400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		counter.Reset()
+		if _, err := Run(cfg, jobs, &fifoPolicy{speed: 1.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

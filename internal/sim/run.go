@@ -409,7 +409,7 @@ func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
 	case Shed:
 		kind = EvShed
 	}
-	e.emit(Event{Time: t, Kind: kind, Job: js.Job.ID, Core: js.Core})
+	e.emit(Event{Time: t, Kind: kind, Job: js.Job.ID, Core: js.Core, Quality: js.Quality})
 	e.undeparted--
 	if t > e.lastDeparture {
 		e.lastDeparture = t

@@ -1,0 +1,78 @@
+package telemetry
+
+import "testing"
+
+// The metrics hot path runs inside the simulator's event loop and the
+// HTTP request path, so increments and observations must be cheap and
+// allocation-free. Run with -benchmem; TestHotPathZeroAllocs pins the
+// 0 allocs/op claim with testing.AllocsPerRun.
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("count = %d, want %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(0.5)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefLatencyBuckets())
+	// Cycle through values that land in different buckets so the
+	// benchmark exercises the whole linear scan, not just bucket 0.
+	vals := [...]float64{0.0004, 0.003, 0.017, 0.12, 0.9, 7, 80}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(vals[i%len(vals)])
+	}
+	if got := h.count.Load(); got != uint64(b.N) {
+		b.Fatalf("count = %d, want %d", got, b.N)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram(DefLatencyBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0004
+		for pb.Next() {
+			h.Observe(v)
+			v *= 2
+			if v > 50 {
+				v = 0.0004
+			}
+		}
+	})
+}
+
+// Looking a series up through a labeled family is the slow path; the
+// benchmark documents the cost so call sites know to cache the handle
+// (as SimCollector does).
+func BenchmarkCounterVecWith(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_total", "bench", "kind")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("arrival").Inc()
+	}
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import "runtime/debug"
+
+// BuildInfo is the identifying build metadata exposed by RegisterBuildInfo.
+type BuildInfo struct {
+	Version   string // main module version ("(devel)" for local builds)
+	GoVersion string
+	Revision  string // vcs.revision build setting, when stamped
+}
+
+// ReadBuildInfo extracts the binary's identifying metadata from
+// debug/buildinfo. Missing pieces come back as "unknown" so labels are
+// always well-formed.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			bi.Revision = s.Value
+		}
+	}
+	return bi
+}
+
+// String renders the info for a startup log line.
+func (b BuildInfo) String() string {
+	return "version " + b.Version + ", " + b.GoVersion + ", revision " + b.Revision
+}
+
+// RegisterBuildInfo registers the conventional build_info gauge — constant
+// 1 with the build metadata as labels — and returns the info for logging.
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	bi := ReadBuildInfo()
+	r.GaugeVec("build_info",
+		"Build metadata of the running binary; value is always 1.",
+		"version", "go_version", "revision").
+		With(bi.Version, bi.GoVersion, bi.Revision).Set(1)
+	return bi
+}

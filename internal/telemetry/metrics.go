@@ -1,0 +1,160 @@
+// Package telemetry is the stdlib-only observability core of the
+// reproduction: atomic metric primitives (Counter, Gauge, log-bucketed
+// Histogram), a Registry of labeled metric families with point-in-time
+// snapshots, a Prometheus text-exposition writer (and a parser for
+// validating output), a simulation bridge that turns the engine's event
+// stream and executed slices into metrics, and a Perfetto/Chrome
+// trace-event exporter for visual schedule inspection.
+//
+// Hot-path operations (Counter.Inc, Gauge.Add, Histogram.Observe) are
+// lock-free, allocation-free, and safe for concurrent use; registration
+// and Snapshot take locks and are meant for startup and scrape time.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; all methods are safe for concurrent use and do not
+// allocate.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depth, in-flight
+// requests, utilization). The zero value reads 0 and is ready to use;
+// all methods are safe for concurrent use and do not allocate.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative d subtracts).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution in the Prometheus style:
+// cumulative buckets with inclusive upper bounds, plus a running sum and
+// count. Buckets are laid out once at construction (see LogBuckets /
+// LinearBuckets); Observe is lock-free and allocation-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implied after the last
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// An implicit +Inf bucket catches everything beyond the last bound. Bounds
+// must be strictly ascending; NewHistogram panics otherwise (metric layout
+// is a programming error, not an input error).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the histogram's upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// snapshotBuckets returns cumulative counts per bound plus the +Inf
+// bucket as the final element.
+func (h *Histogram) snapshotBuckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	cum := uint64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// LogBuckets returns n strictly ascending bounds growing geometrically
+// from start by factor: start, start·factor, start·factor², … It panics on
+// non-positive start, n, or factor ≤ 1.
+func LogBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("telemetry: LogBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n strictly ascending bounds start, start+width, …
+// It panics on non-positive width or n.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n <= 0 {
+		panic("telemetry: LinearBuckets needs width > 0, n > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// DefLatencyBuckets is the default request-latency layout: 1 ms to ~32 s
+// in doubling steps.
+func DefLatencyBuckets() []float64 { return LogBuckets(0.001, 2, 16) }

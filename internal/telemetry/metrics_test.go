@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %g", g.Value())
+	}
+	g.Set(1.5)
+	g.Add(2)
+	g.Dec()
+	if got := g.Value(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// le=1 inclusive: 0.5 and 1 → 2; le=2: +1.5 → 3; le=4: +3 → 4; +Inf: 5.
+	want := []uint64{2, 3, 4, 5}
+	got := h.snapshotBuckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-106) > 1e-9 {
+		t.Errorf("sum = %g, want 106", h.Sum())
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on descending bounds")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}
+
+func TestBucketHelpers(t *testing.T) {
+	log := LogBuckets(1, 2, 4)
+	for i, want := range []float64{1, 2, 4, 8} {
+		if log[i] != want {
+			t.Errorf("LogBuckets[%d] = %g, want %g", i, log[i], want)
+		}
+	}
+	lin := LinearBuckets(0.5, 0.25, 3)
+	for i, want := range []float64{0.5, 0.75, 1.0} {
+		if lin[i] != want {
+			t.Errorf("LinearBuckets[%d] = %g, want %g", i, lin[i], want)
+		}
+	}
+	if b := DefLatencyBuckets(); len(b) != 16 || b[0] != 0.001 {
+		t.Errorf("DefLatencyBuckets = %v", b)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", LogBuckets(1, 2, 8))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %g, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestRegistryGetOrCreateAndMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "help")
+	if c1 != c2 {
+		t.Fatal("get-or-create returned distinct counters")
+	}
+	v := r.CounterVec("api_total", "", "code")
+	if v.With("200") != v.With("200") {
+		t.Fatal("vec series not stable")
+	}
+	for name, f := range map[string]func(){
+		"kind mismatch":  func() { r.Gauge("x_total", "") },
+		"label mismatch": func() { r.CounterVec("api_total", "", "status") },
+		"arity mismatch": func() { v.With("200", "extra") },
+		"bad name":       func() { r.Counter("9bad", "") },
+		"bad label":      func() { r.CounterVec("ok_total", "", "bad-label") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSnapshotOrderingDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		v := r.GaugeVec("zeta", "", "core")
+		// Insert in scrambled order; snapshot must sort.
+		for _, c := range []string{"3", "0", "11", "2"} {
+			v.With(c).Set(1)
+		}
+		r.Counter("alpha_total", "").Add(7)
+		return r.Snapshot()
+	}
+	s := build()
+	if s.Families[0].Name != "alpha_total" || s.Families[1].Name != "zeta" {
+		t.Fatalf("family order: %q, %q", s.Families[0].Name, s.Families[1].Name)
+	}
+	got := make([]string, 0, 4)
+	for _, ss := range s.Families[1].Series {
+		got = append(got, ss.LabelValues[0])
+	}
+	want := []string{"0", "11", "2", "3"} // lexicographic, but stable
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	bi := RegisterBuildInfo(r)
+	if bi.GoVersion == "" || bi.Version == "" {
+		t.Fatalf("empty build info: %+v", bi)
+	}
+	snap := r.Snapshot()
+	if len(snap.Families) != 1 || snap.Families[0].Name != "build_info" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	s := snap.Families[0].Series[0]
+	if s.Value != 1 {
+		t.Errorf("build_info = %g, want 1", s.Value)
+	}
+	if len(s.LabelValues) != 3 {
+		t.Errorf("labels = %v", s.LabelValues)
+	}
+}
+
+// The hot path must not allocate: these are called from the simulation
+// loop and from every HTTP request.
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", DefLatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1.5) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.042) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op", n)
+	}
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dessched/internal/sim"
+	"dessched/internal/trace"
+)
+
+// Perfetto/Chrome trace-event export: renders an executed-schedule trace
+// as a JSON object loadable in https://ui.perfetto.dev or
+// chrome://tracing. Each core is a lane (thread) of complete-duration job
+// slices annotated with the planned speed; fault windows render as spans
+// on a separate "faults" process overlaying the affected core, with
+// budget faults on their own lane. Times are in microseconds, as the
+// format requires.
+
+// PerfettoOptions carries the run context the raw trace does not record.
+type PerfettoOptions struct {
+	Faults       []sim.Fault
+	BudgetFaults []sim.BudgetFault
+}
+
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+const (
+	perfettoCoresPid  = 1
+	perfettoFaultsPid = 2
+)
+
+const usPerSec = 1e6
+
+// WritePerfetto renders the trace (and optional fault context) in the
+// Chrome trace-event JSON format. Output is deterministic: events appear
+// as metadata, then executed slices in trace order, then fault spans in
+// option order.
+func WritePerfetto(w io.Writer, tr *trace.Trace, opts PerfettoOptions) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("telemetry: perfetto export: %w", err)
+	}
+	var out perfettoFile
+	out.DisplayTimeUnit = "ms"
+
+	meta := func(pid, tid int, kind, name string) {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name},
+		})
+	}
+	meta(perfettoCoresPid, 0, "process_name", "cores")
+	for c := 0; c < tr.Cores; c++ {
+		meta(perfettoCoresPid, c, "thread_name", fmt.Sprintf("core %d", c))
+	}
+	hasFaults := len(opts.Faults) > 0 || len(opts.BudgetFaults) > 0
+	if hasFaults {
+		meta(perfettoFaultsPid, 0, "process_name", "faults")
+		for c := 0; c < tr.Cores; c++ {
+			meta(perfettoFaultsPid, c, "thread_name", fmt.Sprintf("core %d faults", c))
+		}
+		if len(opts.BudgetFaults) > 0 {
+			meta(perfettoFaultsPid, tr.Cores, "thread_name", "power budget")
+		}
+	}
+
+	for _, e := range tr.Entries {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: fmt.Sprintf("job %d", e.JobID),
+			Cat:  "exec",
+			Ph:   "X",
+			Ts:   e.Start * usPerSec,
+			Dur:  (e.End - e.Start) * usPerSec,
+			Pid:  perfettoCoresPid,
+			Tid:  e.Core,
+			Args: map[string]any{"job": int64(e.JobID), "speed_ghz": e.Speed},
+		})
+	}
+	for _, f := range opts.Faults {
+		name := fmt.Sprintf("throttle x%.2g", f.SpeedFactor)
+		if f.Outage() {
+			name = "outage"
+		}
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: name,
+			Cat:  "fault",
+			Ph:   "X",
+			Ts:   f.Start * usPerSec,
+			Dur:  (f.End - f.Start) * usPerSec,
+			Pid:  perfettoFaultsPid,
+			Tid:  f.Core,
+			Args: map[string]any{"core": f.Core, "speed_factor": f.SpeedFactor},
+		})
+	}
+	for _, f := range opts.BudgetFaults {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: fmt.Sprintf("budget x%.2g", f.Fraction),
+			Cat:  "fault",
+			Ph:   "X",
+			Ts:   f.Start * usPerSec,
+			Dur:  (f.End - f.Start) * usPerSec,
+			Pid:  perfettoFaultsPid,
+			Tid:  tr.Cores,
+			Args: map[string]any{"fraction": f.Fraction},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dessched/internal/sim"
+	"dessched/internal/trace"
+)
+
+// A faulty run must export as structurally valid trace-event JSON with
+// per-core job lanes and fault-window overlay spans.
+func TestWritePerfettoFaultyRun(t *testing.T) {
+	col := NewSimCollector(NewRegistry(), 4)
+	tr := trace.New(4)
+	chaoticRun(t, col, tr)
+	if len(tr.Entries) == 0 {
+		t.Fatal("trace captured nothing")
+	}
+
+	var buf bytes.Buffer
+	opts := PerfettoOptions{
+		Faults: []sim.Fault{
+			{Core: 1, Start: 0.2, End: 0.6, SpeedFactor: 0.5},
+			{Core: 2, Start: 0.5, End: 1.0, SpeedFactor: 0},
+		},
+		BudgetFaults: []sim.BudgetFault{{Start: 1.0, End: 1.5, Fraction: 0.5}},
+	}
+	if err := WritePerfetto(&buf, tr, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Validate as generic trace-event JSON, not against our own structs.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.Unit)
+	}
+	var execs, faults, threadNames int
+	coresSeen := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			if ev["name"] == "thread_name" {
+				threadNames++
+			}
+		case "X":
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Fatalf("X event without non-negative dur: %v", ev)
+			}
+			if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+				t.Fatalf("X event without non-negative ts: %v", ev)
+			}
+			switch ev["cat"] {
+			case "exec":
+				execs++
+				coresSeen[ev["tid"].(float64)] = true
+			case "fault":
+				faults++
+			}
+		default:
+			t.Fatalf("unexpected phase %q in %v", ph, ev)
+		}
+	}
+	if execs != len(tr.Entries) {
+		t.Errorf("exec spans %d != trace entries %d", execs, len(tr.Entries))
+	}
+	if faults != 3 {
+		t.Errorf("fault spans = %d, want 3", faults)
+	}
+	if len(coresSeen) < 2 {
+		t.Errorf("job slices landed on %d lanes, want several", len(coresSeen))
+	}
+	// 4 core lanes + 4 fault lanes + 1 budget lane.
+	if threadNames != 9 {
+		t.Errorf("thread_name metadata = %d, want 9", threadNames)
+	}
+}
+
+func TestWritePerfettoNoFaults(t *testing.T) {
+	tr := trace.New(1)
+	tr.Entries = append(tr.Entries, trace.Entry{Core: 0, JobID: 0, Start: 0, End: 0.1, Speed: 1})
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr, PerfettoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"faults"`)) {
+		t.Error("fault process emitted for fault-free run")
+	}
+}
+
+func TestWritePerfettoRejectsInvalidTrace(t *testing.T) {
+	tr := trace.New(1)
+	tr.Entries = append(tr.Entries, trace.Entry{Core: 5, Start: 0, End: 1, Speed: 1})
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr, PerfettoOptions{}); err == nil {
+		t.Error("invalid trace exported without error")
+	}
+}

@@ -1,0 +1,357 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var inf = math.Inf(1)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE header per family, then
+// one line per series, with histograms expanded into cumulative _bucket
+// series (le label), _sum, and _count. Output is deterministic for a
+// given snapshot.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			switch f.Kind {
+			case KindHistogram:
+				for _, b := range s.Buckets {
+					le := "+Inf"
+					if !math.IsInf(b.UpperBound, 1) {
+						le = formatFloat(b.UpperBound)
+					}
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name,
+						labelString(f.LabelNames, s.LabelValues, "le", le), b.CumulativeCount)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name,
+					labelString(f.LabelNames, s.LabelValues, "", ""), formatFloat(s.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.Name,
+					labelString(f.LabelNames, s.LabelValues, "", ""), s.Count)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", f.Name,
+					labelString(f.LabelNames, s.LabelValues, "", ""), formatFloat(s.Value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {n1="v1",...}, appending the optional extra pair
+// (used for le), or "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// PromSample is one parsed exposition line: a metric name (including any
+// _bucket/_sum/_count suffix), its labels, and the value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Type    string // counter | gauge | histogram | untyped
+	Help    string
+	Samples []PromSample
+}
+
+// ParsePrometheus parses text exposition output back into families and
+// samples, enforcing the structural rules a Prometheus scraper relies on:
+// samples must follow their family's # TYPE header, histogram buckets
+// must be cumulative (non-decreasing) and end with le="+Inf" matching
+// _count. It exists so tests can validate /metrics at the parser level
+// rather than by string matching.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var fams []*PromFamily
+	byName := map[string]*PromFamily{}
+	cur := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if f := byName[name]; f != nil {
+				f.Help = help
+			} else {
+				f = &PromFamily{Name: name, Type: "untyped", Help: help}
+				fams = append(fams, f)
+				byName[name] = f
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			f := byName[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				fams = append(fams, f)
+				byName[name] = f
+			}
+			f.Type = typ
+			cur = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t := strings.TrimSuffix(s.Name, suf); t != s.Name && byName[t] != nil && byName[t].Type == "histogram" {
+				base = t
+				break
+			}
+		}
+		f := byName[base]
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %q before any TYPE header", lineNo, s.Name)
+		}
+		if base != cur {
+			return nil, fmt.Errorf("line %d: sample %q outside its family block (current %q)", lineNo, s.Name, cur)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]PromFamily, 0, len(fams))
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, *f)
+	}
+	return out, nil
+}
+
+// parseSample parses `name{l="v",...} value` (labels optional).
+func parseSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return fmt.Errorf("malformed labels %q", body)
+		}
+		name := body[:eq]
+		if !validName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		var val strings.Builder
+		j := eq + 2
+		for ; j < len(body); j++ {
+			if body[j] == '\\' && j+1 < len(body) {
+				j++
+				switch body[j] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[j])
+				}
+				continue
+			}
+			if body[j] == '"' {
+				break
+			}
+			val.WriteByte(body[j])
+		}
+		if j >= len(body) {
+			return fmt.Errorf("unterminated label value in %q", body)
+		}
+		out[name] = val.String()
+		body = body[j+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return nil
+}
+
+// checkHistogram enforces cumulative buckets ending at le="+Inf" whose
+// count matches _count, per labeled series.
+func checkHistogram(f *PromFamily) error {
+	type key = string
+	buckets := map[key][]PromSample{}
+	counts := map[key]float64{}
+	seriesKey := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			buckets[seriesKey(s.Labels)] = append(buckets[seriesKey(s.Labels)], s)
+		case f.Name + "_count":
+			counts[seriesKey(s.Labels)] = s.Value
+		}
+	}
+	for k, bs := range buckets {
+		prev := -1.0
+		prevLe := math.Inf(-1)
+		sawInf := false
+		for _, b := range bs {
+			leStr, ok := b.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("%s: bad le %q", f.Name, leStr)
+				}
+				le = v
+			} else {
+				sawInf = true
+			}
+			if le <= prevLe {
+				return fmt.Errorf("%s: bucket bounds not ascending at le=%q", f.Name, leStr)
+			}
+			if b.Value < prev {
+				return fmt.Errorf("%s: buckets not cumulative at le=%q", f.Name, leStr)
+			}
+			prev = b.Value
+			prevLe = le
+		}
+		if !sawInf {
+			return fmt.Errorf("%s: missing le=\"+Inf\" bucket", f.Name)
+		}
+		if c, ok := counts[k]; ok && c != prev {
+			return fmt.Errorf("%s: +Inf bucket %g != _count %g", f.Name, prev, c)
+		}
+	}
+	return nil
+}

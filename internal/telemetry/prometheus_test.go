@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.").Add(3)
+	r.Gauge("queue_depth", "Jobs waiting.").Set(7)
+	v := r.CounterVec("responses_total", "By code.", "code")
+	v.With("200").Add(2)
+	v.With("429").Inc()
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+	r.GaugeVec("weird", "", "path").With(`a\b"c` + "\nd").Set(1)
+	return r
+}
+
+func TestWriteAndParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	if f := byName["requests_total"]; f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != 3 {
+		t.Errorf("requests_total = %+v", f)
+	}
+	if f := byName["queue_depth"]; f.Type != "gauge" || f.Samples[0].Value != 7 {
+		t.Errorf("queue_depth = %+v", f)
+	}
+	codes := map[string]float64{}
+	for _, s := range byName["responses_total"].Samples {
+		codes[s.Labels["code"]] = s.Value
+	}
+	if codes["200"] != 2 || codes["429"] != 1 {
+		t.Errorf("responses_total = %v", codes)
+	}
+
+	lat := byName["latency_seconds"]
+	if lat.Type != "histogram" {
+		t.Fatalf("latency type %q", lat.Type)
+	}
+	// 2 bounds + +Inf + sum + count = 5 samples.
+	if len(lat.Samples) != 5 {
+		t.Errorf("latency samples = %d: %+v", len(lat.Samples), lat.Samples)
+	}
+	var infBucket, count float64
+	for _, s := range lat.Samples {
+		switch {
+		case s.Name == "latency_seconds_bucket" && s.Labels["le"] == "+Inf":
+			infBucket = s.Value
+		case s.Name == "latency_seconds_count":
+			count = s.Value
+		}
+	}
+	if infBucket != 3 || count != 3 {
+		t.Errorf("+Inf bucket %g, count %g, want 3", infBucket, count)
+	}
+
+	// Label escaping survives the round trip.
+	weird := byName["weird"].Samples[0]
+	if got := weird.Labels["path"]; got != `a\b"c`+"\nd" {
+		t.Errorf("escaped label = %q", got)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("exposition not deterministic:\n--- a\n%s\n--- b\n%s", a.String(), b.String())
+	}
+}
+
+func TestParseRejectsBrokenHistogram(t *testing.T) {
+	broken := `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`
+	if _, err := ParsePrometheus(strings.NewReader(broken)); err == nil {
+		t.Error("non-cumulative buckets accepted")
+	}
+	noInf := `# TYPE h histogram
+h_bucket{le="1"} 5
+h_sum 1
+h_count 5
+`
+	if _, err := ParsePrometheus(strings.NewReader(noInf)); err == nil {
+		t.Error("missing +Inf bucket accepted")
+	}
+	orphan := "orphan_metric 1\n"
+	if _, err := ParsePrometheus(strings.NewReader(orphan)); err == nil {
+		t.Error("sample without TYPE header accepted")
+	}
+}
+
+func TestParseCountMismatch(t *testing.T) {
+	bad := `# TYPE h histogram
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 4
+`
+	if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+		t.Error("+Inf/_count mismatch accepted")
+	}
+}

@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind is a metric family's type in the Prometheus sense.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Registry holds named metric families. Families and series are created
+// once (get-or-create) and live for the registry's lifetime; handles
+// returned by the accessors are stable, so hot paths hold a *Counter /
+// *Gauge / *Histogram directly and never touch the registry again.
+//
+// Registration panics on misuse — invalid metric name, re-registering a
+// name with a different kind or label set — because metric layout is part
+// of the program, not of its input.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name       string
+	help       string
+	kind       Kind
+	bounds     []float64 // histogram bucket template
+	labelNames []string
+
+	mu     sync.Mutex
+	series map[string]*series // key: label values joined with \xff
+}
+
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) getFamily(name, help string, kind Kind, bounds []float64, labelNames []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds,
+			labelNames: labelNames, series: map[string]*series{}}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: %q re-registered as %v, was %v", name, kind, f.kind))
+	}
+	if len(f.labelNames) != len(labelNames) {
+		panic(fmt.Sprintf("telemetry: %q re-registered with %d labels, had %d", name, len(labelNames), len(f.labelNames)))
+	}
+	for i := range labelNames {
+		if f.labelNames[i] != labelNames[i] {
+			panic(fmt.Sprintf("telemetry: %q re-registered with label %q, had %q", name, labelNames[i], f.labelNames[i]))
+		}
+	}
+	return f
+}
+
+const keySep = "\xff"
+
+func (f *family) getSeries(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: %q wants %d label values, got %d", f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, keySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		switch f.kind {
+		case KindCounter:
+			s.c = &Counter{}
+		case KindGauge:
+			s.g = &Gauge{}
+		case KindHistogram:
+			s.h = NewHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the unlabeled counter with this name, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.getFamily(name, help, KindCounter, nil, nil).getSeries(nil).c
+}
+
+// Gauge returns the unlabeled gauge with this name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.getFamily(name, help, KindGauge, nil, nil).getSeries(nil).g
+}
+
+// Histogram returns the unlabeled histogram with this name, creating it
+// (with the given bucket bounds) on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.getFamily(name, help, KindHistogram, bounds, nil).getSeries(nil).h
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family with this name.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.getFamily(name, help, KindCounter, nil, labelNames)}
+}
+
+// With returns the counter for the given label values (one per label
+// name, in order), creating it on first use.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.getSeries(labelValues).c
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family with this name.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.getFamily(name, help, KindGauge, nil, labelNames)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.getSeries(labelValues).g
+}
+
+// HistogramVec is a family of histograms distinguished by label values;
+// every member shares the family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family with this name.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{r.getFamily(name, help, KindHistogram, bounds, labelNames)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.getSeries(labelValues).h
+}
+
+// Snapshot is a point-in-time copy of every registered series, ordered
+// deterministically: families by name, series by label values. Two
+// snapshots of identical metric state render to identical exposition
+// text.
+type Snapshot struct {
+	Families []FamilySnapshot
+}
+
+// FamilySnapshot is one metric family in a snapshot.
+type FamilySnapshot struct {
+	Name       string
+	Help       string
+	Kind       Kind
+	LabelNames []string
+	Series     []SeriesSnapshot
+}
+
+// SeriesSnapshot is one labeled series in a snapshot. Value holds the
+// counter or gauge reading; histograms use Buckets/Sum/Count instead.
+type SeriesSnapshot struct {
+	LabelValues []string
+	Value       float64
+	Buckets     []Bucket // cumulative; last entry is the +Inf bucket
+	Sum         float64
+	Count       uint64
+}
+
+// Bucket is one cumulative histogram bucket. A math.Inf(1) UpperBound
+// marks the overflow bucket.
+type Bucket struct {
+	UpperBound      float64
+	CumulativeCount uint64
+}
+
+// Snapshot copies the current value of every series. It is safe to call
+// concurrently with hot-path updates; each series is read atomically,
+// though the snapshot as a whole is not a single atomic cut.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var snap Snapshot
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, LabelNames: f.labelNames}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			ss := SeriesSnapshot{LabelValues: s.labelValues}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(s.c.Value())
+			case KindGauge:
+				ss.Value = s.g.Value()
+			case KindHistogram:
+				cum := s.h.snapshotBuckets()
+				ss.Buckets = make([]Bucket, len(cum))
+				for i, c := range cum {
+					ub := inf
+					if i < len(s.h.bounds) {
+						ub = s.h.bounds[i]
+					}
+					ss.Buckets[i] = Bucket{UpperBound: ub, CumulativeCount: c}
+				}
+				ss.Sum = s.h.Sum()
+				ss.Count = s.h.Count()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.Unlock()
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}

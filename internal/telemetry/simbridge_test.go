@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"dessched/internal/admission"
+	"dessched/internal/baseline"
+	"dessched/internal/sim"
+	"dessched/internal/trace"
+	"dessched/internal/workload"
+	"dessched/internal/yds"
+)
+
+// chaoticRun simulates a short faulty, admission-controlled run with the
+// collector (and any extra recorder) attached, returning the result.
+func chaoticRun(t *testing.T, col *SimCollector, extra sim.Recorder) sim.Result {
+	t.Helper()
+	cfg := sim.PaperConfig()
+	cfg.Cores = 4
+	cfg.Budget = 80
+	cfg.Triggers = sim.Triggers{IdleCore: true}
+	cfg.Faults = []sim.Fault{
+		{Core: 1, Start: 0.2, End: 0.6, SpeedFactor: 0.5},
+		{Core: 2, Start: 0.5, End: 1.0, SpeedFactor: 0}, // outage
+	}
+	cfg.BudgetFaults = []sim.BudgetFault{{Start: 1.0, End: 1.5, Fraction: 0.5}}
+	cfg.Admission = admission.Config{Policy: admission.TailDrop, MaxQueue: 24}
+	var rec sim.Recorder = col
+	if extra != nil {
+		rec = MultiRecorder(extra, col)
+	}
+	cfg.Recorder = rec
+	cfg.Observer = col.Observe
+
+	wl := workload.DefaultConfig(220)
+	wl.Duration = 2
+	wl.Seed = 7
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(cfg, jobs, baseline.New(baseline.FCFS, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Finish(res)
+	return res
+}
+
+func TestSimCollectorMatchesResult(t *testing.T) {
+	reg := NewRegistry()
+	col := NewSimCollector(reg, 4)
+	tr := trace.New(4)
+	res := chaoticRun(t, col, tr)
+
+	snap := reg.Snapshot()
+	get := func(name string, labels ...string) float64 {
+		for _, f := range snap.Families {
+			if f.Name != name {
+				continue
+			}
+			for _, s := range f.Series {
+				if len(s.LabelValues) != len(labels) {
+					continue
+				}
+				match := true
+				for i := range labels {
+					if s.LabelValues[i] != labels[i] {
+						match = false
+					}
+				}
+				if match {
+					return s.Value
+				}
+			}
+		}
+		t.Fatalf("metric %s%v not found", name, labels)
+		return 0
+	}
+
+	if got := get("sim_events_total", "arrival"); got != float64(res.Arrived) {
+		t.Errorf("arrival events %g != arrived %d", got, res.Arrived)
+	}
+	if got := get("sim_events_total", "invoke"); got != float64(res.Invocation) {
+		t.Errorf("invoke events %g != invocations %d", got, res.Invocation)
+	}
+	if got := get("sim_jobs_total", "completed"); got != float64(res.Completed) {
+		t.Errorf("completed %g != %d", got, res.Completed)
+	}
+	if got := get("sim_jobs_total", "shed"); got != float64(res.Shed) {
+		t.Errorf("shed %g != %d", got, res.Shed)
+	}
+	if res.Shed == 0 {
+		t.Error("expected the admission stage to shed under this load")
+	}
+	if got := get("sim_norm_quality"); got != res.NormQuality {
+		t.Errorf("norm quality %g != %g", got, res.NormQuality)
+	}
+
+	// The quality histogram saw every departed job.
+	departures := res.Completed + res.Deadlined + res.Discarded + res.Shed
+	for _, f := range snap.Families {
+		if f.Name == "sim_job_quality" {
+			if int(f.Series[0].Count) != departures {
+				t.Errorf("quality observations %d != departures %d", f.Series[0].Count, departures)
+			}
+		}
+	}
+
+	// Busy time agrees with the teed schedule trace per core.
+	perCore := make([]float64, 4)
+	for _, e := range tr.Entries {
+		perCore[e.Core] += e.End - e.Start
+	}
+	for i, want := range perCore {
+		got := get("sim_core_busy_seconds", strconv.Itoa(i))
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("core %d busy %g != trace %g", i, got, want)
+		}
+	}
+
+	// The whole snapshot renders to valid, parseable exposition text.
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePrometheus(&buf); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+}
+
+// Two identical seeded runs must produce byte-identical exposition
+// snapshots — the determinism contract behind `desim sim -telemetry`.
+func TestSimCollectorDeterministicSnapshots(t *testing.T) {
+	render := func() string {
+		reg := NewRegistry()
+		col := NewSimCollector(reg, 4)
+		chaoticRun(t, col, nil)
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("snapshots differ across identical runs:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+}
+
+func TestSimCollectorHotPathZeroAllocs(t *testing.T) {
+	col := NewSimCollector(NewRegistry(), 2)
+	ev := sim.Event{Kind: sim.EvComplete, Job: 1, Core: 0, Queue: 3, Quality: 0.8}
+	if n := testing.AllocsPerRun(1000, func() { col.Observe(ev) }); n != 0 {
+		t.Errorf("Observe allocates %.1f/op", n)
+	}
+	seg := yds.Segment{ID: 1, Start: 0, End: 0.5, Speed: 2.0}
+	if n := testing.AllocsPerRun(1000, func() { col.RecordExec(0, seg) }); n != 0 {
+		t.Errorf("RecordExec allocates %.1f/op", n)
+	}
+}
