@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race bench verify chaos report fuzz cover fmt vet clean trace-view
+.PHONY: all build test test-race bench bench-json verify chaos report fuzz cover fmt vet clean trace-view
 
 all: build vet test
 
@@ -19,6 +19,15 @@ test-race:
 # Miniature reproduction of every figure as Go benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable simulator throughput baseline. Override BENCH_OUT to
+# write elsewhere, BENCH_FLAGS for fidelity or comparison, e.g.
+#   make bench-json BENCH_FLAGS=-quick
+#   make bench-json BENCH_OUT=bench-ci.json BENCH_FLAGS="-quick -compare BENCH_sim.json"
+BENCH_OUT ?= BENCH_sim.json
+BENCH_FLAGS ?=
+bench-json:
+	$(GO) run ./cmd/desim bench -out $(BENCH_OUT) $(BENCH_FLAGS)
 
 # CI gate: every §V claim of the paper must hold.
 verify:

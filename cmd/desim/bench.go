@@ -1,0 +1,264 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"dessched"
+	"dessched/internal/power"
+)
+
+// benchSchema identifies the BENCH_sim.json layout; bump on breaking change.
+const benchSchema = "dessched-bench/v1"
+
+// BenchReport is the machine-readable output of `desim bench`. It pins the
+// end-to-end simulator throughput on fixed scenarios so regressions show up
+// as numbers, not as slower CI.
+type BenchReport struct {
+	Schema    string          `json:"schema"`
+	Timestamp string          `json:"timestamp"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	Scenarios []BenchScenario `json:"scenarios"`
+}
+
+// BenchScenario is one measured configuration. Rates are computed from the
+// best (fastest) repeat, matching testing.B's convention that noise only
+// ever slows a run down.
+type BenchScenario struct {
+	Name           string  `json:"name"`
+	SimSeconds     float64 `json:"sim_seconds"`    // simulated horizon
+	Jobs           int     `json:"jobs"`           // workload size
+	Events         int     `json:"events"`         // event-queue pops per run
+	Repeats        int     `json:"repeats"`        // measured repeats (best taken)
+	WallSeconds    float64 `json:"wall_seconds"`   // best repeat wall time
+	EventsPerSec   float64 `json:"events_per_sec"` // Events / WallSeconds
+	NsPerEvent     float64 `json:"ns_per_event"`   // WallSeconds * 1e9 / Events
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// benchCase builds a scenario: a server config, a job stream, and a policy
+// factory (a fresh policy per repeat, as a service would construct one
+// scheduler per server lifetime, not per run).
+type benchCase struct {
+	name  string
+	sim   float64
+	setup func(simSeconds float64) (dessched.ServerConfig, []dessched.Job, func() dessched.Policy, error)
+}
+
+// benchCases are the fixed measurement scenarios. cdvfs-single mirrors
+// BenchmarkSimulateDESRate200 in bench_test.go: the paper server at 200 req/s
+// under C-DVFS — the headline hot path.
+func benchCases(simSeconds float64) []benchCase {
+	paper := func(arch dessched.Arch, mutate func(*dessched.ServerConfig)) func(float64) (dessched.ServerConfig, []dessched.Job, func() dessched.Policy, error) {
+		return func(d float64) (dessched.ServerConfig, []dessched.Job, func() dessched.Policy, error) {
+			cfg := dessched.PaperServer()
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			dessched.ApplyArch(&cfg, arch)
+			wl := dessched.PaperWorkload(200)
+			wl.Duration = d
+			jobs, err := dessched.GenerateWorkload(wl)
+			return cfg, jobs, func() dessched.Policy { return dessched.NewDES(arch) }, err
+		}
+	}
+	return []benchCase{
+		{name: "cdvfs-single", sim: simSeconds, setup: paper(dessched.CDVFS, nil)},
+		{name: "cdvfs-discrete", sim: simSeconds, setup: paper(dessched.CDVFS, func(cfg *dessched.ServerConfig) {
+			cfg.Ladder = power.DefaultLadder
+		})},
+		{name: "sdvfs", sim: simSeconds, setup: paper(dessched.SDVFS, nil)},
+		{name: "chaos-admission", sim: simSeconds, setup: func(d float64) (dessched.ServerConfig, []dessched.Job, func() dessched.Policy, error) {
+			cfg := dessched.PaperServer()
+			cfg.Cores = 8
+			cfg.Budget = 160
+			dessched.ApplyArch(&cfg, dessched.CDVFS)
+			plan, err := dessched.DefaultChaos(1, d, cfg.Cores).Generate()
+			if err != nil {
+				return cfg, nil, nil, err
+			}
+			wl := dessched.PaperWorkload(120)
+			wl.Duration = d
+			wl.Seed = 1
+			wl.Bursts = plan.Apply(&cfg)
+			cfg.Admission = dessched.AdmissionConfig{Policy: dessched.QualityAware, MaxQueue: 64}
+			jobs, err := dessched.GenerateWorkload(wl)
+			return cfg, jobs, func() dessched.Policy { return dessched.NewDES(dessched.CDVFS) }, err
+		}},
+	}
+}
+
+// measureScenario runs one case `repeats` times and keeps the fastest wall
+// time; allocation counts are per-run medians in spirit but in practice are
+// deterministic, so the best repeat's are reported.
+func measureScenario(c benchCase, repeats int) (BenchScenario, error) {
+	cfg, jobs, newPolicy, err := c.setup(c.sim)
+	if err != nil {
+		return BenchScenario{}, fmt.Errorf("%s: setup: %w", c.name, err)
+	}
+	// One untimed warm-up run to populate lazy state and steady the heap.
+	res, err := dessched.Simulate(cfg, jobs, newPolicy())
+	if err != nil {
+		return BenchScenario{}, fmt.Errorf("%s: %w", c.name, err)
+	}
+	sc := BenchScenario{
+		Name:        c.name,
+		SimSeconds:  c.sim,
+		Jobs:        len(jobs),
+		Events:      res.Events,
+		Repeats:     repeats,
+		WallSeconds: math.Inf(1),
+	}
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < repeats; r++ {
+		p := newPolicy()
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		res, err = dessched.Simulate(cfg, jobs, p)
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return BenchScenario{}, fmt.Errorf("%s: %w", c.name, err)
+		}
+		if res.Events != sc.Events {
+			return BenchScenario{}, fmt.Errorf("%s: event count drifted across repeats (%d vs %d) — nondeterminism", c.name, res.Events, sc.Events)
+		}
+		if wall < sc.WallSeconds {
+			sc.WallSeconds = wall
+			ev := float64(res.Events)
+			sc.EventsPerSec = ev / wall
+			sc.NsPerEvent = wall * 1e9 / ev
+			sc.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / ev
+			sc.BytesPerEvent = float64(ms1.TotalAlloc-ms0.TotalAlloc) / ev
+		}
+	}
+	return sc, nil
+}
+
+// cmdBench measures simulator throughput on the fixed scenarios and writes
+// BENCH_sim.json. With -compare it also diffs against a previous baseline
+// and fails when any scenario regressed beyond the threshold — CI runs the
+// comparison step with continue-on-error so the failure is advisory.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_sim.json", "write the JSON baseline to this file")
+	compare := fs.String("compare", "", "diff against this previous BENCH_sim.json; exit 1 on regression")
+	repeats := fs.Int("repeats", 3, "measured repeats per scenario (fastest kept)")
+	duration := fs.Float64("duration", 5, "simulated seconds per scenario")
+	threshold := fs.Float64("threshold", 0.30, "relative ns/event (or allocs/event) slowdown that counts as a regression")
+	quick := fs.Bool("quick", false, "smoke fidelity: 1 s horizon, 1 repeat")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *quick {
+		*duration = 1
+		*repeats = 1
+	}
+	if *repeats < 1 || *duration <= 0 {
+		return fmt.Errorf("need -repeats >= 1 and -duration > 0")
+	}
+
+	rep := BenchReport{
+		Schema:    benchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range benchCases(*duration) {
+		sc, err := measureScenario(c, *repeats)
+		if err != nil {
+			return err
+		}
+		rep.Scenarios = append(rep.Scenarios, sc)
+		fmt.Printf("%-16s %9d events  %11.0f events/s  %7.0f ns/event  %6.2f allocs/event  %7.0f B/event\n",
+			sc.Name, sc.Events, sc.EventsPerSec, sc.NsPerEvent, sc.AllocsPerEvent, sc.BytesPerEvent)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(rep)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("baseline written to %s\n", *out)
+	}
+
+	if *compare != "" {
+		return compareBench(rep, *compare, *threshold)
+	}
+	return nil
+}
+
+// compareBench diffs the fresh report against a stored baseline. Scenarios
+// present only on one side are reported but not fatal (the scenario set may
+// evolve); a matched scenario regressing past the threshold is.
+func compareBench(fresh BenchReport, baselinePath string, threshold float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base BenchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("compare: %s: %w", baselinePath, err)
+	}
+	if base.Schema != benchSchema {
+		return fmt.Errorf("compare: %s has schema %q, want %q", baselinePath, base.Schema, benchSchema)
+	}
+	byName := make(map[string]BenchScenario, len(base.Scenarios))
+	for _, sc := range base.Scenarios {
+		byName[sc.Name] = sc
+	}
+	regressed := 0
+	for _, sc := range fresh.Scenarios {
+		old, ok := byName[sc.Name]
+		if !ok {
+			fmt.Printf("%-16s new scenario, no baseline\n", sc.Name)
+			continue
+		}
+		delete(byName, sc.Name)
+		dt := rel(sc.NsPerEvent, old.NsPerEvent)
+		da := rel(sc.AllocsPerEvent, old.AllocsPerEvent)
+		status := "ok"
+		if dt > threshold || da > threshold {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-16s ns/event %+.1f%%  allocs/event %+.1f%%  %s\n", sc.Name, dt*100, da*100, status)
+	}
+	for name := range byName {
+		fmt.Printf("%-16s present in baseline only\n", name)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d scenario(s) regressed more than %.0f%% vs %s", regressed, threshold*100, baselinePath)
+	}
+	return nil
+}
+
+// rel returns the relative change from old to cur, treating a zero or
+// near-zero baseline as "no regression measurable" (e.g. allocs/event that
+// was already ~0 stays comparable only in absolute terms).
+func rel(cur, old float64) float64 {
+	if old < 1e-12 {
+		return 0
+	}
+	return (cur - old) / old
+}

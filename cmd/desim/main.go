@@ -13,6 +13,8 @@
 //	desim chaos -seed 1 [-rate 120] [-duration 30] [-cores 16] [-budget 320]
 //	            [-core-faults 3] [-budget-faults 1] [-bursts 1]
 //	            [-admission quality-aware -max-queue 64]
+//	desim bench [-out BENCH_sim.json] [-compare old.json] [-quick]
+//	desim verify [-duration 40]
 package main
 
 import (
@@ -47,6 +49,8 @@ func main() {
 		err = cmdSim(os.Args[2:])
 	case "chaos":
 		err = cmdChaos(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
@@ -69,14 +73,20 @@ func usage() {
   desim run -all [flags]              regenerate every figure
   desim sim [flags]                   run a single simulation
   desim chaos [flags]                 seeded fault-injection soak + resilience report
+  desim bench [flags]                 measure simulator throughput, write BENCH_sim.json
   desim verify [-duration s]          check every paper claim; exit 1 on failure
-run flags: -duration s  -seed n  -rates a,b,c  -paper  -quick  -out file
+run flags: -duration s  -seed n  -replicas n  -workers n  -rates a,b,c
+           -paper  -quick  -out file  -chart  -csv dir
+           (presets set the baseline; explicit flags override them)
 sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
            -rate r  -cores m  -budget W  -partial f  -duration s  -seed n
-           -trace file.csv  -chaos-seed n  -telemetry file.prom  -perfetto file.json
+           -trace file.csv  -events  -chaos-seed n
+           -telemetry file.prom  -perfetto file.json
 chaos flags: -seed n  -rate r  -duration s  -cores m  -budget W  -arch c|s|no
              -core-faults n  -budget-faults n  -bursts n  -outage-frac f
-             -admission none|tail-drop|quality-aware  -max-queue n`)
+             -admission none|tail-drop|quality-aware  -max-queue n
+bench flags: -out file.json  -compare old.json  -threshold f
+             -repeats n  -duration s  -quick`)
 }
 
 func cmdList() error {
@@ -90,10 +100,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	exp := fs.String("exp", "", "experiment id (see `desim list`)")
 	all := fs.Bool("all", false, "run every experiment")
-	duration := fs.Float64("duration", 60, "simulated seconds per data point")
-	seed := fs.Uint64("seed", 1, "workload seed")
-	replicas := fs.Int("replicas", 1, "replicate each point with consecutive seeds; >1 adds std-dev tables")
-	workers := fs.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+	registerRunOptionFlags(fs)
 	rates := fs.String("rates", "", "comma-separated arrival-rate sweep override")
 	paper := fs.Bool("paper", false, "full paper fidelity (1800 s per point)")
 	quick := fs.Bool("quick", false, "smoke-test fidelity (10 s, 3 rates)")
@@ -107,22 +114,9 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("need -exp <id> or -all")
 	}
 
-	o := experiments.Options{Duration: *duration, Seed: *seed, Replicas: *replicas, Workers: *workers}
-	if *paper {
-		o = experiments.PaperOptions()
-	}
-	if *quick {
-		o = experiments.QuickOptions()
-	}
-	if *rates != "" {
-		o.Rates = nil
-		for _, f := range strings.Split(*rates, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return fmt.Errorf("bad rate %q: %w", f, err)
-			}
-			o.Rates = append(o.Rates, v)
-		}
+	o, err := resolveRunOptions(fs, *paper, *quick, *rates)
+	if err != nil {
+		return err
 	}
 
 	w := io.Writer(os.Stdout)
@@ -182,6 +176,61 @@ func cmdRun(args []string) error {
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// registerRunOptionFlags declares the option-bearing `run` flags on fs.
+// resolveRunOptions reads them back by name, so registration is shared
+// between cmdRun and the regression tests.
+func registerRunOptionFlags(fs *flag.FlagSet) {
+	fs.Float64("duration", 60, "simulated seconds per data point")
+	fs.Uint64("seed", 1, "workload seed")
+	fs.Int("replicas", 1, "replicate each point with consecutive seeds; >1 adds std-dev tables")
+	fs.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS)")
+}
+
+// resolveRunOptions builds the experiment options from a parsed `run` flag
+// set. Presets (-paper / -quick) establish the baseline; any explicitly set
+// -duration/-seed/-replicas/-workers flag then overrides the preset, so
+// `desim run -all -quick -duration 20` runs the quick sweep at 20 simulated
+// seconds. (Presets used to replace the options wholesale, silently
+// discarding explicit flags.) -rates overrides the sweep in all cases.
+func resolveRunOptions(fs *flag.FlagSet, paper, quick bool, rates string) (experiments.Options, error) {
+	get := func(name string) any { return fs.Lookup(name).Value.(flag.Getter).Get() }
+	o := experiments.Options{
+		Duration: get("duration").(float64),
+		Seed:     get("seed").(uint64),
+		Replicas: get("replicas").(int),
+		Workers:  get("workers").(int),
+	}
+	if paper {
+		o = experiments.PaperOptions()
+	}
+	if quick {
+		o = experiments.QuickOptions()
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "duration":
+			o.Duration = get("duration").(float64)
+		case "seed":
+			o.Seed = get("seed").(uint64)
+		case "replicas":
+			o.Replicas = get("replicas").(int)
+		case "workers":
+			o.Workers = get("workers").(int)
+		}
+	})
+	if rates != "" {
+		o.Rates = nil
+		for _, f := range strings.Split(rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return o, fmt.Errorf("bad rate %q: %w", f, err)
+			}
+			o.Rates = append(o.Rates, v)
+		}
+	}
+	return o, nil
 }
 
 // cmdVerify runs the claims experiment and fails the process when any

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"dessched/internal/experiments"
+)
+
+func parseRunOptions(t *testing.T, args ...string) experiments.Options {
+	t.Helper()
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	registerRunOptionFlags(fs)
+	rates := fs.String("rates", "", "")
+	paper := fs.Bool("paper", false, "")
+	quick := fs.Bool("quick", false, "")
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	o, err := resolveRunOptions(fs, *paper, *quick, *rates)
+	if err != nil {
+		t.Fatalf("resolve %v: %v", args, err)
+	}
+	return o
+}
+
+// Explicit flags must survive a preset: `-quick -duration 20` used to run at
+// the preset's 10 s because -quick replaced the options wholesale.
+func TestRunOptionsPresetDoesNotClobberExplicitFlags(t *testing.T) {
+	o := parseRunOptions(t, "-quick", "-duration", "20", "-seed", "7")
+	if o.Duration != 20 {
+		t.Errorf("-quick -duration 20: Duration = %g, want 20", o.Duration)
+	}
+	if o.Seed != 7 {
+		t.Errorf("-quick -seed 7: Seed = %d, want 7", o.Seed)
+	}
+	// Preset fields not explicitly overridden stay from the preset.
+	if want := experiments.QuickOptions().Rates; len(o.Rates) != len(want) {
+		t.Errorf("-quick rates = %v, want preset %v", o.Rates, want)
+	}
+
+	o = parseRunOptions(t, "-paper", "-replicas", "3", "-workers", "2")
+	if o.Duration != experiments.PaperOptions().Duration {
+		t.Errorf("-paper Duration = %g, want %g", o.Duration, experiments.PaperOptions().Duration)
+	}
+	if o.Replicas != 3 || o.Workers != 2 {
+		t.Errorf("-paper -replicas 3 -workers 2: got replicas=%d workers=%d", o.Replicas, o.Workers)
+	}
+}
+
+// Flag order must not matter: the overlay keys off "was the flag set", not
+// positional precedence.
+func TestRunOptionsOrderIndependent(t *testing.T) {
+	a := parseRunOptions(t, "-duration", "20", "-quick")
+	b := parseRunOptions(t, "-quick", "-duration", "20")
+	if a.Duration != b.Duration || a.Duration != 20 {
+		t.Errorf("order-dependent: %g vs %g, want 20", a.Duration, b.Duration)
+	}
+}
+
+// Without a preset, the flags pass straight through with their defaults.
+func TestRunOptionsNoPreset(t *testing.T) {
+	o := parseRunOptions(t)
+	if o.Duration != 60 || o.Seed != 1 || o.Replicas != 1 || o.Workers != 0 {
+		t.Errorf("defaults: %+v", o)
+	}
+	o = parseRunOptions(t, "-duration", "5")
+	if o.Duration != 5 {
+		t.Errorf("Duration = %g, want 5", o.Duration)
+	}
+}
+
+// -rates overrides the sweep regardless of preset, and bad rates error.
+func TestRunOptionsRates(t *testing.T) {
+	o := parseRunOptions(t, "-quick", "-rates", "100, 140,180")
+	want := []float64{100, 140, 180}
+	if len(o.Rates) != len(want) {
+		t.Fatalf("rates = %v, want %v", o.Rates, want)
+	}
+	for i := range want {
+		if o.Rates[i] != want[i] {
+			t.Fatalf("rates = %v, want %v", o.Rates, want)
+		}
+	}
+
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	registerRunOptionFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveRunOptions(fs, false, false, "1x0"); err == nil {
+		t.Error("bad -rates accepted")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"dessched/internal/dist"
 	"dessched/internal/job"
+	"dessched/internal/power"
 	"dessched/internal/qeopt"
 	"dessched/internal/sim"
 	"dessched/internal/yds"
@@ -54,6 +55,19 @@ func (a Arch) String() string {
 	}
 }
 
+// coreScratch holds one core's reusable planning state. The two plan
+// buffers ping-pong: the simulator's installed plan aliases one of them
+// (SetPlan retains the segment slice), so each new plan is built into the
+// other and the roles swap at install.
+type coreScratch struct {
+	planner qeopt.Planner
+	ready   []job.Ready
+	tasks   []yds.Task
+	reqScr  yds.Scratch
+	bufs    [2]qeopt.Plan
+	cur     int // index of the buffer holding the installed plan
+}
+
 // DES is the Dynamic Equal Sharing policy. The zero value is not usable;
 // construct with New. DES implements sim.Policy.
 type DES struct {
@@ -64,7 +78,40 @@ type DES struct {
 	// staticPower replaces the WF distribution with a static equal share —
 	// the ablation isolating §IV-C's contribution.
 	staticPower bool
-	crr         *dist.CRR
+	// naive disables every hot-path optimization: per-core planners, plan
+	// buffers, the request-only YDS shortcut, and the WF memo. Planning
+	// then runs the original allocate-everything structure through the
+	// package-level entry points — the reference the golden equivalence
+	// test compares against.
+	naive bool
+	crr   *dist.CRR
+
+	// Reusable per-invocation state (see coreScratch for per-core state).
+	cores   []coreScratch
+	avail   []bool
+	targets []int
+	victims []*sim.JobState
+	filler  dist.Filler
+
+	requests []float64
+	budgets  []float64
+	speeds   []float64
+
+	// WF memo: when this invocation's request vector, effective budget and
+	// power environment are bit-identical to the previous invocation's, the
+	// distribution is reused instead of recomputed. WF is a pure function,
+	// so the reused vector is the one it would return.
+	wfValid  bool
+	wfBudget float64
+	wfReqs   []float64
+	wfModel  power.Model
+	wfLadder power.Ladder
+
+	// Memoized DynamicPower(MaxSpeed), a run-wide constant.
+	maxPowValid bool
+	maxPowModel power.Model
+	maxPowSpeed float64
+	maxPow      float64
 }
 
 // New returns a DES policy for the given architecture.
@@ -77,6 +124,14 @@ func NewPlainRR(arch Arch) *DES { return &DES{arch: arch, plainRR: true} }
 // NewStaticPower returns DES with static equal power sharing instead of the
 // dynamic Water-Filling distribution — the ablation comparator for §IV-C.
 func NewStaticPower(arch Arch) *DES { return &DES{arch: arch, staticPower: true} }
+
+// Naive switches the policy to naive planning — recompute everything, every
+// invocation, through freshly allocated buffers, with no memoization or
+// incremental shortcuts — and returns the policy for chaining. The schedule
+// it produces is required (and tested) to be byte-identical to the
+// optimized path; it exists as the reference for that equivalence test and
+// as the before-side of benchmark comparisons.
+func (d *DES) Naive() *DES { d.naive = true; return d }
 
 // Name implements sim.Policy.
 func (d *DES) Name() string {
@@ -131,11 +186,22 @@ func (d *DES) Plan(now float64, s *sim.State) {
 	if d.plainRR {
 		d.crr.Reset()
 	}
+	if len(d.cores) != m {
+		d.cores = make([]coreScratch, m)
+		d.wfValid = false
+	}
 
 	// Step 1: ready-job distribution via C-RR, skipping outaged cores so
 	// evacuated (and fresh) jobs land where they can actually run.
 	waiting := s.DrainQueue()
-	targets := d.crr.AssignAvail(len(waiting), s.AvailableCores())
+	var targets []int
+	if d.naive {
+		targets = d.crr.AssignAvail(len(waiting), s.AvailableCores())
+	} else {
+		d.avail = s.AppendAvailableCores(d.avail)
+		d.targets = d.crr.AppendAssignAvail(d.targets, len(waiting), d.avail)
+		targets = d.targets
+	}
 	for i, js := range waiting {
 		s.Bind(js, targets[i])
 	}
@@ -150,15 +216,90 @@ func (d *DES) Plan(now float64, s *sim.State) {
 	}
 }
 
+// requestSpeed computes a core's requested operating point — the speed of
+// the first segment of its budget-free Energy-OPT schedule — without
+// materializing the schedule (yds.SameReleaseRequest runs only the first
+// critical-prefix selection, which is what determines that speed). It also
+// refreshes the core's ready and task scratch for the later planning steps.
+func (cs *coreScratch) requestSpeed(now float64, c *sim.CoreState) (float64, error) {
+	cs.ready = c.AppendReadyJobs(cs.ready, now)
+	tasks := cs.tasks[:0]
+	for _, r := range cs.ready {
+		if r.Deadline <= now || r.Remaining() <= 0 {
+			continue
+		}
+		tasks = append(tasks, yds.Task{ID: r.ID, Release: now, Deadline: r.Deadline, Volume: r.Remaining()})
+	}
+	cs.tasks = tasks
+	return yds.SameReleaseRequest(now, tasks, &cs.reqScr)
+}
+
+// maxSpeedPower memoizes DynamicPower(MaxSpeed) — constant across a run and
+// previously recomputed (one math.Pow per core) at every invocation.
+func (d *DES) maxSpeedPower(m power.Model, speed float64) float64 {
+	if !(d.maxPowValid && d.maxPowModel == m && d.maxPowSpeed == speed) {
+		d.maxPowModel, d.maxPowSpeed, d.maxPow, d.maxPowValid = m, speed, m.DynamicPower(speed), true
+	}
+	return d.maxPow
+}
+
+func ladderIdentical(a, b power.Ladder) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// wfHit reports whether the memoized distribution is valid for this
+// invocation: bit-equal request vector and budget under the same power
+// environment.
+func (d *DES) wfHit(budget float64, requests []float64, m power.Model, l power.Ladder) bool {
+	if !d.wfValid || len(requests) != len(d.wfReqs) {
+		return false
+	}
+	if math.Float64bits(budget) != math.Float64bits(d.wfBudget) {
+		return false
+	}
+	if d.wfModel != m || !ladderIdentical(d.wfLadder, l) {
+		return false
+	}
+	for i, r := range requests {
+		if math.Float64bits(r) != math.Float64bits(d.wfReqs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *DES) saveWF(budget float64, requests []float64, m power.Model, l power.Ladder) {
+	d.wfBudget = budget
+	d.wfReqs = append(d.wfReqs[:0], requests...)
+	d.wfModel, d.wfLadder = m, l
+	d.wfValid = true
+}
+
 // planFixedSpeed plans every core at one fixed speed: the No-DVFS path and
 // the inner step of S-DVFS.
 func (d *DES) planFixedSpeed(now float64, s *sim.State, speed float64) {
-	for _, c := range s.Cores {
-		plan, err := qeopt.OnlineFixedSpeed(now, c.ReadyJobs(now), speed)
+	for i, c := range s.Cores {
+		if d.naive {
+			plan, err := qeopt.OnlineFixedSpeed(now, c.ReadyJobs(now), speed)
+			if err != nil {
+				panic(fmt.Sprintf("core: fixed-speed planning failed: %v", err))
+			}
+			d.install(s, c.Index, plan)
+			continue
+		}
+		cs := &d.cores[i]
+		cs.ready = c.AppendReadyJobs(cs.ready, now)
+		next := 1 - cs.cur
+		plan, err := cs.planner.FixedSpeed(cs.bufs[next], now, cs.ready, speed)
 		if err != nil {
 			panic(fmt.Sprintf("core: fixed-speed planning failed: %v", err))
 		}
+		cs.bufs[next] = plan
 		d.install(s, c.Index, plan)
+		cs.cur = next
 	}
 }
 
@@ -166,8 +307,14 @@ func (d *DES) planFixedSpeed(now float64, s *sim.State, speed float64) {
 // equal-shares the budget, so all cores run at one common speed (§V-A).
 func (d *DES) planSDVFS(now float64, s *sim.State) {
 	maxReq := 0.0
-	for _, c := range s.Cores {
-		req, _, err := unlimitedPlan(now, c)
+	for i, c := range s.Cores {
+		var req float64
+		var err error
+		if d.naive {
+			req, _, err = unlimitedPlan(now, c)
+		} else {
+			req, err = d.cores[i].requestSpeed(now, c)
+		}
 		if err != nil {
 			panic(fmt.Sprintf("core: budget-free planning failed: %v", err))
 		}
@@ -195,7 +342,110 @@ func (d *DES) planSDVFS(now float64, s *sim.State) {
 // check, WF distribution, and budget-bounded Online-QE (§IV-D steps 2-4).
 // The budget is the effective (possibly budget-faulted) one, so WF
 // redistributes a smaller pool during budget-drop windows.
+//
+// The optimized path differs from planCDVFSNaive only in what it avoids
+// recomputing, never in what it computes: core requests come from the
+// request-only YDS form (bit-identical to the first-segment speed of the
+// full schedule, which is built only when the step-2 exit actually installs
+// it), the WF distribution is reused when its inputs are bit-equal to the
+// previous invocation's, and all intermediate buffers are recycled.
 func (d *DES) planCDVFS(now float64, s *sim.State) {
+	if d.naive {
+		d.planCDVFSNaive(now, s)
+		return
+	}
+	m := len(s.Cores)
+	budget := s.Budget()
+	requests := d.requests[:0]
+	total := 0.0
+	maxSpeedPow := math.Inf(1)
+	if s.Cfg.MaxSpeed > 0 {
+		maxSpeedPow = d.maxSpeedPower(s.Cfg.Power, s.Cfg.MaxSpeed)
+	}
+	for i, c := range s.Cores {
+		speed, err := d.cores[i].requestSpeed(now, c)
+		if err != nil {
+			panic(fmt.Sprintf("core: budget-free planning failed: %v", err))
+		}
+		r := s.Cfg.Power.DynamicPower(speed)
+		if r > maxSpeedPow {
+			r = maxSpeedPow
+		}
+		requests = append(requests, r)
+		total += r
+	}
+	d.requests = requests
+
+	// Step 2 exit: the optimistic schedules fit the budget, every job can
+	// be satisfied. (Under discrete scaling the speeds still need ladder
+	// rectification, so fall through to the budget-bounded path; under the
+	// static-power ablation each core is held to its equal share.)
+	fits := total <= budget
+	if d.staticPower {
+		fits = true
+		for _, r := range requests {
+			if r > budget/float64(m) {
+				fits = false
+				break
+			}
+		}
+	}
+	if fits && s.Cfg.Ladder.Continuous() && s.Cfg.MaxSpeed == 0 {
+		// Materialize the budget-free schedules only now that they are
+		// actually being installed; on the (common) budget-constrained path
+		// they were never needed, only their first-segment speeds.
+		for i, c := range s.Cores {
+			cs := &d.cores[i]
+			next := 1 - cs.cur
+			segs, err := yds.SameReleaseInto(cs.bufs[next].Segments, now, cs.tasks, &cs.reqScr)
+			if err != nil {
+				panic(fmt.Sprintf("core: budget-free planning failed: %v", err))
+			}
+			cs.bufs[next] = qeopt.Plan{Segments: segs}
+			d.install(s, c.Index, cs.bufs[next])
+			cs.cur = next
+		}
+		return
+	}
+
+	// Steps 3-4: WF power distribution, then Online-QE per core.
+	switch {
+	case d.staticPower:
+		d.budgets = d.filler.EqualShare(d.budgets, budget, m)
+	case !s.Cfg.Ladder.Continuous():
+		if !d.wfHit(budget, requests, s.Cfg.Power, s.Cfg.Ladder) {
+			d.budgets, d.speeds = d.filler.WaterFillDiscrete(d.budgets, d.speeds, budget, requests, s.Cfg.Power, s.Cfg.Ladder)
+			d.saveWF(budget, requests, s.Cfg.Power, s.Cfg.Ladder)
+		}
+	default:
+		if !d.wfHit(budget, requests, s.Cfg.Power, s.Cfg.Ladder) {
+			d.budgets = d.filler.WaterFill(d.budgets, budget, requests)
+			d.saveWF(budget, requests, s.Cfg.Power, s.Cfg.Ladder)
+		}
+	}
+	for i, c := range s.Cores {
+		cs := &d.cores[i]
+		cfg := qeopt.Config{
+			Power:    s.Cfg.Power,
+			Budget:   d.budgets[i],
+			Ladder:   s.Cfg.Ladder,
+			MaxSpeed: s.Cfg.MaxSpeed,
+			TwoSpeed: s.Cfg.TwoSpeedDiscrete,
+		}
+		next := 1 - cs.cur
+		plan, err := cs.planner.Online(cs.bufs[next], cfg, now, cs.ready)
+		if err != nil {
+			panic(fmt.Sprintf("core: Online-QE failed on core %d: %v", c.Index, err))
+		}
+		cs.bufs[next] = plan
+		d.install(s, c.Index, plan)
+		cs.cur = next
+	}
+}
+
+// planCDVFSNaive is the reference implementation: full materialization and
+// fresh allocations at every step, exactly the pre-optimization structure.
+func (d *DES) planCDVFSNaive(now float64, s *sim.State) {
 	m := len(s.Cores)
 	budget := s.Budget()
 	requests := make([]float64, m)
@@ -214,10 +464,6 @@ func (d *DES) planCDVFS(now float64, s *sim.State) {
 		total += requests[i]
 	}
 
-	// Step 2 exit: the optimistic schedules fit the budget, every job can
-	// be satisfied. (Under discrete scaling the speeds still need ladder
-	// rectification, so fall through to the budget-bounded path; under the
-	// static-power ablation each core is held to its equal share.)
 	fits := total <= budget
 	if d.staticPower {
 		fits = true
@@ -235,7 +481,6 @@ func (d *DES) planCDVFS(now float64, s *sim.State) {
 		return
 	}
 
-	// Steps 3-4: WF power distribution, then Online-QE per core.
 	var budgets []float64
 	switch {
 	case d.staticPower:
@@ -262,22 +507,27 @@ func (d *DES) planCDVFS(now float64, s *sim.State) {
 }
 
 // install applies a qeopt plan to a core: discards first (so the plan's
-// segment set matches the surviving jobs), then the plan itself.
+// segment set matches the surviving jobs), then the plan itself. Discards
+// are rare, so the victim lookup is a linear scan over the (small) discard
+// list instead of a per-install map.
 func (d *DES) install(s *sim.State, core int, plan qeopt.Plan) {
 	if len(plan.Discarded) > 0 {
-		byID := make(map[job.ID]bool, len(plan.Discarded))
-		for _, id := range plan.Discarded {
-			byID[id] = true
-		}
-		var victims []*sim.JobState
+		victims := d.victims[:0]
 		for _, js := range s.Cores[core].Jobs {
-			if byID[js.Job.ID] {
-				victims = append(victims, js)
+			for _, id := range plan.Discarded {
+				if js.Job.ID == id {
+					victims = append(victims, js)
+					break
+				}
 			}
 		}
 		for _, js := range victims { // Discard mutates Cores[core].Jobs
 			s.Discard(js)
 		}
+		for i := range victims {
+			victims[i] = nil // drop refs for the GC
+		}
+		d.victims = victims[:0]
 	}
 	s.SetPlan(core, plan.Segments)
 }

@@ -44,12 +44,17 @@ func NewCRR(m int) *CRR {
 // Assign distributes n items round-robin and returns the core index of each,
 // continuing from where the previous call stopped (the "cumulative" part).
 func (c *CRR) Assign(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = c.next
+	return c.AppendAssign(nil, n)
+}
+
+// AppendAssign is Assign appending into dst[:0], for allocation-free reuse.
+func (c *CRR) AppendAssign(dst []int, n int) []int {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, c.next)
 		c.next = (c.next + 1) % c.m
 	}
-	return out
+	return dst
 }
 
 // AssignAvail distributes n items round-robin over the available cores
@@ -59,6 +64,12 @@ func (c *CRR) Assign(n int) []int {
 // will miss their deadlines either way, but the assignment stays total and
 // deterministic). avail must have length m.
 func (c *CRR) AssignAvail(n int, avail []bool) []int {
+	return c.AppendAssignAvail(nil, n, avail)
+}
+
+// AppendAssignAvail is AssignAvail appending into dst[:0], for
+// allocation-free reuse across invocations.
+func (c *CRR) AppendAssignAvail(dst []int, n int, avail []bool) []int {
 	if len(avail) != c.m {
 		panic(fmt.Sprintf("dist: AssignAvail got %d availability flags for %d cores", len(avail), c.m))
 	}
@@ -70,17 +81,17 @@ func (c *CRR) AssignAvail(n int, avail []bool) []int {
 		}
 	}
 	if !any {
-		return c.Assign(n)
+		return c.AppendAssign(dst, n)
 	}
-	out := make([]int, n)
-	for i := range out {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
 		for !avail[c.next] {
 			c.next = (c.next + 1) % c.m
 		}
-		out[i] = c.next
+		dst = append(dst, c.next)
 		c.next = (c.next + 1) % c.m
 	}
-	return out
+	return dst
 }
 
 // Cursor returns the core index the next assignment will start from.
@@ -95,36 +106,16 @@ func (c *CRR) Reset() { c.next = 0 }
 // receives more than it requested; when the total request exceeds the
 // budget, cores are filled to a common level (§IV-C).
 func WaterFill(budget float64, requests []float64) []float64 {
-	lo := make([]float64, len(requests))
-	hi := make([]float64, len(requests))
-	for i, r := range requests {
-		if r < 0 {
-			r = 0
-		}
-		hi[i] = r
-	}
-	if budget < 0 {
-		budget = 0
-	}
-	return stats.WaterShares(budget, lo, hi)
+	var f Filler
+	return f.WaterFill(nil, budget, requests)
 }
 
 // EqualShare returns the static equal power split: budget/m for each core.
 // It is the default power policy of the FCFS/LJF/SJF baselines (§V-A) and
 // the S-DVFS architecture.
 func EqualShare(budget float64, m int) []float64 {
-	out := make([]float64, m)
-	if m == 0 {
-		return out
-	}
-	share := budget / float64(m)
-	if share < 0 {
-		share = 0
-	}
-	for i := range out {
-		out[i] = share
-	}
-	return out
+	var f Filler
+	return f.EqualShare(nil, budget, m)
 }
 
 // WaterFillDiscrete performs WF and then rectifies each core's speed to the
@@ -134,22 +125,82 @@ func EqualShare(budget float64, m int) []float64 {
 // unprocessed cores), otherwise rounded down. It returns the assigned
 // powers and speeds. With a continuous ladder it reduces to WF.
 func WaterFillDiscrete(budget float64, requests []float64, m power.Model, ladder power.Ladder) (powers, speeds []float64) {
-	cont := WaterFill(budget, requests)
+	var f Filler
+	return f.WaterFillDiscrete(nil, nil, budget, requests, m, ladder)
+}
+
+// Filler holds the reusable working buffers of the power-distribution
+// policies, so the per-invocation scheduling path distributes power without
+// allocating. One Filler serves any number of sequential calls from one
+// goroutine; the zero value is ready. Results are bit-identical to the
+// package-level functions, which run through a throwaway Filler.
+type Filler struct {
+	lo, hi, breaks, cont []float64
+	order                []int
+}
+
+// WaterFill is the package-level WaterFill appending into dst[:0] (which
+// may be nil) and reusing the Filler's scratch.
+func (f *Filler) WaterFill(dst []float64, budget float64, requests []float64) []float64 {
+	lo := f.lo[:0]
+	hi := f.hi[:0]
+	for _, r := range requests {
+		if r < 0 {
+			r = 0
+		}
+		lo = append(lo, 0)
+		hi = append(hi, r)
+	}
+	f.lo, f.hi = lo, hi
+	if budget < 0 {
+		budget = 0
+	}
+	return stats.WaterSharesInto(dst, budget, lo, hi, &f.breaks)
+}
+
+// EqualShare is the package-level EqualShare appending into dst[:0].
+func (f *Filler) EqualShare(dst []float64, budget float64, m int) []float64 {
+	dst = dst[:0]
+	if m == 0 {
+		return dst
+	}
+	share := budget / float64(m)
+	if share < 0 {
+		share = 0
+	}
+	for i := 0; i < m; i++ {
+		dst = append(dst, share)
+	}
+	return dst
+}
+
+// WaterFillDiscrete is the package-level WaterFillDiscrete appending powers
+// and speeds into the given destinations (each may be nil). The rectification
+// order is sorted with the same sort.Slice call as always, so assignments are
+// identical for every input, ties included.
+func (f *Filler) WaterFillDiscrete(powersDst, speedsDst []float64, budget float64, requests []float64, m power.Model, ladder power.Ladder) (powers, speeds []float64) {
+	cont := f.WaterFill(f.cont, budget, requests)
+	f.cont = cont
 	n := len(cont)
-	powers = make([]float64, n)
-	speeds = make([]float64, n)
+	powers = powersDst[:0]
+	speeds = speedsDst[:0]
 	if ladder.Continuous() {
-		for i, p := range cont {
-			powers[i] = p
-			speeds[i] = m.SpeedFor(p)
+		for _, p := range cont {
+			powers = append(powers, p)
+			speeds = append(speeds, m.SpeedFor(p))
 		}
 		return powers, speeds
 	}
-
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	for i := 0; i < n; i++ {
+		powers = append(powers, 0)
+		speeds = append(speeds, 0)
 	}
+
+	order := f.order[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, i)
+	}
+	f.order = order
 	sort.Slice(order, func(a, b int) bool { return cont[order[a]] < cont[order[b]] })
 
 	pending := 0.0 // continuous assignments not yet rectified

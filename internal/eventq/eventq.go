@@ -1,93 +1,111 @@
 // Package eventq provides the discrete-event priority queue that drives the
 // simulator: a binary min-heap ordered by event time, with FIFO tie-breaking
 // by insertion sequence so simulations are fully deterministic.
+//
+// The queue is generic over its payload type and stores items by value in a
+// single backing slice, so steady-state Push/Pop perform no heap allocations
+// (the slice grows amortized, like append) and the sift loops compare plain
+// struct fields instead of going through an interface. This matters: the
+// simulator pushes one event per plan segment per policy invocation, so the
+// queue is on the per-event hot path (see docs/PERFORMANCE.md).
 package eventq
 
-import "container/heap"
-
 // Item is a queued event: an opaque payload scheduled at an absolute time.
-type Item struct {
+type Item[P any] struct {
 	Time    float64
-	Payload any
+	Payload P
 
-	seq   uint64
-	index int
+	seq uint64
 }
 
-// Queue is a deterministic time-ordered event queue. The zero value is ready
-// to use.
-type Queue struct {
-	h   itemHeap
+// Queue is a deterministic time-ordered event queue over payloads of type P.
+// The zero value is ready to use. Queue is not safe for concurrent use.
+type Queue[P any] struct {
+	h   []Item[P]
 	seq uint64
 }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue[P]) Len() int { return len(q.h) }
 
-// Push schedules payload at time t and returns the queued item, which can be
-// passed to Remove to cancel the event.
-func (q *Queue) Push(t float64, payload any) *Item {
-	it := &Item{Time: t, Payload: payload, seq: q.seq}
+// Grow reserves capacity for at least n additional events, so a bulk insert
+// of a known size performs at most one allocation.
+func (q *Queue[P]) Grow(n int) {
+	if need := len(q.h) + n; need > cap(q.h) {
+		h := make([]Item[P], len(q.h), need)
+		copy(h, q.h)
+		q.h = h
+	}
+}
+
+// Push schedules payload at time t. Events pushed with equal times dequeue
+// in insertion order.
+func (q *Queue[P]) Push(t float64, payload P) {
+	q.h = append(q.h, Item[P]{Time: t, Payload: payload, seq: q.seq})
 	q.seq++
-	heap.Push(&q.h, it)
-	return it
+	q.up(len(q.h) - 1)
 }
 
-// Pop removes and returns the earliest event, or nil when empty. Events with
-// equal times dequeue in insertion order.
-func (q *Queue) Pop() *Item {
+// Pop removes and returns the earliest event; ok is false when the queue is
+// empty.
+func (q *Queue[P]) Pop() (it Item[P], ok bool) {
+	n := len(q.h)
+	if n == 0 {
+		return it, false
+	}
+	it = q.h[0]
+	q.h[0] = q.h[n-1]
+	q.h[n-1] = Item[P]{} // release payload references held in the slot
+	q.h = q.h[:n-1]
+	if n > 1 {
+		q.down(0)
+	}
+	return it, true
+}
+
+// Peek returns the earliest event without removing it; ok is false when the
+// queue is empty.
+func (q *Queue[P]) Peek() (it Item[P], ok bool) {
 	if len(q.h) == 0 {
-		return nil
+		return it, false
 	}
-	return heap.Pop(&q.h).(*Item)
+	return q.h[0], true
 }
 
-// Peek returns the earliest event without removing it, or nil when empty.
-func (q *Queue) Peek() *Item {
-	if len(q.h) == 0 {
-		return nil
+// less orders by time, then by insertion sequence (FIFO among ties).
+func (q *Queue[P]) less(a, b int) bool {
+	if q.h[a].Time != q.h[b].Time {
+		return q.h[a].Time < q.h[b].Time
 	}
-	return q.h[0]
+	return q.h[a].seq < q.h[b].seq
 }
 
-// Remove cancels a previously pushed event. It is a no-op when the item was
-// already popped or removed.
-func (q *Queue) Remove(it *Item) {
-	if it == nil || it.index < 0 || it.index >= len(q.h) || q.h[it.index] != it {
-		return
+func (q *Queue[P]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
 	}
-	heap.Remove(&q.h, it.index)
 }
 
-type itemHeap []*Item
-
-func (h itemHeap) Len() int { return len(h) }
-
-func (h itemHeap) Less(a, b int) bool {
-	if h[a].Time != h[b].Time {
-		return h[a].Time < h[b].Time
+func (q *Queue[P]) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && q.less(r, l) {
+			least = r
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
 	}
-	return h[a].seq < h[b].seq
-}
-
-func (h itemHeap) Swap(a, b int) {
-	h[a], h[b] = h[b], h[a]
-	h[a].index = a
-	h[b].index = b
-}
-
-func (h *itemHeap) Push(x any) {
-	it := x.(*Item)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
 }

@@ -2,9 +2,6 @@ package qeopt
 
 import (
 	"dessched/internal/job"
-	"dessched/internal/power"
-	"dessched/internal/tians"
-	"dessched/internal/yds"
 )
 
 // OnlineFixedSpeed computes the quality-optimal plan for the ready jobs when
@@ -14,55 +11,10 @@ import (
 // and the Energy-OPT step is skipped, so every segment executes at exactly
 // that speed, back-to-back in EDF order. Non-partial jobs that cannot
 // complete are discarded and the plan recomputed, as in Online.
+//
+// Like Online, this form allocates its result; hot paths use a per-core
+// Planner and its FixedSpeed method, which runs the identical code.
 func OnlineFixedSpeed(now float64, ready []job.Ready, speed float64) (Plan, error) {
-	if speed <= 0 || len(ready) == 0 {
-		return Plan{}, nil
-	}
-	tasks := make([]tians.Task, 0, len(ready))
-	partial := make(map[job.ID]bool, len(ready))
-	for _, r := range ready {
-		if r.Deadline <= now || r.Remaining() <= 0 {
-			continue
-		}
-		tasks = append(tasks, tians.Task{
-			ID:       r.ID,
-			Release:  now,
-			Deadline: r.Deadline,
-			Demand:   r.Demand,
-			Progress: r.Done,
-		})
-		partial[r.ID] = r.Partial
-	}
-
-	var discarded []job.ID
-	var allocs []tians.Allocation
-	for {
-		var err error
-		allocs, err = tians.SameRelease(now, speed, tasks)
-		if err != nil {
-			return Plan{}, err
-		}
-		drop, ok := worstNonPartialShortfall(tasks, allocs, partial)
-		if !ok {
-			break
-		}
-		discarded = append(discarded, drop)
-		tasks = removeTask(tasks, drop)
-	}
-
-	// Back-to-back EDF segments at the fixed speed. SameRelease returns
-	// allocations in deadline order and guarantees feasibility, so each
-	// segment ends by its job's deadline.
-	rate := power.Rate(speed)
-	cur := now
-	var segs []yds.Segment
-	for _, a := range allocs {
-		if a.Volume <= 0 {
-			continue
-		}
-		end := cur + a.Volume/rate
-		segs = append(segs, yds.Segment{ID: a.ID, Start: cur, End: end, Speed: speed})
-		cur = end
-	}
-	return Plan{Segments: segs, Allocs: allocs, Discarded: discarded}, nil
+	var p Planner
+	return p.FixedSpeed(Plan{}, now, ready, speed)
 }

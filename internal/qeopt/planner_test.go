@@ -1,0 +1,175 @@
+package qeopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dessched/internal/job"
+	"dessched/internal/power"
+)
+
+func plannerConfigs() map[string]Config {
+	return map[string]Config{
+		"continuous": {Power: power.Default, Budget: 25, MaxSpeed: 3},
+		"discrete":   {Power: power.Default, Budget: 25, Ladder: power.DefaultLadder, MaxSpeed: 3},
+		"two-speed":  {Power: power.Default, Budget: 25, Ladder: power.DefaultLadder, MaxSpeed: 3, TwoSpeed: true},
+		"opteron":    {Power: power.Opteron, Budget: 60, Ladder: power.OpteronLadder, MaxSpeed: 2.6},
+	}
+}
+
+func randomReady(rng *rand.Rand, now float64, n int) []job.Ready {
+	ready := make([]job.Ready, 0, n)
+	for i := 0; i < n; i++ {
+		demand := 50 + rng.Float64()*400
+		ready = append(ready, job.Ready{
+			Job: job.Job{
+				ID:       job.ID(i + 1),
+				Release:  now,
+				Deadline: now + 0.05 + rng.Float64()*0.4,
+				Demand:   demand,
+				Partial:  rng.Intn(3) != 0,
+			},
+			Done: rng.Float64() * demand * 0.8,
+		})
+	}
+	return ready
+}
+
+func plansEqual(t *testing.T, label string, a, b Plan) {
+	t.Helper()
+	if len(a.Segments) != len(b.Segments) || len(a.Allocs) != len(b.Allocs) || len(a.Discarded) != len(b.Discarded) {
+		t.Fatalf("%s: shape mismatch: %d/%d/%d vs %d/%d/%d", label,
+			len(a.Segments), len(a.Allocs), len(a.Discarded),
+			len(b.Segments), len(b.Allocs), len(b.Discarded))
+	}
+	for i := range a.Segments {
+		x, y := a.Segments[i], b.Segments[i]
+		if x.ID != y.ID ||
+			math.Float64bits(x.Start) != math.Float64bits(y.Start) ||
+			math.Float64bits(x.End) != math.Float64bits(y.End) ||
+			math.Float64bits(x.Speed) != math.Float64bits(y.Speed) {
+			t.Fatalf("%s: segment %d differs: %+v vs %+v", label, i, x, y)
+		}
+	}
+	for i := range a.Allocs {
+		x, y := a.Allocs[i], b.Allocs[i]
+		if x.ID != y.ID ||
+			math.Float64bits(x.Volume) != math.Float64bits(y.Volume) ||
+			math.Float64bits(x.Total) != math.Float64bits(y.Total) {
+			t.Fatalf("%s: alloc %d differs: %+v vs %+v", label, i, x, y)
+		}
+	}
+	for i := range a.Discarded {
+		if a.Discarded[i] != b.Discarded[i] {
+			t.Fatalf("%s: discard %d differs: %d vs %d", label, i, a.Discarded[i], b.Discarded[i])
+		}
+	}
+}
+
+// A reused Planner (dirty scratch, warm memos, recycled dst buffers) must
+// produce bit-identical plans to a fresh Planner on every input. This is the
+// unit-level half of the engine's golden equivalence guarantee.
+func TestPlannerReuseBitIdentical(t *testing.T) {
+	for name, cfg := range plannerConfigs() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var reused Planner
+			var dst Plan
+			for trial := 0; trial < 200; trial++ {
+				now := rng.Float64() * 10
+				ready := randomReady(rng, now, 1+rng.Intn(12))
+				budget := cfg.Budget * (0.3 + rng.Float64())
+				c := cfg
+				c.Budget = budget
+
+				fresh, err := Online(c, now, ready)
+				if err != nil {
+					t.Fatalf("trial %d: fresh Online: %v", trial, err)
+				}
+				got, err := reused.Online(dst, c, now, ready)
+				if err != nil {
+					t.Fatalf("trial %d: reused Online: %v", trial, err)
+				}
+				plansEqual(t, name, fresh, got)
+				dst = got // recycle the destination buffers next trial
+			}
+		})
+	}
+}
+
+func TestPlannerFixedSpeedReuseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var reused Planner
+	var dst Plan
+	for trial := 0; trial < 200; trial++ {
+		now := rng.Float64() * 10
+		ready := randomReady(rng, now, 1+rng.Intn(12))
+		speed := 0.5 + rng.Float64()*2.5
+
+		fresh, err := OnlineFixedSpeed(now, ready, speed)
+		if err != nil {
+			t.Fatalf("trial %d: fresh: %v", trial, err)
+		}
+		got, err := reused.FixedSpeed(dst, now, ready, speed)
+		if err != nil {
+			t.Fatalf("trial %d: reused: %v", trial, err)
+		}
+		plansEqual(t, "fixed-speed", fresh, got)
+		dst = got
+	}
+}
+
+// After warm-up, planning must not allocate: this is the tentpole's
+// zero-alloc guarantee for the Online-QE hot path.
+func TestPlannerSteadyStateZeroAlloc(t *testing.T) {
+	for name, cfg := range plannerConfigs() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			now := 1.0
+			ready := randomReady(rng, now, 10)
+			var p Planner
+			var dst Plan
+			var err error
+			for i := 0; i < 3; i++ { // warm up buffers and memos
+				dst, err = p.Online(dst, cfg, now, ready)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				dst, err = p.Online(dst, cfg, now, ready)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if allocs != 0 {
+				t.Fatalf("steady-state Online allocates %.1f objects/op", allocs)
+			}
+		})
+	}
+}
+
+func TestPlannerFixedSpeedSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	now := 1.0
+	ready := randomReady(rng, now, 10)
+	var p Planner
+	var dst Plan
+	var err error
+	for i := 0; i < 3; i++ {
+		dst, err = p.FixedSpeed(dst, now, ready, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, err = p.FixedSpeed(dst, now, ready, 2.0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state FixedSpeed allocates %.1f objects/op", allocs)
+	}
+}

@@ -24,7 +24,6 @@ package qeopt
 
 import (
 	"fmt"
-	"math"
 
 	"dessched/internal/job"
 	"dessched/internal/power"
@@ -92,50 +91,13 @@ func (p Plan) Energy(m power.Model) float64 {
 // Online computes the myopic optimal plan for the ready jobs at time now
 // under the configuration. Expired or completed jobs receive no segments.
 // Jobs appear in the plan in EDF order; the schedule is non-preemptive.
+//
+// Online allocates fresh result slices on every call; hot paths should hold
+// a Planner per core and call its Online method, which runs the identical
+// code through reusable buffers.
 func Online(cfg Config, now float64, ready []job.Ready) (Plan, error) {
-	sStar := cfg.SpeedCap()
-	if sStar <= 0 || len(ready) == 0 {
-		return Plan{}, nil
-	}
-
-	tasks := make([]tians.Task, 0, len(ready))
-	partial := make(map[job.ID]bool, len(ready))
-	for _, r := range ready {
-		if r.Deadline <= now || r.Remaining() <= 0 {
-			continue
-		}
-		tasks = append(tasks, tians.Task{
-			ID:       r.ID,
-			Release:  now,
-			Deadline: r.Deadline,
-			Demand:   r.Demand,
-			Progress: r.Done,
-		})
-		partial[r.ID] = r.Partial
-	}
-
-	var discarded []job.ID
-	var allocs []tians.Allocation
-	for {
-		var err error
-		allocs, err = tians.SameRelease(now, sStar, tasks)
-		if err != nil {
-			return Plan{}, err
-		}
-		drop, ok := worstNonPartialShortfall(tasks, allocs, partial)
-		if !ok {
-			break
-		}
-		discarded = append(discarded, drop)
-		tasks = removeTask(tasks, drop)
-	}
-
-	plan, err := buildPlan(cfg, now, sStar, tasks, allocs)
-	if err != nil {
-		return Plan{}, err
-	}
-	plan.Discarded = discarded
-	return plan, nil
+	var p Planner
+	return p.Online(Plan{}, cfg, now, ready)
 }
 
 // Offline computes the QE-OPT schedule for a full job set with arbitrary
@@ -223,165 +185,9 @@ func removeTask(tasks []tians.Task, id job.ID) []tians.Task {
 	return out
 }
 
-// buildPlan runs the energy step for the online (same-release) case and,
-// under discrete scaling, rectifies segment speeds to ladder levels.
-func buildPlan(cfg Config, now, sStar float64, tasks []tians.Task, allocs []tians.Allocation) (Plan, error) {
-	byID := make(map[job.ID]tians.Task, len(tasks))
-	for _, t := range tasks {
-		byID[t.ID] = t
-	}
-	ydsTasks := make([]yds.Task, 0, len(allocs))
-	for _, a := range allocs {
-		if a.Volume <= 0 {
-			continue
-		}
-		t := byID[a.ID]
-		ydsTasks = append(ydsTasks, yds.Task{ID: a.ID, Release: now, Deadline: t.Deadline, Volume: a.Volume})
-	}
-	sched, err := yds.SameRelease(now, ydsTasks)
-	if err != nil {
-		return Plan{}, err
-	}
-	if s := sched.MaxSpeed(); s > sStar*(1+1e-9)+1e-12 {
-		return Plan{}, fmt.Errorf("qeopt: Energy-OPT speed %g exceeds budget speed %g (Theorem 1 violated)", s, sStar)
-	}
-	segs := clampSpeeds(sched.Segments, sStar)
-	if !cfg.Ladder.Continuous() {
-		if cfg.TwoSpeed {
-			segs = rectifyTwoSpeed(cfg, segs)
-		} else {
-			segs = rectifyDiscrete(cfg, now, segs, byID)
-		}
-	}
-	return Plan{Segments: segs, Allocs: allocs}, nil
-}
-
-// rectifyTwoSpeed replaces each continuous segment by at most two chunks at
-// the adjacent ladder speeds, delivering the same volume over the same
-// window ([21]). Speeds never exceed the highest ladder level the budget
-// affords; since planning capped speeds at that level, the split always
-// fits.
-func rectifyTwoSpeed(cfg Config, segs []yds.Segment) []yds.Segment {
-	capSpeed := cfg.Power.SpeedFor(cfg.Budget)
-	if cfg.MaxSpeed > 0 {
-		capSpeed = math.Min(capSpeed, cfg.MaxSpeed)
-	}
-	var out []yds.Segment
-	for _, seg := range segs {
-		dur := seg.End - seg.Start
-		vol := seg.Volume()
-		if dur <= 0 || vol <= 0 {
-			continue
-		}
-		s := seg.Speed
-		hi, okHi := cfg.Ladder.RoundUp(s)
-		if !okHi || cfg.Power.DynamicPower(hi) > cfg.Budget+1e-12 || hi > capSpeed+1e-12 {
-			// The level above is unaffordable; the planning cap is itself a
-			// ladder level, so it becomes the high speed.
-			var ok bool
-			hi, ok = cfg.Ladder.RoundDown(capSpeed + 1e-12)
-			if !ok {
-				continue // no affordable level at all: the core stays idle
-			}
-		}
-		lo, okLo := cfg.Ladder.RoundDown(s)
-		if okLo && math.Abs(lo-s) < 1e-12 {
-			// Already on the ladder (within float drift): snap exactly.
-			seg.Speed = lo
-			out = append(out, seg)
-			continue
-		}
-		if math.Abs(hi-s) < 1e-12 {
-			seg.Speed = hi
-			out = append(out, seg)
-			continue
-		}
-		if !okLo {
-			lo = 0 // below the bottom level: idle fills the remainder
-		}
-		rateHi, rateLo := power.Rate(hi), power.Rate(lo)
-		var tHi float64
-		if rateHi > rateLo {
-			tHi = (vol - rateLo*dur) / (rateHi - rateLo)
-		} else {
-			tHi = dur
-		}
-		tHi = math.Max(0, math.Min(tHi, dur))
-		cur := seg.Start
-		if tHi > 1e-12 {
-			out = append(out, yds.Segment{ID: seg.ID, Start: cur, End: cur + tHi, Speed: hi})
-			cur += tHi
-		}
-		if lo > 0 && seg.End-cur > 1e-12 {
-			out = append(out, yds.Segment{ID: seg.ID, Start: cur, End: seg.End, Speed: lo})
-		}
-	}
-	return out
-}
-
 // clampSpeeds caps floating-point overshoot of the budget speed.
 func clampSpeeds(segs []yds.Segment, sStar float64) []yds.Segment {
 	out := append([]yds.Segment(nil), segs...)
-	for i := range out {
-		if out[i].Speed > sStar {
-			// Keep the volume intact: stretch the segment instead. The
-			// overshoot is at most a relative 1e-9, so the stretch is
-			// negligible; downstream deadline checks use tolerances.
-			vol := out[i].Volume()
-			out[i].Speed = sStar
-			out[i].End = out[i].Start + vol/power.Rate(sStar)
-		}
-	}
+	clampSpeedsInPlace(out, sStar)
 	return out
-}
-
-// rectifyDiscrete rebuilds the segment list under discrete speed scaling
-// (§V-F): each segment's speed is rounded up to the nearest ladder level the
-// core's budget supports, else down; segments run back-to-back from now and
-// are truncated at their job's deadline when rounding down loses capacity.
-func rectifyDiscrete(cfg Config, now float64, segs []yds.Segment, byID map[job.ID]tians.Task) []yds.Segment {
-	var out []yds.Segment
-	cur := now
-	for _, seg := range segs {
-		vol := seg.Volume()
-		speed := snapSpeed(cfg, seg.Speed)
-		if speed <= 0 || vol <= 0 {
-			continue
-		}
-		deadline := byID[seg.ID].Deadline
-		if cur >= deadline {
-			continue
-		}
-		dur := vol / power.Rate(speed)
-		end := cur + dur
-		if end > deadline {
-			end = deadline
-		}
-		if end-cur <= 1e-12 {
-			continue
-		}
-		out = append(out, yds.Segment{ID: seg.ID, Start: cur, End: end, Speed: speed})
-		cur = end
-	}
-	return out
-}
-
-// snapSpeed applies the paper's rectification rule: the smallest ladder
-// speed not below s if the budget can power it, otherwise the next lower
-// ladder speed (0 when even the lowest level is unaffordable or s is 0).
-func snapSpeed(cfg Config, s float64) float64 {
-	if s <= 0 {
-		return 0
-	}
-	cap := cfg.Power.SpeedFor(cfg.Budget)
-	if cfg.MaxSpeed > 0 {
-		cap = math.Min(cap, cfg.MaxSpeed)
-	}
-	if up, ok := cfg.Ladder.RoundUp(s); ok && up <= cap+1e-12 {
-		return up
-	}
-	if down, ok := cfg.Ladder.RoundDown(math.Min(s, cap)); ok {
-		return down
-	}
-	return 0
 }

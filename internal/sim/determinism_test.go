@@ -1,11 +1,14 @@
 package sim_test
 
 import (
+	"math"
 	"testing"
 
 	"dessched/internal/admission"
 	"dessched/internal/core"
+	"dessched/internal/power"
 	"dessched/internal/sim"
+	"dessched/internal/trace"
 	"dessched/internal/workload"
 )
 
@@ -114,5 +117,165 @@ func TestEventCounterResetReuse(t *testing.T) {
 		if counter.Counts[k] != v {
 			t.Errorf("%v = %d after reuse, want %d", k, counter.Counts[k], v)
 		}
+	}
+}
+
+// goldenScenario is one configuration under which the optimized DES engine
+// must reproduce the naive reference engine bit for bit.
+type goldenScenario struct {
+	name   string
+	cfg    func() sim.Config
+	arch   core.Arch
+	policy func(core.Arch) *core.DES
+}
+
+func goldenScenarios() []goldenScenario {
+	std := core.New
+	paper := func(cores int, budget float64) func() sim.Config {
+		return func() sim.Config {
+			cfg := sim.PaperConfig()
+			cfg.Cores = cores
+			cfg.Budget = budget
+			return cfg
+		}
+	}
+	return []goldenScenario{
+		{name: "chaotic-admission-cdvfs", cfg: chaoticConfig, arch: core.CDVFS, policy: std},
+		{name: "continuous-cdvfs", cfg: paper(4, 60), arch: core.CDVFS, policy: std},
+		{name: "discrete-cdvfs", cfg: func() sim.Config {
+			cfg := paper(4, 60)()
+			cfg.Ladder = power.DefaultLadder
+			return cfg
+		}, arch: core.CDVFS, policy: std},
+		{name: "two-speed-discrete-cdvfs", cfg: func() sim.Config {
+			cfg := paper(4, 60)()
+			cfg.Ladder = power.OpteronLadder
+			cfg.Power = power.Opteron
+			cfg.TwoSpeedDiscrete = true
+			return cfg
+		}, arch: core.CDVFS, policy: std},
+		{name: "maxspeed-cdvfs", cfg: func() sim.Config {
+			cfg := paper(4, 60)()
+			cfg.MaxSpeed = 2.2
+			return cfg
+		}, arch: core.CDVFS, policy: std},
+		{name: "sdvfs", cfg: paper(4, 60), arch: core.SDVFS, policy: std},
+		{name: "nodvfs", cfg: paper(4, 60), arch: core.NoDVFS, policy: std},
+		{name: "static-power-cdvfs", cfg: paper(4, 60), arch: core.CDVFS, policy: core.NewStaticPower},
+		{name: "plain-rr-cdvfs", cfg: paper(4, 60), arch: core.CDVFS, policy: core.NewPlainRR},
+	}
+}
+
+// goldenRun executes one scenario and returns everything observable about
+// the run: the result, the full execution trace, and the observer stream.
+func goldenRun(t *testing.T, sc goldenScenario, naive bool) (sim.Result, *trace.Trace, []sim.Event) {
+	t.Helper()
+	cfg := sc.cfg()
+	core.ApplyArch(&cfg, sc.arch)
+	tr := trace.New(cfg.Cores)
+	cfg.Recorder = tr
+	var events []sim.Event
+	cfg.Observer = func(e sim.Event) { events = append(events, e) }
+	cfg.CollectJobs = true
+
+	wl := workload.DefaultConfig(200)
+	wl.Duration = 2
+	wl.Seed = 11
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := sc.policy(sc.arch)
+	if naive {
+		pol.Naive()
+	}
+	res, err := sim.Run(cfg, jobs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tr, events
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// The optimized DES planning path (request-only YDS, memoized water-filling,
+// recycled planner scratch, table-driven power lookups) must be a pure
+// performance change: across every architecture, ladder shape, ablation, and
+// the chaotic fault/admission scenario, its schedules, observer stream,
+// per-job outcomes, quality, and energy are byte-identical to the naive
+// reference engine's.
+func TestOptimizedMatchesNaiveGolden(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			optRes, optTr, optEv := goldenRun(t, sc, false)
+			refRes, refTr, refEv := goldenRun(t, sc, true)
+
+			if !bitsEqual(optRes.Quality, refRes.Quality) {
+				t.Errorf("Quality %v != naive %v", optRes.Quality, refRes.Quality)
+			}
+			if !bitsEqual(optRes.Energy, refRes.Energy) {
+				t.Errorf("Energy %v != naive %v", optRes.Energy, refRes.Energy)
+			}
+			if !bitsEqual(optRes.IdleEnergy, refRes.IdleEnergy) {
+				t.Errorf("IdleEnergy %v != naive %v", optRes.IdleEnergy, refRes.IdleEnergy)
+			}
+			if !bitsEqual(optRes.PeakPower, refRes.PeakPower) {
+				t.Errorf("PeakPower %v != naive %v", optRes.PeakPower, refRes.PeakPower)
+			}
+			counts := [][2]int{
+				{optRes.Arrived, refRes.Arrived},
+				{optRes.Completed, refRes.Completed},
+				{optRes.Deadlined, refRes.Deadlined},
+				{optRes.Discarded, refRes.Discarded},
+				{optRes.Shed, refRes.Shed},
+				{optRes.Requeued, refRes.Requeued},
+				{optRes.Invocation, refRes.Invocation},
+				{optRes.Events, refRes.Events},
+				{optRes.BudgetViolations, refRes.BudgetViolations},
+			}
+			names := []string{"Arrived", "Completed", "Deadlined", "Discarded",
+				"Shed", "Requeued", "Invocation", "Events", "BudgetViolations"}
+			for i, c := range counts {
+				if c[0] != c[1] {
+					t.Errorf("%s = %d, naive %d", names[i], c[0], c[1])
+				}
+			}
+
+			if len(optRes.Jobs) != len(refRes.Jobs) {
+				t.Fatalf("job outcomes: %d vs naive %d", len(optRes.Jobs), len(refRes.Jobs))
+			}
+			for i := range optRes.Jobs {
+				if optRes.Jobs[i] != refRes.Jobs[i] {
+					t.Fatalf("job outcome %d differs: %+v vs naive %+v", i, optRes.Jobs[i], refRes.Jobs[i])
+				}
+			}
+
+			if len(optTr.Entries) != len(refTr.Entries) {
+				t.Fatalf("trace entries: %d vs naive %d", len(optTr.Entries), len(refTr.Entries))
+			}
+			for i := range optTr.Entries {
+				a, b := optTr.Entries[i], refTr.Entries[i]
+				if a.Core != b.Core || a.JobID != b.JobID ||
+					!bitsEqual(a.Start, b.Start) || !bitsEqual(a.End, b.End) ||
+					!bitsEqual(a.Speed, b.Speed) {
+					t.Fatalf("trace entry %d differs: %+v vs naive %+v", i, a, b)
+				}
+			}
+
+			if len(optEv) != len(refEv) {
+				t.Fatalf("observer events: %d vs naive %d", len(optEv), len(refEv))
+			}
+			for i := range optEv {
+				if optEv[i] != refEv[i] {
+					t.Fatalf("observer event %d differs: %+v vs naive %+v", i, optEv[i], refEv[i])
+				}
+			}
+
+			if len(optTr.Entries) == 0 {
+				t.Error("scenario produced an empty trace — not exercising the engine")
+			}
+		})
 	}
 }

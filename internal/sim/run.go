@@ -31,6 +31,7 @@ type Result struct {
 	Shed       int // turned away by the admission stage
 	Requeued   int // evacuated from outaged cores back to the queue
 	Invocation int // policy invocations
+	Events     int // simulator events processed (event-queue pops)
 
 	Span        float64 // first release to last departure, seconds
 	SkippedTime float64 // planned time skipped because its job had departed (audit)
@@ -59,19 +60,38 @@ func (o JobOutcome) Latency() float64 { return o.DepartAt - o.Release }
 // Satisfied reports whether the job was processed to its full demand.
 func (o JobOutcome) Satisfied() bool { return o.Reason == Completed }
 
-type evArrival struct{ js *JobState }
-type evDeadline struct{ js *JobState }
-type evSegment struct {
-	core    *CoreState
-	version int
+// evKind discriminates the engine's event payloads.
+type evKind uint8
+
+const (
+	evkArrival evKind = iota
+	evkDeadline
+	evkSegment
+	evkQuantum
+	evkFaultEdge
+)
+
+// simEvent is the compact value payload of the event queue. One flat struct
+// serves every kind so queue items never box through an interface — pushing
+// an event is pointer-free and allocation-free once the heap has grown.
+type simEvent struct {
+	kind    evKind
+	version int        // segment staleness check (evkSegment)
+	js      *JobState  // evkArrival, evkDeadline
+	core    *CoreState // evkSegment
 }
-type evQuantum struct{}
-type evFaultEdge struct{}
+
+// completion records a job finishing inside a settled slice; departures are
+// deferred until the core's accounting is closed.
+type completion struct {
+	js *JobState
+	at float64
+}
 
 type engine struct {
 	cfg    Config
 	policy Policy
-	events eventq.Queue
+	events eventq.Queue[simEvent]
 	cores  []*CoreState
 	queue  []*JobState
 	all    []*JobState
@@ -88,6 +108,16 @@ type engine struct {
 	shed             int
 	requeued         int
 	quantumLive      bool
+	eventsProcessed  int
+
+	// Hot-path caches. powCache memoizes the last speed→power conversion
+	// per core (plans hold a speed constant across many events), idlePower
+	// is the constant DynamicPower(IdleBurnSpeed), and completions is the
+	// settle scratch. All three return bit-identical values to direct
+	// recomputation — see docs/PERFORMANCE.md.
+	powCache    []power.SpeedCache
+	idlePower   float64
+	completions []completion
 }
 
 // Run simulates the policy over the job stream and returns the aggregate
@@ -105,13 +135,19 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 		e.cores[i] = &CoreState{Index: i}
 	}
 	e.state = &State{Cfg: &e.cfg, Cores: e.cores, engine: e}
+	e.powCache = make([]power.SpeedCache, cfg.Cores)
+	e.idlePower = cfg.Power.DynamicPower(cfg.IdleBurnSpeed)
+
+	// Size the queue for the static events up front; segment events reuse
+	// the slack freed by popped arrivals/deadlines.
+	e.events.Grow(2*len(jobs) + 2*len(cfg.Faults) + 2*len(cfg.BudgetFaults) + 2)
 
 	firstRelease := math.Inf(1)
 	for i := range jobs {
 		js := &JobState{Job: jobs[i], Core: -1}
 		e.all = append(e.all, js)
-		e.events.Push(js.Job.Release, evArrival{js})
-		e.events.Push(js.Job.Deadline, evDeadline{js})
+		e.events.Push(js.Job.Release, simEvent{kind: evkArrival, js: js})
+		e.events.Push(js.Job.Deadline, simEvent{kind: evkDeadline, js: js})
 		if js.Job.Release < firstRelease {
 			firstRelease = js.Job.Release
 		}
@@ -122,28 +158,29 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 		return e.result(0, 0), nil
 	}
 	if cfg.Triggers.Quantum > 0 {
-		e.events.Push(firstRelease, evQuantum{})
+		e.events.Push(firstRelease, simEvent{kind: evkQuantum})
 		e.quantumLive = true
 	}
 	for _, f := range cfg.Faults {
-		e.events.Push(f.Start, evFaultEdge{})
-		e.events.Push(f.End, evFaultEdge{})
+		e.events.Push(f.Start, simEvent{kind: evkFaultEdge})
+		e.events.Push(f.End, simEvent{kind: evkFaultEdge})
 	}
 	for _, f := range cfg.BudgetFaults {
-		e.events.Push(f.Start, evFaultEdge{})
-		e.events.Push(f.End, evFaultEdge{})
+		e.events.Push(f.Start, simEvent{kind: evkFaultEdge})
+		e.events.Push(f.End, simEvent{kind: evkFaultEdge})
 	}
 
 	for {
-		it := e.events.Pop()
-		if it == nil {
+		it, ok := e.events.Pop()
+		if !ok {
 			break
 		}
+		e.eventsProcessed++
 		now := it.Time
-		switch ev := it.Payload.(type) {
-		case evArrival:
+		switch ev := it.Payload; ev.kind {
+		case evkArrival:
 			e.onArrival(now, ev.js)
-		case evDeadline:
+		case evkDeadline:
 			if !ev.js.Departed() {
 				e.depart(ev.js, now, DeadlineHit)
 				// Freed capacity: under idle-core triggering a departure
@@ -152,7 +189,7 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 					e.invoke(now)
 				}
 			}
-		case evSegment:
+		case evkSegment:
 			if ev.version != ev.core.planVersion {
 				break // stale: the plan was replaced
 			}
@@ -160,14 +197,14 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 			if e.cfg.Triggers.IdleCore && ev.core.Idle(now) && e.liveWork() {
 				e.invoke(now)
 			}
-		case evQuantum:
+		case evkQuantum:
 			e.quantumLive = false
 			e.invoke(now)
 			if e.undeparted > 0 || e.pendingArrivals > 0 {
-				e.events.Push(now+e.cfg.Triggers.Quantum, evQuantum{})
+				e.events.Push(now+e.cfg.Triggers.Quantum, simEvent{kind: evkQuantum})
 				e.quantumLive = true
 			}
-		case evFaultEdge:
+		case evkFaultEdge:
 			// Settle everything on the old fault regime, evacuate cores
 			// that just went dark, then let the policy redistribute work
 			// and power.
@@ -306,7 +343,7 @@ func (e *engine) invoke(now float64) {
 // core's freshly installed plan.
 func (e *engine) schedulePlanEvents(c *CoreState) {
 	for _, seg := range c.plan {
-		e.events.Push(seg.End, evSegment{core: c, version: c.planVersion})
+		e.events.Push(seg.End, simEvent{kind: evkSegment, core: c, version: c.planVersion})
 	}
 }
 
@@ -317,11 +354,11 @@ func (e *engine) settleCore(c *CoreState, T float64) {
 	if T <= c.settledTo {
 		return
 	}
-	type completion struct {
-		js *JobState
-		at float64
-	}
-	var completions []completion
+	// Take ownership of the scratch so a reentrant settle (depart below
+	// settles the departing job's core, which early-returns for this core
+	// but not in hypothetical future call graphs) can never clobber it.
+	completions := e.completions[:0]
+	e.completions = nil
 	for c.planCursor < len(c.plan) {
 		seg := c.plan[c.planCursor]
 		if seg.Start >= T {
@@ -333,7 +370,7 @@ func (e *engine) settleCore(c *CoreState, T float64) {
 			js := e.findOnCore(c, seg.ID)
 			if js != nil && !js.Departed() {
 				dt := to - from
-				c.energy += e.cfg.Power.DynamicPower(seg.Speed) * dt
+				c.energy += e.powCache[c.Index].DynamicPower(e.cfg.Power, seg.Speed) * dt
 				c.busyTime += dt
 				if e.cfg.Recorder != nil {
 					e.cfg.Recorder.RecordExec(c.Index, yds.Segment{ID: seg.ID, Start: from, End: to, Speed: seg.Speed})
@@ -364,6 +401,7 @@ func (e *engine) settleCore(c *CoreState, T float64) {
 	for _, cp := range completions {
 		e.depart(cp.js, cp.at, Completed)
 	}
+	e.completions = completions
 }
 
 func (e *engine) findOnCore(c *CoreState, id job.ID) *JobState {
@@ -438,12 +476,15 @@ func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
 // Idle burn (No-DVFS) counts toward the draw.
 func (e *engine) audit(now float64) {
 	total := 0.0
-	for _, c := range e.cores {
+	for i, c := range e.cores {
 		s := c.SpeedAt(now)
 		if s == 0 {
-			s = e.cfg.IdleBurnSpeed
+			// Idle burn is a run-wide constant, precomputed by the same
+			// DynamicPower call this branch used to make.
+			total += e.idlePower
+			continue
 		}
-		total += e.cfg.Power.DynamicPower(s)
+		total += e.powCache[i].DynamicPower(e.cfg.Power, s)
 	}
 	if total > e.peakPower {
 		e.peakPower = total
@@ -458,6 +499,7 @@ func (e *engine) result(firstRelease, last float64) Result {
 		Policy:           e.policy.Name(),
 		Arrived:          len(e.all),
 		Invocation:       e.invocations,
+		Events:           e.eventsProcessed,
 		PeakPower:        e.peakPower,
 		BudgetViolations: e.budgetViolations,
 		SkippedTime:      e.skippedTime,

@@ -242,6 +242,12 @@ func (c *CoreState) SpeedAt(t float64) float64 {
 // ReadyJobs converts the core's live jobs to the job.Ready form consumed by
 // Online-QE, marking the job currently executing at time t as Running.
 func (c *CoreState) ReadyJobs(t float64) []job.Ready {
+	return c.AppendReadyJobs(nil, t)
+}
+
+// AppendReadyJobs is ReadyJobs appending into dst[:0], letting policies
+// reuse one buffer per core across invocations.
+func (c *CoreState) AppendReadyJobs(dst []job.Ready, t float64) []job.Ready {
 	var runningID job.ID = -1
 	for i := c.planCursor; i < len(c.plan); i++ {
 		seg := c.plan[i]
@@ -253,12 +259,12 @@ func (c *CoreState) ReadyJobs(t float64) []job.Ready {
 			break
 		}
 	}
-	out := make([]job.Ready, 0, len(c.Jobs))
+	dst = dst[:0]
 	for _, js := range c.Jobs {
 		if js.Departed() {
 			continue
 		}
-		out = append(out, job.Ready{Job: js.Job, Done: js.Done, Running: js.Job.ID == runningID})
+		dst = append(dst, job.Ready{Job: js.Job, Done: js.Done, Running: js.Job.ID == runningID})
 	}
-	return out
+	return dst
 }

@@ -17,6 +17,7 @@ type State struct {
 
 	engine *engine
 	queue  []*JobState
+	spare  []*JobState // retired queue backing, recycled by DrainQueue
 }
 
 // Queue returns the jobs waiting for core assignment, in arrival order.
@@ -38,11 +39,17 @@ func (s *State) CoreFaultFactor(core int) float64 {
 // AvailableCores reports, per core, whether the core can make progress at
 // the invocation instant (fault factor > 0).
 func (s *State) AvailableCores() []bool {
-	avail := make([]bool, len(s.Cores))
+	return s.AppendAvailableCores(nil)
+}
+
+// AppendAvailableCores is AvailableCores appending into dst[:0], letting
+// per-invocation policies reuse one buffer across calls.
+func (s *State) AppendAvailableCores(dst []bool) []bool {
+	dst = dst[:0]
 	for i := range s.Cores {
-		avail[i] = s.CoreFaultFactor(i) > 0
+		dst = append(dst, s.CoreFaultFactor(i) > 0)
 	}
-	return avail
+	return dst
 }
 
 // AssignToCore binds a waiting job to a core. It panics if the job is not
@@ -69,11 +76,20 @@ func (s *State) AssignToCore(js *JobState, core int) {
 }
 
 // DrainQueue removes and returns every waiting job, preserving arrival
-// order; the policy must then assign or discard each one.
+// order; the policy must then assign or discard each one. The returned
+// slice is only valid until the next invocation's DrainQueue: the two
+// queue backings ping-pong, so callers must not retain it across
+// invocations.
 func (s *State) DrainQueue() []*JobState {
 	q := s.queue
-	s.queue = nil
-	s.engine.queue = nil
+	stale := s.spare[:cap(s.spare)]
+	for i := range stale {
+		stale[i] = nil // drop old *JobState refs for the GC
+	}
+	fresh := stale[:0]
+	s.spare = q
+	s.queue = fresh
+	s.engine.queue = fresh
 	return q
 }
 
@@ -101,12 +117,6 @@ func (s *State) Requeue(js *JobState) {
 // to the core; violations panic (policy bugs).
 func (s *State) SetPlan(core int, segs []yds.Segment) {
 	c := s.Cores[core]
-	deadlines := make(map[int64]float64, len(c.Jobs))
-	for _, js := range c.Jobs {
-		if !js.Departed() {
-			deadlines[int64(js.Job.ID)] = js.Job.Deadline
-		}
-	}
 	prevEnd := s.Now
 	for _, seg := range segs {
 		if seg.Start < s.Now-1e-9 {
@@ -118,8 +128,16 @@ func (s *State) SetPlan(core int, segs []yds.Segment) {
 		if seg.End < seg.Start {
 			panic(fmt.Sprintf("sim: inverted segment for job %d", seg.ID))
 		}
-		d, ok := deadlines[int64(seg.ID)]
-		if !ok {
+		// Per-core job sets are small; a linear deadline lookup avoids the
+		// per-install map the old validation built.
+		d, found := 0.0, false
+		for _, js := range c.Jobs {
+			if !js.Departed() && js.Job.ID == seg.ID {
+				d, found = js.Job.Deadline, true
+				break
+			}
+		}
+		if !found {
 			panic(fmt.Sprintf("sim: plan references job %d not assigned to core %d", seg.ID, core))
 		}
 		if seg.End > d+1e-6 {

@@ -20,6 +20,15 @@ import (
 // every item to its ceiling (in which case level is +Inf). lo[i] <= hi[i]
 // is required; the function panics otherwise, and on mismatched lengths.
 func WaterLevel(capacity float64, lo, hi []float64) (level float64, saturated bool) {
+	return WaterLevelScratch(capacity, lo, hi, nil)
+}
+
+// WaterLevelScratch is WaterLevel with a caller-supplied scratch buffer for
+// the breakpoint sort, letting hot paths (Online-QE runs one water-filling
+// per deadline prefix per core per scheduling event) stay allocation-free.
+// The buffer is grown as needed and returned values are identical to
+// WaterLevel; pass nil to allocate internally.
+func WaterLevelScratch(capacity float64, lo, hi []float64, scratch *[]float64) (level float64, saturated bool) {
 	if len(lo) != len(hi) {
 		panic("stats: WaterLevel length mismatch")
 	}
@@ -39,10 +48,18 @@ func WaterLevel(capacity float64, lo, hi []float64) (level float64, saturated bo
 
 	// g(L) = sum clamp(L, lo, hi) - lo is piecewise linear and
 	// non-decreasing; walk its breakpoints (all lo and hi values) in order.
-	breaks := make([]float64, 0, 2*len(lo))
+	var breaks []float64
+	if scratch != nil {
+		breaks = (*scratch)[:0]
+	} else {
+		breaks = make([]float64, 0, 2*len(lo))
+	}
 	breaks = append(breaks, lo...)
 	breaks = append(breaks, hi...)
 	sort.Float64s(breaks)
+	if scratch != nil {
+		*scratch = breaks
+	}
 
 	fill := func(L float64) float64 {
 		s := 0.0
@@ -87,11 +104,18 @@ func WaterLevel(capacity float64, lo, hi []float64) (level float64, saturated bo
 // clamp(L, lo, hi) - lo. Shares always sum to min(capacity, sum(hi-lo)) up
 // to floating-point error.
 func WaterShares(capacity float64, lo, hi []float64) []float64 {
-	level, saturated := WaterLevel(capacity, lo, hi)
-	out := make([]float64, len(lo))
+	return WaterSharesInto(nil, capacity, lo, hi, nil)
+}
+
+// WaterSharesInto is WaterShares appending into dst[:0] (which may be nil)
+// with a caller-supplied breakpoint scratch, for allocation-free repeated
+// distribution (DES runs one water-filling per policy invocation).
+func WaterSharesInto(dst []float64, capacity float64, lo, hi []float64, scratch *[]float64) []float64 {
+	level, saturated := WaterLevelScratch(capacity, lo, hi, scratch)
+	dst = dst[:0]
 	for i := range lo {
 		if saturated {
-			out[i] = hi[i] - lo[i]
+			dst = append(dst, hi[i]-lo[i])
 			continue
 		}
 		v := level
@@ -101,7 +125,7 @@ func WaterShares(capacity float64, lo, hi []float64) []float64 {
 		if v > hi[i] {
 			v = hi[i]
 		}
-		out[i] = v - lo[i]
+		dst = append(dst, v-lo[i])
 	}
-	return out
+	return dst
 }

@@ -21,9 +21,10 @@
 package tians
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dessched/internal/job"
 	"dessched/internal/power"
@@ -53,14 +54,37 @@ type Allocation struct {
 // order; scheduling them back-to-back in that order at the fixed speed is
 // feasible.
 func SameRelease(now, speed float64, tasks []Task) ([]Allocation, error) {
+	return SameReleaseInto(nil, nil, now, speed, tasks)
+}
+
+// Scratch holds the reusable working buffers of SameReleaseInto. One Scratch
+// may serve any number of sequential calls from a single goroutine; the zero
+// value is ready to use.
+type Scratch struct {
+	ordered []Task
+	expired []Allocation
+	lo, hi  []float64
+	breaks  []float64
+}
+
+// SameReleaseInto is SameRelease appending allocations into dst[:0] (which
+// may be nil) and reusing scratch buffers (which may also be nil). Results
+// are identical to SameRelease; the returned slice aliases dst's backing
+// array when capacity suffices. Online-QE calls this once per core per
+// scheduling event, so this form keeps the hot path allocation-free.
+func SameReleaseInto(dst []Allocation, s *Scratch, now, speed float64, tasks []Task) ([]Allocation, error) {
 	if speed < 0 {
 		return nil, fmt.Errorf("tians: negative speed %g", speed)
 	}
 	rate := power.Rate(speed)
 
-	ordered := make([]Task, 0, len(tasks))
-	allocs := make([]Allocation, 0, len(tasks))
-	expired := make([]Allocation, 0)
+	var local Scratch
+	if s == nil {
+		s = &local
+	}
+	ordered := s.ordered[:0]
+	expired := s.expired[:0]
+	allocs := dst[:0]
 	for _, t := range tasks {
 		if t.Demand <= 0 {
 			return nil, fmt.Errorf("tians: task %d has non-positive demand %g", t.ID, t.Demand)
@@ -74,12 +98,13 @@ func SameRelease(now, speed float64, tasks []Task) ([]Allocation, error) {
 		}
 		ordered = append(ordered, t)
 	}
-	sort.Slice(ordered, func(a, b int) bool {
-		if ordered[a].Deadline != ordered[b].Deadline {
-			return ordered[a].Deadline < ordered[b].Deadline
+	slices.SortFunc(ordered, func(a, b Task) int {
+		if c := cmp.Compare(a.Deadline, b.Deadline); c != 0 {
+			return c
 		}
-		return ordered[a].ID < ordered[b].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
+	s.ordered, s.expired = ordered, expired
 
 	cur := now
 	remaining := ordered
@@ -89,8 +114,8 @@ func SameRelease(now, speed float64, tasks []Task) ([]Allocation, error) {
 		// smallest. A prefix with level +Inf can satisfy all its jobs.
 		bestK := -1
 		bestLevel := math.Inf(1)
-		lo := make([]float64, 0, len(remaining))
-		hi := make([]float64, 0, len(remaining))
+		lo := s.lo[:0]
+		hi := s.hi[:0]
 		for k := 0; k < len(remaining); k++ {
 			lo = append(lo, remaining[k].Progress)
 			hi = append(hi, remaining[k].Demand)
@@ -98,7 +123,7 @@ func SameRelease(now, speed float64, tasks []Task) ([]Allocation, error) {
 				continue
 			}
 			capacity := (remaining[k].Deadline - cur) * rate
-			level, saturated := stats.WaterLevel(capacity, lo, hi)
+			level, saturated := stats.WaterLevelScratch(capacity, lo, hi, &s.breaks)
 			if saturated {
 				continue
 			}
@@ -106,6 +131,7 @@ func SameRelease(now, speed float64, tasks []Task) ([]Allocation, error) {
 				bestK, bestLevel = k, level
 			}
 		}
+		s.lo, s.hi = lo, hi
 		if bestK < 0 {
 			// Every prefix is satisfiable: allocate everything and stop.
 			for _, t := range remaining {

@@ -18,9 +18,10 @@
 package yds
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"dessched/internal/job"
 	"dessched/internal/power"
@@ -143,49 +144,77 @@ func (s Schedule) Validate(tasks []Task) error {
 	return nil
 }
 
+// Scratch holds reusable buffers for the allocation-free SameRelease
+// variants. One Scratch may be reused across any number of calls from a
+// single goroutine; the zero value is ready to use.
+type Scratch struct {
+	work []Task
+}
+
+// prepSameRelease filters out non-positive volumes, validates deadlines and
+// returns the tasks sorted by (deadline, ID) — into the scratch buffer when
+// one is supplied, freshly allocated otherwise.
+func prepSameRelease(now float64, tasks []Task, s *Scratch) ([]Task, error) {
+	var work []Task
+	if s != nil {
+		work = s.work[:0]
+	} else {
+		work = make([]Task, 0, len(tasks))
+	}
+	for _, t := range tasks {
+		if t.Volume <= 0 {
+			continue
+		}
+		if t.Deadline <= now {
+			return nil, fmt.Errorf("yds: task %d has deadline %g at or before now %g", t.ID, t.Deadline, now)
+		}
+		work = append(work, t)
+	}
+	slices.SortFunc(work, func(a, b Task) int {
+		if c := cmp.Compare(a.Deadline, b.Deadline); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+	if s != nil {
+		s.work = work[:len(work)] // keep grown capacity for reuse
+	}
+	return work, nil
+}
+
 // SameRelease computes the Energy-OPT schedule when every task is released
 // at now. Tasks with non-positive volume are skipped. The returned segment
 // speeds form a non-increasing staircase, tasks run non-preemptively in
 // deadline order, and all tasks complete by their deadlines. It returns an
 // error when a positive-volume task has Deadline <= now (no time to run).
 func SameRelease(now float64, tasks []Task) (Schedule, error) {
-	work := make([]Task, 0, len(tasks))
-	for _, t := range tasks {
-		if t.Volume <= 0 {
-			continue
-		}
-		if t.Deadline <= now {
-			return Schedule{}, fmt.Errorf("yds: task %d has deadline %g at or before now %g", t.ID, t.Deadline, now)
-		}
-		work = append(work, t)
+	segs, err := SameReleaseInto(nil, now, tasks, nil)
+	if err != nil {
+		return Schedule{}, err
 	}
-	sort.Slice(work, func(a, b int) bool {
-		if work[a].Deadline != work[b].Deadline {
-			return work[a].Deadline < work[b].Deadline
-		}
-		return work[a].ID < work[b].ID
-	})
+	return Schedule{Segments: segs}, nil
+}
 
-	var out Schedule
+// SameReleaseInto is SameRelease appending segments into dst[:0] (which may
+// be nil) and reusing scratch buffers (which may also be nil). The returned
+// slice aliases dst's backing array when capacity suffices; results are
+// identical to SameRelease. This is the form the per-event scheduling path
+// uses to stay allocation-free.
+func SameReleaseInto(dst []Segment, now float64, tasks []Task, scratch *Scratch) ([]Segment, error) {
+	work, err := prepSameRelease(now, tasks, scratch)
+	if err != nil {
+		return nil, err
+	}
+
+	out := dst[:0]
 	cur := now
 	for len(work) > 0 {
 		// Find the prefix (ending at a distinct deadline) of maximum
 		// intensity; ties prefer the longer prefix so equal-speed groups
 		// merge.
-		bestK, bestG := -1, -1.0
-		vol := 0.0
-		for k := 0; k < len(work); k++ {
-			vol += work[k].Volume
-			if k+1 < len(work) && work[k+1].Deadline == work[k].Deadline {
-				continue // prefix must end at a distinct deadline boundary
-			}
-			span := work[k].Deadline - cur
-			if span <= 0 {
-				return Schedule{}, fmt.Errorf("yds: zero-length window at deadline %g (now %g)", work[k].Deadline, cur)
-			}
-			if g := vol / span; g > bestG+1e-15 || (g >= bestG-1e-15 && k > bestK) {
-				bestK, bestG = k, g
-			}
+		bestK, bestG, err := criticalPrefix(cur, work)
+		if err != nil {
+			return nil, err
 		}
 		speed := power.SpeedForRate(bestG)
 		groupEnd := work[bestK].Deadline
@@ -196,13 +225,55 @@ func SameRelease(now float64, tasks []Task) (Schedule, error) {
 			if i == bestK {
 				end = groupEnd // absorb floating-point drift
 			}
-			out.Segments = append(out.Segments, Segment{ID: work[i].ID, Start: t, End: end, Speed: speed})
+			out = append(out, Segment{ID: work[i].ID, Start: t, End: end, Speed: speed})
 			t = end
 		}
 		cur = groupEnd
 		work = work[bestK+1:]
 	}
 	return out, nil
+}
+
+// criticalPrefix finds the prefix (ending at a distinct deadline) of maximum
+// intensity; ties prefer the longer prefix so equal-speed groups merge.
+func criticalPrefix(cur float64, work []Task) (bestK int, bestG float64, err error) {
+	bestK, bestG = -1, -1.0
+	vol := 0.0
+	for k := 0; k < len(work); k++ {
+		vol += work[k].Volume
+		if k+1 < len(work) && work[k+1].Deadline == work[k].Deadline {
+			continue // prefix must end at a distinct deadline boundary
+		}
+		span := work[k].Deadline - cur
+		if span <= 0 {
+			return 0, 0, fmt.Errorf("yds: zero-length window at deadline %g (now %g)", work[k].Deadline, cur)
+		}
+		if g := vol / span; g > bestG+1e-15 || (g >= bestG-1e-15 && k > bestK) {
+			bestK, bestG = k, g
+		}
+	}
+	return bestK, bestG, nil
+}
+
+// SameReleaseRequest returns only the speed of the first segment of the
+// SameRelease schedule — the core's requested operating point in DES's
+// budget-free step (§IV-D step 2) — without materializing any segments. It
+// runs the identical critical-prefix selection, so the returned speed is
+// bit-for-bit the speed SameRelease would place on its first segment; with
+// no positive-volume tasks it returns 0, exactly like an empty schedule.
+func SameReleaseRequest(now float64, tasks []Task, scratch *Scratch) (float64, error) {
+	work, err := prepSameRelease(now, tasks, scratch)
+	if err != nil {
+		return 0, err
+	}
+	if len(work) == 0 {
+		return 0, nil
+	}
+	_, bestG, err := criticalPrefix(now, work)
+	if err != nil {
+		return 0, err
+	}
+	return power.SpeedForRate(bestG), nil
 }
 
 // RequiredPower returns the dynamic power the schedule draws at its first
