@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race bench bench-json verify chaos report fuzz cover fmt vet clean trace-view
+.PHONY: all build test test-race bench bench-json verify chaos report fuzz cover fmt vet clean trace-view examples
 
 all: build vet test
 
@@ -57,6 +57,13 @@ trace-view:
 	$(GO) run ./cmd/desim sim -rate 60 -duration 5 -cores 8 -budget 160 \
 		-chaos-seed 1 -perfetto results/trace.json -telemetry results/metrics.prom
 	@echo "open https://ui.perfetto.dev and load results/trace.json"
+
+# Build and run every examples/ program end to end.
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d || exit 1; \
+	done
 
 cover:
 	$(GO) test -short -cover ./...

@@ -44,21 +44,39 @@ type BenchScenario struct {
 	BytesPerEvent  float64 `json:"bytes_per_event"`
 }
 
-// benchCase builds a scenario: a server config, a job stream, and a policy
-// factory (a fresh policy per repeat, as a service would construct one
-// scheduler per server lifetime, not per run).
+// benchCase builds a scenario. setup prepares everything untimed (config,
+// workload) and returns the closure one timed repeat executes — a fresh
+// policy per repeat, as a service would construct one scheduler per server
+// lifetime, not per run. The closure returns the run's event count so the
+// harness can verify determinism across repeats.
 type benchCase struct {
 	name  string
 	sim   float64
-	setup func(simSeconds float64) (dessched.ServerConfig, []dessched.Job, func() dessched.Policy, error)
+	setup func(simSeconds float64) (benchRun, error)
+}
+
+// benchRun is one prepared scenario: the workload size and the repeatable
+// timed body.
+type benchRun struct {
+	jobs int
+	run  func() (events int, err error)
+}
+
+// simRun adapts a single-server (cfg, jobs, policy factory) triple to a
+// benchRun.
+func simRun(cfg dessched.ServerConfig, jobs []dessched.Job, newPolicy func() dessched.Policy) benchRun {
+	return benchRun{jobs: len(jobs), run: func() (int, error) {
+		res, err := dessched.Simulate(cfg, jobs, newPolicy())
+		return res.Events, err
+	}}
 }
 
 // benchCases are the fixed measurement scenarios. cdvfs-single mirrors
 // BenchmarkSimulateDESRate200 in bench_test.go: the paper server at 200 req/s
 // under C-DVFS — the headline hot path.
 func benchCases(simSeconds float64) []benchCase {
-	paper := func(arch dessched.Arch, mutate func(*dessched.ServerConfig)) func(float64) (dessched.ServerConfig, []dessched.Job, func() dessched.Policy, error) {
-		return func(d float64) (dessched.ServerConfig, []dessched.Job, func() dessched.Policy, error) {
+	paper := func(arch dessched.Arch, mutate func(*dessched.ServerConfig)) func(float64) (benchRun, error) {
+		return func(d float64) (benchRun, error) {
 			cfg := dessched.PaperServer()
 			if mutate != nil {
 				mutate(&cfg)
@@ -67,7 +85,7 @@ func benchCases(simSeconds float64) []benchCase {
 			wl := dessched.PaperWorkload(200)
 			wl.Duration = d
 			jobs, err := dessched.GenerateWorkload(wl)
-			return cfg, jobs, func() dessched.Policy { return dessched.NewDES(arch) }, err
+			return simRun(cfg, jobs, func() dessched.Policy { return dessched.NewDES(arch) }), err
 		}
 	}
 	return []benchCase{
@@ -76,14 +94,14 @@ func benchCases(simSeconds float64) []benchCase {
 			cfg.Ladder = power.DefaultLadder
 		})},
 		{name: "sdvfs", sim: simSeconds, setup: paper(dessched.SDVFS, nil)},
-		{name: "chaos-admission", sim: simSeconds, setup: func(d float64) (dessched.ServerConfig, []dessched.Job, func() dessched.Policy, error) {
+		{name: "chaos-admission", sim: simSeconds, setup: func(d float64) (benchRun, error) {
 			cfg := dessched.PaperServer()
 			cfg.Cores = 8
 			cfg.Budget = 160
 			dessched.ApplyArch(&cfg, dessched.CDVFS)
 			plan, err := dessched.DefaultChaos(1, d, cfg.Cores).Generate()
 			if err != nil {
-				return cfg, nil, nil, err
+				return benchRun{}, err
 			}
 			wl := dessched.PaperWorkload(120)
 			wl.Duration = d
@@ -91,7 +109,33 @@ func benchCases(simSeconds float64) []benchCase {
 			wl.Bursts = plan.Apply(&cfg)
 			cfg.Admission = dessched.AdmissionConfig{Policy: dessched.QualityAware, MaxQueue: 64}
 			jobs, err := dessched.GenerateWorkload(wl)
-			return cfg, jobs, func() dessched.Policy { return dessched.NewDES(dessched.CDVFS) }, err
+			return simRun(cfg, jobs, func() dessched.Policy { return dessched.NewDES(dessched.CDVFS) }), err
+		}},
+		// cluster-m8 pins the multi-server layer: 8 servers × 4 cores at
+		// 80 W each behind a round-robin dispatcher, hierarchical
+		// water-filling over 85% of the summed nominal budgets, and the
+		// fleet's rate sized so every server sees ~60 req/s.
+		{name: "cluster-m8", sim: simSeconds, setup: func(d float64) (benchRun, error) {
+			server := dessched.PaperServer()
+			server.Cores = 4
+			server.Budget = 80
+			ccfg := dessched.ClusterConfig{
+				Servers:      8,
+				Server:       server,
+				Policy:       "des",
+				Dispatch:     dessched.DispatchRoundRobin,
+				GlobalBudget: 0.85 * 8 * server.Budget,
+			}
+			wl := dessched.PaperWorkload(480)
+			wl.Duration = d
+			jobs, err := dessched.GenerateWorkload(wl)
+			if err != nil {
+				return benchRun{}, err
+			}
+			return benchRun{jobs: len(jobs), run: func() (int, error) {
+				res, err := dessched.SimulateCluster(ccfg, jobs)
+				return res.Events, err
+			}}, nil
 		}},
 	}
 }
@@ -100,41 +144,40 @@ func benchCases(simSeconds float64) []benchCase {
 // time; allocation counts are per-run medians in spirit but in practice are
 // deterministic, so the best repeat's are reported.
 func measureScenario(c benchCase, repeats int) (BenchScenario, error) {
-	cfg, jobs, newPolicy, err := c.setup(c.sim)
+	br, err := c.setup(c.sim)
 	if err != nil {
 		return BenchScenario{}, fmt.Errorf("%s: setup: %w", c.name, err)
 	}
 	// One untimed warm-up run to populate lazy state and steady the heap.
-	res, err := dessched.Simulate(cfg, jobs, newPolicy())
+	events, err := br.run()
 	if err != nil {
 		return BenchScenario{}, fmt.Errorf("%s: %w", c.name, err)
 	}
 	sc := BenchScenario{
 		Name:        c.name,
 		SimSeconds:  c.sim,
-		Jobs:        len(jobs),
-		Events:      res.Events,
+		Jobs:        br.jobs,
+		Events:      events,
 		Repeats:     repeats,
 		WallSeconds: math.Inf(1),
 	}
 	var ms0, ms1 runtime.MemStats
 	for r := 0; r < repeats; r++ {
-		p := newPolicy()
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
-		res, err = dessched.Simulate(cfg, jobs, p)
+		events, err = br.run()
 		wall := time.Since(start).Seconds()
 		runtime.ReadMemStats(&ms1)
 		if err != nil {
 			return BenchScenario{}, fmt.Errorf("%s: %w", c.name, err)
 		}
-		if res.Events != sc.Events {
-			return BenchScenario{}, fmt.Errorf("%s: event count drifted across repeats (%d vs %d) — nondeterminism", c.name, res.Events, sc.Events)
+		if events != sc.Events {
+			return BenchScenario{}, fmt.Errorf("%s: event count drifted across repeats (%d vs %d) — nondeterminism", c.name, events, sc.Events)
 		}
 		if wall < sc.WallSeconds {
 			sc.WallSeconds = wall
-			ev := float64(res.Events)
+			ev := float64(events)
 			sc.EventsPerSec = ev / wall
 			sc.NsPerEvent = wall * 1e9 / ev
 			sc.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / ev

@@ -13,6 +13,9 @@
 //	desim chaos -seed 1 [-rate 120] [-duration 30] [-cores 16] [-budget 320]
 //	            [-core-faults 3] [-budget-faults 1] [-bursts 1]
 //	            [-admission quality-aware -max-queue 64]
+//	desim sweep [-rates 60,90,120] [-cores 16] [-budgets 320] [-policies des,fcfs-wf]
+//	            [-seeds 1,2] [-duration 60] [-workers 8] [-servers 8] [-dispatch rr]
+//	            [-global-frac 0.85] [-out report.json] [-csv report.csv]
 //	desim bench [-out BENCH_sim.json] [-compare old.json] [-quick]
 //	desim verify [-duration 40]
 package main
@@ -49,6 +52,8 @@ func main() {
 		err = cmdSim(os.Args[2:])
 	case "chaos":
 		err = cmdChaos(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "verify":
@@ -73,6 +78,7 @@ func usage() {
   desim run -all [flags]              regenerate every figure
   desim sim [flags]                   run a single simulation
   desim chaos [flags]                 seeded fault-injection soak + resilience report
+  desim sweep [flags]                 fan a parameter grid across a worker pool
   desim bench [flags]                 measure simulator throughput, write BENCH_sim.json
   desim verify [-duration s]          check every paper claim; exit 1 on failure
 run flags: -duration s  -seed n  -replicas n  -workers n  -rates a,b,c
@@ -85,6 +91,9 @@ sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
 chaos flags: -seed n  -rate r  -duration s  -cores m  -budget W  -arch c|s|no
              -core-faults n  -budget-faults n  -bursts n  -outage-frac f
              -admission none|tail-drop|quality-aware  -max-queue n
+sweep flags: -rates a,b,c  -cores a,b  -budgets a,b  -policies p,q  -seeds a,b
+             -duration s  -workers n  -servers m  -dispatch rr|ll|hash
+             -global-frac f  -epoch s  -telemetry  -out file.json  -csv file.csv
 bench flags: -out file.json  -compare old.json  -threshold f
              -repeats n  -duration s  -quick`)
 }

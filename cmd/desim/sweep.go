@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"dessched"
+)
+
+// cmdSweep fans a parameter grid (rate × cores × budget × policy × seed)
+// across a bounded worker pool and writes the report as JSON and/or CSV.
+// Results are bit-identical for any -workers value; Ctrl-C aborts cleanly.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	rates := fs.String("rates", "60,90,120", "comma-separated arrival rates, req/s")
+	cores := fs.String("cores", "16", "comma-separated core counts")
+	budgets := fs.String("budgets", "320", "comma-separated power budgets, W")
+	policies := fs.String("policies", "des", "comma-separated policy specs (des[-c|-s|-no|-static], fcfs|ljf|sjf|edf[-wf])")
+	seeds := fs.String("seeds", "1", "comma-separated workload seeds")
+	duration := fs.Float64("duration", 60, "simulated seconds per cell")
+	servers := fs.Int("servers", 1, "servers per cell; >1 runs each cell as a cluster")
+	dispatch := fs.String("dispatch", "rr", "cluster dispatch: rr | ll | hash")
+	globalFrac := fs.Float64("global-frac", 0, "global budget as a fraction of summed nominal budgets (0 = no hierarchy)")
+	epoch := fs.Float64("epoch", 0, "cluster budget-reflow epoch, s (0 = default)")
+	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS); never affects results")
+	telemetryOn := fs.Bool("telemetry", false, "attach a metrics snapshot to every cell (JSON output only)")
+	outJSON := fs.String("out", "", "write the JSON report to this file (\"-\" = stdout)")
+	outCSV := fs.String("csv", "", "write the per-cell CSV to this file (\"-\" = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	grid := dessched.SweepGrid{
+		Duration:         *duration,
+		Servers:          *servers,
+		Dispatch:         *dispatch,
+		GlobalBudgetFrac: *globalFrac,
+		Epoch:            *epoch,
+	}
+	var err error
+	if grid.Rates, err = parseFloats(*rates); err != nil {
+		return fmt.Errorf("-rates: %w", err)
+	}
+	if grid.Budgets, err = parseFloats(*budgets); err != nil {
+		return fmt.Errorf("-budgets: %w", err)
+	}
+	if grid.Cores, err = parseInts(*cores); err != nil {
+		return fmt.Errorf("-cores: %w", err)
+	}
+	if grid.Seeds, err = parseUints(*seeds); err != nil {
+		return fmt.Errorf("-seeds: %w", err)
+	}
+	for _, p := range strings.Split(*policies, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			grid.Policies = append(grid.Policies, p)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cells := grid.Cells()
+	fmt.Fprintf(os.Stderr, "sweep: %d cells (%d rates × %d cores × %d budgets × %d policies × %d seeds)\n",
+		len(cells), len(grid.Rates), len(grid.Cores), len(grid.Budgets), len(grid.Policies), len(grid.Seeds))
+
+	rep, err := dessched.RunSweep(ctx, grid, dessched.SweepOptions{Workers: *workers, Telemetry: *telemetryOn})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells in %.2fs (%.1f cells/s, %d workers)\n",
+		len(rep.Cells), rep.WallSeconds, rep.CellsPerSec, rep.Workers)
+
+	wrote := false
+	if *outJSON != "" {
+		if err := writeTo(*outJSON, func(f *os.File) error { return dessched.WriteSweepJSON(f, rep) }); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if *outCSV != "" {
+		if err := writeTo(*outCSV, func(f *os.File) error { return dessched.WriteSweepCSV(f, rep) }); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if !wrote {
+		return dessched.WriteSweepCSV(os.Stdout, rep)
+	}
+	return nil
+}
+
+// writeTo writes through fn to path, with "-" meaning stdout.
+func writeTo(path string, fn func(*os.File) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -95,6 +95,9 @@ type (
 	// Trace is an executed-schedule record for replay and inspection.
 	Trace = trace.Trace
 	// Cluster is an emulated hardware testbed for energy validation.
+	//
+	// Deprecated: use HardwareCluster; the simulated multi-server fleet
+	// lives under ClusterConfig/ClusterResult/SimulateCluster.
 	Cluster = hw.Cluster
 
 	// CoreConfig is the per-core environment for the single-core planners.
@@ -218,9 +221,27 @@ func NewBaseline(order BaselineOrder, wf bool) Policy { return baseline.New(orde
 func NewStaticPowerDES(arch Arch) Policy { return core.NewStaticPower(arch) }
 
 // Simulate runs the policy over the job stream and returns the aggregate
-// quality/energy result.
-func Simulate(cfg ServerConfig, jobs []Job, p Policy) (Result, error) {
-	return sim.Run(cfg, jobs, p)
+// quality/energy result. Options customize the run without touching the
+// config: WithContext for cancelation, WithObserver/WithRecorder for event
+// and schedule hooks, WithTelemetry for a full metrics collector, and
+// WithChaos for an injected fault schedule. Calls without options behave
+// exactly as before.
+func Simulate(cfg ServerConfig, jobs []Job, p Policy, opts ...SimOption) (Result, error) {
+	if len(opts) == 0 {
+		return sim.Run(cfg, jobs, p)
+	}
+	run, finish, err := applyOptions(cfg, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sim.Run(run, jobs, p)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, f := range finish {
+		f(res)
+	}
+	return res, nil
 }
 
 // GenerateWorkload synthesizes a request stream (deterministic per seed).

@@ -1,0 +1,54 @@
+// Package cfgerr defines the typed configuration-validation error shared
+// by every layer that checks user-supplied parameters (sim, workload, job,
+// cluster, sweep). Callers at the facade boundary can detect invalid input
+// structurally — errors.As(err, *cfgerr.Error) — instead of matching error
+// strings, and HTTP handlers can map it to a stable machine-readable code.
+//
+// An *Error renders exactly the message it was built with, so converting a
+// fmt.Errorf validation path to cfgerr.New never changes observable error
+// text.
+package cfgerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error is one configuration-validation failure. Domain names the layer
+// that rejected the input ("sim", "workload", "job", "cluster", "sweep");
+// Field names the offending parameter in lower-case ("cores", "budget",
+// "rate"); Reason is the full human-readable message.
+type Error struct {
+	Domain string
+	Field  string
+	Reason string
+}
+
+// New builds a validation error for domain/field with a formatted reason.
+func New(domain, field, format string, args ...any) *Error {
+	return &Error{Domain: domain, Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Error implements the error interface; it renders the reason verbatim.
+func (e *Error) Error() string { return e.Reason }
+
+// Is reports field-level equality, letting tests compare against a template
+// with errors.Is without matching the rendered message.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	return (t.Domain == "" || t.Domain == e.Domain) &&
+		(t.Field == "" || t.Field == e.Field) &&
+		(t.Reason == "" || t.Reason == e.Reason)
+}
+
+// As extracts the validation error from an error chain, if present.
+func As(err error) (*Error, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}

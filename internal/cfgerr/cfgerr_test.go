@@ -1,0 +1,42 @@
+package cfgerr_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dessched/internal/cfgerr"
+)
+
+func TestErrorRendersReasonVerbatim(t *testing.T) {
+	err := cfgerr.New("sim", "budget", "sim: power budget must be positive and finite, got %g", -3.0)
+	want := "sim: power budget must be positive and finite, got -3"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+	if err.Domain != "sim" || err.Field != "budget" {
+		t.Errorf("metadata = %q/%q, want sim/budget", err.Domain, err.Field)
+	}
+}
+
+func TestAsUnwrapsThroughChains(t *testing.T) {
+	inner := cfgerr.New("workload", "rate", "workload: rate must be positive and finite, got NaN")
+	wrapped := fmt.Errorf("generating stream: %w", inner)
+	got, ok := cfgerr.As(wrapped)
+	if !ok || got != inner {
+		t.Fatalf("As(%v) = %v, %v; want the inner error", wrapped, got, ok)
+	}
+	if _, ok := cfgerr.As(errors.New("plain")); ok {
+		t.Error("As matched a plain error")
+	}
+}
+
+func TestIsMatchesByFieldTemplate(t *testing.T) {
+	err := cfgerr.New("sim", "cores", "sim: need at least one core, got 0")
+	if !errors.Is(err, &cfgerr.Error{Domain: "sim", Field: "cores"}) {
+		t.Error("field template did not match")
+	}
+	if errors.Is(err, &cfgerr.Error{Domain: "workload"}) {
+		t.Error("wrong-domain template matched")
+	}
+}

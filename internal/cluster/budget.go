@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"math"
+
+	"dessched/internal/dist"
+	"dessched/internal/job"
+	"dessched/internal/power"
+	"dessched/internal/sim"
+	"dessched/internal/stats"
+)
+
+// maxEpochs bounds the budget-reflow grid so a tiny Epoch over a long
+// horizon cannot blow up the per-server event count; beyond it the epoch
+// length is stretched to cover the horizon in exactly maxEpochs steps.
+const maxEpochs = 1 << 16
+
+// budgetSchedule is the outcome of the hierarchical water-filling stage:
+// per-server budget windows (expressed as sim.BudgetFault fractions of the
+// server's nominal budget) plus the time-averaged effective budget per
+// server for reporting.
+type budgetSchedule struct {
+	windows [][]sim.BudgetFault
+	shareW  []float64 // time-averaged effective budget, watts
+	horizon float64
+}
+
+// nominalSchedule is the no-global-constraint schedule: every server runs
+// at its nominal budget for the whole horizon.
+func nominalSchedule(servers int, nominal, horizon float64) budgetSchedule {
+	shares := make([]float64, servers)
+	for i := range shares {
+		shares[i] = nominal
+	}
+	return budgetSchedule{windows: make([][]sim.BudgetFault, servers), shareW: shares, horizon: horizon}
+}
+
+// epochBudgets partitions the global power budget into per-server budgets
+// for every tick-epoch of the horizon — the paper's water-filling policy
+// lifted one level up the hierarchy (§IV-C distributes a server's budget
+// over cores; this distributes the datacenter's budget over servers):
+//
+//  1. Each server requests the power it needs to clear the demand
+//     dispatched to it during the epoch (equal-split across its available
+//     cores, converted through the convex power model, scaled by the
+//     Headroom margin), capped by its availability-scaled nominal budget —
+//     a server whose cores are dark cannot spend power on them, so its
+//     effective budget shrinks with its availability.
+//  2. dist.Filler water-fills the global budget over those requests:
+//     servers asking less than the fair share get exactly what they ask,
+//     the surplus is shared equally among the rest.
+//  3. Leftover global budget (epochs where total demand is light) is
+//     water-filled a second time from the assigned floors up to the
+//     availability caps, so a lightly loaded datacenter still lets every
+//     healthy server burst to its nominal budget.
+//
+// The per-epoch assignments are emitted as sim.BudgetFault windows with
+// Fraction = assigned/nominal (adjacent epochs with identical fractions
+// merge; full-budget epochs emit nothing), which the per-server engines
+// already honor — the fault layer's budget machinery doubles as the
+// hierarchy's enforcement mechanism. The whole computation is sequential
+// float arithmetic in fixed order: the same inputs always yield the same
+// schedule bit for bit.
+func epochBudgets(servers int, server sim.Config, globalBudget, epoch, headroom, horizon float64,
+	perServer [][]job.Job, outages [][][]interval) budgetSchedule {
+
+	nominal := server.Budget
+	if globalBudget <= 0 || horizon <= 0 {
+		return nominalSchedule(servers, nominal, horizon)
+	}
+	epochLen := epoch
+	n := int(math.Ceil(horizon / epochLen))
+	if n < 1 {
+		n = 1
+	}
+	if n > maxEpochs {
+		n = maxEpochs
+		epochLen = horizon / float64(n)
+	}
+
+	// Demand dispatched to each server per epoch, in processing units.
+	demand := make([][]float64, servers)
+	for s := range demand {
+		demand[s] = make([]float64, n)
+		for _, j := range perServer[s] {
+			e := int(j.Release / epochLen)
+			if e < 0 {
+				e = 0
+			}
+			if e >= n {
+				e = n - 1
+			}
+			demand[s][e] += j.Demand
+		}
+	}
+
+	cores := float64(server.Cores)
+	var filler dist.Filler
+	var scratch []float64
+	requests := make([]float64, servers)
+	caps := make([]float64, servers)
+	var assigned, extra []float64
+
+	windows := make([][]sim.BudgetFault, servers)
+	shares := make([]float64, servers)
+	// openFrac tracks the fraction of the window being built per server;
+	// openStart its left edge. A fraction of exactly 1 means "no window".
+	openFrac := make([]float64, servers)
+	openStart := make([]float64, servers)
+	for s := range openFrac {
+		openFrac[s] = 1
+	}
+
+	flush := func(s int, frac, start, end float64) {
+		if frac < 1 && end > start {
+			windows[s] = append(windows[s], sim.BudgetFault{Start: start, End: end, Fraction: frac})
+		}
+	}
+
+	for e := 0; e < n; e++ {
+		t0 := float64(e) * epochLen
+		t1 := t0 + epochLen
+		for s := 0; s < servers; s++ {
+			availSec := cores * epochLen
+			if outs := outages[s]; outs != nil {
+				for c := 0; c < server.Cores; c++ {
+					availSec -= overlap(outs[c], t0, t1)
+				}
+			}
+			availFrac := availSec / (cores * epochLen)
+			caps[s] = nominal * availFrac
+			if availSec <= 0 {
+				requests[s] = 0
+				caps[s] = 0
+				continue
+			}
+			// Power to process this epoch's demand with the available
+			// cores sharing it equally — equal split minimizes power for
+			// a convex model, mirroring the paper's equal-sharing insight.
+			rate := demand[s][e] * headroom / epochLen // units/s
+			k := availSec / epochLen                   // effective cores
+			speed := rate / k / power.UnitsPerGHzSecond
+			req := k * server.Power.DynamicPower(speed)
+			if req > caps[s] {
+				req = caps[s]
+			}
+			requests[s] = req
+		}
+
+		// Stage one: demand-driven water-fill of the global budget.
+		assigned = filler.WaterFill(assigned, globalBudget, requests)
+		used := 0.0
+		for _, a := range assigned {
+			used += a
+		}
+		// Stage two: share the leftover up to the availability caps.
+		if leftover := globalBudget - used; leftover > 0 {
+			extra = stats.WaterSharesInto(extra, leftover, assigned, caps, &scratch)
+			for s := range assigned {
+				assigned[s] += extra[s]
+			}
+		}
+
+		for s := 0; s < servers; s++ {
+			frac := assigned[s] / nominal
+			if frac > 1 {
+				frac = 1
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			shares[s] += assigned[s] * epochLen
+			if frac != openFrac[s] {
+				flush(s, openFrac[s], openStart[s], t0)
+				openFrac[s] = frac
+				openStart[s] = t0
+			}
+		}
+	}
+	end := float64(n) * epochLen
+	for s := 0; s < servers; s++ {
+		flush(s, openFrac[s], openStart[s], end)
+		shares[s] /= end
+	}
+	return budgetSchedule{windows: windows, shareW: shares, horizon: horizon}
+}

@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"strings"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/job"
+	"dessched/internal/sim"
+)
+
+// Dispatch selects how the front-end spreads the request stream across the
+// cluster's servers. Every policy is availability-aware: a server whose
+// cores are all outaged at a job's release time receives no new work until
+// the outage window closes (its in-flight jobs are evacuated by the
+// per-server engine as usual).
+type Dispatch int
+
+// Dispatch policies.
+const (
+	// RoundRobin spreads arrivals cumulatively across available servers —
+	// the fleet-level analogue of the paper's C-RR job distribution: the
+	// cursor carries over between arrivals, so the assignment stays
+	// balanced over the whole run, not per burst.
+	RoundRobin Dispatch = iota
+	// LeastLoaded routes each arrival to the available server with the
+	// least outstanding dispatched demand (demand whose deadline has not
+	// yet passed). Ties break toward the lowest server index.
+	LeastLoaded
+	// Hash routes by a stateless hash of the job ID (splitmix64), probing
+	// linearly past unavailable servers — sticky routing for caches and
+	// session affinity.
+	Hash
+)
+
+func (d Dispatch) String() string {
+	switch d {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case Hash:
+		return "hash"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseDispatch parses "round-robin"/"rr", "least-loaded"/"ll", or "hash".
+func ParseDispatch(s string) (Dispatch, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "rr", "round-robin", "roundrobin":
+		return RoundRobin, nil
+	case "ll", "least-loaded", "leastloaded":
+		return LeastLoaded, nil
+	case "hash":
+		return Hash, nil
+	default:
+		return 0, cfgerr.New("cluster", "dispatch", "cluster: unknown dispatch policy %q (want round-robin, least-loaded, or hash)", s)
+	}
+}
+
+// interval is one half-open time window [start, end).
+type interval struct{ start, end float64 }
+
+// mergedOutages returns, per core, the merged windows during which the
+// core is fully outaged (effective speed factor zero). Throttle faults
+// never produce an outage on their own; any covering zero-factor fault
+// does, regardless of what it compounds with.
+func mergedOutages(cores int, faults []sim.Fault) [][]interval {
+	if len(faults) == 0 {
+		return nil
+	}
+	per := make([][]interval, cores)
+	for _, f := range faults {
+		if f.SpeedFactor != 0 || f.Core < 0 || f.Core >= cores {
+			continue
+		}
+		per[f.Core] = append(per[f.Core], interval{f.Start, f.End})
+	}
+	for c, ivs := range per {
+		per[c] = mergeIntervals(ivs)
+	}
+	return per
+}
+
+// mergeIntervals coalesces overlapping/adjacent windows, in place-ish.
+// Input order does not matter; output is sorted by start.
+func mergeIntervals(ivs []interval) []interval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	// Insertion sort: fault lists are tiny.
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].start < ivs[j-1].start; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// covered reports whether t lies inside any window.
+func covered(ivs []interval, t float64) bool {
+	for _, iv := range ivs {
+		if t >= iv.start && t < iv.end {
+			return true
+		}
+	}
+	return false
+}
+
+// overlap returns the total length of windows intersected with [a, b).
+func overlap(ivs []interval, a, b float64) float64 {
+	total := 0.0
+	for _, iv := range ivs {
+		lo, hi := iv.start, iv.end
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// serverUp reports whether at least one core of the server is not outaged
+// at time t. outages is the server's per-core merged outage table (nil
+// when the server has no faults).
+func serverUp(cores int, outages [][]interval, t float64) bool {
+	if outages == nil {
+		return true
+	}
+	for c := 0; c < cores; c++ {
+		if !covered(outages[c], t) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator — a cheap,
+// well-mixed 64-bit hash for sticky job routing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pending is one dispatched job's load accounting entry for LeastLoaded.
+type pending struct{ deadline, demand float64 }
+
+// dispatchJobs assigns every job to a server and returns the per-server
+// substreams (jobs keep their global IDs) plus the assignment vector in
+// sorted-job order. jobs must already be sorted by release (ID tie-break);
+// the outages table has one entry per server (entries may be nil).
+//
+// The whole pass is sequential and pure, so the same inputs always produce
+// the same assignment — cluster determinism starts here.
+func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jobs []job.Job) (perServer [][]job.Job, assign []int) {
+	perServer = make([][]job.Job, servers)
+	assign = make([]int, len(jobs))
+
+	up := func(s int, t float64) bool { return serverUp(cores, outages[s], t) }
+	anyUp := func(t float64) bool {
+		for s := 0; s < servers; s++ {
+			if up(s, t) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// LeastLoaded state: outstanding dispatched demand per server, with a
+	// FIFO of (deadline, demand) to retire entries whose deadline passed.
+	// Agreeable deadlines make the FIFO pop in deadline order.
+	var outstanding []float64
+	var queues [][]pending
+	var heads []int
+	if d == LeastLoaded {
+		outstanding = make([]float64, servers)
+		queues = make([][]pending, servers)
+		heads = make([]int, servers)
+	}
+
+	cursor := 0 // RoundRobin's cumulative cursor
+	for i, j := range jobs {
+		t := j.Release
+		allDown := !anyUp(t)
+		var s int
+		switch d {
+		case LeastLoaded:
+			for q := 0; q < servers; q++ {
+				for heads[q] < len(queues[q]) && queues[q][heads[q]].deadline <= t {
+					outstanding[q] -= queues[q][heads[q]].demand
+					heads[q]++
+				}
+			}
+			s = -1
+			for q := 0; q < servers; q++ {
+				if !allDown && !up(q, t) {
+					continue
+				}
+				if s < 0 || outstanding[q] < outstanding[s] {
+					s = q
+				}
+			}
+			queues[s] = append(queues[s], pending{j.Deadline, j.Demand})
+			outstanding[s] += j.Demand
+		case Hash:
+			s = int(splitmix64(uint64(j.ID)) % uint64(servers))
+			if !allDown {
+				for !up(s, t) {
+					s = (s + 1) % servers
+				}
+			}
+		default: // RoundRobin
+			if !allDown {
+				for !up(cursor, t) {
+					cursor = (cursor + 1) % servers
+				}
+			}
+			s = cursor
+			cursor = (cursor + 1) % servers
+		}
+		assign[i] = s
+		perServer[s] = append(perServer[s], j)
+	}
+	return perServer, assign
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"strings"
+
+	"dessched/internal/baseline"
+	"dessched/internal/cfgerr"
+	"dessched/internal/core"
+	"dessched/internal/sim"
+)
+
+// PolicySpec is a parsed scheduling-policy specification: a factory that
+// builds a fresh, unshared policy instance per server (policies carry
+// cumulative C-RR state, so instances must never be shared across
+// concurrent engines) plus the config adjustment the spec implies
+// (architecture idle burn, baseline triggers).
+type PolicySpec struct {
+	Name      string
+	New       func() sim.Policy
+	Configure func(*sim.Config)
+}
+
+// ParsePolicy parses a policy spec string shared by the sweep executor,
+// the cluster layer, and the HTTP API:
+//
+//	des | des-c | des-s | des-no     DES per architecture (c = per-core DVFS)
+//	des-static                       DES with static equal power (ablation)
+//	fcfs | ljf | sjf | edf           greedy baselines, static power split
+//	fcfs-wf | ljf-wf | sjf-wf | edf-wf   …with water-filling power
+func ParsePolicy(spec string) (PolicySpec, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	if s == "" {
+		s = "des"
+	}
+	switch s {
+	case "des", "des-c":
+		return PolicySpec{
+			Name:      s,
+			New:       func() sim.Policy { return core.New(core.CDVFS) },
+			Configure: func(cfg *sim.Config) { core.ApplyArch(cfg, core.CDVFS) },
+		}, nil
+	case "des-s":
+		return PolicySpec{
+			Name:      s,
+			New:       func() sim.Policy { return core.New(core.SDVFS) },
+			Configure: func(cfg *sim.Config) { core.ApplyArch(cfg, core.SDVFS) },
+		}, nil
+	case "des-no":
+		return PolicySpec{
+			Name:      s,
+			New:       func() sim.Policy { return core.New(core.NoDVFS) },
+			Configure: func(cfg *sim.Config) { core.ApplyArch(cfg, core.NoDVFS) },
+		}, nil
+	case "des-static":
+		return PolicySpec{
+			Name:      s,
+			New:       func() sim.Policy { return core.NewStaticPower(core.CDVFS) },
+			Configure: func(cfg *sim.Config) { core.ApplyArch(cfg, core.CDVFS) },
+		}, nil
+	}
+	wf := false
+	base := s
+	if strings.HasSuffix(base, "-wf") {
+		wf = true
+		base = strings.TrimSuffix(base, "-wf")
+	}
+	var order baseline.Order
+	switch base {
+	case "fcfs":
+		order = baseline.FCFS
+	case "ljf":
+		order = baseline.LJF
+	case "sjf":
+		order = baseline.SJF
+	case "edf":
+		order = baseline.EDF
+	default:
+		return PolicySpec{}, cfgerr.New("cluster", "policy", "cluster: unknown policy spec %q (want des[-c|-s|-no|-static] or fcfs|ljf|sjf|edf[-wf])", spec)
+	}
+	return PolicySpec{
+		Name: s,
+		New:  func() sim.Policy { return baseline.New(order, wf) },
+		// The greedy baselines schedule on idle cores only (§V-A).
+		Configure: func(cfg *sim.Config) { cfg.Triggers = sim.Triggers{IdleCore: true} },
+	}, nil
+}

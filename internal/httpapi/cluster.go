@@ -1,0 +1,243 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/cluster"
+	"dessched/internal/sim"
+	"dessched/internal/sweep"
+	"dessched/internal/workload"
+)
+
+// Resource ceilings for the synchronous simulation endpoints: requests
+// beyond them are rejected up front with invalid_config instead of tying a
+// worker slot up for minutes.
+const (
+	maxClusterServers = 64
+	maxSweepCells     = 1024
+	maxSweepServers   = 16
+)
+
+// ClusterSimRequest is the body of POST /v1/cluster/simulate: one fleet
+// run — M servers behind a dispatcher, optionally sharing a global power
+// budget through the hierarchical water-filling stage.
+type ClusterSimRequest struct {
+	Servers  int    `json:"servers"`  // fleet size, required, <= 64
+	Policy   string `json:"policy"`   // per-server policy spec (default "des")
+	Dispatch string `json:"dispatch"` // round-robin | least-loaded | hash
+
+	Cores  int     `json:"cores"`    // per server, default 16
+	Budget float64 `json:"budget_w"` // per server, default 320
+
+	// GlobalBudget enables the hierarchy when positive; 0 leaves every
+	// server at its nominal budget.
+	GlobalBudget float64 `json:"global_budget_w"`
+	Epoch        float64 `json:"epoch_s"` // budget-reflow granularity, default 1
+
+	Rate     float64  `json:"rate"` // fleet-wide arrival rate, required
+	Duration float64  `json:"duration_s"`
+	Seed     uint64   `json:"seed"`
+	Partial  *float64 `json:"partial_fraction"`
+
+	// ChaosSeed, when set, samples an independent core-fault schedule for
+	// every server (see cluster.ChaosFaults).
+	ChaosSeed *uint64 `json:"chaos_seed,omitempty"`
+}
+
+// ClusterServerJSON is one server's slice of the fleet response.
+type ClusterServerJSON struct {
+	Server       int     `json:"server"`
+	Jobs         int     `json:"jobs"`
+	BudgetShareW float64 `json:"budget_share_w"`
+	NormQuality  float64 `json:"norm_quality"`
+	EnergyJ      float64 `json:"energy_j"`
+	Completed    int     `json:"completed"`
+	Deadlined    int     `json:"deadlined"`
+}
+
+// ClusterSimResponse aggregates the fleet run.
+type ClusterSimResponse struct {
+	Policy        string  `json:"policy"`
+	Servers       int     `json:"servers"`
+	Dispatch      string  `json:"dispatch"`
+	NormQuality   float64 `json:"norm_quality"`
+	Quality       float64 `json:"quality"`
+	EnergyJ       float64 `json:"energy_j"`
+	PeakPowerSumW float64 `json:"peak_power_sum_w"`
+	Arrived       int     `json:"arrived"`
+	Completed     int     `json:"completed"`
+	Deadlined     int     `json:"deadlined"`
+	Shed          int     `json:"shed,omitempty"`
+	SpanS         float64 `json:"span_s"`
+
+	PerServer []ClusterServerJSON `json:"per_server"`
+}
+
+func handleClusterSimulate(w http.ResponseWriter, r *http.Request) {
+	var req ClusterSimRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	resp, err := runCluster(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse, error) {
+	if req.Servers <= 0 || req.Servers > maxClusterServers {
+		return ClusterSimResponse{}, cfgerr.New("httpapi", "servers",
+			"cluster: servers must be in [1, %d], got %d", maxClusterServers, req.Servers)
+	}
+	if req.Rate <= 0 {
+		return ClusterSimResponse{}, cfgerr.New("httpapi", "rate", "cluster: rate must be positive, got %g", req.Rate)
+	}
+	dispatch, err := cluster.ParseDispatch(req.Dispatch)
+	if err != nil {
+		return ClusterSimResponse{}, err
+	}
+
+	server := sim.PaperConfig()
+	if req.Cores > 0 {
+		server.Cores = req.Cores
+	}
+	if req.Budget > 0 {
+		server.Budget = req.Budget
+	}
+	server.Context = ctx
+
+	wl := workload.DefaultConfig(req.Rate)
+	if req.Duration > 0 {
+		wl.Duration = req.Duration
+	} else {
+		wl.Duration = 30
+	}
+	if req.Seed > 0 {
+		wl.Seed = req.Seed
+	}
+	if req.Partial != nil {
+		wl.PartialFraction = *req.Partial
+	}
+
+	cfg := cluster.Config{
+		Servers:      req.Servers,
+		Server:       server,
+		Policy:       req.Policy,
+		Dispatch:     dispatch,
+		GlobalBudget: req.GlobalBudget,
+		Epoch:        req.Epoch,
+	}
+	if req.ChaosSeed != nil {
+		faults, err := cluster.ChaosFaults(*req.ChaosSeed, wl.Duration, cfg.Servers, server.Cores)
+		if err != nil {
+			return ClusterSimResponse{}, err
+		}
+		cfg.Faults = faults
+	}
+
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		return ClusterSimResponse{}, err
+	}
+	res, err := cluster.Run(cfg, jobs)
+	if err != nil {
+		return ClusterSimResponse{}, err
+	}
+
+	resp := ClusterSimResponse{
+		Policy:        res.Policy,
+		Servers:       res.Servers,
+		Dispatch:      res.Dispatch,
+		NormQuality:   res.NormQuality,
+		Quality:       res.Quality,
+		EnergyJ:       res.Energy,
+		PeakPowerSumW: res.PeakPowerSum,
+		Arrived:       res.Arrived,
+		Completed:     res.Completed,
+		Deadlined:     res.Deadlined,
+		Shed:          res.Shed,
+		SpanS:         res.Span,
+	}
+	for _, sr := range res.PerServer {
+		resp.PerServer = append(resp.PerServer, ClusterServerJSON{
+			Server:       sr.Server,
+			Jobs:         sr.Jobs,
+			BudgetShareW: sr.BudgetShareW,
+			NormQuality:  sr.Result.NormQuality,
+			EnergyJ:      sr.Result.Energy,
+			Completed:    sr.Result.Completed,
+			Deadlined:    sr.Result.Deadlined,
+		})
+	}
+	return resp, nil
+}
+
+// SweepRequest is the body of POST /v1/sweep: a parameter grid executed
+// across a bounded worker pool. The grid is capped at 1024 cells.
+type SweepRequest struct {
+	Rates    []float64 `json:"rates"`
+	Cores    []int     `json:"cores"`
+	Budgets  []float64 `json:"budgets_w"`
+	Policies []string  `json:"policies"`
+	Seeds    []uint64  `json:"seeds"`
+	Duration float64   `json:"duration_s"`
+
+	Servers          int     `json:"servers,omitempty"`
+	Dispatch         string  `json:"dispatch,omitempty"`
+	GlobalBudgetFrac float64 `json:"global_budget_frac,omitempty"`
+	Epoch            float64 `json:"epoch_s,omitempty"`
+
+	Workers   int  `json:"workers,omitempty"`
+	Telemetry bool `json:"telemetry,omitempty"`
+}
+
+func handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	rep, err := runSweep(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func runSweep(ctx context.Context, req SweepRequest) (sweep.Report, error) {
+	grid := sweep.Grid{
+		Rates:            req.Rates,
+		Cores:            req.Cores,
+		Budgets:          req.Budgets,
+		Policies:         req.Policies,
+		Seeds:            req.Seeds,
+		Duration:         req.Duration,
+		Servers:          req.Servers,
+		Dispatch:         req.Dispatch,
+		GlobalBudgetFrac: req.GlobalBudgetFrac,
+		Epoch:            req.Epoch,
+	}
+	if err := grid.Validate(); err != nil {
+		return sweep.Report{}, err
+	}
+	if n := len(grid.Cells()); n > maxSweepCells {
+		return sweep.Report{}, cfgerr.New("httpapi", "grid",
+			"sweep: grid has %d cells, limit is %d", n, maxSweepCells)
+	}
+	if grid.Servers > maxSweepServers {
+		return sweep.Report{}, cfgerr.New("httpapi", "servers",
+			"sweep: servers must be at most %d per cell, got %d", maxSweepServers, grid.Servers)
+	}
+	rep, err := sweep.Run(ctx, grid, sweep.Options{Workers: req.Workers, Telemetry: req.Telemetry})
+	if err != nil {
+		return sweep.Report{}, fmt.Errorf("sweep failed: %w", err)
+	}
+	return rep, nil
+}

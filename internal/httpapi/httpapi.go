@@ -7,6 +7,11 @@
 //	GET  /v1/experiments             list experiment runners
 //	POST /v1/experiments/{id}        run one experiment (body: options)
 //	POST /v1/simulate                run one simulation (body: SimRequest)
+//	POST /v1/cluster/simulate        run a multi-server fleet (ClusterSimRequest)
+//	POST /v1/sweep                   run a parameter sweep (SweepRequest)
+//
+// Failing requests all return the same JSON envelope,
+// {"error":{"code","message"}} — see ErrorBody and docs/API.md.
 //
 // Everything is stdlib net/http; handlers are stateless and safe for
 // concurrent use. NewHandler wraps the routes in a hardening stack —
@@ -31,6 +36,7 @@ import (
 
 	"dessched/internal/admission"
 	"dessched/internal/baseline"
+	"dessched/internal/cfgerr"
 	"dessched/internal/core"
 	"dessched/internal/experiments"
 	"dessched/internal/metrics"
@@ -39,14 +45,19 @@ import (
 	"dessched/internal/workload"
 )
 
-// NewMux returns the service's routing table.
-func NewMux() *http.ServeMux {
+// NewMux returns the service's routing table. Router-generated errors —
+// the stdlib mux's plain-text 404 for unknown paths and 405 for wrong
+// methods — are rewritten into the JSON error envelope, so every error
+// the API emits has the same shape.
+func NewMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /v1/experiments", handleList)
 	mux.HandleFunc("POST /v1/experiments/{id}", handleRunExperiment)
 	mux.HandleFunc("POST /v1/simulate", handleSimulate)
-	return mux
+	mux.HandleFunc("POST /v1/cluster/simulate", handleClusterSimulate)
+	mux.HandleFunc("POST /v1/sweep", handleSweep)
+	return envelopeRouterErrors(mux)
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -383,6 +394,87 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// ErrorBody is the unified error envelope every failing route returns:
+//
+//	{"error": {"code": "invalid_config", "message": "sim: need at least one core, got 0"}}
+//
+// Codes are stable machine-readable identifiers; messages are for humans.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope wraps ErrorBody under the "error" key.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// errorCode maps a response status (and error type) to the envelope code.
+// Typed configuration errors get their own code regardless of status, so
+// clients can distinguish "your parameters are invalid" from other 400s.
+func errorCode(status int, err error) string {
+	if _, ok := cfgerr.As(err); ok {
+		return "invalid_config"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: errorCode(status, err), Message: err.Error()}})
+}
+
+// envelopeRouterErrors intercepts the plain-text 404/405 responses the
+// stdlib mux emits for unmatched routes and re-emits them as the JSON
+// error envelope. Handler-written errors are already JSON (writeError
+// sets the Content-Type before the status), so they pass through
+// untouched.
+func envelopeRouterErrors(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	rewriting bool // swallowing the router's plain-text body
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	routerError := status == http.StatusNotFound || status == http.StatusMethodNotAllowed
+	if !routerError || strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.ResponseWriter.WriteHeader(status)
+		return
+	}
+	w.rewriting = true
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Del("Content-Length")
+	w.ResponseWriter.WriteHeader(status)
+	msg := "not found"
+	if status == http.StatusMethodNotAllowed {
+		msg = "method not allowed"
+	}
+	_ = json.NewEncoder(w.ResponseWriter).Encode(
+		ErrorEnvelope{Error: ErrorBody{Code: errorCode(status, nil), Message: msg}})
+}
+
+func (w *envelopeWriter) Write(p []byte) (int, error) {
+	if w.rewriting {
+		return len(p), nil // drop the router's plain-text body
+	}
+	return w.ResponseWriter.Write(p)
 }

@@ -69,7 +69,7 @@ func NewHandler(o Options) http.Handler {
 // Harden wraps any handler in the service's protective middleware stack.
 func Harden(h http.Handler, o Options) http.Handler {
 	o = o.withDefaults()
-	h = http.TimeoutHandler(h, o.RequestTimeout, `{"error":"request timed out"}`)
+	h = http.TimeoutHandler(h, o.RequestTimeout, `{"error":{"code":"timeout","message":"request timed out"}}`)
 	h = http.MaxBytesHandler(h, o.MaxBodyBytes)
 	h = limitConcurrency(h, o.MaxConcurrent)
 	return recoverPanics(h)

@@ -8,7 +8,10 @@ package job
 
 import (
 	"fmt"
+	"math"
 	"sort"
+
+	"dessched/internal/cfgerr"
 )
 
 // ID identifies a job within one workload. IDs are assigned densely from 0
@@ -27,14 +30,18 @@ type Job struct {
 // Window returns the length of the job's feasible execution window.
 func (j Job) Window() float64 { return j.Deadline - j.Release }
 
-// Validate returns an error when the job violates the model: non-positive
-// demand or an empty execution window.
+// Validate returns an error when the job violates the model: non-positive,
+// NaN, or infinite demand, NaN times, or an empty execution window. All
+// failures are typed *cfgerr.Error values.
 func (j Job) Validate() error {
-	if j.Demand <= 0 {
-		return fmt.Errorf("job %d: demand must be positive, got %g", j.ID, j.Demand)
+	if j.Demand <= 0 || math.IsNaN(j.Demand) || math.IsInf(j.Demand, 0) {
+		return cfgerr.New("job", "demand", "job %d: demand must be positive and finite, got %g", j.ID, j.Demand)
+	}
+	if math.IsNaN(j.Release) || math.IsNaN(j.Deadline) {
+		return cfgerr.New("job", "window", "job %d: NaN release or deadline", j.ID)
 	}
 	if j.Deadline <= j.Release {
-		return fmt.Errorf("job %d: deadline %g not after release %g", j.ID, j.Deadline, j.Release)
+		return cfgerr.New("job", "window", "job %d: deadline %g not after release %g", j.ID, j.Deadline, j.Release)
 	}
 	return nil
 }
@@ -51,7 +58,7 @@ func ValidateAll(jobs []Job) error {
 		}
 	}
 	if !Agreeable(jobs) {
-		return fmt.Errorf("job: deadlines are not agreeable")
+		return cfgerr.New("job", "deadlines", "job: deadlines are not agreeable")
 	}
 	return nil
 }

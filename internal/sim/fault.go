@@ -17,7 +17,7 @@
 // work and power; see ChaosConfig for sampling random fault schedules.
 package sim
 
-import "fmt"
+import "dessched/internal/cfgerr"
 
 // Fault models a degradation of one core during a time window — a thermal
 // throttling episode (SpeedFactor in (0,1)) or an outage (SpeedFactor 0).
@@ -39,16 +39,16 @@ func (f Fault) Outage() bool { return f.SpeedFactor == 0 }
 // engine against the configuration.
 func (f Fault) Validate(cores int) error {
 	if f.Core < 0 || f.Core >= cores {
-		return fmt.Errorf("sim: fault core %d out of range [0, %d)", f.Core, cores)
+		return cfgerr.New("sim", "faults", "sim: fault core %d out of range [0, %d)", f.Core, cores)
 	}
 	if f.Start < 0 {
-		return fmt.Errorf("sim: fault start %g is negative", f.Start)
+		return cfgerr.New("sim", "faults", "sim: fault start %g is negative", f.Start)
 	}
 	if f.End <= f.Start {
-		return fmt.Errorf("sim: fault window [%g, %g] empty", f.Start, f.End)
+		return cfgerr.New("sim", "faults", "sim: fault window [%g, %g] empty", f.Start, f.End)
 	}
 	if f.SpeedFactor < 0 || f.SpeedFactor > 1 {
-		return fmt.Errorf("sim: fault speed factor %g outside [0, 1]", f.SpeedFactor)
+		return cfgerr.New("sim", "faults", "sim: fault speed factor %g outside [0, 1]", f.SpeedFactor)
 	}
 	return nil
 }
@@ -64,13 +64,13 @@ type BudgetFault struct {
 // Validate reports parameter errors.
 func (f BudgetFault) Validate() error {
 	if f.Start < 0 {
-		return fmt.Errorf("sim: budget fault start %g is negative", f.Start)
+		return cfgerr.New("sim", "budget_faults", "sim: budget fault start %g is negative", f.Start)
 	}
 	if f.End <= f.Start {
-		return fmt.Errorf("sim: budget fault window [%g, %g] empty", f.Start, f.End)
+		return cfgerr.New("sim", "budget_faults", "sim: budget fault window [%g, %g] empty", f.Start, f.End)
 	}
 	if f.Fraction < 0 || f.Fraction > 1 {
-		return fmt.Errorf("sim: budget fraction %g outside [0, 1]", f.Fraction)
+		return cfgerr.New("sim", "budget_faults", "sim: budget fraction %g outside [0, 1]", f.Fraction)
 	}
 	return nil
 }

@@ -170,12 +170,20 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 		e.events.Push(f.End, simEvent{kind: evkFaultEdge})
 	}
 
+	// contextPollMask throttles cancelation checks to one atomic load per
+	// 1024 events, keeping the hot loop unchanged when no one cancels.
+	const contextPollMask = 1023
 	for {
 		it, ok := e.events.Pop()
 		if !ok {
 			break
 		}
 		e.eventsProcessed++
+		if cfg.Context != nil && e.eventsProcessed&contextPollMask == 0 {
+			if err := cfg.Context.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		now := it.Time
 		switch ev := it.Payload; ev.kind {
 		case evkArrival:

@@ -13,9 +13,11 @@
 package sim
 
 import (
-	"fmt"
+	"context"
+	"math"
 
 	"dessched/internal/admission"
+	"dessched/internal/cfgerr"
 	"dessched/internal/job"
 	"dessched/internal/power"
 	"dessched/internal/quality"
@@ -95,6 +97,12 @@ type Config struct {
 	// Observer, when non-nil, receives every notable simulation event
 	// (arrivals, invocations, departures, fault edges) synchronously.
 	Observer Observer
+
+	// Context, when non-nil, cancels the run: the engine polls it once
+	// every contextPollMask+1 processed events and returns ctx.Err() when
+	// it fires. A nil or never-canceled context changes nothing — the run
+	// is bit-identical to one without a context.
+	Context context.Context
 }
 
 // Recorder receives executed work slices. Implementations must not retain
@@ -116,25 +124,33 @@ func PaperConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. All failures are typed
+// *cfgerr.Error values, so facade callers can detect invalid input with
+// errors.As instead of string matching. NaN and infinite parameters are
+// rejected here — NaN compares false against every threshold, so without
+// the explicit checks it would slip through and corrupt every downstream
+// water level.
 func (c Config) Validate() error {
 	if c.Cores <= 0 {
-		return fmt.Errorf("sim: need at least one core, got %d", c.Cores)
+		return cfgerr.New("sim", "cores", "sim: need at least one core, got %d", c.Cores)
 	}
-	if c.Budget <= 0 {
-		return fmt.Errorf("sim: power budget must be positive, got %g", c.Budget)
+	if c.Budget <= 0 || math.IsNaN(c.Budget) || math.IsInf(c.Budget, 0) {
+		return cfgerr.New("sim", "budget", "sim: power budget must be positive and finite, got %g", c.Budget)
 	}
 	if err := c.Power.Validate(); err != nil {
 		return err
 	}
 	if c.Quality == nil {
-		return fmt.Errorf("sim: quality function is required")
+		return cfgerr.New("sim", "quality", "sim: quality function is required")
 	}
 	if c.Triggers.Quantum <= 0 && c.Triggers.Counter <= 0 && !c.Triggers.IdleCore && !c.Triggers.OnArrival {
-		return fmt.Errorf("sim: at least one trigger must be enabled")
+		return cfgerr.New("sim", "triggers", "sim: at least one trigger must be enabled")
 	}
-	if c.IdleBurnSpeed < 0 || c.MaxSpeed < 0 {
-		return fmt.Errorf("sim: negative speed in config")
+	if math.IsNaN(c.Triggers.Quantum) {
+		return cfgerr.New("sim", "triggers", "sim: quantum is NaN")
+	}
+	if c.IdleBurnSpeed < 0 || c.MaxSpeed < 0 || math.IsNaN(c.IdleBurnSpeed) || math.IsNaN(c.MaxSpeed) {
+		return cfgerr.New("sim", "speed", "sim: negative or NaN speed in config")
 	}
 	for _, f := range c.Faults {
 		if err := f.Validate(c.Cores); err != nil {

@@ -1,0 +1,224 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallGrid() Grid {
+	return Grid{
+		Rates:    []float64{30, 60},
+		Cores:    []int{4},
+		Budgets:  []float64{80},
+		Policies: []string{"des", "fcfs-wf"},
+		Seeds:    []uint64{1, 2},
+		Duration: 10,
+	}
+}
+
+func TestCellsCanonicalOrder(t *testing.T) {
+	cells := smallGrid().Cells()
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	// rates outermost, seeds innermost.
+	if cells[0].Rate != 30 || cells[0].Policy != "des" || cells[0].Seed != 1 {
+		t.Errorf("cell 0 = %+v", cells[0])
+	}
+	if cells[1].Seed != 2 || cells[1].Policy != "des" {
+		t.Errorf("cell 1 = %+v", cells[1])
+	}
+	if cells[2].Policy != "fcfs-wf" {
+		t.Errorf("cell 2 = %+v", cells[2])
+	}
+	if cells[4].Rate != 60 {
+		t.Errorf("cell 4 = %+v", cells[4])
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d carries index %d", i, c.Index)
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkers: identical reports (cell order and every
+// float bit) no matter the worker count.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := smallGrid()
+	var base Report
+	for i, workers := range []int{1, 4, 16} {
+		rep, err := Run(context.Background(), g, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			base = rep
+			continue
+		}
+		if len(rep.Cells) != len(base.Cells) {
+			t.Fatalf("workers=%d: %d cells, want %d", workers, len(rep.Cells), len(base.Cells))
+		}
+		for j := range rep.Cells {
+			a, b := base.Cells[j], rep.Cells[j]
+			if a.Cell != b.Cell {
+				t.Errorf("workers=%d cell %d: params differ: %+v vs %+v", workers, j, a.Cell, b.Cell)
+			}
+			for _, p := range [][2]float64{
+				{a.NormQuality, b.NormQuality},
+				{a.Quality, b.Quality},
+				{a.Energy, b.Energy},
+				{a.PeakPower, b.PeakPower},
+			} {
+				if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+					t.Errorf("workers=%d cell %d: float differs: %v vs %v", workers, j, p[0], p[1])
+				}
+			}
+			if a.Events != b.Events || a.Completed != b.Completed {
+				t.Errorf("workers=%d cell %d: counters differ", workers, j)
+			}
+		}
+	}
+}
+
+// TestClusterCellsDeterministic: the cluster path through the sweep is as
+// deterministic as the single-server one.
+func TestClusterCellsDeterministic(t *testing.T) {
+	g := Grid{
+		Rates:            []float64{120},
+		Cores:            []int{4},
+		Budgets:          []float64{80},
+		Policies:         []string{"des"},
+		Seeds:            []uint64{1, 2},
+		Duration:         10,
+		Servers:          4,
+		GlobalBudgetFrac: 0.7,
+	}
+	a, err := Run(context.Background(), g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), g, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Cells {
+		if math.Float64bits(a.Cells[j].Energy) != math.Float64bits(b.Cells[j].Energy) ||
+			math.Float64bits(a.Cells[j].Quality) != math.Float64bits(b.Cells[j].Quality) {
+			t.Errorf("cluster cell %d differs across worker counts", j)
+		}
+		if a.Cells[j].Servers != 4 {
+			t.Errorf("cell %d servers = %d, want 4", j, a.Cells[j].Servers)
+		}
+	}
+}
+
+func TestTelemetrySnapshots(t *testing.T) {
+	g := Grid{Rates: []float64{30}, Cores: []int{4}, Budgets: []float64{80},
+		Policies: []string{"des"}, Seeds: []uint64{1}, Duration: 5}
+	rep, err := Run(context.Background(), g, Options{Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rep.Cells[0].Telemetry
+	if snap == nil {
+		t.Fatal("no telemetry snapshot attached")
+	}
+	found := false
+	for _, fam := range snap.Families {
+		if fam.Name == "sim_norm_quality" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("snapshot lacks sim_norm_quality")
+	}
+
+	// Cluster cells get result-level gauges.
+	g.Servers = 2
+	rep, err = Run(context.Background(), g, Options{Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = rep.Cells[0].Telemetry
+	if snap == nil {
+		t.Fatal("no cluster telemetry snapshot")
+	}
+	found = false
+	for _, fam := range snap.Families {
+		if fam.Name == "sweep_norm_quality" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cluster snapshot lacks sweep_norm_quality")
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, smallGrid(), Options{Workers: 2})
+	if err == nil {
+		t.Fatal("canceled sweep returned no error")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Grid
+	}{
+		{"NaN rate", Grid{Rates: []float64{math.NaN()}}},
+		{"zero cores", Grid{Cores: []int{0}}},
+		{"negative budget", Grid{Budgets: []float64{-1}}},
+		{"unknown policy", Grid{Policies: []string{"nope"}}},
+		{"bad dispatch", Grid{Dispatch: "nope"}},
+		{"frac out of range", Grid{GlobalBudgetFrac: 1.5}},
+		{"negative duration", Grid{Duration: -5}},
+	}
+	for _, tc := range cases {
+		if err := tc.g.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+	if err := (Grid{}).Validate(); err != nil {
+		t.Errorf("zero grid rejected: %v", err)
+	}
+}
+
+func TestWriteJSONAndCSV(t *testing.T) {
+	g := Grid{Rates: []float64{30}, Cores: []int{4}, Budgets: []float64{80},
+		Policies: []string{"des"}, Seeds: []uint64{1}, Duration: 5}
+	rep, err := Run(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jb bytes.Buffer
+	if err := WriteJSON(&jb, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(jb.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != Schema || len(back.Cells) != 1 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+
+	var cb bytes.Buffer
+	if err := WriteCSV(&cb, rep); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "index,rate,cores") {
+		t.Errorf("unexpected CSV header: %s", lines[0])
+	}
+}

@@ -1,10 +1,10 @@
 package workload
 
 import (
-	"fmt"
 	"math"
 	"math/rand/v2"
 
+	"dessched/internal/cfgerr"
 	"dessched/internal/job"
 )
 
@@ -47,19 +47,19 @@ func DefaultDiurnal(baseRate float64) DiurnalConfig {
 // Validate reports configuration errors.
 func (c DiurnalConfig) Validate() error {
 	if c.BaseRate <= 0 {
-		return fmt.Errorf("workload: base rate must be positive, got %g", c.BaseRate)
+		return cfgerr.New("workload", "base_rate", "workload: base rate must be positive, got %g", c.BaseRate)
 	}
 	if c.Amplitude < 0 || c.Amplitude >= 1 {
-		return fmt.Errorf("workload: amplitude must be in [0, 1), got %g", c.Amplitude)
+		return cfgerr.New("workload", "amplitude", "workload: amplitude must be in [0, 1), got %g", c.Amplitude)
 	}
 	if c.Period <= 0 {
-		return fmt.Errorf("workload: period must be positive, got %g", c.Period)
+		return cfgerr.New("workload", "period", "workload: period must be positive, got %g", c.Period)
 	}
 	if c.Duration <= 0 || c.Deadline <= 0 {
-		return fmt.Errorf("workload: duration and deadline must be positive")
+		return cfgerr.New("workload", "duration", "workload: duration and deadline must be positive")
 	}
 	if c.PartialFraction < 0 || c.PartialFraction > 1 {
-		return fmt.Errorf("workload: partial fraction must be in [0,1], got %g", c.PartialFraction)
+		return cfgerr.New("workload", "partial_fraction", "workload: partial fraction must be in [0,1], got %g", c.PartialFraction)
 	}
 	return c.Demand.Validate()
 }

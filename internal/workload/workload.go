@@ -7,10 +7,10 @@
 package workload
 
 import (
-	"fmt"
 	"math"
 	"math/rand/v2"
 
+	"dessched/internal/cfgerr"
 	"dessched/internal/job"
 )
 
@@ -25,13 +25,16 @@ type BoundedPareto struct {
 // DefaultDemand is the paper's service-demand distribution.
 var DefaultDemand = BoundedPareto{Alpha: 3, Xmin: 130, Xmax: 1000}
 
-// Validate returns an error when the parameters are out of range.
+// Validate returns an error when the parameters are out of range. NaN
+// parameters are rejected explicitly: NaN compares false against every
+// threshold, so without the check a NaN shape would sail through and turn
+// every sampled demand into NaN.
 func (b BoundedPareto) Validate() error {
-	if b.Alpha <= 0 {
-		return fmt.Errorf("workload: alpha must be positive, got %g", b.Alpha)
+	if b.Alpha <= 0 || math.IsNaN(b.Alpha) {
+		return cfgerr.New("workload", "alpha", "workload: alpha must be positive, got %g", b.Alpha)
 	}
-	if b.Xmin <= 0 || b.Xmax <= b.Xmin {
-		return fmt.Errorf("workload: need 0 < xmin < xmax, got [%g, %g]", b.Xmin, b.Xmax)
+	if b.Xmin <= 0 || b.Xmax <= b.Xmin || math.IsNaN(b.Xmin) || math.IsNaN(b.Xmax) || math.IsInf(b.Xmax, 0) {
+		return cfgerr.New("workload", "demand", "workload: need 0 < xmin < xmax finite, got [%g, %g]", b.Xmin, b.Xmax)
 	}
 	return nil
 }
@@ -75,14 +78,14 @@ type Burst struct {
 
 // Validate reports parameter errors.
 func (b Burst) Validate() error {
-	if b.Start < 0 {
-		return fmt.Errorf("workload: burst start %g is negative", b.Start)
+	if b.Start < 0 || math.IsNaN(b.Start) {
+		return cfgerr.New("workload", "bursts", "workload: burst start %g is negative", b.Start)
 	}
-	if b.End <= b.Start {
-		return fmt.Errorf("workload: burst window [%g, %g] empty", b.Start, b.End)
+	if b.End <= b.Start || math.IsNaN(b.End) {
+		return cfgerr.New("workload", "bursts", "workload: burst window [%g, %g] empty", b.Start, b.End)
 	}
-	if b.Multiplier <= 0 {
-		return fmt.Errorf("workload: burst multiplier must be positive, got %g", b.Multiplier)
+	if b.Multiplier <= 0 || math.IsNaN(b.Multiplier) || math.IsInf(b.Multiplier, 0) {
+		return cfgerr.New("workload", "bursts", "workload: burst multiplier must be positive and finite, got %g", b.Multiplier)
 	}
 	return nil
 }
@@ -112,19 +115,22 @@ func DefaultConfig(rate float64) Config {
 	}
 }
 
-// Validate returns an error for out-of-range configuration.
+// Validate returns an error for out-of-range configuration. Failures are
+// typed *cfgerr.Error values; NaN and infinite parameters are rejected
+// (NaN compares false against every threshold, so it would otherwise
+// produce an empty or never-terminating stream instead of an error).
 func (c Config) Validate() error {
-	if c.Rate <= 0 {
-		return fmt.Errorf("workload: rate must be positive, got %g", c.Rate)
+	if c.Rate <= 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) {
+		return cfgerr.New("workload", "rate", "workload: rate must be positive and finite, got %g", c.Rate)
 	}
-	if c.Duration <= 0 {
-		return fmt.Errorf("workload: duration must be positive, got %g", c.Duration)
+	if c.Duration <= 0 || math.IsNaN(c.Duration) || math.IsInf(c.Duration, 0) {
+		return cfgerr.New("workload", "duration", "workload: duration must be positive and finite, got %g", c.Duration)
 	}
-	if c.Deadline <= 0 {
-		return fmt.Errorf("workload: deadline window must be positive, got %g", c.Deadline)
+	if c.Deadline <= 0 || math.IsNaN(c.Deadline) || math.IsInf(c.Deadline, 0) {
+		return cfgerr.New("workload", "deadline", "workload: deadline window must be positive and finite, got %g", c.Deadline)
 	}
-	if c.PartialFraction < 0 || c.PartialFraction > 1 {
-		return fmt.Errorf("workload: partial fraction must be in [0,1], got %g", c.PartialFraction)
+	if c.PartialFraction < 0 || c.PartialFraction > 1 || math.IsNaN(c.PartialFraction) {
+		return cfgerr.New("workload", "partial_fraction", "workload: partial fraction must be in [0,1], got %g", c.PartialFraction)
 	}
 	for _, b := range c.Bursts {
 		if err := b.Validate(); err != nil {

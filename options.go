@@ -1,0 +1,237 @@
+package dessched
+
+import (
+	"context"
+	"io"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/cluster"
+	"dessched/internal/hw"
+	"dessched/internal/sim"
+	"dessched/internal/sweep"
+	"dessched/internal/telemetry"
+)
+
+// Cluster and sweep types, exported through the facade. (The pre-existing
+// Cluster alias names the emulated hardware testbed — see HardwareCluster —
+// not this simulated fleet.)
+type (
+	// ClusterConfig describes a simulated fleet of DES servers behind a
+	// dispatcher sharing a global power budget.
+	ClusterConfig = cluster.Config
+	// ClusterResult aggregates a cluster run across the fleet.
+	ClusterResult = cluster.Result
+	// ClusterServerResult is one server's slice of a cluster run.
+	ClusterServerResult = cluster.ServerResult
+	// DispatchPolicy selects how the front-end routes requests to servers.
+	DispatchPolicy = cluster.Dispatch
+
+	// SweepGrid is a cartesian parameter space (rate × cores × budget ×
+	// policy × seed) for the parallel sweep executor.
+	SweepGrid = sweep.Grid
+	// SweepCell is one point of a sweep grid.
+	SweepCell = sweep.Cell
+	// SweepCellResult is one simulated sweep cell.
+	SweepCellResult = sweep.CellResult
+	// SweepOptions tunes sweep execution (worker count, telemetry) without
+	// affecting results.
+	SweepOptions = sweep.Options
+	// SweepReport is a completed sweep: grid, throughput, per-cell results.
+	SweepReport = sweep.Report
+
+	// ConfigError is the typed validation error returned for invalid
+	// simulation, workload, cluster, or sweep configuration. Detect it
+	// with AsConfigError (or errors.As) instead of matching messages.
+	ConfigError = cfgerr.Error
+
+	// Observer receives simulation events (ServerConfig.Observer).
+	Observer = sim.Observer
+	// Recorder receives executed plan slices (ServerConfig.Recorder).
+	Recorder = sim.Recorder
+
+	// MetricsRegistry collects named metric families for exposition; see
+	// WithTelemetry and the telemetry HTTP endpoints.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's families.
+	MetricsSnapshot = telemetry.Snapshot
+
+	// HardwareCluster is the emulated hardware testbed used for the §V-G
+	// energy validation (same type as the legacy Cluster alias).
+	HardwareCluster = hw.Cluster
+)
+
+// Dispatch policies for ClusterConfig.Dispatch.
+const (
+	// DispatchRoundRobin spreads arrivals cumulatively across available
+	// servers — the fleet-level analogue of DES's C-RR job distribution.
+	DispatchRoundRobin = cluster.RoundRobin
+	// DispatchLeastLoaded routes to the server with the least outstanding
+	// dispatched demand.
+	DispatchLeastLoaded = cluster.LeastLoaded
+	// DispatchHash routes by a stateless hash of the job ID (sticky).
+	DispatchHash = cluster.Hash
+)
+
+// ParseDispatchPolicy parses "round-robin"/"rr", "least-loaded"/"ll", or
+// "hash".
+func ParseDispatchPolicy(s string) (DispatchPolicy, error) { return cluster.ParseDispatch(s) }
+
+// AsConfigError unwraps err (through any %w chains) to the typed
+// configuration error, reporting whether one was found.
+func AsConfigError(err error) (*ConfigError, bool) { return cfgerr.As(err) }
+
+// NewMetricsRegistry returns an empty metrics registry for WithTelemetry
+// or the HTTP exposition endpoint.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// simSetup is the mutable state SimOptions act on before a run starts.
+type simSetup struct {
+	cfg       *sim.Config
+	observers []sim.Observer
+	recorders []sim.Recorder
+	finish    []func(Result)
+}
+
+// SimOption customizes one Simulate (or SimulateCluster) call. Options
+// compose left to right; a failing option aborts the run with its error
+// before any simulation work happens.
+type SimOption func(*simSetup) error
+
+// WithContext cancels the simulation when ctx fires: the engine polls the
+// context periodically and returns ctx.Err() mid-run.
+func WithContext(ctx context.Context) SimOption {
+	return func(s *simSetup) error {
+		s.cfg.Context = ctx
+		return nil
+	}
+}
+
+// WithObserver streams simulation events (arrivals, invocations,
+// departures, fault edges) to obs, composing with any observer already on
+// the config and with other options.
+func WithObserver(obs Observer) SimOption {
+	return func(s *simSetup) error {
+		s.observers = append(s.observers, obs)
+		return nil
+	}
+}
+
+// WithRecorder streams executed plan slices to rec (e.g. a *Trace),
+// composing like WithObserver.
+func WithRecorder(rec Recorder) SimOption {
+	return func(s *simSetup) error {
+		s.recorders = append(s.recorders, rec)
+		return nil
+	}
+}
+
+// WithTelemetry wires a full simulation metrics collector into the run:
+// event counters, quality/speed histograms, per-core utilization, and the
+// run's aggregate result, all registered on reg for exposition (e.g. via
+// the server's Prometheus endpoint). Use a fresh registry per run.
+func WithTelemetry(reg *MetricsRegistry) SimOption {
+	return func(s *simSetup) error {
+		if reg == nil {
+			return cfgerr.New("facade", "telemetry", "dessched: WithTelemetry needs a non-nil registry")
+		}
+		col := telemetry.NewSimCollector(reg, s.cfg.Cores)
+		s.observers = append(s.observers, col.Observe)
+		s.recorders = append(s.recorders, col)
+		s.finish = append(s.finish, col.Finish)
+		return nil
+	}
+}
+
+// WithChaos injects a sampled fault schedule into the run: core faults and
+// budget faults are appended to the config. The plan's arrival bursts
+// cannot be applied here — bursts act at workload-generation time — so a
+// plan carrying bursts is rejected with a typed error rather than silently
+// under-reporting the intended stress.
+func WithChaos(plan ChaosPlan) SimOption {
+	return func(s *simSetup) error {
+		if len(plan.Bursts) > 0 {
+			return cfgerr.New("facade", "chaos",
+				"dessched: chaos plan carries %d arrival bursts; apply bursts to the workload config (Bursts field) before generating jobs", len(plan.Bursts))
+		}
+		s.cfg.Faults = append(s.cfg.Faults, plan.Faults...)
+		s.cfg.BudgetFaults = append(s.cfg.BudgetFaults, plan.BudgetFaults...)
+		return nil
+	}
+}
+
+// apply runs the options over a copy of cfg and merges the collected
+// observers/recorders with whatever the config already carries.
+func applyOptions(cfg sim.Config, opts []SimOption) (sim.Config, []func(Result), error) {
+	s := simSetup{cfg: &cfg}
+	for _, opt := range opts {
+		if err := opt(&s); err != nil {
+			return cfg, nil, err
+		}
+	}
+	if len(s.observers) > 0 {
+		if cfg.Observer != nil {
+			s.observers = append([]sim.Observer{cfg.Observer}, s.observers...)
+		}
+		if len(s.observers) == 1 {
+			cfg.Observer = s.observers[0]
+		} else {
+			cfg.Observer = telemetry.MultiObserver(s.observers...)
+		}
+	}
+	if len(s.recorders) > 0 {
+		if cfg.Recorder != nil {
+			s.recorders = append([]sim.Recorder{cfg.Recorder}, s.recorders...)
+		}
+		if len(s.recorders) == 1 {
+			cfg.Recorder = s.recorders[0]
+		} else {
+			cfg.Recorder = telemetry.MultiRecorder(s.recorders...)
+		}
+	}
+	return cfg, s.finish, nil
+}
+
+// SimulateCluster runs a whole fleet: the dispatcher spreads jobs across
+// the servers, the hierarchical water-filling stage partitions the global
+// power budget per tick-epoch, and every server runs the single-server
+// engine in parallel. Results are bit-identical for any ClusterConfig
+// .Workers value. Of the simulation options only WithContext applies at
+// fleet scope; per-run hooks (observers, recorders, telemetry, chaos) are
+// rejected with a typed error — use ClusterConfig.Faults for fleet chaos.
+func SimulateCluster(cfg ClusterConfig, jobs []Job, opts ...SimOption) (ClusterResult, error) {
+	probe := simSetup{cfg: &cfg.Server}
+	faults0, bfaults0 := len(cfg.Server.Faults), len(cfg.Server.BudgetFaults)
+	for _, opt := range opts {
+		before := probe
+		if err := opt(&probe); err != nil {
+			return ClusterResult{}, err
+		}
+		if len(probe.observers) != len(before.observers) ||
+			len(probe.recorders) != len(before.recorders) ||
+			len(probe.finish) != len(before.finish) ||
+			len(cfg.Server.Faults) != faults0 || len(cfg.Server.BudgetFaults) != bfaults0 {
+			return ClusterResult{}, cfgerr.New("facade", "options",
+				"dessched: only WithContext applies to SimulateCluster; per-run hooks cannot span the fleet's concurrent engines")
+		}
+	}
+	return cluster.Run(cfg, jobs)
+}
+
+// ClusterChaosFaults samples an independent seeded core-fault schedule for
+// every server of a fleet (ClusterConfig.Faults).
+func ClusterChaosFaults(seed uint64, horizon float64, servers, cores int) ([][]Fault, error) {
+	return cluster.ChaosFaults(seed, horizon, servers, cores)
+}
+
+// RunSweep executes a parameter grid across a bounded worker pool. The
+// report's cell order and every result bit are independent of
+// SweepOptions.Workers. Cancel ctx to abort early.
+func RunSweep(ctx context.Context, grid SweepGrid, opts SweepOptions) (SweepReport, error) {
+	return sweep.Run(ctx, grid, opts)
+}
+
+// WriteSweepJSON writes a sweep report as indented JSON.
+func WriteSweepJSON(w io.Writer, rep SweepReport) error { return sweep.WriteJSON(w, rep) }
+
+// WriteSweepCSV writes a sweep report as one CSV row per cell.
+func WriteSweepCSV(w io.Writer, rep SweepReport) error { return sweep.WriteCSV(w, rep) }
