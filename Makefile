@@ -48,6 +48,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzWaterLevel -fuzztime=$(FUZZTIME) ./internal/stats
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -fuzz=FuzzLoadJobs -fuzztime=$(FUZZTIME) ./internal/workload
+	$(GO) test -fuzz=FuzzWriteSSE -fuzztime=$(FUZZTIME) ./internal/httpapi
 
 # Run a short chaotic simulation and export it as a Perfetto trace.
 # Open results/trace.json in https://ui.perfetto.dev to browse per-core

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"dessched"
+	"dessched/internal/telemetry"
+)
+
+// liveTicker returns an OnSample hook rendering epoch samples as a
+// terminal ticker — the CLI view of the same per-epoch stream that
+// GET /v1/stream serves over SSE. Cluster engines fire the hook from
+// concurrent worker goroutines, so the printer is mutex-guarded.
+func liveTicker(w io.Writer) func(telemetry.Sample) {
+	var mu sync.Mutex
+	return func(s telemetry.Sample) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, "live t=%7.1fs server %2d epoch %4d | q=%8.3f e=%8.1fJ budget=%6.1fW queue=%3d avail=%.2f done=%d ddl=%d shed=%d\n",
+			s.Time, s.Server, s.Epoch, s.Quality, s.EnergyJ, s.BudgetW,
+			s.QueueDepth, s.Availability, s.Completed, s.Deadlined, s.Shed)
+	}
+}
+
+// writeSeriesFile serializes an epoch-series recorder by extension:
+// .csv writes CSV, anything else the stable dessched-series/v1 JSON.
+func writeSeriesFile(path string, rec *dessched.SeriesRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		err = dessched.WriteSeriesCSV(f, rec)
+	} else {
+		err = dessched.WriteSeriesJSON(f, rec)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("series: %d epoch samples written to %s\n", rec.Len(), path)
+	return nil
+}
+
+// writeSpanFiles writes the span trace as stable JSON and/or Perfetto.
+func writeSpanFiles(jsonPath, perfettoPath string, tr *dessched.SpanTracer) error {
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dessched.WriteSpanJSON(f, tr); err != nil {
+			return err
+		}
+		fmt.Printf("spans: %d spans written to %s\n", tr.Len(), jsonPath)
+	}
+	if perfettoPath != "" {
+		f, err := os.Create(perfettoPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dessched.WriteSpanPerfetto(f, tr); err != nil {
+			return err
+		}
+		fmt.Printf("spans: perfetto written to %s (load in https://ui.perfetto.dev)\n", perfettoPath)
+	}
+	return nil
+}
+
+// simInstrumentFlags are cmdSim's observability outputs, shared by the
+// single-server and cluster paths.
+type simInstrumentFlags struct {
+	live          bool
+	spansOut      string
+	spansPerfetto string
+	seriesOut     string
+	epoch         float64
+}
+
+func (fl simInstrumentFlags) wantSpans() bool  { return fl.spansOut != "" || fl.spansPerfetto != "" }
+func (fl simInstrumentFlags) wantSeries() bool { return fl.seriesOut != "" || fl.live }
+
+// clusterSpec translates cmdSim's single-server policy flags into a
+// cluster policy spec string (des + arch collapse to des-c/s/no, the
+// baselines honor -wf).
+func clusterSpec(policy, arch string, wf bool) (string, error) {
+	switch strings.ToLower(policy) {
+	case "des":
+		switch strings.ToLower(arch) {
+		case "c":
+			return "des-c", nil
+		case "s":
+			return "des-s", nil
+		case "no":
+			return "des-no", nil
+		}
+		return "", fmt.Errorf("unknown arch %q", arch)
+	case "fcfs", "ljf", "sjf":
+		if wf {
+			return strings.ToLower(policy) + "-wf", nil
+		}
+		return strings.ToLower(policy), nil
+	}
+	return "", fmt.Errorf("unknown policy %q", policy)
+}
+
+// runClusterSim is cmdSim's -servers > 1 path: one fleet run with the
+// full instrumentation surface — live ticker, span trace, epoch series,
+// merged telemetry, and a cluster-trace bundle for destrace.
+func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
+	wl dessched.WorkloadConfig, dispatch string, globalBudget float64,
+	chaosSeed uint64, fl simInstrumentFlags, traceOut, perfettoOut, telemetryOut string) error {
+
+	d, err := dessched.ParseDispatchPolicy(dispatch)
+	if err != nil {
+		return err
+	}
+	ccfg := dessched.ClusterConfig{
+		Servers:      servers,
+		Server:       cfg,
+		Policy:       spec,
+		Dispatch:     d,
+		GlobalBudget: globalBudget,
+		Epoch:        fl.epoch,
+	}
+
+	ins := &dessched.ClusterInstrument{}
+	var tracer *dessched.SpanTracer
+	if fl.wantSpans() {
+		tracer = dessched.NewSpanTracer()
+		ins.Tracer = tracer
+	}
+	var rec *dessched.SeriesRecorder
+	if fl.wantSeries() {
+		rec = dessched.NewSeriesRecorder(0)
+		if fl.live {
+			rec.OnSample = liveTicker(os.Stdout)
+		}
+		ins.Series = rec
+	}
+	var reg *dessched.MetricsRegistry
+	if telemetryOut != "" {
+		reg = dessched.NewMetricsRegistry()
+		ins.Registry = reg
+	}
+	ins.Traces = traceOut != "" || perfettoOut != ""
+	ccfg.Instrument = ins
+
+	if chaosSeed > 0 {
+		faults, err := dessched.ClusterChaosFaults(chaosSeed, wl.Duration, servers, cfg.Cores)
+		if err != nil {
+			return err
+		}
+		ccfg.Faults = faults
+	}
+
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		return err
+	}
+	res, err := dessched.SimulateCluster(ccfg, jobs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster: %d × %s servers, dispatch %s, global budget %.0f W\n",
+		res.Servers, spec, res.Dispatch, globalBudget)
+	fmt.Printf("quality %.2f / %.2f (norm %.4f), energy %.1f J, peak-power sum %.1f W\n",
+		res.Quality, res.MaxQuality, res.NormQuality, res.Energy, res.PeakPowerSum)
+	fmt.Printf("arrived %d, completed %d, deadlined %d, shed %d, span %.2f s\n",
+		res.Arrived, res.Completed, res.Deadlined, res.Shed, res.Span)
+	for _, sr := range res.PerServer {
+		fmt.Printf("  server %2d: %4d jobs, share %6.1f W, norm quality %.4f, energy %8.1f J\n",
+			sr.Server, sr.Jobs, sr.BudgetShareW, sr.Result.NormQuality, sr.Result.Energy)
+	}
+
+	if traceOut != "" || perfettoOut != "" {
+		ct := &dessched.ClusterTraceFile{
+			Servers:   res.Servers,
+			Cores:     cfg.Cores,
+			PerServer: res.Traces,
+			Dispatch:  res.DispatchEvents,
+			Budget:    res.BudgetWindows,
+			Faults:    ccfg.Faults,
+		}
+		if traceOut != "" {
+			if !strings.EqualFold(filepath.Ext(traceOut), ".json") {
+				return fmt.Errorf("cluster -trace writes a JSON bundle; use a .json path, got %q", traceOut)
+			}
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := dessched.WriteClusterTraceJSON(f, ct); err != nil {
+				return err
+			}
+			fmt.Printf("trace: cluster bundle written to %s (inspect with destrace -in %s)\n", traceOut, traceOut)
+		}
+		if perfettoOut != "" {
+			f, err := os.Create(perfettoOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := dessched.WriteClusterPerfetto(f, ct); err != nil {
+				return err
+			}
+			fmt.Printf("perfetto: cluster trace written to %s (load in https://ui.perfetto.dev)\n", perfettoOut)
+		}
+	}
+	if tracer != nil {
+		if err := writeSpanFiles(fl.spansOut, fl.spansPerfetto, tracer); err != nil {
+			return err
+		}
+	}
+	if fl.seriesOut != "" {
+		if err := writeSeriesFile(fl.seriesOut, rec); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		f, err := os.Create(telemetryOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WritePrometheus(f, reg.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: merged cluster snapshot written to %s\n", telemetryOut)
+	}
+	return nil
+}

@@ -10,6 +10,8 @@
 //	desim sim -policy des -arch c -rate 120 [-cores 16] [-budget 320] [-wf]
 //	          [-discrete] [-duration 60] [-seed 1] [-partial 1.0] [-trace out.csv]
 //	          [-chaos-seed 1] [-telemetry metrics.prom] [-perfetto trace.json]
+//	          [-live] [-epoch 1] [-spans spans.json] [-series series.csv]
+//	          [-servers 8 -dispatch rr -global-budget 2000]
 //	desim chaos -seed 1 [-rate 120] [-duration 30] [-cores 16] [-budget 320]
 //	            [-core-faults 3] [-budget-faults 1] [-bursts 1]
 //	            [-admission quality-aware -max-queue 64]
@@ -88,6 +90,10 @@ sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
            -rate r  -cores m  -budget W  -partial f  -duration s  -seed n
            -trace file.csv  -events  -chaos-seed n
            -telemetry file.prom  -perfetto file.json
+           -live  -epoch s  -spans file.json  -spans-perfetto file.json
+           -series file.json|.csv
+           -servers m  -dispatch rr|ll|hash  -global-budget W
+           (with -servers > 1, -trace/-perfetto write the cluster bundle)
 chaos flags: -seed n  -rate r  -duration s  -cores m  -budget W  -arch c|s|no
              -core-faults n  -budget-faults n  -bursts n  -outage-frac f
              -admission none|tail-drop|quality-aware  -max-queue n
@@ -376,6 +382,14 @@ func cmdSim(args []string) error {
 	chaosSeed := fs.Uint64("chaos-seed", 0, "apply a seeded chaos fault plan to the run (0 = none)")
 	telemetryOut := fs.String("telemetry", "", "write a Prometheus-format metrics snapshot of the run to this file")
 	perfettoOut := fs.String("perfetto", "", "write the executed schedule as Perfetto/Chrome trace-event JSON to this file")
+	servers := fs.Int("servers", 1, "fleet size; > 1 runs the cluster path (dispatcher + hierarchical budget)")
+	dispatch := fs.String("dispatch", "rr", "cluster dispatch policy: rr | ll | hash (with -servers > 1)")
+	globalBudget := fs.Float64("global-budget", 0, "global datacenter budget, W (0 = no hierarchy; with -servers > 1)")
+	live := fs.Bool("live", false, "render per-epoch samples as a terminal ticker while the run executes")
+	epoch := fs.Float64("epoch", 1, "epoch length for -live/-series sampling and cluster budget reflow, s")
+	spansOut := fs.String("spans", "", "write the hierarchical span trace as dessched-spans/v1 JSON to this file")
+	spansPerfetto := fs.String("spans-perfetto", "", "write the span trace as Perfetto/Chrome trace-event JSON to this file")
+	seriesOut := fs.String("series", "", "write per-epoch samples to this file (.csv for CSV, else JSON)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -385,6 +399,26 @@ func cmdSim(args []string) error {
 	cfg.Budget = *budget
 	if *discrete {
 		cfg.Ladder = power.DefaultLadder
+	}
+
+	fl := simInstrumentFlags{
+		live: *live, spansOut: *spansOut, spansPerfetto: *spansPerfetto,
+		seriesOut: *seriesOut, epoch: *epoch,
+	}
+	if *servers > 1 {
+		if *events {
+			return fmt.Errorf("-events is single-server only; cluster runs expose counts via -telemetry")
+		}
+		spec, err := clusterSpec(*policy, *arch, *wf)
+		if err != nil {
+			return err
+		}
+		wl := dessched.PaperWorkload(*rate)
+		wl.Duration = *duration
+		wl.Seed = *seed
+		wl.PartialFraction = *partial
+		return runClusterSim(*servers, spec, cfg, wl, *dispatch, *globalBudget,
+			*chaosSeed, fl, *traceOut, *perfettoOut, *telemetryOut)
 	}
 
 	var p dessched.Policy
@@ -463,11 +497,28 @@ func cmdSim(args []string) error {
 		cfg.Observer = collector.Observe
 	}
 
+	// Span / series instrumentation rides the options API; both are
+	// simulation-clock driven, so outputs are reproducible per seed.
+	var opts []dessched.SimOption
+	var spanTracer *dessched.SpanTracer
+	if fl.wantSpans() {
+		spanTracer = dessched.NewSpanTracer()
+		opts = append(opts, dessched.WithSpans(spanTracer))
+	}
+	var seriesRec *dessched.SeriesRecorder
+	if fl.wantSeries() {
+		seriesRec = dessched.NewSeriesRecorder(0)
+		if fl.live {
+			seriesRec.OnSample = liveTicker(os.Stdout)
+		}
+		opts = append(opts, dessched.WithSeries(seriesRec, fl.epoch))
+	}
+
 	jobs, err := dessched.GenerateWorkload(wl)
 	if err != nil {
 		return err
 	}
-	res, err := dessched.Simulate(cfg, jobs, p)
+	res, err := dessched.Simulate(cfg, jobs, p, opts...)
 	if err != nil {
 		return err
 	}
@@ -521,6 +572,16 @@ func cmdSim(args []string) error {
 			return err
 		}
 		fmt.Printf("telemetry: metrics snapshot written to %s\n", *telemetryOut)
+	}
+	if spanTracer != nil {
+		if err := writeSpanFiles(fl.spansOut, fl.spansPerfetto, spanTracer); err != nil {
+			return err
+		}
+	}
+	if fl.seriesOut != "" {
+		if err := writeSeriesFile(fl.seriesOut, seriesRec); err != nil {
+			return err
+		}
 	}
 	return nil
 }

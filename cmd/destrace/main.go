@@ -1,16 +1,22 @@
 // Command destrace inspects executed-schedule traces produced by
 // `desim sim -trace`: summary statistics, energy under a power model,
 // CSV/JSON conversion, and replay on the emulated Opteron validation
-// cluster (§V-G).
+// cluster (§V-G). Cluster-trace bundles written by
+// `desim sim -servers M -trace ct.json` (schema dessched-cluster-trace/v1)
+// are recognized automatically: per-server summaries plus a multi-process
+// Perfetto export with dispatch/reroute and budget-reflow overlays.
 //
 // Usage:
 //
 //	destrace -in trace.csv [-model default|opteron] [-json out.json]
 //	destrace -in trace.csv -measure [-cores 8]
 //	destrace -in trace.csv -perfetto trace.json   # view in ui.perfetto.dev
+//	destrace -in cluster.json -perfetto trace.json
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -68,7 +74,21 @@ func run(in string, o runOpts) error {
 	defer f.Close()
 	var tr *trace.Trace
 	if strings.HasSuffix(strings.ToLower(in), ".json") {
-		tr, err = trace.ReadJSON(f)
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		if isClusterTrace(data) {
+			ct, err := telemetry.ReadClusterTraceJSON(bytes.NewReader(data))
+			if err != nil {
+				return err
+			}
+			return runClusterTrace(ct, o)
+		}
+		tr, err = trace.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
 	} else {
 		tr, err = trace.ReadCSV(f)
 	}
@@ -149,6 +169,91 @@ func run(in string, o runOpts) error {
 		if err := plot.Gantt(os.Stdout, tr, plot.GanttOptions{From: o.from, To: o.to, Width: 100}); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// isClusterTrace sniffs the schema tag of a JSON input without assuming
+// field order.
+func isClusterTrace(data []byte) bool {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	return probe.Schema == telemetry.ClusterTraceSchema
+}
+
+// runClusterTrace summarizes a cluster bundle and serves -perfetto; the
+// single-server-only operations get explicit errors instead of silently
+// misreading a fleet as one machine.
+func runClusterTrace(ct *telemetry.ClusterTrace, o runOpts) error {
+	if o.measure {
+		return fmt.Errorf("-measure replays one server's schedule; extract a per-server trace from the bundle first")
+	}
+	if o.gantt {
+		return fmt.Errorf("-gantt renders one server; use -perfetto for the multi-server view")
+	}
+	if o.jsonOut != "" {
+		return fmt.Errorf("-json converts single-server traces; the bundle is already JSON")
+	}
+
+	var m power.Model
+	switch o.model {
+	case "default":
+		m = power.Default
+	case "opteron":
+		m = power.Opteron
+	default:
+		return fmt.Errorf("unknown model %q", o.model)
+	}
+
+	reroutes := 0
+	for _, d := range ct.Dispatch {
+		if d.Rerouted {
+			reroutes++
+		}
+	}
+	fmt.Printf("cluster trace: %d servers × %d cores, %d dispatch decisions (%d rerouted)\n",
+		ct.Servers, ct.Cores, len(ct.Dispatch), reroutes)
+	var totalEnergy, span float64
+	for s, tr := range ct.PerServer {
+		first, last := tr.Span()
+		if last > span {
+			span = last
+		}
+		e := tr.DynamicEnergy(m)
+		totalEnergy += e
+		busy := tr.BusyTime()
+		width := (last - first) * float64(ct.Cores)
+		util := 0.0
+		if width > 0 {
+			util = 100 * busy / width
+		}
+		budgets := 0
+		if s < len(ct.Budget) {
+			budgets = len(ct.Budget[s])
+		}
+		faults := 0
+		if s < len(ct.Faults) {
+			faults = len(ct.Faults[s])
+		}
+		fmt.Printf("  server %2d: %5d slices, busy %8.3f core-s (util %5.1f%%), energy %8.1f J, %d budget windows, %d faults\n",
+			s, len(tr.Entries), busy, util, e, budgets, faults)
+	}
+	fmt.Printf("fleet: span %.3f s, dynamic energy (%s model) %.1f J\n", span, o.model, totalEnergy)
+
+	if o.perfetto != "" {
+		out, err := os.Create(o.perfetto)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := telemetry.WriteClusterPerfetto(out, ct); err != nil {
+			return err
+		}
+		fmt.Println("wrote cluster Perfetto trace to", o.perfetto, "(load in https://ui.perfetto.dev)")
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dessched/internal/telemetry"
+	"dessched/internal/trace"
+)
+
+func sampleBundle() *telemetry.ClusterTrace {
+	t0 := trace.New(2)
+	t0.Entries = []trace.Entry{{Core: 0, JobID: 1, Start: 0, End: 1, Speed: 2}}
+	t1 := trace.New(2)
+	t1.Entries = []trace.Entry{{Core: 1, JobID: 2, Start: 0.5, End: 2, Speed: 1.5}}
+	return &telemetry.ClusterTrace{
+		Servers:   2,
+		Cores:     2,
+		PerServer: []*trace.Trace{t0, t1},
+		Dispatch: []telemetry.DispatchEvent{
+			{Time: 0, Job: 1, Server: 0},
+			{Time: 0.5, Job: 2, Server: 1, Rerouted: true},
+		},
+	}
+}
+
+func writeBundle(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.WriteClusterTraceJSON(&buf, sampleBundle()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIsClusterTraceSniffsSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := telemetry.WriteClusterTraceJSON(&buf, sampleBundle()); err != nil {
+		t.Fatal(err)
+	}
+	if !isClusterTrace(buf.Bytes()) {
+		t.Error("cluster bundle not recognized")
+	}
+	var single bytes.Buffer
+	tr := trace.New(1)
+	tr.Entries = []trace.Entry{{Core: 0, JobID: 1, Start: 0, End: 1, Speed: 1}}
+	if err := tr.WriteJSON(&single); err != nil {
+		t.Fatal(err)
+	}
+	if isClusterTrace(single.Bytes()) {
+		t.Error("single-server JSON misread as a cluster bundle")
+	}
+	if isClusterTrace([]byte("not json")) {
+		t.Error("junk recognized as a cluster bundle")
+	}
+}
+
+func TestRunClusterBundlePerfetto(t *testing.T) {
+	in := writeBundle(t)
+	out := filepath.Join(t.TempDir(), "perfetto.json")
+	if err := run(in, runOpts{model: "default", perfetto: out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &pf); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	var reroute bool
+	for _, e := range pf.TraceEvents {
+		pids[e.Pid] = true
+		if e.Name == "reroute" {
+			reroute = true
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("per-server process lanes missing: %v", pids)
+	}
+	if !reroute {
+		t.Error("reroute overlay event missing")
+	}
+}
+
+func TestRunClusterBundleRejectsSingleServerOps(t *testing.T) {
+	in := writeBundle(t)
+	for name, o := range map[string]runOpts{
+		"measure": {model: "default", measure: true},
+		"gantt":   {model: "default", gantt: true},
+		"json":    {model: "default", jsonOut: filepath.Join(t.TempDir(), "x.json")},
+	} {
+		if err := run(in, o); err == nil {
+			t.Errorf("-%s on a cluster bundle did not error", name)
+		}
+	}
+}

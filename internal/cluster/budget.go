@@ -23,6 +23,19 @@ type budgetSchedule struct {
 	windows [][]sim.BudgetFault
 	shareW  []float64 // time-averaged effective budget, watts
 	horizon float64
+	epochs  []epochRecord // populated only when epochBudgets records
+}
+
+// epochRecord is one epoch's water-filling outcome, kept for span
+// tracing: the water level (highest per-server assignment), the global
+// budget actually committed, and what was left after the cap-bounded
+// second stage.
+type epochRecord struct {
+	index      int
+	start, end float64
+	waterLevel float64
+	usedW      float64
+	leftoverW  float64
 }
 
 // nominalSchedule is the no-global-constraint schedule: every server runs
@@ -61,8 +74,10 @@ func nominalSchedule(servers int, nominal, horizon float64) budgetSchedule {
 // hierarchy's enforcement mechanism. The whole computation is sequential
 // float arithmetic in fixed order: the same inputs always yield the same
 // schedule bit for bit.
+// When record is set, every epoch's water-filling outcome is kept in
+// budgetSchedule.epochs for span tracing.
 func epochBudgets(servers int, server sim.Config, globalBudget, epoch, headroom, horizon float64,
-	perServer [][]job.Job, outages [][][]interval) budgetSchedule {
+	perServer [][]job.Job, outages [][][]interval, record bool) budgetSchedule {
 
 	nominal := server.Budget
 	if globalBudget <= 0 || horizon <= 0 {
@@ -103,6 +118,7 @@ func epochBudgets(servers int, server sim.Config, globalBudget, epoch, headroom,
 
 	windows := make([][]sim.BudgetFault, servers)
 	shares := make([]float64, servers)
+	var epochs []epochRecord
 	// openFrac tracks the fraction of the window being built per server;
 	// openStart its left edge. A fraction of exactly 1 means "no window".
 	openFrac := make([]float64, servers)
@@ -161,6 +177,20 @@ func epochBudgets(servers int, server sim.Config, globalBudget, epoch, headroom,
 			}
 		}
 
+		if record {
+			level, total := 0.0, 0.0
+			for _, a := range assigned {
+				if a > level {
+					level = a
+				}
+				total += a
+			}
+			epochs = append(epochs, epochRecord{
+				index: e, start: t0, end: t1,
+				waterLevel: level, usedW: total, leftoverW: globalBudget - total,
+			})
+		}
+
 		for s := 0; s < servers; s++ {
 			frac := assigned[s] / nominal
 			if frac > 1 {
@@ -182,5 +212,5 @@ func epochBudgets(servers int, server sim.Config, globalBudget, epoch, headroom,
 		flush(s, openFrac[s], openStart[s], end)
 		shares[s] /= end
 	}
-	return budgetSchedule{windows: windows, shareW: shares, horizon: horizon}
+	return budgetSchedule{windows: windows, shareW: shares, horizon: horizon, epochs: epochs}
 }

@@ -302,7 +302,7 @@ func TestDispatchRoundRobinCumulative(t *testing.T) {
 		{ID: 2, Release: 0.2, Deadline: 1.2, Demand: 1},
 		{ID: 3, Release: 0.3, Deadline: 1.3, Demand: 1},
 	}
-	_, assign := dispatchJobs(RoundRobin, 3, 1, make([][][]interval, 3), jobs)
+	_, assign, _ := dispatchJobs(RoundRobin, 3, 1, make([][][]interval, 3), jobs)
 	want := []int{0, 1, 2, 0}
 	for i := range want {
 		if assign[i] != want[i] {
@@ -318,7 +318,7 @@ func TestDispatchSkipsDownServers(t *testing.T) {
 	}
 	outages := make([][][]interval, 2)
 	outages[0] = [][]interval{{{start: 0, end: 2}}} // server 0: 1 core, dark
-	_, assign := dispatchJobs(RoundRobin, 2, 1, outages, jobs)
+	_, assign, _ := dispatchJobs(RoundRobin, 2, 1, outages, jobs)
 	for i, s := range assign {
 		if s != 1 {
 			t.Errorf("job %d routed to down server (got %d)", i, s)
@@ -334,7 +334,7 @@ func TestDispatchLeastLoadedBalancesDemand(t *testing.T) {
 		{ID: 1, Release: 0.1, Deadline: 10.1, Demand: 1},
 		{ID: 2, Release: 0.2, Deadline: 10.2, Demand: 1},
 	}
-	_, assign := dispatchJobs(LeastLoaded, 2, 1, make([][][]interval, 2), jobs)
+	_, assign, _ := dispatchJobs(LeastLoaded, 2, 1, make([][][]interval, 2), jobs)
 	if assign[0] != 0 {
 		t.Fatalf("first job -> server %d, want 0 (tie breaks low)", assign[0])
 	}
@@ -348,7 +348,7 @@ func TestDispatchHashSticky(t *testing.T) {
 		{ID: 77, Release: 0, Deadline: 1, Demand: 1},
 		{ID: 77, Release: 5, Deadline: 6, Demand: 1},
 	}
-	_, assign := dispatchJobs(Hash, 8, 1, make([][][]interval, 8), jobs)
+	_, assign, _ := dispatchJobs(Hash, 8, 1, make([][][]interval, 8), jobs)
 	if assign[0] != assign[1] {
 		t.Errorf("same ID hashed to different servers: %d vs %d", assign[0], assign[1])
 	}
@@ -359,7 +359,7 @@ func TestEpochBudgetsAmpleBudgetNoWindows(t *testing.T) {
 	server.Cores = 4
 	server.Budget = 80
 	// Global budget covers every server's nominal: no throttling windows.
-	sched := epochBudgets(3, server, 3*80, 1, 1.25, 10, make([][]job.Job, 3), make([][][]interval, 3))
+	sched := epochBudgets(3, server, 3*80, 1, 1.25, 10, make([][]job.Job, 3), make([][][]interval, 3), false)
 	for s, ws := range sched.windows {
 		if len(ws) != 0 {
 			t.Errorf("server %d got %d throttle windows under ample budget", s, len(ws))
@@ -375,7 +375,7 @@ func TestEpochBudgetsScarceBudgetThrottles(t *testing.T) {
 	server.Cores = 4
 	server.Budget = 80
 	// Half the fleet's nominal: everyone must be throttled below 1.
-	sched := epochBudgets(4, server, 0.5*4*80, 1, 1.25, 10, make([][]job.Job, 4), make([][][]interval, 4))
+	sched := epochBudgets(4, server, 0.5*4*80, 1, 1.25, 10, make([][]job.Job, 4), make([][][]interval, 4), false)
 	sum := 0.0
 	for s := range sched.shareW {
 		sum += sched.shareW[s]
@@ -405,7 +405,7 @@ func TestEpochBudgetsFollowDemand(t *testing.T) {
 			ID: job.ID(i), Release: float64(i) * 0.05, Deadline: float64(i)*0.05 + 1, Demand: 400,
 		})
 	}
-	sched := epochBudgets(2, server, 0.6*2*80, 1, 1.25, 10, perServer, make([][][]interval, 2))
+	sched := epochBudgets(2, server, 0.6*2*80, 1, 1.25, 10, perServer, make([][][]interval, 2), false)
 	if sched.shareW[0] <= sched.shareW[1] {
 		t.Errorf("busy server got %g W, idle server %g W; want busy > idle",
 			sched.shareW[0], sched.shareW[1])
@@ -421,7 +421,7 @@ func TestEpochBudgetsOutageReleasesShare(t *testing.T) {
 		{{start: 0, end: 10}},
 		{{start: 0, end: 10}},
 	}
-	sched := epochBudgets(2, server, 80, 1, 1.25, 10, make([][]job.Job, 2), outages)
+	sched := epochBudgets(2, server, 80, 1, 1.25, 10, make([][]job.Job, 2), outages, false)
 	if sched.shareW[1] != 0 {
 		t.Errorf("fully outaged server holds %g W", sched.shareW[1])
 	}

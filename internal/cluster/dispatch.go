@@ -166,14 +166,17 @@ type pending struct{ deadline, demand float64 }
 
 // dispatchJobs assigns every job to a server and returns the per-server
 // substreams (jobs keep their global IDs) plus the assignment vector in
-// sorted-job order. jobs must already be sorted by release (ID tie-break);
-// the outages table has one entry per server (entries may be nil).
+// sorted-job order and, per job, whether the assignment was a reroute —
+// the dispatcher's first-choice server was outaged and the job landed
+// elsewhere. jobs must already be sorted by release (ID tie-break); the
+// outages table has one entry per server (entries may be nil).
 //
 // The whole pass is sequential and pure, so the same inputs always produce
 // the same assignment — cluster determinism starts here.
-func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jobs []job.Job) (perServer [][]job.Job, assign []int) {
+func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jobs []job.Job) (perServer [][]job.Job, assign []int, rerouted []bool) {
 	perServer = make([][]job.Job, servers)
 	assign = make([]int, len(jobs))
+	rerouted = make([]bool, len(jobs))
 
 	up := func(s int, t float64) bool { return serverUp(cores, outages[s], t) }
 	anyUp := func(t float64) bool {
@@ -202,6 +205,7 @@ func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jo
 		t := j.Release
 		allDown := !anyUp(t)
 		var s int
+		var moved bool
 		switch d {
 		case LeastLoaded:
 			for q := 0; q < servers; q++ {
@@ -211,14 +215,21 @@ func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jo
 				}
 			}
 			s = -1
+			down := -1 // least-loaded excluded (outaged) server
 			for q := 0; q < servers; q++ {
 				if !allDown && !up(q, t) {
+					if down < 0 || outstanding[q] < outstanding[down] {
+						down = q
+					}
 					continue
 				}
 				if s < 0 || outstanding[q] < outstanding[s] {
 					s = q
 				}
 			}
+			// A reroute: an outaged server would have won the selection.
+			moved = down >= 0 && (outstanding[down] < outstanding[s] ||
+				(outstanding[down] == outstanding[s] && down < s))
 			queues[s] = append(queues[s], pending{j.Deadline, j.Demand})
 			outstanding[s] += j.Demand
 		case Hash:
@@ -226,19 +237,22 @@ func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jo
 			if !allDown {
 				for !up(s, t) {
 					s = (s + 1) % servers
+					moved = true
 				}
 			}
 		default: // RoundRobin
 			if !allDown {
 				for !up(cursor, t) {
 					cursor = (cursor + 1) % servers
+					moved = true
 				}
 			}
 			s = cursor
 			cursor = (cursor + 1) % servers
 		}
 		assign[i] = s
+		rerouted[i] = moved
 		perServer[s] = append(perServer[s], j)
 	}
-	return perServer, assign
+	return perServer, assign, rerouted
 }

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"dessched/internal/sim"
+	"dessched/internal/telemetry"
+	"dessched/internal/telemetry/span"
+)
+
+// instrumentedRun executes a faulty, budget-constrained cluster run with
+// every sink attached and returns the serialized spans, series, and
+// merged-metrics exposition.
+func instrumentedRun(t *testing.T, workers int) (spans, series, metrics []byte, res Result) {
+	t.Helper()
+	cfg := testConfig(4)
+	cfg.Workers = workers
+	cfg.GlobalBudget = 0.75 * 4 * cfg.Server.Budget
+	cfg.Faults = [][]sim.Fault{
+		nil,
+		{{Core: 0, Start: 1, End: 3, SpeedFactor: 0}, {Core: 1, Start: 1, End: 3, SpeedFactor: 0},
+			{Core: 2, Start: 1, End: 3, SpeedFactor: 0}, {Core: 3, Start: 1, End: 3, SpeedFactor: 0}},
+		{{Core: 1, Start: 2, End: 4, SpeedFactor: 0.5}},
+		nil,
+	}
+	ins := &Instrument{
+		Tracer:   span.New(),
+		Series:   telemetry.NewSeriesRecorder(4096),
+		Registry: telemetry.NewRegistry(),
+		Traces:   true,
+	}
+	cfg.Instrument = ins
+
+	jobs := testJobs(t, 240, 5)
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb, rb, mb bytes.Buffer
+	if err := span.WriteJSON(&sb, ins.Tracer); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteSeriesJSON(&rb, ins.Series); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WritePrometheus(&mb, ins.Registry.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return sb.Bytes(), rb.Bytes(), mb.Bytes(), res
+}
+
+// TestInstrumentationDeterministicAcrossWorkers is the tentpole
+// acceptance criterion: span traces, epoch series, and merged metrics of
+// a cluster run are byte-identical (hence Float64bits-identical) for any
+// worker count.
+func TestInstrumentationDeterministicAcrossWorkers(t *testing.T) {
+	spans1, series1, metrics1, res1 := instrumentedRun(t, 1)
+	for _, workers := range []int{4, 16} {
+		spansN, seriesN, metricsN, resN := instrumentedRun(t, workers)
+		if !bytes.Equal(spans1, spansN) {
+			t.Errorf("span trace differs between Workers=1 and Workers=%d", workers)
+		}
+		if !bytes.Equal(series1, seriesN) {
+			t.Errorf("epoch series differs between Workers=1 and Workers=%d", workers)
+		}
+		if !bytes.Equal(metrics1, metricsN) {
+			t.Errorf("merged metrics differ between Workers=1 and Workers=%d", workers)
+		}
+		exactlyEqual(t, res1, resN, "instrumented")
+		_ = resN
+	}
+}
+
+// TestInstrumentShapes sanity-checks what the sinks received: the span
+// hierarchy, per-server series identity, merged label layout, and the
+// cluster-trace inputs.
+func TestInstrumentShapes(t *testing.T) {
+	_, _, _, res := instrumentedRun(t, 2)
+
+	if len(res.Traces) != 4 {
+		t.Fatalf("got %d traces, want 4", len(res.Traces))
+	}
+	for s, tr := range res.Traces {
+		if tr == nil || tr.Cores != 4 {
+			t.Fatalf("server %d trace malformed: %+v", s, tr)
+		}
+	}
+	if len(res.DispatchEvents) != res.Arrived {
+		t.Fatalf("%d dispatch events for %d arrivals", len(res.DispatchEvents), res.Arrived)
+	}
+	sawReroute := false
+	for _, d := range res.DispatchEvents {
+		if d.Server < 0 || d.Server >= 4 {
+			t.Fatalf("dispatch event to server %d", d.Server)
+		}
+		if d.Rerouted {
+			sawReroute = true
+			if d.Time < 1 || d.Time >= 3 {
+				t.Fatalf("reroute at %v, outside server 1's outage window", d.Time)
+			}
+			if d.Server == 1 {
+				t.Fatal("reroute landed on the outaged server")
+			}
+		}
+	}
+	if !sawReroute {
+		t.Fatal("no reroutes recorded despite a full-server outage")
+	}
+	if len(res.BudgetWindows) != 4 {
+		t.Fatalf("got %d budget window sets, want 4", len(res.BudgetWindows))
+	}
+}
+
+func TestInstrumentSpanHierarchy(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.GlobalBudget = 0.7 * 2 * cfg.Server.Budget
+	ins := &Instrument{Tracer: span.New()}
+	cfg.Instrument = ins
+	if _, err := Run(cfg, testJobs(t, 120, 3)); err != nil {
+		t.Fatal(err)
+	}
+	spans := ins.Tracer.Spans()
+	if len(spans) == 0 || spans[0].Name != "cluster" || spans[0].Parent != span.NoSpan {
+		t.Fatalf("missing cluster root: %+v", spans[:min(3, len(spans))])
+	}
+	counts := map[string]int{}
+	servers := 0
+	for _, s := range spans {
+		counts[s.Name]++
+		if s.Name == "server" {
+			servers++
+			if s.Parent != spans[0].ID {
+				t.Fatalf("server span not under cluster root: %+v", s)
+			}
+		}
+	}
+	if servers != 2 {
+		t.Fatalf("got %d server spans, want 2", servers)
+	}
+	if counts["dispatch"] != 1 || counts["epoch"] == 0 || counts["replan"] == 0 {
+		t.Fatalf("span census missing layers: %v", counts)
+	}
+	// Epoch spans must carry the water-filling outcome.
+	for _, s := range spans {
+		if s.Name != "epoch" {
+			continue
+		}
+		keys := map[string]bool{}
+		for _, a := range s.Attrs {
+			keys[a.Key] = true
+		}
+		if !keys["water_level_w"] || !keys["used_w"] || !keys["leftover_w"] {
+			t.Fatalf("epoch span missing water-filling attrs: %+v", s.Attrs)
+		}
+		break
+	}
+}
+
+// TestInstrumentSeriesMatchesResult cross-checks the series against the
+// aggregate result: per-server quality and outcome sums must agree.
+func TestInstrumentSeriesMatchesResult(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Workers = 2
+	ins := &Instrument{Series: telemetry.NewSeriesRecorder(0)}
+	cfg.Instrument = ins
+	res, err := Run(cfg, testJobs(t, 180, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	perServer := map[int]int{}
+	for _, s := range ins.Series.Samples() {
+		completed += s.Completed
+		perServer[s.Server]++
+	}
+	if completed != res.Completed {
+		t.Fatalf("series completed sum %d, result %d", completed, res.Completed)
+	}
+	if len(perServer) != 3 {
+		t.Fatalf("series covers %d servers, want 3", len(perServer))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dessched/internal/cluster"
 	"dessched/internal/sim"
 	"dessched/internal/sweep"
+	"dessched/internal/telemetry"
 	"dessched/internal/workload"
 )
 
@@ -45,6 +46,15 @@ type ClusterSimRequest struct {
 	// ChaosSeed, when set, samples an independent core-fault schedule for
 	// every server (see cluster.ChaosFaults).
 	ChaosSeed *uint64 `json:"chaos_seed,omitempty"`
+
+	// Telemetry attaches the merged metrics snapshot to the response:
+	// per-server sim_* families with a prepended "server" label plus
+	// cluster_* summary gauges (mirroring sweep's per-cell snapshots).
+	Telemetry bool `json:"telemetry,omitempty"`
+
+	// Series attaches the per-epoch per-server time series (see
+	// telemetry.Sample) to the response.
+	Series bool `json:"series,omitempty"`
 }
 
 // ClusterServerJSON is one server's slice of the fleet response.
@@ -74,6 +84,10 @@ type ClusterSimResponse struct {
 	SpanS         float64 `json:"span_s"`
 
 	PerServer []ClusterServerJSON `json:"per_server"`
+
+	// Telemetry and Series are attached only when requested.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	Series    []telemetry.Sample  `json:"series,omitempty"`
 }
 
 func handleClusterSimulate(w http.ResponseWriter, r *http.Request) {
@@ -133,6 +147,17 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		GlobalBudget: req.GlobalBudget,
 		Epoch:        req.Epoch,
 	}
+	var ins *cluster.Instrument
+	if req.Telemetry || req.Series {
+		ins = &cluster.Instrument{}
+		if req.Telemetry {
+			ins.Registry = telemetry.NewRegistry()
+		}
+		if req.Series {
+			ins.Series = telemetry.NewSeriesRecorder(0)
+		}
+		cfg.Instrument = ins
+	}
 	if req.ChaosSeed != nil {
 		faults, err := cluster.ChaosFaults(*req.ChaosSeed, wl.Duration, cfg.Servers, server.Cores)
 		if err != nil {
@@ -174,6 +199,15 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 			Completed:    sr.Result.Completed,
 			Deadlined:    sr.Result.Deadlined,
 		})
+	}
+	if ins != nil {
+		if ins.Registry != nil {
+			snap := ins.Registry.Snapshot()
+			resp.Telemetry = &snap
+		}
+		if ins.Series != nil {
+			resp.Series = ins.Series.Samples()
+		}
 	}
 	return resp, nil
 }

@@ -51,6 +51,54 @@ func TestClusterSimulate(t *testing.T) {
 	}
 }
 
+func TestClusterSimulateTelemetryAndSeries(t *testing.T) {
+	srv := server(t)
+
+	// Off by default: neither field appears in the response.
+	_, body := postJSON(t, srv.URL+"/v1/cluster/simulate",
+		`{"servers": 2, "cores": 4, "budget_w": 80, "rate": 60, "duration_s": 5}`)
+	if bytes.Contains(body, []byte(`"telemetry"`)) || bytes.Contains(body, []byte(`"series"`)) {
+		t.Fatalf("telemetry/series attached without opting in: %s", body)
+	}
+
+	resp, body := postJSON(t, srv.URL+"/v1/cluster/simulate", `{
+		"servers": 2, "cores": 4, "budget_w": 80, "rate": 60,
+		"duration_s": 5, "telemetry": true, "series": true
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out ClusterSimResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Telemetry == nil {
+		t.Fatal("telemetry snapshot missing")
+	}
+	families := map[string]bool{}
+	for _, f := range out.Telemetry.Families {
+		families[f.Name] = true
+	}
+	for _, want := range []string{"cluster_norm_quality", "sim_norm_quality"} {
+		if !families[want] {
+			t.Errorf("snapshot missing family %q (have %v)", want, families)
+		}
+	}
+	if len(out.Series) == 0 {
+		t.Fatal("epoch series missing")
+	}
+	servers := map[int]bool{}
+	for _, s := range out.Series {
+		if s.Epoch < 0 || s.Server < 0 || s.Server > 1 {
+			t.Fatalf("bad sample %+v", s)
+		}
+		servers[s.Server] = true
+	}
+	if !servers[0] || !servers[1] {
+		t.Errorf("series covers servers %v, want both", servers)
+	}
+}
+
 func TestClusterSimulateChaosSeed(t *testing.T) {
 	srv := server(t)
 	body := `{"servers": 2, "cores": 4, "budget_w": 80, "rate": 60,

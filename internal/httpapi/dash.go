@@ -1,0 +1,116 @@
+package httpapi
+
+import "net/http"
+
+// DashHandler serves GET /debug/dash: a single-file HTML dashboard that
+// subscribes to GET /v1/stream with EventSource and renders the live
+// epoch series (per-server quality, queue depth, effective budget,
+// availability) on plain canvas charts. No external assets — the page
+// works on an air-gapped lab box. Like /debug/pprof it is a debugging
+// surface, mounted outside the hardened API stack.
+func DashHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		_, _ = w.Write([]byte(dashHTML))
+	})
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>dessched live dashboard</title>
+<style>
+  body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5rem; background:#111; color:#ddd; }
+  h1 { font-size: 1.1rem; } code { color:#9cf; }
+  fieldset { border: 1px solid #333; display:inline-block; margin-bottom:1rem; }
+  label { margin-right: .8rem; } input, select { background:#222; color:#ddd; border:1px solid #444; width:5.5rem; }
+  button { background:#247; color:#fff; border:0; padding:.35rem .9rem; cursor:pointer; }
+  #status { margin-left:.8rem; color:#8c8; }
+  .chart { margin: .6rem 1rem .6rem 0; display:inline-block; }
+  .chart h2 { font-size:.8rem; margin:.2rem 0; color:#aaa; }
+  canvas { background:#181818; border:1px solid #333; }
+  #summary { margin-top:1rem; white-space:pre; color:#9cf; }
+</style>
+</head>
+<body>
+<h1>dessched — live epoch stream</h1>
+<fieldset><legend>run</legend>
+  <label>servers <input id="servers" value="4"></label>
+  <label>rate <input id="rate" value="480"></label>
+  <label>duration_s <input id="duration" value="30"></label>
+  <label>policy <input id="policy" value="des"></label>
+  <label>dispatch <select id="dispatch"><option>round-robin</option><option>least-loaded</option><option>hash</option></select></label>
+  <label>global_budget_w <input id="global" value="960"></label>
+  <label>chaos_seed <input id="chaos" value=""></label>
+  <label>throttle_ms <input id="throttle" value="50"></label>
+  <button id="go">stream</button><span id="status">idle</span>
+</fieldset>
+<div>
+  <div class="chart"><h2>quality / epoch</h2><canvas id="quality" width="460" height="140"></canvas></div>
+  <div class="chart"><h2>queue depth</h2><canvas id="queue" width="460" height="140"></canvas></div>
+  <div class="chart"><h2>effective budget (W)</h2><canvas id="budget" width="460" height="140"></canvas></div>
+  <div class="chart"><h2>availability</h2><canvas id="avail" width="460" height="140"></canvas></div>
+</div>
+<div id="summary"></div>
+<script>
+"use strict";
+const colors = ["#6cf","#fc6","#6f9","#f6a","#c9f","#9fc","#fa7","#7af"];
+let es = null, series = {};
+function chart(id) { const c = document.getElementById(id); return { c, g: c.getContext("2d") }; }
+const charts = { quality: chart("quality"), queue: chart("queue"), budget: chart("budget"), avail: chart("avail") };
+function draw(ch, key) {
+  const { c, g } = ch; g.clearRect(0, 0, c.width, c.height);
+  let maxX = 1, maxY = 1e-9;
+  for (const sv in series) for (const s of series[sv]) {
+    if (s.epoch + 1 > maxX) maxX = s.epoch + 1;
+    if (s[key] > maxY) maxY = s[key];
+  }
+  for (const sv in series) {
+    g.strokeStyle = colors[sv % colors.length]; g.beginPath();
+    series[sv].forEach((s, i) => {
+      const x = (s.epoch + 0.5) / maxX * c.width;
+      const y = c.height - s[key] / maxY * (c.height - 8) - 4;
+      i ? g.lineTo(x, y) : g.moveTo(x, y);
+    });
+    g.stroke();
+  }
+  g.fillStyle = "#777"; g.fillText(maxY.toPrecision(3), 4, 10);
+}
+function redraw() {
+  draw(charts.quality, "quality"); draw(charts.queue, "queue_depth");
+  draw(charts.budget, "budget_w"); draw(charts.avail, "availability");
+}
+document.getElementById("go").onclick = () => {
+  if (es) es.close();
+  series = {}; document.getElementById("summary").textContent = "";
+  const v = id => document.getElementById(id).value.trim();
+  const q = new URLSearchParams({ servers: v("servers"), rate: v("rate"),
+    duration_s: v("duration"), policy: v("policy"), dispatch: v("dispatch"),
+    throttle_ms: v("throttle") });
+  if (v("global")) q.set("global_budget_w", v("global"));
+  if (v("chaos")) q.set("chaos_seed", v("chaos"));
+  es = new EventSource("/v1/stream?" + q);
+  document.getElementById("status").textContent = "streaming…";
+  es.addEventListener("sample", e => {
+    const s = JSON.parse(e.data);
+    (series[s.server] = series[s.server] || []).push(s);
+    redraw();
+  });
+  es.addEventListener("done", e => {
+    const d = JSON.parse(e.data);
+    document.getElementById("status").textContent = "done";
+    document.getElementById("summary").textContent = JSON.stringify(d, null, 2);
+    es.close();
+  });
+  es.addEventListener("error", e => {
+    document.getElementById("status").textContent = "error";
+    if (e.data) document.getElementById("summary").textContent = e.data;
+    es.close();
+  });
+};
+</script>
+</body>
+</html>
+`

@@ -111,6 +111,10 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer for
+// flushes and per-write deadlines (the SSE stream needs both).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // mountPprof exposes net/http/pprof on the mux without touching the
 // default serve mux. The profiling endpoints bypass the hardening stack:
 // profiles legitimately run longer than the request timeout, and a

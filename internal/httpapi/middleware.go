@@ -60,6 +60,16 @@ func NewHandler(o Options) http.Handler {
 	root := http.NewServeMux()
 	root.Handle("/", m.Instrument(Harden(NewMux(), o)))
 	root.Handle("GET /metrics", m.ExpositionHandler())
+	// The SSE stream cannot live behind http.TimeoutHandler (it buffers
+	// the response, so per-frame flushes never reach the client); it gets
+	// the rest of the hardening stack here and enforces the request
+	// timeout and write deadlines itself — see stream.go.
+	od := o.withDefaults()
+	stream := StreamHandler(o)
+	stream = http.MaxBytesHandler(stream, od.MaxBodyBytes)
+	stream = limitConcurrency(stream, od.MaxConcurrent)
+	root.Handle("GET /v1/stream", m.Instrument(recoverPanics(stream)))
+	root.Handle("GET /debug/dash", DashHandler())
 	if o.Pprof {
 		mountPprof(root)
 	}

@@ -293,6 +293,11 @@ func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult
 			// parallelism would only thrash it.
 			Workers: 1,
 		}
+		var reg *telemetry.Registry
+		if wantTelemetry {
+			reg = telemetry.NewRegistry()
+			ccfg.Instrument = &cluster.Instrument{Registry: reg}
+		}
 		res, err := cluster.Run(ccfg, jobs)
 		if err != nil {
 			return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
@@ -307,11 +312,9 @@ func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult
 		out.Shed = res.Shed
 		out.Events = res.Events
 		if wantTelemetry {
-			reg := telemetry.NewRegistry()
-			reg.Gauge("sweep_norm_quality", "Fleet quality normalized by the attainable maximum.").Set(res.NormQuality)
-			reg.Gauge("sweep_energy_joules", "Fleet dynamic energy, J.").Set(res.Energy)
-			reg.Gauge("sweep_peak_power_watts", "Sum of per-server peak powers, W.").Set(res.PeakPowerSum)
-			reg.Gauge("sweep_servers", "Fleet size of the cell.").Set(float64(res.Servers))
+			// The cluster folded per-server sim_* metrics (labeled by
+			// server) and cluster_* summary gauges into reg; attach the
+			// merged snapshot as-is.
 			snap := reg.Snapshot()
 			out.Telemetry = &snap
 		}

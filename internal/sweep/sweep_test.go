@@ -137,7 +137,8 @@ func TestTelemetrySnapshots(t *testing.T) {
 		t.Error("snapshot lacks sim_norm_quality")
 	}
 
-	// Cluster cells get result-level gauges.
+	// Cluster cells get the merged per-server registry: cluster_* summary
+	// gauges plus server-labeled sim_* families.
 	g.Servers = 2
 	rep, err = Run(context.Background(), g, Options{Telemetry: true})
 	if err != nil {
@@ -147,14 +148,24 @@ func TestTelemetrySnapshots(t *testing.T) {
 	if snap == nil {
 		t.Fatal("no cluster telemetry snapshot")
 	}
-	found = false
+	var clusterGauge, serverLabeled bool
 	for _, fam := range snap.Families {
-		if fam.Name == "sweep_norm_quality" {
-			found = true
+		if fam.Name == "cluster_norm_quality" {
+			clusterGauge = true
+		}
+		if fam.Name == "sim_norm_quality" {
+			if len(fam.LabelNames) != 1 || fam.LabelNames[0] != "server" || len(fam.Series) != 2 {
+				t.Errorf("sim_norm_quality not merged per server: labels=%v series=%d",
+					fam.LabelNames, len(fam.Series))
+			}
+			serverLabeled = true
 		}
 	}
-	if !found {
-		t.Error("cluster snapshot lacks sweep_norm_quality")
+	if !clusterGauge {
+		t.Error("cluster snapshot lacks cluster_norm_quality")
+	}
+	if !serverLabeled {
+		t.Error("cluster snapshot lacks server-labeled sim_norm_quality")
 	}
 }
 

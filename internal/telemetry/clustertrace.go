@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dessched/internal/sim"
+	"dessched/internal/trace"
+)
+
+// ClusterTraceSchema identifies the cluster-trace JSON layout; bump on
+// breaking change. destrace sniffs this field to distinguish a cluster
+// trace from a single-server trace.Trace file.
+const ClusterTraceSchema = "dessched-cluster-trace/v1"
+
+// DispatchEvent records one routing decision of the cluster dispatcher.
+// Rerouted marks decisions where the dispatcher's first-choice server was
+// down (outage) and the job landed elsewhere.
+type DispatchEvent struct {
+	Time     float64 `json:"time_s"`
+	Job      int64   `json:"job"`
+	Server   int     `json:"server"`
+	Rerouted bool    `json:"rerouted,omitempty"`
+}
+
+// ClusterTrace bundles everything a cluster run executed: one
+// executed-schedule trace per server plus the cross-server context (the
+// dispatch decisions, the per-epoch budget windows installed by the
+// hierarchical water-filler, and the injected faults) that the raw
+// per-server traces cannot carry on their own.
+type ClusterTrace struct {
+	Schema    string              `json:"schema"`
+	Servers   int                 `json:"servers"`
+	Cores     int                 `json:"cores"`
+	PerServer []*trace.Trace      `json:"per_server"`
+	Dispatch  []DispatchEvent     `json:"dispatch,omitempty"`
+	Budget    [][]sim.BudgetFault `json:"budget,omitempty"` // per server
+	Faults    [][]sim.Fault       `json:"faults,omitempty"` // per server
+}
+
+// WriteClusterTraceJSON serializes the cluster trace (schema field
+// forced). Deterministic for identical inputs.
+func WriteClusterTraceJSON(w io.Writer, ct *ClusterTrace) error {
+	c := *ct
+	c.Schema = ClusterTraceSchema
+	return json.NewEncoder(w).Encode(&c)
+}
+
+// ReadClusterTraceJSON parses a cluster trace, validating the schema tag
+// and per-server trace shape.
+func ReadClusterTraceJSON(r io.Reader) (*ClusterTrace, error) {
+	var ct ClusterTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("telemetry: cluster trace: %w", err)
+	}
+	if ct.Schema != ClusterTraceSchema {
+		return nil, fmt.Errorf("telemetry: cluster trace: schema %q, want %q", ct.Schema, ClusterTraceSchema)
+	}
+	if len(ct.PerServer) != ct.Servers {
+		return nil, fmt.Errorf("telemetry: cluster trace: %d per-server traces for %d servers", len(ct.PerServer), ct.Servers)
+	}
+	for s, tr := range ct.PerServer {
+		if tr == nil {
+			return nil, fmt.Errorf("telemetry: cluster trace: server %d trace missing", s)
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("telemetry: cluster trace: server %d: %w", s, err)
+		}
+	}
+	return &ct, nil
+}
+
+// WriteClusterPerfetto renders a cluster trace as Chrome trace-event
+// JSON: one process per server (pid s+1) whose threads are the server's
+// cores, plus per-server overlay lanes — the effective power-budget
+// windows the hierarchical water-filler installed (budget-reflow), the
+// dispatcher's routing decisions as instant events (reroutes named
+// distinctly), and injected fault windows. Output is deterministic.
+func WriteClusterPerfetto(w io.Writer, ct *ClusterTrace) error {
+	if len(ct.PerServer) != ct.Servers {
+		return fmt.Errorf("telemetry: cluster perfetto: %d per-server traces for %d servers", len(ct.PerServer), ct.Servers)
+	}
+	var out perfettoFile
+	out.DisplayTimeUnit = "ms"
+
+	meta := func(pid, tid int, kind, name string) {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name},
+		})
+	}
+	// Overlay lanes sit after the core lanes of each server process.
+	budgetTid := ct.Cores
+	dispatchTid := ct.Cores + 1
+	faultsTid := ct.Cores + 2
+
+	for s := 0; s < ct.Servers; s++ {
+		pid := s + 1
+		meta(pid, 0, "process_name", fmt.Sprintf("server %d", s))
+		for c := 0; c < ct.Cores; c++ {
+			meta(pid, c, "thread_name", fmt.Sprintf("core %d", c))
+		}
+		if s < len(ct.Budget) && len(ct.Budget[s]) > 0 {
+			meta(pid, budgetTid, "thread_name", "power budget")
+		}
+		meta(pid, dispatchTid, "thread_name", "dispatch")
+		if s < len(ct.Faults) && len(ct.Faults[s]) > 0 {
+			meta(pid, faultsTid, "thread_name", "faults")
+		}
+	}
+
+	for s, tr := range ct.PerServer {
+		if tr == nil {
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("telemetry: cluster perfetto: server %d: %w", s, err)
+		}
+		for _, e := range tr.Entries {
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: fmt.Sprintf("job %d", e.JobID),
+				Cat:  "exec",
+				Ph:   "X",
+				Ts:   e.Start * usPerSec,
+				Dur:  (e.End - e.Start) * usPerSec,
+				Pid:  s + 1,
+				Tid:  e.Core,
+				Args: map[string]any{"job": int64(e.JobID), "speed_ghz": e.Speed},
+			})
+		}
+	}
+	for s := 0; s < ct.Servers && s < len(ct.Budget); s++ {
+		for _, f := range ct.Budget[s] {
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: fmt.Sprintf("budget x%.3g", f.Fraction),
+				Cat:  "budget",
+				Ph:   "X",
+				Ts:   f.Start * usPerSec,
+				Dur:  (f.End - f.Start) * usPerSec,
+				Pid:  s + 1,
+				Tid:  budgetTid,
+				Args: map[string]any{"fraction": f.Fraction},
+			})
+		}
+	}
+	for _, d := range ct.Dispatch {
+		if d.Server < 0 || d.Server >= ct.Servers {
+			continue
+		}
+		name := "dispatch"
+		if d.Rerouted {
+			name = "reroute"
+		}
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: name,
+			Cat:  "dispatch",
+			Ph:   "i",
+			Ts:   d.Time * usPerSec,
+			Pid:  d.Server + 1,
+			Tid:  dispatchTid,
+			Args: map[string]any{"job": d.Job},
+		})
+	}
+	for s := 0; s < ct.Servers && s < len(ct.Faults); s++ {
+		for _, f := range ct.Faults[s] {
+			name := fmt.Sprintf("throttle x%.2g", f.SpeedFactor)
+			if f.Outage() {
+				name = "outage"
+			}
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: name,
+				Cat:  "fault",
+				Ph:   "X",
+				Ts:   f.Start * usPerSec,
+				Dur:  (f.End - f.Start) * usPerSec,
+				Pid:  s + 1,
+				Tid:  faultsTid,
+				Args: map[string]any{"core": f.Core, "speed_factor": f.SpeedFactor},
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"sort"
+
+	"dessched/internal/sim"
+	"dessched/internal/yds"
+)
+
+// EpochSampler derives per-epoch Samples from a sim engine's event and
+// exec-slice streams, recording them into a SeriesRecorder. It captures
+// the time-resolved view of one server: quality delivered, dynamic
+// energy burned, the effective power budget (after any BudgetFault
+// windows, including cluster-installed per-epoch shares), queue depth,
+// and outage availability — everything on the simulation clock.
+//
+// Exec slices settle lazily in the engine (a slice is recorded at the
+// event that ends it, which can land one or more events after the time
+// it covers), so the sampler holds each epoch open for one extra epoch
+// before flushing; contributions arriving even later are folded into the
+// oldest open epoch. Flush timing therefore depends only on
+// deterministic event times, keeping series bit-identical across cluster
+// worker counts.
+//
+// Like the engine, a sampler is single-goroutine. Install its Observe
+// method as (part of) the config's Observer and the sampler itself as a
+// Recorder, then call Finish(horizon) after sim.Run returns.
+type EpochSampler struct {
+	rec      *SeriesRecorder
+	server   int
+	epochLen float64
+	cfg      sim.Config // for BudgetAt (nominal budget × fault windows)
+	cores    int
+	outages  [][]samplerInterval // per-core merged outage windows
+
+	oldest int // epoch index of open[0]
+	open   []epochOpen
+	queue  int // queue depth observed at the most recent event
+}
+
+type samplerInterval struct{ start, end float64 }
+
+type epochOpen struct {
+	quality   float64
+	energy    float64
+	queue     int
+	completed int
+	deadlined int
+	shed      int
+}
+
+// NewEpochSampler returns a sampler for one server. epochLen defaults to
+// 1 s when non-positive. cfg must be the final engine config — budget
+// windows and faults already installed — because effective budget and
+// availability are derived from it.
+func NewEpochSampler(rec *SeriesRecorder, server int, epochLen float64, cfg sim.Config) *EpochSampler {
+	if epochLen <= 0 {
+		epochLen = 1.0
+	}
+	s := &EpochSampler{
+		rec:      rec,
+		server:   server,
+		epochLen: epochLen,
+		cfg:      cfg,
+		cores:    cfg.Cores,
+		outages:  make([][]samplerInterval, cfg.Cores),
+	}
+	for _, f := range cfg.Faults {
+		if !f.Outage() || f.Core < 0 || f.Core >= cfg.Cores {
+			continue
+		}
+		s.outages[f.Core] = append(s.outages[f.Core], samplerInterval{f.Start, f.End})
+	}
+	for c := range s.outages {
+		s.outages[c] = mergeSamplerIntervals(s.outages[c])
+	}
+	return s
+}
+
+func mergeSamplerIntervals(ivs []samplerInterval) []samplerInterval {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+func samplerOverlap(ivs []samplerInterval, a, b float64) float64 {
+	var total float64
+	for _, iv := range ivs {
+		lo, hi := iv.start, iv.end
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// ensure extends the open window to include epoch idx.
+func (s *EpochSampler) ensure(idx int) {
+	for s.oldest+len(s.open) <= idx {
+		s.open = append(s.open, epochOpen{queue: s.queue})
+	}
+}
+
+// flushThrough flushes open epochs strictly below keepFrom.
+func (s *EpochSampler) flushThrough(keepFrom int) {
+	for s.oldest < keepFrom && len(s.open) > 0 {
+		s.flushOldest()
+	}
+}
+
+func (s *EpochSampler) flushOldest() {
+	e := s.open[0]
+	idx := s.oldest
+	start := float64(idx) * s.epochLen
+	end := start + s.epochLen
+	avail := 1.0
+	if s.cores > 0 {
+		var out float64
+		for c := 0; c < s.cores; c++ {
+			out += samplerOverlap(s.outages[c], start, end)
+		}
+		avail = 1 - out/(float64(s.cores)*s.epochLen)
+	}
+	s.rec.Record(Sample{
+		Server:       s.server,
+		Epoch:        idx,
+		Time:         end,
+		Quality:      e.quality,
+		EnergyJ:      e.energy,
+		BudgetW:      s.cfg.BudgetAt(start),
+		QueueDepth:   e.queue,
+		Availability: avail,
+		Completed:    e.completed,
+		Deadlined:    e.deadlined,
+		Shed:         e.shed,
+	})
+	s.open = s.open[1:]
+	s.oldest++
+}
+
+// Observe consumes one engine event: it advances the epoch clock
+// (flushing epochs one epoch behind the event time) and accrues
+// departure quality, outcome counts, and queue depth into the event's
+// epoch. Install via sim.Config.Observer.
+func (s *EpochSampler) Observe(e sim.Event) {
+	cur := int(e.Time / s.epochLen)
+	s.ensure(cur)
+	s.flushThrough(cur - 1)
+	s.queue = e.Queue
+	slot := &s.open[cur-s.oldest]
+	slot.queue = e.Queue
+	switch e.Kind {
+	case sim.EvComplete:
+		slot.quality += e.Quality
+		slot.completed++
+	case sim.EvDeadline:
+		slot.quality += e.Quality
+		slot.deadlined++
+	case sim.EvDiscard:
+		slot.quality += e.Quality
+	case sim.EvShed:
+		slot.shed++
+	}
+}
+
+// RecordExec accrues one executed slice's dynamic energy, split across
+// the epochs it spans. Portions settling before the oldest open epoch
+// are charged to that epoch. Implements sim.Recorder.
+func (s *EpochSampler) RecordExec(core int, seg yds.Segment) {
+	if seg.End <= seg.Start {
+		return
+	}
+	p := s.cfg.Power.DynamicPower(seg.Speed)
+	last := int(seg.End / s.epochLen)
+	if float64(last)*s.epochLen == seg.End && last > 0 {
+		last-- // a slice ending exactly on a boundary belongs to the epoch before it
+	}
+	s.ensure(last)
+	first := int(seg.Start / s.epochLen)
+	if first < s.oldest {
+		first = s.oldest
+	}
+	for idx := first; idx <= last; idx++ {
+		lo := float64(idx) * s.epochLen
+		hi := lo + s.epochLen
+		if lo < seg.Start {
+			lo = seg.Start
+		}
+		if idx == s.oldest && seg.Start < float64(idx)*s.epochLen {
+			lo = seg.Start // late portion folded into the oldest open epoch
+		}
+		if hi > seg.End {
+			hi = seg.End
+		}
+		if hi > lo {
+			s.open[idx-s.oldest].energy += p * (hi - lo)
+		}
+	}
+}
+
+// Finish flushes every epoch up to the run horizon `end` (simulation
+// seconds). Epochs the run never reached are emitted with zero activity
+// so all servers of a cluster produce the same epoch count.
+func (s *EpochSampler) Finish(end float64) {
+	if end > 0 {
+		last := int(end / s.epochLen)
+		if float64(last)*s.epochLen == end && last > 0 {
+			last--
+		}
+		s.ensure(last)
+	}
+	s.flushThrough(s.oldest + len(s.open))
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"math"
+)
+
+// Label is one label name/value pair, used to qualify merged snapshots
+// (e.g. Label{"server", "3"} when folding a per-server registry into a
+// cluster one).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Merge folds a snapshot into the registry, additively: counters Add,
+// gauges Add, histograms add per-bucket counts, observation counts, and
+// sums. Families and series absent from the registry are created on
+// first merge (histogram bucket layout is reconstructed from the
+// snapshot); families already present must match in kind and label set,
+// with the usual registration panic on mismatch.
+//
+// Each extra label is prepended to the family's label names and every
+// series' values, so merging N per-server snapshots with
+// Label{"server", strconv.Itoa(s)} yields one registry keyed by server.
+// Because Snapshot orders families by name and series by label values,
+// merged output is deterministic regardless of merge content — and when
+// callers merge in a fixed order (server index), the float sums are
+// bit-identical across cluster worker counts.
+func (r *Registry) Merge(snap Snapshot, extra ...Label) {
+	for _, fam := range snap.Families {
+		labelNames := make([]string, 0, len(extra)+len(fam.LabelNames))
+		for _, l := range extra {
+			labelNames = append(labelNames, l.Name)
+		}
+		labelNames = append(labelNames, fam.LabelNames...)
+
+		var bounds []float64
+		if fam.Kind == KindHistogram && len(fam.Series) > 0 {
+			bks := fam.Series[0].Buckets
+			if n := len(bks) - 1; n > 0 { // drop the trailing +Inf bucket
+				bounds = make([]float64, n)
+				for i := 0; i < n; i++ {
+					bounds[i] = bks[i].UpperBound
+				}
+			}
+		}
+		f := r.getFamily(fam.Name, fam.Help, fam.Kind, bounds, labelNames)
+
+		for _, ss := range fam.Series {
+			labelValues := make([]string, 0, len(extra)+len(ss.LabelValues))
+			for _, l := range extra {
+				labelValues = append(labelValues, l.Value)
+			}
+			labelValues = append(labelValues, ss.LabelValues...)
+			s := f.getSeries(labelValues)
+			switch fam.Kind {
+			case KindCounter:
+				s.c.Add(uint64(ss.Value))
+			case KindGauge:
+				s.g.Add(ss.Value)
+			case KindHistogram:
+				mergeHistogram(s.h, ss)
+			}
+		}
+	}
+}
+
+// mergeHistogram adds one snapshot series into a live histogram. The
+// snapshot's buckets are cumulative; the live histogram's are not.
+func mergeHistogram(h *Histogram, ss SeriesSnapshot) {
+	if len(ss.Buckets) != len(h.buckets) {
+		panic("telemetry: Merge histogram bucket layout mismatch")
+	}
+	var prev uint64
+	for i, b := range ss.Buckets {
+		h.buckets[i].Add(b.CumulativeCount - prev)
+		prev = b.CumulativeCount
+	}
+	h.count.Add(ss.Count)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + ss.Sum)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+func TestMergePrependsLabelsDeterministically(t *testing.T) {
+	build := func(order []int) *Registry {
+		out := NewRegistry()
+		for _, s := range order {
+			reg := NewRegistry()
+			reg.Counter("jobs_total", "jobs").Add(uint64(10 + s))
+			reg.Gauge("quality", "q").Set(0.5 + float64(s)/10)
+			reg.CounterVec("events_total", "events", "kind").With("arrival").Add(uint64(s))
+			h := reg.Histogram("latency_seconds", "lat", []float64{0.1, 1})
+			h.Observe(0.05)
+			h.Observe(float64(s))
+			out.Merge(reg.Snapshot(), Label{"server", strconv.Itoa(s)})
+		}
+		return out
+	}
+	// Snapshot ordering must make merge-ORDER invisible in the exposition.
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, build([]int{0, 1, 2}).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, build([]int{2, 0, 1}).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("merge order leaked into exposition:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	snap := build([]int{0, 1, 2}).Snapshot()
+	byName := map[string]FamilySnapshot{}
+	for _, f := range snap.Families {
+		byName[f.Name] = f
+	}
+	ev := byName["events_total"]
+	if len(ev.LabelNames) != 2 || ev.LabelNames[0] != "server" || ev.LabelNames[1] != "kind" {
+		t.Fatalf("extra label not prepended: %v", ev.LabelNames)
+	}
+	if len(ev.Series) != 3 || ev.Series[1].LabelValues[0] != "1" || ev.Series[1].Value != 1 {
+		t.Fatalf("bad merged vec series: %+v", ev.Series)
+	}
+	q := byName["quality"]
+	if len(q.Series) != 3 || q.Series[2].Value != 0.7 {
+		t.Fatalf("bad merged gauges: %+v", q.Series)
+	}
+	lat := byName["latency_seconds"]
+	s2 := lat.Series[2] // server "2": observed 0.05 and 2.0
+	if s2.Count != 2 || s2.Sum != 2.05 {
+		t.Fatalf("bad merged histogram count/sum: %+v", s2)
+	}
+	if s2.Buckets[0].CumulativeCount != 1 || s2.Buckets[2].CumulativeCount != 2 {
+		t.Fatalf("bad merged histogram buckets: %+v", s2.Buckets)
+	}
+}
+
+func TestMergeAccumulatesIntoExistingSeries(t *testing.T) {
+	out := NewRegistry()
+	for i := 0; i < 2; i++ {
+		reg := NewRegistry()
+		reg.Counter("c", "h").Add(5)
+		reg.Gauge("g", "h").Set(1.5)
+		reg.Histogram("hst", "h", []float64{1}).Observe(0.5)
+		out.Merge(reg.Snapshot()) // no extra labels: same series both times
+	}
+	snap := out.Snapshot()
+	for _, f := range snap.Families {
+		switch f.Name {
+		case "c":
+			if f.Series[0].Value != 10 {
+				t.Fatalf("counter = %v, want 10", f.Series[0].Value)
+			}
+		case "g":
+			if f.Series[0].Value != 3 {
+				t.Fatalf("gauge = %v, want 3 (additive merge)", f.Series[0].Value)
+			}
+		case "hst":
+			if f.Series[0].Count != 2 || f.Series[0].Sum != 1 {
+				t.Fatalf("histogram = %+v, want count 2 sum 1", f.Series[0])
+			}
+		}
+	}
+}
+
+func TestMergeKindMismatchPanics(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("m", "h").Inc()
+	dst := NewRegistry()
+	dst.Gauge("m", "h").Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with mismatched kind should panic like re-registration")
+		}
+	}()
+	dst.Merge(src.Snapshot())
+}

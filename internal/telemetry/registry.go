@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -227,6 +229,48 @@ type SeriesSnapshot struct {
 type Bucket struct {
 	UpperBound      float64
 	CumulativeCount uint64
+}
+
+// bucketJSON mirrors Bucket with the upper bound as a raw value: JSON has
+// no Inf literal, so the overflow bound serializes as the Prometheus
+// convention string "+Inf" (and parses back to math.Inf(1)).
+type bucketJSON struct {
+	UpperBound      any
+	CumulativeCount uint64
+}
+
+// MarshalJSON encodes the bucket, writing the overflow bound as "+Inf" —
+// snapshots with histograms ride inside HTTP responses, and
+// encoding/json rejects non-finite numbers.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	out := bucketJSON{UpperBound: b.UpperBound, CumulativeCount: b.CumulativeCount}
+	if math.IsInf(b.UpperBound, 1) {
+		out.UpperBound = "+Inf"
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON accepts both a numeric bound and the "+Inf" string.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var in bucketJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	b.CumulativeCount = in.CumulativeCount
+	switch v := in.UpperBound.(type) {
+	case nil:
+		b.UpperBound = 0
+	case float64:
+		b.UpperBound = v
+	case string:
+		if v != "+Inf" {
+			return fmt.Errorf("telemetry: bucket upper bound %q", v)
+		}
+		b.UpperBound = math.Inf(1)
+	default:
+		return fmt.Errorf("telemetry: bucket upper bound %T", in.UpperBound)
+	}
+	return nil
 }
 
 // Snapshot copies the current value of every series. It is safe to call

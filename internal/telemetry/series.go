@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// SeriesSchema identifies the epoch-series JSON layout; bump on breaking
+// change.
+const SeriesSchema = "dessched-series/v1"
+
+// Sample is one per-epoch, per-server observation of a running
+// simulation: the time-resolved counterpart to the final metrics
+// Snapshot. Time is the epoch's end in simulation seconds — like every
+// telemetry timestamp it comes from the sim clock, never the wall clock,
+// so series are bit-identical across cluster worker counts.
+type Sample struct {
+	Server       int     `json:"server"`
+	Epoch        int     `json:"epoch"`
+	Time         float64 `json:"time_s"` // epoch end, simulation clock
+	Quality      float64 `json:"quality"`
+	EnergyJ      float64 `json:"energy_j"`
+	BudgetW      float64 `json:"budget_w"` // effective budget at epoch start
+	QueueDepth   int     `json:"queue_depth"`
+	Availability float64 `json:"availability"` // non-outaged core-second fraction
+	Completed    int     `json:"completed"`
+	Deadlined    int     `json:"deadlined"`
+	Shed         int     `json:"shed"`
+}
+
+// DefaultSeriesCapacity bounds an unconfigured recorder: at one-second
+// epochs that is over two hours of samples per server.
+const DefaultSeriesCapacity = 8192
+
+// SeriesRecorder accumulates epoch samples in a bounded ring buffer:
+// once capacity is reached the oldest samples are overwritten (and
+// counted as dropped), so a long run keeps the most recent window.
+//
+// Like the engine that feeds it, a recorder is single-goroutine; give
+// each concurrent engine its own recorder and fold them with Absorb in
+// server index order afterwards. A nil *SeriesRecorder is the disabled
+// recorder: every method no-ops without allocating.
+//
+// OnSample, when set, observes every recorded sample synchronously —
+// the live-streaming hook. In a cluster run the per-server recorders
+// fire it from their worker goroutines, so an OnSample used for fan-in
+// must be safe for concurrent calls (e.g. a channel send); the samples
+// folded by Absorb never re-fire it.
+type SeriesRecorder struct {
+	OnSample func(Sample)
+
+	buf     []Sample
+	start   int // ring read position
+	n       int // live samples
+	dropped int
+}
+
+// NewSeriesRecorder returns a recorder holding at most capacity samples
+// (non-positive capacity takes DefaultSeriesCapacity).
+func NewSeriesRecorder(capacity int) *SeriesRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	return &SeriesRecorder{buf: make([]Sample, 0, capacity)}
+}
+
+// Record appends one sample, evicting the oldest when full, and fires
+// OnSample. Nil-safe.
+func (r *SeriesRecorder) Record(s Sample) {
+	if r == nil {
+		return
+	}
+	r.push(s)
+	if r.OnSample != nil {
+		r.OnSample(s)
+	}
+}
+
+// Absorb appends samples without firing OnSample — used when folding
+// per-server recorders into a cluster recorder whose live consumers
+// already saw each sample at record time. Nil-safe.
+func (r *SeriesRecorder) Absorb(samples []Sample) {
+	if r == nil {
+		return
+	}
+	for _, s := range samples {
+		r.push(s)
+	}
+}
+
+func (r *SeriesRecorder) push(s Sample) {
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, s)
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Samples returns the retained samples oldest-first as a fresh slice.
+// Nil and empty recorders return nil.
+func (r *SeriesRecorder) Samples() []Sample {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]Sample, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained samples.
+func (r *SeriesRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Dropped returns how many samples the ring evicted.
+func (r *SeriesRecorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Cap returns the ring capacity (0 for a nil recorder).
+func (r *SeriesRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.buf)
+}
+
+type seriesJSON struct {
+	Schema  string   `json:"schema"`
+	Dropped int      `json:"dropped,omitempty"`
+	Samples []Sample `json:"samples"`
+}
+
+// WriteSeriesJSON serializes the retained samples in the stable
+// dessched-series/v1 format. Identical recorder state yields identical
+// bytes.
+func WriteSeriesJSON(w io.Writer, r *SeriesRecorder) error {
+	out := seriesJSON{Schema: SeriesSchema, Dropped: r.Dropped(), Samples: r.Samples()}
+	if out.Samples == nil {
+		out.Samples = []Sample{}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteSeriesCSV writes the retained samples as CSV with a header row,
+// one sample per line, oldest first.
+func WriteSeriesCSV(w io.Writer, r *SeriesRecorder) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"server", "epoch", "time_s", "quality", "energy_j", "budget_w",
+		"queue_depth", "availability", "completed", "deadlined", "shed",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range r.Samples() {
+		if err := cw.Write([]string{
+			strconv.Itoa(s.Server), strconv.Itoa(s.Epoch), f(s.Time),
+			f(s.Quality), f(s.EnergyJ), f(s.BudgetW),
+			strconv.Itoa(s.QueueDepth), f(s.Availability),
+			strconv.Itoa(s.Completed), strconv.Itoa(s.Deadlined), strconv.Itoa(s.Shed),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

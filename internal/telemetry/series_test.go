@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dessched/internal/baseline"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+	"dessched/internal/yds"
+)
+
+func TestSeriesRecorderRing(t *testing.T) {
+	r := NewSeriesRecorder(3)
+	var seen []int
+	r.OnSample = func(s Sample) { seen = append(seen, s.Epoch) }
+	for i := 0; i < 5; i++ {
+		r.Record(Sample{Epoch: i, Time: float64(i + 1)})
+	}
+	if r.Len() != 3 || r.Dropped() != 2 || r.Cap() != 3 {
+		t.Fatalf("len=%d dropped=%d cap=%d, want 3/2/3", r.Len(), r.Dropped(), r.Cap())
+	}
+	got := r.Samples()
+	if len(got) != 3 || got[0].Epoch != 2 || got[2].Epoch != 4 {
+		t.Fatalf("ring kept %+v, want epochs 2..4", got)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("OnSample fired %d times, want 5 (every Record, evicted or not)", len(seen))
+	}
+}
+
+func TestSeriesAbsorbSkipsOnSample(t *testing.T) {
+	r := NewSeriesRecorder(8)
+	fired := 0
+	r.OnSample = func(Sample) { fired++ }
+	r.Absorb([]Sample{{Epoch: 0}, {Epoch: 1}})
+	if fired != 0 {
+		t.Fatalf("Absorb fired OnSample %d times, want 0", fired)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len=%d, want 2", r.Len())
+	}
+}
+
+func TestNilSeriesRecorderSafe(t *testing.T) {
+	var r *SeriesRecorder
+	r.Record(Sample{})
+	r.Absorb([]Sample{{}})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Cap() != 0 || r.Samples() != nil {
+		t.Fatal("nil recorder should report empty")
+	}
+	allocs := testing.AllocsPerRun(1000, func() { r.Record(Sample{Epoch: 1}) })
+	if allocs != 0 {
+		t.Fatalf("nil recorder Record allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestWriteSeriesJSONAndCSV(t *testing.T) {
+	r := NewSeriesRecorder(4)
+	r.Record(Sample{Server: 1, Epoch: 0, Time: 1, Quality: 0.5, EnergyJ: 12.25, BudgetW: 80, QueueDepth: 3, Availability: 1, Completed: 2})
+	r.Record(Sample{Server: 1, Epoch: 1, Time: 2, Quality: 0.25, EnergyJ: 6, BudgetW: 40, QueueDepth: 1, Availability: 0.75, Deadlined: 1, Shed: 2})
+
+	var jbuf bytes.Buffer
+	if err := WriteSeriesJSON(&jbuf, r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Schema  string   `json:"schema"`
+		Samples []Sample `json:"samples"`
+	}
+	if err := json.Unmarshal(jbuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Schema != SeriesSchema || len(decoded.Samples) != 2 || decoded.Samples[1].BudgetW != 40 {
+		t.Fatalf("bad JSON round-trip: %+v", decoded)
+	}
+
+	var cbuf bytes.Buffer
+	if err := WriteSeriesCSV(&cbuf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cbuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "server,epoch,time_s,quality") {
+		t.Fatalf("bad CSV header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1,1,2,0.25,6,40,1,0.75,0,1,2") {
+		t.Fatalf("bad CSV row: %q", lines[2])
+	}
+}
+
+func TestEpochSamplerSynthetic(t *testing.T) {
+	cfg := sim.PaperConfig()
+	cfg.Cores = 2
+	cfg.Budget = 100
+	cfg.Faults = []sim.Fault{{Core: 1, Start: 1.0, End: 2.0, SpeedFactor: 0}} // outage all of epoch 1
+	cfg.BudgetFaults = []sim.BudgetFault{{Start: 1.0, End: 2.0, Fraction: 0.5}}
+
+	rec := NewSeriesRecorder(16)
+	s := NewEpochSampler(rec, 3, 1.0, cfg)
+
+	s.Observe(sim.Event{Time: 0.1, Kind: sim.EvArrival, Queue: 1})
+	s.Observe(sim.Event{Time: 0.2, Kind: sim.EvInvoke, Queue: 1})
+	s.RecordExec(0, yds.Segment{Start: 0.2, End: 0.8, Speed: 2.0})
+	s.Observe(sim.Event{Time: 0.8, Kind: sim.EvComplete, Queue: 1, Quality: 0.9})
+	s.Observe(sim.Event{Time: 1.5, Kind: sim.EvDeadline, Queue: 1, Quality: 0.3})
+	// Slice spanning the epoch 1→2 boundary settles late, at t=2.5.
+	s.Observe(sim.Event{Time: 2.5, Kind: sim.EvShed, Queue: 2})
+	s.RecordExec(1, yds.Segment{Start: 1.5, End: 2.5, Speed: 1.0})
+	s.Finish(4.0)
+
+	got := rec.Samples()
+	if len(got) != 4 {
+		t.Fatalf("got %d samples, want 4 epochs", len(got))
+	}
+	p2 := cfg.Power.DynamicPower(2.0)
+	p1 := cfg.Power.DynamicPower(1.0)
+	e0 := got[0]
+	if e0.Epoch != 0 || e0.Server != 3 || e0.Time != 1.0 {
+		t.Fatalf("bad epoch 0 identity: %+v", e0)
+	}
+	if e0.Quality != 0.9 || e0.Completed != 1 || math.Abs(e0.EnergyJ-0.6*p2) > 1e-12 {
+		t.Fatalf("bad epoch 0 accrual: %+v (want energy %v)", e0, 0.6*p2)
+	}
+	if e0.BudgetW != 100 || e0.Availability != 1 {
+		t.Fatalf("bad epoch 0 budget/avail: %+v", e0)
+	}
+	e1 := got[1]
+	if e1.Quality != 0.3 || e1.Deadlined != 1 {
+		t.Fatalf("bad epoch 1 outcomes: %+v", e1)
+	}
+	if e1.BudgetW != 50 {
+		t.Fatalf("epoch 1 budget = %v, want 50 (0.5 fraction window)", e1.BudgetW)
+	}
+	if e1.Availability != 0.5 {
+		t.Fatalf("epoch 1 availability = %v, want 0.5 (1 of 2 cores out)", e1.Availability)
+	}
+	if math.Abs(e1.EnergyJ-0.5*p1) > 1e-12 {
+		t.Fatalf("epoch 1 energy = %v, want %v (first half of late slice)", e1.EnergyJ, 0.5*p1)
+	}
+	e2 := got[2]
+	if e2.Shed != 1 || math.Abs(e2.EnergyJ-0.5*p1) > 1e-12 {
+		t.Fatalf("bad epoch 2: %+v", e2)
+	}
+	if e2.QueueDepth != 2 {
+		t.Fatalf("epoch 2 queue = %d, want 2 (last event's sampled depth)", e2.QueueDepth)
+	}
+	e3 := got[3]
+	if e3.Quality != 0 || e3.EnergyJ != 0 || e3.QueueDepth != 2 {
+		t.Fatalf("idle epoch 3 should carry queue forward with zero activity: %+v", e3)
+	}
+}
+
+func TestEpochSamplerMatchesRun(t *testing.T) {
+	cfg := sim.PaperConfig()
+	cfg.Cores = 4
+	cfg.Budget = 80
+
+	rec := NewSeriesRecorder(0)
+	smp := NewEpochSampler(rec, 0, 1.0, cfg)
+	cfg.Observer = smp.Observe
+	cfg.Recorder = smp
+
+	wl := workload.DefaultConfig(150)
+	wl.Duration = 3
+	wl.Seed = 11
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(cfg, jobs, baseline.New(baseline.FCFS, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp.Finish(res.Span)
+
+	var q float64
+	var completed, deadlined int
+	for _, s := range rec.Samples() {
+		q += s.Quality
+		completed += s.Completed
+		deadlined += s.Deadlined
+	}
+	if completed != res.Completed || deadlined != res.Deadlined {
+		t.Fatalf("outcome counts %d/%d, result says %d/%d",
+			completed, deadlined, res.Completed, res.Deadlined)
+	}
+	if math.Abs(q-res.Quality) > 1e-9*math.Max(1, res.Quality) {
+		t.Fatalf("series quality sum %v != result quality %v", q, res.Quality)
+	}
+}

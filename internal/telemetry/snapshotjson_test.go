@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// Snapshots ride inside HTTP JSON responses (cluster simulate, sweep
+// cells), so a histogram's +Inf overflow bound must survive a JSON
+// round trip — encoding/json rejects non-finite numbers outright.
+func TestSnapshotJSONRoundTripsInfBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rt_seconds", "help", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	reg.Counter("jobs_total", "help").Inc()
+
+	snap := reg.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	var found bool
+	for _, f := range back.Families {
+		if f.Name != "rt_seconds" {
+			continue
+		}
+		bks := f.Series[0].Buckets
+		if len(bks) != 3 {
+			t.Fatalf("buckets = %d, want 3", len(bks))
+		}
+		if bks[0].UpperBound != 0.1 || bks[1].UpperBound != 1 {
+			t.Errorf("finite bounds = %v, %v", bks[0].UpperBound, bks[1].UpperBound)
+		}
+		if !math.IsInf(bks[2].UpperBound, 1) {
+			t.Errorf("overflow bound = %v, want +Inf", bks[2].UpperBound)
+		}
+		if bks[2].CumulativeCount != 3 {
+			t.Errorf("overflow count = %d, want 3", bks[2].CumulativeCount)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("rt_seconds family missing after round trip")
+	}
+
+	// Identical state marshals to identical bytes.
+	data2, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("snapshot JSON is not deterministic")
+	}
+}
+
+func TestBucketUnmarshalRejectsJunkBound(t *testing.T) {
+	var b Bucket
+	if err := json.Unmarshal([]byte(`{"UpperBound":"-Inf","CumulativeCount":1}`), &b); err == nil {
+		t.Error("accepted -Inf bound")
+	}
+	if err := json.Unmarshal([]byte(`{"UpperBound":true,"CumulativeCount":1}`), &b); err == nil {
+		t.Error("accepted bool bound")
+	}
+}

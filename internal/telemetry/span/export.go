@@ -1,0 +1,157 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema identifies the span-trace JSON layout for downstream tooling;
+// bump on breaking change.
+const Schema = "dessched-spans/v1"
+
+// attrJSON is the stable serialized form of one attribute: the key plus
+// exactly one typed value field.
+type attrJSON struct {
+	Key   string   `json:"key"`
+	Float *float64 `json:"float,omitempty"`
+	Int   *int64   `json:"int,omitempty"`
+	Str   *string  `json:"str,omitempty"`
+}
+
+type spanJSON struct {
+	ID     ID         `json:"id"`
+	Parent ID         `json:"parent"`
+	Name   string     `json:"name"`
+	Start  float64    `json:"start_s"`
+	End    float64    `json:"end_s"`
+	Attrs  []attrJSON `json:"attrs,omitempty"`
+}
+
+type traceJSON struct {
+	Schema  string     `json:"schema"`
+	Dropped int        `json:"dropped,omitempty"`
+	Spans   []spanJSON `json:"spans"`
+}
+
+// WriteJSON serializes the trace in the stable dessched-spans/v1 format:
+// spans in creation order, attributes in attachment order, every
+// timestamp in simulation seconds. Identical tracer state always yields
+// identical bytes.
+func WriteJSON(w io.Writer, t *Tracer) error {
+	out := traceJSON{Schema: Schema, Dropped: t.Dropped(), Spans: make([]spanJSON, 0, t.Len())}
+	for _, s := range t.Spans() {
+		sj := spanJSON{ID: s.ID, Parent: s.Parent, Name: s.Name, Start: s.Start, End: s.End}
+		for _, a := range s.Attrs {
+			aj := attrJSON{Key: a.Key}
+			switch a.Kind {
+			case AttrFloat:
+				v := a.Num
+				aj.Float = &v
+			case AttrInt:
+				v := int64(a.Num)
+				aj.Int = &v
+			case AttrString:
+				v := a.Str
+				aj.Str = &v
+			}
+			sj.Attrs = append(sj.Attrs, aj)
+		}
+		out.Spans = append(out.Spans, sj)
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// perfetto event/file shapes, mirroring telemetry's trace export (kept
+// local so the span package stays import-light).
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+const usPerSec = 1e6
+
+// WritePerfetto renders the span trace as Chrome trace-event JSON
+// loadable in https://ui.perfetto.dev. Spans land on one process
+// ("spans"); the thread lane is the span's "server" attribute plus one
+// when present (inherited through parents), with serverless spans on
+// lane 0. Instant spans (End == Start) render as instant events.
+func WritePerfetto(w io.Writer, t *Tracer) error {
+	spans := t.Spans()
+
+	// Resolve each span's lane: its own "server" attribute, else the
+	// parent's lane (parents always precede children in creation order,
+	// including across Adopt).
+	lanes := make([]int, len(spans))
+	maxLane := 0
+	for i, s := range spans {
+		lane := 0
+		if s.Parent >= 0 && int(s.Parent) < i {
+			lane = lanes[s.Parent]
+		}
+		for _, a := range s.Attrs {
+			if a.Key == "server" && a.Kind == AttrInt {
+				lane = int(a.Num) + 1
+			}
+		}
+		lanes[i] = lane
+		if lane > maxLane {
+			maxLane = lane
+		}
+	}
+
+	out := perfettoFile{DisplayTimeUnit: "ms"}
+	meta := func(tid int, kind, name string) {
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name: kind, Ph: "M", Pid: 1, Tid: tid, Args: map[string]any{"name": name},
+		})
+	}
+	meta(0, "process_name", "spans")
+	meta(0, "thread_name", "global")
+	for l := 1; l <= maxLane; l++ {
+		meta(l, "thread_name", fmt.Sprintf("server %d", l-1))
+	}
+
+	for i, s := range spans {
+		ev := perfettoEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   s.Start * usPerSec,
+			Dur:  (s.End - s.Start) * usPerSec,
+			Pid:  1,
+			Tid:  lanes[i],
+		}
+		if s.End <= s.Start {
+			ev.Ph = "i"
+			ev.Dur = 0
+		}
+		if len(s.Attrs) > 0 {
+			args := make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				switch a.Kind {
+				case AttrFloat:
+					args[a.Key] = a.Num
+				case AttrInt:
+					args[a.Key] = int64(a.Num)
+				case AttrString:
+					args[a.Key] = a.Str
+				}
+			}
+			ev.Args = args
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,27 @@
+package span
+
+import "dessched/internal/sim"
+
+// Observe bridges a sim engine's event stream into the tracer as instant
+// spans under parent: each EvInvoke (an Online-QE replan / dispatch
+// decision) becomes a "replan" span carrying the queue depth sampled just
+// before the decision, and each EvFaultEdge becomes a "fault-edge" span
+// with the affected core. Departure events are already captured by the
+// series layer and metrics, so they are not duplicated here.
+//
+// The returned observer is nil-safe in the same way the tracer is: with a
+// nil tracer every event is a no-op (but prefer not installing the
+// observer at all, which keeps the engine's emit path a single nil
+// check).
+func Observe(t *Tracer, parent ID) sim.Observer {
+	return func(e sim.Event) {
+		switch e.Kind {
+		case sim.EvInvoke:
+			id := t.Start(parent, "replan", e.Time)
+			t.Int(id, "queue", e.Queue)
+		case sim.EvFaultEdge:
+			id := t.Start(parent, "fault-edge", e.Time)
+			t.Int(id, "core", e.Core)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package span is a deterministic, simulation-clock span tracer for the
+// DES reproduction — the causal, time-resolved counterpart to the final
+// metrics Snapshot. A Tracer records hierarchical spans over every layer
+// of a run (facade → cluster dispatch → budget epoch → per-server engine →
+// Online-QE replan), each carrying typed attributes (server id, water
+// level, effective budget, queue depth).
+//
+// Two properties drive the design, mirroring the simulator's own
+// discipline:
+//
+//   - Determinism. Every timestamp is simulation time, never wall clock,
+//     and spans are stored in creation order. Per-server tracers are
+//     grafted into a cluster tracer sequentially in server index order
+//     (see Adopt), so the serialized trace is bit-identical for any
+//     cluster worker count.
+//   - Zero cost when disabled. A nil *Tracer is a valid no-op tracer:
+//     every method nil-checks and returns immediately without allocating,
+//     so instrumented code paths can call through unconditionally
+//     (pinned by AllocsPerRun in span_test.go).
+//
+// A Tracer is single-goroutine, like the engine it instruments: give each
+// concurrent engine its own tracer and merge afterwards.
+package span
+
+// ID names one span within its Tracer. The zero Tracer hands out dense
+// IDs starting at 0; NoSpan is the parent of root spans.
+type ID int32
+
+// NoSpan is the nil span reference: the parent of roots, and the result
+// of starting a span on a nil or saturated tracer.
+const NoSpan ID = -1
+
+// AttrKind is the type of an attribute value.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	AttrFloat AttrKind = iota
+	AttrInt
+	AttrString
+)
+
+// Attr is one typed key/value attribute on a span. Num holds float and
+// int values (ints are stored exactly up to 2^53); Str holds strings.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Num  float64
+	Str  string
+}
+
+// Span is one recorded operation: a named interval of simulation time
+// with a parent link and typed attributes. Instant events are spans with
+// End == Start.
+type Span struct {
+	ID     ID
+	Parent ID // NoSpan for roots
+	Name   string
+	Start  float64 // simulation seconds
+	End    float64
+	Attrs  []Attr
+}
+
+// DefaultMaxSpans bounds an unconfigured tracer — a backstop against a
+// runaway instrumented loop, far above any realistic run (a 60 s paper
+// workload replans a few thousand times).
+const DefaultMaxSpans = 1 << 20
+
+// Tracer accumulates spans in creation order. The zero value is NOT
+// ready; use New or NewLimited. A nil *Tracer is the disabled tracer:
+// all methods no-op.
+type Tracer struct {
+	spans   []Span
+	limit   int
+	dropped int
+}
+
+// New returns a tracer bounded at DefaultMaxSpans.
+func New() *Tracer { return NewLimited(DefaultMaxSpans) }
+
+// NewLimited returns a tracer that records at most maxSpans spans;
+// further Start calls return NoSpan and count as dropped. Non-positive
+// maxSpans takes the default.
+func NewLimited(maxSpans int) *Tracer {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Tracer{limit: maxSpans}
+}
+
+// Start opens a span under parent (NoSpan for a root) at simulation time
+// at, returning its ID. End defaults to the start time, so a span never
+// explicitly ended reads as an instant event. Nil-safe: a nil tracer
+// returns NoSpan.
+func (t *Tracer) Start(parent ID, name string, at float64) ID {
+	if t == nil {
+		return NoSpan
+	}
+	if len(t.spans) >= t.limit {
+		t.dropped++
+		return NoSpan
+	}
+	id := ID(len(t.spans))
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, Start: at, End: at})
+	return id
+}
+
+// End closes the span at simulation time at. No-op for NoSpan, unknown
+// IDs, or a nil tracer.
+func (t *Tracer) End(id ID, at float64) {
+	if t == nil || id < 0 || int(id) >= len(t.spans) {
+		return
+	}
+	t.spans[id].End = at
+}
+
+// Float attaches a float attribute to the span. No-op on nil tracers and
+// NoSpan.
+func (t *Tracer) Float(id ID, key string, v float64) {
+	if t == nil || id < 0 || int(id) >= len(t.spans) {
+		return
+	}
+	t.spans[id].Attrs = append(t.spans[id].Attrs, Attr{Key: key, Kind: AttrFloat, Num: v})
+}
+
+// Int attaches an integer attribute to the span (exact up to 2^53).
+func (t *Tracer) Int(id ID, key string, v int) {
+	if t == nil || id < 0 || int(id) >= len(t.spans) {
+		return
+	}
+	t.spans[id].Attrs = append(t.spans[id].Attrs, Attr{Key: key, Kind: AttrInt, Num: float64(v)})
+}
+
+// String attaches a string attribute to the span.
+func (t *Tracer) String(id ID, key, v string) {
+	if t == nil || id < 0 || int(id) >= len(t.spans) {
+		return
+	}
+	t.spans[id].Attrs = append(t.spans[id].Attrs, Attr{Key: key, Kind: AttrString, Str: v})
+}
+
+// Len returns the number of recorded spans (0 for a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Dropped returns how many Start calls the span limit rejected.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Spans returns the recorded spans in creation order. The slice is the
+// tracer's backing store; treat it as read-only.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Adopt grafts every span of child under parent: child IDs are rebased
+// past the current span count, child roots are re-parented to parent, and
+// attributes are carried over as-is. Called sequentially in server index
+// order by the cluster layer, it makes the merged trace independent of
+// how many workers ran the child engines. Spans beyond the adopting
+// tracer's limit are dropped (counted), keeping the bound intact.
+func (t *Tracer) Adopt(child *Tracer, parent ID) {
+	if t == nil || child == nil {
+		return
+	}
+	base := ID(len(t.spans))
+	for _, s := range child.spans {
+		if len(t.spans) >= t.limit {
+			t.dropped++
+			continue
+		}
+		ns := s
+		ns.ID += base
+		if ns.Parent == NoSpan {
+			ns.Parent = parent
+		} else {
+			ns.Parent += base
+		}
+		t.spans = append(t.spans, ns)
+	}
+	t.dropped += child.dropped
+}

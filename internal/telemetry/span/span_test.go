@@ -1,0 +1,268 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dessched/internal/sim"
+)
+
+func eventInvoke(t float64, queue int) sim.Event {
+	return sim.Event{Time: t, Kind: sim.EvInvoke, Queue: queue}
+}
+
+func TestHierarchyAndAttrs(t *testing.T) {
+	tr := New()
+	root := tr.Start(NoSpan, "cluster", 0)
+	tr.Int(root, "servers", 4)
+	tr.String(root, "policy", "cdvfs")
+	epoch := tr.Start(root, "epoch", 1.0)
+	tr.Float(epoch, "water_level_w", 42.5)
+	tr.End(epoch, 2.0)
+	tr.End(root, 10.0)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Parent != NoSpan || spans[1].Parent != root {
+		t.Fatalf("bad parents: %+v", spans)
+	}
+	if spans[0].End != 10.0 || spans[1].Start != 1.0 || spans[1].End != 2.0 {
+		t.Fatalf("bad times: %+v", spans)
+	}
+	if len(spans[0].Attrs) != 2 || spans[0].Attrs[0].Key != "servers" || spans[0].Attrs[0].Num != 4 {
+		t.Fatalf("bad root attrs: %+v", spans[0].Attrs)
+	}
+	if spans[1].Attrs[0].Kind != AttrFloat || spans[1].Attrs[0].Num != 42.5 {
+		t.Fatalf("bad epoch attr: %+v", spans[1].Attrs)
+	}
+}
+
+func TestUnendedSpanIsInstant(t *testing.T) {
+	tr := New()
+	id := tr.Start(NoSpan, "replan", 3.25)
+	if s := tr.Spans()[id]; s.End != s.Start {
+		t.Fatalf("un-ended span End = %v, want %v", s.End, s.Start)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	id := tr.Start(NoSpan, "x", 0)
+	if id != NoSpan {
+		t.Fatalf("nil tracer Start = %d, want NoSpan", id)
+	}
+	tr.End(id, 1)
+	tr.Float(id, "k", 1)
+	tr.Int(id, "k", 1)
+	tr.String(id, "k", "v")
+	tr.Adopt(New(), NoSpan)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer should report empty")
+	}
+}
+
+// The disabled path must stay zero-alloc: instrumented code calls through
+// a nil *Tracer unconditionally.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	obs := Observe(tr, NoSpan)
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := tr.Start(NoSpan, "replan", 1.5)
+		tr.Int(id, "queue", 3)
+		tr.Float(id, "budget_w", 80)
+		tr.End(id, 1.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates %v per run, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		obs(eventInvoke(2.0, 7))
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer observer allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestLimitAndDropped(t *testing.T) {
+	tr := NewLimited(2)
+	a := tr.Start(NoSpan, "a", 0)
+	b := tr.Start(a, "b", 1)
+	c := tr.Start(b, "c", 2)
+	if c != NoSpan {
+		t.Fatalf("over-limit Start = %d, want NoSpan", c)
+	}
+	if tr.Len() != 2 || tr.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 2/1", tr.Len(), tr.Dropped())
+	}
+	// Attrs on the dropped ID must be ignored, not panic.
+	tr.Int(c, "k", 1)
+}
+
+func TestAdoptRebasesIDs(t *testing.T) {
+	parent := New()
+	root := parent.Start(NoSpan, "cluster", 0)
+
+	child := New()
+	sroot := child.Start(NoSpan, "server", 0)
+	child.Int(sroot, "server", 1)
+	rep := child.Start(sroot, "replan", 0.5)
+	child.End(rep, 0.5)
+	child.End(sroot, 9)
+
+	parent.Adopt(child, root)
+	spans := parent.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[1].Name != "server" || spans[1].Parent != root || spans[1].ID != 1 {
+		t.Fatalf("adopted root wrong: %+v", spans[1])
+	}
+	if spans[2].Name != "replan" || spans[2].Parent != 1 || spans[2].ID != 2 {
+		t.Fatalf("adopted child wrong: %+v", spans[2])
+	}
+}
+
+func TestAdoptRespectsLimit(t *testing.T) {
+	parent := NewLimited(2)
+	root := parent.Start(NoSpan, "cluster", 0)
+	child := New()
+	for i := 0; i < 3; i++ {
+		child.Start(NoSpan, "s", float64(i))
+	}
+	parent.Adopt(child, root)
+	if parent.Len() != 2 || parent.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 2/2", parent.Len(), parent.Dropped())
+	}
+}
+
+func TestObserveRecordsReplansAndFaultEdges(t *testing.T) {
+	tr := New()
+	root := tr.Start(NoSpan, "server", 0)
+	obs := Observe(tr, root)
+	obs(sim.Event{Time: 1.5, Kind: sim.EvInvoke, Queue: 4})
+	obs(sim.Event{Time: 2.0, Kind: sim.EvComplete, Quality: 0.9}) // ignored
+	obs(sim.Event{Time: 2.5, Kind: sim.EvFaultEdge, Core: 3})
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3 (root + replan + fault-edge)", len(spans))
+	}
+	if spans[1].Name != "replan" || spans[1].Start != 1.5 || spans[1].Parent != root {
+		t.Fatalf("bad replan span: %+v", spans[1])
+	}
+	if spans[1].Attrs[0].Key != "queue" || spans[1].Attrs[0].Num != 4 {
+		t.Fatalf("bad replan attrs: %+v", spans[1].Attrs)
+	}
+	if spans[2].Name != "fault-edge" || spans[2].Attrs[0].Key != "core" || spans[2].Attrs[0].Num != 3 {
+		t.Fatalf("bad fault-edge span: %+v", spans[2])
+	}
+}
+
+func TestWriteJSONStable(t *testing.T) {
+	build := func() *Tracer {
+		tr := New()
+		root := tr.Start(NoSpan, "cluster", 0)
+		tr.Int(root, "servers", 2)
+		tr.String(root, "dispatch", "rr")
+		ep := tr.Start(root, "epoch", 0)
+		tr.Float(ep, "water_level_w", 37.125)
+		tr.End(ep, 1)
+		tr.End(root, 30)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, build()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteJSON not byte-stable for identical tracers")
+	}
+	var decoded struct {
+		Schema string `json:"schema"`
+		Spans  []struct {
+			Name  string `json:"name"`
+			Attrs []struct {
+				Key   string   `json:"key"`
+				Float *float64 `json:"float"`
+				Int   *int64   `json:"int"`
+				Str   *string  `json:"str"`
+			} `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Schema != Schema {
+		t.Fatalf("schema = %q, want %q", decoded.Schema, Schema)
+	}
+	if len(decoded.Spans) != 2 {
+		t.Fatalf("got %d spans", len(decoded.Spans))
+	}
+	at := decoded.Spans[0].Attrs
+	if len(at) != 2 || at[0].Int == nil || *at[0].Int != 2 || at[1].Str == nil || *at[1].Str != "rr" {
+		t.Fatalf("typed attrs mangled: %+v", at)
+	}
+	if fa := decoded.Spans[1].Attrs; len(fa) != 1 || fa[0].Float == nil || *fa[0].Float != 37.125 {
+		t.Fatalf("float attr mangled: %+v", decoded.Spans[1].Attrs)
+	}
+}
+
+func TestWritePerfettoLanes(t *testing.T) {
+	tr := New()
+	root := tr.Start(NoSpan, "cluster", 0)
+	s0 := tr.Start(root, "server", 0)
+	tr.Int(s0, "server", 0)
+	r0 := tr.Start(s0, "replan", 0.5) // inherits server 0's lane
+	tr.End(r0, 0.5)
+	s1 := tr.Start(root, "server", 0)
+	tr.Int(s1, "server", 1)
+	tr.End(s0, 10)
+	tr.End(s1, 10)
+	tr.End(root, 10)
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid perfetto JSON: %v", err)
+	}
+	lanes := map[string]int{}
+	insts := 0
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Ph == "i" {
+			insts++
+		}
+		lanes[fmt.Sprintf("%s@%.0f", ev.Name, ev.Ts)] = ev.Tid
+	}
+	if lanes["cluster@0"] != 0 {
+		t.Fatalf("cluster span on lane %d, want 0", lanes["cluster@0"])
+	}
+	if lanes["replan@500000"] != 1 {
+		t.Fatalf("replan span on lane %d, want inherited server lane 1", lanes["replan@500000"])
+	}
+	if insts != 1 {
+		t.Fatalf("instant events = %d, want 1 (the replan)", insts)
+	}
+	if !strings.Contains(buf.String(), `"server 1"`) {
+		t.Fatal("missing thread_name metadata for server 1")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"dessched/internal/sim"
 	"dessched/internal/sweep"
 	"dessched/internal/telemetry"
+	"dessched/internal/telemetry/span"
 )
 
 // Cluster and sweep types, exported through the facade. (The pre-existing
@@ -55,6 +56,31 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a registry's families.
 	MetricsSnapshot = telemetry.Snapshot
 
+	// SpanTracer records hierarchical, simulation-clock spans — the causal
+	// counterpart to the final metrics snapshot. See WithSpans and
+	// ClusterInstrument.Tracer. A nil tracer disables tracing at zero cost.
+	SpanTracer = span.Tracer
+	// SpanID names one span within its tracer.
+	SpanID = span.ID
+
+	// SeriesRecorder accumulates per-epoch samples in a bounded ring
+	// buffer; its OnSample hook drives live streaming. See WithSeries and
+	// ClusterInstrument.Series.
+	SeriesRecorder = telemetry.SeriesRecorder
+	// EpochSample is one per-epoch, per-server observation (quality,
+	// energy, effective budget, queue depth, availability, outcomes).
+	EpochSample = telemetry.Sample
+
+	// ClusterInstrument attaches observability sinks (span tracer, epoch
+	// series, merged metrics registry, executed-schedule traces) to a
+	// cluster run via ClusterConfig.Instrument.
+	ClusterInstrument = cluster.Instrument
+
+	// ClusterTraceFile bundles a cluster run's executed schedules with the
+	// cross-server context (dispatch decisions, budget windows, faults) in
+	// the stable dessched-cluster-trace/v1 JSON layout.
+	ClusterTraceFile = telemetry.ClusterTrace
+
 	// HardwareCluster is the emulated hardware testbed used for the §V-G
 	// energy validation (same type as the legacy Cluster alias).
 	HardwareCluster = hw.Cluster
@@ -84,12 +110,57 @@ func AsConfigError(err error) (*ConfigError, bool) { return cfgerr.As(err) }
 // or the HTTP exposition endpoint.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
+// NewSpanTracer returns an empty span tracer (bounded at the package
+// default span limit) for WithSpans or ClusterInstrument.Tracer.
+func NewSpanTracer() *SpanTracer { return span.New() }
+
+// WriteSpanJSON serializes a span trace in the stable dessched-spans/v1
+// format (simulation-second timestamps, creation order).
+func WriteSpanJSON(w io.Writer, t *SpanTracer) error { return span.WriteJSON(w, t) }
+
+// WriteSpanPerfetto renders a span trace as Chrome trace-event JSON
+// loadable in https://ui.perfetto.dev.
+func WriteSpanPerfetto(w io.Writer, t *SpanTracer) error { return span.WritePerfetto(w, t) }
+
+// NewSeriesRecorder returns an epoch-series ring buffer holding at most
+// capacity samples (non-positive capacity takes the package default).
+func NewSeriesRecorder(capacity int) *SeriesRecorder { return telemetry.NewSeriesRecorder(capacity) }
+
+// WriteSeriesJSON serializes retained epoch samples in the stable
+// dessched-series/v1 format.
+func WriteSeriesJSON(w io.Writer, r *SeriesRecorder) error { return telemetry.WriteSeriesJSON(w, r) }
+
+// WriteSeriesCSV writes retained epoch samples as CSV, oldest first.
+func WriteSeriesCSV(w io.Writer, r *SeriesRecorder) error { return telemetry.WriteSeriesCSV(w, r) }
+
+// WriteClusterTraceJSON serializes a cluster trace bundle; destrace
+// recognizes the schema and renders per-server Perfetto lanes from it.
+func WriteClusterTraceJSON(w io.Writer, ct *ClusterTraceFile) error {
+	return telemetry.WriteClusterTraceJSON(w, ct)
+}
+
+// ReadClusterTraceJSON parses and validates a cluster trace bundle.
+func ReadClusterTraceJSON(r io.Reader) (*ClusterTraceFile, error) {
+	return telemetry.ReadClusterTraceJSON(r)
+}
+
+// WriteClusterPerfetto renders a cluster trace as Chrome trace-event
+// JSON: one process per server with core lanes plus budget/dispatch/
+// fault overlay lanes.
+func WriteClusterPerfetto(w io.Writer, ct *ClusterTraceFile) error {
+	return telemetry.WriteClusterPerfetto(w, ct)
+}
+
 // simSetup is the mutable state SimOptions act on before a run starts.
+// late hooks run after every option has mutated the config, so they see
+// the final fault and budget-window state (the epoch sampler derives
+// effective budget and availability from it).
 type simSetup struct {
 	cfg       *sim.Config
 	observers []sim.Observer
 	recorders []sim.Recorder
 	finish    []func(Result)
+	late      []func(*simSetup) error
 }
 
 // SimOption customizes one Simulate (or SimulateCluster) call. Options
@@ -159,6 +230,58 @@ func WithChaos(plan ChaosPlan) SimOption {
 	}
 }
 
+// WithSpans wires a span tracer into the run: a "simulate" root span
+// covering the whole run (cores, budget, policy-visible config attrs),
+// with every Online-QE replan and fault edge as an instant child span
+// carrying queue depth / core attributes. Timestamps are simulation
+// seconds, so traces are reproducible bit for bit. A nil tracer is
+// rejected — omit the option to disable tracing (the disabled path is
+// the engine's usual zero-alloc emit).
+func WithSpans(t *SpanTracer) SimOption {
+	return func(s *simSetup) error {
+		if t == nil {
+			return cfgerr.New("facade", "spans", "dessched: WithSpans needs a non-nil tracer")
+		}
+		// Late-bound: the root's attributes read the final config (chaos
+		// options may still append faults after this option).
+		s.late = append(s.late, func(s *simSetup) error {
+			root := t.Start(span.NoSpan, "simulate", 0)
+			t.Int(root, "cores", s.cfg.Cores)
+			t.Float(root, "budget_w", s.cfg.Budget)
+			t.Int(root, "faults", len(s.cfg.Faults))
+			s.observers = append(s.observers, span.Observe(t, root))
+			s.finish = append(s.finish, func(res Result) { t.End(root, res.Span) })
+			return nil
+		})
+		return nil
+	}
+}
+
+// WithSeries samples the run into rec once per epoch (epochLen seconds;
+// non-positive takes 1 s): quality, dynamic energy, effective power
+// budget, queue depth, availability, and outcome counts, all on the
+// simulation clock. rec's OnSample hook fires as epochs close — the
+// live-streaming path. A nil recorder is rejected; omit the option to
+// disable.
+func WithSeries(rec *SeriesRecorder, epochLen float64) SimOption {
+	return func(s *simSetup) error {
+		if rec == nil {
+			return cfgerr.New("facade", "series", "dessched: WithSeries needs a non-nil recorder")
+		}
+		// Late-bound: the sampler snapshots the config to derive effective
+		// budget (BudgetAt) and per-core availability, so it must see the
+		// final fault/budget-window state.
+		s.late = append(s.late, func(s *simSetup) error {
+			sampler := telemetry.NewEpochSampler(rec, 0, epochLen, *s.cfg)
+			s.observers = append(s.observers, sampler.Observe)
+			s.recorders = append(s.recorders, sampler)
+			s.finish = append(s.finish, func(res Result) { sampler.Finish(res.Span) })
+			return nil
+		})
+		return nil
+	}
+}
+
 // apply runs the options over a copy of cfg and merges the collected
 // observers/recorders with whatever the config already carries.
 func applyOptions(cfg sim.Config, opts []SimOption) (sim.Config, []func(Result), error) {
@@ -168,6 +291,12 @@ func applyOptions(cfg sim.Config, opts []SimOption) (sim.Config, []func(Result),
 			return cfg, nil, err
 		}
 	}
+	for _, l := range s.late {
+		if err := l(&s); err != nil {
+			return cfg, nil, err
+		}
+	}
+	s.late = nil
 	if len(s.observers) > 0 {
 		if cfg.Observer != nil {
 			s.observers = append([]sim.Observer{cfg.Observer}, s.observers...)
@@ -209,9 +338,10 @@ func SimulateCluster(cfg ClusterConfig, jobs []Job, opts ...SimOption) (ClusterR
 		if len(probe.observers) != len(before.observers) ||
 			len(probe.recorders) != len(before.recorders) ||
 			len(probe.finish) != len(before.finish) ||
+			len(probe.late) != len(before.late) ||
 			len(cfg.Server.Faults) != faults0 || len(cfg.Server.BudgetFaults) != bfaults0 {
 			return ClusterResult{}, cfgerr.New("facade", "options",
-				"dessched: only WithContext applies to SimulateCluster; per-run hooks cannot span the fleet's concurrent engines")
+				"dessched: only WithContext applies to SimulateCluster; per-run hooks cannot span the fleet's concurrent engines — use ClusterConfig.Instrument for fleet observability")
 		}
 	}
 	return cluster.Run(cfg, jobs)

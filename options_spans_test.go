@@ -1,0 +1,130 @@
+package dessched_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dessched"
+)
+
+func TestWithSpansRecordsReplanHierarchy(t *testing.T) {
+	cfg, jobs := smallRun(t)
+	tr := dessched.NewSpanTracer()
+	res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS),
+		dessched.WithSpans(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) < 2 {
+		t.Fatalf("got %d spans, want a root plus replans", len(spans))
+	}
+	root := spans[0]
+	if root.Name != "simulate" || root.Parent != -1 {
+		t.Fatalf("root = %+v", root)
+	}
+	if math.Float64bits(root.End) != math.Float64bits(res.Span) {
+		t.Errorf("root ends at %g, result span %g", root.End, res.Span)
+	}
+	replans := 0
+	for _, s := range spans[1:] {
+		if s.Parent != root.ID {
+			t.Fatalf("span %q not parented to the root", s.Name)
+		}
+		if s.Name == "replan" {
+			replans++
+		}
+	}
+	if replans == 0 {
+		t.Error("no replan spans recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := dessched.WriteSpanJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dessched-spans/v1"`) {
+		t.Error("span JSON missing schema tag")
+	}
+	buf.Reset()
+	if err := dessched.WriteSpanPerfetto(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Error("span perfetto missing traceEvents")
+	}
+
+	// Options must not perturb the simulation itself.
+	plain, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(plain.Quality) != math.Float64bits(res.Quality) {
+		t.Error("span option changed the simulation result")
+	}
+}
+
+func TestWithSeriesSamplesEpochs(t *testing.T) {
+	cfg, jobs := smallRun(t)
+	rec := dessched.NewSeriesRecorder(0)
+	live := 0
+	rec.OnSample = func(dessched.EpochSample) { live++ }
+	res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS),
+		dessched.WithSeries(rec, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := rec.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no epoch samples recorded")
+	}
+	if live != len(samples) {
+		t.Errorf("OnSample fired %d times for %d samples", live, len(samples))
+	}
+	var quality, energy float64
+	for i, s := range samples {
+		if s.Epoch != i || s.Server != 0 {
+			t.Fatalf("sample %d = %+v", i, s)
+		}
+		quality += s.Quality
+		energy += s.EnergyJ
+	}
+	if math.Abs(quality-res.Quality) > 1e-6*math.Max(1, res.Quality) {
+		t.Errorf("series quality %g != result %g", quality, res.Quality)
+	}
+	if math.Abs(energy-res.Energy) > 1e-6*math.Max(1, res.Energy) {
+		t.Errorf("series energy %g != result %g", energy, res.Energy)
+	}
+}
+
+func TestSpanSeriesOptionsRejectNil(t *testing.T) {
+	cfg, jobs := smallRun(t)
+	if _, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS),
+		dessched.WithSpans(nil)); err == nil {
+		t.Error("WithSpans(nil) accepted")
+	}
+	if _, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS),
+		dessched.WithSeries(nil, 1)); err == nil {
+		t.Error("WithSeries(nil, 1) accepted")
+	}
+}
+
+func TestSimulateClusterRejectsPerRunHooks(t *testing.T) {
+	ccfg := dessched.ClusterConfig{Servers: 2, Server: dessched.PaperServer()}
+	wl := dessched.PaperWorkload(30)
+	wl.Duration = 2
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opt := range map[string]dessched.SimOption{
+		"spans":  dessched.WithSpans(dessched.NewSpanTracer()),
+		"series": dessched.WithSeries(dessched.NewSeriesRecorder(0), 1),
+	} {
+		if _, err := dessched.SimulateCluster(ccfg, jobs, opt); err == nil {
+			t.Errorf("SimulateCluster accepted per-run %s hook", name)
+		}
+	}
+}
