@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race bench bench-json verify chaos report fuzz cover fmt vet clean trace-view examples
+.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples
 
 all: build vet test
 
@@ -38,6 +38,15 @@ verify:
 chaos:
 	$(GO) run ./cmd/desim chaos -seed 1 -duration 20 -cores 8 -budget 160 -rate 60 \
 		-admission quality-aware -max-queue 64
+
+# Invariant-armed chaos soak: seeded fault schedules with exponential
+# repair, retries, and budget drops run under the full DES policy with
+# every runtime invariant checked (race detector on); any violation fails.
+# The second line soaks the recovery stack end to end through the CLI.
+chaos-soak:
+	$(GO) test -race -count=1 -run TestChaosSoakInvariants ./internal/invariants/
+	$(GO) run ./cmd/desim chaos -seed 1 -duration 20 -cores 8 -budget 160 -rate 60 \
+		-mttr 0.5 -retry-max 3 -retry-backoff 0.05 -admission quality-aware -max-queue 64
 
 # Full markdown reproduction report (takes a few minutes).
 report:

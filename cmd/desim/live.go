@@ -113,10 +113,12 @@ func clusterSpec(policy, arch string, wf bool) (string, error) {
 
 // runClusterSim is cmdSim's -servers > 1 path: one fleet run with the
 // full instrumentation surface — live ticker, span trace, epoch series,
-// merged telemetry, and a cluster-trace bundle for destrace.
+// merged telemetry, and a cluster-trace bundle for destrace — plus the
+// recovery stack (hedged dispatch, completed-server checkpoint/resume).
 func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 	wl dessched.WorkloadConfig, dispatch string, globalBudget float64,
-	chaosSeed uint64, fl simInstrumentFlags, traceOut, perfettoOut, telemetryOut string) error {
+	chaosSeed uint64, hedge dessched.HedgeConfig, checkpointOut, resumeIn string,
+	fl simInstrumentFlags, traceOut, perfettoOut, telemetryOut string) error {
 
 	d, err := dessched.ParseDispatchPolicy(dispatch)
 	if err != nil {
@@ -129,6 +131,7 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 		Dispatch:     d,
 		GlobalBudget: globalBudget,
 		Epoch:        fl.epoch,
+		Hedge:        hedge,
 	}
 
 	ins := &dessched.ClusterInstrument{}
@@ -151,7 +154,29 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 		ins.Registry = reg
 	}
 	ins.Traces = traceOut != "" || perfettoOut != ""
-	ccfg.Instrument = ins
+	// Checkpointing is incompatible with instrumentation (completed-server
+	// telemetry cannot be replayed on resume), so only attach the sinks
+	// when something asked for them.
+	if fl.wantSpans() || fl.wantSeries() || telemetryOut != "" || ins.Traces {
+		if checkpointOut != "" || resumeIn != "" {
+			return fmt.Errorf("cluster -checkpoint/-resume cannot be combined with -trace/-perfetto/-telemetry/-spans/-series/-live")
+		}
+		ccfg.Instrument = ins
+	}
+
+	snapshots := 0
+	if checkpointOut != "" {
+		ccfg.Checkpoint = &dessched.ClusterCheckpointConfig{
+			Sink: func(s *dessched.ClusterSnapshot) error {
+				b, err := dessched.EncodeClusterSnapshot(s)
+				if err != nil {
+					return err
+				}
+				snapshots++
+				return os.WriteFile(checkpointOut, b, 0o644)
+			},
+		}
+	}
 
 	if chaosSeed > 0 {
 		faults, err := dessched.ClusterChaosFaults(chaosSeed, wl.Duration, servers, cfg.Cores)
@@ -165,9 +190,25 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 	if err != nil {
 		return err
 	}
-	res, err := dessched.SimulateCluster(ccfg, jobs)
-	if err != nil {
+	var res dessched.ClusterResult
+	if resumeIn != "" {
+		b, err := os.ReadFile(resumeIn)
+		if err != nil {
+			return err
+		}
+		snap, err := dessched.DecodeClusterSnapshot(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resume: %d of %d servers already complete in %s\n", len(snap.Done), snap.Servers, resumeIn)
+		if res, err = dessched.ResumeCluster(ccfg, jobs, snap); err != nil {
+			return err
+		}
+	} else if res, err = dessched.SimulateCluster(ccfg, jobs); err != nil {
 		return err
+	}
+	if checkpointOut != "" {
+		fmt.Printf("checkpoint: %d snapshots taken, latest at %s\n", snapshots, checkpointOut)
 	}
 
 	fmt.Printf("cluster: %d × %s servers, dispatch %s, global budget %.0f W\n",
@@ -176,6 +217,10 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 		res.Quality, res.MaxQuality, res.NormQuality, res.Energy, res.PeakPowerSum)
 	fmt.Printf("arrived %d, completed %d, deadlined %d, shed %d, span %.2f s\n",
 		res.Arrived, res.Completed, res.Deadlined, res.Shed, res.Span)
+	if res.Retried > 0 || res.Abandoned > 0 || res.Hedged > 0 {
+		fmt.Printf("recovered: retried %d, abandoned %d, retry quality %.3f, hedged %d (wins %d, %+.3f quality)\n",
+			res.Retried, res.Abandoned, res.RetryQuality, res.Hedged, res.HedgeWins, res.HedgeQuality)
+	}
 	for _, sr := range res.PerServer {
 		fmt.Printf("  server %2d: %4d jobs, share %6.1f W, norm quality %.4f, energy %8.1f J\n",
 			sr.Server, sr.Jobs, sr.BudgetShareW, sr.Result.NormQuality, sr.Result.Energy)

@@ -92,7 +92,7 @@ func TestRunClusterSimOutputs(t *testing.T) {
 	spansOut := filepath.Join(dir, "spans.json")
 	seriesOut := filepath.Join(dir, "series.json")
 	fl := simInstrumentFlags{spansOut: spansOut, seriesOut: seriesOut, epoch: 1}
-	if err := runClusterSim(2, "des-c", cfg, wl, "rr", 160, 7, fl,
+	if err := runClusterSim(2, "des-c", cfg, wl, "rr", 160, 7, dessched.HedgeConfig{}, "", "", fl,
 		traceOut, "", ""); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestRunClusterSimOutputs(t *testing.T) {
 		}
 	}
 
-	if err := runClusterSim(2, "des-c", cfg, wl, "rr", 160, 7, fl, traceOut, "", ""); err != nil {
+	if err := runClusterSim(2, "des-c", cfg, wl, "rr", 160, 7, dessched.HedgeConfig{}, "", "", fl, traceOut, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	b2, _ := os.ReadFile(spansOut)

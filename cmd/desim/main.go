@@ -9,11 +9,15 @@
 //	desim run -all [-quick]
 //	desim sim -policy des -arch c -rate 120 [-cores 16] [-budget 320] [-wf]
 //	          [-discrete] [-duration 60] [-seed 1] [-partial 1.0] [-trace out.csv]
-//	          [-chaos-seed 1] [-telemetry metrics.prom] [-perfetto trace.json]
+//	          [-chaos-seed 1 -mttr 0.5] [-retry-max 3 -retry-backoff 0.05]
+//	          [-checkpoint snap.json -checkpoint-every 5] [-resume snap.json]
+//	          [-telemetry metrics.prom] [-perfetto trace.json]
 //	          [-live] [-epoch 1] [-spans spans.json] [-series series.csv]
 //	          [-servers 8 -dispatch rr -global-budget 2000]
+//	          [-hedge-window 0.2 -hedge-limit 100]
 //	desim chaos -seed 1 [-rate 120] [-duration 30] [-cores 16] [-budget 320]
 //	            [-core-faults 3] [-budget-faults 1] [-bursts 1]
+//	            [-mttr 0.5] [-retry-max 3 -retry-backoff 0.05]
 //	            [-admission quality-aware -max-queue 64]
 //	desim sweep [-rates 60,90,120] [-cores 16] [-budgets 320] [-policies des,fcfs-wf]
 //	            [-seeds 1,2] [-duration 60] [-workers 8] [-servers 8] [-dispatch rr]
@@ -88,14 +92,18 @@ run flags: -duration s  -seed n  -replicas n  -workers n  -rates a,b,c
            (presets set the baseline; explicit flags override them)
 sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
            -rate r  -cores m  -budget W  -partial f  -duration s  -seed n
-           -trace file.csv  -events  -chaos-seed n
+           -trace file.csv  -events  -chaos-seed n  -mttr s
+           -retry-max n  -retry-backoff s
+           -checkpoint file.json  -checkpoint-every s  -resume file.json
            -telemetry file.prom  -perfetto file.json
            -live  -epoch s  -spans file.json  -spans-perfetto file.json
            -series file.json|.csv
            -servers m  -dispatch rr|ll|hash  -global-budget W
+           -hedge-window s  -hedge-limit n
            (with -servers > 1, -trace/-perfetto write the cluster bundle)
 chaos flags: -seed n  -rate r  -duration s  -cores m  -budget W  -arch c|s|no
              -core-faults n  -budget-faults n  -bursts n  -outage-frac f
+             -mttr s  -retry-max n  -retry-backoff s
              -admission none|tail-drop|quality-aware  -max-queue n
 sweep flags: -rates a,b,c  -cores a,b  -budgets a,b  -policies p,q  -seeds a,b
              -duration s  -workers n  -servers m  -dispatch rr|ll|hash
@@ -300,6 +308,9 @@ func cmdChaos(args []string) error {
 	outageFrac := fs.Float64("outage-frac", 0.3, "fraction of core faults that are full outages")
 	admit := fs.String("admission", "none", "load shedding: none | tail-drop | quality-aware")
 	maxQueue := fs.Int("max-queue", 64, "queue length beyond which admission control sheds")
+	mttr := fs.Float64("mttr", 0, "mean time to repair: core faults heal after exponential repair times (0 = default fault windows)")
+	retryMax := fs.Int("retry-max", 0, "max dispatch attempts for jobs evacuated from outaged cores (0 = no retry lifecycle)")
+	retryBackoff := fs.Float64("retry-backoff", 0.05, "initial retry backoff, s, doubling per attempt (with -retry-max)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -326,6 +337,7 @@ func cmdChaos(args []string) error {
 	chaos.BudgetFaults = *budgetFaults
 	chaos.Bursts = *bursts
 	chaos.OutageFraction = *outageFrac
+	chaos.MTTR = *mttr
 	plan, err := chaos.Generate()
 	if err != nil {
 		return err
@@ -343,6 +355,9 @@ func cmdChaos(args []string) error {
 		if faulted {
 			wl.Bursts = plan.Apply(&cfg)
 			cfg.Admission = dessched.AdmissionConfig{Policy: pol, MaxQueue: *maxQueue}
+			if *retryMax > 0 {
+				cfg.Retry = dessched.RetryPolicy{MaxAttempts: *retryMax, Backoff: *retryBackoff}
+			}
 		}
 		jobs, err := dessched.GenerateWorkload(wl)
 		if err != nil {
@@ -361,7 +376,7 @@ func cmdChaos(args []string) error {
 	}
 	fmt.Println("faulted:   ", faulted.String())
 	fmt.Println("fault-free:", twin.String())
-	fmt.Println(dessched.Resilience(twin, faulted).String())
+	fmt.Println(dessched.Resilience(twin, faulted).WithRepair(plan.MeanTimeToRepair()).String())
 	return nil
 }
 
@@ -390,6 +405,14 @@ func cmdSim(args []string) error {
 	spansOut := fs.String("spans", "", "write the hierarchical span trace as dessched-spans/v1 JSON to this file")
 	spansPerfetto := fs.String("spans-perfetto", "", "write the span trace as Perfetto/Chrome trace-event JSON to this file")
 	seriesOut := fs.String("series", "", "write per-epoch samples to this file (.csv for CSV, else JSON)")
+	retryMax := fs.Int("retry-max", 0, "max dispatch attempts for jobs evacuated from outaged cores (0 = no retry lifecycle)")
+	retryBackoff := fs.Float64("retry-backoff", 0.05, "initial retry backoff, s, doubling per attempt (with -retry-max)")
+	mttr := fs.Float64("mttr", 0, "chaos repair: core faults heal after exponential repair times with this mean, s (with -chaos-seed)")
+	hedgeWindow := fs.Float64("hedge-window", 0, "duplicate jobs whose deadline window is at most this to a second server, s (with -servers > 1)")
+	hedgeLimit := fs.Int("hedge-limit", 0, "cap on hedged jobs (0 = unlimited; with -hedge-window)")
+	checkpointOut := fs.String("checkpoint", "", "write the latest engine snapshot to this file while the run executes")
+	checkpointEvery := fs.Float64("checkpoint-every", 5, "simulated seconds between snapshots (with -checkpoint)")
+	resumeIn := fs.String("resume", "", "resume from a snapshot file written by -checkpoint (needs the original run's exact flags)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -399,6 +422,9 @@ func cmdSim(args []string) error {
 	cfg.Budget = *budget
 	if *discrete {
 		cfg.Ladder = power.DefaultLadder
+	}
+	if *retryMax > 0 {
+		cfg.Retry = dessched.RetryPolicy{MaxAttempts: *retryMax, Backoff: *retryBackoff}
 	}
 
 	fl := simInstrumentFlags{
@@ -417,8 +443,12 @@ func cmdSim(args []string) error {
 		wl.Duration = *duration
 		wl.Seed = *seed
 		wl.PartialFraction = *partial
+		hedge := dessched.HedgeConfig{Window: *hedgeWindow, Limit: *hedgeLimit}
 		return runClusterSim(*servers, spec, cfg, wl, *dispatch, *globalBudget,
-			*chaosSeed, fl, *traceOut, *perfettoOut, *telemetryOut)
+			*chaosSeed, hedge, *checkpointOut, *resumeIn, fl, *traceOut, *perfettoOut, *telemetryOut)
+	}
+	if *hedgeWindow > 0 {
+		return fmt.Errorf("-hedge-window needs -servers > 1: hedging duplicates jobs across servers")
 	}
 
 	var p dessched.Policy
@@ -455,7 +485,9 @@ func cmdSim(args []string) error {
 	wl.Seed = *seed
 	wl.PartialFraction = *partial
 	if *chaosSeed > 0 {
-		plan, err := dessched.DefaultChaos(*chaosSeed, *duration, *cores).Generate()
+		cc := dessched.DefaultChaos(*chaosSeed, *duration, *cores)
+		cc.MTTR = *mttr
+		plan, err := cc.Generate()
 		if err != nil {
 			return err
 		}
@@ -514,13 +546,51 @@ func cmdSim(args []string) error {
 		opts = append(opts, dessched.WithSeries(seriesRec, fl.epoch))
 	}
 
-	jobs, err := dessched.GenerateWorkload(wl)
-	if err != nil {
-		return err
+	// Checkpointing keeps the latest engine snapshot on disk; resuming
+	// restores it under the same flags (the snapshot fingerprint rejects a
+	// drifted config). A resumed run carries the workload in the snapshot.
+	snapshots := 0
+	if *checkpointOut != "" {
+		cfg.Checkpoint = &dessched.SimCheckpointConfig{
+			Every: *checkpointEvery,
+			Sink: func(s *dessched.SimSnapshot) error {
+				b, err := dessched.EncodeSimSnapshot(s)
+				if err != nil {
+					return err
+				}
+				snapshots++
+				return os.WriteFile(*checkpointOut, b, 0o644)
+			},
+		}
 	}
-	res, err := dessched.Simulate(cfg, jobs, p, opts...)
-	if err != nil {
-		return err
+
+	var res dessched.Result
+	if *resumeIn != "" {
+		if cfg.Recorder != nil || cfg.Observer != nil || len(opts) > 0 {
+			return fmt.Errorf("-resume cannot replay instrumentation; drop -trace/-perfetto/-telemetry/-events/-spans/-series/-live")
+		}
+		b, err := os.ReadFile(*resumeIn)
+		if err != nil {
+			return err
+		}
+		snap, err := dessched.DecodeSimSnapshot(b)
+		if err != nil {
+			return err
+		}
+		if res, err = dessched.ResumeSimulation(cfg, p, snap); err != nil {
+			return err
+		}
+	} else {
+		jobs, err := dessched.GenerateWorkload(wl)
+		if err != nil {
+			return err
+		}
+		if res, err = dessched.Simulate(cfg, jobs, p, opts...); err != nil {
+			return err
+		}
+	}
+	if *checkpointOut != "" {
+		fmt.Printf("checkpoint: %d snapshots taken, latest at %s\n", snapshots, *checkpointOut)
 	}
 	fmt.Println(res.String())
 	fmt.Printf("offered load: %.0f units/s over capacity %.0f units/s (rho %.2f)\n",

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/job"
+	"dessched/internal/sim"
+)
+
+// HedgeConfig enables hedged dispatch: jobs whose deadline window is tight
+// are duplicated to a second server at dispatch time, and the first replica
+// to complete wins — the classic tail-latency hedge, adapted to the
+// best-effort setting where a "loss" can still carry partial quality.
+//
+// Semantics:
+//
+//   - a job is hedged when its deadline window (Deadline − Release) is at
+//     most Window seconds — those are the requests with the least slack to
+//     absorb an outage, a queue spike, or a budget throttle on one server;
+//   - the secondary replica goes to the next up server after the primary in
+//     index order (never the primary itself); with one server, or with every
+//     other server down at release, the job is not hedged;
+//   - at aggregation the two replicas are resolved first-completion-wins:
+//     the earlier completed replica wins; if only one completed it wins; if
+//     neither completed the higher-quality replica wins; all ties break to
+//     the primary. The losing replica's quality, arrival, and outcome are
+//     subtracted from the aggregate so the cluster result counts every
+//     logical job exactly once;
+//   - the energy both replicas burned stays counted — hedging buys response
+//     quality with duplicated work, and the cluster result must show that
+//     cost, not hide it.
+//
+// The hedging pass and its resolution are sequential pure functions of the
+// configuration, so hedged runs stay bit-identical for any Workers count.
+// Jobs are matched across servers by ID: a stream with duplicate IDs only
+// hedges the first occurrence of each.
+type HedgeConfig struct {
+	// Window is the deadline-slack threshold in seconds: jobs with
+	// Deadline − Release ≤ Window are hedged. Zero disables hedging.
+	Window float64
+
+	// Limit caps how many jobs are hedged over the whole run (0 = no cap),
+	// bounding the duplicated work under pathological workloads.
+	Limit int
+}
+
+// Enabled reports whether hedged dispatch is active.
+func (h HedgeConfig) Enabled() bool { return h.Window > 0 }
+
+// Validate reports configuration errors as typed *cfgerr.Error values.
+func (h HedgeConfig) Validate() error {
+	if h.Window < 0 || math.IsNaN(h.Window) || math.IsInf(h.Window, 0) {
+		return cfgerr.New("cluster", "hedge_window", "cluster: hedge window must be non-negative and finite, got %g", h.Window)
+	}
+	if h.Limit < 0 {
+		return cfgerr.New("cluster", "hedge_limit", "cluster: hedge limit must be non-negative, got %d", h.Limit)
+	}
+	return nil
+}
+
+// hedgePair records one duplicated dispatch for aggregation-time
+// resolution.
+type hedgePair struct {
+	id        job.ID
+	demand    float64
+	primary   int
+	secondary int
+}
+
+// applyHedges rebuilds the per-server substreams with hedged duplicates
+// appended in release order (so every substream stays release-sorted) and
+// returns the pairs to resolve after the runs. assign is dispatchJobs'
+// assignment vector over the sorted stream.
+func applyHedges(h HedgeConfig, servers, cores int, outages [][][]interval, sorted []job.Job, assign []int) ([][]job.Job, []hedgePair) {
+	perServer := make([][]job.Job, servers)
+	var pairs []hedgePair
+	seen := make(map[job.ID]bool)
+	for i, j := range sorted {
+		p := assign[i]
+		perServer[p] = append(perServer[p], j)
+		if servers < 2 || j.Deadline-j.Release > h.Window || seen[j.ID] {
+			continue
+		}
+		if h.Limit > 0 && len(pairs) >= h.Limit {
+			continue
+		}
+		sec := -1
+		for d := 1; d < servers; d++ {
+			q := (p + d) % servers
+			if serverUp(cores, outages[q], j.Release) {
+				sec = q
+				break
+			}
+		}
+		if sec < 0 {
+			continue
+		}
+		seen[j.ID] = true
+		pairs = append(pairs, hedgePair{id: j.ID, demand: j.Demand, primary: p, secondary: sec})
+		perServer[sec] = append(perServer[sec], j)
+	}
+	return perServer, pairs
+}
+
+// secondaryWins resolves one hedge pair: first completion wins, then
+// quality, with every tie breaking to the primary.
+func secondaryWins(po, so sim.JobOutcome) bool {
+	pc, sc := po.Reason == sim.Completed, so.Reason == sim.Completed
+	switch {
+	case pc && sc:
+		return so.DepartAt < po.DepartAt
+	case sc:
+		return true
+	case pc:
+		return false
+	default:
+		return so.Quality > po.Quality
+	}
+}
+
+// resolveHedges folds the hedge pairs into the aggregate: for every pair the
+// losing replica's quality, arrival, and outcome are subtracted (qmax
+// evaluates the quality function at a job's full demand, for the MaxQuality
+// normalizer), and the hedge counters are filled in. Pairs are resolved in
+// dispatch order, so the subtraction sequence — and with it the float
+// result — is deterministic.
+func resolveHedges(res *Result, pairs []hedgePair, results []sim.Result, qmax func(float64) float64) {
+	if len(pairs) == 0 {
+		return
+	}
+	byID := make([]map[job.ID]sim.JobOutcome, len(results))
+	lookup := func(s int, id job.ID) (sim.JobOutcome, bool) {
+		m := byID[s]
+		if m == nil {
+			m = make(map[job.ID]sim.JobOutcome, len(results[s].Jobs))
+			for _, o := range results[s].Jobs {
+				if _, dup := m[o.ID]; !dup {
+					m[o.ID] = o
+				}
+			}
+			byID[s] = m
+		}
+		o, ok := m[id]
+		return o, ok
+	}
+	for _, p := range pairs {
+		po, okP := lookup(p.primary, p.id)
+		so, okS := lookup(p.secondary, p.id)
+		if !okP || !okS {
+			continue
+		}
+		win := secondaryWins(po, so)
+		loser := so
+		if win {
+			loser = po
+			res.HedgeWins++
+			res.HedgeQuality += so.Quality - po.Quality
+		}
+		res.Hedged++
+		res.Quality -= loser.Quality
+		res.MaxQuality -= qmax(p.demand)
+		res.Arrived--
+		switch loser.Reason {
+		case sim.Completed:
+			res.Completed--
+		case sim.DeadlineHit:
+			res.Deadlined--
+		case sim.PolicyDiscard:
+			res.Discarded--
+		case sim.Shed:
+			res.Shed--
+		case sim.Abandoned:
+			res.Abandoned--
+		}
+	}
+}

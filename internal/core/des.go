@@ -21,6 +21,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -552,4 +553,43 @@ func unlimitedPlan(now float64, c *sim.CoreState) (speed float64, segs []yds.Seg
 		return 0, nil, nil
 	}
 	return sched.Segments[0].Speed, sched.Segments, nil
+}
+
+// desState is DES's serialized cross-invocation state: the C-RR cursor.
+// Everything else DES keeps between invocations (WF memo, plan buffers,
+// scratch slices) is a pure cache that rebuilds identically on the next
+// invocation, so only the cursor needs to survive a checkpoint.
+type desState struct {
+	Cores     int `json:"cores"`      // CRR width, to rebuild the distributor
+	CRRCursor int `json:"crr_cursor"` // -1 when the distributor was never created
+}
+
+// SavePolicyState implements sim.StatefulPolicy: it captures the
+// cumulative round-robin cursor so a resumed run continues distributing
+// jobs exactly where the snapshotted run left off.
+func (d *DES) SavePolicyState() ([]byte, error) {
+	st := desState{CRRCursor: -1}
+	if d.crr != nil {
+		st.Cores = d.crr.Cores()
+		st.CRRCursor = d.crr.Cursor()
+	}
+	return json.Marshal(st)
+}
+
+// LoadPolicyState implements sim.StatefulPolicy.
+func (d *DES) LoadPolicyState(b []byte) error {
+	var st desState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("core: decoding DES state: %w", err)
+	}
+	if st.CRRCursor < 0 {
+		d.crr = nil
+		return nil
+	}
+	if st.Cores <= 0 || st.CRRCursor >= st.Cores {
+		return fmt.Errorf("core: DES state cursor %d out of range [0, %d)", st.CRRCursor, st.Cores)
+	}
+	d.crr = dist.NewCRR(st.Cores)
+	d.crr.SetCursor(st.CRRCursor)
+	return nil
 }

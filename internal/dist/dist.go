@@ -97,9 +97,22 @@ func (c *CRR) AppendAssignAvail(dst []int, n int, avail []bool) []int {
 // Cursor returns the core index the next assignment will start from.
 func (c *CRR) Cursor() int { return c.next }
 
+// Cores returns the distributor's core count.
+func (c *CRR) Cores() int { return c.m }
+
 // Reset rewinds the distributor to core 0 (plain, non-cumulative RR resets
 // before every invocation — kept for the ablation benchmarks).
 func (c *CRR) Reset() { c.next = 0 }
+
+// SetCursor restores the cumulative cursor — used when resuming a
+// checkpointed run, so the distribution continues exactly where the
+// snapshotted run left off. It panics on an out-of-range index.
+func (c *CRR) SetCursor(next int) {
+	if next < 0 || next >= c.m {
+		panic(fmt.Sprintf("dist: CRR cursor %d out of range [0, %d)", next, c.m))
+	}
+	c.next = next
+}
 
 // WaterFill distributes a non-negative power budget among cores with the
 // given requested powers and returns each core's assigned power. No core

@@ -72,6 +72,34 @@ func (q *Queue[P]) Peek() (it Item[P], ok bool) {
 	return q.h[0], true
 }
 
+// Seq returns the item's insertion sequence number — the FIFO tie-break
+// key. It is exposed so checkpointing can serialize the queue exactly and
+// restore the identical pop order.
+func (it Item[P]) Seq() uint64 { return it.seq }
+
+// MakeItem builds an item with an explicit sequence number, for restoring
+// a serialized queue. Items built this way must only be passed to Restore.
+func MakeItem[P any](t float64, seq uint64, payload P) Item[P] {
+	return Item[P]{Time: t, Payload: payload, seq: seq}
+}
+
+// Snapshot returns the queue's internal heap array (in heap order, not
+// sorted order) and its sequence counter. The returned slice aliases the
+// queue; callers must copy what they retain and must not mutate it.
+// Feeding both values back into Restore reproduces the exact queue state,
+// including FIFO tie-breaking among equal-time events.
+func (q *Queue[P]) Snapshot() (items []Item[P], seq uint64) {
+	return q.h, q.seq
+}
+
+// Restore replaces the queue's state with a previously snapshotted heap
+// array and sequence counter. The items must be in valid heap order (as
+// returned by Snapshot); Restore copies the slice and trusts its order.
+func (q *Queue[P]) Restore(items []Item[P], seq uint64) {
+	q.h = append(q.h[:0], items...)
+	q.seq = seq
+}
+
 // less orders by time, then by insertion sequence (FIFO among ties).
 func (q *Queue[P]) less(a, b int) bool {
 	if q.h[a].Time != q.h[b].Time {

@@ -43,6 +43,18 @@ const (
 // variable so the slow-client saturation test can shrink it.
 var streamSendBuffer = 1024
 
+// streamRetryHintMS is the reconnection delay the stream advertises in
+// its opening "retry:" field — EventSource clients that lose the
+// connection (a restarted server, a dropped proxy) wait this long before
+// reconnecting instead of hammering the endpoint with the browser default.
+var streamRetryHintMS = 2000
+
+// streamHeartbeatEvery paces the ": heartbeat" comment frames that keep
+// an idle connection alive through proxies and LBs while the engine is
+// between samples (a heavily throttled stream can sit silent for long
+// wall-clock stretches). A variable so tests can shrink it.
+var streamHeartbeatEvery = 15 * time.Second
+
 // WriteSSE writes one Server-Sent Event frame: an optional event name
 // line, the data split across one "data:" line per newline, and the
 // blank-line terminator. Event names are sanitized (newlines and
@@ -225,6 +237,17 @@ func StreamHandler(o Options) http.Handler {
 		w.Header().Set("Cache-Control", "no-store")
 		w.WriteHeader(http.StatusOK)
 		rc := http.NewResponseController(w)
+
+		// Reconnection hint first, so even a stream that dies before its
+		// first sample leaves the client with a sane retry cadence.
+		_ = rc.SetWriteDeadline(time.Now().Add(frameWriteDeadline))
+		if _, err := fmt.Fprintf(w, "retry: %d\n\n", streamRetryHintMS); err != nil {
+			return
+		}
+		_ = rc.Flush()
+
+		heartbeat := time.NewTicker(streamHeartbeatEvery)
+		defer heartbeat.Stop()
 		sent := 0
 		writeFrame := func(event string, v any) error {
 			b, err := json.Marshal(v)
@@ -284,6 +307,15 @@ func StreamHandler(o Options) http.Handler {
 					return
 				}
 				sent++
+			case <-heartbeat.C:
+				// Comment frame: ignored by EventSource, but keeps the
+				// connection warm through idle-connection reapers.
+				_ = rc.SetWriteDeadline(time.Now().Add(frameWriteDeadline))
+				if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil || rc.Flush() != nil {
+					cancel()
+					<-done
+					return
+				}
 			case out := <-done:
 				finish(out)
 				return

@@ -42,6 +42,8 @@ func parseSSE(t *testing.T, r io.Reader) []sseFrame {
 				cur.data += "\n"
 			}
 			cur.data += strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, "retry: "), strings.HasPrefix(line, ":"):
+			// Reconnection hints and comment heartbeats carry no payload.
 		default:
 			t.Fatalf("malformed SSE line %q", line)
 		}
@@ -102,6 +104,39 @@ func TestStreamDeliversSamplesAndDone(t *testing.T) {
 	}
 	if done.Samples+int(done.DroppedFrames) < samples {
 		t.Fatalf("done accounting inconsistent: %+v vs %d received", done, samples)
+	}
+}
+
+// TestStreamRetryHintAndHeartbeat: the stream opens with a "retry:"
+// reconnection hint and emits comment heartbeats while the engine is
+// between samples, and neither disturbs the event frames.
+func TestStreamRetryHintAndHeartbeat(t *testing.T) {
+	oldHB := streamHeartbeatEvery
+	streamHeartbeatEvery = 10 * time.Millisecond
+	defer func() { streamHeartbeatEvery = oldHB }()
+
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+
+	// Throttle the samples so the stream idles long enough to heartbeat.
+	resp, err := http.Get(srv.URL + "/v1/stream?rate=60&duration_s=3&throttle_ms=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(body, []byte("retry: ")) {
+		t.Fatalf("stream does not open with a retry hint:\n%.80s", body)
+	}
+	if !bytes.Contains(body, []byte(": heartbeat\n\n")) {
+		t.Fatal("no heartbeat comment in a throttled stream")
+	}
+	frames := parseSSE(t, bytes.NewReader(body))
+	if len(frames) == 0 || frames[len(frames)-1].event != "done" {
+		t.Fatalf("retry/heartbeat lines disturbed the frames: %+v", frames)
 	}
 }
 

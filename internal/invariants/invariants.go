@@ -1,0 +1,359 @@
+// Package invariants is an opt-in runtime checker for the simulator's core
+// guarantees. Attached to a run through the engine's existing observer and
+// recorder hooks, it verifies — while the simulation executes — that:
+//
+//   - the event clock never runs backwards (MonotoneClock);
+//   - per-epoch executed power never exceeds the integral of the effective
+//     (budget-faulted) power budget over the epoch, within tolerance
+//     (BudgetConservation) — the paper's central resource constraint;
+//   - each core's executed slices are well-formed and non-overlapping in
+//     time (ScheduleFeasibility), the physical-machine property every
+//     plan must respect;
+//   - optionally, no job starves: under an admissible load every arrived
+//     job departs with nonzero quality (Starvation). This check is opt-in
+//     because near saturation a policy may legitimately let low-value jobs
+//     expire — only enable it on workloads known to be schedulable.
+//
+// Violations are collected, not panicked: a chaos soak inspects
+// Checker.Violations (or Err) at the end, and the sim_invariant_violations
+// metric exposes the running count per kind when a telemetry registry is
+// attached. The checker is single-run and single-goroutine, like every
+// other engine hook.
+package invariants
+
+import (
+	"fmt"
+	"math"
+
+	"dessched/internal/sim"
+	"dessched/internal/telemetry"
+	"dessched/internal/yds"
+)
+
+// Kind classifies a violated invariant.
+type Kind int
+
+// Invariant kinds.
+const (
+	MonotoneClock       Kind = iota // an event fired before an earlier one
+	BudgetConservation              // an epoch executed more power than the budget allowed
+	ScheduleFeasibility             // a core's executed slices overlap or run backwards
+	Starvation                      // a job departed with zero quality under an admissible load
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MonotoneClock:
+		return "monotone-clock"
+	case BudgetConservation:
+		return "budget-conservation"
+	case ScheduleFeasibility:
+		return "schedule-feasibility"
+	case Starvation:
+		return "starvation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Kind   Kind
+	Time   float64 // simulation time of the offending observation
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at t=%.6f: %s", v.Kind, v.Time, v.Detail)
+}
+
+// Error aggregates a run's violations into one typed error.
+type Error struct {
+	Violations []Violation
+}
+
+func (e *Error) Error() string {
+	if len(e.Violations) == 1 {
+		return "invariants: " + e.Violations[0].String()
+	}
+	return fmt.Sprintf("invariants: %d violations, first: %s", len(e.Violations), e.Violations[0])
+}
+
+// Config tunes the checker.
+type Config struct {
+	// Epoch is the budget-conservation accounting window, seconds.
+	// 0 defaults to 0.5 (the paper's scheduling quantum).
+	Epoch float64
+
+	// Tolerance is the relative slack allowed on the per-epoch energy
+	// comparison, absorbing float accumulation differences between the
+	// engine's integration order and the checker's. 0 defaults to 1e-6.
+	Tolerance float64
+
+	// CheckStarvation enables the no-starvation check. Only turn it on for
+	// admissible workloads — see the package comment.
+	CheckStarvation bool
+
+	// MaxViolations bounds how many violations are retained (a broken run
+	// would otherwise accumulate one per event). 0 defaults to 100;
+	// counting continues past the bound.
+	MaxViolations int
+}
+
+// Checker verifies engine invariants during a run. Create with New, attach
+// with Attach (or wire Observe/RecordExec manually), and call Finish after
+// sim.Run returns.
+type Checker struct {
+	cfg    Config
+	simCfg *sim.Config
+
+	lastEvent  float64
+	firstEvent bool
+
+	// Per-epoch executed energy, accumulated from recorded slices. Epochs
+	// are indexed from t=0; the map stays small because runs span seconds.
+	epochEnergy map[int]float64
+
+	// Per-core feasibility cursor: end of the last recorded slice.
+	coreEnd []float64
+
+	violations []Violation
+	counts     map[Kind]int
+	onViolate  func(Violation)
+}
+
+// New builds a checker for a run under simCfg. The config pointer is read
+// lazily (power model, budget, budget faults), so Attach before mutating
+// the config is safe as long as the physics fields are final by run time.
+func New(simCfg *sim.Config, cfg Config) *Checker {
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 0.5
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-6
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 100
+	}
+	return &Checker{
+		cfg:         cfg,
+		simCfg:      simCfg,
+		firstEvent:  true,
+		epochEnergy: map[int]float64{},
+		coreEnd:     make([]float64, simCfg.Cores),
+		counts:      map[Kind]int{},
+	}
+}
+
+// Attach wires the checker into a simulation config, chaining any observer
+// and recorder already installed so instrumentation composes.
+func Attach(simCfg *sim.Config, cfg Config) *Checker {
+	c := New(simCfg, cfg)
+	prevObs := simCfg.Observer
+	simCfg.Observer = func(e sim.Event) {
+		c.Observe(e)
+		if prevObs != nil {
+			prevObs(e)
+		}
+	}
+	prevRec := simCfg.Recorder
+	if prevRec != nil {
+		simCfg.Recorder = teeRecorder{c, prevRec}
+	} else {
+		simCfg.Recorder = c
+	}
+	return c
+}
+
+type teeRecorder struct {
+	a, b sim.Recorder
+}
+
+func (t teeRecorder) RecordExec(core int, seg yds.Segment) {
+	t.a.RecordExec(core, seg)
+	t.b.RecordExec(core, seg)
+}
+
+// OnViolation registers a callback fired synchronously for every violation
+// (bounded or not) — used to bump metrics counters.
+func (c *Checker) OnViolation(fn func(Violation)) { c.onViolate = fn }
+
+func (c *Checker) violate(kind Kind, t float64, format string, args ...any) {
+	c.counts[kind]++
+	v := Violation{Kind: kind, Time: t, Detail: fmt.Sprintf(format, args...)}
+	if len(c.violations) < c.cfg.MaxViolations {
+		c.violations = append(c.violations, v)
+	}
+	if c.onViolate != nil {
+		c.onViolate(v)
+	}
+}
+
+// Observe implements the engine's Observer contract.
+func (c *Checker) Observe(e sim.Event) {
+	if math.IsNaN(e.Time) || e.Time < 0 {
+		c.violate(MonotoneClock, e.Time, "event %s carries invalid time %v", e.Kind, e.Time)
+		return
+	}
+	// Completions are legitimately retro-dated: a settle at time T departs
+	// jobs at the instant within (prev, T] their demand was met, which may
+	// precede events already emitted at T. Every other kind fires at the
+	// event-loop clock and must never run backwards.
+	if c.firstEvent {
+		c.firstEvent = false
+	} else if e.Time < c.lastEvent && e.Kind != sim.EvComplete {
+		c.violate(MonotoneClock, e.Time, "event %s at %.9f after %.9f", e.Kind, e.Time, c.lastEvent)
+	}
+	if e.Time > c.lastEvent {
+		c.lastEvent = e.Time
+	}
+	if !c.cfg.CheckStarvation {
+		return
+	}
+	switch e.Kind {
+	case sim.EvDeadline, sim.EvDiscard, sim.EvAbandon:
+		if e.Quality == 0 {
+			c.violate(Starvation, e.Time, "job %d departed (%s) with zero quality", e.Job, e.Kind)
+		}
+	}
+}
+
+// RecordExec implements sim.Recorder: every executed slice feeds the
+// feasibility check and the per-epoch energy ledger.
+func (c *Checker) RecordExec(core int, seg yds.Segment) {
+	if core < 0 || core >= len(c.coreEnd) {
+		c.violate(ScheduleFeasibility, seg.Start, "slice on core %d of %d", core, len(c.coreEnd))
+		return
+	}
+	if seg.End < seg.Start || seg.Speed < 0 || math.IsNaN(seg.Speed) {
+		c.violate(ScheduleFeasibility, seg.Start, "malformed slice core %d [%g, %g) @ %g", core, seg.Start, seg.End, seg.Speed)
+		return
+	}
+	if seg.Start < c.coreEnd[core]-1e-9 {
+		c.violate(ScheduleFeasibility, seg.Start,
+			"core %d slice starts at %.9f before previous end %.9f", core, seg.Start, c.coreEnd[core])
+	}
+	if seg.End > c.coreEnd[core] {
+		c.coreEnd[core] = seg.End
+	}
+	if max := c.maxSpeed(); max > 0 && seg.Speed > max*(1+c.cfg.Tolerance) {
+		c.violate(ScheduleFeasibility, seg.Start, "core %d runs at %g GHz over the cap %g", core, seg.Speed, max)
+	}
+	// Split the slice's energy across the epochs it overlaps.
+	p := c.simCfg.Power.DynamicPower(seg.Speed)
+	from, to := seg.Start, seg.End
+	for from < to {
+		epoch := int(from / c.cfg.Epoch)
+		edge := float64(epoch+1) * c.cfg.Epoch
+		if edge > to {
+			edge = to
+		}
+		c.epochEnergy[epoch] += p * (edge - from)
+		from = edge
+	}
+}
+
+func (c *Checker) maxSpeed() float64 {
+	m := c.simCfg.MaxSpeed
+	if n := len(c.simCfg.Ladder); n > 0 {
+		top := c.simCfg.Ladder[n-1]
+		if m == 0 || top < m {
+			m = top
+		}
+	}
+	return m
+}
+
+// Finish runs the end-of-run checks (the per-epoch budget comparison) and
+// returns every violation as a typed *Error, or nil when the run held all
+// invariants.
+func (c *Checker) Finish() error {
+	for epoch, executed := range c.epochEnergy {
+		allowed := c.budgetIntegral(float64(epoch)*c.cfg.Epoch, float64(epoch+1)*c.cfg.Epoch)
+		if executed > allowed*(1+c.cfg.Tolerance)+1e-9 {
+			c.violate(BudgetConservation, float64(epoch)*c.cfg.Epoch,
+				"epoch %d executed %.6f J against a budget integral of %.6f J", epoch, executed, allowed)
+		}
+	}
+	return c.Err()
+}
+
+// budgetIntegral integrates the effective power budget over [a, b),
+// honoring budget-fault windows.
+func (c *Checker) budgetIntegral(a, b float64) float64 {
+	// Budget faults partition [a, b) at their edges; between edges the
+	// budget is constant, so sampling the midpoint of each piece is exact.
+	cuts := []float64{a, b}
+	for _, f := range c.simCfg.BudgetFaults {
+		if f.Start > a && f.Start < b {
+			cuts = append(cuts, f.Start)
+		}
+		if f.End > a && f.End < b {
+			cuts = append(cuts, f.End)
+		}
+	}
+	sortFloats(cuts)
+	total := 0.0
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		if hi <= lo {
+			continue
+		}
+		total += c.simCfg.BudgetAt((lo+hi)/2) * (hi - lo)
+	}
+	return total
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Violations returns the retained violations (bounded by MaxViolations).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Count returns how many violations of the kind occurred, including any
+// past the retention bound.
+func (c *Checker) Count(kind Kind) int { return c.counts[kind] }
+
+// Total returns the violation count across all kinds.
+func (c *Checker) Total() int {
+	n := 0
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// Err returns a typed *Error carrying the violations, or nil when none.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return &Error{Violations: c.violations}
+}
+
+// MetricName is the exposition name of the violation counter family.
+const MetricName = "sim_invariant_violations"
+
+// Metrics registers the sim_invariant_violations counter family on reg
+// (pre-registered at zero for every kind, so a clean run still exposes the
+// series) and bumps the per-kind counter on every violation, chaining any
+// OnViolation callback already installed. Call before the run.
+func (c *Checker) Metrics(reg *telemetry.Registry) {
+	vec := reg.CounterVec(MetricName,
+		"Runtime invariant violations detected by the invariants checker, by kind.", "kind")
+	for _, k := range []Kind{MonotoneClock, BudgetConservation, ScheduleFeasibility, Starvation} {
+		vec.With(k.String())
+	}
+	prev := c.onViolate
+	c.onViolate = func(v Violation) {
+		vec.With(v.Kind.String()).Inc()
+		if prev != nil {
+			prev(v)
+		}
+	}
+}

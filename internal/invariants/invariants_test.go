@@ -1,0 +1,217 @@
+package invariants_test
+
+import (
+	"errors"
+	"testing"
+
+	"dessched/internal/baseline"
+	"dessched/internal/core"
+	"dessched/internal/invariants"
+	"dessched/internal/job"
+	"dessched/internal/sim"
+	"dessched/internal/telemetry"
+	"dessched/internal/workload"
+	"dessched/internal/yds"
+)
+
+// No policy starves a job under an admissible load, and none of them
+// violates clock monotonicity, schedule feasibility, or the per-epoch
+// budget integral.
+func TestLivenessAcrossPolicies(t *testing.T) {
+	policies := []sim.Policy{
+		core.New(core.CDVFS),
+		baseline.New(baseline.FCFS, true),
+		baseline.New(baseline.LJF, true),
+		baseline.New(baseline.SJF, true),
+	}
+	for _, p := range policies {
+		t.Run(p.Name(), func(t *testing.T) {
+			cfg, jobs := admissibleSetupJobs(t)
+			chk := invariants.Attach(&cfg, invariants.Config{CheckStarvation: true})
+			res, err := sim.Run(cfg, jobs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := chk.Finish(); err != nil {
+				t.Fatalf("invariant violations under %s: %v", p.Name(), err)
+			}
+			if res.Completed == 0 {
+				t.Fatal("nothing completed — the load is not admissible")
+			}
+		})
+	}
+}
+
+// admissibleSetupJobs is a lightly loaded server every policy can satisfy:
+// plenty of budget and short demands relative to the deadline windows.
+func admissibleSetupJobs(t *testing.T) (sim.Config, []job.Job) {
+	t.Helper()
+	cfg := sim.PaperConfig()
+	cfg.Cores = 4
+	cfg.Budget = 120
+	// 16 jobs/s over 4 cores: low enough that even the one-job-per-core
+	// baselines start every job before its deadline.
+	wl := workload.DefaultConfig(16)
+	wl.Duration = 2
+	wl.Seed = 5
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, jobs
+}
+
+// A deliberately seeded budget-conservation bug — the recorder reports
+// every slice at double speed, i.e. an engine that silently executes more
+// power than it planned — must be caught by the checker.
+func TestNegativeSeededBudgetBug(t *testing.T) {
+	cfg, jobs := admissibleSetupJobs(t)
+	// Tighten the budget so the corrupted slice stream clearly overruns
+	// the per-epoch integral even at this light load.
+	cfg.Budget = 20
+	chk := invariants.New(&cfg, invariants.Config{})
+	cfg.Observer = chk.Observe
+	cfg.Recorder = speedDoubler{chk}
+	if _, err := sim.Run(cfg, jobs, core.New(core.CDVFS)); err != nil {
+		t.Fatal(err)
+	}
+	err := chk.Finish()
+	if err == nil {
+		t.Fatal("doubled execution power passed the budget-conservation check")
+	}
+	var ie *invariants.Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %T, want *invariants.Error", err)
+	}
+	if chk.Count(invariants.BudgetConservation) == 0 {
+		t.Fatalf("no budget-conservation violation recorded: %v", chk.Violations())
+	}
+}
+
+// speedDoubler corrupts the executed-slice stream before the checker sees
+// it, simulating an engine that burns more power than the budget allows.
+type speedDoubler struct {
+	chk *invariants.Checker
+}
+
+func (d speedDoubler) RecordExec(core int, seg yds.Segment) {
+	seg.Speed *= 4
+	d.chk.RecordExec(core, seg)
+}
+
+// Out-of-order events and overlapping slices are flagged.
+func TestNegativeClockAndFeasibility(t *testing.T) {
+	cfg := sim.PaperConfig()
+	cfg.Cores = 2
+	chk := invariants.New(&cfg, invariants.Config{})
+	chk.Observe(sim.Event{Time: 1.0, Kind: sim.EvArrival, Job: 0, Core: -1})
+	chk.Observe(sim.Event{Time: 0.5, Kind: sim.EvArrival, Job: 1, Core: -1})
+	if chk.Count(invariants.MonotoneClock) != 1 {
+		t.Errorf("clock violations = %d, want 1", chk.Count(invariants.MonotoneClock))
+	}
+	// A retro-dated completion is legal.
+	chk.Observe(sim.Event{Time: 0.9, Kind: sim.EvComplete, Job: 0, Core: 0})
+	if chk.Count(invariants.MonotoneClock) != 1 {
+		t.Error("retro-dated completion flagged as a clock violation")
+	}
+	chk.RecordExec(0, yds.Segment{ID: 0, Start: 0, End: 1, Speed: 1})
+	chk.RecordExec(0, yds.Segment{ID: 1, Start: 0.5, End: 1.5, Speed: 1}) // overlap
+	chk.RecordExec(1, yds.Segment{ID: 2, Start: 2, End: 1, Speed: 1})     // inverted
+	chk.RecordExec(5, yds.Segment{ID: 3, Start: 0, End: 1, Speed: 1})     // bad core
+	if got := chk.Count(invariants.ScheduleFeasibility); got != 3 {
+		t.Errorf("feasibility violations = %d, want 3", got)
+	}
+	if chk.Total() != 4 {
+		t.Errorf("total = %d, want 4", chk.Total())
+	}
+}
+
+// Metrics pre-registers every kind at zero and counts violations past the
+// retention bound, chaining an existing OnViolation callback.
+func TestMetricsHook(t *testing.T) {
+	cfg := sim.PaperConfig()
+	chk := invariants.New(&cfg, invariants.Config{MaxViolations: 2})
+	chained := 0
+	chk.OnViolation(func(invariants.Violation) { chained++ })
+	reg := telemetry.NewRegistry()
+	chk.Metrics(reg)
+	for i := 0; i < 5; i++ {
+		chk.RecordExec(-1, yds.Segment{})
+	}
+	vec := reg.CounterVec(invariants.MetricName, "", "kind")
+	if got := vec.With(invariants.ScheduleFeasibility.String()).Value(); got != 5 {
+		t.Errorf("%s{kind=%q} = %d, want 5", invariants.MetricName, invariants.ScheduleFeasibility, got)
+	}
+	if got := vec.With(invariants.BudgetConservation.String()).Value(); got != 0 {
+		t.Errorf("clean kind not pre-registered at zero (got %d)", got)
+	}
+	if chained != 5 {
+		t.Errorf("chained callback fired %d times, want 5", chained)
+	}
+}
+
+// The retention bound keeps memory bounded while counting continues.
+func TestViolationRetentionBound(t *testing.T) {
+	cfg := sim.PaperConfig()
+	chk := invariants.New(&cfg, invariants.Config{MaxViolations: 3})
+	fired := 0
+	chk.OnViolation(func(invariants.Violation) { fired++ })
+	for i := 0; i < 10; i++ {
+		chk.RecordExec(-1, yds.Segment{})
+	}
+	if len(chk.Violations()) != 3 {
+		t.Errorf("retained %d, want 3", len(chk.Violations()))
+	}
+	if chk.Count(invariants.ScheduleFeasibility) != 10 || fired != 10 {
+		t.Errorf("count %d / callbacks %d, want 10 / 10", chk.Count(invariants.ScheduleFeasibility), fired)
+	}
+}
+
+// TestChaosSoakInvariants is the CI chaos-soak gate: many seeded chaos
+// schedules with repair, retries, and budget faults, each run under the
+// full DES policy with every invariant armed (starvation excluded — chaos
+// deliberately makes loads inadmissible). Zero violations required.
+func TestChaosSoakInvariants(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		cfg := sim.PaperConfig()
+		cfg.Cores = 8
+		cfg.Budget = 160
+		cfg.Retry = sim.RetryPolicy{MaxAttempts: 3, Backoff: 0.05, MaxBackoff: 0.4}
+		cc := sim.DefaultChaos(seed, 3, cfg.Cores)
+		cc.CoreFaults = 5
+		cc.BudgetFaults = 2
+		cc.Bursts = 1
+		cc.MTTR = 0.4
+		plan, err := cc.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bursts := plan.Apply(&cfg)
+		core.ApplyArch(&cfg, core.CDVFS)
+
+		wl := workload.DefaultConfig(150)
+		wl.Duration = 3
+		wl.Seed = seed
+		wl.Bursts = bursts
+		jobs, err := workload.Generate(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		chk := invariants.Attach(&cfg, invariants.Config{})
+		res, err := sim.Run(cfg, jobs, core.New(core.CDVFS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := chk.Finish(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Arrived == 0 {
+			t.Fatalf("seed %d: empty run", seed)
+		}
+	}
+}

@@ -27,6 +27,16 @@ type ResilienceReport struct {
 	RequeuedJobs     int     `json:"requeued_jobs"`     // evacuated from outaged cores
 	DeadlinedDelta   int     `json:"deadlined_delta"`   // extra deadline misses under faults
 	BudgetViolations int     `json:"budget_violations"` // audit events over the effective budget, faulted run
+
+	// Recovery columns — how much of the fault damage the tolerance
+	// machinery (repair, retry, hedging) won back.
+	RetriedJobs       int     `json:"retried_jobs"`          // backoff-delayed re-dispatches after evacuation
+	AbandonedJobs     int     `json:"abandoned_jobs"`        // evacuated jobs the retry policy gave up on
+	RetryQualityJ     float64 `json:"retry_quality"`         // quality credited to jobs that departed after ≥1 retry
+	HedgedJobs        int     `json:"hedged_jobs"`           // duplicated dispatches (cluster runs)
+	HedgeWins         int     `json:"hedge_wins"`            // hedges where the secondary replica won
+	HedgeQualityJ     float64 `json:"hedge_quality"`         // quality gained over the primary replica alone
+	MeanTimeToRepairS float64 `json:"mean_time_to_repair_s"` // mean injected repair time, 0 when faults never heal
 }
 
 // Resilience builds the report from a fault-free baseline result and the
@@ -41,6 +51,9 @@ func Resilience(baseline, faulted sim.Result) ResilienceReport {
 		RequeuedJobs:     faulted.Requeued,
 		DeadlinedDelta:   faulted.Deadlined - baseline.Deadlined,
 		BudgetViolations: faulted.BudgetViolations,
+		RetriedJobs:      faulted.Retried,
+		AbandonedJobs:    faulted.Abandoned,
+		RetryQualityJ:    faulted.RetryQuality,
 	}
 	if baseline.NormQuality > 0 {
 		r.QualityRetained = faulted.NormQuality / baseline.NormQuality
@@ -54,10 +67,28 @@ func Resilience(baseline, faulted sim.Result) ResilienceReport {
 	return r
 }
 
+// WithRepair records the mean injected repair time (MTTR) on the report —
+// the chaos layer knows it, the results alone do not.
+func (r ResilienceReport) WithRepair(mttr float64) ResilienceReport {
+	r.MeanTimeToRepairS = mttr
+	return r
+}
+
 // String renders a compact human-readable report.
 func (r ResilienceReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"resilience %s: quality retained %.1f%% (%.4f -> %.4f), energy overhead %+.1f%%, shed %.1f%%, requeued %d, extra deadline misses %d, budget violations %d",
 		r.Policy, 100*r.QualityRetained, r.BaselineQuality, r.FaultedQuality,
 		100*r.EnergyOverhead, 100*r.ShedFraction, r.RequeuedJobs, r.DeadlinedDelta, r.BudgetViolations)
+	if r.RetriedJobs > 0 || r.AbandonedJobs > 0 || r.HedgedJobs > 0 {
+		s += fmt.Sprintf("; recovered: retried %d, abandoned %d, retry quality %.3f",
+			r.RetriedJobs, r.AbandonedJobs, r.RetryQualityJ)
+	}
+	if r.HedgedJobs > 0 {
+		s += fmt.Sprintf(", hedged %d (wins %d, +%.3f quality)", r.HedgedJobs, r.HedgeWins, r.HedgeQualityJ)
+	}
+	if r.MeanTimeToRepairS > 0 {
+		s += fmt.Sprintf(", MTTR %.3fs", r.MeanTimeToRepairS)
+	}
+	return s
 }

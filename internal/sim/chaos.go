@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"dessched/internal/workload"
@@ -24,6 +25,12 @@ type ChaosConfig struct {
 	// OutageFraction of the core faults are full outages (SpeedFactor 0);
 	// the rest throttle to a factor in [0.2, 0.9). Default 0.3.
 	OutageFraction float64
+
+	// MTTR, when positive, switches core-fault durations from the default
+	// 2–15%-of-horizon draw to seeded exponential repair times with this
+	// mean (see RepairModel) — the fault window's right edge becomes a
+	// repair instant. Budget faults and bursts keep the window draw.
+	MTTR float64
 }
 
 // DefaultChaos returns a moderate schedule: three core faults, one budget
@@ -53,6 +60,9 @@ func (c ChaosConfig) Validate() error {
 	}
 	if c.OutageFraction < 0 || c.OutageFraction > 1 {
 		return fmt.Errorf("sim: outage fraction %g outside [0, 1]", c.OutageFraction)
+	}
+	if c.MTTR < 0 || math.IsNaN(c.MTTR) || math.IsInf(c.MTTR, 0) {
+		return fmt.Errorf("sim: chaos MTTR must be non-negative and finite, got %g", c.MTTR)
 	}
 	return nil
 }
@@ -101,7 +111,16 @@ func (c ChaosConfig) Generate() (ChaosPlan, error) {
 	outageFrac := c.OutageFraction
 	var plan ChaosPlan
 	for i := 0; i < c.CoreFaults; i++ {
-		start, end := window()
+		var start, end float64
+		if c.MTTR > 0 {
+			// Repair model: fault onset anywhere in the horizon, duration
+			// an exponential repair time with mean MTTR (RepairModel's
+			// per-fault stream, so the draw is stable per fault index).
+			start = rng.Float64() * c.Horizon
+			end = start + RepairModel{Seed: c.Seed, MTTR: c.MTTR}.RepairTimeFor(i)
+		} else {
+			start, end = window()
+		}
 		factor := 0.2 + 0.7*rng.Float64()
 		if rng.Float64() < outageFrac {
 			factor = 0

@@ -1,0 +1,535 @@
+// Checkpoint/resume: crash recovery for long simulation runs. Every
+// CheckpointConfig.Every simulated seconds the engine serializes its
+// complete state — jobs, cores, the event heap in heap order with its
+// sequence counter, every counter, and (for stateful policies) the policy's
+// own cursor — into a versioned Snapshot. Resume rebuilds an engine from a
+// snapshot and drives it to completion; the result is bit-identical
+// (Float64bits) to the uninterrupted run.
+//
+// Two properties make byte-identity possible:
+//
+//   - Checkpoint events are bookkeeping-free. They do not count as processed
+//     events, settle no cores, and skip the power audit — a checkpointed run
+//     is indistinguishable from an unchecked one (see the run loop).
+//   - The event heap is serialized in heap-array order together with its
+//     insertion-sequence counter, so the restored queue pops in the exact
+//     same order, including FIFO tie-breaks among equal-time events.
+//
+// Snapshots carry a fingerprint of the configuration and policy (FNV-1a
+// over every scalar, fault window, admission/retry setting, and probe
+// evaluations of the quality function); Resume refuses a snapshot whose
+// fingerprint does not match the offered configuration, so state is never
+// silently replayed under different physics.
+package sim
+
+import (
+	"encoding/json"
+	"math"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/eventq"
+	"dessched/internal/job"
+	"dessched/internal/yds"
+)
+
+// SnapshotVersion is the format tag of serialized snapshots. Decoding
+// rejects any other value.
+const SnapshotVersion = "dessched-checkpoint/v1"
+
+// CheckpointConfig turns on periodic engine snapshots.
+type CheckpointConfig struct {
+	// Every is the snapshot period in simulated seconds, measured from the
+	// first job release. Required (> 0).
+	Every float64
+
+	// Sink receives each snapshot. A non-nil error aborts the run with it.
+	// The snapshot is fully detached from engine state; sinks may retain or
+	// serialize it at leisure.
+	Sink func(*Snapshot) error
+}
+
+// Validate reports configuration errors as typed *cfgerr.Error values.
+func (c *CheckpointConfig) Validate() error {
+	if c.Every <= 0 || math.IsNaN(c.Every) || math.IsInf(c.Every, 0) {
+		return cfgerr.New("sim", "checkpoint", "sim: checkpoint period must be positive and finite, got %g", c.Every)
+	}
+	if c.Sink == nil {
+		return cfgerr.New("sim", "checkpoint", "sim: checkpoint sink is required")
+	}
+	return nil
+}
+
+// StatefulPolicy is the optional interface of policies that carry semantic
+// state across invocations (e.g. DES's cumulative round-robin cursor).
+// Checkpointing saves the state blob into the snapshot; Resume loads it
+// back before the run continues. Policies whose cross-invocation state is
+// a pure cache (recomputable memo tables, scratch buffers) need not
+// implement it.
+type StatefulPolicy interface {
+	Policy
+	SavePolicyState() ([]byte, error)
+	LoadPolicyState([]byte) error
+}
+
+// Snapshot is the complete serializable state of a paused simulation.
+type Snapshot struct {
+	Version      string  `json:"version"`
+	Fingerprint  uint64  `json:"fingerprint"`
+	Policy       string  `json:"policy"`
+	Now          float64 `json:"now"` // checkpoint instant
+	FirstRelease float64 `json:"first_release"`
+
+	Jobs  []jobSnap  `json:"jobs"`  // every job, arrival-push order (departed included)
+	Queue []int      `json:"queue"` // waiting queue as indices into Jobs
+	Cores []coreSnap `json:"cores"`
+
+	Events   []eventSnap `json:"events"`    // heap-array order, not sorted
+	EventSeq uint64      `json:"event_seq"` // insertion-sequence counter
+
+	Counters counterSnap `json:"counters"`
+
+	// PolicyState is the opaque blob of a StatefulPolicy, absent otherwise.
+	PolicyState json.RawMessage `json:"policy_state,omitempty"`
+}
+
+type jobSnap struct {
+	ID       job.ID  `json:"id"`
+	Release  float64 `json:"release"`
+	Deadline float64 `json:"deadline"`
+	Demand   float64 `json:"demand"`
+	Partial  bool    `json:"partial,omitempty"`
+
+	Done     float64 `json:"done,omitempty"`
+	Core     int     `json:"core"`
+	Reason   int     `json:"reason,omitempty"`
+	DepartAt float64 `json:"depart_at,omitempty"`
+	Quality  float64 `json:"quality,omitempty"`
+	Phase    int     `json:"phase,omitempty"`
+	Attempts int     `json:"attempts,omitempty"`
+}
+
+type segSnap struct {
+	ID    job.ID  `json:"id"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Speed float64 `json:"speed"`
+}
+
+type coreSnap struct {
+	Plan        []segSnap `json:"plan,omitempty"`
+	PlanVersion int       `json:"plan_version"`
+	PlanCursor  int       `json:"plan_cursor"`
+	SettledTo   float64   `json:"settled_to"`
+	BusyTime    float64   `json:"busy_time"`
+	Energy      float64   `json:"energy"`
+	Jobs        []int     `json:"jobs,omitempty"` // indices into Snapshot.Jobs
+}
+
+type eventSnap struct {
+	T       float64 `json:"t"`
+	Seq     uint64  `json:"seq"`
+	Kind    uint8   `json:"kind"`
+	Version int     `json:"version,omitempty"`
+	Job     int     `json:"job"`  // index into Snapshot.Jobs, -1 when absent
+	Core    int     `json:"core"` // core index, -1 when absent
+}
+
+type counterSnap struct {
+	Undeparted       int     `json:"undeparted"`
+	PendingArrivals  int     `json:"pending_arrivals"`
+	LastDeparture    float64 `json:"last_departure"`
+	Invocations      int     `json:"invocations"`
+	PeakPower        float64 `json:"peak_power"`
+	BudgetViolations int     `json:"budget_violations"`
+	SkippedTime      float64 `json:"skipped_time"`
+	Shed             int     `json:"shed"`
+	Requeued         int     `json:"requeued"`
+	Retried          int     `json:"retried"`
+	RetryQuality     float64 `json:"retry_quality"`
+	QuantumLive      bool    `json:"quantum_live"`
+	EventsProcessed  int     `json:"events_processed"`
+	Checkpoints      int     `json:"checkpoints"`
+}
+
+// snapshot serializes the engine at time now into a detached Snapshot.
+func (e *engine) snapshot(now float64) *Snapshot {
+	jobIdx := make(map[*JobState]int, len(e.all))
+	snap := &Snapshot{
+		Version:      SnapshotVersion,
+		Fingerprint:  fingerprintConfig(&e.cfg, e.policy.Name()),
+		Policy:       e.policy.Name(),
+		Now:          now,
+		FirstRelease: e.firstRelease,
+		Counters: counterSnap{
+			Undeparted:       e.undeparted,
+			PendingArrivals:  e.pendingArrivals,
+			LastDeparture:    e.lastDeparture,
+			Invocations:      e.invocations,
+			PeakPower:        e.peakPower,
+			BudgetViolations: e.budgetViolations,
+			SkippedTime:      e.skippedTime,
+			Shed:             e.shed,
+			Requeued:         e.requeued,
+			Retried:          e.retried,
+			RetryQuality:     e.retryQuality,
+			QuantumLive:      e.quantumLive,
+			EventsProcessed:  e.eventsProcessed,
+			Checkpoints:      e.checkpoints,
+		},
+	}
+	snap.Jobs = make([]jobSnap, len(e.all))
+	for i, js := range e.all {
+		jobIdx[js] = i
+		snap.Jobs[i] = jobSnap{
+			ID:       js.Job.ID,
+			Release:  js.Job.Release,
+			Deadline: js.Job.Deadline,
+			Demand:   js.Job.Demand,
+			Partial:  js.Job.Partial,
+			Done:     js.Done,
+			Core:     js.Core,
+			Reason:   int(js.Reason),
+			DepartAt: js.DepartAt,
+			Quality:  js.Quality,
+			Phase:    int(js.Phase),
+			Attempts: js.Attempts,
+		}
+	}
+	snap.Queue = make([]int, len(e.queue))
+	for i, js := range e.queue {
+		snap.Queue[i] = jobIdx[js]
+	}
+	snap.Cores = make([]coreSnap, len(e.cores))
+	for i, c := range e.cores {
+		cs := coreSnap{
+			PlanVersion: c.planVersion,
+			PlanCursor:  c.planCursor,
+			SettledTo:   c.settledTo,
+			BusyTime:    c.busyTime,
+			Energy:      c.energy,
+		}
+		for _, seg := range c.plan {
+			cs.Plan = append(cs.Plan, segSnap{ID: seg.ID, Start: seg.Start, End: seg.End, Speed: seg.Speed})
+		}
+		for _, js := range c.Jobs {
+			cs.Jobs = append(cs.Jobs, jobIdx[js])
+		}
+		snap.Cores[i] = cs
+	}
+	items, seq := e.events.Snapshot()
+	snap.EventSeq = seq
+	snap.Events = make([]eventSnap, len(items))
+	for i, it := range items {
+		es := eventSnap{T: it.Time, Seq: it.Seq(), Kind: uint8(it.Payload.kind), Version: it.Payload.version, Job: -1, Core: -1}
+		if it.Payload.js != nil {
+			es.Job = jobIdx[it.Payload.js]
+		}
+		if it.Payload.core != nil {
+			es.Core = it.Payload.core.Index
+		}
+		snap.Events[i] = es
+	}
+	if sp, ok := e.policy.(StatefulPolicy); ok {
+		if blob, err := sp.SavePolicyState(); err == nil && len(blob) > 0 {
+			snap.PolicyState = json.RawMessage(blob)
+		}
+	}
+	return snap
+}
+
+// EncodeSnapshot serializes a snapshot to its on-disk JSON form.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, cfgerr.New("sim", "checkpoint", "sim: encoding snapshot: %v", err)
+	}
+	return b, nil
+}
+
+// DecodeSnapshot parses and structurally validates a serialized snapshot.
+// Corrupt or truncated input yields a typed *cfgerr.Error — never a panic —
+// so callers can surface decode failures cleanly.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, cfgerr.New("sim", "checkpoint", "sim: decoding snapshot: %v", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// validate checks the snapshot's internal consistency: version tag, index
+// ranges, and counter sanity. It does not need (and cannot check) the
+// configuration — Resume does that via the fingerprint.
+func (s *Snapshot) validate() error {
+	bad := func(reason string, args ...any) error {
+		return cfgerr.New("sim", "checkpoint", "sim: invalid snapshot: "+reason, args...)
+	}
+	if s.Version != SnapshotVersion {
+		return bad("version %q, want %q", s.Version, SnapshotVersion)
+	}
+	if len(s.Cores) == 0 {
+		return bad("no cores")
+	}
+	if math.IsNaN(s.Now) || math.IsInf(s.Now, 0) {
+		return bad("non-finite checkpoint time %g", s.Now)
+	}
+	n := len(s.Jobs)
+	for i, j := range s.Jobs {
+		if j.Core < -1 || j.Core >= len(s.Cores) {
+			return bad("job %d on core %d of %d", i, j.Core, len(s.Cores))
+		}
+		if j.Phase < int(PhasePending) || j.Phase > int(PhaseDeparted) {
+			return bad("job %d phase %d out of range", i, j.Phase)
+		}
+		if j.Reason < int(NotDeparted) || j.Reason > int(Abandoned) {
+			return bad("job %d reason %d out of range", i, j.Reason)
+		}
+	}
+	for _, qi := range s.Queue {
+		if qi < 0 || qi >= n {
+			return bad("queue index %d of %d jobs", qi, n)
+		}
+	}
+	for ci, c := range s.Cores {
+		if c.PlanCursor < 0 || c.PlanCursor > len(c.Plan) {
+			return bad("core %d plan cursor %d of %d segments", ci, c.PlanCursor, len(c.Plan))
+		}
+		for _, ji := range c.Jobs {
+			if ji < 0 || ji >= n {
+				return bad("core %d job index %d of %d jobs", ci, ji, n)
+			}
+		}
+	}
+	for i, ev := range s.Events {
+		if ev.Kind > uint8(evkCheckpoint) {
+			return bad("event %d kind %d unknown", i, ev.Kind)
+		}
+		if ev.Job < -1 || ev.Job >= n {
+			return bad("event %d job index %d of %d jobs", i, ev.Job, n)
+		}
+		if ev.Core < -1 || ev.Core >= len(s.Cores) {
+			return bad("event %d core index %d of %d cores", i, ev.Core, len(s.Cores))
+		}
+		k := evKind(ev.Kind)
+		if (k == evkArrival || k == evkDeadline || k == evkRetry) && ev.Job < 0 {
+			return bad("event %d kind %s without a job", i, eventKindName(k))
+		}
+		if k == evkSegment && ev.Core < 0 {
+			return bad("event %d segment without a core", i)
+		}
+	}
+	if s.Counters.Undeparted < 0 || s.Counters.Undeparted > n {
+		return bad("undeparted %d of %d jobs", s.Counters.Undeparted, n)
+	}
+	if s.Counters.PendingArrivals < 0 || s.Counters.PendingArrivals > n {
+		return bad("pending arrivals %d of %d jobs", s.Counters.PendingArrivals, n)
+	}
+	return nil
+}
+
+func eventKindName(k evKind) string {
+	switch k {
+	case evkArrival:
+		return "arrival"
+	case evkDeadline:
+		return "deadline"
+	case evkSegment:
+		return "segment"
+	case evkQuantum:
+		return "quantum"
+	case evkFaultEdge:
+		return "fault-edge"
+	case evkRetry:
+		return "retry"
+	case evkCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown"
+	}
+}
+
+// Resume rebuilds an engine from a snapshot and drives it to completion.
+// The configuration and policy must match the run that produced the
+// snapshot (checked via the fingerprint); the result is bit-identical to
+// the uninterrupted run's.
+func Resume(cfg Config, p Policy, snap *Snapshot) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := snap.validate(); err != nil {
+		return Result{}, err
+	}
+	if snap.Policy != p.Name() {
+		return Result{}, cfgerr.New("sim", "checkpoint", "sim: snapshot was taken under policy %q, resuming with %q", snap.Policy, p.Name())
+	}
+	if want := fingerprintConfig(&cfg, p.Name()); snap.Fingerprint != want {
+		return Result{}, cfgerr.New("sim", "checkpoint", "sim: snapshot fingerprint %#x does not match configuration %#x — resume needs the exact config of the original run", snap.Fingerprint, want)
+	}
+	if len(snap.Cores) != cfg.Cores {
+		return Result{}, cfgerr.New("sim", "checkpoint", "sim: snapshot has %d cores, config %d", len(snap.Cores), cfg.Cores)
+	}
+
+	e := newEngine(cfg, p)
+	e.all = make([]*JobState, len(snap.Jobs))
+	for i, j := range snap.Jobs {
+		e.all[i] = &JobState{
+			Job:      job.Job{ID: j.ID, Release: j.Release, Deadline: j.Deadline, Demand: j.Demand, Partial: j.Partial},
+			Done:     j.Done,
+			Core:     j.Core,
+			Reason:   DepartReason(j.Reason),
+			DepartAt: j.DepartAt,
+			Quality:  j.Quality,
+			Phase:    Phase(j.Phase),
+			Attempts: j.Attempts,
+		}
+	}
+	e.queue = make([]*JobState, len(snap.Queue))
+	for i, qi := range snap.Queue {
+		e.queue[i] = e.all[qi]
+	}
+	e.state.queue = e.queue
+	for ci, cs := range snap.Cores {
+		c := e.cores[ci]
+		c.planVersion = cs.PlanVersion
+		c.planCursor = cs.PlanCursor
+		c.settledTo = cs.SettledTo
+		c.busyTime = cs.BusyTime
+		c.energy = cs.Energy
+		if len(cs.Plan) > 0 {
+			c.plan = make([]yds.Segment, len(cs.Plan))
+			for i, seg := range cs.Plan {
+				c.plan[i] = yds.Segment{ID: seg.ID, Start: seg.Start, End: seg.End, Speed: seg.Speed}
+			}
+		}
+		if len(cs.Jobs) > 0 {
+			c.Jobs = make([]*JobState, len(cs.Jobs))
+			for i, ji := range cs.Jobs {
+				c.Jobs[i] = e.all[ji]
+			}
+		}
+	}
+	items := make([]eventq.Item[simEvent], len(snap.Events))
+	for i, es := range snap.Events {
+		ev := simEvent{kind: evKind(es.Kind), version: es.Version}
+		if es.Job >= 0 {
+			ev.js = e.all[es.Job]
+		}
+		if es.Core >= 0 {
+			ev.core = e.cores[es.Core]
+		}
+		items[i] = eventq.MakeItem(es.T, es.Seq, ev)
+	}
+	e.events.Restore(items, snap.EventSeq)
+
+	c := snap.Counters
+	e.undeparted = c.Undeparted
+	e.pendingArrivals = c.PendingArrivals
+	e.lastDeparture = c.LastDeparture
+	e.invocations = c.Invocations
+	e.peakPower = c.PeakPower
+	e.budgetViolations = c.BudgetViolations
+	e.skippedTime = c.SkippedTime
+	e.shed = c.Shed
+	e.requeued = c.Requeued
+	e.retried = c.Retried
+	e.retryQuality = c.RetryQuality
+	e.quantumLive = c.QuantumLive
+	e.eventsProcessed = c.EventsProcessed
+	e.checkpoints = c.Checkpoints
+	e.firstRelease = snap.FirstRelease
+
+	if sp, ok := p.(StatefulPolicy); ok && len(snap.PolicyState) > 0 {
+		if err := sp.LoadPolicyState(snap.PolicyState); err != nil {
+			return Result{}, cfgerr.New("sim", "checkpoint", "sim: restoring policy state: %v", err)
+		}
+	}
+	return e.run()
+}
+
+// fingerprintConfig hashes everything about a configuration that affects
+// simulation outcomes, FNV-1a style. Interfaces (quality functions) cannot
+// be hashed structurally, so they contribute their name plus probe
+// evaluations at fixed sample points — two functions that agree on name and
+// probes are overwhelmingly likely to be the same function.
+func fingerprintConfig(cfg *Config, policy string) uint64 {
+	f := fnv1a{h: 14695981039346656037}
+	f.str(policy)
+	f.i(cfg.Cores)
+	f.f64(cfg.Budget)
+	f.f64(cfg.Power.A)
+	f.f64(cfg.Power.Beta)
+	f.f64(cfg.Power.B)
+	f.i(len(cfg.Ladder))
+	for _, s := range cfg.Ladder {
+		f.f64(s)
+	}
+	if cfg.Quality != nil {
+		f.str(cfg.Quality.Name())
+		for _, x := range [...]float64{1, 10, 100, 500, 1000} {
+			f.f64(cfg.Quality.Eval(x))
+		}
+	}
+	f.f64(cfg.Triggers.Quantum)
+	f.i(cfg.Triggers.Counter)
+	f.b(cfg.Triggers.IdleCore)
+	f.b(cfg.Triggers.OnArrival)
+	f.f64(cfg.IdleBurnSpeed)
+	f.f64(cfg.MaxSpeed)
+	f.b(cfg.TwoSpeedDiscrete)
+	f.i(len(cfg.Faults))
+	for _, fl := range cfg.Faults {
+		f.i(fl.Core)
+		f.f64(fl.Start)
+		f.f64(fl.End)
+		f.f64(fl.SpeedFactor)
+	}
+	f.i(len(cfg.BudgetFaults))
+	for _, fl := range cfg.BudgetFaults {
+		f.f64(fl.Start)
+		f.f64(fl.End)
+		f.f64(fl.Fraction)
+	}
+	f.i(int(cfg.Admission.Policy))
+	f.i(cfg.Admission.MaxQueue)
+	f.i(cfg.Retry.MaxAttempts)
+	f.f64(cfg.Retry.Backoff)
+	f.f64(cfg.Retry.Multiplier)
+	f.f64(cfg.Retry.MaxBackoff)
+	f.f64(cfg.Retry.DeadlineSlack)
+	return f.h
+}
+
+// fnv1a is a minimal FNV-1a accumulator over typed fields.
+type fnv1a struct{ h uint64 }
+
+const fnvPrime = 1099511628211
+
+func (f *fnv1a) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.h ^= v & 0xff
+		f.h *= fnvPrime
+		v >>= 8
+	}
+}
+
+func (f *fnv1a) f64(v float64) { f.u64(math.Float64bits(v)) }
+func (f *fnv1a) i(v int)       { f.u64(uint64(int64(v))) }
+
+func (f *fnv1a) b(v bool) {
+	if v {
+		f.u64(1)
+	} else {
+		f.u64(0)
+	}
+}
+
+func (f *fnv1a) str(s string) {
+	for i := 0; i < len(s); i++ {
+		f.h ^= uint64(s[i])
+		f.h *= fnvPrime
+	}
+	f.u64(uint64(len(s)))
+}

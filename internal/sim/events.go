@@ -19,6 +19,8 @@ const (
 	EvFaultEdge                  // a fault window opened or closed
 	EvShed                       // the admission stage turned a job away
 	EvRequeue                    // an outaged core's job returned to the queue
+	EvRetry                      // an evacuated job re-entered the queue after backoff
+	EvAbandon                    // the retry policy gave up on an evacuated job
 )
 
 func (k EventKind) String() string {
@@ -39,6 +41,10 @@ func (k EventKind) String() string {
 		return "shed"
 	case EvRequeue:
 		return "requeue"
+	case EvRetry:
+		return "retry"
+	case EvAbandon:
+		return "abandon"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}

@@ -17,7 +17,11 @@
 // work and power; see ChaosConfig for sampling random fault schedules.
 package sim
 
-import "dessched/internal/cfgerr"
+import (
+	"math"
+
+	"dessched/internal/cfgerr"
+)
 
 // Fault models a degradation of one core during a time window — a thermal
 // throttling episode (SpeedFactor in (0,1)) or an outage (SpeedFactor 0).
@@ -41,10 +45,12 @@ func (f Fault) Validate(cores int) error {
 	if f.Core < 0 || f.Core >= cores {
 		return cfgerr.New("sim", "faults", "sim: fault core %d out of range [0, %d)", f.Core, cores)
 	}
-	if f.Start < 0 {
-		return cfgerr.New("sim", "faults", "sim: fault start %g is negative", f.Start)
+	if f.Start < 0 || math.IsNaN(f.Start) || math.IsInf(f.Start, 0) {
+		return cfgerr.New("sim", "faults", "sim: fault start %g must be non-negative and finite", f.Start)
 	}
-	if f.End <= f.Start {
+	// End = Forever (+Inf) is a valid open-ended fault: the core stays
+	// degraded until a RepairModel closes the window or the run ends.
+	if f.End <= f.Start || math.IsNaN(f.End) {
 		return cfgerr.New("sim", "faults", "sim: fault window [%g, %g] empty", f.Start, f.End)
 	}
 	if f.SpeedFactor < 0 || f.SpeedFactor > 1 {

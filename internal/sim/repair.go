@@ -1,0 +1,91 @@
+// Repair: faults stop being permanent scars and gain a mean-time-to-repair
+// model. A fault window's right edge IS its repair instant — the engine
+// already re-invokes the policy at every fault boundary, so a repaired core
+// is picked up by C-RR (and, one level up, by the cluster's
+// availability-scaled water-filling) at the repair edge with no extra
+// machinery. What this file adds is the way those repair instants are
+// produced: open-ended faults (End = Forever) closed by seeded,
+// deterministic exponential repair times.
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dessched/internal/cfgerr"
+)
+
+// Forever marks a fault with no scheduled repair: the core stays degraded
+// for the rest of the run. RepairModel.Close turns such faults into
+// repaired ones.
+var Forever = math.Inf(1)
+
+// Open reports whether the fault has no scheduled repair.
+func (f Fault) Open() bool { return math.IsInf(f.End, 1) }
+
+// RepairTime returns how long the fault lasted — its time to repair.
+// Open faults report +Inf.
+func (f Fault) RepairTime() float64 { return f.End - f.Start }
+
+// RepairModel closes open-ended faults with seeded, deterministic repair
+// times drawn from an exponential distribution — the classic MTTR model.
+// The draw for fault i depends only on (Seed, i), so the same schedule
+// always repairs at the same instants regardless of how many other faults
+// exist or in what order they are processed.
+type RepairModel struct {
+	Seed uint64
+	MTTR float64 // mean time to repair, seconds (exponential)
+	Min  float64 // repair-time floor, seconds (a crew is never instant)
+}
+
+// Validate reports parameter errors as typed *cfgerr.Error values.
+func (m RepairModel) Validate() error {
+	if m.MTTR <= 0 || math.IsNaN(m.MTTR) || math.IsInf(m.MTTR, 0) {
+		return cfgerr.New("sim", "repair", "sim: MTTR must be positive and finite, got %g", m.MTTR)
+	}
+	if m.Min < 0 || math.IsNaN(m.Min) || math.IsInf(m.Min, 0) {
+		return cfgerr.New("sim", "repair", "sim: repair-time floor must be non-negative and finite, got %g", m.Min)
+	}
+	return nil
+}
+
+// RepairTimeFor returns the seeded repair duration for fault index i.
+func (m RepairModel) RepairTimeFor(i int) float64 {
+	rng := rand.New(rand.NewPCG(m.Seed^0x6a09e667f3bcc909, uint64(i)*0x9e3779b97f4a7c15+1))
+	return m.Min + m.MTTR*rng.ExpFloat64()
+}
+
+// Close returns a copy of faults with every open-ended fault closed at
+// Start + repair time. Already-closed faults pass through untouched, so
+// Close composes with hand-written fault schedules.
+func (m RepairModel) Close(faults []Fault) ([]Fault, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	out := append([]Fault(nil), faults...)
+	for i := range out {
+		if out[i].Open() {
+			out[i].End = out[i].Start + m.RepairTimeFor(i)
+		}
+	}
+	return out, nil
+}
+
+// MeanTimeToRepair returns the mean duration of the plan's core faults —
+// the observed MTTR of the sampled schedule (every fault window's right
+// edge is its repair instant). Zero when the plan has no closed core
+// faults; open-ended faults are excluded (they never repair).
+func (p ChaosPlan) MeanTimeToRepair() float64 {
+	sum, n := 0.0, 0
+	for _, f := range p.Faults {
+		if f.Open() {
+			continue
+		}
+		sum += f.RepairTime()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

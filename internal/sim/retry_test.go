@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+
+	"dessched/internal/job"
+)
+
+// retryCfg is a single-core setup with an early outage window and the
+// retry lifecycle enabled.
+func retryCfg(faults []Fault, rp RetryPolicy) Config {
+	cfg := testCfg(1)
+	cfg.Faults = faults
+	cfg.Retry = rp
+	return cfg
+}
+
+// An evacuated job waits out its backoff, re-enters the queue, and
+// completes: one requeue, one retry, full quality — and the quality is
+// attributed to the retry lifecycle.
+func TestRetryBackoffReentry(t *testing.T) {
+	cfg := retryCfg(
+		[]Fault{{Core: 0, Start: 0.01, End: 0.05, SpeedFactor: 0}},
+		RetryPolicy{MaxAttempts: 3, Backoff: 0.1},
+	)
+	counter := NewEventCounter()
+	cfg.Observer = counter.Observe
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 2, Demand: 100, Partial: true}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Retried != 1 || res.Requeued != 1 || res.Abandoned != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.RetryQuality != res.Quality || res.RetryQuality == 0 {
+		t.Errorf("RetryQuality = %v, want the full run quality %v", res.RetryQuality, res.Quality)
+	}
+	if counter.Counts[EvRequeue] != 1 || counter.Counts[EvRetry] != 1 {
+		t.Errorf("events: %v", counter.Counts)
+	}
+}
+
+// A second evacuation exhausts MaxAttempts = 1: the job departs as
+// abandoned, keeping the partial quality it earned before the outage.
+func TestRetryAbandonOnAttempts(t *testing.T) {
+	cfg := retryCfg(
+		[]Fault{
+			{Core: 0, Start: 0.01, End: 0.02, SpeedFactor: 0},
+			{Core: 0, Start: 0.08, End: 0.09, SpeedFactor: 0},
+		},
+		RetryPolicy{MaxAttempts: 1, Backoff: 0.05},
+	)
+	counter := NewEventCounter()
+	cfg.Observer = counter.Observe
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 2, Demand: 100, Partial: true}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned != 1 || res.Retried != 1 || res.Completed != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Quality <= 0 {
+		t.Errorf("abandoned partial job lost its earned quality: %v", res.Quality)
+	}
+	if counter.Counts[EvAbandon] != 1 {
+		t.Errorf("events: %v", counter.Counts)
+	}
+	if res.Jobs != nil {
+		t.Fatal("CollectJobs off but outcomes present")
+	}
+}
+
+// A backoff that would land past the deadline (minus slack) abandons
+// immediately, without a retry event.
+func TestRetryAbandonNearDeadline(t *testing.T) {
+	cfg := retryCfg(
+		[]Fault{{Core: 0, Start: 0.01, End: 0.02, SpeedFactor: 0}},
+		RetryPolicy{MaxAttempts: 3, Backoff: 1.0},
+	)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 0.5, Demand: 100, Partial: true}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandoned != 1 || res.Retried != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// The zero-value policy keeps the legacy behavior: instant requeue, no
+// retry bookkeeping.
+func TestRetryDisabledKeepsInstantRequeue(t *testing.T) {
+	cfg := retryCfg(
+		[]Fault{{Core: 0, Start: 0.01, End: 0.05, SpeedFactor: 0}},
+		RetryPolicy{},
+	)
+	jobs := []job.Job{{ID: 0, Release: 0, Deadline: 2, Demand: 100, Partial: true}}
+	res, err := Run(cfg, jobs, &fifoPolicy{speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requeued != 1 || res.Retried != 0 || res.Abandoned != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("job should still complete after instant requeue: %+v", res)
+	}
+}
+
+// Delay grows exponentially and respects the cap.
+func TestRetryDelay(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, Backoff: 0.1, Multiplier: 2, MaxBackoff: 0.5}
+	want := []float64{0.1, 0.2, 0.4, 0.5, 0.5}
+	for i, w := range want {
+		if d := p.Delay(i + 1); d != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
+// RepairModel.Close closes exactly the open-ended faults, with
+// deterministic per-index durations, and leaves closed faults untouched.
+func TestRepairModelClose(t *testing.T) {
+	m := RepairModel{Seed: 42, MTTR: 5, Min: 1}
+	faults := []Fault{
+		{Core: 0, Start: 1, End: Forever, SpeedFactor: 0},
+		{Core: 1, Start: 2, End: 3, SpeedFactor: 0.5},
+		{Core: 2, Start: 4, End: Forever, SpeedFactor: 0},
+	}
+	closed, err := m.Close(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed[1] != faults[1] {
+		t.Errorf("closed fault mutated: %+v", closed[1])
+	}
+	for _, i := range []int{0, 2} {
+		if closed[i].Open() {
+			t.Fatalf("fault %d still open", i)
+		}
+		if got := closed[i].End - closed[i].Start; got < m.Min {
+			t.Errorf("fault %d repaired in %v, under the floor %v", i, got, m.Min)
+		}
+		if want := m.Min + m.MTTR*0; closed[i].End-closed[i].Start == want {
+			t.Errorf("fault %d repair time exactly the floor — exponential draw missing", i)
+		}
+	}
+	again, err := m.Close(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range closed {
+		if closed[i] != again[i] {
+			t.Errorf("repair draw %d not deterministic: %+v vs %+v", i, closed[i], again[i])
+		}
+	}
+	// Validation still accepts open-ended faults in a config.
+	if err := faults[0].Validate(3); err != nil {
+		t.Errorf("open-ended fault rejected: %v", err)
+	}
+}
+
+// Chaos generation with MTTR > 0 uses exponential repair durations and the
+// plan reports its observed mean time to repair.
+func TestChaosMTTR(t *testing.T) {
+	cc := DefaultChaos(9, 100, 8)
+	cc.MTTR = 2
+	cc.CoreFaults = 20
+	plan, err := cc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mttr := plan.MeanTimeToRepair()
+	if mttr <= 0 {
+		t.Fatal("no observed MTTR")
+	}
+	// 20 exponential draws with mean 2: the sample mean is loose but must
+	// be in the right ballpark.
+	if mttr < 0.5 || mttr > 6 {
+		t.Errorf("observed MTTR %v implausible for mean 2", mttr)
+	}
+	// MTTR = 0 keeps the legacy window draw bit-for-bit.
+	cc2 := DefaultChaos(9, 100, 8)
+	legacy1, err := cc2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy2, err := cc2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range legacy1.Faults {
+		if legacy1.Faults[i] != legacy2.Faults[i] {
+			t.Fatal("legacy chaos generation not deterministic")
+		}
+	}
+}

@@ -30,8 +30,15 @@ type Result struct {
 	Discarded  int
 	Shed       int // turned away by the admission stage
 	Requeued   int // evacuated from outaged cores back to the queue
+	Retried    int // backoff-delayed queue re-entries (RetryPolicy)
+	Abandoned  int // evacuated jobs the retry policy gave up on
 	Invocation int // policy invocations
 	Events     int // simulator events processed (event-queue pops)
+
+	// RetryQuality is the quality credited to jobs that departed after at
+	// least one evacuation→retry cycle — the quality the retry lifecycle
+	// recovered rather than lost to the outage.
+	RetryQuality float64
 
 	Span        float64 // first release to last departure, seconds
 	SkippedTime float64 // planned time skipped because its job had departed (audit)
@@ -69,6 +76,8 @@ const (
 	evkSegment
 	evkQuantum
 	evkFaultEdge
+	evkRetry      // a retry backoff expired; the job re-enters the queue
+	evkCheckpoint // snapshot the engine (bookkeeping-free: see the run loop)
 )
 
 // simEvent is the compact value payload of the event queue. One flat struct
@@ -107,8 +116,12 @@ type engine struct {
 	skippedTime      float64
 	shed             int
 	requeued         int
+	retried          int
+	retryQuality     float64
 	quantumLive      bool
 	eventsProcessed  int
+	firstRelease     float64
+	checkpoints      int // snapshots written so far (resumes continue the count)
 
 	// Hot-path caches. powCache memoizes the last speed→power conversion
 	// per core (plans hold a speed constant across many events), idlePower
@@ -129,14 +142,7 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 	if err := job.ValidateAll(jobs); err != nil {
 		return Result{}, err
 	}
-	e := &engine{cfg: cfg, policy: p}
-	e.cores = make([]*CoreState, cfg.Cores)
-	for i := range e.cores {
-		e.cores[i] = &CoreState{Index: i}
-	}
-	e.state = &State{Cfg: &e.cfg, Cores: e.cores, engine: e}
-	e.powCache = make([]power.SpeedCache, cfg.Cores)
-	e.idlePower = cfg.Power.DynamicPower(cfg.IdleBurnSpeed)
+	e := newEngine(cfg, p)
 
 	// Size the queue for the static events up front; segment events reuse
 	// the slack freed by popped arrivals/deadlines.
@@ -157,19 +163,44 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 	if len(jobs) == 0 {
 		return e.result(0, 0), nil
 	}
+	e.firstRelease = firstRelease
 	if cfg.Triggers.Quantum > 0 {
 		e.events.Push(firstRelease, simEvent{kind: evkQuantum})
 		e.quantumLive = true
 	}
 	for _, f := range cfg.Faults {
 		e.events.Push(f.Start, simEvent{kind: evkFaultEdge})
-		e.events.Push(f.End, simEvent{kind: evkFaultEdge})
+		if !math.IsInf(f.End, 1) {
+			e.events.Push(f.End, simEvent{kind: evkFaultEdge})
+		}
 	}
 	for _, f := range cfg.BudgetFaults {
 		e.events.Push(f.Start, simEvent{kind: evkFaultEdge})
 		e.events.Push(f.End, simEvent{kind: evkFaultEdge})
 	}
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Every > 0 {
+		e.events.Push(firstRelease+cfg.Checkpoint.Every, simEvent{kind: evkCheckpoint})
+	}
+	return e.run()
+}
 
+// newEngine builds an engine shell — cores, policy state view, power
+// caches — without any job or event state. Run and Resume populate it.
+func newEngine(cfg Config, p Policy) *engine {
+	e := &engine{cfg: cfg, policy: p}
+	e.cores = make([]*CoreState, cfg.Cores)
+	for i := range e.cores {
+		e.cores[i] = &CoreState{Index: i}
+	}
+	e.state = &State{Cfg: &e.cfg, Cores: e.cores, engine: e}
+	e.powCache = make([]power.SpeedCache, cfg.Cores)
+	e.idlePower = cfg.Power.DynamicPower(cfg.IdleBurnSpeed)
+	return e
+}
+
+// run drives the event loop to completion — the shared core of Run and
+// Resume. The engine must be fully populated (events, jobs, counters).
+func (e *engine) run() (Result, error) {
 	// contextPollMask throttles cancelation checks to one atomic load per
 	// 1024 events, keeping the hot loop unchanged when no one cancels.
 	const contextPollMask = 1023
@@ -178,13 +209,31 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 		if !ok {
 			break
 		}
+		now := it.Time
+		if it.Payload.kind == evkCheckpoint {
+			// Checkpoints are bookkeeping-free: no event count, no settle,
+			// no audit — so a checkpointed run stays bit-identical to the
+			// same run without checkpointing. The next checkpoint event is
+			// pushed before the snapshot is taken, so the serialized queue
+			// matches what the uninterrupted run carries forward. A nil
+			// Checkpoint config drops the event silently: a resumed run is
+			// free to continue without checkpointing even though the
+			// restored heap still carries the next checkpoint event.
+			if e.cfg.Checkpoint != nil && (e.undeparted > 0 || e.pendingArrivals > 0) {
+				e.events.Push(now+e.cfg.Checkpoint.Every, simEvent{kind: evkCheckpoint})
+				e.checkpoints++
+				if err := e.cfg.Checkpoint.Sink(e.snapshot(now)); err != nil {
+					return Result{}, err
+				}
+			}
+			continue
+		}
 		e.eventsProcessed++
-		if cfg.Context != nil && e.eventsProcessed&contextPollMask == 0 {
-			if err := cfg.Context.Err(); err != nil {
+		if e.cfg.Context != nil && e.eventsProcessed&contextPollMask == 0 {
+			if err := e.cfg.Context.Err(); err != nil {
 				return Result{}, err
 			}
 		}
-		now := it.Time
 		switch ev := it.Payload; ev.kind {
 		case evkArrival:
 			e.onArrival(now, ev.js)
@@ -212,6 +261,8 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 				e.events.Push(now+e.cfg.Triggers.Quantum, simEvent{kind: evkQuantum})
 				e.quantumLive = true
 			}
+		case evkRetry:
+			e.onRetry(now, ev.js)
 		case evkFaultEdge:
 			// Settle everything on the old fault regime, evacuate cores
 			// that just went dark, then let the policy redistribute work
@@ -230,7 +281,7 @@ func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 	for _, c := range e.cores {
 		e.settleCore(c, last)
 	}
-	return e.result(firstRelease, last), nil
+	return e.result(e.firstRelease, last), nil
 }
 
 func (e *engine) onArrival(now float64, js *JobState) {
@@ -297,9 +348,17 @@ func (e *engine) evacuateOutages(now float64) {
 				continue
 			}
 			js.Core = -1
-			e.queue = append(e.queue, js)
+			js.Phase = PhaseEvacuated
 			e.requeued++
 			e.emit(Event{Time: now, Kind: EvRequeue, Job: js.Job.ID, Core: c.Index})
+			if e.cfg.Retry.Enabled() {
+				// Retry lifecycle: the job waits out a backoff (or is
+				// abandoned) instead of re-entering the queue instantly.
+				e.scheduleRetry(now, js)
+			} else {
+				js.Phase = PhasePending
+				e.queue = append(e.queue, js)
+			}
 		}
 		c.Jobs = c.Jobs[:0]
 		c.plan = nil
@@ -446,6 +505,10 @@ func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
 	}
 	js.Reason = reason
 	js.DepartAt = t
+	js.Phase = PhaseDeparted
+	if js.Attempts > 0 {
+		e.retryQuality += js.Quality
+	}
 	kind := EvDeadline
 	switch reason {
 	case Completed:
@@ -454,6 +517,8 @@ func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
 		kind = EvDiscard
 	case Shed:
 		kind = EvShed
+	case Abandoned:
+		kind = EvAbandon
 	}
 	e.emit(Event{Time: t, Kind: kind, Job: js.Job.ID, Core: js.Core, Quality: js.Quality})
 	e.undeparted--
@@ -513,6 +578,8 @@ func (e *engine) result(firstRelease, last float64) Result {
 		SkippedTime:      e.skippedTime,
 		Shed:             e.shed,
 		Requeued:         e.requeued,
+		Retried:          e.retried,
+		RetryQuality:     e.retryQuality,
 	}
 	for _, js := range e.all {
 		r.Quality += js.Quality
@@ -524,6 +591,8 @@ func (e *engine) result(firstRelease, last float64) Result {
 			r.Deadlined++
 		case PolicyDiscard:
 			r.Discarded++
+		case Abandoned:
+			r.Abandoned++
 		}
 		if e.cfg.CollectJobs {
 			r.Jobs = append(r.Jobs, JobOutcome{
@@ -571,6 +640,9 @@ func (r Result) String() string {
 	}
 	if r.Requeued > 0 {
 		s += fmt.Sprintf(", requeued %d", r.Requeued)
+	}
+	if r.Retried > 0 || r.Abandoned > 0 {
+		s += fmt.Sprintf(", retried %d, abandoned %d", r.Retried, r.Abandoned)
 	}
 	return s
 }

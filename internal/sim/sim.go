@@ -90,6 +90,17 @@ type Config struct {
 	// the scheduler sees the queue. The zero value admits everything.
 	Admission admission.Config
 
+	// Retry governs jobs evacuated from outaged cores: backoff-delayed
+	// re-entry with bounded attempts and a deadline-aware cutoff. The zero
+	// value keeps the legacy instant-requeue behavior. See RetryPolicy.
+	Retry RetryPolicy
+
+	// Checkpoint, when non-nil, snapshots the full engine state every
+	// Every simulated seconds and hands it to Sink — the crash-recovery
+	// primitive behind Resume. Checkpointing never perturbs the run: a
+	// checkpointed run is bit-identical to the same run without it.
+	Checkpoint *CheckpointConfig
+
 	// CollectJobs records a per-job outcome in Result.Jobs (off by default
 	// to keep long runs lean).
 	CollectJobs bool
@@ -162,6 +173,14 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if c.Checkpoint != nil {
+		if err := c.Checkpoint.Validate(); err != nil {
+			return err
+		}
+	}
 	return c.Admission.Validate()
 }
 
@@ -175,6 +194,7 @@ const (
 	DeadlineHit                // deadline expired with partial (or zero) progress
 	PolicyDiscard              // the policy dropped it (uncompletable non-partial, starved running job)
 	Shed                       // the admission stage turned it away under overload
+	Abandoned                  // the retry policy gave up after evacuation (attempts or deadline exhausted)
 )
 
 func (r DepartReason) String() string {
@@ -187,6 +207,8 @@ func (r DepartReason) String() string {
 		return "discarded"
 	case Shed:
 		return "shed"
+	case Abandoned:
+		return "abandoned"
 	default:
 		return "in-system"
 	}
@@ -200,6 +222,8 @@ type JobState struct {
 	Reason   DepartReason // why it departed (NotDeparted while in system)
 	DepartAt float64      // departure time
 	Quality  float64      // quality credited at departure
+	Phase    Phase        // dispatch/recovery lifecycle position
+	Attempts int          // evacuation→retry cycles so far (see RetryPolicy)
 }
 
 // Departed reports whether the job has left the system.

@@ -71,6 +71,7 @@ func (s *State) AssignToCore(js *JobState, core int) {
 	}
 	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
 	js.Core = core
+	js.Phase = PhaseDispatched
 	s.Cores[core].Jobs = append(s.Cores[core].Jobs, js)
 	s.engine.queue = s.queue
 }
@@ -100,6 +101,7 @@ func (s *State) Bind(js *JobState, core int) {
 		panic(fmt.Sprintf("sim: core index %d out of range", core))
 	}
 	js.Core = core
+	js.Phase = PhaseDispatched
 	s.Cores[core].Jobs = append(s.Cores[core].Jobs, js)
 }
 
@@ -107,6 +109,7 @@ func (s *State) Bind(js *JobState, core int) {
 // assign only a subset per invocation, e.g. the one-job-per-core baselines).
 func (s *State) Requeue(js *JobState) {
 	js.Core = -1
+	js.Phase = PhasePending
 	s.queue = append(s.queue, js)
 	s.engine.queue = s.queue
 }

@@ -13,6 +13,7 @@ import (
 var simEventKinds = []sim.EventKind{
 	sim.EvArrival, sim.EvInvoke, sim.EvComplete, sim.EvDeadline,
 	sim.EvDiscard, sim.EvFaultEdge, sim.EvShed, sim.EvRequeue,
+	sim.EvRetry, sim.EvAbandon,
 }
 
 // SimCollector turns a simulation run into metrics. It implements both
@@ -90,7 +91,7 @@ func NewSimCollector(reg *Registry, cores int) *SimCollector {
 	}
 	c.outcomes = reg.CounterVec("sim_jobs_total",
 		"Departed jobs by outcome, recorded when the run finishes.", "outcome")
-	for _, o := range []string{"completed", "deadline", "discarded", "shed"} {
+	for _, o := range []string{"completed", "deadline", "discarded", "shed", "abandoned"} {
 		c.outcomes.With(o) // pre-register so zeros are exposed
 	}
 	return c
@@ -104,7 +105,7 @@ func (c *SimCollector) Observe(e sim.Event) {
 	}
 	c.queueDepth.Set(float64(e.Queue))
 	switch e.Kind {
-	case sim.EvComplete, sim.EvDeadline, sim.EvDiscard, sim.EvShed:
+	case sim.EvComplete, sim.EvDeadline, sim.EvDiscard, sim.EvShed, sim.EvAbandon:
 		c.quality.Observe(e.Quality)
 	}
 }
@@ -129,6 +130,7 @@ func (c *SimCollector) Finish(res sim.Result) {
 	c.outcomes.With("deadline").Add(uint64(res.Deadlined))
 	c.outcomes.With("discarded").Add(uint64(res.Discarded))
 	c.outcomes.With("shed").Add(uint64(res.Shed))
+	c.outcomes.With("abandoned").Add(uint64(res.Abandoned))
 	c.reg.Gauge("sim_norm_quality",
 		"Total quality over the run, normalized by the maximum attainable.").Set(res.NormQuality)
 	c.reg.Gauge("sim_energy_joules", "Dynamic energy of the run, J.").Set(res.Energy)
