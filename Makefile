@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples
+.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples workload-smoke
 
 all: build vet test
 
@@ -58,6 +58,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -fuzz=FuzzLoadJobs -fuzztime=$(FUZZTIME) ./internal/workload
 	$(GO) test -fuzz=FuzzWriteSSE -fuzztime=$(FUZZTIME) ./internal/httpapi
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/workloadspec
 
 # Run a short chaotic simulation and export it as a Perfetto trace.
 # Open results/trace.json in https://ui.perfetto.dev to browse per-core
@@ -68,12 +69,25 @@ trace-view:
 		-chaos-seed 1 -perfetto results/trace.json -telemetry results/metrics.prom
 	@echo "open https://ui.perfetto.dev and load results/trace.json"
 
-# Build and run every examples/ program end to end.
+# Build and run every examples/ program end to end (data-only example
+# directories, like examples/workloads, hold no main package and are
+# exercised by workload-smoke instead).
 examples:
 	@for d in examples/*/; do \
+		[ -f $$d/main.go ] || continue; \
 		echo "== $$d"; \
 		$(GO) run ./$$d || exit 1; \
 	done
+
+# Validate the shipped workload specs and round-trip a compiled stream
+# through the v2 trace format — the CLI face of the workloadspec tests.
+workload-smoke:
+	$(GO) run ./cmd/desim workload -validate examples/workloads/*.json
+	$(GO) run ./cmd/desim workload -generate -duration 10 \
+		-out /tmp/dessched-smoke-trace.csv examples/workloads/bimodal.json
+	$(GO) run ./cmd/desim workload -validate /tmp/dessched-smoke-trace.csv
+	$(GO) run ./cmd/desim sim -workload /tmp/dessched-smoke-trace.csv \
+		-cores 4 -budget 80 >/dev/null
 
 cover:
 	$(GO) test -short -cover ./...

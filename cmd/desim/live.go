@@ -116,7 +116,7 @@ func clusterSpec(policy, arch string, wf bool) (string, error) {
 // merged telemetry, and a cluster-trace bundle for destrace — plus the
 // recovery stack (hedged dispatch, completed-server checkpoint/resume).
 func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
-	wl dessched.WorkloadConfig, dispatch string, globalBudget float64,
+	jobs []dessched.Job, horizon float64, dispatch string, globalBudget float64,
 	chaosSeed uint64, hedge dessched.HedgeConfig, checkpointOut, resumeIn string,
 	fl simInstrumentFlags, traceOut, perfettoOut, telemetryOut string) error {
 
@@ -179,17 +179,13 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 	}
 
 	if chaosSeed > 0 {
-		faults, err := dessched.ClusterChaosFaults(chaosSeed, wl.Duration, servers, cfg.Cores)
+		faults, err := dessched.ClusterChaosFaults(chaosSeed, horizon, servers, cfg.Cores)
 		if err != nil {
 			return err
 		}
 		ccfg.Faults = faults
 	}
 
-	jobs, err := dessched.GenerateWorkload(wl)
-	if err != nil {
-		return err
-	}
 	var res dessched.ClusterResult
 	if resumeIn != "" {
 		b, err := os.ReadFile(resumeIn)
@@ -225,6 +221,7 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 		fmt.Printf("  server %2d: %4d jobs, share %6.1f W, norm quality %.4f, energy %8.1f J\n",
 			sr.Server, sr.Jobs, sr.BudgetShareW, sr.Result.NormQuality, sr.Result.Energy)
 	}
+	printClassResults(res.Classes)
 
 	if traceOut != "" || perfettoOut != "" {
 		ct := &dessched.ClusterTraceFile{

@@ -87,12 +87,16 @@ func TestRunClusterSimOutputs(t *testing.T) {
 	cfg.Budget = 80
 	wl := dessched.PaperWorkload(60)
 	wl.Duration = 5
+	jobs, err := dessched.GenerateWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	traceOut := filepath.Join(dir, "ct.json")
 	spansOut := filepath.Join(dir, "spans.json")
 	seriesOut := filepath.Join(dir, "series.json")
 	fl := simInstrumentFlags{spansOut: spansOut, seriesOut: seriesOut, epoch: 1}
-	if err := runClusterSim(2, "des-c", cfg, wl, "rr", 160, 7, dessched.HedgeConfig{}, "", "", fl,
+	if err := runClusterSim(2, "des-c", cfg, jobs, wl.Duration, "rr", 160, 7, dessched.HedgeConfig{}, "", "", fl,
 		traceOut, "", ""); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +127,7 @@ func TestRunClusterSimOutputs(t *testing.T) {
 		}
 	}
 
-	if err := runClusterSim(2, "des-c", cfg, wl, "rr", 160, 7, dessched.HedgeConfig{}, "", "", fl, traceOut, "", ""); err != nil {
+	if err := runClusterSim(2, "des-c", cfg, jobs, wl.Duration, "rr", 160, 7, dessched.HedgeConfig{}, "", "", fl, traceOut, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	b2, _ := os.ReadFile(spansOut)

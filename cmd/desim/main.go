@@ -8,6 +8,7 @@
 //	desim run -exp fig3 [-duration 60] [-seed 1] [-rates 100,140,180] [-paper] [-out results.txt]
 //	desim run -all [-quick]
 //	desim sim -policy des -arch c -rate 120 [-cores 16] [-budget 320] [-wf]
+//	          [-workload spec.json|trace.csv]
 //	          [-discrete] [-duration 60] [-seed 1] [-partial 1.0] [-trace out.csv]
 //	          [-chaos-seed 1 -mttr 0.5] [-retry-max 3 -retry-backoff 0.05]
 //	          [-checkpoint snap.json -checkpoint-every 5] [-resume snap.json]
@@ -21,7 +22,10 @@
 //	            [-admission quality-aware -max-queue 64]
 //	desim sweep [-rates 60,90,120] [-cores 16] [-budgets 320] [-policies des,fcfs-wf]
 //	            [-seeds 1,2] [-duration 60] [-workers 8] [-servers 8] [-dispatch rr]
-//	            [-global-frac 0.85] [-out report.json] [-csv report.csv]
+//	            [-global-frac 0.85] [-workload spec.json] [-out report.json] [-csv report.csv]
+//	desim workload -validate examples/workloads/*.json
+//	desim workload -describe spec.json
+//	desim workload -generate spec.json -out trace.csv [-seed 7] [-duration 120]
 //	desim bench [-out BENCH_sim.json] [-compare old.json] [-quick]
 //	desim verify [-duration 40]
 package main
@@ -60,6 +64,8 @@ func main() {
 		err = cmdChaos(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "workload":
+		err = cmdWorkload(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "verify":
@@ -85,6 +91,7 @@ func usage() {
   desim sim [flags]                   run a single simulation
   desim chaos [flags]                 seeded fault-injection soak + resilience report
   desim sweep [flags]                 fan a parameter grid across a worker pool
+  desim workload [flags] <files>      validate/describe/compile declarative workload specs
   desim bench [flags]                 measure simulator throughput, write BENCH_sim.json
   desim verify [-duration s]          check every paper claim; exit 1 on failure
 run flags: -duration s  -seed n  -replicas n  -workers n  -rates a,b,c
@@ -92,6 +99,7 @@ run flags: -duration s  -seed n  -replicas n  -workers n  -rates a,b,c
            (presets set the baseline; explicit flags override them)
 sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
            -rate r  -cores m  -budget W  -partial f  -duration s  -seed n
+           -workload spec.json|trace.csv  (declarative classes / trace replay)
            -trace file.csv  -events  -chaos-seed n  -mttr s
            -retry-max n  -retry-backoff s
            -checkpoint file.json  -checkpoint-every s  -resume file.json
@@ -102,12 +110,15 @@ sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
            -hedge-window s  -hedge-limit n
            (with -servers > 1, -trace/-perfetto write the cluster bundle)
 chaos flags: -seed n  -rate r  -duration s  -cores m  -budget W  -arch c|s|no
-             -core-faults n  -budget-faults n  -bursts n  -outage-frac f
-             -mttr s  -retry-max n  -retry-backoff s
+             -workload spec.json  -core-faults n  -budget-faults n  -bursts n
+             -outage-frac f  -mttr s  -retry-max n  -retry-backoff s
              -admission none|tail-drop|quality-aware  -max-queue n
 sweep flags: -rates a,b,c  -cores a,b  -budgets a,b  -policies p,q  -seeds a,b
-             -duration s  -workers n  -servers m  -dispatch rr|ll|hash
+             -workload spec.json (replaces -rates)  -duration s  -workers n
+             -servers m  -dispatch rr|ll|hash
              -global-frac f  -epoch s  -telemetry  -out file.json  -csv file.csv
+workload flags: -validate | -describe | -generate -out trace.csv
+                [-seed n] [-duration s]  <spec.json|trace.csv ...>
 bench flags: -out file.json  -compare old.json  -threshold f
              -repeats n  -duration s  -quick`)
 }
@@ -311,8 +322,26 @@ func cmdChaos(args []string) error {
 	mttr := fs.Float64("mttr", 0, "mean time to repair: core faults heal after exponential repair times (0 = default fault windows)")
 	retryMax := fs.Int("retry-max", 0, "max dispatch attempts for jobs evacuated from outaged cores (0 = no retry lifecycle)")
 	retryBackoff := fs.Float64("retry-backoff", 0.05, "initial retry backoff, s, doubling per attempt (with -retry-max)")
+	workloadFile := fs.String("workload", "", "declarative workload spec (.json) replacing the default single-rate stream; -seed/-duration override the spec's")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// A spec workload soaks per-class: burst faults append to the spec's
+	// rate windows and the resilience report breaks out per class. Recorded
+	// traces are rejected — their arrivals cannot absorb burst faults.
+	var wlSpec *dessched.WorkloadSpec
+	if *workloadFile != "" {
+		_, spec, err := loadWorkloadArg(*workloadFile)
+		if err != nil {
+			return err
+		}
+		if spec == nil {
+			return fmt.Errorf("chaos needs a spec workload (.json), not a recorded trace")
+		}
+		spec.Seed = *seed
+		spec.Duration = *duration
+		wlSpec = spec
 	}
 
 	var a dessched.Arch
@@ -349,19 +378,40 @@ func cmdChaos(args []string) error {
 		cfg.Cores = *cores
 		cfg.Budget = *budget
 		dessched.ApplyArch(&cfg, a)
-		wl := dessched.PaperWorkload(*rate)
-		wl.Duration = *duration
-		wl.Seed = *seed
 		if faulted {
-			wl.Bursts = plan.Apply(&cfg)
 			cfg.Admission = dessched.AdmissionConfig{Policy: pol, MaxQueue: *maxQueue}
 			if *retryMax > 0 {
 				cfg.Retry = dessched.RetryPolicy{MaxAttempts: *retryMax, Backoff: *retryBackoff}
 			}
 		}
-		jobs, err := dessched.GenerateWorkload(wl)
-		if err != nil {
-			return dessched.Result{}, err
+		var jobs []dessched.Job
+		var err error
+		if wlSpec != nil {
+			sc := *wlSpec
+			sc.Bursts = append([]dessched.WorkloadBurst(nil), wlSpec.Bursts...)
+			if faulted {
+				for _, b := range plan.Apply(&cfg) {
+					sc.Bursts = append(sc.Bursts, dessched.WorkloadBurst{
+						Start: b.Start, End: b.End, Multiplier: b.Multiplier,
+					})
+				}
+			}
+			if jobs, err = dessched.CompileWorkload(&sc); err != nil {
+				return dessched.Result{}, err
+			}
+			if cfg.ClassQuality, err = dessched.WorkloadQualityByClass(&sc); err != nil {
+				return dessched.Result{}, err
+			}
+		} else {
+			wl := dessched.PaperWorkload(*rate)
+			wl.Duration = *duration
+			wl.Seed = *seed
+			if faulted {
+				wl.Bursts = plan.Apply(&cfg)
+			}
+			if jobs, err = dessched.GenerateWorkload(wl); err != nil {
+				return dessched.Result{}, err
+			}
 		}
 		return dessched.Simulate(cfg, jobs, dessched.NewDES(a))
 	}
@@ -376,7 +426,13 @@ func cmdChaos(args []string) error {
 	}
 	fmt.Println("faulted:   ", faulted.String())
 	fmt.Println("fault-free:", twin.String())
-	fmt.Println(dessched.Resilience(twin, faulted).WithRepair(plan.MeanTimeToRepair()).String())
+	rep := dessched.Resilience(twin, faulted).WithRepair(plan.MeanTimeToRepair())
+	fmt.Println(rep.String())
+	for _, c := range rep.Classes {
+		fmt.Printf("  class %-12s retained %.1f%% (%.4f -> %.4f), extra deadline misses %d, shed %.1f%%\n",
+			c.Class, 100*c.QualityRetained, c.BaselineQuality, c.FaultedQuality,
+			c.DeadlinedDelta, 100*c.ShedFraction)
+	}
 	return nil
 }
 
@@ -392,6 +448,7 @@ func cmdSim(args []string) error {
 	partial := fs.Float64("partial", 1.0, "fraction of jobs supporting partial evaluation")
 	duration := fs.Float64("duration", 60, "simulated seconds of arrivals")
 	seed := fs.Uint64("seed", 1, "workload seed")
+	workloadFile := fs.String("workload", "", "declarative workload: a dessched-workload/v1 spec (.json) to compile, or a recorded trace (.csv) to replay; replaces -rate/-partial")
 	traceOut := fs.String("trace", "", "write the executed schedule trace to this CSV file")
 	events := fs.Bool("events", false, "print simulation event counts")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "apply a seeded chaos fault plan to the run (0 = none)")
@@ -427,6 +484,39 @@ func cmdSim(args []string) error {
 		cfg.Retry = dessched.RetryPolicy{MaxAttempts: *retryMax, Backoff: *retryBackoff}
 	}
 
+	// A declarative workload replaces the default single-rate generator:
+	// a spec compiles here (with explicit -seed/-duration overriding its
+	// own), a trace replays as recorded. Per-class quality functions from
+	// the spec flow into the server config.
+	var wlJobs []dessched.Job
+	var wlSpec *dessched.WorkloadSpec
+	if *workloadFile != "" {
+		if *resumeIn != "" {
+			return fmt.Errorf("-resume carries its workload in the snapshot; drop -workload")
+		}
+		var err error
+		wlJobs, wlSpec, err = loadWorkloadArg(*workloadFile)
+		if err != nil {
+			return err
+		}
+		if wlSpec != nil {
+			fs.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "seed":
+					wlSpec.Seed = *seed
+				case "duration":
+					wlSpec.Duration = *duration
+				}
+			})
+			if wlJobs, err = dessched.CompileWorkload(wlSpec); err != nil {
+				return err
+			}
+			if cfg.ClassQuality, err = dessched.WorkloadQualityByClass(wlSpec); err != nil {
+				return err
+			}
+		}
+	}
+
 	fl := simInstrumentFlags{
 		live: *live, spansOut: *spansOut, spansPerfetto: *spansPerfetto,
 		seriesOut: *seriesOut, epoch: *epoch,
@@ -439,12 +529,22 @@ func cmdSim(args []string) error {
 		if err != nil {
 			return err
 		}
-		wl := dessched.PaperWorkload(*rate)
-		wl.Duration = *duration
-		wl.Seed = *seed
-		wl.PartialFraction = *partial
+		jobs := wlJobs
+		if jobs == nil {
+			wl := dessched.PaperWorkload(*rate)
+			wl.Duration = *duration
+			wl.Seed = *seed
+			wl.PartialFraction = *partial
+			if jobs, err = dessched.GenerateWorkload(wl); err != nil {
+				return err
+			}
+		}
+		horizon := *duration
+		if wlSpec != nil {
+			horizon = wlSpec.Duration
+		}
 		hedge := dessched.HedgeConfig{Window: *hedgeWindow, Limit: *hedgeLimit}
-		return runClusterSim(*servers, spec, cfg, wl, *dispatch, *globalBudget,
+		return runClusterSim(*servers, spec, cfg, jobs, horizon, *dispatch, *globalBudget,
 			*chaosSeed, hedge, *checkpointOut, *resumeIn, fl, *traceOut, *perfettoOut, *telemetryOut)
 	}
 	if *hedgeWindow > 0 {
@@ -485,14 +585,35 @@ func cmdSim(args []string) error {
 	wl.Seed = *seed
 	wl.PartialFraction = *partial
 	if *chaosSeed > 0 {
-		cc := dessched.DefaultChaos(*chaosSeed, *duration, *cores)
+		horizon := *duration
+		if wlSpec != nil {
+			horizon = wlSpec.Duration
+		}
+		cc := dessched.DefaultChaos(*chaosSeed, horizon, *cores)
 		cc.MTTR = *mttr
 		plan, err := cc.Generate()
 		if err != nil {
 			return err
 		}
 		fmt.Println(plan.String())
-		wl.Bursts = plan.Apply(&cfg)
+		bursts := plan.Apply(&cfg)
+		switch {
+		case wlSpec != nil:
+			// Burst faults scale the spec's arrival rates; recompile with
+			// the windows appended.
+			for _, b := range bursts {
+				wlSpec.Bursts = append(wlSpec.Bursts, dessched.WorkloadBurst{
+					Start: b.Start, End: b.End, Multiplier: b.Multiplier,
+				})
+			}
+			if wlJobs, err = dessched.CompileWorkload(wlSpec); err != nil {
+				return err
+			}
+		case wlJobs != nil:
+			return fmt.Errorf("-chaos-seed cannot scale a recorded trace's arrivals; replay a spec workload or use -rate")
+		default:
+			wl.Bursts = bursts
+		}
 	}
 
 	// Instrumentation: a schedule trace (CSV and/or Perfetto), a metrics
@@ -581,10 +702,15 @@ func cmdSim(args []string) error {
 			return err
 		}
 	} else {
-		jobs, err := dessched.GenerateWorkload(wl)
-		if err != nil {
-			return err
+		jobs := wlJobs
+		if jobs == nil {
+			generated, err := dessched.GenerateWorkload(wl)
+			if err != nil {
+				return err
+			}
+			jobs = generated
 		}
+		var err error
 		if res, err = dessched.Simulate(cfg, jobs, p, opts...); err != nil {
 			return err
 		}
@@ -593,9 +719,16 @@ func cmdSim(args []string) error {
 		fmt.Printf("checkpoint: %d snapshots taken, latest at %s\n", snapshots, *checkpointOut)
 	}
 	fmt.Println(res.String())
-	fmt.Printf("offered load: %.0f units/s over capacity %.0f units/s (rho %.2f)\n",
-		wl.OfferedLoad(), float64(*cores)*cfg.Power.SpeedFor(*budget/float64(*cores))*1000,
-		wl.OfferedLoad()/(float64(*cores)*cfg.Power.SpeedFor(*budget/float64(*cores))*1000))
+	printClassResults(res.Classes)
+	capacity := float64(*cores) * cfg.Power.SpeedFor(*budget/float64(*cores)) * 1000
+	switch {
+	case wlSpec != nil:
+		fmt.Printf("offered load: %.0f units/s over capacity %.0f units/s (rho %.2f)\n",
+			wlSpec.OfferedLoad(), capacity, wlSpec.OfferedLoad()/capacity)
+	case wlJobs == nil:
+		fmt.Printf("offered load: %.0f units/s over capacity %.0f units/s (rho %.2f)\n",
+			wl.OfferedLoad(), capacity, wl.OfferedLoad()/capacity)
+	}
 
 	if counter != nil {
 		fmt.Print("events:")

@@ -29,6 +29,7 @@ func cmdSweep(args []string) error {
 	globalFrac := fs.Float64("global-frac", 0, "global budget as a fraction of summed nominal budgets (0 = no hierarchy)")
 	epoch := fs.Float64("epoch", 0, "cluster budget-reflow epoch, s (0 = default)")
 	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS); never affects results")
+	workloadFile := fs.String("workload", "", "declarative workload spec (.json); replaces -rates (the spec fixes per-class rates)")
 	telemetryOn := fs.Bool("telemetry", false, "attach a metrics snapshot to every cell (JSON output only)")
 	outJSON := fs.String("out", "", "write the JSON report to this file (\"-\" = stdout)")
 	outCSV := fs.String("csv", "", "write the per-cell CSV to this file (\"-\" = stdout)")
@@ -44,7 +45,20 @@ func cmdSweep(args []string) error {
 		Epoch:            *epoch,
 	}
 	var err error
-	if grid.Rates, err = parseFloats(*rates); err != nil {
+	if *workloadFile != "" {
+		ratesSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "rates" {
+				ratesSet = true
+			}
+		})
+		if ratesSet {
+			return fmt.Errorf("-rates cannot be combined with -workload (the spec fixes per-class rates)")
+		}
+		if grid.Workload, err = readWorkloadSpec(*workloadFile); err != nil {
+			return err
+		}
+	} else if grid.Rates, err = parseFloats(*rates); err != nil {
 		return fmt.Errorf("-rates: %w", err)
 	}
 	if grid.Budgets, err = parseFloats(*budgets); err != nil {
@@ -66,8 +80,14 @@ func cmdSweep(args []string) error {
 	defer stop()
 
 	cells := grid.Cells()
-	fmt.Fprintf(os.Stderr, "sweep: %d cells (%d rates × %d cores × %d budgets × %d policies × %d seeds)\n",
-		len(cells), len(grid.Rates), len(grid.Cores), len(grid.Budgets), len(grid.Policies), len(grid.Seeds))
+	if grid.Workload != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells (workload %q, %d classes × %d cores × %d budgets × %d policies × %d seeds)\n",
+			len(cells), grid.Workload.Name, len(grid.Workload.Classes),
+			len(grid.Cores), len(grid.Budgets), len(grid.Policies), len(grid.Seeds))
+	} else {
+		fmt.Fprintf(os.Stderr, "sweep: %d cells (%d rates × %d cores × %d budgets × %d policies × %d seeds)\n",
+			len(cells), len(grid.Rates), len(grid.Cores), len(grid.Budgets), len(grid.Policies), len(grid.Seeds))
+	}
 
 	rep, err := dessched.RunSweep(ctx, grid, dessched.SweepOptions{Workers: *workers, Telemetry: *telemetryOn})
 	if err != nil {

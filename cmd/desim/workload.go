@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dessched"
+)
+
+// cmdWorkload manages declarative dessched-workload/v1 specs: -validate
+// checks specs (and .csv traces) without running anything, -describe
+// prints a human-readable summary, and -generate compiles a spec into a
+// replayable v2 trace CSV. Exactly one mode applies; -describe is the
+// default.
+func cmdWorkload(args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	validate := fs.Bool("validate", false, "validate the given spec (.json) or trace (.csv) files; exit 1 on the first invalid one")
+	describe := fs.Bool("describe", false, "print a human-readable summary of each spec (default mode)")
+	generate := fs.Bool("generate", false, "compile one spec into a job stream and write it as a v2 trace CSV (needs -out)")
+	out := fs.String("out", "", "trace CSV destination for -generate (\"-\" = stdout)")
+	seed := fs.Uint64("seed", 0, "override the spec's seed (with -generate)")
+	duration := fs.Float64("duration", 0, "override the spec's duration, s (with -generate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("need at least one spec file (desim workload -validate spec.json)")
+	}
+	modes := 0
+	for _, m := range []bool{*validate, *describe, *generate} {
+		if m {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-validate, -describe, and -generate are mutually exclusive")
+	}
+
+	if *validate {
+		for _, path := range files {
+			if strings.EqualFold(filepath.Ext(path), ".csv") {
+				f, err := os.Open(path)
+				if err != nil {
+					return err
+				}
+				jobs, err := dessched.LoadJobs(f)
+				f.Close()
+				if err != nil {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				fmt.Printf("ok: %s (trace, %d jobs)\n", path, len(jobs))
+				continue
+			}
+			spec, err := readWorkloadSpec(path)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("ok: %s (spec %q, %d classes, %.0f s horizon)\n",
+				path, spec.Name, len(spec.Classes), spec.Duration)
+		}
+		return nil
+	}
+
+	if *generate {
+		if len(files) != 1 {
+			return fmt.Errorf("-generate takes exactly one spec file")
+		}
+		if *out == "" {
+			return fmt.Errorf("-generate needs -out <trace.csv>")
+		}
+		spec, err := readWorkloadSpec(files[0])
+		if err != nil {
+			return err
+		}
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		if *duration != 0 {
+			spec.Duration = *duration
+		}
+		jobs, err := dessched.CompileWorkload(spec)
+		if err != nil {
+			return err
+		}
+		if err := writeTo(*out, func(f *os.File) error { return dessched.SaveJobs(f, jobs) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "workload: %d jobs compiled from %s (seed %d, %.0f s) to %s\n",
+			len(jobs), files[0], spec.Seed, spec.Duration, *out)
+		return nil
+	}
+
+	for _, path := range files {
+		spec, err := readWorkloadSpec(path)
+		if err != nil {
+			return err
+		}
+		fmt.Print(spec.Describe())
+	}
+	return nil
+}
+
+// readWorkloadSpec decodes and validates one spec file, prefixing errors
+// with the path.
+func readWorkloadSpec(path string) (*dessched.WorkloadSpec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := dessched.DecodeWorkloadSpec(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// loadWorkloadArg resolves a -workload flag value: a .csv path replays a
+// recorded trace (no spec, no per-class quality overrides), anything else
+// decodes as a dessched-workload/v1 spec and compiles it. The returned
+// spec is nil for traces.
+func loadWorkloadArg(path string) ([]dessched.Job, *dessched.WorkloadSpec, error) {
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		jobs, err := dessched.LoadJobs(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return jobs, nil, nil
+	}
+	spec, err := readWorkloadSpec(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, spec, nil
+}
+
+// printClassResults renders per-class breakdown lines after a classed run.
+func printClassResults(classes []dessched.ClassResult) {
+	for _, c := range classes {
+		fmt.Printf("  class %-12s norm quality %.4f (%.2f / %.2f), arrived %d, completed %d, deadlined %d, shed %d\n",
+			c.Class, c.NormQuality, c.Quality, c.MaxQuality, c.Arrived, c.Completed, c.Deadlined, c.Shed)
+	}
+}

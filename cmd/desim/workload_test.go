@@ -1,0 +1,77 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dessched"
+)
+
+const examplesDir = "../../examples/workloads"
+
+// TestCmdWorkloadValidateExamples: the shipped example specs pass the
+// same validation CI's workload-smoke step runs.
+func TestCmdWorkloadValidateExamples(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join(examplesDir, "*.json"))
+	if err != nil || len(specs) < 3 {
+		t.Fatalf("example specs: %v (found %d)", err, len(specs))
+	}
+	if err := cmdWorkload(append([]string{"-validate"}, specs...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCmdWorkloadGenerateRoundTrip: -generate writes a v2 trace that
+// replays into exactly the stream the spec compiles to, class labels
+// included — record once, replay bit-identically.
+func TestCmdWorkloadGenerateRoundTrip(t *testing.T) {
+	specPath := filepath.Join(examplesDir, "bimodal.json")
+	trace := filepath.Join(t.TempDir(), "trace.csv")
+	if err := cmdWorkload([]string{"-generate", "-out", trace, "-duration", "10", specPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := readWorkloadSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Duration = 10
+	want, err := dessched.CompileWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, gotSpec, err := loadWorkloadArg(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec != nil {
+		t.Fatal("trace replay resolved to a spec")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed trace differs from compiled stream: %d vs %d jobs", len(got), len(want))
+	}
+	classes := map[string]bool{}
+	for _, j := range got {
+		classes[j.Class] = true
+	}
+	if !classes["interactive"] || !classes["batch"] {
+		t.Fatalf("trace lost class labels: %v", classes)
+	}
+}
+
+func TestCmdWorkloadErrors(t *testing.T) {
+	if err := cmdWorkload([]string{"-validate"}); err == nil {
+		t.Error("no files accepted")
+	}
+	if err := cmdWorkload([]string{"-validate", "-generate", "x.json"}); err == nil {
+		t.Error("conflicting modes accepted")
+	}
+	if err := cmdWorkload([]string{"-generate", "a.json", "b.json"}); err == nil {
+		t.Error("-generate with two files accepted")
+	}
+	if err := cmdWorkload([]string{"-validate", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

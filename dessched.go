@@ -50,6 +50,7 @@ import (
 	"dessched/internal/sim"
 	"dessched/internal/trace"
 	"dessched/internal/workload"
+	"dessched/internal/workloadspec"
 )
 
 // Core model types.
@@ -320,6 +321,48 @@ func SaveJobs(w io.Writer, jobs []Job) error { return workload.SaveJobs(w, jobs)
 
 // LoadJobs parses a SaveJobs stream and validates it.
 func LoadJobs(r io.Reader) ([]Job, error) { return workload.LoadJobs(r) }
+
+// Declarative workloads (dessched-workload/v1).
+type (
+	// WorkloadSpec is a validated declarative workload: named SLO job
+	// classes with per-class rates, deadlines, demand distributions,
+	// quality functions, and multi-period rate schedules, compiled
+	// deterministically into a job stream.
+	WorkloadSpec = workloadspec.Spec
+	// WorkloadClass is one named job class of a WorkloadSpec.
+	WorkloadClass = workloadspec.ClassSpec
+	// WorkloadBurst is a rate-multiplier window of a WorkloadSpec (the
+	// declarative counterpart of Burst).
+	WorkloadBurst = workloadspec.BurstSpec
+	// ClassResult is one job class's slice of a simulation result; classed
+	// runs carry one per class in Result.Classes / ClusterResult.Classes.
+	ClassResult = sim.ClassResult
+	// ClassResilience is one job class's slice of a resilience report.
+	ClassResilience = metrics.ClassResilience
+)
+
+// WorkloadSchemaV1 is the schema tag of v1 workload specs.
+const WorkloadSchemaV1 = workloadspec.SchemaV1
+
+// DecodeWorkloadSpec parses and validates a JSON workload spec; errors are
+// typed *cfgerr.Error values.
+func DecodeWorkloadSpec(b []byte) (*WorkloadSpec, error) { return workloadspec.Decode(b) }
+
+// CompileWorkload compiles a spec into its job stream — deterministic per
+// spec seed, merged across classes by release time with a stable tie-break.
+func CompileWorkload(s *WorkloadSpec) ([]Job, error) { return workloadspec.Compile(s) }
+
+// WorkloadQualityByClass maps class names to the quality functions the spec
+// selects for them (nil when no class overrides the server default); assign
+// it to ServerConfig.ClassQuality.
+func WorkloadQualityByClass(s *WorkloadSpec) (map[string]QualityFunction, error) {
+	return s.QualityByClass()
+}
+
+// PaperWorkloadSpec is the declarative equivalent of PaperWorkload: a
+// single-class spec that compiles bit-identically to
+// GenerateWorkload(PaperWorkload(rate)) for the same seed and duration.
+func PaperWorkloadSpec(rate float64) *WorkloadSpec { return workloadspec.PaperDefault(rate) }
 
 // Experiments returns the runners that regenerate every evaluation figure.
 func Experiments() []Experiment { return experiments.All() }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/json"
 	"math"
+	"sort"
 
 	"dessched/internal/cfgerr"
 	"dessched/internal/job"
@@ -116,7 +117,7 @@ func Resume(cfg Config, jobs []job.Job, snap *Snapshot) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	if err := job.ValidateAll(jobs); err != nil {
+	if err := job.ValidateAllByClass(jobs); err != nil {
 		return Result{}, err
 	}
 	if snap == nil {
@@ -178,6 +179,24 @@ func fingerprintCluster(cfg Config, jobs []job.Job) uint64 {
 			f.f64(cfg.Server.Quality.Eval(x))
 		}
 	}
+	// Class-quality overrides and job classes are hashed only when present,
+	// keeping fingerprints of legacy class-free runs unchanged.
+	if len(cfg.Server.ClassQuality) > 0 {
+		names := make([]string, 0, len(cfg.Server.ClassQuality))
+		for n := range cfg.Server.ClassQuality {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		f.u64(uint64(len(names)))
+		for _, n := range names {
+			q := cfg.Server.ClassQuality[n]
+			f.str(n)
+			f.str(q.Name())
+			for _, x := range []float64{1, 10, 100, 500, 1000} {
+				f.f64(q.Eval(x))
+			}
+		}
+	}
 	f.u64(uint64(len(cfg.Faults)))
 	for _, fs := range cfg.Faults {
 		f.u64(uint64(len(fs)))
@@ -195,6 +214,9 @@ func fingerprintCluster(cfg Config, jobs []job.Job) uint64 {
 		f.f64(j.Deadline)
 		f.f64(j.Demand)
 		f.b(j.Partial)
+		if j.Class != "" {
+			f.str(j.Class)
+		}
 	}
 	return f.h
 }

@@ -64,6 +64,7 @@ func (h HedgeConfig) Validate() error {
 type hedgePair struct {
 	id        job.ID
 	demand    float64
+	class     string
 	primary   int
 	secondary int
 }
@@ -97,7 +98,7 @@ func applyHedges(h HedgeConfig, servers, cores int, outages [][][]interval, sort
 			continue
 		}
 		seen[j.ID] = true
-		pairs = append(pairs, hedgePair{id: j.ID, demand: j.Demand, primary: p, secondary: sec})
+		pairs = append(pairs, hedgePair{id: j.ID, demand: j.Demand, class: j.Class, primary: p, secondary: sec})
 		perServer[sec] = append(perServer[sec], j)
 	}
 	return perServer, pairs
@@ -121,13 +122,22 @@ func secondaryWins(po, so sim.JobOutcome) bool {
 
 // resolveHedges folds the hedge pairs into the aggregate: for every pair the
 // losing replica's quality, arrival, and outcome are subtracted (qmax
-// evaluates the quality function at a job's full demand, for the MaxQuality
-// normalizer), and the hedge counters are filled in. Pairs are resolved in
-// dispatch order, so the subtraction sequence — and with it the float
-// result — is deterministic.
-func resolveHedges(res *Result, pairs []hedgePair, results []sim.Result, qmax func(float64) float64) {
+// evaluates the job class's quality function at a job's full demand, for
+// the MaxQuality normalizer) — from the fleet totals and from the job's
+// per-class entry alike — and the hedge counters are filled in. Pairs are
+// resolved in dispatch order, so the subtraction sequence — and with it the
+// float result — is deterministic.
+func resolveHedges(res *Result, pairs []hedgePair, results []sim.Result, qmax func(string, float64) float64) {
 	if len(pairs) == 0 {
 		return
+	}
+	classEntry := func(name string) *sim.ClassResult {
+		for i := range res.Classes {
+			if res.Classes[i].Class == name {
+				return &res.Classes[i]
+			}
+		}
+		return nil
 	}
 	byID := make([]map[job.ID]sim.JobOutcome, len(results))
 	lookup := func(s int, id job.ID) (sim.JobOutcome, bool) {
@@ -159,7 +169,7 @@ func resolveHedges(res *Result, pairs []hedgePair, results []sim.Result, qmax fu
 		}
 		res.Hedged++
 		res.Quality -= loser.Quality
-		res.MaxQuality -= qmax(p.demand)
+		res.MaxQuality -= qmax(p.class, p.demand)
 		res.Arrived--
 		switch loser.Reason {
 		case sim.Completed:
@@ -172,6 +182,23 @@ func resolveHedges(res *Result, pairs []hedgePair, results []sim.Result, qmax fu
 			res.Shed--
 		case sim.Abandoned:
 			res.Abandoned--
+		}
+		if cr := classEntry(p.class); cr != nil {
+			cr.Quality -= loser.Quality
+			cr.MaxQuality -= qmax(p.class, p.demand)
+			cr.Arrived--
+			switch loser.Reason {
+			case sim.Completed:
+				cr.Completed--
+			case sim.DeadlineHit:
+				cr.Deadlined--
+			case sim.PolicyDiscard:
+				cr.Discarded--
+			case sim.Shed:
+				cr.Shed--
+			case sim.Abandoned:
+				cr.Abandoned--
+			}
 		}
 	}
 }

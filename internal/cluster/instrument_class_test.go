@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dessched/internal/telemetry"
+	"dessched/internal/workloadspec"
+)
+
+// classedRun executes a 2-class cluster run (compiled from a declarative
+// dessched-workload/v1 spec) with the metrics registry and epoch-series
+// sinks attached, returning the serialized expositions and the result.
+func classedRun(t *testing.T, workers int) (metrics, series []byte, res Result) {
+	t.Helper()
+	pf := 0.5
+	spec := &workloadspec.Spec{
+		Schema:   workloadspec.SchemaV1,
+		Name:     "cluster-two-class",
+		Duration: 8,
+		Seed:     11,
+		Classes: []workloadspec.ClassSpec{
+			{
+				Name:     "interactive",
+				Rate:     80,
+				Deadline: 0.15,
+				Demand:   workloadspec.DemandSpec{Dist: "bounded-pareto", Alpha: 3, Min: 130, Max: 1000},
+				Quality:  &workloadspec.QualitySpec{Kind: "exp", C: 0.003},
+			},
+			{
+				Name:            "batch",
+				Rate:            10,
+				Deadline:        1,
+				Demand:          workloadspec.DemandSpec{Dist: "uniform", Min: 200, Max: 800},
+				Quality:         &workloadspec.QualitySpec{Kind: "linear", Span: 800},
+				PartialFraction: &pf,
+				Priority:        1,
+			},
+		},
+	}
+	jobs, err := workloadspec.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(3)
+	cfg.Workers = workers
+	if cfg.Server.ClassQuality, err = spec.QualityByClass(); err != nil {
+		t.Fatal(err)
+	}
+	ins := &Instrument{
+		Registry: telemetry.NewRegistry(),
+		Series:   telemetry.NewSeriesRecorder(0),
+	}
+	cfg.Instrument = ins
+
+	res, err = Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb, rb bytes.Buffer
+	if err := telemetry.WritePrometheus(&mb, ins.Registry.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteSeriesJSON(&rb, ins.Series); err != nil {
+		t.Fatal(err)
+	}
+	return mb.Bytes(), rb.Bytes(), res
+}
+
+// TestClassedInstrumentationAcrossWorkers is the classed flavor of the
+// determinism guarantee: on a 2-class cluster run, the class-labeled
+// sim_class_* metric families, the epoch series, and the per-class result
+// breakdown are byte- and bit-identical for Workers 1, 4, and 16.
+func TestClassedInstrumentationAcrossWorkers(t *testing.T) {
+	metrics1, series1, res1 := classedRun(t, 1)
+
+	text := string(metrics1)
+	for _, want := range []string{
+		`sim_class_jobs_total{server="0",class="batch",outcome="completed"}`,
+		`sim_class_jobs_total{server="0",class="interactive",outcome="completed"}`,
+		`sim_class_norm_quality{server="2",class="batch"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing class-labeled sample %s", want)
+		}
+	}
+	if len(res1.Classes) != 2 || res1.Classes[0].Class != "batch" || res1.Classes[1].Class != "interactive" {
+		t.Fatalf("classes = %+v", res1.Classes)
+	}
+
+	for _, workers := range []int{4, 16} {
+		metricsN, seriesN, resN := classedRun(t, workers)
+		if !bytes.Equal(metrics1, metricsN) {
+			t.Errorf("class-labeled metrics differ between Workers=1 and Workers=%d", workers)
+		}
+		if !bytes.Equal(series1, seriesN) {
+			t.Errorf("epoch series differs between Workers=1 and Workers=%d", workers)
+		}
+		if !reflect.DeepEqual(res1.Classes, resN.Classes) {
+			t.Errorf("per-class results differ between Workers=1 and Workers=%d:\n%+v\n%+v",
+				workers, res1.Classes, resN.Classes)
+		}
+		exactlyEqual(t, res1, resN, "classed")
+	}
+}

@@ -7,10 +7,12 @@ import (
 
 	"dessched/internal/cfgerr"
 	"dessched/internal/cluster"
+	"dessched/internal/job"
 	"dessched/internal/sim"
 	"dessched/internal/sweep"
 	"dessched/internal/telemetry"
 	"dessched/internal/workload"
+	"dessched/internal/workloadspec"
 )
 
 // Resource ceilings for the synchronous simulation endpoints: requests
@@ -38,10 +40,16 @@ type ClusterSimRequest struct {
 	GlobalBudget float64 `json:"global_budget_w"`
 	Epoch        float64 `json:"epoch_s"` // budget-reflow granularity, default 1
 
-	Rate     float64  `json:"rate"` // fleet-wide arrival rate, required
+	Rate     float64  `json:"rate"` // fleet-wide arrival rate, required unless workload is set
 	Duration float64  `json:"duration_s"`
 	Seed     uint64   `json:"seed"`
 	Partial  *float64 `json:"partial_fraction"`
+
+	// Workload is an inline dessched-workload/v1 spec replacing the
+	// default single-rate generator; conflicts with rate and
+	// partial_fraction, and duration_s/seed override the spec's own. The
+	// response then breaks the fleet run out per class in classes.
+	Workload *workloadspec.Spec `json:"workload,omitempty"`
 
 	// ChaosSeed, when set, samples an independent core-fault schedule for
 	// every server (see cluster.ChaosFaults).
@@ -83,6 +91,10 @@ type ClusterSimResponse struct {
 	Shed          int     `json:"shed,omitempty"`
 	SpanS         float64 `json:"span_s"`
 
+	// Classes breaks the fleet run out per SLO job class for classed
+	// workloads, sorted by class name; identical for any worker count.
+	Classes []sim.ClassResult `json:"classes,omitempty"`
+
 	PerServer []ClusterServerJSON `json:"per_server"`
 
 	// Telemetry and Series are attached only when requested.
@@ -109,7 +121,7 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		return ClusterSimResponse{}, cfgerr.New("httpapi", "servers",
 			"cluster: servers must be in [1, %d], got %d", maxClusterServers, req.Servers)
 	}
-	if req.Rate <= 0 {
+	if req.Workload == nil && req.Rate <= 0 {
 		return ClusterSimResponse{}, cfgerr.New("httpapi", "rate", "cluster: rate must be positive, got %g", req.Rate)
 	}
 	dispatch, err := cluster.ParseDispatch(req.Dispatch)
@@ -126,17 +138,52 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 	}
 	server.Context = ctx
 
-	wl := workload.DefaultConfig(req.Rate)
-	if req.Duration > 0 {
-		wl.Duration = req.Duration
+	// Either the default single-rate stream or an inline declarative
+	// spec; horizon is the stream length the chaos sampler covers.
+	var jobs []job.Job
+	horizon := 30.0
+	if req.Workload != nil {
+		if req.Rate != 0 {
+			return ClusterSimResponse{}, cfgerr.New("httpapi", "rate",
+				"cluster: rate conflicts with workload (the spec fixes per-class rates)")
+		}
+		if req.Partial != nil {
+			return ClusterSimResponse{}, cfgerr.New("httpapi", "partial_fraction",
+				"cluster: partial_fraction conflicts with workload (set per-class partial fractions in the spec)")
+		}
+		if req.Duration > 0 {
+			req.Workload.Duration = req.Duration
+		}
+		if req.Seed > 0 {
+			req.Workload.Seed = req.Seed
+		}
+		if err := req.Workload.Validate(); err != nil {
+			return ClusterSimResponse{}, err
+		}
+		if server.ClassQuality, err = req.Workload.QualityByClass(); err != nil {
+			return ClusterSimResponse{}, err
+		}
+		if jobs, err = workloadspec.Compile(req.Workload); err != nil {
+			return ClusterSimResponse{}, err
+		}
+		horizon = req.Workload.Duration
 	} else {
-		wl.Duration = 30
-	}
-	if req.Seed > 0 {
-		wl.Seed = req.Seed
-	}
-	if req.Partial != nil {
-		wl.PartialFraction = *req.Partial
+		wl := workload.DefaultConfig(req.Rate)
+		if req.Duration > 0 {
+			wl.Duration = req.Duration
+		} else {
+			wl.Duration = 30
+		}
+		if req.Seed > 0 {
+			wl.Seed = req.Seed
+		}
+		if req.Partial != nil {
+			wl.PartialFraction = *req.Partial
+		}
+		if jobs, err = workload.Generate(wl); err != nil {
+			return ClusterSimResponse{}, err
+		}
+		horizon = wl.Duration
 	}
 
 	cfg := cluster.Config{
@@ -159,17 +206,13 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		cfg.Instrument = ins
 	}
 	if req.ChaosSeed != nil {
-		faults, err := cluster.ChaosFaults(*req.ChaosSeed, wl.Duration, cfg.Servers, server.Cores)
+		faults, err := cluster.ChaosFaults(*req.ChaosSeed, horizon, cfg.Servers, server.Cores)
 		if err != nil {
 			return ClusterSimResponse{}, err
 		}
 		cfg.Faults = faults
 	}
 
-	jobs, err := workload.Generate(wl)
-	if err != nil {
-		return ClusterSimResponse{}, err
-	}
 	res, err := cluster.Run(cfg, jobs)
 	if err != nil {
 		return ClusterSimResponse{}, err
@@ -188,6 +231,7 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		Deadlined:     res.Deadlined,
 		Shed:          res.Shed,
 		SpanS:         res.Span,
+		Classes:       res.Classes,
 	}
 	for _, sr := range res.PerServer {
 		resp.PerServer = append(resp.PerServer, ClusterServerJSON{
@@ -227,6 +271,10 @@ type SweepRequest struct {
 	GlobalBudgetFrac float64 `json:"global_budget_frac,omitempty"`
 	Epoch            float64 `json:"epoch_s,omitempty"`
 
+	// Workload replaces the rates axis with a declarative spec (see
+	// sweep.Grid.Workload); conflicts with rates.
+	Workload *workloadspec.Spec `json:"workload,omitempty"`
+
 	Workers   int  `json:"workers,omitempty"`
 	Telemetry bool `json:"telemetry,omitempty"`
 }
@@ -257,6 +305,7 @@ func runSweep(ctx context.Context, req SweepRequest) (sweep.Report, error) {
 		Dispatch:         req.Dispatch,
 		GlobalBudgetFrac: req.GlobalBudgetFrac,
 		Epoch:            req.Epoch,
+		Workload:         req.Workload,
 	}
 	if err := grid.Validate(); err != nil {
 		return sweep.Report{}, err

@@ -39,10 +39,12 @@ import (
 	"dessched/internal/cfgerr"
 	"dessched/internal/core"
 	"dessched/internal/experiments"
+	"dessched/internal/job"
 	"dessched/internal/metrics"
 	"dessched/internal/power"
 	"dessched/internal/sim"
 	"dessched/internal/workload"
+	"dessched/internal/workloadspec"
 )
 
 // NewMux returns the service's routing table. Router-generated errors —
@@ -173,10 +175,17 @@ type SimRequest struct {
 	Discrete bool     `json:"discrete"` // 0.5..3.0 GHz ladder
 	Cores    int      `json:"cores"`    // default 16
 	Budget   float64  `json:"budget_w"` // default 320
-	Rate     float64  `json:"rate"`     // required
+	Rate     float64  `json:"rate"`     // required unless workload is set
 	Duration float64  `json:"duration_s"`
 	Seed     uint64   `json:"seed"`
 	Partial  *float64 `json:"partial_fraction"` // default 1.0
+
+	// Workload is an inline dessched-workload/v1 spec replacing the
+	// default single-rate generator: per-class rates, deadlines, demands,
+	// and quality functions. Conflicts with rate and partial_fraction;
+	// duration_s and seed, when set, override the spec's own. The response
+	// then carries per-class breakdowns in classes.
+	Workload *workloadspec.Spec `json:"workload,omitempty"`
 
 	// Fault injection. When any fault is present the response carries a
 	// resilience report comparing the run against its fault-free twin.
@@ -208,6 +217,10 @@ type SimResponse struct {
 	Requeued         int     `json:"requeued,omitempty"`
 	Invocations      int     `json:"invocations"`
 	SpanS            float64 `json:"span_s"`
+
+	// Classes breaks the run out per SLO job class for classed workloads
+	// (requests with a workload spec), sorted by class name.
+	Classes []sim.ClassResult `json:"classes,omitempty"`
 
 	Resilience *metrics.ResilienceReport `json:"resilience,omitempty"`
 }
@@ -262,9 +275,6 @@ func simPolicy(req SimRequest, cfg *sim.Config) (sim.Policy, error) {
 }
 
 func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
-	if req.Rate <= 0 {
-		return SimResponse{}, fmt.Errorf("rate must be positive")
-	}
 	cfg := sim.PaperConfig()
 	if req.Cores > 0 {
 		cfg.Cores = req.Cores
@@ -276,20 +286,55 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 		cfg.Ladder = power.DefaultLadder
 	}
 
-	wl := workload.DefaultConfig(req.Rate)
-	if req.Duration > 0 {
-		wl.Duration = req.Duration
+	// The workload is either the default single-rate generator or an
+	// inline declarative spec; either way horizon is the stream length
+	// the chaos sampler covers.
+	var wl workload.Config
+	horizon := 30.0
+	if req.Workload != nil {
+		if req.Rate != 0 {
+			return SimResponse{}, fmt.Errorf("rate conflicts with workload (the spec fixes per-class rates)")
+		}
+		if req.Partial != nil {
+			return SimResponse{}, fmt.Errorf("partial_fraction conflicts with workload (set per-class partial fractions in the spec)")
+		}
+		if req.Duration > 0 {
+			req.Workload.Duration = req.Duration
+		}
+		if req.Seed > 0 {
+			req.Workload.Seed = req.Seed
+		}
+		if err := req.Workload.Validate(); err != nil {
+			return SimResponse{}, err
+		}
+		var err error
+		if cfg.ClassQuality, err = req.Workload.QualityByClass(); err != nil {
+			return SimResponse{}, err
+		}
+		horizon = req.Workload.Duration
 	} else {
-		wl.Duration = 30
-	}
-	if req.Seed > 0 {
-		wl.Seed = req.Seed
-	}
-	if req.Partial != nil {
-		wl.PartialFraction = *req.Partial
+		if req.Rate <= 0 {
+			return SimResponse{}, fmt.Errorf("rate must be positive")
+		}
+		wl = workload.DefaultConfig(req.Rate)
+		if req.Duration > 0 {
+			wl.Duration = req.Duration
+		} else {
+			wl.Duration = 30
+		}
+		if req.Seed > 0 {
+			wl.Seed = req.Seed
+		}
+		if req.Partial != nil {
+			wl.PartialFraction = *req.Partial
+		}
+		horizon = wl.Duration
 	}
 
 	// Fault injection: explicit faults plus an optional sampled chaos plan.
+	// Burst faults are kept aside so the fault-free twin can run without
+	// them (spec workloads absorb them as extra rate windows).
+	var bursts []workload.Burst
 	for _, f := range req.Faults {
 		cfg.Faults = append(cfg.Faults, sim.Fault{Core: f.Core, Start: f.Start, End: f.End, SpeedFactor: f.SpeedFactor})
 	}
@@ -297,14 +342,14 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 		cfg.BudgetFaults = append(cfg.BudgetFaults, sim.BudgetFault{Start: f.Start, End: f.End, Fraction: f.Fraction})
 	}
 	for _, b := range req.Bursts {
-		wl.Bursts = append(wl.Bursts, workload.Burst{Start: b.Start, End: b.End, Multiplier: b.Multiplier})
+		bursts = append(bursts, workload.Burst{Start: b.Start, End: b.End, Multiplier: b.Multiplier})
 	}
 	if req.ChaosSeed != nil {
-		plan, err := sim.DefaultChaos(*req.ChaosSeed, wl.Duration, cfg.Cores).Generate()
+		plan, err := sim.DefaultChaos(*req.ChaosSeed, horizon, cfg.Cores).Generate()
 		if err != nil {
 			return SimResponse{}, err
 		}
-		wl.Bursts = append(wl.Bursts, plan.Apply(&cfg)...)
+		bursts = append(bursts, plan.Apply(&cfg)...)
 	}
 	if req.Admission != nil {
 		pol, err := admission.ParsePolicy(req.Admission.Policy)
@@ -313,20 +358,32 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 		}
 		cfg.Admission = admission.Config{Policy: pol, MaxQueue: req.Admission.MaxQueue}
 	}
-	faulted := len(cfg.Faults) > 0 || len(cfg.BudgetFaults) > 0 || len(wl.Bursts) > 0
+	faulted := len(cfg.Faults) > 0 || len(cfg.BudgetFaults) > 0 || len(bursts) > 0
 
-	run := func(cfg sim.Config, wl workload.Config) (sim.Result, error) {
+	run := func(cfg sim.Config, bursts []workload.Burst) (sim.Result, error) {
 		p, err := simPolicy(req, &cfg)
 		if err != nil {
 			return sim.Result{}, err
 		}
-		jobs, err := workload.Generate(wl)
+		var jobs []job.Job
+		if req.Workload != nil {
+			sc := *req.Workload
+			sc.Bursts = append([]workloadspec.BurstSpec(nil), req.Workload.Bursts...)
+			for _, b := range bursts {
+				sc.Bursts = append(sc.Bursts, workloadspec.BurstSpec{Start: b.Start, End: b.End, Multiplier: b.Multiplier})
+			}
+			jobs, err = workloadspec.Compile(&sc)
+		} else {
+			wlc := wl
+			wlc.Bursts = bursts
+			jobs, err = workload.Generate(wlc)
+		}
 		if err != nil {
 			return sim.Result{}, err
 		}
 		return sim.Run(cfg, jobs, p)
 	}
-	res, err := run(cfg, wl)
+	res, err := run(cfg, bursts)
 	if err != nil {
 		return SimResponse{}, err
 	}
@@ -345,6 +402,7 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 		Requeued:         res.Requeued,
 		Invocations:      res.Invocation,
 		SpanS:            res.Span,
+		Classes:          res.Classes,
 	}
 	if faulted {
 		if err := ctx.Err(); err != nil {
@@ -353,9 +411,7 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 		twinCfg := cfg
 		twinCfg.Faults = nil
 		twinCfg.BudgetFaults = nil
-		twinWl := wl
-		twinWl.Bursts = nil
-		twin, err := run(twinCfg, twinWl)
+		twin, err := run(twinCfg, nil)
 		if err != nil {
 			return SimResponse{}, err
 		}

@@ -1,0 +1,158 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// twoClassWorkloadJSON is an inline dessched-workload/v1 spec used across
+// the endpoint tests: an interactive class (150 ms) and a batch class (1 s).
+const twoClassWorkloadJSON = `{
+	"schema": "dessched-workload/v1",
+	"name": "api-two-class",
+	"duration_s": 10,
+	"seed": 7,
+	"classes": [
+		{
+			"name": "interactive",
+			"rate": 80,
+			"deadline_s": 0.15,
+			"demand": {"dist": "bounded-pareto", "alpha": 3, "min": 130, "max": 1000},
+			"quality": {"kind": "exp", "c": 0.003}
+		},
+		{
+			"name": "batch",
+			"rate": 10,
+			"deadline_s": 1,
+			"demand": {"dist": "uniform", "min": 200, "max": 800},
+			"quality": {"kind": "linear", "span": 800},
+			"partial_fraction": 0.5,
+			"priority": 1
+		}
+	]
+}`
+
+func TestSimulateWorkloadSpec(t *testing.T) {
+	srv := server(t)
+	resp, raw := postJSON(t, srv.URL+"/v1/simulate", `{"policy":"des","cores":4,"budget_w":80,"workload":`+twoClassWorkloadJSON+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SimResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Classes) != 2 || out.Classes[0].Class != "batch" || out.Classes[1].Class != "interactive" {
+		t.Fatalf("classes = %+v", out.Classes)
+	}
+	for _, c := range out.Classes {
+		if c.Arrived == 0 {
+			t.Errorf("class %s: no arrivals", c.Class)
+		}
+		if c.NormQuality <= 0 || c.NormQuality > 1 {
+			t.Errorf("class %s: norm quality %g out of range", c.Class, c.NormQuality)
+		}
+	}
+	if out.Arrived != out.Classes[0].Arrived+out.Classes[1].Arrived {
+		t.Errorf("class arrivals %d+%d do not add up to total %d",
+			out.Classes[0].Arrived, out.Classes[1].Arrived, out.Arrived)
+	}
+}
+
+func TestSimulateWorkloadConflictsAndValidation(t *testing.T) {
+	srv := server(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"rate conflict", `{"rate":120,"workload":` + twoClassWorkloadJSON + `}`},
+		{"partial conflict", `{"partial_fraction":0.5,"workload":` + twoClassWorkloadJSON + `}`},
+		{"bad schema", `{"workload":{"schema":"nope/v9","duration_s":10,"classes":[{"name":"a","rate":1,"deadline_s":0.1,"demand":{"dist":"point","value":100}}]}}`},
+		{"unknown spec field", `{"workload":{"schema":"dessched-workload/v1","duration_s":10,"bogus":1,"classes":[]}}`},
+	}
+	for _, tc := range cases {
+		resp, _ := postJSON(t, srv.URL+"/v1/simulate", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestSimulateWorkloadFaultedTwin: a faulted classed run reports per-class
+// resilience against a twin compiled without the burst windows.
+func TestSimulateWorkloadFaultedTwin(t *testing.T) {
+	srv := server(t)
+	resp, raw := postJSON(t, srv.URL+"/v1/simulate",
+		`{"cores":4,"budget_w":80,"bursts":[{"start_s":2,"end_s":6,"multiplier":4}],"workload":`+twoClassWorkloadJSON+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SimResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Resilience == nil {
+		t.Fatal("faulted run carries no resilience report")
+	}
+	if len(out.Resilience.Classes) != 2 {
+		t.Fatalf("resilience classes = %+v", out.Resilience.Classes)
+	}
+	for _, c := range out.Resilience.Classes {
+		if c.BaselineQuality <= 0 {
+			t.Errorf("class %s: baseline quality %g", c.Class, c.BaselineQuality)
+		}
+	}
+}
+
+func TestClusterSimulateWorkloadSpec(t *testing.T) {
+	srv := server(t)
+	body := `{"servers":3,"cores":4,"budget_w":80,"workload":` + twoClassWorkloadJSON + `}`
+	resp, raw := postJSON(t, srv.URL+"/v1/cluster/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ClusterSimResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Classes) != 2 || out.Classes[0].Class != "batch" || out.Classes[1].Class != "interactive" {
+		t.Fatalf("classes = %+v", out.Classes)
+	}
+	if out.Classes[0].Arrived+out.Classes[1].Arrived != out.Arrived {
+		t.Errorf("class arrivals do not add up to %d", out.Arrived)
+	}
+
+	// Rate conflicts with the spec on the cluster endpoint too.
+	resp, _ = postJSON(t, srv.URL+"/v1/cluster/simulate", `{"servers":2,"rate":60,"workload":`+twoClassWorkloadJSON+`}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("rate conflict status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSweepWorkloadSpec(t *testing.T) {
+	srv := server(t)
+	body := `{"cores":[4],"budgets_w":[80],"policies":["des"],"seeds":[1],"duration_s":5,"workload":` + twoClassWorkloadJSON + `}`
+	resp, raw := postJSON(t, srv.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var rep struct {
+		Cells []struct {
+			Classes []struct {
+				Class string `json:"class"`
+			} `json:"classes"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || len(rep.Cells[0].Classes) != 2 {
+		t.Fatalf("cells = %+v", rep.Cells)
+	}
+
+	// rates + workload conflict surfaces as invalid_config.
+	resp, _ = postJSON(t, srv.URL+"/v1/sweep", `{"rates":[60],"workload":`+twoClassWorkloadJSON+`}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("rates conflict status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -25,6 +25,12 @@ type Job struct {
 	Deadline float64 // absolute deadline, seconds; processing beyond it is worthless
 	Demand   float64 // full service demand, processing units
 	Partial  bool    // true when partial execution yields partial quality
+
+	// Class is the SLO job class the job belongs to ("" for unclassed
+	// legacy streams). Classes carry their own deadline offsets and demand
+	// distributions (see internal/workloadspec), so deadlines are only
+	// guaranteed agreeable within one class, not across classes.
+	Class string
 }
 
 // Window returns the length of the job's feasible execution window.
@@ -47,6 +53,9 @@ func (j Job) Validate() error {
 }
 
 func (j Job) String() string {
+	if j.Class != "" {
+		return fmt.Sprintf("J%d[r=%.4g d=%.4g w=%.4g partial=%t class=%s]", j.ID, j.Release, j.Deadline, j.Demand, j.Partial, j.Class)
+	}
 	return fmt.Sprintf("J%d[r=%.4g d=%.4g w=%.4g partial=%t]", j.ID, j.Release, j.Deadline, j.Demand, j.Partial)
 }
 
@@ -59,6 +68,42 @@ func ValidateAll(jobs []Job) error {
 	}
 	if !Agreeable(jobs) {
 		return cfgerr.New("job", "deadlines", "job: deadlines are not agreeable")
+	}
+	return nil
+}
+
+// ValidateAllByClass validates every job and checks agreeable deadlines
+// within each job class. Multi-class streams carry per-class deadline
+// offsets, so agreeableness holds per class by construction but not across
+// classes (a 1 s batch job released before a 150 ms interactive job has the
+// later deadline). For all-unclassed streams this is exactly ValidateAll.
+func ValidateAllByClass(jobs []Job) error {
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+	}
+	classes := false
+	for _, j := range jobs {
+		if j.Class != "" {
+			classes = true
+			break
+		}
+	}
+	if !classes {
+		if !Agreeable(jobs) {
+			return cfgerr.New("job", "deadlines", "job: deadlines are not agreeable")
+		}
+		return nil
+	}
+	byClass := map[string][]Job{}
+	for _, j := range jobs {
+		byClass[j.Class] = append(byClass[j.Class], j)
+	}
+	for class, cj := range byClass {
+		if !Agreeable(cj) {
+			return cfgerr.New("job", "deadlines", "job: deadlines of class %q are not agreeable", class)
+		}
 	}
 	return nil
 }

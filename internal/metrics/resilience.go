@@ -37,6 +37,21 @@ type ResilienceReport struct {
 	HedgeWins         int     `json:"hedge_wins"`            // hedges where the secondary replica won
 	HedgeQualityJ     float64 `json:"hedge_quality"`         // quality gained over the primary replica alone
 	MeanTimeToRepairS float64 `json:"mean_time_to_repair_s"` // mean injected repair time, 0 when faults never heal
+
+	// Classes breaks the degradation down per SLO job class for classed
+	// workloads (nil otherwise), sorted by class name — which classes
+	// absorbed the faults' quality loss, deadline misses, and sheds.
+	Classes []ClassResilience `json:"classes,omitempty"`
+}
+
+// ClassResilience is one job class's slice of a resilience report.
+type ClassResilience struct {
+	Class           string  `json:"class"`
+	BaselineQuality float64 `json:"baseline_norm_quality"`
+	FaultedQuality  float64 `json:"faulted_norm_quality"`
+	QualityRetained float64 `json:"quality_retained"`
+	DeadlinedDelta  int     `json:"deadlined_delta"`
+	ShedFraction    float64 `json:"shed_fraction"`
 }
 
 // Resilience builds the report from a fault-free baseline result and the
@@ -63,6 +78,28 @@ func Resilience(baseline, faulted sim.Result) ResilienceReport {
 	}
 	if faulted.Arrived > 0 {
 		r.ShedFraction = float64(faulted.Shed) / float64(faulted.Arrived)
+	}
+	// Per-class degradation: walk the faulted run's classes (sorted by
+	// name) and match the baseline entry by name. A class absent from the
+	// baseline (possible only if the twin ran a different stream) reports
+	// a zero baseline.
+	for _, fc := range faulted.Classes {
+		cr := ClassResilience{
+			Class:          fc.Class,
+			FaultedQuality: fc.NormQuality,
+			DeadlinedDelta: fc.Deadlined,
+		}
+		if bc, ok := baseline.ClassNamed(fc.Class); ok {
+			cr.BaselineQuality = bc.NormQuality
+			cr.DeadlinedDelta = fc.Deadlined - bc.Deadlined
+			if bc.NormQuality > 0 {
+				cr.QualityRetained = fc.NormQuality / bc.NormQuality
+			}
+		}
+		if fc.Arrived > 0 {
+			cr.ShedFraction = float64(fc.Shed) / float64(fc.Arrived)
+		}
+		r.Classes = append(r.Classes, cr)
 	}
 	return r
 }

@@ -25,6 +25,7 @@ package sim
 import (
 	"encoding/json"
 	"math"
+	"sort"
 
 	"dessched/internal/cfgerr"
 	"dessched/internal/eventq"
@@ -98,6 +99,7 @@ type jobSnap struct {
 	Deadline float64 `json:"deadline"`
 	Demand   float64 `json:"demand"`
 	Partial  bool    `json:"partial,omitempty"`
+	Class    string  `json:"class,omitempty"`
 
 	Done     float64 `json:"done,omitempty"`
 	Core     int     `json:"core"`
@@ -186,6 +188,7 @@ func (e *engine) snapshot(now float64) *Snapshot {
 			Deadline: js.Job.Deadline,
 			Demand:   js.Job.Demand,
 			Partial:  js.Job.Partial,
+			Class:    js.Job.Class,
 			Done:     js.Done,
 			Core:     js.Core,
 			Reason:   int(js.Reason),
@@ -376,7 +379,7 @@ func Resume(cfg Config, p Policy, snap *Snapshot) (Result, error) {
 	e.all = make([]*JobState, len(snap.Jobs))
 	for i, j := range snap.Jobs {
 		e.all[i] = &JobState{
-			Job:      job.Job{ID: j.ID, Release: j.Release, Deadline: j.Deadline, Demand: j.Demand, Partial: j.Partial},
+			Job:      job.Job{ID: j.ID, Release: j.Release, Deadline: j.Deadline, Demand: j.Demand, Partial: j.Partial, Class: j.Class},
 			Done:     j.Done,
 			Core:     j.Core,
 			Reason:   DepartReason(j.Reason),
@@ -470,6 +473,24 @@ func fingerprintConfig(cfg *Config, policy string) uint64 {
 		f.str(cfg.Quality.Name())
 		for _, x := range [...]float64{1, 10, 100, 500, 1000} {
 			f.f64(cfg.Quality.Eval(x))
+		}
+	}
+	// Class-quality overrides are hashed only when present, keeping
+	// fingerprints of legacy class-free configurations unchanged.
+	if len(cfg.ClassQuality) > 0 {
+		names := make([]string, 0, len(cfg.ClassQuality))
+		for name := range cfg.ClassQuality {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		f.i(len(names))
+		for _, name := range names {
+			q := cfg.ClassQuality[name]
+			f.str(name)
+			f.str(q.Name())
+			for _, x := range [...]float64{1, 10, 100, 500, 1000} {
+				f.f64(q.Eval(x))
+			}
 		}
 	}
 	f.f64(cfg.Triggers.Quantum)

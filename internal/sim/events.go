@@ -67,6 +67,11 @@ type Event struct {
 	// meaningful on departure events (complete, deadline, discard, shed)
 	// and zero elsewhere.
 	Quality float64
+
+	// Class is the job's SLO class on job-carrying events ("" for
+	// unclassed jobs and job-less events), letting observers break
+	// telemetry out per class without a side lookup.
+	Class string
 }
 
 func (e Event) String() string {

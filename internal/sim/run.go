@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dessched/internal/admission"
 	"dessched/internal/eventq"
@@ -46,6 +47,37 @@ type Result struct {
 	// Jobs holds one outcome per job when Config.CollectJobs is set, in
 	// arrival order. Use metrics.SummarizeJobs for percentiles.
 	Jobs []JobOutcome
+
+	// Classes breaks the run down per SLO job class, sorted by class name.
+	// Populated only when at least one job carries a class (legacy
+	// unclassed streams leave it nil); a mixed stream includes the ""
+	// bucket for its unclassed jobs.
+	Classes []ClassResult `json:"classes,omitempty"`
+}
+
+// ClassResult aggregates one job class's slice of a run. Quality figures
+// use the class's quality function (Config.ClassQuality) when one is set.
+type ClassResult struct {
+	Class       string  `json:"class"`
+	Quality     float64 `json:"quality"`
+	MaxQuality  float64 `json:"max_quality"`
+	NormQuality float64 `json:"norm_quality"`
+	Arrived     int     `json:"arrived"`
+	Completed   int     `json:"completed"`
+	Deadlined   int     `json:"deadlined"`
+	Discarded   int     `json:"discarded"`
+	Shed        int     `json:"shed"`
+	Abandoned   int     `json:"abandoned"`
+}
+
+// ClassNamed returns the class's entry and whether one exists.
+func (r *Result) ClassNamed(name string) (ClassResult, bool) {
+	for _, c := range r.Classes {
+		if c.Class == name {
+			return c, true
+		}
+	}
+	return ClassResult{}, false
 }
 
 // JobOutcome is one job's fate, recorded when Config.CollectJobs is set.
@@ -58,7 +90,8 @@ type JobOutcome struct {
 	Quality  float64
 	DepartAt float64
 	Reason   DepartReason
-	Core     int // -1 when never assigned
+	Core     int    // -1 when never assigned
+	Class    string // SLO job class, "" for unclassed streams
 }
 
 // Latency returns the job's response time (departure minus release).
@@ -134,12 +167,13 @@ type engine struct {
 }
 
 // Run simulates the policy over the job stream and returns the aggregate
-// result. Jobs must be valid with agreeable deadlines (job.ValidateAll).
+// result. Jobs must be valid with deadlines agreeable within each class
+// (job.ValidateAllByClass); unclassed streams must be globally agreeable.
 func Run(cfg Config, jobs []job.Job, p Policy) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	if err := job.ValidateAll(jobs); err != nil {
+	if err := job.ValidateAllByClass(jobs); err != nil {
 		return Result{}, err
 	}
 	e := newEngine(cfg, p)
@@ -288,7 +322,7 @@ func (e *engine) onArrival(now float64, js *JobState) {
 	e.pendingArrivals--
 	e.queue = append(e.queue, js)
 	e.state.queue = e.queue
-	e.emit(Event{Time: now, Kind: EvArrival, Job: js.Job.ID, Core: -1})
+	e.emit(Event{Time: now, Kind: EvArrival, Job: js.Job.ID, Core: -1, Class: js.Job.Class})
 	e.admit(now)
 
 	t := e.cfg.Triggers
@@ -318,7 +352,7 @@ func (e *engine) admit(now float64) {
 		if ac.Policy == admission.QualityAware {
 			worst := math.Inf(1)
 			for _, js := range e.queue {
-				v := e.cfg.Quality.Eval(js.Job.Demand) / js.Job.Demand
+				v := e.cfg.QualityFor(js.Job.Class).Eval(js.Job.Demand) / js.Job.Demand
 				if v < worst {
 					worst = v
 					victim = js
@@ -350,7 +384,7 @@ func (e *engine) evacuateOutages(now float64) {
 			js.Core = -1
 			js.Phase = PhaseEvacuated
 			e.requeued++
-			e.emit(Event{Time: now, Kind: EvRequeue, Job: js.Job.ID, Core: c.Index})
+			e.emit(Event{Time: now, Kind: EvRequeue, Job: js.Job.ID, Core: c.Index, Class: js.Job.Class})
 			if e.cfg.Retry.Enabled() {
 				// Retry lifecycle: the job waits out a backoff (or is
 				// abandoned) instead of re-entering the queue instantly.
@@ -494,12 +528,13 @@ func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
 		}
 	}
 	done := math.Min(js.Done, js.Job.Demand)
+	q := e.cfg.QualityFor(js.Job.Class)
 	switch {
 	case done >= js.Job.Demand-1e-9:
 		reason = Completed
-		js.Quality = e.cfg.Quality.Eval(js.Job.Demand)
+		js.Quality = q.Eval(js.Job.Demand)
 	case js.Job.Partial:
-		js.Quality = e.cfg.Quality.Eval(done)
+		js.Quality = q.Eval(done)
 	default:
 		js.Quality = 0
 	}
@@ -520,7 +555,7 @@ func (e *engine) depart(js *JobState, t float64, reason DepartReason) {
 	case Abandoned:
 		kind = EvAbandon
 	}
-	e.emit(Event{Time: t, Kind: kind, Job: js.Job.ID, Core: js.Core, Quality: js.Quality})
+	e.emit(Event{Time: t, Kind: kind, Job: js.Job.ID, Core: js.Core, Quality: js.Quality, Class: js.Job.Class})
 	e.undeparted--
 	if t > e.lastDeparture {
 		e.lastDeparture = t
@@ -581,9 +616,12 @@ func (e *engine) result(firstRelease, last float64) Result {
 		Retried:          e.retried,
 		RetryQuality:     e.retryQuality,
 	}
+	classed := false
+	var byClass map[string]*ClassResult
 	for _, js := range e.all {
+		maxQ := e.cfg.QualityFor(js.Job.Class).Eval(js.Job.Demand)
 		r.Quality += js.Quality
-		r.MaxQuality += e.cfg.Quality.Eval(js.Job.Demand)
+		r.MaxQuality += maxQ
 		switch js.Reason {
 		case Completed:
 			r.Completed++
@@ -593,6 +631,32 @@ func (e *engine) result(firstRelease, last float64) Result {
 			r.Discarded++
 		case Abandoned:
 			r.Abandoned++
+		}
+		if js.Job.Class != "" {
+			classed = true
+		}
+		if byClass == nil {
+			byClass = make(map[string]*ClassResult)
+		}
+		cr := byClass[js.Job.Class]
+		if cr == nil {
+			cr = &ClassResult{Class: js.Job.Class}
+			byClass[js.Job.Class] = cr
+		}
+		cr.Arrived++
+		cr.Quality += js.Quality
+		cr.MaxQuality += maxQ
+		switch js.Reason {
+		case Completed:
+			cr.Completed++
+		case DeadlineHit:
+			cr.Deadlined++
+		case PolicyDiscard:
+			cr.Discarded++
+		case Shed:
+			cr.Shed++
+		case Abandoned:
+			cr.Abandoned++
 		}
 		if e.cfg.CollectJobs {
 			r.Jobs = append(r.Jobs, JobOutcome{
@@ -605,11 +669,29 @@ func (e *engine) result(firstRelease, last float64) Result {
 				DepartAt: js.DepartAt,
 				Reason:   js.Reason,
 				Core:     js.Core,
+				Class:    js.Job.Class,
 			})
 		}
 	}
 	if r.MaxQuality > 0 {
 		r.NormQuality = r.Quality / r.MaxQuality
+	}
+	// Per-class breakdown only for classed streams: legacy unclassed runs
+	// keep a nil Classes slice so their results are byte-for-byte what
+	// they were before classes existed.
+	if classed {
+		names := make([]string, 0, len(byClass))
+		for name := range byClass {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cr := byClass[name]
+			if cr.MaxQuality > 0 {
+				cr.NormQuality = cr.Quality / cr.MaxQuality
+			}
+			r.Classes = append(r.Classes, *cr)
+		}
 	}
 	span := last - firstRelease
 	if span < 0 || len(e.all) == 0 {

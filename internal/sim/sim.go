@@ -54,6 +54,14 @@ type Config struct {
 	Ladder  power.Ladder     // discrete speed ladder; empty = continuous DVFS
 	Quality quality.Function // quality function applied to processed volume
 
+	// ClassQuality optionally overrides Quality per job class (see
+	// internal/workloadspec): quality accounting — departure crediting,
+	// max-quality normalization, quality-aware shedding, hedge resolution —
+	// uses the class's function for jobs whose Class has an entry, and
+	// Quality otherwise. Planning policies always see the base Quality;
+	// class-aware planning is a separate policy concern.
+	ClassQuality map[string]quality.Function
+
 	Triggers Triggers
 
 	// IdleBurnSpeed is the speed whose dynamic power an idle core is
@@ -154,6 +162,14 @@ func (c Config) Validate() error {
 	if c.Quality == nil {
 		return cfgerr.New("sim", "quality", "sim: quality function is required")
 	}
+	for class, fn := range c.ClassQuality {
+		if class == "" {
+			return cfgerr.New("sim", "class_quality", "sim: class quality override for the empty class; set Quality instead")
+		}
+		if fn == nil {
+			return cfgerr.New("sim", "class_quality", "sim: class %q: quality function is nil", class)
+		}
+	}
 	if c.Triggers.Quantum <= 0 && c.Triggers.Counter <= 0 && !c.Triggers.IdleCore && !c.Triggers.OnArrival {
 		return cfgerr.New("sim", "triggers", "sim: at least one trigger must be enabled")
 	}
@@ -182,6 +198,18 @@ func (c Config) Validate() error {
 		}
 	}
 	return c.Admission.Validate()
+}
+
+// QualityFor returns the quality function governing jobs of the given
+// class: the ClassQuality entry when one exists, the base Quality
+// otherwise (including for the empty legacy class).
+func (c Config) QualityFor(class string) quality.Function {
+	if class != "" {
+		if fn, ok := c.ClassQuality[class]; ok {
+			return fn
+		}
+	}
+	return c.Quality
 }
 
 // DepartReason says why a job left the system.

@@ -21,9 +21,12 @@ import (
 
 	"dessched/internal/cfgerr"
 	"dessched/internal/cluster"
+	"dessched/internal/job"
+	"dessched/internal/quality"
 	"dessched/internal/sim"
 	"dessched/internal/telemetry"
 	"dessched/internal/workload"
+	"dessched/internal/workloadspec"
 )
 
 // Schema identifies the report format for downstream tooling.
@@ -50,11 +53,23 @@ type Grid struct {
 	Dispatch         string  `json:"dispatch,omitempty"`
 	GlobalBudgetFrac float64 `json:"global_budget_frac,omitempty"`
 	Epoch            float64 `json:"epoch_s,omitempty"`
+
+	// Workload replaces the default single-rate generator with a declarative
+	// dessched-workload/v1 spec: every cell compiles the spec with the cell's
+	// seed and the grid's duration, so the Rates axis no longer applies (the
+	// spec fixes per-class rates) and cells carry a placeholder rate of 0.
+	// Per-class quality functions from the spec flow into every cell's
+	// simulation, and CellResult.Classes breaks each cell out per class.
+	Workload *workloadspec.Spec `json:"workload,omitempty"`
 }
 
 func (g Grid) withDefaults() Grid {
 	if len(g.Rates) == 0 {
-		g.Rates = []float64{90}
+		if g.Workload != nil {
+			g.Rates = []float64{0} // placeholder: the spec fixes per-class rates
+		} else {
+			g.Rates = []float64{90}
+		}
 	}
 	if len(g.Cores) == 0 {
 		g.Cores = []int{16}
@@ -79,8 +94,19 @@ func (g Grid) withDefaults() Grid {
 
 // Validate reports grid errors as typed *cfgerr.Error values.
 func (g Grid) Validate() error {
+	if g.Workload != nil {
+		if len(g.Rates) > 0 {
+			return cfgerr.New("sweep", "rates", "sweep: rates axis cannot be combined with a workload spec (the spec fixes per-class rates)")
+		}
+		if err := g.Workload.Validate(); err != nil {
+			return err
+		}
+	}
 	g = g.withDefaults()
 	for _, r := range g.Rates {
+		if g.Workload != nil {
+			break // placeholder rate; the spec was validated above
+		}
 		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 			return cfgerr.New("sweep", "rates", "sweep: rate must be positive and finite, got %g", r)
 		}
@@ -162,6 +188,11 @@ type CellResult struct {
 	Deadlined   int     `json:"deadlined"`
 	Shed        int     `json:"shed"`
 	Events      int     `json:"events"`
+
+	// Classes breaks the cell out per SLO job class for classed workloads
+	// (nil otherwise), sorted by class name. Omitted from CSV reports; use
+	// JSON for per-class columns.
+	Classes []sim.ClassResult `json:"classes,omitempty"`
 
 	// Telemetry is the cell's metrics snapshot when Options.Telemetry is
 	// set: the full per-run sim collector for single-server cells,
@@ -266,12 +297,30 @@ func Run(ctx context.Context, g Grid, opts Options) (Report, error) {
 
 // runOne simulates a single cell.
 func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult, error) {
-	wl := workload.DefaultConfig(c.Rate)
-	wl.Duration = g.Duration
-	wl.Seed = c.Seed
-	jobs, err := workload.Generate(wl)
-	if err != nil {
-		return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
+	var jobs []job.Job
+	var classQuality map[string]quality.Function
+	if g.Workload != nil {
+		spec := *g.Workload
+		spec.Seed = c.Seed
+		spec.Duration = g.Duration
+		compiled, err := workloadspec.Compile(&spec)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
+		}
+		jobs = compiled
+		classQuality, err = spec.QualityByClass()
+		if err != nil {
+			return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
+		}
+	} else {
+		wl := workload.DefaultConfig(c.Rate)
+		wl.Duration = g.Duration
+		wl.Seed = c.Seed
+		generated, err := workload.Generate(wl)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
+		}
+		jobs = generated
 	}
 
 	out := CellResult{Cell: c, Servers: g.Servers}
@@ -281,6 +330,7 @@ func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult
 		server.Cores = c.Cores
 		server.Budget = c.Budget
 		server.Context = ctx
+		server.ClassQuality = classQuality
 		dispatch, _ := cluster.ParseDispatch(g.Dispatch)
 		ccfg := cluster.Config{
 			Servers:      g.Servers,
@@ -311,6 +361,7 @@ func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult
 		out.Deadlined = res.Deadlined
 		out.Shed = res.Shed
 		out.Events = res.Events
+		out.Classes = res.Classes
 		if wantTelemetry {
 			// The cluster folded per-server sim_* metrics (labeled by
 			// server) and cluster_* summary gauges into reg; attach the
@@ -329,6 +380,7 @@ func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult
 	cfg.Cores = c.Cores
 	cfg.Budget = c.Budget
 	cfg.Context = ctx
+	cfg.ClassQuality = classQuality
 	spec.Configure(&cfg)
 
 	var col *telemetry.SimCollector
@@ -352,6 +404,7 @@ func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult
 	out.Deadlined = res.Deadlined
 	out.Shed = res.Shed
 	out.Events = res.Events
+	out.Classes = res.Classes
 	if col != nil {
 		col.Finish(res)
 		snap := reg.Snapshot()

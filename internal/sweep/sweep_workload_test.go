@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/workloadspec"
+)
+
+func twoClassSpec() *workloadspec.Spec {
+	pf := 0.5
+	return &workloadspec.Spec{
+		Schema:   workloadspec.SchemaV1,
+		Name:     "sweep-two-class",
+		Duration: 60, // overridden per grid
+		Seed:     7,
+		Classes: []workloadspec.ClassSpec{
+			{
+				Name:     "interactive",
+				Rate:     80,
+				Deadline: 0.15,
+				Demand:   workloadspec.DemandSpec{Dist: "bounded-pareto", Alpha: 3, Min: 130, Max: 1000},
+				Quality:  &workloadspec.QualitySpec{Kind: "exp", C: 0.003},
+			},
+			{
+				Name:            "batch",
+				Rate:            10,
+				Deadline:        1,
+				Demand:          workloadspec.DemandSpec{Dist: "uniform", Min: 200, Max: 800},
+				Quality:         &workloadspec.QualitySpec{Kind: "linear", Span: 800},
+				PartialFraction: &pf,
+				Priority:        1,
+			},
+		},
+	}
+}
+
+// TestWorkloadSpecSweep: a grid driven by a declarative spec produces
+// per-class breakdowns in every cell, with the Rates axis collapsed to a
+// placeholder, and is bit-identical across worker counts — single-server
+// and cluster cells alike.
+func TestWorkloadSpecSweep(t *testing.T) {
+	for _, servers := range []int{1, 3} {
+		g := Grid{
+			Cores:    []int{4},
+			Budgets:  []float64{80},
+			Policies: []string{"des"},
+			Seeds:    []uint64{1, 2},
+			Duration: 10,
+			Servers:  servers,
+			Workload: twoClassSpec(),
+		}
+		var base Report
+		for i, workers := range []int{1, 4, 16} {
+			rep, err := Run(context.Background(), g, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("servers=%d workers=%d: %v", servers, workers, err)
+			}
+			for j, c := range rep.Cells {
+				if c.Rate != 0 {
+					t.Errorf("servers=%d cell %d: rate %g, want placeholder 0", servers, j, c.Rate)
+				}
+				if len(c.Classes) != 2 || c.Classes[0].Class != "batch" || c.Classes[1].Class != "interactive" {
+					t.Fatalf("servers=%d cell %d: classes %+v", servers, j, c.Classes)
+				}
+				for _, cr := range c.Classes {
+					if cr.Arrived == 0 {
+						t.Errorf("servers=%d cell %d class %s: no arrivals", servers, j, cr.Class)
+					}
+				}
+			}
+			if i == 0 {
+				base = rep
+				continue
+			}
+			for j := range rep.Cells {
+				a, b := base.Cells[j], rep.Cells[j]
+				if math.Float64bits(a.Quality) != math.Float64bits(b.Quality) ||
+					math.Float64bits(a.Energy) != math.Float64bits(b.Energy) {
+					t.Errorf("servers=%d workers=%d cell %d: totals differ", servers, workers, j)
+				}
+				for k := range a.Classes {
+					x, y := a.Classes[k], b.Classes[k]
+					if x != y {
+						t.Errorf("servers=%d workers=%d cell %d class %s: %+v != %+v",
+							servers, workers, j, x.Class, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkloadSpecSeedAxis: different seed cells compile different streams
+// from the same spec.
+func TestWorkloadSpecSeedAxis(t *testing.T) {
+	g := Grid{
+		Seeds:    []uint64{1, 2},
+		Duration: 10,
+		Workload: twoClassSpec(),
+	}
+	rep, err := Run(context.Background(), g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(rep.Cells))
+	}
+	if rep.Cells[0].Arrived == rep.Cells[1].Arrived &&
+		math.Float64bits(rep.Cells[0].Quality) == math.Float64bits(rep.Cells[1].Quality) {
+		t.Error("seeds 1 and 2 produced identical cells; seed override not applied")
+	}
+}
+
+// TestWorkloadSpecValidation: rates axis conflicts with a spec, and an
+// invalid spec surfaces as a typed error.
+func TestWorkloadSpecValidation(t *testing.T) {
+	g := Grid{Rates: []float64{90}, Workload: twoClassSpec()}
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("rates + workload accepted")
+	}
+	var ce *cfgerr.Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *cfgerr.Error", err)
+	}
+
+	bad := twoClassSpec()
+	bad.Classes[0].Rate = -1
+	if err := (Grid{Workload: bad}).Validate(); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

@@ -47,6 +47,24 @@ type epochOpen struct {
 	completed int
 	deadlined int
 	shed      int
+
+	// classes accrues per-class departures for classed streams; nil until
+	// the first classed event, so unclassed runs never allocate it.
+	classes map[string]*ClassSample
+}
+
+// classSlot returns the epoch's accumulator for a class, creating it on
+// first use.
+func (e *epochOpen) classSlot(class string) *ClassSample {
+	if e.classes == nil {
+		e.classes = make(map[string]*ClassSample)
+	}
+	cs := e.classes[class]
+	if cs == nil {
+		cs = &ClassSample{Class: class}
+		e.classes[class] = cs
+	}
+	return cs
 }
 
 // NewEpochSampler returns a sampler for one server. epochLen defaults to
@@ -140,6 +158,18 @@ func (s *EpochSampler) flushOldest() {
 		}
 		avail = 1 - out/(float64(s.cores)*s.epochLen)
 	}
+	var classes []ClassSample
+	if len(e.classes) > 0 {
+		names := make([]string, 0, len(e.classes))
+		for name := range e.classes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		classes = make([]ClassSample, len(names))
+		for i, name := range names {
+			classes[i] = *e.classes[name]
+		}
+	}
 	s.rec.Record(Sample{
 		Server:       s.server,
 		Epoch:        idx,
@@ -152,6 +182,7 @@ func (s *EpochSampler) flushOldest() {
 		Completed:    e.completed,
 		Deadlined:    e.deadlined,
 		Shed:         e.shed,
+		Classes:      classes,
 	})
 	s.open = s.open[1:]
 	s.oldest++
@@ -172,13 +203,29 @@ func (s *EpochSampler) Observe(e sim.Event) {
 	case sim.EvComplete:
 		slot.quality += e.Quality
 		slot.completed++
+		if e.Class != "" {
+			cs := slot.classSlot(e.Class)
+			cs.Quality += e.Quality
+			cs.Completed++
+		}
 	case sim.EvDeadline:
 		slot.quality += e.Quality
 		slot.deadlined++
+		if e.Class != "" {
+			cs := slot.classSlot(e.Class)
+			cs.Quality += e.Quality
+			cs.Deadlined++
+		}
 	case sim.EvDiscard:
 		slot.quality += e.Quality
+		if e.Class != "" {
+			slot.classSlot(e.Class).Quality += e.Quality
+		}
 	case sim.EvShed:
 		slot.shed++
+		if e.Class != "" {
+			slot.classSlot(e.Class).Shed++
+		}
 	}
 }
 

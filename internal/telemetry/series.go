@@ -28,6 +28,20 @@ type Sample struct {
 	Completed    int     `json:"completed"`
 	Deadlined    int     `json:"deadlined"`
 	Shed         int     `json:"shed"`
+
+	// Classes breaks the epoch's departures down per SLO job class, sorted
+	// by class name. Nil for unclassed streams, so legacy series bytes are
+	// unchanged. JSON only — the CSV layout keeps its fixed columns.
+	Classes []ClassSample `json:"classes,omitempty"`
+}
+
+// ClassSample is one job class's slice of an epoch sample.
+type ClassSample struct {
+	Class     string  `json:"class"`
+	Quality   float64 `json:"quality"`
+	Completed int     `json:"completed"`
+	Deadlined int     `json:"deadlined"`
+	Shed      int     `json:"shed"`
 }
 
 // DefaultSeriesCapacity bounds an unconfigured recorder: at one-second

@@ -123,7 +123,8 @@ func (c *SimCollector) RecordExec(core int, seg yds.Segment) {
 }
 
 // Finish records the run's aggregate result: outcome counts, normalized
-// quality, energy, peak power, span, and per-core utilization. Call it
+// quality, energy, peak power, span, per-core utilization, and — for
+// classed streams — the class-labeled sim_class_* families. Call it
 // exactly once, after sim.Run returns.
 func (c *SimCollector) Finish(res sim.Result) {
 	c.outcomes.With("completed").Add(uint64(res.Completed))
@@ -131,6 +132,21 @@ func (c *SimCollector) Finish(res sim.Result) {
 	c.outcomes.With("discarded").Add(uint64(res.Discarded))
 	c.outcomes.With("shed").Add(uint64(res.Shed))
 	c.outcomes.With("abandoned").Add(uint64(res.Abandoned))
+	if len(res.Classes) > 0 {
+		classJobs := c.reg.CounterVec("sim_class_jobs_total",
+			"Departed jobs by SLO job class and outcome, recorded when the run finishes.",
+			"class", "outcome")
+		classQuality := c.reg.GaugeVec("sim_class_norm_quality",
+			"Normalized quality per SLO job class over the run.", "class")
+		for _, cr := range res.Classes {
+			classJobs.With(cr.Class, "completed").Add(uint64(cr.Completed))
+			classJobs.With(cr.Class, "deadline").Add(uint64(cr.Deadlined))
+			classJobs.With(cr.Class, "discarded").Add(uint64(cr.Discarded))
+			classJobs.With(cr.Class, "shed").Add(uint64(cr.Shed))
+			classJobs.With(cr.Class, "abandoned").Add(uint64(cr.Abandoned))
+			classQuality.With(cr.Class).Set(cr.NormQuality)
+		}
+	}
 	c.reg.Gauge("sim_norm_quality",
 		"Total quality over the run, normalized by the maximum attainable.").Set(res.NormQuality)
 	c.reg.Gauge("sim_energy_joules", "Dynamic energy of the run, J.").Set(res.Energy)

@@ -12,6 +12,7 @@ import (
 // streams are valid and round-trip through SaveJobs.
 func FuzzLoadJobs(f *testing.F) {
 	f.Add("id,release,deadline,demand,partial\n0,0,0.15,100,true\n")
+	f.Add("id,release,deadline,demand,partial,class\n0,0,0.15,100,true,web\n")
 	f.Add("0,0,0.15,100,true\n1,0.1,0.25,200,false\n")
 	f.Add("")
 	f.Add("nonsense,,,\n")
@@ -20,7 +21,7 @@ func FuzzLoadJobs(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if err := job.ValidateAll(jobs); err != nil {
+		if err := job.ValidateAllByClass(jobs); err != nil {
 			t.Fatalf("LoadJobs accepted invalid stream: %v", err)
 		}
 		var buf bytes.Buffer

@@ -2,19 +2,28 @@ package workload
 
 import (
 	"encoding/csv"
-	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
+	"dessched/internal/cfgerr"
 	"dessched/internal/job"
 )
 
-// SaveJobs writes a job stream as CSV ("id,release,deadline,demand,partial"
-// with a header) so a generated workload — or a converted production
-// trace — can be replayed bit-identically later.
+// Trace CSV headers. SaveJobs writes v2 (class-carrying); LoadJobs reads
+// both, plus headerless numeric rows for hand-built fixtures.
+const (
+	traceHeaderV1 = "id,release,deadline,demand,partial"
+	traceHeaderV2 = "id,release,deadline,demand,partial,class"
+)
+
+// SaveJobs writes a job stream as CSV in the v2 trace format
+// ("id,release,deadline,demand,partial,class" with a header) so a
+// generated workload — or a converted production trace — can be replayed
+// bit-identically later. Unclassed jobs leave the class cell empty.
 func SaveJobs(w io.Writer, jobs []job.Job) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"id", "release", "deadline", "demand", "partial"}); err != nil {
+	if err := cw.Write(strings.Split(traceHeaderV2, ",")); err != nil {
 		return err
 	}
 	for _, j := range jobs {
@@ -24,6 +33,7 @@ func SaveJobs(w io.Writer, jobs []job.Job) error {
 			strconv.FormatFloat(j.Deadline, 'g', -1, 64),
 			strconv.FormatFloat(j.Demand, 'g', -1, 64),
 			strconv.FormatBool(j.Partial),
+			j.Class,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -33,42 +43,81 @@ func SaveJobs(w io.Writer, jobs []job.Job) error {
 	return cw.Error()
 }
 
-// LoadJobs parses the SaveJobs format and validates the stream.
+// LoadJobs parses the SaveJobs format and validates the stream: v2 traces
+// carry a class column, v1 traces stay readable, and a file whose first
+// row is non-numeric must match one of the two known headers exactly —
+// unknown or reordered columns are rejected with a typed *cfgerr.Error
+// instead of being silently dropped. Row width must match the header
+// (v1 rows in a v1 file, 5- or 6-field rows in a headerless file).
 func LoadJobs(r io.Reader) ([]job.Job, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // row width is checked per header version below
 	recs, err := cr.ReadAll()
 	if err != nil {
-		return nil, err
+		return nil, cfgerr.New("workload", "trace", "workload: reading trace: %v", err)
+	}
+	wantFields := 0 // 0 = headerless: accept 5 or 6 per row
+	rows := recs
+	if len(recs) > 0 && looksLikeHeader(recs[0]) {
+		switch strings.Join(recs[0], ",") {
+		case traceHeaderV1:
+			wantFields = 5
+		case traceHeaderV2:
+			wantFields = 6
+		default:
+			return nil, cfgerr.New("workload", "trace", "workload: unknown trace header %q (want %q or %q)",
+				strings.Join(recs[0], ","), traceHeaderV1, traceHeaderV2)
+		}
+		rows = recs[1:]
 	}
 	var jobs []job.Job
-	for i, rec := range recs {
-		if i == 0 && len(rec) > 0 && rec[0] == "id" {
-			continue
+	for ri, rec := range rows {
+		i := ri
+		if wantFields != 0 {
+			i++ // report file row numbers including the header
 		}
-		if len(rec) != 5 {
-			return nil, fmt.Errorf("workload: row %d has %d fields, want 5", i, len(rec))
+		switch {
+		case wantFields != 0 && len(rec) != wantFields:
+			return nil, cfgerr.New("workload", "trace", "workload: row %d has %d fields, want %d", i, len(rec), wantFields)
+		case wantFields == 0 && len(rec) != 5 && len(rec) != 6:
+			return nil, cfgerr.New("workload", "trace", "workload: row %d has %d fields, want 5 or 6", i, len(rec))
 		}
 		id, err := strconv.ParseInt(rec[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("workload: row %d id: %w", i, err)
+			return nil, cfgerr.New("workload", "trace", "workload: row %d id: %v", i, err)
 		}
 		var j job.Job
 		j.ID = job.ID(id)
 		for fi, dst := range []*float64{&j.Release, &j.Deadline, &j.Demand} {
 			v, err := strconv.ParseFloat(rec[1+fi], 64)
 			if err != nil {
-				return nil, fmt.Errorf("workload: row %d field %d: %w", i, 1+fi, err)
+				return nil, cfgerr.New("workload", "trace", "workload: row %d field %d: %v", i, 1+fi, err)
 			}
 			*dst = v
 		}
 		j.Partial, err = strconv.ParseBool(rec[4])
 		if err != nil {
-			return nil, fmt.Errorf("workload: row %d partial: %w", i, err)
+			return nil, cfgerr.New("workload", "trace", "workload: row %d partial: %v", i, err)
+		}
+		if len(rec) == 6 {
+			j.Class = rec[5]
 		}
 		jobs = append(jobs, j)
 	}
-	if err := job.ValidateAll(jobs); err != nil {
+	if err := job.ValidateAllByClass(jobs); err != nil {
 		return nil, err
 	}
 	return jobs, nil
+}
+
+// looksLikeHeader reports whether a first CSV row is a header rather than
+// data: any row whose first field does not parse as an integer id. This
+// keeps headerless numeric fixtures loading while routing every header
+// variant through the strict whitelist above.
+func looksLikeHeader(rec []string) bool {
+	if len(rec) == 0 {
+		return false
+	}
+	_, err := strconv.ParseInt(rec[0], 10, 64)
+	return err != nil
 }

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/job"
+)
+
+// TestSaveJobsWritesV2Header pins the on-disk format: v2 header, empty
+// class cell for unclassed jobs, class value for classed ones.
+func TestSaveJobsWritesV2Header(t *testing.T) {
+	var buf bytes.Buffer
+	jobs := []job.Job{
+		{ID: 0, Release: 0, Deadline: 0.15, Demand: 100, Partial: true},
+		{ID: 1, Release: 0.1, Deadline: 1.1, Demand: 300, Class: "batch"},
+	}
+	if err := SaveJobs(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "id,release,deadline,demand,partial,class" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "0,0,0.15,100,true," {
+		t.Fatalf("unclassed row %q", lines[1])
+	}
+	if lines[2] != "1,0.1,1.1,300,false,batch" {
+		t.Fatalf("classed row %q", lines[2])
+	}
+	back, err := LoadJobs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if back[i] != jobs[i] {
+			t.Fatalf("job %d: %v != %v", i, back[i], jobs[i])
+		}
+	}
+}
+
+// TestLoadJobsReadsV1 keeps v1 traces loading: same stream, empty class.
+func TestLoadJobsReadsV1(t *testing.T) {
+	in := "id,release,deadline,demand,partial\n0,0,0.15,100,true\n1,0.1,0.25,200,false\n"
+	jobs, err := LoadJobs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].Class != "" || jobs[1].Class != "" {
+		t.Fatalf("v1 load: %v", jobs)
+	}
+	// A 6-field row under a v1 header is malformed, not silently truncated.
+	if _, err := LoadJobs(strings.NewReader("id,release,deadline,demand,partial\n0,0,0.15,100,true,web\n")); err == nil {
+		t.Fatal("6-field row accepted under v1 header")
+	}
+}
+
+// TestLoadJobsRejectsUnknownHeader is the satellite fix: unknown or
+// reordered columns must yield a typed error instead of being dropped.
+func TestLoadJobsRejectsUnknownHeader(t *testing.T) {
+	cases := []string{
+		"id,release,deadline,demand,partial,priority\n",           // unknown column
+		"release,id,deadline,demand,partial\n",                    // reordered
+		"id,release,deadline,demand\n0,0,0.15,100\n",              // truncated
+		"id,release,deadline,demand,partial,class,extra\n",        // over-wide
+		"ID,Release,Deadline,Demand,Partial\n0,0,0.15,100,true\n", // wrong case
+	}
+	for _, in := range cases {
+		_, err := LoadJobs(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("header %q accepted", strings.SplitN(in, "\n", 2)[0])
+			continue
+		}
+		var ce *cfgerr.Error
+		if !errors.As(err, &ce) {
+			t.Errorf("header %q: error %v is not a *cfgerr.Error", strings.SplitN(in, "\n", 2)[0], err)
+		}
+	}
+}
+
+// TestLoadJobsClassAgreeableness: cross-class deadline inversions load
+// (per-class agreeableness holds), same-class inversions are rejected.
+func TestLoadJobsClassAgreeableness(t *testing.T) {
+	ok := "id,release,deadline,demand,partial,class\n0,0,1,300,true,batch\n1,0.1,0.25,100,true,web\n"
+	if _, err := LoadJobs(strings.NewReader(ok)); err != nil {
+		t.Fatalf("cross-class inversion rejected: %v", err)
+	}
+	bad := "id,release,deadline,demand,partial,class\n0,0,1,300,true,batch\n1,0.1,0.25,100,true,batch\n"
+	_, err := LoadJobs(strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("same-class inversion accepted")
+	}
+	var ce *cfgerr.Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *cfgerr.Error", err)
+	}
+}
+
+// TestSaveLoadPropertyFuzzedStreams is the satellite round-trip property
+// test: seeded pseudo-random classed job streams (including release ties,
+// tiny float gaps, and unclassed mixtures) survive save→load bit-exactly,
+// order included.
+func TestSaveLoadPropertyFuzzedStreams(t *testing.T) {
+	classes := []string{"", "web", "batch", "analytics"}
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		n := 1 + rng.IntN(60)
+		jobs := make([]job.Job, n)
+		release := 0.0
+		for i := range jobs {
+			if rng.Float64() < 0.2 && i > 0 {
+				release = jobs[i-1].Release // exercise release ties
+			} else {
+				release += rng.Float64() * 0.05
+			}
+			class := classes[rng.IntN(len(classes))]
+			window := 0.15
+			if class == "batch" {
+				window = 1.0
+			}
+			jobs[i] = job.Job{
+				ID:       job.ID(i),
+				Release:  release,
+				Deadline: release + window,
+				Demand:   100 + rng.Float64()*900,
+				Partial:  rng.Float64() < 0.8,
+				Class:    class,
+			}
+		}
+		var buf bytes.Buffer
+		if err := SaveJobs(&buf, jobs); err != nil {
+			t.Fatalf("seed %d: save: %v", seed, err)
+		}
+		back, err := LoadJobs(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: load: %v", seed, err)
+		}
+		if len(back) != len(jobs) {
+			t.Fatalf("seed %d: %d jobs back, want %d", seed, len(back), len(jobs))
+		}
+		for i := range jobs {
+			if back[i] != jobs[i] {
+				t.Fatalf("seed %d job %d: %v != %v", seed, i, back[i], jobs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package workloadspec
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"dessched/internal/job"
+	"dessched/internal/workload"
+)
+
+// seedMix is workload.Generate's PCG stream constant; compiled classes use
+// the same mix so a single-class paper-default spec replays the legacy
+// generator's RNG sequence exactly.
+const seedMix = 0x9e3779b97f4a7c15
+
+// Compile deterministically expands the spec into a job stream: each class
+// generates independently from its own seeded RNG, the class streams merge
+// by release time (ties broken by deadline, then class declaration order,
+// then intra-class position), and IDs are reassigned densely from 0 in the
+// merged order. Equal specs always compile to equal streams, and the
+// paper-default spec reproduces workload.Generate bit-identically.
+func Compile(s *Spec) ([]job.Job, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	type tagged struct {
+		job.Job
+		class int // declaration index
+		pos   int // intra-class arrival index
+	}
+	var all []tagged
+	for ci := range s.Classes {
+		c := &s.Classes[ci]
+		stream := generateClass(s, c, classSeed(s, ci))
+		for pi, j := range stream {
+			all = append(all, tagged{Job: j, class: ci, pos: pi})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Release != all[b].Release {
+			return all[a].Release < all[b].Release
+		}
+		if all[a].Deadline != all[b].Deadline {
+			return all[a].Deadline < all[b].Deadline
+		}
+		if all[a].class != all[b].class {
+			return all[a].class < all[b].class
+		}
+		return all[a].pos < all[b].pos
+	})
+	jobs := make([]job.Job, len(all))
+	for i, t := range all {
+		t.Job.ID = job.ID(i)
+		jobs[i] = t.Job
+	}
+	return jobs, nil
+}
+
+// classSeed resolves the RNG seed of class index ci: the class's pinned
+// seed when set, otherwise spec seed + index — which makes a single-class
+// spec use the spec seed verbatim, as the legacy generator would.
+func classSeed(s *Spec, ci int) uint64 {
+	if c := &s.Classes[ci]; c.Seed != nil {
+		return *c.Seed
+	}
+	return s.Seed + uint64(ci)
+}
+
+// plain reports whether the class's arrival rate is constant over the whole
+// horizon — no periods, no diurnal profile, no bursts at either level. A
+// plain class skips the thinning draw, replicating workload.Generate's
+// homogeneous fast path draw-for-draw.
+func plain(s *Spec, c *ClassSpec) bool {
+	return len(c.Periods) == 0 && c.Diurnal == nil && len(c.Bursts) == 0 && len(s.Bursts) == 0
+}
+
+// rateAt returns the class's instantaneous arrival rate at t: the base rate
+// (the class rate, replaced inside any period window), modulated by the
+// diurnal profile, scaled by every active class- and spec-level burst.
+func rateAt(s *Spec, c *ClassSpec, t float64) float64 {
+	r := c.Rate
+	for _, p := range c.Periods {
+		if t >= p.Start && t < p.End {
+			r = p.Rate
+			break // periods are disjoint
+		}
+	}
+	if d := c.Diurnal; d != nil {
+		r *= 1 + d.Amplitude*math.Sin(2*math.Pi*t/d.Period)
+	}
+	for _, b := range c.Bursts {
+		if t >= b.Start && t < b.End {
+			r *= b.Multiplier
+		}
+	}
+	for _, b := range s.Bursts {
+		if t >= b.Start && t < b.End {
+			r *= b.Multiplier
+		}
+	}
+	return r
+}
+
+// peakRate returns an upper bound on rateAt over [0, duration), the
+// Lewis-Shedler thinning envelope. The piecewise-constant part (periods ×
+// bursts) attains its maximum just after a window edge — a start edge when
+// the window raises the rate, an end edge when it lowered it (a slow
+// period ending, a drought burst lifting) — so evaluating both edge sets
+// with the diurnal factor replaced by its peak 1+amplitude bounds the
+// product.
+func peakRate(s *Spec, c *ClassSpec) float64 {
+	edges := []float64{0}
+	for _, p := range c.Periods {
+		edges = append(edges, p.Start, p.End)
+	}
+	for _, b := range c.Bursts {
+		edges = append(edges, b.Start, b.End)
+	}
+	for _, b := range s.Bursts {
+		edges = append(edges, b.Start, b.End)
+	}
+	amp := 0.0
+	if c.Diurnal != nil {
+		amp = c.Diurnal.Amplitude
+	}
+	peak := 0.0
+	for _, t := range edges {
+		r := c.Rate
+		for _, p := range c.Periods {
+			if t >= p.Start && t < p.End {
+				r = p.Rate
+				break
+			}
+		}
+		for _, b := range c.Bursts {
+			if t >= b.Start && t < b.End {
+				r *= b.Multiplier
+			}
+		}
+		for _, b := range s.Bursts {
+			if t >= b.Start && t < b.End {
+				r *= b.Multiplier
+			}
+		}
+		r *= 1 + amp
+		if r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// sampleDemand draws one service demand. Draw counts per accepted arrival
+// are fixed per distribution (bounded-pareto and uniform consume one
+// uniform variate, point consumes none) so streams stay reproducible.
+func sampleDemand(d *DemandSpec, rng *rand.Rand) float64 {
+	switch d.Dist {
+	case "bounded-pareto":
+		return workload.BoundedPareto{Alpha: d.Alpha, Xmin: d.Min, Xmax: d.Max}.Sample(rng)
+	case "uniform":
+		return d.Min + rng.Float64()*(d.Max-d.Min)
+	default: // point
+		return d.Value
+	}
+}
+
+// generateClass produces one class's arrival stream with the exact RNG
+// discipline of workload.Generate: PCG(seed, seed^mix); per candidate
+// arrival one exponential gap at the peak rate, a thinning uniform only
+// when the rate is non-constant, then the demand draw(s) and the partial
+// draw for accepted arrivals. IDs are provisional (intra-class); Compile
+// reassigns them after the merge.
+func generateClass(s *Spec, c *ClassSpec, seed uint64) []job.Job {
+	rng := rand.New(rand.NewPCG(seed, seed^seedMix))
+	pf := 1.0
+	if c.PartialFraction != nil {
+		pf = *c.PartialFraction
+	}
+	thinned := !plain(s, c)
+	peak := c.Rate
+	if thinned {
+		peak = peakRate(s, c)
+	}
+	var jobs []job.Job
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / peak
+		if t >= s.Duration {
+			break
+		}
+		if thinned && rng.Float64() > rateAt(s, c, t)/peak {
+			continue // thinned out
+		}
+		jobs = append(jobs, job.Job{
+			ID:       job.ID(len(jobs)),
+			Release:  t,
+			Deadline: t + c.Deadline,
+			Demand:   sampleDemand(&c.Demand, rng),
+			Partial:  rng.Float64() < pf,
+			Class:    c.Name,
+		})
+	}
+	return jobs
+}
+
+// OfferedLoad returns the long-run demand (units/s) the spec offers across
+// all classes at their base rates: Σ rate × mean demand. Periods, diurnal
+// profiles, and bursts shift the instantaneous load around this figure.
+func (s *Spec) OfferedLoad() float64 {
+	total := 0.0
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		total += c.Rate * c.Demand.Mean()
+	}
+	return total
+}

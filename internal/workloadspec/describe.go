@@ -1,0 +1,69 @@
+package workloadspec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a human-readable summary of a validated spec: horizon,
+// seed, offered load, then one block per class with its rate plan, demand
+// distribution, SLO parameters, and modulation layers. It is the output of
+// `desim workload -describe`.
+func (s *Spec) Describe() string {
+	var b strings.Builder
+	name := s.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "workload %s: %s, %d class(es), %.6gs horizon, seed %d\n",
+		SchemaV1, name, len(s.Classes), s.Duration, s.Seed)
+	fmt.Fprintf(&b, "  offered load %.1f units/s at base rates\n", s.OfferedLoad())
+	if len(s.Bursts) > 0 {
+		fmt.Fprintf(&b, "  %d spec-level burst(s):", len(s.Bursts))
+		for _, bu := range s.Bursts {
+			fmt.Fprintf(&b, " [%g,%g)x%g", bu.Start, bu.End, bu.Multiplier)
+		}
+		b.WriteString("\n")
+	}
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		fmt.Fprintf(&b, "  class %q: %g req/s, deadline %gs, priority %d\n",
+			c.Name, c.Rate, c.Deadline, c.Priority)
+		fmt.Fprintf(&b, "    demand %s (mean %.1f units)\n", describeDemand(&c.Demand), c.Demand.Mean())
+		pf := 1.0
+		if c.PartialFraction != nil {
+			pf = *c.PartialFraction
+		}
+		fmt.Fprintf(&b, "    partial fraction %g", pf)
+		if c.Quality != nil {
+			if fn, err := c.Quality.Function(); err == nil {
+				fmt.Fprintf(&b, ", quality %s", fn.Name())
+			}
+		}
+		if c.Seed != nil {
+			fmt.Fprintf(&b, ", seed %d", *c.Seed)
+		}
+		b.WriteString("\n")
+		for _, p := range c.Periods {
+			fmt.Fprintf(&b, "    period [%g,%g)s at %g req/s\n", p.Start, p.End, p.Rate)
+		}
+		if d := c.Diurnal; d != nil {
+			fmt.Fprintf(&b, "    diurnal amplitude %g, period %gs\n", d.Amplitude, d.Period)
+		}
+		for _, bu := range c.Bursts {
+			fmt.Fprintf(&b, "    burst [%g,%g)s x%g\n", bu.Start, bu.End, bu.Multiplier)
+		}
+	}
+	return b.String()
+}
+
+func describeDemand(d *DemandSpec) string {
+	switch d.Dist {
+	case "bounded-pareto":
+		return fmt.Sprintf("bounded-pareto(alpha=%g, [%g,%g])", d.Alpha, d.Min, d.Max)
+	case "uniform":
+		return fmt.Sprintf("uniform[%g,%g]", d.Min, d.Max)
+	default:
+		return fmt.Sprintf("point(%g)", d.Value)
+	}
+}

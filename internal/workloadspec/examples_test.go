@@ -1,0 +1,74 @@
+package workloadspec
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dessched/internal/workload"
+)
+
+// TestExampleSpecsValidate: every spec shipped under examples/workloads
+// decodes and validates — the same check CI's workload-smoke step runs
+// through the CLI.
+func TestExampleSpecsValidate(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/workloads/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected at least 3 example specs, found %d", len(paths))
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Decode(b)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if jobs, err := Compile(spec); err != nil {
+			t.Errorf("%s: compile: %v", p, err)
+		} else if len(jobs) == 0 {
+			t.Errorf("%s: compiled to an empty stream", p)
+		}
+	}
+}
+
+// TestPaperDefaultExampleFileBitIdentical: the checked-in
+// paper-default.json — not just the in-process PaperDefault constructor —
+// reproduces the legacy generator's stream exactly.
+func TestPaperDefaultExampleFileBitIdentical(t *testing.T) {
+	b, err := os.ReadFile("../../examples/workloads/paper-default.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.Generate(workload.DefaultConfig(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream lengths differ: spec %d, legacy %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ID != w.ID ||
+			math.Float64bits(g.Release) != math.Float64bits(w.Release) ||
+			math.Float64bits(g.Deadline) != math.Float64bits(w.Deadline) ||
+			math.Float64bits(g.Demand) != math.Float64bits(w.Demand) ||
+			g.Partial != w.Partial {
+			t.Fatalf("job %d differs:\nspec   %+v\nlegacy %+v", i, g, w)
+		}
+	}
+}

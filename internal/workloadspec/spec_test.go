@@ -1,0 +1,372 @@
+package workloadspec
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/job"
+	"dessched/internal/workload"
+)
+
+// TestPaperDefaultBitIdentical is the equivalence proof the subsystem
+// hinges on: compiling the paper-default spec must reproduce the legacy
+// generator's stream bit-identically (same releases, deadlines, demands,
+// and partial flags, in the same order) for the same seed.
+func TestPaperDefaultBitIdentical(t *testing.T) {
+	for _, rate := range []float64{30, 90, 150} {
+		legacy, err := workload.Generate(workload.DefaultConfig(rate))
+		if err != nil {
+			t.Fatalf("legacy generate: %v", err)
+		}
+		spec := PaperDefault(rate)
+		got, err := Compile(spec)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		if len(got) != len(legacy) {
+			t.Fatalf("rate %g: %d jobs, legacy %d", rate, len(got), len(legacy))
+		}
+		for i := range got {
+			g := got[i]
+			if g.Class != "search" {
+				t.Fatalf("rate %g job %d: class %q", rate, i, g.Class)
+			}
+			g.Class = "" // strip the class; everything else must be bitwise equal
+			if g != legacy[i] {
+				t.Fatalf("rate %g job %d: got %v, legacy %v", rate, i, g, legacy[i])
+			}
+		}
+	}
+}
+
+// TestPaperDefaultSurvivesJSONRoundTrip re-proves bit-identity after the
+// spec has been through encode/decode — the path CLI and HTTP users take.
+func TestPaperDefaultSurvivesJSONRoundTrip(t *testing.T) {
+	spec := PaperDefault(90)
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want, err := Compile(spec)
+	if err != nil {
+		t.Fatalf("compile original: %v", err)
+	}
+	got, err := Compile(back)
+	if err != nil {
+		t.Fatalf("compile round-tripped: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d jobs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("job %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func twoClassSpec() *Spec {
+	pf := 0.5
+	return &Spec{
+		Schema:   SchemaV1,
+		Name:     "two-class",
+		Duration: 60,
+		Seed:     7,
+		Classes: []ClassSpec{
+			{
+				Name:     "interactive",
+				Rate:     80,
+				Deadline: 0.150,
+				Demand:   DemandSpec{Dist: "bounded-pareto", Alpha: 3, Min: 130, Max: 1000},
+				Quality:  &QualitySpec{Kind: "exp"},
+			},
+			{
+				Name:            "batch",
+				Rate:            10,
+				Deadline:        1.0,
+				Demand:          DemandSpec{Dist: "uniform", Min: 200, Max: 800},
+				Quality:         &QualitySpec{Kind: "linear", Span: 800},
+				PartialFraction: &pf,
+				Priority:        1,
+			},
+		},
+	}
+}
+
+// TestCompileTwoClassDeterministic compiles a 2-class spec twice and
+// demands identical streams, dense IDs, non-decreasing releases, and
+// per-class agreeable deadlines.
+func TestCompileTwoClassDeterministic(t *testing.T) {
+	a, err := Compile(twoClassSpec())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	b, err := Compile(twoClassSpec())
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic length: %d vs %d", len(a), len(b))
+	}
+	counts := map[string]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between compiles: %v vs %v", i, a[i], b[i])
+		}
+		if a[i].ID != job.ID(i) {
+			t.Fatalf("job %d: ID %d not dense", i, a[i].ID)
+		}
+		if i > 0 && a[i].Release < a[i-1].Release {
+			t.Fatalf("job %d released before job %d", i, i-1)
+		}
+		counts[a[i].Class]++
+	}
+	if counts["interactive"] == 0 || counts["batch"] == 0 {
+		t.Fatalf("missing a class: %v", counts)
+	}
+	if err := job.ValidateAllByClass(a); err != nil {
+		t.Fatalf("compiled stream invalid: %v", err)
+	}
+	// The merged multi-class stream is intentionally NOT globally agreeable
+	// (batch jobs carry later deadlines than interleaved interactive ones).
+	if job.Agreeable(a) {
+		t.Fatal("expected mixed-deadline stream to violate global agreeableness")
+	}
+}
+
+// TestClassSeedIndependence: pinning a class seed reproduces that class's
+// arrivals regardless of sibling classes.
+func TestClassSeedIndependence(t *testing.T) {
+	seed := uint64(42)
+	solo := &Spec{
+		Schema: SchemaV1, Duration: 30, Seed: 9,
+		Classes: []ClassSpec{{
+			Name: "a", Rate: 50, Deadline: 0.2, Seed: &seed,
+			Demand: DemandSpec{Dist: "point", Value: 150},
+		}},
+	}
+	duo := &Spec{
+		Schema: SchemaV1, Duration: 30, Seed: 77,
+		Classes: []ClassSpec{
+			{Name: "other", Rate: 20, Deadline: 0.5, Demand: DemandSpec{Dist: "point", Value: 100}},
+			{Name: "a", Rate: 50, Deadline: 0.2, Seed: &seed, Demand: DemandSpec{Dist: "point", Value: 150}},
+		},
+	}
+	js1, err := Compile(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := Compile(duo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	for _, j := range js2 {
+		if j.Class == "a" {
+			got = append(got, j.Release)
+		}
+	}
+	if len(got) != len(js1) {
+		t.Fatalf("class a: %d arrivals with sibling, %d alone", len(got), len(js1))
+	}
+	for i, j := range js1 {
+		if got[i] != j.Release {
+			t.Fatalf("arrival %d: release %g with sibling, %g alone", i, got[i], j.Release)
+		}
+	}
+}
+
+// TestMultiPeriodRates: a period window must change the arrival density
+// inside it and leave the base rate elsewhere.
+func TestMultiPeriodRates(t *testing.T) {
+	spec := &Spec{
+		Schema: SchemaV1, Duration: 300, Seed: 3,
+		Classes: []ClassSpec{{
+			Name: "web", Rate: 20, Deadline: 0.15,
+			Demand:  DemandSpec{Dist: "point", Value: 100},
+			Periods: []PeriodSpec{{Start: 100, End: 200, Rate: 120}},
+		}},
+	}
+	jobs, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, inside, after int
+	for _, j := range jobs {
+		switch {
+		case j.Release < 100:
+			before++
+		case j.Release < 200:
+			inside++
+		default:
+			after++
+		}
+	}
+	// Expect ≈2000 before, ≈12000 inside, ≈2000 after; 3x slack on both
+	// sides keeps the test deterministic-robust.
+	if inside < 3*before || inside < 3*after {
+		t.Fatalf("period window not denser: before=%d inside=%d after=%d", before, inside, after)
+	}
+	if before == 0 || after == 0 {
+		t.Fatalf("base-rate segments empty: before=%d after=%d", before, after)
+	}
+}
+
+// TestPeakEnvelopeAfterWindowEnd: the thinning envelope must cover the rate
+// after a low-rate period ends, or the tail of the stream is under-sampled.
+func TestPeakEnvelopeAfterWindowEnd(t *testing.T) {
+	spec := &Spec{
+		Schema: SchemaV1, Duration: 200, Seed: 5,
+		Classes: []ClassSpec{{
+			Name: "web", Rate: 100, Deadline: 0.15,
+			Demand:  DemandSpec{Dist: "point", Value: 100},
+			Periods: []PeriodSpec{{Start: 0, End: 100, Rate: 5}},
+		}},
+	}
+	c := &spec.Classes[0]
+	if got := peakRate(spec, c); got < 100 {
+		t.Fatalf("peak envelope %g below post-period base rate 100", got)
+	}
+	jobs, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail int
+	for _, j := range jobs {
+		if j.Release >= 100 {
+			tail++
+		}
+	}
+	// ≈100 req/s over 100 s ⇒ ≈10000 arrivals; anything above half rules
+	// out envelope truncation.
+	if tail < 5000 {
+		t.Fatalf("post-period tail under-sampled: %d arrivals", tail)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	base := func() *Spec { return twoClassSpec() }
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"bad schema", func(s *Spec) { s.Schema = "dessched-workload/v9" }},
+		{"zero duration", func(s *Spec) { s.Duration = 0 }},
+		{"nan duration", func(s *Spec) { s.Duration = math.NaN() }},
+		{"no classes", func(s *Spec) { s.Classes = nil }},
+		{"dup class", func(s *Spec) { s.Classes[1].Name = s.Classes[0].Name }},
+		{"empty name", func(s *Spec) { s.Classes[0].Name = "" }},
+		{"nan rate", func(s *Spec) { s.Classes[0].Rate = math.NaN() }},
+		{"negative rate", func(s *Spec) { s.Classes[0].Rate = -1 }},
+		{"negative deadline", func(s *Spec) { s.Classes[0].Deadline = -0.1 }},
+		{"bad partial", func(s *Spec) { pf := 1.5; s.Classes[0].PartialFraction = &pf }},
+		{"nan partial", func(s *Spec) { pf := math.NaN(); s.Classes[0].PartialFraction = &pf }},
+		{"negative priority", func(s *Spec) { s.Classes[0].Priority = -2 }},
+		{"bad dist", func(s *Spec) { s.Classes[0].Demand.Dist = "lognormal" }},
+		{"bad pareto", func(s *Spec) { s.Classes[0].Demand.Alpha = -3 }},
+		{"bad uniform", func(s *Spec) { s.Classes[1].Demand = DemandSpec{Dist: "uniform", Min: 10, Max: 5} }},
+		{"bad point", func(s *Spec) { s.Classes[0].Demand = DemandSpec{Dist: "point", Value: 0} }},
+		{"bad quality kind", func(s *Spec) { s.Classes[0].Quality = &QualitySpec{Kind: "cubic"} }},
+		{"bad quality c", func(s *Spec) { s.Classes[0].Quality = &QualitySpec{Kind: "exp", C: -1} }},
+		{"bad span", func(s *Spec) { s.Classes[0].Quality = &QualitySpec{Kind: "linear", Span: math.Inf(1)} }},
+		{"empty period", func(s *Spec) { s.Classes[0].Periods = []PeriodSpec{{Start: 5, End: 5, Rate: 10}} }},
+		{"nan period rate", func(s *Spec) { s.Classes[0].Periods = []PeriodSpec{{Start: 0, End: 5, Rate: math.NaN()}} }},
+		{"overlapping periods", func(s *Spec) {
+			s.Classes[0].Periods = []PeriodSpec{{Start: 0, End: 10, Rate: 5}, {Start: 5, End: 15, Rate: 9}}
+		}},
+		{"bad diurnal amplitude", func(s *Spec) { s.Classes[0].Diurnal = &DiurnalSpec{Amplitude: 1.5, Period: 60} }},
+		{"bad diurnal period", func(s *Spec) { s.Classes[0].Diurnal = &DiurnalSpec{Amplitude: 0.5, Period: 0} }},
+		{"bad class burst", func(s *Spec) { s.Classes[0].Bursts = []BurstSpec{{Start: 10, End: 5, Multiplier: 2}} }},
+		{"bad spec burst", func(s *Spec) { s.Bursts = []BurstSpec{{Start: 0, End: 10, Multiplier: -1}} }},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if _, ok := cfgerr.As(err); !ok {
+			t.Errorf("%s: error %v is not a *cfgerr.Error", tc.name, err)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := Decode([]byte(`{"schema":"dessched-workload/v1","duration_s":10,"classes":[],"surprise":1}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, ok := cfgerr.As(err); !ok {
+		t.Fatalf("error %v is not a *cfgerr.Error", err)
+	}
+}
+
+func TestDecodeValid(t *testing.T) {
+	b, err := json.Marshal(twoClassSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(s.Classes) != 2 || s.Classes[1].Priority != 1 {
+		t.Fatalf("round-trip lost fields: %+v", s)
+	}
+}
+
+func TestQualityByClass(t *testing.T) {
+	m, err := twoClassSpec().QualityByClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(m))
+	}
+	if got := m["interactive"].Name(); got != "exp(c=0.003)" {
+		t.Fatalf("interactive quality %q", got)
+	}
+	if got := m["batch"].Name(); got != "linear(span=800)" {
+		t.Fatalf("batch quality %q", got)
+	}
+	// No explicit selections ⇒ nil map ⇒ engine default everywhere.
+	m2, err := PaperDefault(90).QualityByClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != nil {
+		t.Fatalf("paper default should have no class-quality map, got %v", m2)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := twoClassSpec()
+	s.Classes[0].Periods = []PeriodSpec{{Start: 10, End: 20, Rate: 200}}
+	s.Classes[0].Diurnal = &DiurnalSpec{Amplitude: 0.5, Period: 300}
+	out := s.Describe()
+	for _, want := range []string{"two-class", "interactive", "batch", "bounded-pareto", "uniform", "period [10,20)s", "diurnal amplitude 0.5", "priority 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	s := twoClassSpec()
+	want := 80*workload.BoundedPareto{Alpha: 3, Xmin: 130, Xmax: 1000}.Mean() + 10*500
+	if got := s.OfferedLoad(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("offered load %g, want %g", got, want)
+	}
+}
