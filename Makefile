@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples workload-smoke
+.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples workload-smoke docs-lint
 
 all: build vet test
 
@@ -88,6 +88,20 @@ workload-smoke:
 	$(GO) run ./cmd/desim workload -validate /tmp/dessched-smoke-trace.csv
 	$(GO) run ./cmd/desim sim -workload /tmp/dessched-smoke-trace.csv \
 		-cores 4 -budget 80 >/dev/null
+
+# Every exported identifier in the streaming-facing packages must carry a
+# doc comment — godoc is part of the documented API surface (docs/SCALE.md
+# links into it). Extend DOCS_LINT_PKGS as more packages graduate.
+DOCS_LINT_PKGS ?= internal/cluster internal/workloadspec
+docs-lint:
+	@fail=0; \
+	for f in $(foreach p,$(DOCS_LINT_PKGS),$(p)/*.go); do \
+		case $$f in *_test.go) continue;; esac; \
+		awk -v F=$$f 'prev !~ /^\/\// && (/^func [A-Z]/ || /^func \([^)]*\) [A-Z]/ || /^(type|const|var) [A-Z]/) \
+			{print F":"FNR": undocumented export: "$$0; bad=1} {prev=$$0} END {exit bad}' $$f || fail=1; \
+	done; \
+	if [ $$fail -ne 0 ]; then echo "docs-lint: add doc comments to the exports above"; exit 1; fi; \
+	echo "docs-lint: ok"
 
 cover:
 	$(GO) test -short -cover ./...

@@ -7,6 +7,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"dessched"
@@ -42,6 +44,11 @@ type BenchScenario struct {
 	NsPerEvent     float64 `json:"ns_per_event"`   // WallSeconds * 1e9 / Events
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+
+	// PeakRSSBytes is the process peak resident set after the scenario,
+	// recorded for memory-bounded scenarios (cluster-m1024) so RSS
+	// regressions gate the bench compare like throughput regressions do.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // benchCase builds a scenario. setup prepares everything untimed (config,
@@ -53,13 +60,26 @@ type benchCase struct {
 	name  string
 	sim   float64
 	setup func(simSeconds float64) (benchRun, error)
+
+	// repeats, when > 0, overrides the -repeats flag — heavyweight
+	// scenarios (cluster-m1024) run once rather than thrice.
+	repeats int
+	// noWarmup skips the untimed warm-up run for scenarios whose single
+	// execution already dwarfs any lazy-initialization noise.
+	noWarmup bool
+	// rssLimit, when > 0, fails the scenario outright if the process peak
+	// RSS exceeds it after the runs — the bounded-memory contract.
+	rssLimit int64
 }
 
 // benchRun is one prepared scenario: the workload size and the repeatable
 // timed body.
 type benchRun struct {
 	jobs int
-	run  func() (events int, err error)
+	// jobsFn, when set, supplies the exact job count after the first run —
+	// streamed scenarios only know arrivals once the source is drained.
+	jobsFn func() int
+	run    func() (events int, err error)
 }
 
 // simRun adapts a single-server (cfg, jobs, policy factory) triple to a
@@ -159,42 +179,113 @@ func benchCases(simSeconds float64) []benchCase {
 				return res.Events, err
 			}}, nil
 		}},
+		// cluster-m1024 pins the streaming fleet path at scale: 1,024
+		// servers × 4 cores at 80 W behind round-robin dispatch,
+		// hierarchical water-filling over 85% of the summed nominal
+		// budgets, and arrivals pulled lazily from the generator at
+		// ~60 req/s per server (≈10M jobs at the default -duration, scale
+		// factor 32) so the whole run never materializes the job slice.
+		// One timed repeat, no warm-up — a single execution is minutes of
+		// simulated fleet time — and the scenario fails outright if peak
+		// RSS crosses 1 GiB, which is the bounded-memory contract that
+		// docs/SCALE.md documents.
+		{name: "cluster-m1024", sim: 32 * simSeconds, repeats: 1, noWarmup: true,
+			rssLimit: 1 << 30,
+			setup: func(d float64) (benchRun, error) {
+				server := dessched.PaperServer()
+				server.Cores = 4
+				server.Budget = 80
+				ccfg := dessched.ClusterConfig{
+					Servers:      1024,
+					Server:       server,
+					Policy:       "des",
+					Dispatch:     dessched.DispatchRoundRobin,
+					GlobalBudget: 0.85 * 1024 * server.Budget,
+				}
+				wl := dessched.PaperWorkload(61440)
+				wl.Duration = d
+				arrived := 0
+				return benchRun{
+					jobs:   int(61440 * d), // estimate; jobsFn reports the exact draw
+					jobsFn: func() int { return arrived },
+					run: func() (int, error) {
+						src, err := dessched.NewWorkloadStream(wl)
+						if err != nil {
+							return 0, err
+						}
+						res, err := dessched.SimulateClusterStream(ccfg, src)
+						arrived = res.Arrived
+						return res.Events, err
+					}}, nil
+			}},
 	}
+}
+
+// peakRSSBytes reports the process's high-water resident set. On Linux it
+// reads VmHWM from /proc/self/status — the kernel's own peak accounting,
+// which sees every page the Go heap, stacks, and runtime ever touched.
+// Elsewhere it falls back to runtime.MemStats.Sys, the bytes Go obtained
+// from the OS (an upper bound on the Go-owned share, blind to peaks).
+func peakRSSBytes() int64 {
+	if raw, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(raw), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
 }
 
 // measureScenario runs one case `repeats` times and keeps the fastest wall
 // time; allocation counts are per-run medians in spirit but in practice are
 // deterministic, so the best repeat's are reported.
 func measureScenario(c benchCase, repeats int) (BenchScenario, error) {
+	if c.repeats > 0 {
+		repeats = c.repeats
+	}
 	br, err := c.setup(c.sim)
 	if err != nil {
 		return BenchScenario{}, fmt.Errorf("%s: setup: %w", c.name, err)
-	}
-	// One untimed warm-up run to populate lazy state and steady the heap.
-	events, err := br.run()
-	if err != nil {
-		return BenchScenario{}, fmt.Errorf("%s: %w", c.name, err)
 	}
 	sc := BenchScenario{
 		Name:        c.name,
 		SimSeconds:  c.sim,
 		Jobs:        br.jobs,
-		Events:      events,
+		Events:      -1,
 		Repeats:     repeats,
 		WallSeconds: math.Inf(1),
+	}
+	if !c.noWarmup {
+		// One untimed warm-up run to populate lazy state and steady the heap.
+		events, err := br.run()
+		if err != nil {
+			return BenchScenario{}, fmt.Errorf("%s: %w", c.name, err)
+		}
+		sc.Events = events
 	}
 	var ms0, ms1 runtime.MemStats
 	for r := 0; r < repeats; r++ {
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
-		events, err = br.run()
+		events, err := br.run()
 		wall := time.Since(start).Seconds()
 		runtime.ReadMemStats(&ms1)
 		if err != nil {
 			return BenchScenario{}, fmt.Errorf("%s: %w", c.name, err)
 		}
-		if events != sc.Events {
+		if sc.Events < 0 {
+			sc.Events = events
+		} else if events != sc.Events {
 			return BenchScenario{}, fmt.Errorf("%s: event count drifted across repeats (%d vs %d) — nondeterminism", c.name, events, sc.Events)
 		}
 		if wall < sc.WallSeconds {
@@ -204,6 +295,16 @@ func measureScenario(c benchCase, repeats int) (BenchScenario, error) {
 			sc.NsPerEvent = wall * 1e9 / ev
 			sc.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / ev
 			sc.BytesPerEvent = float64(ms1.TotalAlloc-ms0.TotalAlloc) / ev
+		}
+	}
+	if br.jobsFn != nil {
+		sc.Jobs = br.jobsFn()
+	}
+	if c.rssLimit > 0 {
+		sc.PeakRSSBytes = peakRSSBytes()
+		if sc.PeakRSSBytes > c.rssLimit {
+			return BenchScenario{}, fmt.Errorf("%s: peak RSS %.0f MiB exceeds the %.0f MiB limit — the streamed pipeline is no longer memory-bounded",
+				c.name, float64(sc.PeakRSSBytes)/(1<<20), float64(c.rssLimit)/(1<<20))
 		}
 	}
 	return sc, nil
@@ -245,8 +346,12 @@ func cmdBench(args []string) error {
 			return err
 		}
 		rep.Scenarios = append(rep.Scenarios, sc)
-		fmt.Printf("%-16s %9d events  %11.0f events/s  %7.0f ns/event  %6.2f allocs/event  %7.0f B/event\n",
+		fmt.Printf("%-16s %9d events  %11.0f events/s  %7.0f ns/event  %6.2f allocs/event  %7.0f B/event",
 			sc.Name, sc.Events, sc.EventsPerSec, sc.NsPerEvent, sc.AllocsPerEvent, sc.BytesPerEvent)
+		if sc.PeakRSSBytes > 0 {
+			fmt.Printf("  %5.0f MiB peak RSS", float64(sc.PeakRSSBytes)/(1<<20))
+		}
+		fmt.Println()
 	}
 
 	if *out != "" {
@@ -302,12 +407,18 @@ func compareBench(fresh BenchReport, baselinePath string, threshold float64) err
 		delete(byName, sc.Name)
 		dt := rel(sc.NsPerEvent, old.NsPerEvent)
 		da := rel(sc.AllocsPerEvent, old.AllocsPerEvent)
+		dm := rel(float64(sc.PeakRSSBytes), float64(old.PeakRSSBytes))
 		status := "ok"
-		if dt > threshold || da > threshold {
+		if dt > threshold || da > threshold || dm > threshold {
 			status = "REGRESSED"
 			regressed++
 		}
-		fmt.Printf("%-16s ns/event %+.1f%%  allocs/event %+.1f%%  %s\n", sc.Name, dt*100, da*100, status)
+		if sc.PeakRSSBytes > 0 && old.PeakRSSBytes > 0 {
+			fmt.Printf("%-16s ns/event %+.1f%%  allocs/event %+.1f%%  peak RSS %+.1f%%  %s\n",
+				sc.Name, dt*100, da*100, dm*100, status)
+		} else {
+			fmt.Printf("%-16s ns/event %+.1f%%  allocs/event %+.1f%%  %s\n", sc.Name, dt*100, da*100, status)
+		}
 	}
 	for name := range byName {
 		fmt.Printf("%-16s present in baseline only\n", name)

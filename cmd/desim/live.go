@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"dessched"
 	"dessched/internal/telemetry"
@@ -109,6 +110,153 @@ func clusterSpec(policy, arch string, wf bool) (string, error) {
 		return strings.ToLower(policy), nil
 	}
 	return "", fmt.Errorf("unknown policy %q", policy)
+}
+
+// runClusterStream is cmdSim's -stream path: the fleet runs over a lazy
+// arrival source in bounded memory (docs/SCALE.md). The bounded
+// instrumentation surface — live ticker, epoch series, merged telemetry —
+// still applies; span and schedule traces grow with the run and were
+// rejected upstream. Checkpointing uses streamed snapshots (per-engine
+// state + arrival cursor) instead of the batch completed-server images.
+func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
+	src dessched.JobSource, dispatch string, globalBudget float64,
+	chaosSeed uint64, horizon float64, hedge dessched.HedgeConfig,
+	checkpointOut, resumeIn string, checkpointEvery float64,
+	fl simInstrumentFlags, telemetryOut string) error {
+
+	d, err := dessched.ParseDispatchPolicy(dispatch)
+	if err != nil {
+		return err
+	}
+	ccfg := dessched.ClusterConfig{
+		Servers:      servers,
+		Server:       cfg,
+		Policy:       spec,
+		Dispatch:     d,
+		GlobalBudget: globalBudget,
+		Epoch:        fl.epoch,
+		Hedge:        hedge,
+	}
+
+	ins := &dessched.ClusterInstrument{}
+	var rec *dessched.SeriesRecorder
+	if fl.wantSeries() {
+		rec = dessched.NewSeriesRecorder(0)
+		if fl.live {
+			rec.OnSample = liveTicker(os.Stdout)
+		}
+		ins.Series = rec
+	}
+	var reg *dessched.MetricsRegistry
+	if telemetryOut != "" {
+		reg = dessched.NewMetricsRegistry()
+		ins.Registry = reg
+	}
+	if ins.Series != nil || ins.Registry != nil {
+		if checkpointOut != "" || resumeIn != "" {
+			return fmt.Errorf("cluster -checkpoint/-resume cannot be combined with -telemetry/-series/-live")
+		}
+		ccfg.Instrument = ins
+	}
+
+	snapshots := 0
+	if checkpointOut != "" {
+		// -checkpoint-every is simulated seconds; streamed snapshots land on
+		// dispatch-epoch boundaries, so convert and round down (min 1 epoch).
+		epoch := fl.epoch
+		if epoch <= 0 {
+			epoch = 1
+		}
+		every := int(checkpointEvery / epoch)
+		if every < 1 {
+			every = 1
+		}
+		ccfg.StreamCheckpoint = &dessched.ClusterStreamCheckpointConfig{
+			Every: every,
+			Sink: func(s *dessched.ClusterStreamSnapshot) error {
+				b, err := dessched.EncodeClusterStreamSnapshot(s)
+				if err != nil {
+					return err
+				}
+				snapshots++
+				return os.WriteFile(checkpointOut, b, 0o644)
+			},
+		}
+	}
+
+	if chaosSeed > 0 {
+		faults, err := dessched.ClusterChaosFaults(chaosSeed, horizon, servers, cfg.Cores)
+		if err != nil {
+			return err
+		}
+		ccfg.Faults = faults
+	}
+
+	start := time.Now()
+	var res dessched.ClusterResult
+	if resumeIn != "" {
+		b, err := os.ReadFile(resumeIn)
+		if err != nil {
+			return err
+		}
+		snap, err := dessched.DecodeClusterStreamSnapshot(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resume: continuing from dispatch epoch %d (%d jobs consumed) in %s\n",
+			snap.Epoch, snap.JobsFed, resumeIn)
+		if res, err = dessched.ResumeClusterStream(ccfg, src, snap); err != nil {
+			return err
+		}
+	} else if res, err = dessched.SimulateClusterStream(ccfg, src); err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	if checkpointOut != "" {
+		fmt.Printf("checkpoint: %d snapshots taken, latest at %s\n", snapshots, checkpointOut)
+	}
+
+	fmt.Printf("cluster (streamed): %d × %s servers, dispatch %s, global budget %.0f W\n",
+		res.Servers, spec, res.Dispatch, globalBudget)
+	fmt.Printf("quality %.2f / %.2f (norm %.4f), energy %.1f J, peak-power sum %.1f W\n",
+		res.Quality, res.MaxQuality, res.NormQuality, res.Energy, res.PeakPowerSum)
+	fmt.Printf("arrived %d, completed %d, deadlined %d, shed %d, span %.2f s\n",
+		res.Arrived, res.Completed, res.Deadlined, res.Shed, res.Span)
+	if res.Retried > 0 || res.Abandoned > 0 || res.Hedged > 0 {
+		fmt.Printf("recovered: retried %d, abandoned %d, retry quality %.3f, hedged %d (wins %d, %+.3f quality)\n",
+			res.Retried, res.Abandoned, res.RetryQuality, res.Hedged, res.HedgeWins, res.HedgeQuality)
+	}
+	if wall > 0 {
+		fmt.Printf("stream: %d jobs, %d events in %.1f s wall (%.0f events/s), peak RSS %.0f MiB\n",
+			res.Arrived, res.Events, wall, float64(res.Events)/wall, float64(peakRSSBytes())/(1<<20))
+	}
+	// A thousand-server fleet would print a thousand share lines; keep the
+	// per-server breakdown to small fleets.
+	if len(res.PerServer) <= 16 {
+		for _, sr := range res.PerServer {
+			fmt.Printf("  server %2d: %4d jobs, share %6.1f W, norm quality %.4f, energy %8.1f J\n",
+				sr.Server, sr.Jobs, sr.BudgetShareW, sr.Result.NormQuality, sr.Result.Energy)
+		}
+	}
+	printClassResults(res.Classes)
+
+	if fl.seriesOut != "" {
+		if err := writeSeriesFile(fl.seriesOut, rec); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		f, err := os.Create(telemetryOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WritePrometheus(f, reg.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: merged cluster snapshot written to %s\n", telemetryOut)
+	}
+	return nil
 }
 
 // runClusterSim is cmdSim's -servers > 1 path: one fleet run with the

@@ -455,6 +455,7 @@ func cmdSim(args []string) error {
 	telemetryOut := fs.String("telemetry", "", "write a Prometheus-format metrics snapshot of the run to this file")
 	perfettoOut := fs.String("perfetto", "", "write the executed schedule as Perfetto/Chrome trace-event JSON to this file")
 	servers := fs.Int("servers", 1, "fleet size; > 1 runs the cluster path (dispatcher + hierarchical budget)")
+	stream := fs.Bool("stream", false, "pull arrivals lazily and run the cluster in bounded memory (with -servers > 1; see docs/SCALE.md)")
 	dispatch := fs.String("dispatch", "rr", "cluster dispatch policy: rr | ll | hash (with -servers > 1)")
 	globalBudget := fs.Float64("global-budget", 0, "global datacenter budget, W (0 = no hierarchy; with -servers > 1)")
 	live := fs.Bool("live", false, "render per-epoch samples as a terminal ticker while the run executes")
@@ -529,6 +530,35 @@ func cmdSim(args []string) error {
 		if err != nil {
 			return err
 		}
+		horizon := *duration
+		if wlSpec != nil {
+			horizon = wlSpec.Duration
+		}
+		hedge := dessched.HedgeConfig{Window: *hedgeWindow, Limit: *hedgeLimit}
+		if *stream {
+			if fl.wantSpans() || *traceOut != "" || *perfettoOut != "" {
+				return fmt.Errorf("-stream cannot record span or schedule traces (they grow with the run); drop -spans/-spans-perfetto/-trace/-perfetto")
+			}
+			var src dessched.JobSource
+			switch {
+			case wlSpec != nil:
+				if src, err = dessched.NewWorkloadSpecStream(wlSpec); err != nil {
+					return err
+				}
+			case wlJobs != nil:
+				src = dessched.NewSliceJobSource(wlJobs)
+			default:
+				wl := dessched.PaperWorkload(*rate)
+				wl.Duration = *duration
+				wl.Seed = *seed
+				wl.PartialFraction = *partial
+				if src, err = dessched.NewWorkloadStream(wl); err != nil {
+					return err
+				}
+			}
+			return runClusterStream(*servers, spec, cfg, src, *dispatch, *globalBudget,
+				*chaosSeed, horizon, hedge, *checkpointOut, *resumeIn, *checkpointEvery, fl, *telemetryOut)
+		}
 		jobs := wlJobs
 		if jobs == nil {
 			wl := dessched.PaperWorkload(*rate)
@@ -539,13 +569,11 @@ func cmdSim(args []string) error {
 				return err
 			}
 		}
-		horizon := *duration
-		if wlSpec != nil {
-			horizon = wlSpec.Duration
-		}
-		hedge := dessched.HedgeConfig{Window: *hedgeWindow, Limit: *hedgeLimit}
 		return runClusterSim(*servers, spec, cfg, jobs, horizon, *dispatch, *globalBudget,
 			*chaosSeed, hedge, *checkpointOut, *resumeIn, fl, *traceOut, *perfettoOut, *telemetryOut)
+	}
+	if *stream {
+		return fmt.Errorf("-stream needs -servers > 1: the streamed pipeline is the cluster dispatch path")
 	}
 	if *hedgeWindow > 0 {
 		return fmt.Errorf("-hedge-window needs -servers > 1: hedging duplicates jobs across servers")

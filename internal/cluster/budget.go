@@ -109,16 +109,9 @@ func epochBudgets(servers int, server sim.Config, globalBudget, epoch, headroom,
 		}
 	}
 
-	cores := float64(server.Cores)
-	var filler dist.Filler
-	var scratch []float64
-	requests := make([]float64, servers)
-	caps := make([]float64, servers)
-	var assigned, extra []float64
+	f := newEpochFiller(servers, server, globalBudget, epochLen, headroom, outages, record)
 
 	windows := make([][]sim.BudgetFault, servers)
-	shares := make([]float64, servers)
-	var epochs []epochRecord
 	// openFrac tracks the fraction of the window being built per server;
 	// openStart its left edge. A fraction of exactly 1 means "no window".
 	openFrac := make([]float64, servers)
@@ -133,73 +126,15 @@ func epochBudgets(servers int, server sim.Config, globalBudget, epoch, headroom,
 		}
 	}
 
+	demandE := make([]float64, servers)
 	for e := 0; e < n; e++ {
 		t0 := float64(e) * epochLen
-		t1 := t0 + epochLen
 		for s := 0; s < servers; s++ {
-			availSec := cores * epochLen
-			if outs := outages[s]; outs != nil {
-				for c := 0; c < server.Cores; c++ {
-					availSec -= overlap(outs[c], t0, t1)
-				}
-			}
-			availFrac := availSec / (cores * epochLen)
-			caps[s] = nominal * availFrac
-			if availSec <= 0 {
-				requests[s] = 0
-				caps[s] = 0
-				continue
-			}
-			// Power to process this epoch's demand with the available
-			// cores sharing it equally — equal split minimizes power for
-			// a convex model, mirroring the paper's equal-sharing insight.
-			rate := demand[s][e] * headroom / epochLen // units/s
-			k := availSec / epochLen                   // effective cores
-			speed := rate / k / power.UnitsPerGHzSecond
-			req := k * server.Power.DynamicPower(speed)
-			if req > caps[s] {
-				req = caps[s]
-			}
-			requests[s] = req
+			demandE[s] = demand[s][e]
 		}
-
-		// Stage one: demand-driven water-fill of the global budget.
-		assigned = filler.WaterFill(assigned, globalBudget, requests)
-		used := 0.0
-		for _, a := range assigned {
-			used += a
-		}
-		// Stage two: share the leftover up to the availability caps.
-		if leftover := globalBudget - used; leftover > 0 {
-			extra = stats.WaterSharesInto(extra, leftover, assigned, caps, &scratch)
-			for s := range assigned {
-				assigned[s] += extra[s]
-			}
-		}
-
-		if record {
-			level, total := 0.0, 0.0
-			for _, a := range assigned {
-				if a > level {
-					level = a
-				}
-				total += a
-			}
-			epochs = append(epochs, epochRecord{
-				index: e, start: t0, end: t1,
-				waterLevel: level, usedW: total, leftoverW: globalBudget - total,
-			})
-		}
-
+		assigned := f.fill(e, demandE)
 		for s := 0; s < servers; s++ {
-			frac := assigned[s] / nominal
-			if frac > 1 {
-				frac = 1
-			}
-			if frac < 0 {
-				frac = 0
-			}
-			shares[s] += assigned[s] * epochLen
+			frac := budgetFrac(assigned[s], nominal)
 			if frac != openFrac[s] {
 				flush(s, openFrac[s], openStart[s], t0)
 				openFrac[s] = frac
@@ -210,7 +145,144 @@ func epochBudgets(servers int, server sim.Config, globalBudget, epoch, headroom,
 	end := float64(n) * epochLen
 	for s := 0; s < servers; s++ {
 		flush(s, openFrac[s], openStart[s], end)
-		shares[s] /= end
 	}
-	return budgetSchedule{windows: windows, shareW: shares, horizon: horizon, epochs: epochs}
+	return budgetSchedule{windows: windows, shareW: f.finishShares(n), horizon: horizon, epochs: f.epochs}
+}
+
+// epochFiller runs the hierarchical water-fill one epoch at a time,
+// carrying the running per-server watt-second totals and (optionally) the
+// per-epoch records across calls. The batch epochBudgets and the streamed
+// cluster pipeline both fill through this type, so the per-server budget
+// fractions — sequential float arithmetic in fixed order — come out bit for
+// bit the same on either path.
+type epochFiller struct {
+	servers  int
+	server   sim.Config
+	nominal  float64
+	global   float64
+	epochLen float64
+	headroom float64
+	outages  [][][]interval
+	record   bool
+
+	filler   dist.Filler
+	scratch  []float64
+	requests []float64
+	caps     []float64
+	assigned []float64
+	extra    []float64
+
+	shares []float64     // running watt-seconds per server
+	epochs []epochRecord // populated only when record is set
+}
+
+// newEpochFiller prepares a filler for a fleet. epochLen must be the final
+// (maxEpochs-stretched, if applicable) epoch length.
+func newEpochFiller(servers int, server sim.Config, global, epochLen, headroom float64, outages [][][]interval, record bool) *epochFiller {
+	return &epochFiller{
+		servers:  servers,
+		server:   server,
+		nominal:  server.Budget,
+		global:   global,
+		epochLen: epochLen,
+		headroom: headroom,
+		outages:  outages,
+		record:   record,
+		requests: make([]float64, servers),
+		caps:     make([]float64, servers),
+		shares:   make([]float64, servers),
+	}
+}
+
+// fill water-fills epoch e (demand holds each server's dispatched demand in
+// the epoch, in processing units) and returns the assigned watts per
+// server. The returned slice is the filler's scratch buffer — valid until
+// the next call.
+func (f *epochFiller) fill(e int, demand []float64) []float64 {
+	epochLen := f.epochLen
+	t0 := float64(e) * epochLen
+	t1 := t0 + epochLen
+	cores := float64(f.server.Cores)
+	for s := 0; s < f.servers; s++ {
+		availSec := cores * epochLen
+		if outs := f.outages[s]; outs != nil {
+			for c := 0; c < f.server.Cores; c++ {
+				availSec -= overlap(outs[c], t0, t1)
+			}
+		}
+		availFrac := availSec / (cores * epochLen)
+		f.caps[s] = f.nominal * availFrac
+		if availSec <= 0 {
+			f.requests[s] = 0
+			f.caps[s] = 0
+			continue
+		}
+		// Power to process this epoch's demand with the available
+		// cores sharing it equally — equal split minimizes power for
+		// a convex model, mirroring the paper's equal-sharing insight.
+		rate := demand[s] * f.headroom / epochLen // units/s
+		k := availSec / epochLen                  // effective cores
+		speed := rate / k / power.UnitsPerGHzSecond
+		req := k * f.server.Power.DynamicPower(speed)
+		if req > f.caps[s] {
+			req = f.caps[s]
+		}
+		f.requests[s] = req
+	}
+
+	// Stage one: demand-driven water-fill of the global budget.
+	f.assigned = f.filler.WaterFill(f.assigned, f.global, f.requests)
+	used := 0.0
+	for _, a := range f.assigned {
+		used += a
+	}
+	// Stage two: share the leftover up to the availability caps.
+	if leftover := f.global - used; leftover > 0 {
+		f.extra = stats.WaterSharesInto(f.extra, leftover, f.assigned, f.caps, &f.scratch)
+		for s := range f.assigned {
+			f.assigned[s] += f.extra[s]
+		}
+	}
+
+	if f.record {
+		level, total := 0.0, 0.0
+		for _, a := range f.assigned {
+			if a > level {
+				level = a
+			}
+			total += a
+		}
+		f.epochs = append(f.epochs, epochRecord{
+			index: e, start: t0, end: t1,
+			waterLevel: level, usedW: total, leftoverW: f.global - total,
+		})
+	}
+
+	for s := 0; s < f.servers; s++ {
+		f.shares[s] += f.assigned[s] * epochLen
+	}
+	return f.assigned
+}
+
+// finishShares converts the accumulated watt-seconds into the time-averaged
+// effective budget per server over n epochs, returning the shares slice.
+func (f *epochFiller) finishShares(n int) []float64 {
+	end := float64(n) * f.epochLen
+	for s := range f.shares {
+		f.shares[s] /= end
+	}
+	return f.shares
+}
+
+// budgetFrac clamps an assigned-watts/nominal ratio into the [0, 1] budget
+// fraction the per-server engines consume.
+func budgetFrac(assignedW, nominal float64) float64 {
+	frac := assignedW / nominal
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return frac
 }

@@ -151,6 +151,35 @@ func fingerprintCluster(cfg Config, jobs []job.Job) uint64 {
 
 	var f fnvCluster
 	f.init()
+	hashClusterConfig(&f, cfg)
+	f.u64(uint64(len(jobs)))
+	for _, j := range jobs {
+		f.u64(uint64(j.ID))
+		f.f64(j.Release)
+		f.f64(j.Deadline)
+		f.f64(j.Demand)
+		f.b(j.Partial)
+		if j.Class != "" {
+			f.str(j.Class)
+		}
+	}
+	return f.h
+}
+
+// fingerprintClusterConfig is the configuration-only fingerprint used by
+// streamed snapshots: the workload cannot be hashed up front (it is pulled
+// lazily), so stream snapshots pin the config here and verify the arrival
+// prefix separately with a rolling hash (StreamSnapshot.JobsHash).
+func fingerprintClusterConfig(cfg Config) uint64 {
+	var f fnvCluster
+	f.init()
+	hashClusterConfig(&f, cfg)
+	return f.h
+}
+
+// hashClusterConfig folds every configuration field the dispatch, hedging,
+// and budget stages depend on into the accumulator.
+func hashClusterConfig(f *fnvCluster, cfg Config) {
 	f.u64(uint64(cfg.Servers))
 	f.u64(uint64(cfg.Dispatch))
 	f.f64(cfg.GlobalBudget)
@@ -207,18 +236,6 @@ func fingerprintCluster(cfg Config, jobs []job.Job) uint64 {
 			f.f64(ft.SpeedFactor)
 		}
 	}
-	f.u64(uint64(len(jobs)))
-	for _, j := range jobs {
-		f.u64(uint64(j.ID))
-		f.f64(j.Release)
-		f.f64(j.Deadline)
-		f.f64(j.Demand)
-		f.b(j.Partial)
-		if j.Class != "" {
-			f.str(j.Class)
-		}
-	}
-	return f.h
 }
 
 // fnvCluster is a FNV-1a accumulator over the cluster fingerprint fields.

@@ -32,6 +32,8 @@ const (
 	Hash
 )
 
+// String returns the canonical long-form name ("round-robin",
+// "least-loaded", "hash") that ParseDispatch accepts back.
 func (d Dispatch) String() string {
 	switch d {
 	case RoundRobin:
@@ -164,92 +166,126 @@ func splitmix64(x uint64) uint64 {
 // pending is one dispatched job's load accounting entry for LeastLoaded.
 type pending struct{ deadline, demand float64 }
 
-// dispatchJobs assigns every job to a server and returns the per-server
-// substreams (jobs keep their global IDs) plus the assignment vector in
-// sorted-job order and, per job, whether the assignment was a reroute —
-// the dispatcher's first-choice server was outaged and the job landed
-// elsewhere. jobs must already be sorted by release (ID tie-break); the
-// outages table has one entry per server (entries may be nil).
-//
-// The whole pass is sequential and pure, so the same inputs always produce
-// the same assignment — cluster determinism starts here.
-func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jobs []job.Job) (perServer [][]job.Job, assign []int, rerouted []bool) {
-	perServer = make([][]job.Job, servers)
-	assign = make([]int, len(jobs))
-	rerouted = make([]bool, len(jobs))
-
-	up := func(s int, t float64) bool { return serverUp(cores, outages[s], t) }
-	anyUp := func(t float64) bool {
-		for s := 0; s < servers; s++ {
-			if up(s, t) {
-				return true
-			}
-		}
-		return false
-	}
+// dispatcher routes one arrival at a time, carrying the routing state —
+// RoundRobin's cumulative cursor, LeastLoaded's outstanding-demand
+// accounting — across calls. Both the batch dispatch pass and the streamed
+// cluster pipeline run their arrivals through the same route method, so a
+// streamed run reproduces the batch assignment job for job. Routing is
+// sequential and pure: the same arrival sequence always produces the same
+// assignment — cluster determinism starts here.
+type dispatcher struct {
+	d       Dispatch
+	servers int
+	cores   int
+	outages [][][]interval
 
 	// LeastLoaded state: outstanding dispatched demand per server, with a
 	// FIFO of (deadline, demand) to retire entries whose deadline passed.
 	// Agreeable deadlines make the FIFO pop in deadline order.
-	var outstanding []float64
-	var queues [][]pending
-	var heads []int
-	if d == LeastLoaded {
-		outstanding = make([]float64, servers)
-		queues = make([][]pending, servers)
-		heads = make([]int, servers)
-	}
+	outstanding []float64
+	queues      [][]pending
+	heads       []int
 
-	cursor := 0 // RoundRobin's cumulative cursor
-	for i, j := range jobs {
-		t := j.Release
-		allDown := !anyUp(t)
-		var s int
-		var moved bool
-		switch d {
-		case LeastLoaded:
-			for q := 0; q < servers; q++ {
-				for heads[q] < len(queues[q]) && queues[q][heads[q]].deadline <= t {
-					outstanding[q] -= queues[q][heads[q]].demand
-					heads[q]++
-				}
-			}
-			s = -1
-			down := -1 // least-loaded excluded (outaged) server
-			for q := 0; q < servers; q++ {
-				if !allDown && !up(q, t) {
-					if down < 0 || outstanding[q] < outstanding[down] {
-						down = q
-					}
-					continue
-				}
-				if s < 0 || outstanding[q] < outstanding[s] {
-					s = q
-				}
-			}
-			// A reroute: an outaged server would have won the selection.
-			moved = down >= 0 && (outstanding[down] < outstanding[s] ||
-				(outstanding[down] == outstanding[s] && down < s))
-			queues[s] = append(queues[s], pending{j.Deadline, j.Demand})
-			outstanding[s] += j.Demand
-		case Hash:
-			s = int(splitmix64(uint64(j.ID)) % uint64(servers))
-			if !allDown {
-				for !up(s, t) {
-					s = (s + 1) % servers
-					moved = true
-				}
-			}
-		default: // RoundRobin
-			if !allDown {
-				for !up(cursor, t) {
-					cursor = (cursor + 1) % servers
-					moved = true
-				}
-			}
-			s = cursor
-			cursor = (cursor + 1) % servers
+	cursor int // RoundRobin's cumulative cursor
+}
+
+// newDispatcher builds a dispatcher for a fleet. outages has one per-core
+// merged outage table per server (entries may be nil).
+func newDispatcher(d Dispatch, servers, cores int, outages [][][]interval) *dispatcher {
+	dp := &dispatcher{d: d, servers: servers, cores: cores, outages: outages}
+	if d == LeastLoaded {
+		dp.outstanding = make([]float64, servers)
+		dp.queues = make([][]pending, servers)
+		dp.heads = make([]int, servers)
+	}
+	return dp
+}
+
+func (dp *dispatcher) up(s int, t float64) bool { return serverUp(dp.cores, dp.outages[s], t) }
+
+func (dp *dispatcher) anyUp(t float64) bool {
+	for s := 0; s < dp.servers; s++ {
+		if dp.up(s, t) {
+			return true
 		}
+	}
+	return false
+}
+
+// route assigns the next arrival to a server and reports whether the
+// assignment was a reroute — the policy's first-choice server was outaged
+// and the job landed elsewhere. Arrivals must come in release order (ID
+// tie-break), the order the batch pass sorts into.
+func (dp *dispatcher) route(j job.Job) (server int, rerouted bool) {
+	t := j.Release
+	allDown := !dp.anyUp(t)
+	var s int
+	var moved bool
+	switch dp.d {
+	case LeastLoaded:
+		for q := 0; q < dp.servers; q++ {
+			for dp.heads[q] < len(dp.queues[q]) && dp.queues[q][dp.heads[q]].deadline <= t {
+				dp.outstanding[q] -= dp.queues[q][dp.heads[q]].demand
+				dp.heads[q]++
+			}
+			// Compact the retired FIFO prefix so a long stream's routing
+			// state stays O(jobs in flight), not O(jobs routed).
+			if h := dp.heads[q]; h >= 256 && 2*h >= len(dp.queues[q]) {
+				n := copy(dp.queues[q], dp.queues[q][h:])
+				dp.queues[q] = dp.queues[q][:n]
+				dp.heads[q] = 0
+			}
+		}
+		s = -1
+		down := -1 // least-loaded excluded (outaged) server
+		for q := 0; q < dp.servers; q++ {
+			if !allDown && !dp.up(q, t) {
+				if down < 0 || dp.outstanding[q] < dp.outstanding[down] {
+					down = q
+				}
+				continue
+			}
+			if s < 0 || dp.outstanding[q] < dp.outstanding[s] {
+				s = q
+			}
+		}
+		// A reroute: an outaged server would have won the selection.
+		moved = down >= 0 && (dp.outstanding[down] < dp.outstanding[s] ||
+			(dp.outstanding[down] == dp.outstanding[s] && down < s))
+		dp.queues[s] = append(dp.queues[s], pending{j.Deadline, j.Demand})
+		dp.outstanding[s] += j.Demand
+	case Hash:
+		s = int(splitmix64(uint64(j.ID)) % uint64(dp.servers))
+		if !allDown {
+			for !dp.up(s, t) {
+				s = (s + 1) % dp.servers
+				moved = true
+			}
+		}
+	default: // RoundRobin
+		if !allDown {
+			for !dp.up(dp.cursor, t) {
+				dp.cursor = (dp.cursor + 1) % dp.servers
+				moved = true
+			}
+		}
+		s = dp.cursor
+		dp.cursor = (dp.cursor + 1) % dp.servers
+	}
+	return s, moved
+}
+
+// dispatchJobs assigns every job to a server and returns the per-server
+// substreams (jobs keep their global IDs) plus the assignment vector in
+// sorted-job order and, per job, whether the assignment was a reroute.
+// jobs must already be sorted by release (ID tie-break).
+func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jobs []job.Job) (perServer [][]job.Job, assign []int, rerouted []bool) {
+	perServer = make([][]job.Job, servers)
+	assign = make([]int, len(jobs))
+	rerouted = make([]bool, len(jobs))
+	dp := newDispatcher(d, servers, cores, outages)
+	for i, j := range jobs {
+		s, moved := dp.route(j)
 		assign[i] = s
 		rerouted[i] = moved
 		perServer[s] = append(perServer[s], j)

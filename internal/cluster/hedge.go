@@ -131,14 +131,6 @@ func resolveHedges(res *Result, pairs []hedgePair, results []sim.Result, qmax fu
 	if len(pairs) == 0 {
 		return
 	}
-	classEntry := func(name string) *sim.ClassResult {
-		for i := range res.Classes {
-			if res.Classes[i].Class == name {
-				return &res.Classes[i]
-			}
-		}
-		return nil
-	}
 	byID := make([]map[job.ID]sim.JobOutcome, len(results))
 	lookup := func(s int, id job.ID) (sim.JobOutcome, bool) {
 		m := byID[s]
@@ -153,6 +145,25 @@ func resolveHedges(res *Result, pairs []hedgePair, results []sim.Result, qmax fu
 		}
 		o, ok := m[id]
 		return o, ok
+	}
+	resolveHedgesWith(res, pairs, lookup, qmax)
+}
+
+// resolveHedgesWith is resolveHedges over an abstract replica-outcome
+// lookup: the batch path looks replicas up in the collected per-server job
+// outcomes, the streamed path in the outcomes its observers captured at
+// departure time.
+func resolveHedgesWith(res *Result, pairs []hedgePair, lookup func(s int, id job.ID) (sim.JobOutcome, bool), qmax func(string, float64) float64) {
+	if len(pairs) == 0 {
+		return
+	}
+	classEntry := func(name string) *sim.ClassResult {
+		for i := range res.Classes {
+			if res.Classes[i].Class == name {
+				return &res.Classes[i]
+			}
+		}
+		return nil
 	}
 	for _, p := range pairs {
 		po, okP := lookup(p.primary, p.id)

@@ -22,6 +22,11 @@ const (
 	maxClusterServers = 64
 	maxSweepCells     = 1024
 	maxSweepServers   = 16
+
+	// Streamed cluster runs pull arrivals lazily and fold results per
+	// epoch, so memory stays bounded by the fleet size rather than the job
+	// count — the endpoint can afford a much larger fleet ceiling.
+	maxClusterStreamServers = 1024
 )
 
 // ClusterSimRequest is the body of POST /v1/cluster/simulate: one fleet
@@ -63,6 +68,13 @@ type ClusterSimRequest struct {
 	// Series attaches the per-epoch per-server time series (see
 	// telemetry.Sample) to the response.
 	Series bool `json:"series,omitempty"`
+
+	// Stream runs the fleet through the bounded-memory streamed pipeline:
+	// arrivals are pulled lazily per dispatch epoch and per-epoch results
+	// fold into running totals, so the job slice is never materialized.
+	// Results are bit-identical to the batch path (see docs/SCALE.md), and
+	// the server ceiling rises from 64 to 1024.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // ClusterServerJSON is one server's slice of the fleet response.
@@ -117,9 +129,13 @@ func handleClusterSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse, error) {
-	if req.Servers <= 0 || req.Servers > maxClusterServers {
+	maxServers := maxClusterServers
+	if req.Stream {
+		maxServers = maxClusterStreamServers
+	}
+	if req.Servers <= 0 || req.Servers > maxServers {
 		return ClusterSimResponse{}, cfgerr.New("httpapi", "servers",
-			"cluster: servers must be in [1, %d], got %d", maxClusterServers, req.Servers)
+			"cluster: servers must be in [1, %d], got %d", maxServers, req.Servers)
 	}
 	if req.Workload == nil && req.Rate <= 0 {
 		return ClusterSimResponse{}, cfgerr.New("httpapi", "rate", "cluster: rate must be positive, got %g", req.Rate)
@@ -140,7 +156,9 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 
 	// Either the default single-rate stream or an inline declarative
 	// spec; horizon is the stream length the chaos sampler covers.
+	// Streamed requests build a lazy arrival source instead of a slice.
 	var jobs []job.Job
+	var src job.Source
 	horizon := 30.0
 	if req.Workload != nil {
 		if req.Rate != 0 {
@@ -163,7 +181,11 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		if server.ClassQuality, err = req.Workload.QualityByClass(); err != nil {
 			return ClusterSimResponse{}, err
 		}
-		if jobs, err = workloadspec.Compile(req.Workload); err != nil {
+		if req.Stream {
+			if src, err = workloadspec.NewStream(req.Workload); err != nil {
+				return ClusterSimResponse{}, err
+			}
+		} else if jobs, err = workloadspec.Compile(req.Workload); err != nil {
 			return ClusterSimResponse{}, err
 		}
 		horizon = req.Workload.Duration
@@ -180,7 +202,11 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		if req.Partial != nil {
 			wl.PartialFraction = *req.Partial
 		}
-		if jobs, err = workload.Generate(wl); err != nil {
+		if req.Stream {
+			if src, err = workload.NewStream(wl); err != nil {
+				return ClusterSimResponse{}, err
+			}
+		} else if jobs, err = workload.Generate(wl); err != nil {
 			return ClusterSimResponse{}, err
 		}
 		horizon = wl.Duration
@@ -213,7 +239,12 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		cfg.Faults = faults
 	}
 
-	res, err := cluster.Run(cfg, jobs)
+	var res cluster.Result
+	if req.Stream {
+		res, err = cluster.RunStream(cfg, src)
+	} else {
+		res, err = cluster.Run(cfg, jobs)
+	}
 	if err != nil {
 		return ClusterSimResponse{}, err
 	}

@@ -99,6 +99,42 @@ func TestClusterSimulateTelemetryAndSeries(t *testing.T) {
 	}
 }
 
+// TestClusterSimulateStreamed: the streamed pipeline returns byte-identical
+// responses to the batch path (the response carries no engine-lifetime
+// counters, so the documented Events divergence cannot surface), and raises
+// the fleet ceiling from 64 to 1024 servers.
+func TestClusterSimulateStreamed(t *testing.T) {
+	srv := server(t)
+	base := `"servers": 4, "cores": 4, "budget_w": 80, "rate": 120,
+		"duration_s": 10, "dispatch": "rr", "global_budget_w": 240`
+	respA, batch := postJSON(t, srv.URL+"/v1/cluster/simulate", `{`+base+`}`)
+	respB, streamed := postJSON(t, srv.URL+"/v1/cluster/simulate", `{`+base+`, "stream": true}`)
+	if respA.StatusCode != http.StatusOK || respB.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d / %d: %s", respA.StatusCode, respB.StatusCode, streamed)
+	}
+	if !bytes.Equal(batch, streamed) {
+		t.Errorf("streamed response diverged from batch\nbatch    %s\nstreamed %s", batch, streamed)
+	}
+
+	// 128 servers: over the batch ceiling, inside the streamed one.
+	big := `"servers": 128, "cores": 4, "budget_w": 80, "rate": 240, "duration_s": 2`
+	resp, body := postJSON(t, srv.URL+"/v1/cluster/simulate", `{`+big+`}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch 128-server fleet accepted: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, srv.URL+"/v1/cluster/simulate", `{`+big+`, "stream": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streamed 128-server fleet rejected: %d %s", resp.StatusCode, body)
+	}
+	var out ClusterSimResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Servers != 128 || len(out.PerServer) != 128 {
+		t.Errorf("fleet shape: servers=%d per_server=%d", out.Servers, len(out.PerServer))
+	}
+}
+
 func TestClusterSimulateChaosSeed(t *testing.T) {
 	srv := server(t)
 	body := `{"servers": 2, "cores": 4, "budget_w": 80, "rate": 60,

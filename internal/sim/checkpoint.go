@@ -91,6 +91,11 @@ type Snapshot struct {
 
 	// PolicyState is the opaque blob of a StatefulPolicy, absent otherwise.
 	PolicyState json.RawMessage `json:"policy_state,omitempty"`
+
+	// Stream carries the extra session state of a streamed engine
+	// (Stream.Snapshot); absent on batch-run snapshots, so their encoding
+	// is unchanged. See stream_snapshot.go.
+	Stream *StreamState `json:"stream,omitempty"`
 }
 
 type jobSnap struct {
@@ -371,8 +376,23 @@ func Resume(cfg Config, p Policy, snap *Snapshot) (Result, error) {
 	if want := fingerprintConfig(&cfg, p.Name()); snap.Fingerprint != want {
 		return Result{}, cfgerr.New("sim", "checkpoint", "sim: snapshot fingerprint %#x does not match configuration %#x — resume needs the exact config of the original run", snap.Fingerprint, want)
 	}
+	if snap.Stream != nil {
+		return Result{}, cfgerr.New("sim", "checkpoint", "sim: snapshot was taken from a streamed session; resume it with RestoreStream")
+	}
+	e, err := restoreEngine(cfg, p, snap)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run()
+}
+
+// restoreEngine rebuilds an engine from a snapshot without driving it — the
+// structural core shared by Resume (batch) and RestoreStream (streamed).
+// The caller has already validated the configuration, snapshot, policy
+// name, and fingerprint.
+func restoreEngine(cfg Config, p Policy, snap *Snapshot) (*engine, error) {
 	if len(snap.Cores) != cfg.Cores {
-		return Result{}, cfgerr.New("sim", "checkpoint", "sim: snapshot has %d cores, config %d", len(snap.Cores), cfg.Cores)
+		return nil, cfgerr.New("sim", "checkpoint", "sim: snapshot has %d cores, config %d", len(snap.Cores), cfg.Cores)
 	}
 
 	e := newEngine(cfg, p)
@@ -446,10 +466,10 @@ func Resume(cfg Config, p Policy, snap *Snapshot) (Result, error) {
 
 	if sp, ok := p.(StatefulPolicy); ok && len(snap.PolicyState) > 0 {
 		if err := sp.LoadPolicyState(snap.PolicyState); err != nil {
-			return Result{}, cfgerr.New("sim", "checkpoint", "sim: restoring policy state: %v", err)
+			return nil, cfgerr.New("sim", "checkpoint", "sim: restoring policy state: %v", err)
 		}
 	}
-	return e.run()
+	return e, nil
 }
 
 // fingerprintConfig hashes everything about a configuration that affects

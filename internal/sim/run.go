@@ -143,6 +143,17 @@ type engine struct {
 	pendingArrivals int
 	lastDeparture   float64
 
+	// moreArrivals marks a streamed run that expects further Feed calls:
+	// the periodic quantum stays alive and the run does not stop when the
+	// system momentarily drains. Always false in batch runs, where
+	// pendingArrivals already counts every future arrival.
+	moreArrivals bool
+
+	// fold, when non-nil, accumulates per-job result statistics as the
+	// streamed engine retires departed jobs from e.all (see Stream). Batch
+	// runs leave it nil and fold everything in result().
+	fold *resultFold
+
 	invocations      int
 	peakPower        float64
 	budgetViolations int
@@ -232,81 +243,24 @@ func newEngine(cfg Config, p Policy) *engine {
 	return e
 }
 
-// run drives the event loop to completion — the shared core of Run and
-// Resume. The engine must be fully populated (events, jobs, counters).
+// contextPollMask throttles cancelation checks to one atomic load per
+// 1024 events, keeping the hot loop unchanged when no one cancels.
+const contextPollMask = 1023
+
+// run drives the event loop to completion — the shared core of Run, Resume,
+// and Stream.Finish. The engine must be fully populated (events, jobs,
+// counters).
 func (e *engine) run() (Result, error) {
-	// contextPollMask throttles cancelation checks to one atomic load per
-	// 1024 events, keeping the hot loop unchanged when no one cancels.
-	const contextPollMask = 1023
 	for {
 		it, ok := e.events.Pop()
 		if !ok {
 			break
 		}
-		now := it.Time
-		if it.Payload.kind == evkCheckpoint {
-			// Checkpoints are bookkeeping-free: no event count, no settle,
-			// no audit — so a checkpointed run stays bit-identical to the
-			// same run without checkpointing. The next checkpoint event is
-			// pushed before the snapshot is taken, so the serialized queue
-			// matches what the uninterrupted run carries forward. A nil
-			// Checkpoint config drops the event silently: a resumed run is
-			// free to continue without checkpointing even though the
-			// restored heap still carries the next checkpoint event.
-			if e.cfg.Checkpoint != nil && (e.undeparted > 0 || e.pendingArrivals > 0) {
-				e.events.Push(now+e.cfg.Checkpoint.Every, simEvent{kind: evkCheckpoint})
-				e.checkpoints++
-				if err := e.cfg.Checkpoint.Sink(e.snapshot(now)); err != nil {
-					return Result{}, err
-				}
-			}
-			continue
+		stop, err := e.processEvent(it)
+		if err != nil {
+			return Result{}, err
 		}
-		e.eventsProcessed++
-		if e.cfg.Context != nil && e.eventsProcessed&contextPollMask == 0 {
-			if err := e.cfg.Context.Err(); err != nil {
-				return Result{}, err
-			}
-		}
-		switch ev := it.Payload; ev.kind {
-		case evkArrival:
-			e.onArrival(now, ev.js)
-		case evkDeadline:
-			if !ev.js.Departed() {
-				e.depart(ev.js, now, DeadlineHit)
-				// Freed capacity: under idle-core triggering a departure
-				// that idles the core behaves like a plan running dry.
-				if e.cfg.Triggers.IdleCore && ev.js.Core >= 0 && e.cores[ev.js.Core].Idle(now) && e.liveWork() {
-					e.invoke(now)
-				}
-			}
-		case evkSegment:
-			if ev.version != ev.core.planVersion {
-				break // stale: the plan was replaced
-			}
-			e.settleCore(ev.core, now)
-			if e.cfg.Triggers.IdleCore && ev.core.Idle(now) && e.liveWork() {
-				e.invoke(now)
-			}
-		case evkQuantum:
-			e.quantumLive = false
-			e.invoke(now)
-			if e.undeparted > 0 || e.pendingArrivals > 0 {
-				e.events.Push(now+e.cfg.Triggers.Quantum, simEvent{kind: evkQuantum})
-				e.quantumLive = true
-			}
-		case evkRetry:
-			e.onRetry(now, ev.js)
-		case evkFaultEdge:
-			// Settle everything on the old fault regime, evacuate cores
-			// that just went dark, then let the policy redistribute work
-			// and power.
-			e.emit(Event{Time: now, Kind: EvFaultEdge, Job: -1, Core: -1})
-			e.evacuateOutages(now)
-			e.invoke(now)
-		}
-		e.audit(now)
-		if e.undeparted == 0 && e.pendingArrivals == 0 {
+		if stop {
 			break
 		}
 	}
@@ -316,6 +270,77 @@ func (e *engine) run() (Result, error) {
 		e.settleCore(c, last)
 	}
 	return e.result(e.firstRelease, last), nil
+}
+
+// processEvent handles one popped event — the loop body shared by run and
+// Stream.Advance. It returns stop = true once every job has departed and no
+// further arrivals are possible; the caller must not process more events
+// after that (trailing events stay unpopped and uncounted).
+func (e *engine) processEvent(it eventq.Item[simEvent]) (stop bool, err error) {
+	now := it.Time
+	if it.Payload.kind == evkCheckpoint {
+		// Checkpoints are bookkeeping-free: no event count, no settle,
+		// no audit — so a checkpointed run stays bit-identical to the
+		// same run without checkpointing. The next checkpoint event is
+		// pushed before the snapshot is taken, so the serialized queue
+		// matches what the uninterrupted run carries forward. A nil
+		// Checkpoint config drops the event silently: a resumed run is
+		// free to continue without checkpointing even though the
+		// restored heap still carries the next checkpoint event.
+		if e.cfg.Checkpoint != nil && (e.undeparted > 0 || e.pendingArrivals > 0) {
+			e.events.Push(now+e.cfg.Checkpoint.Every, simEvent{kind: evkCheckpoint})
+			e.checkpoints++
+			if err := e.cfg.Checkpoint.Sink(e.snapshot(now)); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+	e.eventsProcessed++
+	if e.cfg.Context != nil && e.eventsProcessed&contextPollMask == 0 {
+		if err := e.cfg.Context.Err(); err != nil {
+			return false, err
+		}
+	}
+	switch ev := it.Payload; ev.kind {
+	case evkArrival:
+		e.onArrival(now, ev.js)
+	case evkDeadline:
+		if !ev.js.Departed() {
+			e.depart(ev.js, now, DeadlineHit)
+			// Freed capacity: under idle-core triggering a departure
+			// that idles the core behaves like a plan running dry.
+			if e.cfg.Triggers.IdleCore && ev.js.Core >= 0 && e.cores[ev.js.Core].Idle(now) && e.liveWork() {
+				e.invoke(now)
+			}
+		}
+	case evkSegment:
+		if ev.version != ev.core.planVersion {
+			break // stale: the plan was replaced
+		}
+		e.settleCore(ev.core, now)
+		if e.cfg.Triggers.IdleCore && ev.core.Idle(now) && e.liveWork() {
+			e.invoke(now)
+		}
+	case evkQuantum:
+		e.quantumLive = false
+		e.invoke(now)
+		if e.undeparted > 0 || e.pendingArrivals > 0 || e.moreArrivals {
+			e.events.Push(now+e.cfg.Triggers.Quantum, simEvent{kind: evkQuantum})
+			e.quantumLive = true
+		}
+	case evkRetry:
+		e.onRetry(now, ev.js)
+	case evkFaultEdge:
+		// Settle everything on the old fault regime, evacuate cores
+		// that just went dark, then let the policy redistribute work
+		// and power.
+		e.emit(Event{Time: now, Kind: EvFaultEdge, Job: -1, Core: -1})
+		e.evacuateOutages(now)
+		e.invoke(now)
+	}
+	e.audit(now)
+	return e.undeparted == 0 && e.pendingArrivals == 0 && !e.moreArrivals, nil
 }
 
 func (e *engine) onArrival(now float64, js *JobState) {
@@ -602,10 +627,96 @@ func (e *engine) audit(now float64) {
 	}
 }
 
+// resultFold accumulates the per-job slice of a Result incrementally, in
+// arrival-push order. The streamed engine folds departed jobs out of memory
+// mid-run (Stream.compact); the batch engine folds everything at the end.
+// Both perform the same float additions in the same order, so results are
+// bit-identical across the two paths.
+type resultFold struct {
+	arrived    int
+	quality    float64
+	maxQuality float64
+	completed  int
+	deadlined  int
+	discarded  int
+	abandoned  int
+	classed    bool
+	byClass    map[string]*ClassResult
+	jobs       []JobOutcome
+}
+
+// foldJob retires one job into the fold — the exact per-job body the batch
+// result loop used to run.
+func (e *engine) foldJob(f *resultFold, js *JobState) {
+	f.arrived++
+	maxQ := e.cfg.QualityFor(js.Job.Class).Eval(js.Job.Demand)
+	f.quality += js.Quality
+	f.maxQuality += maxQ
+	switch js.Reason {
+	case Completed:
+		f.completed++
+	case DeadlineHit:
+		f.deadlined++
+	case PolicyDiscard:
+		f.discarded++
+	case Abandoned:
+		f.abandoned++
+	}
+	if js.Job.Class != "" {
+		f.classed = true
+	}
+	if f.byClass == nil {
+		f.byClass = make(map[string]*ClassResult)
+	}
+	cr := f.byClass[js.Job.Class]
+	if cr == nil {
+		cr = &ClassResult{Class: js.Job.Class}
+		f.byClass[js.Job.Class] = cr
+	}
+	cr.Arrived++
+	cr.Quality += js.Quality
+	cr.MaxQuality += maxQ
+	switch js.Reason {
+	case Completed:
+		cr.Completed++
+	case DeadlineHit:
+		cr.Deadlined++
+	case PolicyDiscard:
+		cr.Discarded++
+	case Shed:
+		cr.Shed++
+	case Abandoned:
+		cr.Abandoned++
+	}
+	if e.cfg.CollectJobs {
+		f.jobs = append(f.jobs, JobOutcome{
+			ID:       js.Job.ID,
+			Release:  js.Job.Release,
+			Deadline: js.Job.Deadline,
+			Demand:   js.Job.Demand,
+			Done:     js.Done,
+			Quality:  js.Quality,
+			DepartAt: js.DepartAt,
+			Reason:   js.Reason,
+			Core:     js.Core,
+			Class:    js.Job.Class,
+		})
+	}
+}
+
 func (e *engine) result(firstRelease, last float64) Result {
+	f := e.fold
+	if f == nil {
+		f = &resultFold{}
+	}
+	// Fold whatever is still held in memory: every job for a batch run, the
+	// un-retired tail for a streamed one.
+	for _, js := range e.all {
+		e.foldJob(f, js)
+	}
 	r := Result{
 		Policy:           e.policy.Name(),
-		Arrived:          len(e.all),
+		Arrived:          f.arrived,
 		Invocation:       e.invocations,
 		Events:           e.eventsProcessed,
 		PeakPower:        e.peakPower,
@@ -615,63 +726,13 @@ func (e *engine) result(firstRelease, last float64) Result {
 		Requeued:         e.requeued,
 		Retried:          e.retried,
 		RetryQuality:     e.retryQuality,
-	}
-	classed := false
-	var byClass map[string]*ClassResult
-	for _, js := range e.all {
-		maxQ := e.cfg.QualityFor(js.Job.Class).Eval(js.Job.Demand)
-		r.Quality += js.Quality
-		r.MaxQuality += maxQ
-		switch js.Reason {
-		case Completed:
-			r.Completed++
-		case DeadlineHit:
-			r.Deadlined++
-		case PolicyDiscard:
-			r.Discarded++
-		case Abandoned:
-			r.Abandoned++
-		}
-		if js.Job.Class != "" {
-			classed = true
-		}
-		if byClass == nil {
-			byClass = make(map[string]*ClassResult)
-		}
-		cr := byClass[js.Job.Class]
-		if cr == nil {
-			cr = &ClassResult{Class: js.Job.Class}
-			byClass[js.Job.Class] = cr
-		}
-		cr.Arrived++
-		cr.Quality += js.Quality
-		cr.MaxQuality += maxQ
-		switch js.Reason {
-		case Completed:
-			cr.Completed++
-		case DeadlineHit:
-			cr.Deadlined++
-		case PolicyDiscard:
-			cr.Discarded++
-		case Shed:
-			cr.Shed++
-		case Abandoned:
-			cr.Abandoned++
-		}
-		if e.cfg.CollectJobs {
-			r.Jobs = append(r.Jobs, JobOutcome{
-				ID:       js.Job.ID,
-				Release:  js.Job.Release,
-				Deadline: js.Job.Deadline,
-				Demand:   js.Job.Demand,
-				Done:     js.Done,
-				Quality:  js.Quality,
-				DepartAt: js.DepartAt,
-				Reason:   js.Reason,
-				Core:     js.Core,
-				Class:    js.Job.Class,
-			})
-		}
+		Quality:          f.quality,
+		MaxQuality:       f.maxQuality,
+		Completed:        f.completed,
+		Deadlined:        f.deadlined,
+		Discarded:        f.discarded,
+		Abandoned:        f.abandoned,
+		Jobs:             f.jobs,
 	}
 	if r.MaxQuality > 0 {
 		r.NormQuality = r.Quality / r.MaxQuality
@@ -679,14 +740,14 @@ func (e *engine) result(firstRelease, last float64) Result {
 	// Per-class breakdown only for classed streams: legacy unclassed runs
 	// keep a nil Classes slice so their results are byte-for-byte what
 	// they were before classes existed.
-	if classed {
-		names := make([]string, 0, len(byClass))
-		for name := range byClass {
+	if f.classed {
+		names := make([]string, 0, len(f.byClass))
+		for name := range f.byClass {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			cr := byClass[name]
+			cr := f.byClass[name]
 			if cr.MaxQuality > 0 {
 				cr.NormQuality = cr.Quality / cr.MaxQuality
 			}
@@ -694,7 +755,7 @@ func (e *engine) result(firstRelease, last float64) Result {
 		}
 	}
 	span := last - firstRelease
-	if span < 0 || len(e.all) == 0 {
+	if span < 0 || f.arrived == 0 {
 		span = 0
 	}
 	r.Span = span

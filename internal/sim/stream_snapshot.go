@@ -1,0 +1,171 @@
+// Streamed-session snapshots. A batch engine checkpoints on a sim-time
+// timer (Config.Checkpoint); a streamed engine is instead snapshotted by
+// its driver between Advance calls — the cluster layer does so at dispatch
+// epoch boundaries — because only the driver knows when the fed prefix of
+// the stream is consistent. The snapshot is the ordinary engine Snapshot
+// plus a StreamState: the running result fold, the stream validator, the
+// session cursor, and the ExtendBudget windows appended since creation.
+// Everything is O(live jobs + classes), never O(jobs fed).
+package sim
+
+import (
+	"sort"
+
+	"dessched/internal/cfgerr"
+	"dessched/internal/job"
+)
+
+// StreamState is the extra serializable state of a streamed engine session
+// beyond the batch Snapshot fields.
+type StreamState struct {
+	AdvancedTo   float64 `json:"advanced_to"`
+	Fed          int     `json:"fed"`
+	Started      bool    `json:"started,omitempty"`
+	Drained      bool    `json:"drained,omitempty"`
+	MoreArrivals bool    `json:"more_arrivals"`
+
+	// Budget streaming state: how many BudgetFaults windows the creation
+	// config carried, the windows ExtendBudget appended after them (post-
+	// pruning), and the fraction of the provisionally open last window
+	// (1 = none open).
+	BaseWindows int           `json:"base_windows"`
+	OpenFrac    float64       `json:"open_frac"`
+	Appended    []BudgetFault `json:"appended,omitempty"`
+
+	Fold      FoldState                `json:"fold"`
+	Validator job.StreamValidatorState `json:"validator"`
+}
+
+// FoldState is the serialized running result fold: the per-job statistics
+// of every job already retired from memory, in arrival order.
+type FoldState struct {
+	Arrived    int           `json:"arrived"`
+	Quality    float64       `json:"quality"`
+	MaxQuality float64       `json:"max_quality"`
+	Completed  int           `json:"completed,omitempty"`
+	Deadlined  int           `json:"deadlined,omitempty"`
+	Discarded  int           `json:"discarded,omitempty"`
+	Abandoned  int           `json:"abandoned,omitempty"`
+	Classed    bool          `json:"classed,omitempty"`
+	Classes    []ClassResult `json:"fold_classes,omitempty"` // sorted by class name
+	Jobs       []JobOutcome  `json:"jobs,omitempty"`         // only with CollectJobs
+}
+
+// Snapshot captures the session between two Advance calls. The fingerprint
+// pins the creation-time configuration (before any ExtendBudget windows),
+// so RestoreStream must be offered that same configuration. The snapshot is
+// fully detached; the session remains usable.
+func (st *Stream) Snapshot() (*Snapshot, error) {
+	e := st.e
+	snap := e.snapshot(st.advancedTo)
+	snap.Fingerprint = st.baseFP
+	fold := FoldState{
+		Arrived:    e.fold.arrived,
+		Quality:    e.fold.quality,
+		MaxQuality: e.fold.maxQuality,
+		Completed:  e.fold.completed,
+		Deadlined:  e.fold.deadlined,
+		Discarded:  e.fold.discarded,
+		Abandoned:  e.fold.abandoned,
+		Classed:    e.fold.classed,
+	}
+	if len(e.fold.byClass) > 0 {
+		names := make([]string, 0, len(e.fold.byClass))
+		for name := range e.fold.byClass {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fold.Classes = append(fold.Classes, *e.fold.byClass[name])
+		}
+	}
+	if len(e.fold.jobs) > 0 {
+		fold.Jobs = append([]JobOutcome(nil), e.fold.jobs...)
+	}
+	snap.Stream = &StreamState{
+		AdvancedTo:   st.advancedTo,
+		Fed:          st.fed,
+		Started:      st.started,
+		Drained:      st.drained,
+		MoreArrivals: e.moreArrivals,
+		BaseWindows:  st.baseWindows,
+		OpenFrac:     st.openFrac,
+		Appended:     append([]BudgetFault(nil), e.cfg.BudgetFaults[st.baseWindows:]...),
+		Fold:         fold,
+		Validator:    st.validator.State(),
+	}
+	return snap, nil
+}
+
+// RestoreStream reopens a streamed session from a snapshot taken by
+// Stream.Snapshot. cfg and p must be the creation-time configuration and
+// policy of the original session (checked via the fingerprint); windows
+// appended through ExtendBudget are reinstalled from the snapshot. The
+// restored session continues bit-identically: feed the arrivals the
+// original would have been fed next.
+func RestoreStream(cfg Config, p Policy, snap *Snapshot) (*Stream, error) {
+	if cfg.Checkpoint != nil {
+		return nil, cfgerr.New("sim", "checkpoint", "sim: Checkpoint is not supported on streamed runs; snapshot at epoch boundaries via Stream.Snapshot")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		return nil, cfgerr.New("sim", "checkpoint", "sim: nil snapshot")
+	}
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	ss := snap.Stream
+	if ss == nil {
+		return nil, cfgerr.New("sim", "checkpoint", "sim: snapshot was taken from a batch run; resume it with Resume")
+	}
+	if snap.Policy != p.Name() {
+		return nil, cfgerr.New("sim", "checkpoint", "sim: snapshot was taken under policy %q, resuming with %q", snap.Policy, p.Name())
+	}
+	if want := fingerprintConfig(&cfg, p.Name()); snap.Fingerprint != want {
+		return nil, cfgerr.New("sim", "checkpoint", "sim: snapshot fingerprint %#x does not match configuration %#x — restore needs the exact creation config of the original session", snap.Fingerprint, want)
+	}
+	if ss.BaseWindows != len(cfg.BudgetFaults) {
+		return nil, cfgerr.New("sim", "checkpoint", "sim: snapshot expects %d base budget windows, config has %d", ss.BaseWindows, len(cfg.BudgetFaults))
+	}
+	full := cfg
+	full.BudgetFaults = append(append([]BudgetFault(nil), cfg.BudgetFaults...), ss.Appended...)
+	e, err := restoreEngine(full, p, snap)
+	if err != nil {
+		return nil, err
+	}
+	e.moreArrivals = ss.MoreArrivals
+	e.fold = &resultFold{
+		arrived:    ss.Fold.Arrived,
+		quality:    ss.Fold.Quality,
+		maxQuality: ss.Fold.MaxQuality,
+		completed:  ss.Fold.Completed,
+		deadlined:  ss.Fold.Deadlined,
+		discarded:  ss.Fold.Discarded,
+		abandoned:  ss.Fold.Abandoned,
+		classed:    ss.Fold.Classed,
+	}
+	if len(ss.Fold.Classes) > 0 {
+		e.fold.byClass = make(map[string]*ClassResult, len(ss.Fold.Classes))
+		for i := range ss.Fold.Classes {
+			cr := ss.Fold.Classes[i]
+			e.fold.byClass[cr.Class] = &cr
+		}
+	}
+	if len(ss.Fold.Jobs) > 0 {
+		e.fold.jobs = append([]JobOutcome(nil), ss.Fold.Jobs...)
+	}
+	st := &Stream{
+		e:           e,
+		started:     ss.Started,
+		drained:     ss.Drained,
+		advancedTo:  ss.AdvancedTo,
+		fed:         ss.Fed,
+		baseWindows: ss.BaseWindows,
+		openFrac:    ss.OpenFrac,
+		baseFP:      snap.Fingerprint,
+	}
+	st.validator.Restore(ss.Validator)
+	return st, nil
+}

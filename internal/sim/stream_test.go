@@ -1,0 +1,316 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dessched/internal/core"
+	"dessched/internal/job"
+	"dessched/internal/sim"
+	"dessched/internal/workload"
+)
+
+// streamRun drives cfg over the workload through the streamed session in
+// epoch-sized windows, returning the result and the peak number of jobs
+// held live.
+func streamRun(t *testing.T, cfg sim.Config, wl workload.Config, epoch float64) (sim.Result, int) {
+	t.Helper()
+	src, err := workload.NewStream(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.NewStream(cfg, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLive := 0
+	for until := epoch; ; until += epoch {
+		if err := st.Feed(src.Next(until)); err != nil {
+			t.Fatal(err)
+		}
+		if src.Done() {
+			st.ExpectMore(false)
+		}
+		if err := st.Advance(until); err != nil {
+			t.Fatal(err)
+		}
+		if st.Live() > maxLive {
+			maxLive = st.Live()
+		}
+		if src.Done() {
+			break
+		}
+	}
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, maxLive
+}
+
+// TestStreamMatchesRun pins the streamed engine bit-identical to the batch
+// engine — full Result equality including per-job outcomes and per-class
+// breakdowns — across chaotic configs and epoch sizes, and checks the
+// stream never holds more than a small in-flight window of jobs.
+func TestStreamMatchesRun(t *testing.T) {
+	scenarios := map[string]func() sim.Config{
+		"paper":   func() sim.Config { c := sim.PaperConfig(); c.Cores = 4; c.Budget = 80; return c },
+		"chaotic": chaoticConfig,
+		"retry": func() sim.Config {
+			c := chaoticConfig()
+			c.Retry = sim.RetryPolicy{MaxAttempts: 2, Backoff: 0.01, Multiplier: 2, MaxBackoff: 0.05}
+			return c
+		},
+	}
+	wl := workload.DefaultConfig(150)
+	wl.Duration = 3
+	wl.Seed = 5
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mk := range scenarios {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			cfg := mk()
+			cfg.CollectJobs = true
+			core.ApplyArch(&cfg, core.CDVFS)
+			want, err := sim.Run(cfg, jobs, core.New(core.CDVFS))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, epoch := range []float64{0.1, 0.25, 1.0, 10} {
+				got, maxLive := streamRun(t, cfg, wl, epoch)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("epoch %g: streamed result diverged\ngot  %+v\nwant %+v", epoch, got, want)
+				}
+				// With 150 req/s, 150 ms deadlines, and ≤1 s epochs the live
+				// window is a small fraction of the 450-job stream.
+				if epoch <= 1 && maxLive >= len(jobs) {
+					t.Fatalf("epoch %g: stream held %d of %d jobs live — no compaction", epoch, maxLive, len(jobs))
+				}
+			}
+		})
+	}
+}
+
+// TestStreamExtendBudgetMatchesBatchWindows drives the same run twice: once
+// batch with a pre-materialized BudgetFaults schedule, once streamed with
+// the schedule declared epoch by epoch through ExtendBudget (adjacent
+// equal-fraction epochs split, exercising the online merge). Results must
+// be bit-identical.
+func TestStreamExtendBudgetMatchesBatchWindows(t *testing.T) {
+	wl := workload.DefaultConfig(150)
+	wl.Duration = 2
+	wl.Seed = 9
+	jobs, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.PaperConfig()
+	cfg.Cores = 4
+	cfg.Budget = 80
+	cfg.CollectJobs = true
+	core.ApplyArch(&cfg, core.CDVFS)
+
+	// Window edges sit on the epoch grid; the 0.25 epoch is binary-exact so
+	// float64(i)*epoch reproduces these literals bit-for-bit.
+	batch := cfg
+	batch.BudgetFaults = []sim.BudgetFault{{Start: 0.5, End: 1.0, Fraction: 0.5}, {Start: 1.25, End: 1.75, Fraction: 0.8}}
+	want, err := sim.Run(batch, jobs, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := workload.NewStream(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.NewStream(cfg, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := func(t0 float64) float64 {
+		switch {
+		case t0 >= 0.5 && t0 < 1.0:
+			return 0.5
+		case t0 >= 1.25 && t0 < 1.75:
+			return 0.8
+		}
+		return 1
+	}
+	const epoch = 0.25
+	for i := 0; ; i++ {
+		t0, t1 := float64(i)*epoch, float64(i+1)*epoch
+		st.ExtendBudget(t0, t1, frac(t0))
+		if err := st.Feed(src.Next(t1)); err != nil {
+			t.Fatal(err)
+		}
+		if src.Done() {
+			st.ExpectMore(false)
+		}
+		if err := st.Advance(t1); err != nil {
+			t.Fatal(err)
+		}
+		// Keep declaring (full-budget) epochs past the horizon to exercise
+		// trailing budget epochs after the stream drains.
+		if src.Done() && t1 >= wl.Duration+1 {
+			break
+		}
+	}
+	st.CloseBudget()
+	got, err := st.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtendBudget result diverged\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStreamEmpty pins the never-fed stream to the batch empty-run result.
+func TestStreamEmpty(t *testing.T) {
+	cfg := sim.PaperConfig()
+	core.ApplyArch(&cfg, core.CDVFS)
+	want, err := sim.Run(cfg, nil, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.NewStream(cfg, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ExpectMore(false)
+	got, err := st.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty stream result %+v, want %+v", got, want)
+	}
+}
+
+// TestStreamSnapshotRestoreRoundTrip snapshots a streamed session at every
+// epoch boundary (leaving the original session running — snapshots must be
+// detached), JSON round-trips each snapshot, restores it under the creation
+// config, replays the remaining arrivals, and requires the finished result
+// to be bit-identical to the uninterrupted session — including budget
+// windows appended through ExtendBudget on both sides of the snapshot
+// point and retries in flight.
+func TestStreamSnapshotRestoreRoundTrip(t *testing.T) {
+	wl := workload.DefaultConfig(150)
+	wl.Duration = 2
+	wl.Seed = 13
+	cfg := sim.PaperConfig()
+	cfg.Cores = 4
+	cfg.Budget = 80
+	cfg.CollectJobs = true
+	cfg.Retry = sim.RetryPolicy{MaxAttempts: 2, Backoff: 0.01, Multiplier: 2, MaxBackoff: 0.05}
+	core.ApplyArch(&cfg, core.CDVFS)
+
+	// Binary-exact epoch so float64(i)*epoch lands on identical grid points
+	// in the original and restored sessions.
+	const epoch = 0.25
+	const nEpochs = 12 // 3 s: one epoch of trailing budget past the 2 s stream
+	frac := func(t0 float64) float64 {
+		switch {
+		case t0 >= 0.5 && t0 < 1.0:
+			return 0.5
+		case t0 >= 1.25 && t0 < 1.75:
+			return 0.8
+		}
+		return 1
+	}
+
+	var snaps []*sim.Snapshot
+	src, err := workload.NewStream(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.NewStream(cfg, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nEpochs; i++ {
+		t0, t1 := float64(i)*epoch, float64(i+1)*epoch
+		st.ExtendBudget(t0, t1, frac(t0))
+		if err := st.Feed(src.Next(t1)); err != nil {
+			t.Fatal(err)
+		}
+		if src.Done() {
+			st.ExpectMore(false)
+		}
+		if err := st.Advance(t1); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := st.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+	}
+	st.CloseBudget()
+	want, err := st.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, snap := range snaps {
+		b, err := sim.EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		decoded, err := sim.DecodeSnapshot(b)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		rst, err := sim.RestoreStream(cfg, core.New(core.CDVFS), decoded)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		rsrc, err := workload.NewStream(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsrc.Next(float64(i+1) * epoch) // discard the consumed prefix
+		for k := i + 1; k < nEpochs; k++ {
+			t0, t1 := float64(k)*epoch, float64(k+1)*epoch
+			rst.ExtendBudget(t0, t1, frac(t0))
+			if err := rst.Feed(rsrc.Next(t1)); err != nil {
+				t.Fatalf("snapshot %d epoch %d: %v", i, k, err)
+			}
+			if rsrc.Done() {
+				rst.ExpectMore(false)
+			}
+			if err := rst.Advance(t1); err != nil {
+				t.Fatalf("snapshot %d epoch %d: %v", i, k, err)
+			}
+		}
+		rst.CloseBudget()
+		got, err := rst.Finish()
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("snapshot %d (t=%g): restored result diverged\ngot  %+v\nwant %+v", i, float64(i+1)*epoch, got, want)
+		}
+	}
+}
+
+// TestStreamRejectsUnsortedFeed verifies the incremental validator trips on
+// out-of-order and pre-horizon feeds.
+func TestStreamRejectsUnsortedFeed(t *testing.T) {
+	cfg := sim.PaperConfig()
+	core.ApplyArch(&cfg, core.CDVFS)
+	st, err := sim.NewStream(cfg, core.New(core.CDVFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Generate(workload.DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Feed([]job.Job{jobs[1], jobs[0]}); err == nil {
+		t.Fatal("unsorted feed accepted")
+	}
+}

@@ -208,6 +208,15 @@ type Options struct {
 
 	// Telemetry attaches a metrics snapshot to every cell.
 	Telemetry bool
+
+	// Stream runs every cluster cell through the bounded-memory streamed
+	// pipeline (cluster.RunStream) over a lazy arrival source instead of
+	// materializing each cell's job stream. Memory per cell is then
+	// O(arrival window), so long-horizon fleet grids fit in RAM. Requires
+	// Grid.Servers > 1. Quality/energy results are identical to the batch
+	// path; only the engine-lifetime Events counter can differ for servers
+	// idling through the fleet tail (see docs/SCALE.md).
+	Stream bool
 }
 
 // Report is a completed sweep.
@@ -228,6 +237,10 @@ func Run(ctx context.Context, g Grid, opts Options) (Report, error) {
 		return Report{}, err
 	}
 	g = g.withDefaults()
+	if opts.Stream && g.Servers < 2 {
+		return Report{}, cfgerr.New("sweep", "stream",
+			"sweep: streamed execution applies to cluster cells; need servers > 1, got %d", g.Servers)
+	}
 	cells := g.Cells()
 
 	workers := opts.Workers
@@ -243,7 +256,7 @@ func Run(ctx context.Context, g Grid, opts Options) (Report, error) {
 	errs := make([]error, len(cells))
 
 	runCell := func(i int) {
-		results[i], errs[i] = runOne(ctx, g, cells[i], opts.Telemetry)
+		results[i], errs[i] = runOne(ctx, g, cells[i], opts)
 	}
 	if workers <= 1 {
 		for i := range cells {
@@ -295,32 +308,59 @@ func Run(ctx context.Context, g Grid, opts Options) (Report, error) {
 	return rep, nil
 }
 
+// cellSource builds the cell's lazy arrival source for streamed execution
+// — the same generator the batch path materializes from, pulled one
+// dispatch epoch at a time.
+func cellSource(g Grid, c Cell) (job.Source, error) {
+	if g.Workload != nil {
+		spec := *g.Workload
+		spec.Seed = c.Seed
+		spec.Duration = g.Duration
+		return workloadspec.NewStream(&spec)
+	}
+	wl := workload.DefaultConfig(c.Rate)
+	wl.Duration = g.Duration
+	wl.Seed = c.Seed
+	return workload.NewStream(wl)
+}
+
 // runOne simulates a single cell.
-func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult, error) {
-	var jobs []job.Job
+func runOne(ctx context.Context, g Grid, c Cell, opts Options) (CellResult, error) {
+	wantTelemetry := opts.Telemetry
 	var classQuality map[string]quality.Function
 	if g.Workload != nil {
 		spec := *g.Workload
 		spec.Seed = c.Seed
 		spec.Duration = g.Duration
-		compiled, err := workloadspec.Compile(&spec)
-		if err != nil {
-			return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
-		}
-		jobs = compiled
+		var err error
 		classQuality, err = spec.QualityByClass()
 		if err != nil {
 			return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
 		}
-	} else {
-		wl := workload.DefaultConfig(c.Rate)
-		wl.Duration = g.Duration
-		wl.Seed = c.Seed
-		generated, err := workload.Generate(wl)
-		if err != nil {
-			return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
+	}
+	// Streamed cluster cells never materialize their workload; everything
+	// else compiles/generates the cell's job stream up front.
+	var jobs []job.Job
+	if !(opts.Stream && g.Servers > 1) {
+		if g.Workload != nil {
+			spec := *g.Workload
+			spec.Seed = c.Seed
+			spec.Duration = g.Duration
+			compiled, err := workloadspec.Compile(&spec)
+			if err != nil {
+				return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
+			}
+			jobs = compiled
+		} else {
+			wl := workload.DefaultConfig(c.Rate)
+			wl.Duration = g.Duration
+			wl.Seed = c.Seed
+			generated, err := workload.Generate(wl)
+			if err != nil {
+				return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
+			}
+			jobs = generated
 		}
-		jobs = generated
 	}
 
 	out := CellResult{Cell: c, Servers: g.Servers}
@@ -348,7 +388,17 @@ func runOne(ctx context.Context, g Grid, c Cell, wantTelemetry bool) (CellResult
 			reg = telemetry.NewRegistry()
 			ccfg.Instrument = &cluster.Instrument{Registry: reg}
 		}
-		res, err := cluster.Run(ccfg, jobs)
+		var res cluster.Result
+		var err error
+		if opts.Stream {
+			var src job.Source
+			if src, err = cellSource(g, c); err != nil {
+				return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
+			}
+			res, err = cluster.RunStream(ccfg, src)
+		} else {
+			res, err = cluster.Run(ccfg, jobs)
+		}
 		if err != nil {
 			return CellResult{}, fmt.Errorf("cell %d: %w", c.Index, err)
 		}

@@ -116,6 +116,46 @@ func TestClusterCellsDeterministic(t *testing.T) {
 	}
 }
 
+// TestStreamedClusterCellsMatchBatch pins streamed sweep execution to the
+// batch path: identical quality/energy bits per cell (only the
+// engine-lifetime Events counter may differ — see docs/SCALE.md), and a
+// single-server grid must reject the option.
+func TestStreamedClusterCellsMatchBatch(t *testing.T) {
+	g := Grid{
+		Rates:            []float64{120},
+		Cores:            []int{4},
+		Budgets:          []float64{80},
+		Policies:         []string{"des"},
+		Seeds:            []uint64{1, 2},
+		Duration:         10,
+		Servers:          4,
+		GlobalBudgetFrac: 0.7,
+	}
+	batch, err := Run(context.Background(), g, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Run(context.Background(), g, Options{Workers: 2, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range batch.Cells {
+		a, b := batch.Cells[j], streamed.Cells[j]
+		if math.Float64bits(a.Quality) != math.Float64bits(b.Quality) ||
+			math.Float64bits(a.Energy) != math.Float64bits(b.Energy) ||
+			math.Float64bits(a.NormQuality) != math.Float64bits(b.NormQuality) ||
+			a.Arrived != b.Arrived || a.Completed != b.Completed ||
+			a.Deadlined != b.Deadlined || a.Shed != b.Shed {
+			t.Errorf("cell %d: streamed result diverged from batch\nbatch    %+v\nstreamed %+v", j, a, b)
+		}
+	}
+
+	g.Servers = 1
+	if _, err := Run(context.Background(), g, Options{Stream: true}); err == nil {
+		t.Fatal("streamed single-server grid accepted")
+	}
+}
+
 func TestTelemetrySnapshots(t *testing.T) {
 	g := Grid{Rates: []float64{30}, Cores: []int{4}, Budgets: []float64{80},
 		Policies: []string{"des"}, Seeds: []uint64{1}, Duration: 5}

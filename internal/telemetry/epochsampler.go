@@ -30,6 +30,7 @@ type EpochSampler struct {
 	server   int
 	epochLen float64
 	cfg      sim.Config // for BudgetAt (nominal budget × fault windows)
+	budgetAt func(float64) float64
 	cores    int
 	outages  [][]samplerInterval // per-core merged outage windows
 
@@ -94,6 +95,15 @@ func NewEpochSampler(rec *SeriesRecorder, server int, epochLen float64, cfg sim.
 	}
 	return s
 }
+
+// SetBudgetAt overrides where the flushed samples' BudgetW comes from. The
+// streamed cluster path needs this: its budget windows are appended to the
+// live engine config epoch by epoch (sim.Stream.ExtendBudget), so the
+// by-value config copied at construction never sees them — point the
+// sampler at Stream.BudgetAt instead. Samples flush at most a couple of
+// epochs behind the engine clock, within the stream's retained window
+// history.
+func (s *EpochSampler) SetBudgetAt(fn func(float64) float64) { s.budgetAt = fn }
 
 func mergeSamplerIntervals(ivs []samplerInterval) []samplerInterval {
 	if len(ivs) <= 1 {
@@ -170,13 +180,17 @@ func (s *EpochSampler) flushOldest() {
 			classes[i] = *e.classes[name]
 		}
 	}
+	budgetAt := s.budgetAt
+	if budgetAt == nil {
+		budgetAt = s.cfg.BudgetAt
+	}
 	s.rec.Record(Sample{
 		Server:       s.server,
 		Epoch:        idx,
 		Time:         end,
 		Quality:      e.quality,
 		EnergyJ:      e.energy,
-		BudgetW:      s.cfg.BudgetAt(start),
+		BudgetW:      budgetAt(start),
 		QueueDepth:   e.queue,
 		Availability: avail,
 		Completed:    e.completed,

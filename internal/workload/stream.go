@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"dessched/internal/job"
+)
+
+// Stream is the incremental form of Generate: a job.Source that draws the
+// same Lewis-Shedler candidate sequence lazily, one dispatch window at a
+// time, so a multi-hour stream never has to be materialized. For any
+// non-decreasing sequence of until values, concatenating Next results
+// reproduces Generate(c) bit-identically — same RNG draw order, same dense
+// IDs, same floats.
+//
+// Done is exact, not optimistic: the stream always resolves generation one
+// accepted job ahead (thinned candidates are consumed eagerly), so
+// Done() == true guarantees no future Next call returns a job. The
+// simulation engine relies on this to decide when to let its periodic
+// quantum die (see sim.Stream).
+type Stream struct {
+	cfg     Config
+	rng     *rand.Rand
+	peak    float64
+	thinned bool
+	t       float64 // time of the last candidate drawn
+	n       int     // accepted count = next dense ID
+	next    job.Job // one-job lookahead buffer
+	hasNext bool
+	buf     []job.Job
+}
+
+// NewStream validates the config and returns a Stream positioned before the
+// first arrival.
+func NewStream(c Config) (*Stream, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		cfg:     c,
+		rng:     rand.New(rand.NewPCG(c.Seed, c.Seed^0x9e3779b97f4a7c15)),
+		peak:    c.peakRate(),
+		thinned: len(c.Bursts) > 0,
+	}
+	s.advance()
+	return s, nil
+}
+
+// advance draws candidates — replicating Generate's loop draw-for-draw —
+// until one is accepted into the lookahead buffer or the horizon is hit.
+func (s *Stream) advance() {
+	for {
+		s.t += s.rng.ExpFloat64() / s.peak
+		if s.t >= s.cfg.Duration {
+			s.hasNext = false
+			return
+		}
+		if s.thinned && s.rng.Float64() > s.cfg.RateAt(s.t)/s.peak {
+			continue // thinned out
+		}
+		s.next = job.Job{
+			ID:       job.ID(s.n),
+			Release:  s.t,
+			Deadline: s.t + s.cfg.Deadline,
+			Demand:   s.cfg.Demand.Sample(s.rng),
+			Partial:  s.rng.Float64() < s.cfg.PartialFraction,
+		}
+		s.n++
+		s.hasNext = true
+		return
+	}
+}
+
+// Next returns the arrivals with Release < until, in release order. The
+// returned slice is reused by the following Next call.
+func (s *Stream) Next(until float64) []job.Job {
+	s.buf = s.buf[:0]
+	for s.hasNext && s.next.Release < until {
+		s.buf = append(s.buf, s.next)
+		s.advance()
+	}
+	return s.buf
+}
+
+// Done reports whether the stream is exhausted.
+func (s *Stream) Done() bool { return !s.hasNext }
+
+var _ job.Source = (*Stream)(nil)

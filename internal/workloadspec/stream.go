@@ -1,0 +1,143 @@
+package workloadspec
+
+import (
+	"math/rand/v2"
+
+	"dessched/internal/job"
+)
+
+// classStream generates one class's arrival stream incrementally with the
+// exact RNG discipline of generateClass: one exponential gap per candidate,
+// a thinning uniform only when the rate is non-constant, then the demand
+// and partial draws for accepted arrivals. It keeps a one-job lookahead so
+// exhaustion is exact, never optimistic.
+type classStream struct {
+	s       *Spec
+	c       *ClassSpec
+	rng     *rand.Rand
+	pf      float64
+	thinned bool
+	peak    float64
+	t       float64 // time of the last candidate drawn
+	next    job.Job
+	hasNext bool
+}
+
+func newClassStream(s *Spec, c *ClassSpec, seed uint64) *classStream {
+	cs := &classStream{
+		s:       s,
+		c:       c,
+		rng:     rand.New(rand.NewPCG(seed, seed^seedMix)),
+		pf:      1.0,
+		thinned: !plain(s, c),
+		peak:    c.Rate,
+	}
+	if c.PartialFraction != nil {
+		cs.pf = *c.PartialFraction
+	}
+	if cs.thinned {
+		cs.peak = peakRate(s, c)
+	}
+	cs.advance()
+	return cs
+}
+
+// advance draws candidates until one is accepted or the horizon is hit,
+// replicating generateClass draw-for-draw.
+func (cs *classStream) advance() {
+	for {
+		cs.t += cs.rng.ExpFloat64() / cs.peak
+		if cs.t >= cs.s.Duration {
+			cs.hasNext = false
+			return
+		}
+		if cs.thinned && cs.rng.Float64() > rateAt(cs.s, cs.c, cs.t)/cs.peak {
+			continue // thinned out
+		}
+		cs.next = job.Job{
+			Release:  cs.t,
+			Deadline: cs.t + cs.c.Deadline,
+			Demand:   sampleDemand(&cs.c.Demand, cs.rng),
+			Partial:  cs.rng.Float64() < cs.pf,
+			Class:    cs.c.Name,
+		}
+		cs.hasNext = true
+		return
+	}
+}
+
+// Stream is the incremental form of Compile: a job.Source that merges the
+// per-class arrival streams lazily with Compile's exact comparator
+// (release, deadline, class declaration order, intra-class position) and
+// assigns dense IDs in merged order. For any non-decreasing sequence of
+// until values, concatenating Next results reproduces Compile(s)
+// bit-identically. The merge is correct windowed because the comparator's
+// primary key is the release time: every job emitted in an earlier window
+// sorts before every job of a later one.
+type Stream struct {
+	classes []*classStream
+	n       int // dense ID counter
+	buf     []job.Job
+}
+
+// NewStream validates the spec and returns a Stream positioned before the
+// first arrival of any class.
+func NewStream(s *Spec) (*Stream, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	st := &Stream{classes: make([]*classStream, len(s.Classes))}
+	for ci := range s.Classes {
+		st.classes[ci] = newClassStream(s, &s.Classes[ci], classSeed(s, ci))
+	}
+	return st, nil
+}
+
+// Next returns the merged arrivals with Release < until, in Compile order.
+// The returned slice is reused by the following Next call. Heads belong to
+// distinct classes, so the intra-class position never has to break a tie.
+func (st *Stream) Next(until float64) []job.Job {
+	st.buf = st.buf[:0]
+	for {
+		best := -1
+		for ci, cs := range st.classes {
+			if cs.hasNext && (best < 0 || headLess(cs.next, ci, st.classes[best].next, best)) {
+				best = ci
+			}
+		}
+		// The least head bounds every stream: if it is not before
+		// until, no head is.
+		if best < 0 || st.classes[best].next.Release >= until {
+			return st.buf
+		}
+		cs := st.classes[best]
+		j := cs.next
+		j.ID = job.ID(st.n)
+		st.n++
+		cs.advance()
+		st.buf = append(st.buf, j)
+	}
+}
+
+// headLess orders two class heads by Compile's merge comparator.
+func headLess(a job.Job, ca int, b job.Job, cb int) bool {
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return ca < cb
+}
+
+// Done reports whether every class stream is exhausted.
+func (st *Stream) Done() bool {
+	for _, cs := range st.classes {
+		if cs.hasNext {
+			return false
+		}
+	}
+	return true
+}
+
+var _ job.Source = (*Stream)(nil)

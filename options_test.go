@@ -249,6 +249,78 @@ func TestSimulateClusterFacade(t *testing.T) {
 	}
 }
 
+// TestSimulateClusterStreamFacade: the streaming exports — slice-backed
+// sources, the streamed runner, and the snapshot encode/decode/resume
+// loop — work end to end through the public facade and stay bit-identical
+// to the batch path.
+func TestSimulateClusterStreamFacade(t *testing.T) {
+	cfg, jobs := smallRun(t)
+	ccfg := dessched.ClusterConfig{
+		Servers:      4,
+		Server:       cfg,
+		Dispatch:     dessched.DispatchRoundRobin,
+		GlobalBudget: 0.75 * 4 * cfg.Budget,
+	}
+	batch, err := dessched.SimulateCluster(ccfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := dessched.SimulateClusterStream(ccfg, dessched.NewSliceJobSource(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(batch.Quality) != math.Float64bits(streamed.Quality) ||
+		math.Float64bits(batch.Energy) != math.Float64bits(streamed.Energy) ||
+		batch.Arrived != streamed.Arrived || batch.Completed != streamed.Completed {
+		t.Errorf("streamed facade diverged from batch:\nbatch    %+v\nstreamed %+v", batch, streamed)
+	}
+
+	// Snapshot → encode → decode → resume, all through the facade.
+	var blob []byte
+	ckpt := ccfg
+	ckpt.StreamCheckpoint = &dessched.ClusterStreamCheckpointConfig{
+		Every: 2,
+		Sink: func(s *dessched.ClusterStreamSnapshot) error {
+			b, err := dessched.EncodeClusterStreamSnapshot(s)
+			blob = b
+			return err
+		},
+	}
+	if _, err := dessched.SimulateClusterStream(ckpt, dessched.NewSliceJobSource(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("checkpoint sink never ran")
+	}
+	snap, err := dessched.DecodeClusterStreamSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := dessched.ResumeClusterStream(ccfg, dessched.NewSliceJobSource(jobs), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(resumed.Quality) != math.Float64bits(batch.Quality) ||
+		math.Float64bits(resumed.Energy) != math.Float64bits(batch.Energy) {
+		t.Errorf("resumed facade run diverged: %+v vs %+v", resumed, batch)
+	}
+
+	// A generator-backed source through the facade drives the same fleet.
+	wl := dessched.PaperWorkload(30)
+	wl.Duration = 5
+	src, err := dessched.NewWorkloadStream(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := dessched.SimulateClusterStream(ccfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(gen.Quality) != math.Float64bits(batch.Quality) {
+		t.Errorf("workload-stream source diverged: %v vs %v", gen.Quality, batch.Quality)
+	}
+}
+
 func TestRunSweepFacade(t *testing.T) {
 	grid := dessched.SweepGrid{
 		Rates:    []float64{30},
