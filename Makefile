@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples workload-smoke docs-lint
+.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples workload-smoke tournament-smoke docs-lint
 
 all: build vet test
 
@@ -89,10 +89,22 @@ workload-smoke:
 	$(GO) run ./cmd/desim sim -workload /tmp/dessched-smoke-trace.csv \
 		-cores 4 -budget 80 >/dev/null
 
+# Policy-tournament smoke: race a tiny grid (2 contenders × 2 seeds) on the
+# shipped bimodal spec and assert the report materializes with a parsable
+# dominance table showing the priority hybrid's interactive-class verdict.
+tournament-smoke:
+	$(GO) run ./cmd/desim tournament -workload examples/workloads/bimodal.json \
+		-policies fcfs,prio-sjf -seeds 1,2 -liveness-scale -1 \
+		-out /tmp/dessched-tournament.md -json /tmp/dessched-tournament.json
+	grep -q '^## Dominance' /tmp/dessched-tournament.md
+	grep -Eq '^\| prio-sjf \| interactive \| norm_quality \| [0-9.]+ \| [0-9.]+ \| ' \
+		/tmp/dessched-tournament.md
+	grep -q '"dominance"' /tmp/dessched-tournament.json
+
 # Every exported identifier in the streaming-facing packages must carry a
 # doc comment — godoc is part of the documented API surface (docs/SCALE.md
 # links into it). Extend DOCS_LINT_PKGS as more packages graduate.
-DOCS_LINT_PKGS ?= internal/cluster internal/workloadspec
+DOCS_LINT_PKGS ?= internal/cluster internal/workloadspec internal/registry
 docs-lint:
 	@fail=0; \
 	for f in $(foreach p,$(DOCS_LINT_PKGS),$(p)/*.go); do \

@@ -103,11 +103,18 @@ func clusterSpec(policy, arch string, wf bool) (string, error) {
 			return "des-no", nil
 		}
 		return "", fmt.Errorf("unknown arch %q", arch)
-	case "fcfs", "ljf", "sjf":
-		if wf {
-			return strings.ToLower(policy) + "-wf", nil
+	case "fcfs", "ljf", "sjf", "edf", "prio-sjf", "prio-edf", "priosjf", "prioedf":
+		base := strings.ToLower(policy)
+		switch base {
+		case "priosjf":
+			base = "prio-sjf"
+		case "prioedf":
+			base = "prio-edf"
 		}
-		return strings.ToLower(policy), nil
+		if wf {
+			return base + "-wf", nil
+		}
+		return base, nil
 	}
 	return "", fmt.Errorf("unknown policy %q", policy)
 }
@@ -119,20 +126,18 @@ func clusterSpec(policy, arch string, wf bool) (string, error) {
 // rejected upstream. Checkpointing uses streamed snapshots (per-engine
 // state + arrival cursor) instead of the batch completed-server images.
 func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
-	src dessched.JobSource, dispatch string, globalBudget float64,
+	src dessched.JobSource, dispatch dessched.DispatchPolicy, classes []string,
+	globalBudget float64,
 	chaosSeed uint64, horizon float64, hedge dessched.HedgeConfig,
 	checkpointOut, resumeIn string, checkpointEvery float64,
 	fl simInstrumentFlags, telemetryOut string) error {
 
-	d, err := dessched.ParseDispatchPolicy(dispatch)
-	if err != nil {
-		return err
-	}
 	ccfg := dessched.ClusterConfig{
 		Servers:      servers,
 		Server:       cfg,
 		Policy:       spec,
-		Dispatch:     d,
+		Dispatch:     dispatch,
+		Classes:      classes,
 		GlobalBudget: globalBudget,
 		Epoch:        fl.epoch,
 		Hedge:        hedge,
@@ -194,6 +199,7 @@ func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
 
 	start := time.Now()
 	var res dessched.ClusterResult
+	var err error
 	if resumeIn != "" {
 		b, err := os.ReadFile(resumeIn)
 		if err != nil {
@@ -264,19 +270,17 @@ func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
 // merged telemetry, and a cluster-trace bundle for destrace — plus the
 // recovery stack (hedged dispatch, completed-server checkpoint/resume).
 func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
-	jobs []dessched.Job, horizon float64, dispatch string, globalBudget float64,
+	jobs []dessched.Job, horizon float64, dispatch dessched.DispatchPolicy,
+	classes []string, globalBudget float64,
 	chaosSeed uint64, hedge dessched.HedgeConfig, checkpointOut, resumeIn string,
 	fl simInstrumentFlags, traceOut, perfettoOut, telemetryOut string) error {
 
-	d, err := dessched.ParseDispatchPolicy(dispatch)
-	if err != nil {
-		return err
-	}
 	ccfg := dessched.ClusterConfig{
 		Servers:      servers,
 		Server:       cfg,
 		Policy:       spec,
-		Dispatch:     d,
+		Dispatch:     dispatch,
+		Classes:      classes,
 		GlobalBudget: globalBudget,
 		Epoch:        fl.epoch,
 		Hedge:        hedge,
@@ -335,6 +339,7 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 	}
 
 	var res dessched.ClusterResult
+	var err error
 	if resumeIn != "" {
 		b, err := os.ReadFile(resumeIn)
 		if err != nil {

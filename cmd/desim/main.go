@@ -64,6 +64,8 @@ func main() {
 		err = cmdChaos(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "tournament":
+		err = cmdTournament(os.Args[2:])
 	case "workload":
 		err = cmdWorkload(os.Args[2:])
 	case "bench":
@@ -91,32 +93,41 @@ func usage() {
   desim sim [flags]                   run a single simulation
   desim chaos [flags]                 seeded fault-injection soak + resilience report
   desim sweep [flags]                 fan a parameter grid across a worker pool
+  desim tournament [flags]            race policies on one workload, report per-class dominance
   desim workload [flags] <files>      validate/describe/compile declarative workload specs
   desim bench [flags]                 measure simulator throughput, write BENCH_sim.json
   desim verify [-duration s]          check every paper claim; exit 1 on failure
 run flags: -duration s  -seed n  -replicas n  -workers n  -rates a,b,c
            -paper  -quick  -out file  -chart  -csv dir
            (presets set the baseline; explicit flags override them)
-sim flags: -policy des|fcfs|ljf|sjf  -arch c|s|no  -wf  -discrete
+sim flags: -policy des|fcfs|ljf|sjf|edf|prio-sjf|prio-edf  -arch c|s|no  -wf  -discrete
            -rate r  -cores m  -budget W  -partial f  -duration s  -seed n
            -workload spec.json|trace.csv  (declarative classes / trace replay)
+           -order fcfs|sjf|edf|prio-sjf|prio-edf  (ready-queue discipline)
+           -admission none|tail-drop|quality-aware|priority  -max-queue n
            -trace file.csv  -events  -chaos-seed n  -mttr s
            -retry-max n  -retry-backoff s
            -checkpoint file.json  -checkpoint-every s  -resume file.json
            -telemetry file.prom  -perfetto file.json
            -live  -epoch s  -spans file.json  -spans-perfetto file.json
            -series file.json|.csv
-           -servers m  -dispatch rr|ll|hash  -global-budget W
+           -servers m  -dispatch rr|ll|hash|by-class  -global-budget W
            -hedge-window s  -hedge-limit n
            (with -servers > 1, -trace/-perfetto write the cluster bundle)
 chaos flags: -seed n  -rate r  -duration s  -cores m  -budget W  -arch c|s|no
              -workload spec.json  -core-faults n  -budget-faults n  -bursts n
              -outage-frac f  -mttr s  -retry-max n  -retry-backoff s
-             -admission none|tail-drop|quality-aware  -max-queue n
+             -order fcfs|sjf|edf|prio-sjf|prio-edf
+             -admission none|tail-drop|quality-aware|priority  -max-queue n
 sweep flags: -rates a,b,c  -cores a,b  -budgets a,b  -policies p,q  -seeds a,b
              -workload spec.json (replaces -rates)  -duration s  -workers n
-             -servers m  -dispatch rr|ll|hash
+             -servers m  -dispatch rr|ll|hash|by-class
+             -order ...  -admission ...  -max-queue n  (one SLO setting per grid)
              -global-frac f  -epoch s  -telemetry  -out file.json  -csv file.csv
+tournament flags: -workload spec.json (required)  -policies p,q@order  -baseline p
+                  -seeds a,b,c  -cores m  -budget W  -liveness-scale f
+                  -order ...  -admission ...  -max-queue n
+                  -out report.md  -json report.json
 workload flags: -validate | -describe | -generate -out trace.csv
                 [-seed n] [-duration s]  <spec.json|trace.csv ...>
 bench flags: -out file.json  -compare old.json  -threshold f
@@ -317,8 +328,7 @@ func cmdChaos(args []string) error {
 	budgetFaults := fs.Int("budget-faults", 1, "number of budget-drop windows")
 	bursts := fs.Int("bursts", 1, "number of arrival-burst windows")
 	outageFrac := fs.Float64("outage-frac", 0.3, "fraction of core faults that are full outages")
-	admit := fs.String("admission", "none", "load shedding: none | tail-drop | quality-aware")
-	maxQueue := fs.Int("max-queue", 64, "queue length beyond which admission control sheds")
+	pf := registerPolicyFlags(fs, policyFlags{Order: "fcfs", Admission: "none", MaxQueue: 64}, false)
 	mttr := fs.Float64("mttr", 0, "mean time to repair: core faults heal after exponential repair times (0 = default fault windows)")
 	retryMax := fs.Int("retry-max", 0, "max dispatch attempts for jobs evacuated from outaged cores (0 = no retry lifecycle)")
 	retryBackoff := fs.Float64("retry-backoff", 0.05, "initial retry backoff, s, doubling per attempt (with -retry-max)")
@@ -356,7 +366,11 @@ func cmdChaos(args []string) error {
 		return fmt.Errorf("unknown arch %q", *arch)
 	}
 
-	pol, err := dessched.ParseAdmissionPolicy(*admit)
+	order, err := pf.queueOrder()
+	if err != nil {
+		return err
+	}
+	admitCfg, err := pf.admissionConfig()
 	if err != nil {
 		return err
 	}
@@ -378,8 +392,9 @@ func cmdChaos(args []string) error {
 		cfg.Cores = *cores
 		cfg.Budget = *budget
 		dessched.ApplyArch(&cfg, a)
+		cfg.QueueOrder = order
 		if faulted {
-			cfg.Admission = dessched.AdmissionConfig{Policy: pol, MaxQueue: *maxQueue}
+			cfg.Admission = admitCfg
 			if *retryMax > 0 {
 				cfg.Retry = dessched.RetryPolicy{MaxAttempts: *retryMax, Backoff: *retryBackoff}
 			}
@@ -402,6 +417,7 @@ func cmdChaos(args []string) error {
 			if cfg.ClassQuality, err = dessched.WorkloadQualityByClass(&sc); err != nil {
 				return dessched.Result{}, err
 			}
+			cfg.ClassPriority = dessched.WorkloadPriorityByClass(&sc)
 		} else {
 			wl := dessched.PaperWorkload(*rate)
 			wl.Duration = *duration
@@ -438,7 +454,7 @@ func cmdChaos(args []string) error {
 
 func cmdSim(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
-	policy := fs.String("policy", "des", "des | fcfs | ljf | sjf")
+	policy := fs.String("policy", "des", "des | fcfs | ljf | sjf | edf | prio-sjf | prio-edf")
 	arch := fs.String("arch", "c", "architecture for DES: c | s | no")
 	wf := fs.Bool("wf", false, "water-filling power distribution for baselines")
 	discrete := fs.Bool("discrete", false, "discrete speed scaling (0.5..3.0 GHz ladder)")
@@ -456,7 +472,7 @@ func cmdSim(args []string) error {
 	perfettoOut := fs.String("perfetto", "", "write the executed schedule as Perfetto/Chrome trace-event JSON to this file")
 	servers := fs.Int("servers", 1, "fleet size; > 1 runs the cluster path (dispatcher + hierarchical budget)")
 	stream := fs.Bool("stream", false, "pull arrivals lazily and run the cluster in bounded memory (with -servers > 1; see docs/SCALE.md)")
-	dispatch := fs.String("dispatch", "rr", "cluster dispatch policy: rr | ll | hash (with -servers > 1)")
+	pf := registerPolicyFlags(fs, policyFlags{Order: "fcfs", Admission: "none", MaxQueue: 64, Dispatch: "rr"}, true)
 	globalBudget := fs.Float64("global-budget", 0, "global datacenter budget, W (0 = no hierarchy; with -servers > 1)")
 	live := fs.Bool("live", false, "render per-epoch samples as a terminal ticker while the run executes")
 	epoch := fs.Float64("epoch", 1, "epoch length for -live/-series sampling and cluster budget reflow, s")
@@ -483,6 +499,9 @@ func cmdSim(args []string) error {
 	}
 	if *retryMax > 0 {
 		cfg.Retry = dessched.RetryPolicy{MaxAttempts: *retryMax, Backoff: *retryBackoff}
+	}
+	if err := pf.applyTo(&cfg); err != nil {
+		return err
 	}
 
 	// A declarative workload replaces the default single-rate generator:
@@ -515,6 +534,7 @@ func cmdSim(args []string) error {
 			if cfg.ClassQuality, err = dessched.WorkloadQualityByClass(wlSpec); err != nil {
 				return err
 			}
+			cfg.ClassPriority = dessched.WorkloadPriorityByClass(wlSpec)
 		}
 	}
 
@@ -529,6 +549,17 @@ func cmdSim(args []string) error {
 		spec, err := clusterSpec(*policy, *arch, *wf)
 		if err != nil {
 			return err
+		}
+		d, err := pf.dispatchPolicy()
+		if err != nil {
+			return err
+		}
+		var classes []string
+		if d == dessched.DispatchByClass {
+			if wlSpec == nil {
+				return fmt.Errorf("-dispatch by-class needs a spec workload (-workload spec.json) to name the class partitions")
+			}
+			classes = dessched.WorkloadClassNames(wlSpec)
 		}
 		horizon := *duration
 		if wlSpec != nil {
@@ -556,7 +587,7 @@ func cmdSim(args []string) error {
 					return err
 				}
 			}
-			return runClusterStream(*servers, spec, cfg, src, *dispatch, *globalBudget,
+			return runClusterStream(*servers, spec, cfg, src, d, classes, *globalBudget,
 				*chaosSeed, horizon, hedge, *checkpointOut, *resumeIn, *checkpointEvery, fl, *telemetryOut)
 		}
 		jobs := wlJobs
@@ -569,7 +600,7 @@ func cmdSim(args []string) error {
 				return err
 			}
 		}
-		return runClusterSim(*servers, spec, cfg, jobs, horizon, *dispatch, *globalBudget,
+		return runClusterSim(*servers, spec, cfg, jobs, horizon, d, classes, *globalBudget,
 			*chaosSeed, hedge, *checkpointOut, *resumeIn, fl, *traceOut, *perfettoOut, *telemetryOut)
 	}
 	if *stream {
@@ -604,6 +635,15 @@ func cmdSim(args []string) error {
 	case "sjf":
 		cfg.Triggers = dessched.Triggers{IdleCore: true}
 		p = dessched.NewBaseline(dessched.SJF, *wf)
+	case "edf":
+		cfg.Triggers = dessched.Triggers{IdleCore: true}
+		p = dessched.NewBaseline(dessched.EDF, *wf)
+	case "prio-sjf", "priosjf":
+		cfg.Triggers = dessched.Triggers{IdleCore: true}
+		p = dessched.NewBaseline(dessched.PrioSJF, *wf)
+	case "prio-edf", "prioedf":
+		cfg.Triggers = dessched.Triggers{IdleCore: true}
+		p = dessched.NewBaseline(dessched.PrioEDF, *wf)
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}

@@ -25,7 +25,7 @@ func cmdSweep(args []string) error {
 	seeds := fs.String("seeds", "1", "comma-separated workload seeds")
 	duration := fs.Float64("duration", 60, "simulated seconds per cell")
 	servers := fs.Int("servers", 1, "servers per cell; >1 runs each cell as a cluster")
-	dispatch := fs.String("dispatch", "rr", "cluster dispatch: rr | ll | hash")
+	pf := registerPolicyFlags(fs, policyFlags{Order: "fcfs", Admission: "none", MaxQueue: 64, Dispatch: "rr"}, true)
 	globalFrac := fs.Float64("global-frac", 0, "global budget as a fraction of summed nominal budgets (0 = no hierarchy)")
 	epoch := fs.Float64("epoch", 0, "cluster budget-reflow epoch, s (0 = default)")
 	workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS); never affects results")
@@ -41,9 +41,18 @@ func cmdSweep(args []string) error {
 	grid := dessched.SweepGrid{
 		Duration:         *duration,
 		Servers:          *servers,
-		Dispatch:         *dispatch,
+		Dispatch:         pf.Dispatch,
+		QueueOrder:       pf.Order,
 		GlobalBudgetFrac: *globalFrac,
 		Epoch:            *epoch,
+	}
+	// The grid's admission fields are all-or-nothing: only set them when a
+	// policy is actually selected (Validate rejects a stray max-queue).
+	if ac, err := pf.admissionConfig(); err != nil {
+		return err
+	} else if ac.Policy != dessched.AdmitAll {
+		grid.Admission = pf.Admission
+		grid.MaxQueue = ac.MaxQueue
 	}
 	var err error
 	if *workloadFile != "" {

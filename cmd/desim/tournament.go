@@ -1,0 +1,101 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dessched"
+)
+
+// cmdTournament races a field of scheduling policies over one declarative
+// workload: every contender runs every seed, per-class quality and wait
+// metrics are summarized, each challenger is checked for per-class
+// dominance over the baseline, and every contender passes a
+// below-saturation no-starvation screen. The report is FINDINGS-style
+// Markdown (stdout or -out) and/or JSON (-json); the same flags always
+// reproduce the same report.
+func cmdTournament(args []string) error {
+	fs := flag.NewFlagSet("tournament", flag.ExitOnError)
+	workloadFile := fs.String("workload", "", "declarative workload spec (.json) every contender races on (required)")
+	policies := fs.String("policies", "", `comma-separated contenders, "policy" or "policy@order" e.g. des@prio-sjf (empty = default field)`)
+	baseline := fs.String("baseline", "fcfs", "dominance reference, by contender name (added to the field if absent)")
+	seeds := fs.String("seeds", "1,2,3", "comma-separated workload seeds; every contender runs every seed")
+	cores := fs.Int("cores", 0, "cores per server (0 = the paper's 16)")
+	budget := fs.Float64("budget", 0, "dynamic power budget, W (0 = the paper's 320)")
+	livenessScale := fs.Float64("liveness-scale", 0, "rate multiplier of the no-starvation pass (0 = default 0.3, negative = skip)")
+	pf := registerPolicyFlags(fs, policyFlags{Admission: "none", MaxQueue: 64}, false)
+	outMD := fs.String("out", "", "write the Markdown report to this file instead of stdout")
+	outJSON := fs.String("json", "", "also write the report as indented JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workloadFile == "" {
+		return fmt.Errorf("tournament needs -workload spec.json (try examples/workloads/bimodal.json)")
+	}
+	spec, err := readWorkloadSpec(*workloadFile)
+	if err != nil {
+		return err
+	}
+
+	tc := dessched.TournamentConfig{
+		Spec:          spec,
+		Baseline:      *baseline,
+		Cores:         *cores,
+		Budget:        *budget,
+		LivenessScale: *livenessScale,
+	}
+	for _, s := range strings.Split(*policies, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		ct, err := dessched.ParseTournamentContender(s)
+		if err != nil {
+			return err
+		}
+		tc.Contenders = append(tc.Contenders, ct)
+	}
+	// -order supplies the discipline of contenders listed without an
+	// explicit "@order" suffix; the default field already spans orders.
+	if ord := strings.TrimSpace(pf.Order); ord != "" && ord != "fcfs" {
+		if _, err := pf.queueOrder(); err != nil {
+			return err
+		}
+		if len(tc.Contenders) == 0 {
+			return fmt.Errorf("-order needs -policies: it fills in the order of bare contenders (or spell them policy@order)")
+		}
+		for i := range tc.Contenders {
+			if tc.Contenders[i].Order == "" {
+				tc.Contenders[i].Order = ord
+			}
+		}
+	}
+	if tc.Admission, err = pf.admissionConfig(); err != nil {
+		return err
+	}
+	if tc.Seeds, err = parseUints(*seeds); err != nil {
+		return fmt.Errorf("-seeds: %w", err)
+	}
+
+	n := len(tc.Contenders)
+	if n == 0 {
+		n = 7 // the default field
+	}
+	fmt.Fprintf(os.Stderr, "tournament: %d contenders × %d seeds on workload %q\n",
+		n, len(tc.Seeds), spec.Name)
+
+	rep, err := dessched.RunTournament(tc)
+	if err != nil {
+		return err
+	}
+	if *outJSON != "" {
+		if err := writeTo(*outJSON, func(f *os.File) error { return dessched.WriteTournamentJSON(f, rep) }); err != nil {
+			return err
+		}
+	}
+	if *outMD != "" {
+		return writeTo(*outMD, func(f *os.File) error { return dessched.WriteTournamentMarkdown(f, rep) })
+	}
+	return dessched.WriteTournamentMarkdown(os.Stdout, rep)
+}

@@ -167,10 +167,19 @@ const (
 	// QualityAware sheds the queued job with the lowest marginal quality
 	// per unit of demand — the cheapest work to lose.
 	QualityAware = admission.QualityAware
+	// AdmissionPriority sheds from the lowest class-priority tier first
+	// (lowest marginal quality within the tier); a higher tier is never
+	// shed while a lower one is queued. ServerConfig.ClassPriority
+	// supplies the tiers.
+	AdmissionPriority = admission.Priority
 )
 
-// ParseAdmissionPolicy parses "none", "tail-drop", or "quality-aware".
-func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) { return admission.ParsePolicy(s) }
+// ParseAdmissionPolicy parses an admission policy name.
+//
+// Deprecated: use ParseAdmission, which resolves the same names through
+// the unified policy registry (see Policies) and reports unknown names as
+// typed *ConfigError values.
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) { return ParseAdmission(s) }
 
 // DefaultChaos returns a moderate chaos schedule generator: a few core
 // faults (some outages), one budget fault, and one arrival burst sampled
@@ -208,6 +217,13 @@ const (
 	LJF = baseline.LJF
 	// SJF serves the smallest service demand first.
 	SJF = baseline.SJF
+	// EDF serves the earliest absolute deadline first.
+	EDF = baseline.EDF
+	// PrioSJF serves the highest class-priority tier first, SJF within it
+	// (ServerConfig.ClassPriority supplies the tiers).
+	PrioSJF = baseline.PrioSJF
+	// PrioEDF serves the highest class-priority tier first, EDF within it.
+	PrioEDF = baseline.PrioEDF
 )
 
 // NewDES returns the DES policy for an architecture model.

@@ -5,7 +5,7 @@
 // bounds the queue and chooses which jobs to turn away so that overload
 // degrades quality gracefully instead.
 //
-// Three policies are provided:
+// Four policies are provided:
 //
 //   - None: admit everything (the paper's setting).
 //   - TailDrop: when the queue is over its limit, drop the newest arrival —
@@ -14,6 +14,11 @@
 //     per unit of demand, q(demand)/demand. Under a concave quality
 //     function this sheds the large jobs whose completion buys the least
 //     quality per cycle, preserving throughput of high-value work.
+//   - Priority: drop from the lowest SLO priority tier first
+//     (sim.Config.ClassPriority; higher value = more important), choosing
+//     the lowest-marginal-quality job within that tier. A higher tier is
+//     never shed while a lower tier is queued, so overload degrades the
+//     least important classes first.
 //
 // The stage runs inside the simulator on every arrival (sim.Config.Admission)
 // and mirrors the admission gate a production server would place before its
@@ -30,6 +35,7 @@ const (
 	None Policy = iota
 	TailDrop
 	QualityAware
+	Priority
 )
 
 func (p Policy) String() string {
@@ -40,6 +46,8 @@ func (p Policy) String() string {
 		return "tail-drop"
 	case QualityAware:
 		return "quality-aware"
+	case Priority:
+		return "priority"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -55,8 +63,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return TailDrop, nil
 	case "quality-aware", "qualityaware", "quality":
 		return QualityAware, nil
+	case "priority", "prio":
+		return Priority, nil
 	default:
-		return None, fmt.Errorf("admission: unknown policy %q (want none, tail-drop, or quality-aware)", s)
+		return None, fmt.Errorf("admission: unknown policy %q (want none, tail-drop, quality-aware, or priority)", s)
 	}
 }
 
@@ -72,7 +82,7 @@ func (c Config) Enabled() bool { return c.Policy != None }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if c.Policy < None || c.Policy > QualityAware {
+	if c.Policy < None || c.Policy > Priority {
 		return fmt.Errorf("admission: unknown policy %d", int(c.Policy))
 	}
 	if c.Policy != None && c.MaxQueue <= 0 {

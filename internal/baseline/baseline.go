@@ -27,10 +27,12 @@ type Order int
 
 // Queueing disciplines.
 const (
-	FCFS Order = iota // earliest release first (= EDF with agreeable deadlines)
-	LJF               // largest service demand first
-	SJF               // smallest service demand first
-	EDF               // earliest deadline first (footnote 2: ≡ FCFS here)
+	FCFS    Order = iota // earliest release first (= EDF with agreeable deadlines)
+	LJF                  // largest service demand first
+	SJF                  // smallest service demand first
+	EDF                  // earliest deadline first (footnote 2: ≡ FCFS here)
+	PrioSJF              // highest class-priority tier first, SJF within the tier
+	PrioEDF              // highest class-priority tier first, EDF within the tier
 )
 
 func (o Order) String() string {
@@ -43,6 +45,10 @@ func (o Order) String() string {
 		return "SJF"
 	case EDF:
 		return "EDF"
+	case PrioSJF:
+		return "PRIO-SJF"
+	case PrioEDF:
+		return "PRIO-EDF"
 	default:
 		return fmt.Sprintf("Order(%d)", int(o))
 	}
@@ -75,7 +81,7 @@ func (g *Greedy) Plan(now float64, s *sim.State) {
 		if core < 0 {
 			break
 		}
-		js := g.pick(s.Queue(), now)
+		js := g.pick(s, now)
 		if js == nil {
 			break
 		}
@@ -170,15 +176,21 @@ func liveJob(c *sim.CoreState) *sim.JobState {
 }
 
 // pick selects the next queued job per the discipline, skipping jobs whose
-// deadline already passed (they depart via their deadline event).
-func (g *Greedy) pick(queue []*sim.JobState, now float64) *sim.JobState {
+// deadline already passed (they depart via their deadline event). The
+// priority hybrids read class tiers through Config.PriorityFor (higher =
+// more important) and fall back to their base discipline within a tier.
+func (g *Greedy) pick(s *sim.State, now float64) *sim.JobState {
 	var best *sim.JobState
-	for _, js := range queue {
+	bestPrio := 0
+	for _, js := range s.Queue() {
 		if js.Job.Deadline <= now {
 			continue
 		}
 		if best == nil {
 			best = js
+			if g.order == PrioSJF || g.order == PrioEDF {
+				bestPrio = s.Cfg.PriorityFor(js.Job.Class)
+			}
 			continue
 		}
 		switch g.order {
@@ -193,6 +205,16 @@ func (g *Greedy) pick(queue []*sim.JobState, now float64) *sim.JobState {
 		case EDF:
 			if js.Job.Deadline < best.Job.Deadline {
 				best = js
+			}
+		case PrioSJF:
+			p := s.Cfg.PriorityFor(js.Job.Class)
+			if p > bestPrio || (p == bestPrio && js.Job.Demand < best.Job.Demand) {
+				best, bestPrio = js, p
+			}
+		case PrioEDF:
+			p := s.Cfg.PriorityFor(js.Job.Class)
+			if p > bestPrio || (p == bestPrio && js.Job.Deadline < best.Job.Deadline) {
+				best, bestPrio = js, p
 			}
 		default: // FCFS: queue is already in arrival order
 		}

@@ -226,6 +226,34 @@ func hashClusterConfig(f *fnvCluster, cfg Config) {
 			}
 		}
 	}
+	// SLO knobs (queue order, class priorities, admission, by-class
+	// partitions) are likewise folded only when set, so fingerprints of
+	// runs predating the knobs stay stable.
+	if cfg.Server.QueueOrder != sim.OrderFCFS {
+		f.u64(uint64(cfg.Server.QueueOrder))
+	}
+	if len(cfg.Server.ClassPriority) > 0 {
+		names := make([]string, 0, len(cfg.Server.ClassPriority))
+		for n := range cfg.Server.ClassPriority {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		f.u64(uint64(len(names)))
+		for _, n := range names {
+			f.str(n)
+			f.u64(uint64(cfg.Server.ClassPriority[n]))
+		}
+	}
+	if cfg.Server.Admission.Enabled() {
+		f.u64(uint64(cfg.Server.Admission.Policy))
+		f.u64(uint64(cfg.Server.Admission.MaxQueue))
+	}
+	if len(cfg.Classes) > 0 {
+		f.u64(uint64(len(cfg.Classes)))
+		for _, n := range cfg.Classes {
+			f.str(n)
+		}
+	}
 	f.u64(uint64(len(cfg.Faults)))
 	for _, fs := range cfg.Faults {
 		f.u64(uint64(len(fs)))

@@ -302,7 +302,7 @@ func TestDispatchRoundRobinCumulative(t *testing.T) {
 		{ID: 2, Release: 0.2, Deadline: 1.2, Demand: 1},
 		{ID: 3, Release: 0.3, Deadline: 1.3, Demand: 1},
 	}
-	_, assign, _ := dispatchJobs(RoundRobin, 3, 1, make([][][]interval, 3), jobs)
+	_, assign, _ := dispatchJobs(RoundRobin, 3, 1, make([][][]interval, 3), nil, jobs)
 	want := []int{0, 1, 2, 0}
 	for i := range want {
 		if assign[i] != want[i] {
@@ -318,7 +318,7 @@ func TestDispatchSkipsDownServers(t *testing.T) {
 	}
 	outages := make([][][]interval, 2)
 	outages[0] = [][]interval{{{start: 0, end: 2}}} // server 0: 1 core, dark
-	_, assign, _ := dispatchJobs(RoundRobin, 2, 1, outages, jobs)
+	_, assign, _ := dispatchJobs(RoundRobin, 2, 1, outages, nil, jobs)
 	for i, s := range assign {
 		if s != 1 {
 			t.Errorf("job %d routed to down server (got %d)", i, s)
@@ -334,7 +334,7 @@ func TestDispatchLeastLoadedBalancesDemand(t *testing.T) {
 		{ID: 1, Release: 0.1, Deadline: 10.1, Demand: 1},
 		{ID: 2, Release: 0.2, Deadline: 10.2, Demand: 1},
 	}
-	_, assign, _ := dispatchJobs(LeastLoaded, 2, 1, make([][][]interval, 2), jobs)
+	_, assign, _ := dispatchJobs(LeastLoaded, 2, 1, make([][][]interval, 2), nil, jobs)
 	if assign[0] != 0 {
 		t.Fatalf("first job -> server %d, want 0 (tie breaks low)", assign[0])
 	}
@@ -348,7 +348,7 @@ func TestDispatchHashSticky(t *testing.T) {
 		{ID: 77, Release: 0, Deadline: 1, Demand: 1},
 		{ID: 77, Release: 5, Deadline: 6, Demand: 1},
 	}
-	_, assign, _ := dispatchJobs(Hash, 8, 1, make([][][]interval, 8), jobs)
+	_, assign, _ := dispatchJobs(Hash, 8, 1, make([][][]interval, 8), nil, jobs)
 	if assign[0] != assign[1] {
 		t.Errorf("same ID hashed to different servers: %d vs %d", assign[0], assign[1])
 	}

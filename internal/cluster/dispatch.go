@@ -30,10 +30,16 @@ const (
 	// linearly past unavailable servers — sticky routing for caches and
 	// session affinity.
 	Hash
+	// ByClass pins each SLO class to its own contiguous partition of the
+	// fleet (equal shares in Config.Classes order) and round-robins within
+	// the partition, so one class's overload cannot queue behind another's.
+	// Jobs of an unlisted (or empty) class, and jobs whose entire partition
+	// is outaged, spill to a global round-robin cursor over all servers.
+	ByClass
 )
 
 // String returns the canonical long-form name ("round-robin",
-// "least-loaded", "hash") that ParseDispatch accepts back.
+// "least-loaded", "hash", "by-class") that ParseDispatch accepts back.
 func (d Dispatch) String() string {
 	switch d {
 	case RoundRobin:
@@ -42,12 +48,15 @@ func (d Dispatch) String() string {
 		return "least-loaded"
 	case Hash:
 		return "hash"
+	case ByClass:
+		return "by-class"
 	default:
 		return "unknown"
 	}
 }
 
-// ParseDispatch parses "round-robin"/"rr", "least-loaded"/"ll", or "hash".
+// ParseDispatch parses "round-robin"/"rr", "least-loaded"/"ll", "hash", or
+// "by-class"/"class".
 func ParseDispatch(s string) (Dispatch, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "", "rr", "round-robin", "roundrobin":
@@ -56,8 +65,10 @@ func ParseDispatch(s string) (Dispatch, error) {
 		return LeastLoaded, nil
 	case "hash":
 		return Hash, nil
+	case "by-class", "byclass", "class":
+		return ByClass, nil
 	default:
-		return 0, cfgerr.New("cluster", "dispatch", "cluster: unknown dispatch policy %q (want round-robin, least-loaded, or hash)", s)
+		return 0, cfgerr.New("cluster", "dispatch", "cluster: unknown dispatch policy %q (want round-robin, least-loaded, hash, or by-class)", s)
 	}
 }
 
@@ -186,19 +197,38 @@ type dispatcher struct {
 	queues      [][]pending
 	heads       []int
 
-	cursor int // RoundRobin's cumulative cursor
+	// ByClass state: the class → partition index map and one cumulative
+	// round-robin cursor per partition (relative to the partition start).
+	classIdx    map[string]int
+	classCursor []int
+
+	cursor int // RoundRobin's cumulative cursor (ByClass's spill cursor)
 }
 
 // newDispatcher builds a dispatcher for a fleet. outages has one per-core
-// merged outage table per server (entries may be nil).
-func newDispatcher(d Dispatch, servers, cores int, outages [][][]interval) *dispatcher {
+// merged outage table per server (entries may be nil). classes is the
+// ByClass partition order (ignored by the other policies).
+func newDispatcher(d Dispatch, servers, cores int, outages [][][]interval, classes []string) *dispatcher {
 	dp := &dispatcher{d: d, servers: servers, cores: cores, outages: outages}
 	if d == LeastLoaded {
 		dp.outstanding = make([]float64, servers)
 		dp.queues = make([][]pending, servers)
 		dp.heads = make([]int, servers)
 	}
+	if d == ByClass {
+		dp.classIdx = make(map[string]int, len(classes))
+		for i, c := range classes {
+			dp.classIdx[c] = i
+		}
+		dp.classCursor = make([]int, len(classes))
+	}
 	return dp
+}
+
+// partition returns the half-open server range [lo, hi) owned by partition
+// p of n: contiguous, near-equal shares covering the whole fleet.
+func (dp *dispatcher) partition(p, n int) (lo, hi int) {
+	return p * dp.servers / n, (p + 1) * dp.servers / n
 }
 
 func (dp *dispatcher) up(s int, t float64) bool { return serverUp(dp.cores, dp.outages[s], t) }
@@ -262,6 +292,36 @@ func (dp *dispatcher) route(j job.Job) (server int, rerouted bool) {
 				moved = true
 			}
 		}
+	case ByClass:
+		p, ok := dp.classIdx[j.Class]
+		if ok {
+			n := len(dp.classCursor)
+			lo, hi := dp.partition(p, n)
+			width := hi - lo
+			if width > 0 {
+				// Round-robin inside the partition, probing past outaged
+				// servers; give up after one full lap.
+				for probe := 0; probe < width; probe++ {
+					cand := lo + dp.classCursor[p]
+					dp.classCursor[p] = (dp.classCursor[p] + 1) % width
+					if allDown || dp.up(cand, t) {
+						return cand, moved
+					}
+					moved = true
+				}
+			}
+			// The whole partition is dark (or empty): spill globally.
+			moved = true
+		}
+		// Unlisted/empty class, or spill: the global round-robin cursor.
+		if !allDown {
+			for !dp.up(dp.cursor, t) {
+				dp.cursor = (dp.cursor + 1) % dp.servers
+				moved = true
+			}
+		}
+		s = dp.cursor
+		dp.cursor = (dp.cursor + 1) % dp.servers
 	default: // RoundRobin
 		if !allDown {
 			for !dp.up(dp.cursor, t) {
@@ -279,11 +339,11 @@ func (dp *dispatcher) route(j job.Job) (server int, rerouted bool) {
 // substreams (jobs keep their global IDs) plus the assignment vector in
 // sorted-job order and, per job, whether the assignment was a reroute.
 // jobs must already be sorted by release (ID tie-break).
-func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, jobs []job.Job) (perServer [][]job.Job, assign []int, rerouted []bool) {
+func dispatchJobs(d Dispatch, servers int, cores int, outages [][][]interval, classes []string, jobs []job.Job) (perServer [][]job.Job, assign []int, rerouted []bool) {
 	perServer = make([][]job.Job, servers)
 	assign = make([]int, len(jobs))
 	rerouted = make([]bool, len(jobs))
-	dp := newDispatcher(d, servers, cores, outages)
+	dp := newDispatcher(d, servers, cores, outages, classes)
 	for i, j := range jobs {
 		s, moved := dp.route(j)
 		assign[i] = s

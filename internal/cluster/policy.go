@@ -26,7 +26,8 @@ type PolicySpec struct {
 //	des | des-c | des-s | des-no     DES per architecture (c = per-core DVFS)
 //	des-static                       DES with static equal power (ablation)
 //	fcfs | ljf | sjf | edf           greedy baselines, static power split
-//	fcfs-wf | ljf-wf | sjf-wf | edf-wf   …with water-filling power
+//	prio-sjf | prio-edf              class-priority hybrids (tier, then SJF/EDF)
+//	fcfs-wf | ljf-wf | sjf-wf | edf-wf | prio-sjf-wf | prio-edf-wf   …with water-filling power
 func ParsePolicy(spec string) (PolicySpec, error) {
 	s := strings.ToLower(strings.TrimSpace(spec))
 	if s == "" {
@@ -74,8 +75,12 @@ func ParsePolicy(spec string) (PolicySpec, error) {
 		order = baseline.SJF
 	case "edf":
 		order = baseline.EDF
+	case "prio-sjf", "priosjf":
+		order = baseline.PrioSJF
+	case "prio-edf", "prioedf":
+		order = baseline.PrioEDF
 	default:
-		return PolicySpec{}, cfgerr.New("cluster", "policy", "cluster: unknown policy spec %q (want des[-c|-s|-no|-static] or fcfs|ljf|sjf|edf[-wf])", spec)
+		return PolicySpec{}, cfgerr.New("cluster", "policy", "cluster: unknown policy spec %q (want des[-c|-s|-no|-static] or fcfs|ljf|sjf|edf|prio-sjf|prio-edf[-wf])", spec)
 	}
 	return PolicySpec{
 		Name: s,

@@ -282,7 +282,7 @@ func newStreamCoord(cfg Config) *streamCoord {
 		epochLen: epochLen,
 		nominal:  server.Budget,
 		outages:  outages,
-		dp:       newDispatcher(cfg.Dispatch, cfg.Servers, server.Cores, outages),
+		dp:       newDispatcher(cfg.Dispatch, cfg.Servers, server.Cores, outages, cfg.Classes),
 		batches:  make([][]job.Job, cfg.Servers),
 		jobs:     make([]int, cfg.Servers),
 		hedging:  cfg.Hedge.Enabled() && cfg.Servers >= 2,

@@ -441,7 +441,7 @@ func budgetWindowsFor(t *testing.T, cfg Config, jobs []job.Job) [][]sim.BudgetFa
 			horizon = j.Deadline
 		}
 	}
-	perServer, assign, _ := dispatchJobs(cfg.Dispatch, cfg.Servers, server.Cores, outages, sorted)
+	perServer, assign, _ := dispatchJobs(cfg.Dispatch, cfg.Servers, server.Cores, outages, cfg.Classes, sorted)
 	if cfg.Hedge.Enabled() {
 		perServer, _ = applyHedges(cfg.Hedge, cfg.Servers, server.Cores, outages, sorted, assign)
 	}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"dessched/internal/workloadspec"
+)
+
+func TestParseContender(t *testing.T) {
+	for in, want := range map[string]string{
+		"fcfs":         "fcfs",
+		"des@prio-sjf": "des@prio-sjf",
+		"sjf@fcfs":     "sjf", // explicit fcfs order is the no-sort default
+	} {
+		ct, err := ParseContender(in)
+		if err != nil {
+			t.Fatalf("ParseContender(%q): %v", in, err)
+		}
+		if ct.Name() != want {
+			t.Errorf("ParseContender(%q).Name() = %q, want %q", in, ct.Name(), want)
+		}
+	}
+	for _, bad := range []string{"nope", "des@lifo", "des@prio-sjf@x"} {
+		if _, err := ParseContender(bad); err == nil {
+			t.Errorf("ParseContender(%q) succeeded", bad)
+		}
+	}
+}
+
+// smokeSpec is a tiny two-class workload the smoke tests race on.
+func smokeSpec() *workloadspec.Spec {
+	return &workloadspec.Spec{
+		Schema:   workloadspec.SchemaV1,
+		Name:     "tournament-smoke",
+		Duration: 1.5,
+		Seed:     5,
+		Classes: []workloadspec.ClassSpec{
+			{Name: "interactive", Rate: 60, Deadline: 0.15, Priority: 2,
+				Demand: workloadspec.DemandSpec{Dist: "bounded-pareto", Alpha: 3, Min: 130, Max: 1000}},
+			{Name: "batch", Rate: 10, Deadline: 1, Priority: 1,
+				Demand: workloadspec.DemandSpec{Dist: "uniform", Min: 200, Max: 800}},
+		},
+	}
+}
+
+func TestTournamentSmoke(t *testing.T) {
+	c1, _ := ParseContender("fcfs")
+	c2, _ := ParseContender("prio-sjf")
+	rep, err := RunTournament(TournamentConfig{
+		Spec:       smokeSpec(),
+		Contenders: []Contender{c1, c2},
+		Seeds:      []uint64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Errorf("cells: got %d, want 4 (2 contenders × 2 seeds)", len(rep.Cells))
+	}
+	if len(rep.Summaries) != 2 {
+		t.Errorf("summaries: got %d, want 2", len(rep.Summaries))
+	}
+	if len(rep.Dominance) == 0 {
+		t.Error("no dominance rows for the challenger")
+	}
+	for _, d := range rep.Dominance {
+		if d.Challenger == rep.Baseline {
+			t.Errorf("baseline %q compared against itself", d.Challenger)
+		}
+	}
+	if len(rep.Liveness) != 2 {
+		t.Fatalf("liveness rows: got %d, want 2", len(rep.Liveness))
+	}
+	for _, lv := range rep.Liveness {
+		if !lv.Passed {
+			t.Errorf("contender %s starves below saturation (%d violations at scale %.2f)",
+				lv.Contender, lv.Starvation, lv.RateScale)
+		}
+	}
+
+	var md bytes.Buffer
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## Dominance", "## Liveness", "prio-sjf", "interactive"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("Markdown report lacks %q", want)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("JSON report does not round-trip: %v", err)
+	}
+	if len(back.Cells) != len(rep.Cells) || back.Baseline != rep.Baseline {
+		t.Error("JSON round-trip lost cells or baseline")
+	}
+}
+
+// TestTournamentDefaultFieldNoStarvation races the whole default field —
+// every scheduler family plus the des@prio-sjf hybrid — and requires the
+// below-saturation no-starvation screen to pass for each entrant.
+func TestTournamentDefaultFieldNoStarvation(t *testing.T) {
+	rep, err := RunTournament(TournamentConfig{Spec: smokeSpec(), Seeds: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Liveness) != 7 {
+		t.Fatalf("liveness rows: got %d, want 7 (the default field)", len(rep.Liveness))
+	}
+	for _, lv := range rep.Liveness {
+		if !lv.Passed {
+			t.Errorf("contender %s starves below saturation (%d violations at scale %.2f)",
+				lv.Contender, lv.Starvation, lv.RateScale)
+		}
+	}
+}
+
+func TestTournamentDeterministic(t *testing.T) {
+	run := func() *Report {
+		c1, _ := ParseContender("fcfs")
+		c2, _ := ParseContender("sjf")
+		rep, err := RunTournament(TournamentConfig{
+			Spec:          smokeSpec(),
+			Contenders:    []Contender{c1, c2},
+			Seeds:         []uint64{3},
+			LivenessScale: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, _ := json.Marshal(run())
+	b, _ := json.Marshal(run())
+	if !bytes.Equal(a, b) {
+		t.Error("identical tournaments produced different reports")
+	}
+}
+
+// TestTournamentBimodalShortClassRegression pins the headline SLO claims on
+// the shipped bimodal example: both plain SJF and the class-priority SJF
+// hybrid must dominate FCFS on the short interactive class's normalized
+// quality across every seed (H1's dominance shape, per class).
+func TestTournamentBimodalShortClassRegression(t *testing.T) {
+	raw, err := os.ReadFile("../../examples/workloads/bimodal.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workloadspec.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Duration = 20 // the full 60 s adds wall time, not signal
+
+	c1, _ := ParseContender("fcfs")
+	c2, _ := ParseContender("sjf")
+	c3, _ := ParseContender("prio-sjf")
+	rep, err := RunTournament(TournamentConfig{
+		Spec:          spec,
+		Contenders:    []Contender{c1, c2, c3},
+		Seeds:         []uint64{1, 2, 3},
+		LivenessScale: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, d := range rep.Dominance {
+		if d.Class != "interactive" || d.Metric != "norm_quality" {
+			continue
+		}
+		found[d.Challenger] = true
+		if !d.Dominates {
+			t.Errorf("%s does not dominate fcfs on interactive quality: %.4f vs %.4f (%d strict wins)",
+				d.Challenger, d.Value, d.Baseline, d.StrictWins)
+		}
+		if d.Value <= d.Baseline {
+			t.Errorf("%s: interactive quality did not improve: %.4f vs baseline %.4f",
+				d.Challenger, d.Value, d.Baseline)
+		}
+	}
+	for _, chal := range []string{"sjf", "prio-sjf"} {
+		if !found[chal] {
+			t.Errorf("no interactive norm_quality dominance row for %s", chal)
+		}
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net/http"
 
+	"dessched/internal/admission"
 	"dessched/internal/cfgerr"
 	"dessched/internal/cluster"
 	"dessched/internal/job"
+	"dessched/internal/registry"
 	"dessched/internal/sim"
 	"dessched/internal/sweep"
 	"dessched/internal/telemetry"
@@ -35,7 +37,7 @@ const (
 type ClusterSimRequest struct {
 	Servers  int    `json:"servers"`  // fleet size, required, <= 64
 	Policy   string `json:"policy"`   // per-server policy spec (default "des")
-	Dispatch string `json:"dispatch"` // round-robin | least-loaded | hash
+	Dispatch string `json:"dispatch"` // round-robin | least-loaded | hash | by-class
 
 	Cores  int     `json:"cores"`    // per server, default 16
 	Budget float64 `json:"budget_w"` // per server, default 320
@@ -68,6 +70,15 @@ type ClusterSimRequest struct {
 	// Series attaches the per-epoch per-server time series (see
 	// telemetry.Sample) to the response.
 	Series bool `json:"series,omitempty"`
+
+	// QueueOrder picks every server engine's ready-queue discipline by
+	// registry name (fcfs | sjf | edf | prio-sjf | prio-edf); empty keeps
+	// the default arrival order.
+	QueueOrder string `json:"queue_order,omitempty"`
+
+	// Admission configures per-server load shedding in front of the
+	// scheduler engines.
+	Admission *AdmissionJSON `json:"admission,omitempty"`
 
 	// Stream runs the fleet through the bounded-memory streamed pipeline:
 	// arrivals are pulled lazily per dispatch epoch and per-epoch results
@@ -153,6 +164,16 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		server.Budget = req.Budget
 	}
 	server.Context = ctx
+	if server.QueueOrder, err = registry.QueueOrder(req.QueueOrder); err != nil {
+		return ClusterSimResponse{}, err
+	}
+	if req.Admission != nil {
+		pol, err := registry.Admission(req.Admission.Policy)
+		if err != nil {
+			return ClusterSimResponse{}, err
+		}
+		server.Admission = admission.Config{Policy: pol, MaxQueue: req.Admission.MaxQueue}
+	}
 
 	// Either the default single-rate stream or an inline declarative
 	// spec; horizon is the stream length the chaos sampler covers.
@@ -181,6 +202,7 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		if server.ClassQuality, err = req.Workload.QualityByClass(); err != nil {
 			return ClusterSimResponse{}, err
 		}
+		server.ClassPriority = req.Workload.PriorityByClass()
 		if req.Stream {
 			if src, err = workloadspec.NewStream(req.Workload); err != nil {
 				return ClusterSimResponse{}, err
@@ -219,6 +241,11 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		Dispatch:     dispatch,
 		GlobalBudget: req.GlobalBudget,
 		Epoch:        req.Epoch,
+	}
+	// By-class dispatch partitions the fleet by the spec's class list, in
+	// declaration order; cluster.Validate rejects the policy without one.
+	if dispatch == cluster.ByClass && req.Workload != nil {
+		cfg.Classes = req.Workload.ClassNames()
 	}
 	var ins *cluster.Instrument
 	if req.Telemetry || req.Series {
@@ -306,6 +333,12 @@ type SweepRequest struct {
 	// sweep.Grid.Workload); conflicts with rates.
 	Workload *workloadspec.Spec `json:"workload,omitempty"`
 
+	// QueueOrder, Admission, and MaxQueue apply one SLO setting to every
+	// cell (scalar knobs, not grid axes); see sweep.Grid.
+	QueueOrder string `json:"queue_order,omitempty"`
+	Admission  string `json:"admission,omitempty"`
+	MaxQueue   int    `json:"max_queue,omitempty"`
+
 	Workers   int  `json:"workers,omitempty"`
 	Telemetry bool `json:"telemetry,omitempty"`
 }
@@ -337,6 +370,9 @@ func runSweep(ctx context.Context, req SweepRequest) (sweep.Report, error) {
 		GlobalBudgetFrac: req.GlobalBudgetFrac,
 		Epoch:            req.Epoch,
 		Workload:         req.Workload,
+		QueueOrder:       req.QueueOrder,
+		Admission:        req.Admission,
+		MaxQueue:         req.MaxQueue,
 	}
 	if err := grid.Validate(); err != nil {
 		return sweep.Report{}, err

@@ -42,6 +42,7 @@ import (
 	"dessched/internal/job"
 	"dessched/internal/metrics"
 	"dessched/internal/power"
+	"dessched/internal/registry"
 	"dessched/internal/sim"
 	"dessched/internal/workload"
 	"dessched/internal/workloadspec"
@@ -163,13 +164,13 @@ type BurstJSON struct {
 
 // AdmissionJSON configures the load-shedding stage.
 type AdmissionJSON struct {
-	Policy   string `json:"policy"` // none | tail-drop | quality-aware
+	Policy   string `json:"policy"` // none | tail-drop | quality-aware | priority
 	MaxQueue int    `json:"max_queue"`
 }
 
 // SimRequest is the body of POST /v1/simulate.
 type SimRequest struct {
-	Policy   string   `json:"policy"`   // des | fcfs | ljf | sjf | edf
+	Policy   string   `json:"policy"`   // des | fcfs | ljf | sjf | edf | prio-sjf | prio-edf
 	Arch     string   `json:"arch"`     // c | s | no (DES only; default c)
 	WF       bool     `json:"wf"`       // water-filling for baselines
 	Discrete bool     `json:"discrete"` // 0.5..3.0 GHz ladder
@@ -198,6 +199,12 @@ type SimRequest struct {
 
 	// Admission configures load shedding in front of the scheduler.
 	Admission *AdmissionJSON `json:"admission,omitempty"`
+
+	// QueueOrder picks the engine's ready-queue discipline by registry
+	// name (fcfs | sjf | edf | prio-sjf | prio-edf); empty keeps the
+	// default arrival order. The class-priority hybrids read per-class
+	// priorities from the workload spec, so they need one to bite.
+	QueueOrder string `json:"queue_order,omitempty"`
 }
 
 // SimResponse mirrors sim.Result with JSON-friendly names. Faulted runs
@@ -265,6 +272,10 @@ func simPolicy(req SimRequest, cfg *sim.Config) (sim.Policy, error) {
 		p = baseline.New(baseline.SJF, req.WF)
 	case "edf":
 		p = baseline.New(baseline.EDF, req.WF)
+	case "prio-sjf", "priosjf":
+		p = baseline.New(baseline.PrioSJF, req.WF)
+	case "prio-edf", "prioedf":
+		p = baseline.New(baseline.PrioEDF, req.WF)
 	default:
 		return nil, fmt.Errorf("unknown policy %q", req.Policy)
 	}
@@ -311,6 +322,7 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 		if cfg.ClassQuality, err = req.Workload.QualityByClass(); err != nil {
 			return SimResponse{}, err
 		}
+		cfg.ClassPriority = req.Workload.PriorityByClass()
 		horizon = req.Workload.Duration
 	} else {
 		if req.Rate <= 0 {
@@ -352,12 +364,17 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 		bursts = append(bursts, plan.Apply(&cfg)...)
 	}
 	if req.Admission != nil {
-		pol, err := admission.ParsePolicy(req.Admission.Policy)
+		pol, err := registry.Admission(req.Admission.Policy)
 		if err != nil {
 			return SimResponse{}, err
 		}
 		cfg.Admission = admission.Config{Policy: pol, MaxQueue: req.Admission.MaxQueue}
 	}
+	order, err := registry.QueueOrder(req.QueueOrder)
+	if err != nil {
+		return SimResponse{}, err
+	}
+	cfg.QueueOrder = order
 	faulted := len(cfg.Faults) > 0 || len(cfg.BudgetFaults) > 0 || len(bursts) > 0
 
 	run := func(cfg sim.Config, bursts []workload.Burst) (sim.Result, error) {

@@ -1,0 +1,112 @@
+package registry
+
+import (
+	"sort"
+	"testing"
+
+	"dessched/internal/cfgerr"
+)
+
+// Every canonical name and every alias must resolve through its kind's
+// typed helper, and the canonical name must round-trip: parsing it yields
+// a value that stringifies back to the same name.
+func TestCatalogueRoundTrips(t *testing.T) {
+	for _, e := range All() {
+		names := append([]string{e.Name}, e.Aliases...)
+		for _, name := range names {
+			var got string
+			var err error
+			switch e.Kind {
+			case KindScheduler:
+				if s, serr := Scheduler(name); serr != nil {
+					err = serr
+				} else {
+					got = s.Name
+				}
+			case KindQueueOrder:
+				if v, qerr := QueueOrder(name); qerr != nil {
+					err = qerr
+				} else {
+					got = v.String()
+				}
+			case KindAdmission:
+				if v, aerr := Admission(name); aerr != nil {
+					err = aerr
+				} else {
+					got = v.String()
+				}
+			case KindDispatch:
+				if v, derr := Dispatch(name); derr != nil {
+					err = derr
+				} else {
+					got = v.String()
+				}
+			default:
+				t.Fatalf("unknown kind %q", e.Kind)
+			}
+			if err != nil {
+				t.Errorf("%s %q (via %q): %v", e.Kind, e.Name, name, err)
+				continue
+			}
+			// Scheduler specs preserve the spelling they were given, so
+			// only the canonical name itself must round-trip; aliases of
+			// the other kinds canonicalize on parse.
+			if name != e.Name && e.Kind == KindScheduler {
+				continue
+			}
+			if got != e.Name {
+				t.Errorf("%s %q: parsing %q round-tripped to %q", e.Kind, e.Name, name, got)
+			}
+		}
+	}
+}
+
+func TestUnknownNamesAreTypedErrors(t *testing.T) {
+	checks := []struct {
+		kind Kind
+		call func(string) error
+	}{
+		{KindScheduler, func(s string) error { _, err := Scheduler(s); return err }},
+		{KindQueueOrder, func(s string) error { _, err := QueueOrder(s); return err }},
+		{KindAdmission, func(s string) error { _, err := Admission(s); return err }},
+		{KindDispatch, func(s string) error { _, err := Dispatch(s); return err }},
+	}
+	for _, c := range checks {
+		err := c.call("no-such-policy")
+		if err == nil {
+			t.Errorf("%s: unknown name accepted", c.kind)
+			continue
+		}
+		if _, ok := cfgerr.As(err); !ok {
+			t.Errorf("%s: unknown-name error is not a *cfgerr.Error: %v", c.kind, err)
+		}
+	}
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	all := All()
+	if !sort.SliceIsSorted(all, func(a, b int) bool {
+		if all[a].Kind != all[b].Kind {
+			return all[a].Kind < all[b].Kind
+		}
+		return all[a].Name < all[b].Name
+	}) {
+		t.Error("All() is not sorted by kind then name")
+	}
+	counts := map[Kind]int{}
+	for _, e := range all {
+		counts[e.Kind]++
+		if e.Summary == "" {
+			t.Errorf("%s %q has no summary", e.Kind, e.Name)
+		}
+	}
+	want := map[Kind]int{KindScheduler: 16, KindQueueOrder: 5, KindAdmission: 4, KindDispatch: 4}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("kind %s has %d entries, want %d", k, counts[k], n)
+		}
+		if got := Names(k); len(got) != n || !sort.StringsAreSorted(got) {
+			t.Errorf("Names(%s) = %v: want %d sorted names", k, got, n)
+		}
+	}
+}

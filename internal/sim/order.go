@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"sort"
+	"strings"
+
+	"dessched/internal/cfgerr"
+)
+
+// QueueOrder selects the ready-queue discipline: the order in which the
+// engine presents waiting jobs to the policy at every invocation. The
+// policy sees the ordered queue through State.Queue and State.DrainQueue,
+// so the discipline shapes every downstream decision — the DES policy's
+// C-RR distribution walks the queue front to back, and the greedy
+// baselines' FCFS pick takes the queue head.
+//
+// OrderFCFS (the zero value) keeps the queue in arrival order and skips
+// the sort entirely, so runs with the default discipline stay bit-identical
+// to runs predating the knob. Every other discipline is a stable sort:
+// jobs that compare equal keep their arrival order, preserving determinism.
+type QueueOrder int
+
+// Ready-queue disciplines.
+const (
+	// OrderFCFS presents jobs in arrival order — the default, no sort.
+	OrderFCFS QueueOrder = iota
+	// OrderSJF presents jobs by ascending remaining demand.
+	OrderSJF
+	// OrderEDF presents jobs by ascending deadline.
+	OrderEDF
+	// OrderPrioSJF presents jobs by descending class priority
+	// (Config.ClassPriority; higher value = more important), then by
+	// ascending remaining demand within a tier.
+	OrderPrioSJF
+	// OrderPrioEDF presents jobs by descending class priority, then by
+	// ascending deadline within a tier.
+	OrderPrioEDF
+)
+
+// String returns the canonical registry name ("fcfs", "sjf", "edf",
+// "prio-sjf", "prio-edf") that ParseQueueOrder accepts back.
+func (o QueueOrder) String() string {
+	switch o {
+	case OrderFCFS:
+		return "fcfs"
+	case OrderSJF:
+		return "sjf"
+	case OrderEDF:
+		return "edf"
+	case OrderPrioSJF:
+		return "prio-sjf"
+	case OrderPrioEDF:
+		return "prio-edf"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseQueueOrder maps a discipline name (as used by CLI flags and the
+// HTTP API) to its QueueOrder value. The empty string is OrderFCFS.
+func ParseQueueOrder(s string) (QueueOrder, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fcfs":
+		return OrderFCFS, nil
+	case "sjf":
+		return OrderSJF, nil
+	case "edf":
+		return OrderEDF, nil
+	case "prio-sjf", "priosjf":
+		return OrderPrioSJF, nil
+	case "prio-edf", "prioedf":
+		return OrderPrioEDF, nil
+	default:
+		return 0, cfgerr.New("sim", "queue_order",
+			"sim: unknown queue order %q (want fcfs, sjf, edf, prio-sjf, or prio-edf)", s)
+	}
+}
+
+// orderQueue applies the configured ready-queue discipline to the waiting
+// queue in place. Called once per invocation, before the policy sees the
+// queue; OrderFCFS never reaches here.
+func (e *engine) orderQueue() {
+	q := e.queue
+	if len(q) < 2 {
+		return
+	}
+	switch e.cfg.QueueOrder {
+	case OrderSJF:
+		sort.SliceStable(q, func(a, b int) bool {
+			return q[a].Remaining() < q[b].Remaining()
+		})
+	case OrderEDF:
+		sort.SliceStable(q, func(a, b int) bool {
+			return q[a].Job.Deadline < q[b].Job.Deadline
+		})
+	case OrderPrioSJF:
+		sort.SliceStable(q, func(a, b int) bool {
+			pa, pb := e.cfg.PriorityFor(q[a].Job.Class), e.cfg.PriorityFor(q[b].Job.Class)
+			if pa != pb {
+				return pa > pb
+			}
+			return q[a].Remaining() < q[b].Remaining()
+		})
+	case OrderPrioEDF:
+		sort.SliceStable(q, func(a, b int) bool {
+			pa, pb := e.cfg.PriorityFor(q[a].Job.Class), e.cfg.PriorityFor(q[b].Job.Class)
+			if pa != pb {
+				return pa > pb
+			}
+			return q[a].Job.Deadline < q[b].Job.Deadline
+		})
+	}
+}

@@ -365,7 +365,9 @@ func (e *engine) onArrival(now float64, js *JobState) {
 // limit, turn a job away per the admission policy. Tail-drop rejects the
 // newest arrival; quality-aware rejects the queued job with the lowest
 // marginal quality per unit demand (the large jobs whose cycles buy the
-// least quality under a concave quality function). Ties break toward the
+// least quality under a concave quality function); priority rejects from
+// the lowest SLO tier first (quality-aware within a tier), so a higher
+// tier is never shed while a lower tier is queued. Ties break toward the
 // oldest job so runs are deterministic.
 func (e *engine) admit(now float64) {
 	ac := e.cfg.Admission
@@ -374,13 +376,29 @@ func (e *engine) admit(now float64) {
 	}
 	for len(e.queue) > ac.MaxQueue {
 		victim := e.queue[len(e.queue)-1] // tail-drop
-		if ac.Policy == admission.QualityAware {
+		switch ac.Policy {
+		case admission.QualityAware:
 			worst := math.Inf(1)
 			for _, js := range e.queue {
 				v := e.cfg.QualityFor(js.Job.Class).Eval(js.Job.Demand) / js.Job.Demand
 				if v < worst {
 					worst = v
 					victim = js
+				}
+			}
+		case admission.Priority:
+			// Lexicographic minimum over (tier ascending, marginal quality
+			// ascending): the cheapest job of the least important tier.
+			tier := math.MaxInt
+			worst := math.Inf(1)
+			for _, js := range e.queue {
+				p := e.cfg.PriorityFor(js.Job.Class)
+				if p > tier {
+					continue
+				}
+				v := e.cfg.QualityFor(js.Job.Class).Eval(js.Job.Demand) / js.Job.Demand
+				if p < tier || v < worst {
+					tier, worst, victim = p, v, js
 				}
 			}
 		}
@@ -460,6 +478,9 @@ func (e *engine) invoke(now float64) {
 	e.invocations++
 	e.emit(Event{Time: now, Kind: EvInvoke, Job: -1, Core: -1})
 	e.state.Now = now
+	if e.cfg.QueueOrder != OrderFCFS {
+		e.orderQueue()
+	}
 	e.state.queue = e.queue
 	e.policy.Plan(now, e.state)
 	e.queue = e.state.queue

@@ -62,6 +62,19 @@ type Config struct {
 	// class-aware planning is a separate policy concern.
 	ClassQuality map[string]quality.Function
 
+	// QueueOrder is the ready-queue discipline: the order in which the
+	// engine presents waiting jobs to the policy at every invocation. The
+	// zero value (OrderFCFS) keeps arrival order and is bit-identical to
+	// runs predating the knob. See QueueOrder.
+	QueueOrder QueueOrder
+
+	// ClassPriority maps job classes to integer SLO priorities (higher =
+	// more important; unlisted classes and the empty legacy class are tier
+	// 0). The priority-aware disciplines (OrderPrioSJF, OrderPrioEDF), the
+	// priority admission policy, and class-aware planning policies all read
+	// tiers through PriorityFor.
+	ClassPriority map[string]int
+
 	Triggers Triggers
 
 	// IdleBurnSpeed is the speed whose dynamic power an idle core is
@@ -170,6 +183,17 @@ func (c Config) Validate() error {
 			return cfgerr.New("sim", "class_quality", "sim: class %q: quality function is nil", class)
 		}
 	}
+	if c.QueueOrder < OrderFCFS || c.QueueOrder > OrderPrioEDF {
+		return cfgerr.New("sim", "queue_order", "sim: unknown queue order %d", int(c.QueueOrder))
+	}
+	for class, p := range c.ClassPriority {
+		if class == "" {
+			return cfgerr.New("sim", "class_priority", "sim: class priority for the empty class; unclassed jobs are tier 0")
+		}
+		if p < 0 {
+			return cfgerr.New("sim", "class_priority", "sim: class %q: priority must be non-negative, got %d", class, p)
+		}
+	}
 	if c.Triggers.Quantum <= 0 && c.Triggers.Counter <= 0 && !c.Triggers.IdleCore && !c.Triggers.OnArrival {
 		return cfgerr.New("sim", "triggers", "sim: at least one trigger must be enabled")
 	}
@@ -210,6 +234,18 @@ func (c Config) QualityFor(class string) quality.Function {
 		}
 	}
 	return c.Quality
+}
+
+// PriorityFor returns the SLO priority tier governing jobs of the given
+// class: the ClassPriority entry when one exists, 0 otherwise (including
+// for the empty legacy class). Higher values are more important.
+func (c Config) PriorityFor(class string) int {
+	if class != "" {
+		if p, ok := c.ClassPriority[class]; ok {
+			return p
+		}
+	}
+	return 0
 }
 
 // DepartReason says why a job left the system.

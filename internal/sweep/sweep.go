@@ -19,10 +19,12 @@ import (
 	"sync"
 	"time"
 
+	"dessched/internal/admission"
 	"dessched/internal/cfgerr"
 	"dessched/internal/cluster"
 	"dessched/internal/job"
 	"dessched/internal/quality"
+	"dessched/internal/registry"
 	"dessched/internal/sim"
 	"dessched/internal/telemetry"
 	"dessched/internal/workload"
@@ -53,6 +55,16 @@ type Grid struct {
 	Dispatch         string  `json:"dispatch,omitempty"`
 	GlobalBudgetFrac float64 `json:"global_budget_frac,omitempty"`
 	Epoch            float64 `json:"epoch_s,omitempty"`
+
+	// QueueOrder applies one ready-queue discipline (registry name: fcfs,
+	// sjf, edf, prio-sjf, prio-edf) to every cell's engine. Scalar, not an
+	// axis: it preserves the canonical cell order. Empty means fcfs.
+	QueueOrder string `json:"queue_order,omitempty"`
+
+	// Admission applies one admission policy (none, tail-drop,
+	// quality-aware, priority) with queue bound MaxQueue to every cell.
+	Admission string `json:"admission,omitempty"`
+	MaxQueue  int    `json:"max_queue,omitempty"`
 
 	// Workload replaces the default single-rate generator with a declarative
 	// dessched-workload/v1 spec: every cell compiles the spec with the cell's
@@ -132,13 +144,43 @@ func (g Grid) Validate() error {
 	if g.Servers < 1 {
 		return cfgerr.New("sweep", "servers", "sweep: need at least one server, got %d", g.Servers)
 	}
-	if _, err := cluster.ParseDispatch(g.Dispatch); err != nil {
+	if dp, err := cluster.ParseDispatch(g.Dispatch); err != nil {
 		return err
+	} else if dp == cluster.ByClass && g.Servers > 1 && g.Workload == nil {
+		return cfgerr.New("sweep", "dispatch", "sweep: by-class dispatch needs a workload spec to name the class partitions")
 	}
 	if g.GlobalBudgetFrac < 0 || g.GlobalBudgetFrac > 1 || math.IsNaN(g.GlobalBudgetFrac) {
 		return cfgerr.New("sweep", "global_budget_frac", "sweep: global budget fraction must be in [0, 1], got %g", g.GlobalBudgetFrac)
 	}
+	if _, err := sim.ParseQueueOrder(g.QueueOrder); err != nil {
+		return err
+	}
+	ap, err := registry.Admission(g.Admission)
+	if err != nil {
+		return err
+	}
+	if ap != admission.None && g.MaxQueue <= 0 {
+		return cfgerr.New("sweep", "max_queue", "sweep: admission policy %s needs max_queue > 0, got %d", ap, g.MaxQueue)
+	}
+	if ap == admission.None && g.MaxQueue != 0 {
+		return cfgerr.New("sweep", "max_queue", "sweep: max_queue is only meaningful with an admission policy")
+	}
 	return nil
+}
+
+// applySLO installs the grid's scalar SLO knobs (queue order, admission,
+// class priorities from the workload spec) on one cell's engine config.
+// The grid must already be validated.
+func (g Grid) applySLO(cfg *sim.Config) {
+	order, _ := sim.ParseQueueOrder(g.QueueOrder)
+	cfg.QueueOrder = order
+	ap, _ := registry.Admission(g.Admission)
+	if ap != admission.None {
+		cfg.Admission = admission.Config{Policy: ap, MaxQueue: g.MaxQueue}
+	}
+	if g.Workload != nil {
+		cfg.ClassPriority = g.Workload.PriorityByClass()
+	}
 }
 
 // Cell is one point of the grid.
@@ -371,12 +413,18 @@ func runOne(ctx context.Context, g Grid, c Cell, opts Options) (CellResult, erro
 		server.Budget = c.Budget
 		server.Context = ctx
 		server.ClassQuality = classQuality
+		g.applySLO(&server)
 		dispatch, _ := cluster.ParseDispatch(g.Dispatch)
+		var classes []string
+		if dispatch == cluster.ByClass && g.Workload != nil {
+			classes = g.Workload.ClassNames()
+		}
 		ccfg := cluster.Config{
 			Servers:      g.Servers,
 			Server:       server,
 			Policy:       c.Policy,
 			Dispatch:     dispatch,
+			Classes:      classes,
 			GlobalBudget: g.GlobalBudgetFrac * float64(g.Servers) * c.Budget,
 			Epoch:        g.Epoch,
 			// The sweep pool already saturates the machine; nested
@@ -432,6 +480,7 @@ func runOne(ctx context.Context, g Grid, c Cell, opts Options) (CellResult, erro
 	cfg.Context = ctx
 	cfg.ClassQuality = classQuality
 	spec.Configure(&cfg)
+	g.applySLO(&cfg)
 
 	var col *telemetry.SimCollector
 	var reg *telemetry.Registry

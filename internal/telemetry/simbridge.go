@@ -54,6 +54,15 @@ func QualityBuckets() []float64 { return LinearBuckets(0.1, 0.1, 10) }
 // 0.5–3.0 GHz ladder of §V-B with quarter-GHz resolution plus headroom.
 func SpeedBuckets() []float64 { return LinearBuckets(0.25, 0.25, 14) }
 
+// WaitBuckets is the bucket layout of sim_class_wait_seconds: 25 ms
+// resolution over the paper's 150 ms deadline window plus headroom for
+// slower classes.
+func WaitBuckets() []float64 { return LinearBuckets(0.025, 0.025, 40) }
+
+// SlowdownBuckets is the bucket layout of sim_class_slowdown: a completed
+// job's latency over its deadline window lives in (0, 1].
+func SlowdownBuckets() []float64 { return LinearBuckets(0.1, 0.1, 10) }
+
 // NewSimCollector registers the simulation metric families on reg for a
 // server with the given core count and returns the collector.
 func NewSimCollector(reg *Registry, cores int) *SimCollector {
@@ -145,6 +154,25 @@ func (c *SimCollector) Finish(res sim.Result) {
 			classJobs.With(cr.Class, "shed").Add(uint64(cr.Shed))
 			classJobs.With(cr.Class, "abandoned").Add(uint64(cr.Abandoned))
 			classQuality.With(cr.Class).Set(cr.NormQuality)
+		}
+		// Wait/slowdown need per-job fates; res.Jobs is populated only when
+		// the run collected outcomes (Config.CollectJobs).
+		if len(res.Jobs) > 0 {
+			waits := c.reg.HistogramVec("sim_class_wait_seconds",
+				"Response time (departure minus release) of completed jobs per SLO job class, seconds.",
+				WaitBuckets(), "class")
+			slowdowns := c.reg.HistogramVec("sim_class_slowdown",
+				"Latency over deadline window of completed jobs per SLO job class.",
+				SlowdownBuckets(), "class")
+			for _, o := range res.Jobs {
+				if o.Reason != sim.Completed {
+					continue
+				}
+				waits.With(o.Class).Observe(o.Latency())
+				if w := o.Deadline - o.Release; w > 0 {
+					slowdowns.With(o.Class).Observe(o.Latency() / w)
+				}
+			}
 		}
 	}
 	c.reg.Gauge("sim_norm_quality",

@@ -29,7 +29,9 @@ func (s *Spec) Describe() string {
 		c := &s.Classes[i]
 		fmt.Fprintf(&b, "  class %q: %g req/s, deadline %gs, priority %d\n",
 			c.Name, c.Rate, c.Deadline, c.Priority)
-		fmt.Fprintf(&b, "    demand %s (mean %.1f units)\n", describeDemand(&c.Demand), c.Demand.Mean())
+		lo, hi := c.Demand.Bounds()
+		fmt.Fprintf(&b, "    demand %s (mean %.1f units, bounds [%g, %g])\n",
+			describeDemand(&c.Demand), c.Demand.Mean(), lo, hi)
 		pf := 1.0
 		if c.PartialFraction != nil {
 			pf = *c.PartialFraction

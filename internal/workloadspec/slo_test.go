@@ -1,0 +1,82 @@
+package workloadspec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDemandSpecBounds(t *testing.T) {
+	cases := []struct {
+		d      DemandSpec
+		lo, hi float64
+	}{
+		{DemandSpec{Dist: "bounded-pareto", Alpha: 3, Min: 130, Max: 1000}, 130, 1000},
+		{DemandSpec{Dist: "uniform", Min: 200, Max: 800}, 200, 800},
+		{DemandSpec{Dist: "point", Value: 250}, 250, 250},
+	}
+	for _, c := range cases {
+		lo, hi := c.d.Bounds()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%s bounds = [%g, %g], want [%g, %g]", c.d.Dist, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func sloSpec() *Spec {
+	return &Spec{
+		Schema:   SchemaV1,
+		Name:     "slo",
+		Duration: 2,
+		Seed:     1,
+		Classes: []ClassSpec{
+			{Name: "interactive", Rate: 40, Deadline: 0.15, Priority: 2,
+				Demand: DemandSpec{Dist: "bounded-pareto", Alpha: 3, Min: 130, Max: 1000}},
+			{Name: "batch", Rate: 5, Deadline: 1, Priority: 1,
+				Demand: DemandSpec{Dist: "uniform", Min: 200, Max: 800}},
+			{Name: "background", Rate: 1, Deadline: 5,
+				Demand: DemandSpec{Dist: "point", Value: 300}},
+		},
+	}
+}
+
+func TestPriorityByClass(t *testing.T) {
+	spec := sloSpec()
+	want := map[string]int{"interactive": 2, "batch": 1} // zero tiers stay unlisted
+	if got := spec.PriorityByClass(); !reflect.DeepEqual(got, want) {
+		t.Errorf("PriorityByClass() = %v, want %v", got, want)
+	}
+	for i := range spec.Classes {
+		spec.Classes[i].Priority = 0
+	}
+	if got := spec.PriorityByClass(); got != nil {
+		t.Errorf("all-default tiers should map to nil, got %v", got)
+	}
+}
+
+func TestClassNamesDeclarationOrder(t *testing.T) {
+	want := []string{"interactive", "batch", "background"}
+	if got := sloSpec().ClassNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ClassNames() = %v, want %v", got, want)
+	}
+}
+
+// TestDescribeSurfacesDemandBounds pins the fix: the per-class demand line
+// must surface the distribution's support, not just its mean.
+func TestDescribeSurfacesDemandBounds(t *testing.T) {
+	spec := sloSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := spec.Describe()
+	for _, want := range []string{
+		"bounds [130, 1000]",
+		"bounds [200, 800]",
+		"bounds [300, 300]",
+		"priority 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe() lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -87,9 +87,10 @@ type ClassSpec struct {
 	// setting).
 	PartialFraction *float64 `json:"partial_fraction,omitempty"`
 
-	// Priority is the class's integer SLO priority (0 = default). It is
-	// carried through validation and describe output for class-aware
-	// policies to consume; the current engine does not act on it.
+	// Priority is the class's integer SLO priority (0 = default; higher =
+	// more important). PriorityByClass feeds it into
+	// sim.Config.ClassPriority, where the priority queue orders
+	// (prio-sjf/prio-edf) and the priority admission policy act on it.
 	Priority int `json:"priority,omitempty"`
 
 	// Seed optionally pins the class's RNG seed (default: spec seed +
@@ -324,6 +325,17 @@ func (d *DemandSpec) Mean() float64 {
 	}
 }
 
+// Bounds returns the distribution's support [min, max]: the configured
+// bounds for bounded-pareto and uniform, the point mass for point.
+func (d *DemandSpec) Bounds() (min, max float64) {
+	switch d.Dist {
+	case "bounded-pareto", "uniform":
+		return d.Min, d.Max
+	default:
+		return d.Value, d.Value
+	}
+}
+
 // Function builds the selected quality function, defaulting unset
 // parameters to the paper's (c = 0.003, span = 1000).
 func (q *QualitySpec) Function() (quality.Function, error) {
@@ -384,6 +396,34 @@ func (s *Spec) QualityByClass() (map[string]quality.Function, error) {
 		m[c.Name] = fn
 	}
 	return m, nil
+}
+
+// PriorityByClass builds the per-class priority map for
+// sim.Config.ClassPriority: one entry per class with a non-zero priority,
+// nil when every class sits at the default tier. The spec must be valid.
+func (s *Spec) PriorityByClass() map[string]int {
+	var m map[string]int
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		if c.Priority == 0 {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]int)
+		}
+		m[c.Name] = c.Priority
+	}
+	return m
+}
+
+// ClassNames returns the class names in declaration order — the partition
+// order by-class cluster dispatch uses.
+func (s *Spec) ClassNames() []string {
+	names := make([]string, len(s.Classes))
+	for i := range s.Classes {
+		names[i] = s.Classes[i].Name
+	}
+	return names
 }
 
 // PaperDefault returns the spec equivalent of the legacy paper workload

@@ -96,11 +96,17 @@ const (
 	DispatchLeastLoaded = cluster.LeastLoaded
 	// DispatchHash routes by a stateless hash of the job ID (sticky).
 	DispatchHash = cluster.Hash
+	// DispatchByClass pins each SLO class to its own contiguous server
+	// partition (ClusterConfig.Classes, declaration order) and
+	// round-robins within it; unlisted classes spill to a global cursor.
+	DispatchByClass = cluster.ByClass
 )
 
-// ParseDispatchPolicy parses "round-robin"/"rr", "least-loaded"/"ll", or
-// "hash".
-func ParseDispatchPolicy(s string) (DispatchPolicy, error) { return cluster.ParseDispatch(s) }
+// ParseDispatchPolicy parses a dispatch policy name.
+//
+// Deprecated: use ParseDispatch, which resolves the same names through
+// the unified policy registry (see Policies).
+func ParseDispatchPolicy(s string) (DispatchPolicy, error) { return ParseDispatch(s) }
 
 // AsConfigError unwraps err (through any %w chains) to the typed
 // configuration error, reporting whether one was found.
