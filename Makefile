@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples workload-smoke tournament-smoke docs-lint
+.PHONY: all build test test-race bench bench-json verify chaos chaos-soak report fuzz cover fmt vet clean trace-view examples workload-smoke tournament-smoke ledger-smoke docs-lint
 
 all: build vet test
 
@@ -101,10 +101,26 @@ tournament-smoke:
 		/tmp/dessched-tournament.md
 	grep -q '"dominance"' /tmp/dessched-tournament.json
 
+# Run-ledger round trip through the CLI: two recorded runs, list/show/
+# diff over them, and a diff that must call out the seed change — the
+# provenance workflow docs/OBSERVABILITY.md documents, end to end.
+ledger-smoke:
+	rm -f /tmp/dessched-ledger.jsonl
+	$(GO) run ./cmd/desim sim -policy des -rate 30 -duration 5 -seed 1 \
+		-ledger /tmp/dessched-ledger.jsonl >/dev/null
+	$(GO) run ./cmd/desim sim -policy des -rate 30 -duration 5 -seed 2 \
+		-ledger /tmp/dessched-ledger.jsonl >/dev/null
+	$(GO) run ./cmd/desim ledger list -in /tmp/dessched-ledger.jsonl
+	$(GO) run ./cmd/desim ledger show -in /tmp/dessched-ledger.jsonl -- -1 \
+		| grep -q '"schema": "dessched-run/v1"'
+	$(GO) run ./cmd/desim ledger diff -in /tmp/dessched-ledger.jsonl 0 1 \
+		| grep -q 'seed: 1 → 2'
+
 # Every exported identifier in the streaming-facing packages must carry a
 # doc comment — godoc is part of the documented API surface (docs/SCALE.md
 # links into it). Extend DOCS_LINT_PKGS as more packages graduate.
-DOCS_LINT_PKGS ?= internal/cluster internal/workloadspec internal/registry
+DOCS_LINT_PKGS ?= internal/cluster internal/workloadspec internal/registry \
+	internal/telemetry/span internal/telemetry/flightrec internal/telemetry/ledger internal/runlog
 docs-lint:
 	@fail=0; \
 	for f in $(foreach p,$(DOCS_LINT_PKGS),$(p)/*.go); do \

@@ -28,7 +28,27 @@ type BenchReport struct {
 	GOOS      string          `json:"goos"`
 	GOARCH    string          `json:"goarch"`
 	Scenarios []BenchScenario `json:"scenarios"`
+
+	// SpansOverheadRatio is cdvfs-traced ns/event over cdvfs-single
+	// ns/event — the cost of leaving the always-on observability stack
+	// (sampling tracer, flight recorder) armed. The compare
+	// gate fails when it crosses spansRatioLimit: sampled tracing is only
+	// "always-on" if it stays effectively free.
+	SpansOverheadRatio float64 `json:"spans_overhead_ratio,omitempty"`
 }
+
+// spansRatioLimit is the ceiling on SpansOverheadRatio the compare gate
+// enforces: the armed observability stack may cost at most 5% ns/event
+// over the bare hot path.
+const spansRatioLimit = 1.05
+
+// minCompareWall is the shortest best-repeat wall time (seconds) for
+// which the compare gate trusts ns/event: below it, a single scheduler
+// preemption swings the figure by multiples of any real regression.
+// Full-horizon scenarios clear it; -quick single-server runs (~1 ms)
+// don't, leaving the quick smoke to gate the long cluster scenarios,
+// peak RSS, and the paired spans_overhead_ratio.
+const minCompareWall = 3e-3
 
 // BenchScenario is one measured configuration. Rates are computed from the
 // best (fastest) repeat, matching testing.B's convention that noise only
@@ -114,11 +134,14 @@ func benchCases(simSeconds float64) []benchCase {
 			cfg.Ladder = power.DefaultLadder
 		})},
 		{name: "sdvfs", sim: simSeconds, setup: paper(dessched.SDVFS, nil)},
-		// cdvfs-traced is cdvfs-single with the full tracing surface on:
-		// a span tracer recording every replan plus an epoch sampler at
-		// 1 s resolution. Diffing it against cdvfs-single quantifies the
-		// instrumentation overhead; the disabled path stays zero-alloc
-		// (pinned by tests), so cdvfs-single itself is unaffected.
+		// cdvfs-traced is cdvfs-single with the production always-on
+		// observability stack armed: the deterministic sampling tracer (1%
+		// of hot replan instants) and the flight recorder. Its ns/event
+		// over cdvfs-single is the report's spans_overhead_ratio, gated at
+		// spansRatioLimit by `-compare` — the contract that tracing is
+		// cheap enough to leave on every run. (The epoch series sampler and
+		// the full tracer are heavier, opt-in instruments; see
+		// docs/PERFORMANCE.md.)
 		{name: "cdvfs-traced", sim: simSeconds, setup: func(d float64) (benchRun, error) {
 			cfg := dessched.PaperServer()
 			dessched.ApplyArch(&cfg, dessched.CDVFS)
@@ -129,10 +152,12 @@ func benchCases(simSeconds float64) []benchCase {
 				return benchRun{}, err
 			}
 			return benchRun{jobs: len(jobs), run: func() (int, error) {
-				tr := dessched.NewSpanTracer()
-				rec := dessched.NewSeriesRecorder(0)
+				tr := dessched.NewSamplingSpanTracer(dessched.SpanSampleConfig{
+					Seed: 1, Rate: 1, Rates: map[string]float64{"replan": 0.01},
+				})
+				fr := dessched.NewFlightRecorder(dessched.FlightConfig{})
 				res, err := dessched.Simulate(cfg, jobs, dessched.NewDES(dessched.CDVFS),
-					dessched.WithSpans(tr), dessched.WithSeries(rec, 1))
+					dessched.WithSpans(tr), dessched.WithFlight(fr))
 				return res.Events, err
 			}}, nil
 		}},
@@ -214,6 +239,48 @@ func benchCases(simSeconds float64) []benchCase {
 							return 0, err
 						}
 						res, err := dessched.SimulateClusterStream(ccfg, src)
+						arrived = res.Arrived
+						return res.Events, err
+					}}, nil
+			}},
+		// cluster-m1024-traced is cluster-m1024 with the always-on
+		// observability stack armed fleet-wide: a sampling tracer (1% of
+		// replans, per-server children folded deterministically) and the
+		// flight recorder (a 256-event ring per server). The same 1 GiB
+		// peak-RSS limit applies — tracing a thousand streamed servers must
+		// not break the bounded-memory contract.
+		{name: "cluster-m1024-traced", sim: 32 * simSeconds, repeats: 1, noWarmup: true,
+			rssLimit: 1 << 30,
+			setup: func(d float64) (benchRun, error) {
+				server := dessched.PaperServer()
+				server.Cores = 4
+				server.Budget = 80
+				ccfg := dessched.ClusterConfig{
+					Servers:      1024,
+					Server:       server,
+					Policy:       "des",
+					Dispatch:     dessched.DispatchRoundRobin,
+					GlobalBudget: 0.85 * 1024 * server.Budget,
+				}
+				wl := dessched.PaperWorkload(61440)
+				wl.Duration = d
+				arrived := 0
+				return benchRun{
+					jobs:   int(61440 * d),
+					jobsFn: func() int { return arrived },
+					run: func() (int, error) {
+						src, err := dessched.NewWorkloadStream(wl)
+						if err != nil {
+							return 0, err
+						}
+						run := ccfg
+						run.Instrument = &dessched.ClusterInstrument{
+							Tracer: dessched.NewSamplingSpanTracer(dessched.SpanSampleConfig{
+								Seed: 1, Rate: 1, Rates: map[string]float64{"replan": 0.01},
+							}),
+							Flight: dessched.NewFlightRecorder(dessched.FlightConfig{}),
+						}
+						res, err := dessched.SimulateClusterStream(run, src)
 						arrived = res.Arrived
 						return res.Events, err
 					}}, nil
@@ -346,12 +413,19 @@ func cmdBench(args []string) error {
 			return err
 		}
 		rep.Scenarios = append(rep.Scenarios, sc)
-		fmt.Printf("%-16s %9d events  %11.0f events/s  %7.0f ns/event  %6.2f allocs/event  %7.0f B/event",
+		fmt.Printf("%-20s %9d events  %11.0f events/s  %7.0f ns/event  %6.2f allocs/event  %7.0f B/event",
 			sc.Name, sc.Events, sc.EventsPerSec, sc.NsPerEvent, sc.AllocsPerEvent, sc.BytesPerEvent)
 		if sc.PeakRSSBytes > 0 {
 			fmt.Printf("  %5.0f MiB peak RSS", float64(sc.PeakRSSBytes)/(1<<20))
 		}
 		fmt.Println()
+	}
+	if r, err := measureSpansOverhead(benchCases(*duration), *repeats); err != nil {
+		return err
+	} else if r > 0 {
+		rep.SpansOverheadRatio = r
+		fmt.Printf("spans_overhead_ratio %.4f (cdvfs-traced vs cdvfs-single ns/event, paired; gate < %.2f)\n",
+			r, spansRatioLimit)
 	}
 
 	if *out != "" {
@@ -378,9 +452,80 @@ func cmdBench(args []string) error {
 	return nil
 }
 
+// measureSpansOverhead measures spans_overhead_ratio from a dedicated
+// paired run: cdvfs-single and cdvfs-traced alternate back-to-back for
+// several rounds and the ratio is best-of over best-of. Ratios from the
+// scenario table would compare runs taken seconds apart with unrelated
+// scenarios between them — clock-frequency and cache drift on a shared
+// runner easily dwarfs the few-percent effect this gate protects.
+// Interleaving cancels the drift; best-of cancels one-sided noise
+// (interruptions only ever slow a run down). Returns 0 when either
+// scenario is missing from cases.
+func measureSpansOverhead(cases []benchCase, repeats int) (float64, error) {
+	var single, traced *benchCase
+	for i := range cases {
+		switch cases[i].name {
+		case "cdvfs-single":
+			single = &cases[i]
+		case "cdvfs-traced":
+			traced = &cases[i]
+		}
+	}
+	if single == nil || traced == nil {
+		return 0, nil
+	}
+	base, err := single.setup(single.sim)
+	if err != nil {
+		return 0, fmt.Errorf("spans-overhead: %s: %w", single.name, err)
+	}
+	armed, err := traced.setup(traced.sim)
+	if err != nil {
+		return 0, fmt.Errorf("spans-overhead: %s: %w", traced.name, err)
+	}
+	rounds := 3 * repeats
+	if rounds < 9 {
+		rounds = 9 // even -quick gets a stable ratio: the runs are tiny
+	}
+	timed := func(run func() (int, error)) (float64, error) { // ns/event
+		runtime.GC()
+		start := time.Now()
+		events, err := run()
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return 0, err
+		}
+		return wall * 1e9 / float64(events), nil
+	}
+	// Warm both paths once, then interleave: A B A B ... with best-of
+	// folded in per round.
+	if _, err := base.run(); err != nil {
+		return 0, fmt.Errorf("spans-overhead: %s: %w", single.name, err)
+	}
+	if _, err := armed.run(); err != nil {
+		return 0, fmt.Errorf("spans-overhead: %s: %w", traced.name, err)
+	}
+	bestBase, bestArmed := math.Inf(1), math.Inf(1)
+	for r := 0; r < rounds; r++ {
+		nsBase, err := timed(base.run)
+		if err != nil {
+			return 0, fmt.Errorf("spans-overhead: %s: %w", single.name, err)
+		}
+		nsArmed, err := timed(armed.run)
+		if err != nil {
+			return 0, fmt.Errorf("spans-overhead: %s: %w", traced.name, err)
+		}
+		bestBase = math.Min(bestBase, nsBase)
+		bestArmed = math.Min(bestArmed, nsArmed)
+	}
+	return bestArmed / bestBase, nil
+}
+
 // compareBench diffs the fresh report against a stored baseline. Scenarios
 // present only on one side are reported but not fatal (the scenario set may
-// evolve); a matched scenario regressing past the threshold is.
+// evolve); a matched scenario regressing past the threshold is. Two
+// absolute gates ride along: spans_overhead_ratio must stay under
+// spansRatioLimit, and RSS-limited scenarios already failed in
+// measureScenario if they breached their byte budget.
 func compareBench(fresh BenchReport, baselinePath string, threshold float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -405,23 +550,44 @@ func compareBench(fresh BenchReport, baselinePath string, threshold float64) err
 			continue
 		}
 		delete(byName, sc.Name)
-		dt := rel(sc.NsPerEvent, old.NsPerEvent)
-		da := rel(sc.AllocsPerEvent, old.AllocsPerEvent)
+		// A run that finished in under minCompareWall can't support a
+		// percent-level ns/event claim — scheduler hiccups alone swing it
+		// by multiples (quick-mode cluster-m8 measures ~1 ms). Leave such
+		// scenarios to the full baseline run.
+		dt, nsCol := 0.0, "ns/event n/a (run too short)"
+		if sc.WallSeconds >= minCompareWall && old.WallSeconds >= minCompareWall {
+			dt = rel(sc.NsPerEvent, old.NsPerEvent)
+			nsCol = fmt.Sprintf("ns/event %+.1f%%", dt*100)
+		}
 		dm := rel(float64(sc.PeakRSSBytes), float64(old.PeakRSSBytes))
+		// Allocs/event is deterministic for a given horizon, but fixed
+		// per-run allocations (buffer growth to steady size) amortize over
+		// the event count, so a -quick run is not comparable to a full
+		// baseline. Identical deterministic event counts mean identical
+		// horizons; only then is the allocs column a real signal.
+		da, allocsCol := 0.0, "allocs/event n/a (horizon differs)"
+		if sc.Events == old.Events {
+			da = rel(sc.AllocsPerEvent, old.AllocsPerEvent)
+			allocsCol = fmt.Sprintf("allocs/event %+.1f%%", da*100)
+		}
 		status := "ok"
 		if dt > threshold || da > threshold || dm > threshold {
 			status = "REGRESSED"
 			regressed++
 		}
 		if sc.PeakRSSBytes > 0 && old.PeakRSSBytes > 0 {
-			fmt.Printf("%-16s ns/event %+.1f%%  allocs/event %+.1f%%  peak RSS %+.1f%%  %s\n",
-				sc.Name, dt*100, da*100, dm*100, status)
+			fmt.Printf("%-16s %s  %s  peak RSS %+.1f%%  %s\n",
+				sc.Name, nsCol, allocsCol, dm*100, status)
 		} else {
-			fmt.Printf("%-16s ns/event %+.1f%%  allocs/event %+.1f%%  %s\n", sc.Name, dt*100, da*100, status)
+			fmt.Printf("%-16s %s  %s  %s\n", sc.Name, nsCol, allocsCol, status)
 		}
 	}
 	for name := range byName {
 		fmt.Printf("%-16s present in baseline only\n", name)
+	}
+	if r := fresh.SpansOverheadRatio; r >= spansRatioLimit {
+		return fmt.Errorf("spans_overhead_ratio %.4f breaches the %.2f gate: the armed tracer+flight stack costs more than %.0f%% ns/event over the bare hot path",
+			r, spansRatioLimit, (spansRatioLimit-1)*100)
 	}
 	if regressed > 0 {
 		return fmt.Errorf("%d scenario(s) regressed more than %.0f%% vs %s", regressed, threshold*100, baselinePath)

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"strconv"
+
+	"dessched"
+)
+
+// cmdLedger queries the run-provenance ledger (results/ledger.jsonl by
+// default): `list` prints one line per recorded run, `show` dumps one
+// entry as JSON, `diff` explains how two runs differ. Entries are
+// appended by `desim sim|sweep|chaos|tournament -ledger <path>` and the
+// HTTP API; indexes are zero-based, negative counts from the end
+// (-1 = latest).
+func cmdLedger(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("ledger needs a verb: list | show | diff (e.g. `desim ledger list`)")
+	}
+	verb, rest := args[0], args[1:]
+	fset := flag.NewFlagSet("ledger "+verb, flag.ExitOnError)
+	path := fset.String("in", dessched.DefaultLedgerPath, "ledger file to query")
+	n := fset.Int("n", 0, "list: only the most recent n entries (0 = all)")
+	if err := fset.Parse(rest); err != nil {
+		return err
+	}
+
+	switch verb {
+	case "list", "show", "diff":
+	default:
+		return fmt.Errorf("ledger: unknown verb %q (want list | show | diff)", verb)
+	}
+	entries, err := dessched.ReadLedger(*path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("ledger: %s does not exist yet; record a run with `desim sim ... -ledger %s`", *path, *path)
+		}
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("ledger: %s holds no entries", *path)
+	}
+
+	// resolve maps a CLI index (possibly negative) onto the entries.
+	resolve := func(arg string) (int, error) {
+		i, err := strconv.Atoi(arg)
+		if err != nil {
+			return 0, fmt.Errorf("ledger: bad index %q: %w", arg, err)
+		}
+		if i < 0 {
+			i += len(entries)
+		}
+		if i < 0 || i >= len(entries) {
+			return 0, fmt.Errorf("ledger: index %s out of range (%d entries)", arg, len(entries))
+		}
+		return i, nil
+	}
+
+	switch verb {
+	case "list":
+		start := 0
+		if *n > 0 && len(entries) > *n {
+			start = len(entries) - *n
+		}
+		fmt.Printf("%-5s %-20s %-10s %-14s %7s %6s %12s %10s  %s\n",
+			"idx", "time", "cmd", "policy", "servers", "seed", "norm_quality", "energy_j", "fingerprint")
+		for i := start; i < len(entries); i++ {
+			e := entries[i]
+			policy := e.Policy
+			if policy == "" && len(e.Policies) > 0 {
+				policy = fmt.Sprintf("%d policies", len(e.Policies))
+			}
+			seed := strconv.FormatUint(e.Seed, 10)
+			if e.Seed == 0 && len(e.Seeds) > 0 {
+				seed = fmt.Sprintf("×%d", len(e.Seeds))
+			}
+			fmt.Printf("%-5d %-20s %-10s %-14s %7d %6s %12.4f %10.1f  %s\n",
+				i, e.Time, e.Cmd, policy, e.Servers, seed, e.NormQuality, e.EnergyJ, e.Fingerprint)
+		}
+		return nil
+
+	case "show":
+		i := len(entries) - 1
+		if fset.NArg() > 0 {
+			if i, err = resolve(fset.Arg(0)); err != nil {
+				return err
+			}
+		}
+		b, err := json.MarshalIndent(entries[i], "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+
+	default: // diff
+		a, b := len(entries)-2, len(entries)-1
+		if fset.NArg() >= 2 {
+			if a, err = resolve(fset.Arg(0)); err != nil {
+				return err
+			}
+			if b, err = resolve(fset.Arg(1)); err != nil {
+				return err
+			}
+		} else if fset.NArg() == 1 {
+			if a, err = resolve(fset.Arg(0)); err != nil {
+				return err
+			}
+			b = len(entries) - 1
+		}
+		if a < 0 {
+			return fmt.Errorf("ledger: diff needs two entries (%d recorded)", len(entries))
+		}
+		lines := dessched.DiffLedger(entries[a], entries[b])
+		if len(lines) == 0 {
+			fmt.Printf("entries %d and %d describe the same run shape and outcome\n", a, b)
+			return nil
+		}
+		fmt.Printf("entry %d (%s) → entry %d (%s):\n", a, entries[a].Time, b, entries[b].Time)
+		for _, l := range lines {
+			fmt.Println(" ", l)
+		}
+		return nil
+	}
+}

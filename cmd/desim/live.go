@@ -10,8 +10,14 @@ import (
 	"time"
 
 	"dessched"
+	"dessched/internal/runlog"
 	"dessched/internal/telemetry"
 )
+
+// statusLog is desim's side-band status channel: deterministic
+// structured lines on stderr (no wall-clock timestamps — see
+// internal/runlog) so result tables on stdout stay machine-diffable.
+var statusLog = runlog.New(os.Stderr)
 
 // liveTicker returns an OnSample hook rendering epoch samples as a
 // terminal ticker — the CLI view of the same per-epoch stream that
@@ -44,7 +50,7 @@ func writeSeriesFile(path string, rec *dessched.SeriesRecorder) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("series: %d epoch samples written to %s\n", rec.Len(), path)
+	statusLog.Info("series written", "samples", rec.Len(), "path", path)
 	return nil
 }
 
@@ -59,7 +65,7 @@ func writeSpanFiles(jsonPath, perfettoPath string, tr *dessched.SpanTracer) erro
 		if err := dessched.WriteSpanJSON(f, tr); err != nil {
 			return err
 		}
-		fmt.Printf("spans: %d spans written to %s\n", tr.Len(), jsonPath)
+		statusLog.Info("spans written", "spans", tr.Len(), "sampled_out", tr.SampledOut(), "path", jsonPath)
 	}
 	if perfettoPath != "" {
 		f, err := os.Create(perfettoPath)
@@ -70,7 +76,7 @@ func writeSpanFiles(jsonPath, perfettoPath string, tr *dessched.SpanTracer) erro
 		if err := dessched.WriteSpanPerfetto(f, tr); err != nil {
 			return err
 		}
-		fmt.Printf("spans: perfetto written to %s (load in https://ui.perfetto.dev)\n", perfettoPath)
+		statusLog.Info("spans perfetto written", "path", perfettoPath, "viewer", "https://ui.perfetto.dev")
 	}
 	return nil
 }
@@ -83,10 +89,117 @@ type simInstrumentFlags struct {
 	spansPerfetto string
 	seriesOut     string
 	epoch         float64
+	spansSample   float64 // -spans-sample: keep rate for hot "replan" spans (0 = full trace)
+	flightOut     string  // -flight: write tripped flight-recorder dumps here
+	ledgerPath    string  // -ledger: append a dessched-run/v1 manifest here
+	seed          uint64  // workload seed, reused as the sampling seed
+	workloadFile  string  // -workload arg, hashed into the ledger entry
 }
 
 func (fl simInstrumentFlags) wantSpans() bool  { return fl.spansOut != "" || fl.spansPerfetto != "" }
 func (fl simInstrumentFlags) wantSeries() bool { return fl.seriesOut != "" || fl.live }
+
+// newSimTracer builds the span tracer cmdSim's flags describe: the full
+// tracer by default, a deterministic sampling tracer when -spans-sample
+// is set. Sampling keeps every structural span (the engine starts those
+// via StartUnsampled) and thins only the hot per-event "replan"
+// instants, so the trace skeleton survives at any rate.
+func newSimTracer(sample float64, seed uint64) *dessched.SpanTracer {
+	if sample <= 0 {
+		return dessched.NewSpanTracer()
+	}
+	return dessched.NewSamplingSpanTracer(dessched.SpanSampleConfig{
+		Seed: seed, Rate: 1, Rates: map[string]float64{"replan": sample},
+	})
+}
+
+// writeFlightFile writes the recorder's captured bundles as
+// dessched-flight/v1 JSON. A quiet run trips one final manual dump so
+// the file always records that the recorder was armed and listening.
+func writeFlightFile(path string, rec *dessched.FlightRecorder, endOfRun float64) error {
+	if len(rec.Dumps()) == 0 {
+		rec.Trip("manual", endOfRun, "end-of-run dump requested by -flight")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dessched.WriteFlightJSON(f, rec); err != nil {
+		return err
+	}
+	statusLog.Info("flight dumps written", runlog.Sim(endOfRun),
+		"dumps", len(rec.Dumps()), "trips", rec.Trips(), "seen", rec.Seen(),
+		"path", path, "inspect", "destrace -in "+path)
+	return nil
+}
+
+// recordLedger stamps the process-level provenance fields and appends
+// the manifest line.
+func recordLedger(path string, e dessched.LedgerEntry) error {
+	e.PeakRSSBytes = uint64(peakRSSBytes())
+	if err := dessched.AppendLedger(path, e); err != nil {
+		return err
+	}
+	statusLog.Info("ledger manifest appended", "path", path, "query", "desim ledger list -in "+path)
+	return nil
+}
+
+// hashWorkloadFile fingerprints the workload input file for ledger
+// entries; "" means the run used the synthetic generator (the seed and
+// config fingerprint then pin the workload).
+func hashWorkloadFile(path string) string {
+	if path == "" {
+		return ""
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return dessched.LedgerHashBytes(b)
+}
+
+// ledgerClasses converts per-class results into ledger class metrics.
+func ledgerClasses(classes []dessched.ClassResult) []dessched.LedgerClassMetric {
+	var out []dessched.LedgerClassMetric
+	for _, c := range classes {
+		out = append(out, dessched.LedgerClassMetric{
+			Class: c.Class, NormQuality: c.NormQuality,
+			Completed: c.Completed, Deadlined: c.Deadlined, Shed: c.Shed,
+		})
+	}
+	return out
+}
+
+// clusterLedgerEntry assembles the shared cluster-run manifest; callers
+// stamp Cmd-specific fields (flight dumps, notes) before appending.
+func clusterLedgerEntry(fl simInstrumentFlags, ccfg dessched.ClusterConfig,
+	horizon float64, res dessched.ClusterResult) dessched.LedgerEntry {
+	budget := ccfg.GlobalBudget
+	if budget == 0 {
+		budget = ccfg.Server.Budget * float64(ccfg.Servers)
+	}
+	return dessched.LedgerEntry{
+		Cmd:          "sim",
+		Fingerprint:  dessched.LedgerFingerprint(dessched.FingerprintClusterConfig(ccfg)),
+		WorkloadHash: hashWorkloadFile(fl.workloadFile),
+		Seed:         fl.seed,
+		Policy:       ccfg.Policy,
+		Workload:     fl.workloadFile,
+		Servers:      ccfg.Servers,
+		Cores:        ccfg.Server.Cores,
+		BudgetW:      budget,
+		DurationS:    horizon,
+		Jobs:         res.Arrived,
+		Quality:      res.Quality,
+		NormQuality:  res.NormQuality,
+		EnergyJ:      res.Energy,
+		Completed:    res.Completed,
+		Deadlined:    res.Deadlined,
+		Shed:         res.Shed,
+		Classes:      ledgerClasses(res.Classes),
+	}
+}
 
 // clusterSpec translates cmdSim's single-server policy flags into a
 // cluster policy spec string (des + arch collapse to des-c/s/no, the
@@ -144,6 +257,13 @@ func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
 	}
 
 	ins := &dessched.ClusterInstrument{}
+	var tracer *dessched.SpanTracer
+	if fl.wantSpans() {
+		// Upstream validation guaranteed -spans-sample > 0: only a sampling
+		// tracer keeps a streamed run's span memory bounded.
+		tracer = newSimTracer(fl.spansSample, fl.seed)
+		ins.Tracer = tracer
+	}
 	var rec *dessched.SeriesRecorder
 	if fl.wantSeries() {
 		rec = dessched.NewSeriesRecorder(0)
@@ -157,9 +277,14 @@ func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
 		reg = dessched.NewMetricsRegistry()
 		ins.Registry = reg
 	}
-	if ins.Series != nil || ins.Registry != nil {
+	var flightRec *dessched.FlightRecorder
+	if fl.flightOut != "" {
+		flightRec = dessched.NewFlightRecorder(dessched.FlightConfig{})
+		ins.Flight = flightRec
+	}
+	if ins.Series != nil || ins.Registry != nil || ins.Tracer != nil || ins.Flight != nil {
 		if checkpointOut != "" || resumeIn != "" {
-			return fmt.Errorf("cluster -checkpoint/-resume cannot be combined with -telemetry/-series/-live")
+			return fmt.Errorf("cluster -checkpoint/-resume cannot be combined with -telemetry/-series/-live/-spans/-flight")
 		}
 		ccfg.Instrument = ins
 	}
@@ -209,8 +334,7 @@ func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
 		if err != nil {
 			return err
 		}
-		fmt.Printf("resume: continuing from dispatch epoch %d (%d jobs consumed) in %s\n",
-			snap.Epoch, snap.JobsFed, resumeIn)
+		statusLog.Info("resume", "epoch", snap.Epoch, "jobs_fed", snap.JobsFed, "path", resumeIn)
 		if res, err = dessched.ResumeClusterStream(ccfg, src, snap); err != nil {
 			return err
 		}
@@ -219,7 +343,7 @@ func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
 	}
 	wall := time.Since(start).Seconds()
 	if checkpointOut != "" {
-		fmt.Printf("checkpoint: %d snapshots taken, latest at %s\n", snapshots, checkpointOut)
+		statusLog.Info("checkpoint", "snapshots", snapshots, "path", checkpointOut)
 	}
 
 	fmt.Printf("cluster (streamed): %d × %s servers, dispatch %s, global budget %.0f W\n",
@@ -246,6 +370,16 @@ func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
 	}
 	printClassResults(res.Classes)
 
+	if tracer != nil {
+		if err := writeSpanFiles(fl.spansOut, fl.spansPerfetto, tracer); err != nil {
+			return err
+		}
+	}
+	if flightRec != nil {
+		if err := writeFlightFile(fl.flightOut, flightRec, res.Span); err != nil {
+			return err
+		}
+	}
 	if fl.seriesOut != "" {
 		if err := writeSeriesFile(fl.seriesOut, rec); err != nil {
 			return err
@@ -260,7 +394,17 @@ func runClusterStream(servers int, spec string, cfg dessched.ServerConfig,
 		if err := telemetry.WritePrometheus(f, reg.Snapshot()); err != nil {
 			return err
 		}
-		fmt.Printf("telemetry: merged cluster snapshot written to %s\n", telemetryOut)
+		statusLog.Info("telemetry written", "path", telemetryOut)
+	}
+	if fl.ledgerPath != "" {
+		e := clusterLedgerEntry(fl, ccfg, horizon, res)
+		e.Note = "streamed"
+		if flightRec != nil {
+			e.FlightDumps = len(flightRec.Dumps())
+		}
+		if err := recordLedger(fl.ledgerPath, e); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -289,7 +433,7 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 	ins := &dessched.ClusterInstrument{}
 	var tracer *dessched.SpanTracer
 	if fl.wantSpans() {
-		tracer = dessched.NewSpanTracer()
+		tracer = newSimTracer(fl.spansSample, fl.seed)
 		ins.Tracer = tracer
 	}
 	var rec *dessched.SeriesRecorder
@@ -305,13 +449,18 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 		reg = dessched.NewMetricsRegistry()
 		ins.Registry = reg
 	}
+	var flightRec *dessched.FlightRecorder
+	if fl.flightOut != "" {
+		flightRec = dessched.NewFlightRecorder(dessched.FlightConfig{})
+		ins.Flight = flightRec
+	}
 	ins.Traces = traceOut != "" || perfettoOut != ""
 	// Checkpointing is incompatible with instrumentation (completed-server
 	// telemetry cannot be replayed on resume), so only attach the sinks
 	// when something asked for them.
-	if fl.wantSpans() || fl.wantSeries() || telemetryOut != "" || ins.Traces {
+	if fl.wantSpans() || fl.wantSeries() || telemetryOut != "" || ins.Traces || ins.Flight != nil {
 		if checkpointOut != "" || resumeIn != "" {
-			return fmt.Errorf("cluster -checkpoint/-resume cannot be combined with -trace/-perfetto/-telemetry/-spans/-series/-live")
+			return fmt.Errorf("cluster -checkpoint/-resume cannot be combined with -trace/-perfetto/-telemetry/-spans/-series/-live/-flight")
 		}
 		ccfg.Instrument = ins
 	}
@@ -349,7 +498,7 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 		if err != nil {
 			return err
 		}
-		fmt.Printf("resume: %d of %d servers already complete in %s\n", len(snap.Done), snap.Servers, resumeIn)
+		statusLog.Info("resume", "servers_done", len(snap.Done), "servers", snap.Servers, "path", resumeIn)
 		if res, err = dessched.ResumeCluster(ccfg, jobs, snap); err != nil {
 			return err
 		}
@@ -357,7 +506,7 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 		return err
 	}
 	if checkpointOut != "" {
-		fmt.Printf("checkpoint: %d snapshots taken, latest at %s\n", snapshots, checkpointOut)
+		statusLog.Info("checkpoint", "snapshots", snapshots, "path", checkpointOut)
 	}
 
 	fmt.Printf("cluster: %d × %s servers, dispatch %s, global budget %.0f W\n",
@@ -397,7 +546,7 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 			if err := dessched.WriteClusterTraceJSON(f, ct); err != nil {
 				return err
 			}
-			fmt.Printf("trace: cluster bundle written to %s (inspect with destrace -in %s)\n", traceOut, traceOut)
+			statusLog.Info("trace written", "path", traceOut, "inspect", "destrace -in "+traceOut)
 		}
 		if perfettoOut != "" {
 			f, err := os.Create(perfettoOut)
@@ -408,11 +557,16 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 			if err := dessched.WriteClusterPerfetto(f, ct); err != nil {
 				return err
 			}
-			fmt.Printf("perfetto: cluster trace written to %s (load in https://ui.perfetto.dev)\n", perfettoOut)
+			statusLog.Info("perfetto written", "path", perfettoOut, "viewer", "https://ui.perfetto.dev")
 		}
 	}
 	if tracer != nil {
 		if err := writeSpanFiles(fl.spansOut, fl.spansPerfetto, tracer); err != nil {
+			return err
+		}
+	}
+	if flightRec != nil {
+		if err := writeFlightFile(fl.flightOut, flightRec, res.Span); err != nil {
 			return err
 		}
 	}
@@ -430,7 +584,16 @@ func runClusterSim(servers int, spec string, cfg dessched.ServerConfig,
 		if err := telemetry.WritePrometheus(f, reg.Snapshot()); err != nil {
 			return err
 		}
-		fmt.Printf("telemetry: merged cluster snapshot written to %s\n", telemetryOut)
+		statusLog.Info("telemetry written", "path", telemetryOut)
+	}
+	if fl.ledgerPath != "" {
+		e := clusterLedgerEntry(fl, ccfg, horizon, res)
+		if flightRec != nil {
+			e.FlightDumps = len(flightRec.Dumps())
+		}
+		if err := recordLedger(fl.ledgerPath, e); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -70,6 +70,8 @@ func main() {
 		err = cmdWorkload(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "ledger":
+		err = cmdLedger(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
 	case "-h", "--help", "help":
@@ -96,6 +98,7 @@ func usage() {
   desim tournament [flags]            race policies on one workload, report per-class dominance
   desim workload [flags] <files>      validate/describe/compile declarative workload specs
   desim bench [flags]                 measure simulator throughput, write BENCH_sim.json
+  desim ledger list|show|diff [flags] query the run-provenance ledger (results/ledger.jsonl)
   desim verify [-duration s]          check every paper claim; exit 1 on failure
 run flags: -duration s  -seed n  -replicas n  -workers n  -rates a,b,c
            -paper  -quick  -out file  -chart  -csv dir
@@ -110,7 +113,8 @@ sim flags: -policy des|fcfs|ljf|sjf|edf|prio-sjf|prio-edf  -arch c|s|no  -wf  -d
            -checkpoint file.json  -checkpoint-every s  -resume file.json
            -telemetry file.prom  -perfetto file.json
            -live  -epoch s  -spans file.json  -spans-perfetto file.json
-           -series file.json|.csv
+           -spans-sample f  (deterministic sampling tracer; required with -stream)
+           -series file.json|.csv  -flight file.json  -ledger file.jsonl
            -servers m  -dispatch rr|ll|hash|by-class  -global-budget W
            -hedge-window s  -hedge-limit n
            (with -servers > 1, -trace/-perfetto write the cluster bundle)
@@ -131,7 +135,9 @@ tournament flags: -workload spec.json (required)  -policies p,q@order  -baseline
 workload flags: -validate | -describe | -generate -out trace.csv
                 [-seed n] [-duration s]  <spec.json|trace.csv ...>
 bench flags: -out file.json  -compare old.json  -threshold f
-             -repeats n  -duration s  -quick`)
+             -repeats n  -duration s  -quick
+ledger verbs: list [-n k]  |  show [idx]  |  diff [a b]   (-in file.jsonl;
+              negative indexes count from the latest entry)`)
 }
 
 func cmdList() error {
@@ -333,6 +339,7 @@ func cmdChaos(args []string) error {
 	retryMax := fs.Int("retry-max", 0, "max dispatch attempts for jobs evacuated from outaged cores (0 = no retry lifecycle)")
 	retryBackoff := fs.Float64("retry-backoff", 0.05, "initial retry backoff, s, doubling per attempt (with -retry-max)")
 	workloadFile := fs.String("workload", "", "declarative workload spec (.json) replacing the default single-rate stream; -seed/-duration override the spec's")
+	ledgerPath := fs.String("ledger", "", "append a dessched-run/v1 provenance manifest of the faulted run to this JSONL file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -449,6 +456,39 @@ func cmdChaos(args []string) error {
 			c.Class, 100*c.QualityRetained, c.BaselineQuality, c.FaultedQuality,
 			c.DeadlinedDelta, 100*c.ShedFraction)
 	}
+	if *ledgerPath != "" {
+		// The fingerprint pins the fault-free twin's config; the chaos plan
+		// itself is reproducible from the seed recorded alongside.
+		fpCfg := dessched.PaperServer()
+		fpCfg.Cores = *cores
+		fpCfg.Budget = *budget
+		dessched.ApplyArch(&fpCfg, a)
+		fpCfg.QueueOrder = order
+		e := dessched.LedgerEntry{
+			Cmd:          "chaos",
+			Fingerprint:  dessched.LedgerFingerprint(dessched.FingerprintServerConfig(fpCfg, "des-"+strings.ToLower(*arch))),
+			WorkloadHash: hashWorkloadFile(*workloadFile),
+			Seed:         *seed,
+			Policy:       "des-" + strings.ToLower(*arch),
+			Workload:     *workloadFile,
+			Servers:      1,
+			Cores:        *cores,
+			BudgetW:      *budget,
+			DurationS:    *duration,
+			Jobs:         faulted.Arrived,
+			Quality:      faulted.Quality,
+			NormQuality:  faulted.NormQuality,
+			EnergyJ:      faulted.Energy,
+			Completed:    faulted.Completed,
+			Deadlined:    faulted.Deadlined,
+			Shed:         faulted.Shed,
+			Classes:      ledgerClasses(faulted.Classes),
+			Note:         fmt.Sprintf("chaos soak: quality retained %.4f vs fault-free twin", rep.QualityRetained),
+		}
+		if err := recordLedger(*ledgerPath, e); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -478,7 +518,10 @@ func cmdSim(args []string) error {
 	epoch := fs.Float64("epoch", 1, "epoch length for -live/-series sampling and cluster budget reflow, s")
 	spansOut := fs.String("spans", "", "write the hierarchical span trace as dessched-spans/v1 JSON to this file")
 	spansPerfetto := fs.String("spans-perfetto", "", "write the span trace as Perfetto/Chrome trace-event JSON to this file")
+	spansSample := fs.Float64("spans-sample", 0, "keep this fraction of hot per-event spans via the deterministic sampling tracer (0 = full trace; required with -stream -spans)")
 	seriesOut := fs.String("series", "", "write per-epoch samples to this file (.csv for CSV, else JSON)")
+	flightOut := fs.String("flight", "", "arm the flight recorder and write tripped dumps as dessched-flight/v1 JSON to this file")
+	ledgerPath := fs.String("ledger", "", "append a dessched-run/v1 provenance manifest to this JSONL file (see `desim ledger`)")
 	retryMax := fs.Int("retry-max", 0, "max dispatch attempts for jobs evacuated from outaged cores (0 = no retry lifecycle)")
 	retryBackoff := fs.Float64("retry-backoff", 0.05, "initial retry backoff, s, doubling per attempt (with -retry-max)")
 	mttr := fs.Float64("mttr", 0, "chaos repair: core faults heal after exponential repair times with this mean, s (with -chaos-seed)")
@@ -541,6 +584,11 @@ func cmdSim(args []string) error {
 	fl := simInstrumentFlags{
 		live: *live, spansOut: *spansOut, spansPerfetto: *spansPerfetto,
 		seriesOut: *seriesOut, epoch: *epoch,
+		spansSample: *spansSample, flightOut: *flightOut, ledgerPath: *ledgerPath,
+		seed: *seed, workloadFile: *workloadFile,
+	}
+	if fl.spansSample < 0 || fl.spansSample > 1 {
+		return fmt.Errorf("-spans-sample wants a keep fraction in [0,1], got %g", fl.spansSample)
 	}
 	if *servers > 1 {
 		if *events {
@@ -567,8 +615,11 @@ func cmdSim(args []string) error {
 		}
 		hedge := dessched.HedgeConfig{Window: *hedgeWindow, Limit: *hedgeLimit}
 		if *stream {
-			if fl.wantSpans() || *traceOut != "" || *perfettoOut != "" {
-				return fmt.Errorf("-stream cannot record span or schedule traces (they grow with the run); drop -spans/-spans-perfetto/-trace/-perfetto")
+			if *traceOut != "" || *perfettoOut != "" {
+				return fmt.Errorf("-stream cannot record schedule traces (they grow with the run); drop -trace/-perfetto")
+			}
+			if fl.wantSpans() && fl.spansSample <= 0 {
+				return fmt.Errorf("-stream needs a sampling tracer for span output (full traces grow with the run); add -spans-sample (e.g. -spans-sample 0.01)")
 			}
 			var src dessched.JobSource
 			switch {
@@ -723,7 +774,7 @@ func cmdSim(args []string) error {
 	var opts []dessched.SimOption
 	var spanTracer *dessched.SpanTracer
 	if fl.wantSpans() {
-		spanTracer = dessched.NewSpanTracer()
+		spanTracer = newSimTracer(fl.spansSample, *seed)
 		opts = append(opts, dessched.WithSpans(spanTracer))
 	}
 	var seriesRec *dessched.SeriesRecorder
@@ -733,6 +784,11 @@ func cmdSim(args []string) error {
 			seriesRec.OnSample = liveTicker(os.Stdout)
 		}
 		opts = append(opts, dessched.WithSeries(seriesRec, fl.epoch))
+	}
+	var flightRec *dessched.FlightRecorder
+	if fl.flightOut != "" {
+		flightRec = dessched.NewFlightRecorder(dessched.FlightConfig{})
+		opts = append(opts, dessched.WithFlight(flightRec))
 	}
 
 	// Checkpointing keeps the latest engine snapshot on disk; resuming
@@ -756,7 +812,7 @@ func cmdSim(args []string) error {
 	var res dessched.Result
 	if *resumeIn != "" {
 		if cfg.Recorder != nil || cfg.Observer != nil || len(opts) > 0 {
-			return fmt.Errorf("-resume cannot replay instrumentation; drop -trace/-perfetto/-telemetry/-events/-spans/-series/-live")
+			return fmt.Errorf("-resume cannot replay instrumentation; drop -trace/-perfetto/-telemetry/-events/-spans/-series/-live/-flight")
 		}
 		b, err := os.ReadFile(*resumeIn)
 		if err != nil {
@@ -784,7 +840,7 @@ func cmdSim(args []string) error {
 		}
 	}
 	if *checkpointOut != "" {
-		fmt.Printf("checkpoint: %d snapshots taken, latest at %s\n", snapshots, *checkpointOut)
+		statusLog.Info("checkpoint", "snapshots", snapshots, "path", *checkpointOut)
 	}
 	fmt.Println(res.String())
 	printClassResults(res.Classes)
@@ -849,8 +905,45 @@ func cmdSim(args []string) error {
 			return err
 		}
 	}
+	if flightRec != nil {
+		if err := writeFlightFile(fl.flightOut, flightRec, res.Span); err != nil {
+			return err
+		}
+	}
 	if fl.seriesOut != "" {
 		if err := writeSeriesFile(fl.seriesOut, seriesRec); err != nil {
+			return err
+		}
+	}
+	if fl.ledgerPath != "" {
+		dur := *duration
+		if wlSpec != nil {
+			dur = wlSpec.Duration
+		}
+		e := dessched.LedgerEntry{
+			Cmd:          "sim",
+			Fingerprint:  dessched.LedgerFingerprint(dessched.FingerprintServerConfig(cfg, strings.ToLower(*policy))),
+			WorkloadHash: hashWorkloadFile(*workloadFile),
+			Seed:         *seed,
+			Policy:       strings.ToLower(*policy),
+			Workload:     *workloadFile,
+			Servers:      1,
+			Cores:        *cores,
+			BudgetW:      *budget,
+			DurationS:    dur,
+			Jobs:         res.Arrived,
+			Quality:      res.Quality,
+			NormQuality:  res.NormQuality,
+			EnergyJ:      res.Energy,
+			Completed:    res.Completed,
+			Deadlined:    res.Deadlined,
+			Shed:         res.Shed,
+			Classes:      ledgerClasses(res.Classes),
+		}
+		if flightRec != nil {
+			e.FlightDumps = len(flightRec.Dumps())
+		}
+		if err := recordLedger(fl.ledgerPath, e); err != nil {
 			return err
 		}
 	}

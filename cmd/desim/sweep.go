@@ -34,6 +34,7 @@ func cmdSweep(args []string) error {
 	telemetryOn := fs.Bool("telemetry", false, "attach a metrics snapshot to every cell (JSON output only)")
 	outJSON := fs.String("out", "", "write the JSON report to this file (\"-\" = stdout)")
 	outCSV := fs.String("csv", "", "write the per-cell CSV to this file (\"-\" = stdout)")
+	ledgerPath := fs.String("ledger", "", "append a dessched-run/v1 provenance manifest of the sweep to this JSONL file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,20 +92,53 @@ func cmdSweep(args []string) error {
 
 	cells := grid.Cells()
 	if grid.Workload != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %d cells (workload %q, %d classes × %d cores × %d budgets × %d policies × %d seeds)\n",
-			len(cells), grid.Workload.Name, len(grid.Workload.Classes),
-			len(grid.Cores), len(grid.Budgets), len(grid.Policies), len(grid.Seeds))
+		statusLog.Info("sweep start", "cells", len(cells), "workload", grid.Workload.Name,
+			"classes", len(grid.Workload.Classes), "cores", len(grid.Cores),
+			"budgets", len(grid.Budgets), "policies", len(grid.Policies), "seeds", len(grid.Seeds))
 	} else {
-		fmt.Fprintf(os.Stderr, "sweep: %d cells (%d rates × %d cores × %d budgets × %d policies × %d seeds)\n",
-			len(cells), len(grid.Rates), len(grid.Cores), len(grid.Budgets), len(grid.Policies), len(grid.Seeds))
+		statusLog.Info("sweep start", "cells", len(cells), "rates", len(grid.Rates),
+			"cores", len(grid.Cores), "budgets", len(grid.Budgets),
+			"policies", len(grid.Policies), "seeds", len(grid.Seeds))
 	}
 
 	rep, err := dessched.RunSweep(ctx, grid, dessched.SweepOptions{Workers: *workers, Telemetry: *telemetryOn, Stream: *stream})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d cells in %.2fs (%.1f cells/s, %d workers)\n",
-		len(rep.Cells), rep.WallSeconds, rep.CellsPerSec, rep.Workers)
+	statusLog.Info("sweep done", "cells", len(rep.Cells),
+		"wall_s", fmt.Sprintf("%.2f", rep.WallSeconds),
+		"cells_per_s", fmt.Sprintf("%.1f", rep.CellsPerSec), "workers", rep.Workers)
+
+	if *ledgerPath != "" && len(rep.Cells) > 0 {
+		// One manifest for the whole grid: the winning cell's headline
+		// numbers, every policy and seed, and the workload hash, so a ledger
+		// diff explains exactly which knob moved between two sweeps.
+		best := rep.Cells[0]
+		jobs := 0
+		for _, c := range rep.Cells {
+			jobs += c.Arrived
+			if c.NormQuality > best.NormQuality {
+				best = c
+			}
+		}
+		e := dessched.LedgerEntry{
+			Cmd:          "sweep",
+			WorkloadHash: hashWorkloadFile(*workloadFile),
+			Seeds:        grid.Seeds,
+			Policies:     grid.Policies,
+			Workload:     *workloadFile,
+			Servers:      *servers,
+			DurationS:    *duration,
+			Jobs:         jobs,
+			NormQuality:  best.NormQuality,
+			EnergyJ:      best.Energy,
+			Note: fmt.Sprintf("sweep: %d cells; best cell policy=%s rate=%g cores=%d budget=%g seed=%d",
+				len(rep.Cells), best.Policy, best.Rate, best.Cores, best.Budget, best.Seed),
+		}
+		if err := recordLedger(*ledgerPath, e); err != nil {
+			return err
+		}
+	}
 
 	wrote := false
 	if *outJSON != "" {

@@ -28,6 +28,7 @@ func cmdTournament(args []string) error {
 	pf := registerPolicyFlags(fs, policyFlags{Admission: "none", MaxQueue: 64}, false)
 	outMD := fs.String("out", "", "write the Markdown report to this file instead of stdout")
 	outJSON := fs.String("json", "", "also write the report as indented JSON to this file")
+	ledgerPath := fs.String("ledger", "", "append a dessched-run/v1 provenance manifest of the tournament to this JSONL file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,12 +83,35 @@ func cmdTournament(args []string) error {
 	if n == 0 {
 		n = 7 // the default field
 	}
-	fmt.Fprintf(os.Stderr, "tournament: %d contenders × %d seeds on workload %q\n",
-		n, len(tc.Seeds), spec.Name)
+	statusLog.Info("tournament start", "contenders", n, "seeds", len(tc.Seeds), "workload", spec.Name)
 
 	rep, err := dessched.RunTournament(tc)
 	if err != nil {
 		return err
+	}
+	if *ledgerPath != "" && len(rep.Summaries) > 0 {
+		best := rep.Summaries[0]
+		var field []string
+		for _, s := range rep.Summaries {
+			field = append(field, s.Contender)
+			if s.NormQuality > best.NormQuality {
+				best = s
+			}
+		}
+		e := dessched.LedgerEntry{
+			Cmd:          "tournament",
+			WorkloadHash: hashWorkloadFile(*workloadFile),
+			Seeds:        tc.Seeds,
+			Policies:     field,
+			Workload:     *workloadFile,
+			NormQuality:  best.NormQuality,
+			EnergyJ:      best.Energy,
+			Note: fmt.Sprintf("tournament on %q: best contender %s (baseline %s, %d seeds)",
+				rep.Spec, best.Contender, rep.Baseline, len(rep.Seeds)),
+		}
+		if err := recordLedger(*ledgerPath, e); err != nil {
+			return err
+		}
 	}
 	if *outJSON != "" {
 		if err := writeTo(*outJSON, func(f *os.File) error { return dessched.WriteTournamentJSON(f, rep) }); err != nil {

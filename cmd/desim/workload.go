@@ -89,8 +89,8 @@ func cmdWorkload(args []string) error {
 		if err := writeTo(*out, func(f *os.File) error { return dessched.SaveJobs(f, jobs) }); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "workload: %d jobs compiled from %s (seed %d, %.0f s) to %s\n",
-			len(jobs), files[0], spec.Seed, spec.Duration, *out)
+		statusLog.Info("workload compiled", "jobs", len(jobs), "spec", files[0],
+			"seed", spec.Seed, "duration_s", spec.Duration, "path", *out)
 		return nil
 	}
 

@@ -16,15 +16,15 @@
 // in-flight requests. See internal/httpapi for the endpoint contract.
 //
 // Observability: GET /metrics serves Prometheus text exposition (request
-// latency, in-flight, shed/429 and 413 counters, build_info), and -pprof
-// opts into net/http/pprof under /debug/pprof/. See docs/OBSERVABILITY.md.
+// latency, in-flight, shed/429 and 413 counters, build_info), structured
+// request logs carry per-request ids (X-Request-ID), and -ledger appends
+// a dessched-run/v1 provenance manifest for every /v1/* run. -pprof opts
+// into net/http/pprof under /debug/pprof/. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dessched/internal/httpapi"
+	"dessched/internal/runlog"
 )
 
 func main() {
@@ -41,13 +42,16 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit, bytes")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	ledgerPath := flag.String("ledger", "", "append a dessched-run/v1 provenance manifest per /v1/* run to this JSONL file")
 	flag.Parse()
+
+	log := runlog.New(os.Stderr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	metrics := httpapi.NewServerMetrics(nil)
-	log.Printf("desserver build: %s", metrics.Build)
+	log.Info("desserver starting", "addr", *addr, "build", metrics.Build)
 
 	srv := &http.Server{
 		Addr: *addr,
@@ -57,17 +61,22 @@ func main() {
 			MaxBodyBytes:   *maxBody,
 			Metrics:        metrics,
 			Pprof:          *pprof,
+			LedgerPath:     *ledgerPath,
+			Log:            log,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("desserver listening on %s\n", *addr)
 	if *pprof {
-		fmt.Println("desserver: pprof enabled at /debug/pprof/")
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	if *ledgerPath != "" {
+		log.Info("run ledger armed", "path", *ledgerPath)
 	}
 	// A clean signal-driven shutdown returns nil; only real serving
 	// failures are fatal (http.ErrServerClosed is not an error).
 	if err := httpapi.ListenAndServe(ctx, srv, *drain); err != nil {
-		log.Fatal(err)
+		log.Error("server failed", "err", err)
+		os.Exit(1)
 	}
-	fmt.Println("desserver: drained and stopped")
+	log.Info("drained and stopped")
 }

@@ -5,6 +5,9 @@
 // `desim sim -servers M -trace ct.json` (schema dessched-cluster-trace/v1)
 // are recognized automatically: per-server summaries plus a multi-process
 // Perfetto export with dispatch/reroute and budget-reflow overlays.
+// Flight-recorder bundles written by `desim sim -flight fl.json` (schema
+// dessched-flight/v1) are recognized the same way: per-trigger dump
+// summaries plus a Perfetto export of the captured event windows.
 //
 // Usage:
 //
@@ -12,6 +15,7 @@
 //	destrace -in trace.csv -measure [-cores 8]
 //	destrace -in trace.csv -perfetto trace.json   # view in ui.perfetto.dev
 //	destrace -in cluster.json -perfetto trace.json
+//	destrace -in flight.json [-perfetto trace.json]
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,6 +31,7 @@ import (
 	"dessched/internal/plot"
 	"dessched/internal/power"
 	"dessched/internal/telemetry"
+	"dessched/internal/telemetry/flightrec"
 	"dessched/internal/trace"
 )
 
@@ -84,6 +90,13 @@ func run(in string, o runOpts) error {
 				return err
 			}
 			return runClusterTrace(ct, o)
+		}
+		if isFlightBundle(data) {
+			fb, err := flightrec.ReadJSON(bytes.NewReader(data))
+			if err != nil {
+				return err
+			}
+			return runFlightBundle(fb, o)
 		}
 		tr, err = trace.ReadJSON(bytes.NewReader(data))
 		if err != nil {
@@ -183,6 +196,110 @@ func isClusterTrace(data []byte) bool {
 		return false
 	}
 	return probe.Schema == telemetry.ClusterTraceSchema
+}
+
+// isFlightBundle sniffs for a dessched-flight/v1 flight-recorder dump.
+func isFlightBundle(data []byte) bool {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	return probe.Schema == flightrec.Schema
+}
+
+// runFlightBundle summarizes a flight-recorder bundle: what tripped,
+// when, on which server, and what the ring held. Schedule-trace-only
+// operations get pointed errors — a dump window is a list of engine
+// events, not an executed schedule.
+func runFlightBundle(fb *flightrec.Bundle, o runOpts) error {
+	if o.measure {
+		return fmt.Errorf("-measure replays an executed schedule; a flight bundle holds pre-fault event windows (drop -measure)")
+	}
+	if o.gantt {
+		return fmt.Errorf("-gantt renders an executed schedule; a flight bundle holds event windows (drop -gantt)")
+	}
+	if o.jsonOut != "" {
+		return fmt.Errorf("-json converts schedule traces; the flight bundle is already JSON")
+	}
+
+	fmt.Printf("flight bundle: %d dumps (%d trips, ring depth %d, %d events seen)\n",
+		len(fb.Dumps), fb.Trips, fb.Depth, fb.Seen)
+	// Per-trigger rollup in first-seen order, then each dump's window.
+	var triggers []string
+	byTrigger := map[string]int{}
+	for _, d := range fb.Dumps {
+		if _, ok := byTrigger[d.Trigger]; !ok {
+			triggers = append(triggers, d.Trigger)
+		}
+		byTrigger[d.Trigger]++
+	}
+	for _, t := range triggers {
+		fmt.Printf("  trigger %-20s × %d\n", t, byTrigger[t])
+	}
+	for i, d := range fb.Dumps {
+		detail := ""
+		if d.Detail != "" {
+			detail = " — " + d.Detail
+		}
+		fmt.Printf("dump %d: server %d, trigger %s at t=%.3fs, %d ring events (of %d seen)%s\n",
+			i, d.Server, d.Trigger, d.Time, len(d.Records), d.Seen, detail)
+		if len(d.Records) > 0 {
+			first, last := d.Records[0], d.Records[len(d.Records)-1]
+			fmt.Printf("  window [%.3fs, %.3fs]: first %s job %d, last %s job %d\n",
+				first.Time, last.Time, first.Kind, first.Job, last.Kind, last.Job)
+		}
+	}
+
+	if o.perfetto != "" {
+		out, err := os.Create(o.perfetto)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := writeFlightPerfetto(out, fb); err != nil {
+			return err
+		}
+		fmt.Println("wrote flight Perfetto trace to", o.perfetto, "(load in https://ui.perfetto.dev)")
+	}
+	return nil
+}
+
+// writeFlightPerfetto exports a flight bundle as Chrome trace-event
+// JSON: one process per server, one thread per dump, each ring event an
+// instant with its job/queue/quality attached, and the trip itself a
+// flow-terminating instant named after the trigger.
+func writeFlightPerfetto(w io.Writer, fb *flightrec.Bundle) error {
+	type ev struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	var events []ev
+	for i, d := range fb.Dumps {
+		for _, r := range d.Records {
+			events = append(events, ev{
+				Name: r.Kind.String(), Ph: "i", Ts: r.Time * 1e6,
+				Pid: d.Server, Tid: i + 1, S: "t",
+				Args: map[string]any{
+					"job": r.Job, "core": r.Core, "queue": r.Queue,
+					"quality": r.Quality, "class": r.Class,
+				},
+			})
+		}
+		events = append(events, ev{
+			Name: "TRIP " + d.Trigger, Ph: "i", Ts: d.Time * 1e6,
+			Pid: d.Server, Tid: i + 1, S: "p",
+			Args: map[string]any{"detail": d.Detail, "ring_events": len(d.Records)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
 }
 
 // runClusterTrace summarizes a cluster bundle and serves -perfetto; the

@@ -296,3 +296,11 @@ func (f *fnvCluster) str(s string) {
 		f.h *= 1099511628211
 	}
 }
+
+// FingerprintConfig exposes the cluster configuration fingerprint to
+// provenance tooling (the run ledger): the same stable FNV-1a hash the
+// checkpoint layer uses to refuse resuming under a drifted config, minus
+// the workload (hash the spec or trace bytes separately).
+func FingerprintConfig(cfg Config) uint64 {
+	return fingerprintClusterConfig(cfg)
+}

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"dessched/internal/telemetry"
+	"dessched/internal/telemetry/flightrec"
 	"dessched/internal/telemetry/span"
 	"dessched/internal/trace"
 )
@@ -40,22 +41,31 @@ type Instrument struct {
 	// Result.DispatchEvents / Result.BudgetWindows — the inputs of a
 	// telemetry.ClusterTrace.
 	Traces bool
+
+	// Flight arms a per-server flight recorder: each engine feeds its
+	// own fixed ring (derived via Child, folded back with Absorb in
+	// server index order), and dumps trip on fault edges, shed bursts,
+	// or explicit Trip calls. Fixed memory per server, so it is allowed
+	// — and intended — on streamed runs.
+	Flight *flightrec.Recorder
 }
 
 // enabled reports whether any sink is attached.
 func (ins *Instrument) enabled() bool {
-	return ins != nil && (ins.Tracer != nil || ins.Series != nil || ins.Registry != nil || ins.Traces)
+	return ins != nil && (ins.Tracer != nil || ins.Series != nil || ins.Registry != nil || ins.Traces || ins.Flight != nil)
 }
 
 // serverProbes is the per-server instrumentation state created inside the
 // worker pool and folded afterwards.
 type serverProbes struct {
 	tracer  *span.Tracer
+	root    span.ID // the tracer's "server" root span
 	rec     *telemetry.SeriesRecorder
 	sampler *telemetry.EpochSampler
 	reg     *telemetry.Registry
 	col     *telemetry.SimCollector
 	trace   *trace.Trace
+	flight  *flightrec.Recorder
 }
 
 // foldInstrumentation merges the per-server probes and the run-level
@@ -74,6 +84,9 @@ func foldInstrumentation(ins *Instrument, root span.ID, probes []serverProbes, r
 		}
 		if ins.Registry != nil && p.reg != nil {
 			ins.Registry.Merge(p.reg.Snapshot(), telemetry.Label{Name: "server", Value: strconv.Itoa(s)})
+		}
+		if ins.Flight != nil && p.flight != nil {
+			ins.Flight.Absorb(p.flight)
 		}
 	}
 	if ins.Registry != nil {

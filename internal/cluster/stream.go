@@ -154,9 +154,10 @@ func (s *StreamSnapshot) validate() error {
 //
 // Batch-only knobs are rejected with typed errors: Server.CollectJobs
 // (per-job outcome collection grows with the stream), Checkpoint (use
-// StreamCheckpoint), and Instrument.Tracer/Instrument.Traces (span and
-// executed-schedule traces grow with the run; Series and Registry stay
-// bounded and are supported).
+// StreamCheckpoint), full-trace Instrument.Tracer, and Instrument.Traces
+// (unsampled span and executed-schedule traces grow with the run).
+// Series, Registry, the flight recorder, and a sampling Tracer
+// (span.NewSampling) all stay bounded and are supported.
 func RunStream(cfg Config, src job.Source) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -210,8 +211,13 @@ func validateStreamed(cfg Config) error {
 	if cfg.Checkpoint != nil {
 		return cfgerr.New("cluster", "checkpoint", "cluster: completed-server checkpointing is not supported on streamed runs; use StreamCheckpoint (epoch-boundary snapshots)")
 	}
-	if ins := cfg.Instrument; ins != nil && (ins.Tracer != nil || ins.Traces) {
-		return cfgerr.New("cluster", "instrument", "cluster: span and executed-schedule traces are not supported on streamed runs (they grow with the run); Series and Registry are")
+	if ins := cfg.Instrument; ins != nil {
+		if ins.Tracer != nil && !ins.Tracer.Sampled() {
+			return cfgerr.New("cluster", "instrument", "cluster: full span traces are not supported on streamed runs (they grow with the run); use a sampling tracer (span.NewSampling) whose retained spans are bounded, or the flight recorder")
+		}
+		if ins.Traces {
+			return cfgerr.New("cluster", "instrument", "cluster: executed-schedule traces are not supported on streamed runs (they grow with the run); Series, Registry, sampled spans, and the flight recorder are")
+		}
 	}
 	return nil
 }
@@ -452,6 +458,21 @@ func (c *streamCoord) serverCfg(s int, probes []serverProbes) sim.Config {
 	ins := c.cfg.Instrument
 	var observers []sim.Observer
 	var recorders []sim.Recorder
+	if ins != nil && ins.Tracer != nil {
+		// The sampled per-server tracer: seeded per server index, bounded
+		// by rate and the span limit, grafted back with Adopt in index
+		// order after the final barrier — bit-identical for any Workers.
+		p := &probes[s]
+		p.tracer = ins.Tracer.Child(s)
+		p.root = p.tracer.StartUnsampled(span.NoSpan, "server", 0)
+		p.tracer.Int(p.root, "server", s)
+		observers = append(observers, span.Observe(p.tracer, p.root))
+	}
+	if ins != nil && ins.Flight != nil {
+		p := &probes[s]
+		p.flight = ins.Flight.Child(s)
+		observers = append(observers, p.flight.Observe)
+	}
 	if ins != nil && ins.Series != nil {
 		p := &probes[s]
 		p.rec = telemetry.NewSeriesRecorder(ins.Series.Cap())
@@ -681,6 +702,9 @@ func runStream(cfg Config, src job.Source, snap *StreamSnapshot) (Result, error)
 			return
 		}
 		results[s] = r
+		if probes[s].tracer != nil {
+			probes[s].tracer.End(probes[s].root, r.Span)
+		}
 		if probes[s].sampler != nil {
 			probes[s].sampler.Finish(c.horizon)
 		}

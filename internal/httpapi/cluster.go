@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 
@@ -13,6 +14,7 @@ import (
 	"dessched/internal/sim"
 	"dessched/internal/sweep"
 	"dessched/internal/telemetry"
+	"dessched/internal/telemetry/ledger"
 	"dessched/internal/workload"
 	"dessched/internal/workloadspec"
 )
@@ -125,35 +127,39 @@ type ClusterSimResponse struct {
 	Series    []telemetry.Sample  `json:"series,omitempty"`
 }
 
-func handleClusterSimulate(w http.ResponseWriter, r *http.Request) {
+func (a api) handleClusterSimulate(w http.ResponseWriter, r *http.Request) {
 	var req ClusterSimRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeDecodeError(w, err)
 		return
 	}
-	resp, err := runCluster(r.Context(), req)
+	resp, entry, err := runCluster(r.Context(), req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	a.record(r, entry)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse, error) {
+func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse, ledger.Entry, error) {
+	fail := func(err error) (ClusterSimResponse, ledger.Entry, error) {
+		return ClusterSimResponse{}, ledger.Entry{}, err
+	}
 	maxServers := maxClusterServers
 	if req.Stream {
 		maxServers = maxClusterStreamServers
 	}
 	if req.Servers <= 0 || req.Servers > maxServers {
-		return ClusterSimResponse{}, cfgerr.New("httpapi", "servers",
-			"cluster: servers must be in [1, %d], got %d", maxServers, req.Servers)
+		return fail(cfgerr.New("httpapi", "servers",
+			"cluster: servers must be in [1, %d], got %d", maxServers, req.Servers))
 	}
 	if req.Workload == nil && req.Rate <= 0 {
-		return ClusterSimResponse{}, cfgerr.New("httpapi", "rate", "cluster: rate must be positive, got %g", req.Rate)
+		return fail(cfgerr.New("httpapi", "rate", "cluster: rate must be positive, got %g", req.Rate))
 	}
 	dispatch, err := cluster.ParseDispatch(req.Dispatch)
 	if err != nil {
-		return ClusterSimResponse{}, err
+		return fail(err)
 	}
 
 	server := sim.PaperConfig()
@@ -165,12 +171,12 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 	}
 	server.Context = ctx
 	if server.QueueOrder, err = registry.QueueOrder(req.QueueOrder); err != nil {
-		return ClusterSimResponse{}, err
+		return fail(err)
 	}
 	if req.Admission != nil {
 		pol, err := registry.Admission(req.Admission.Policy)
 		if err != nil {
-			return ClusterSimResponse{}, err
+			return fail(err)
 		}
 		server.Admission = admission.Config{Policy: pol, MaxQueue: req.Admission.MaxQueue}
 	}
@@ -183,12 +189,12 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 	horizon := 30.0
 	if req.Workload != nil {
 		if req.Rate != 0 {
-			return ClusterSimResponse{}, cfgerr.New("httpapi", "rate",
-				"cluster: rate conflicts with workload (the spec fixes per-class rates)")
+			return fail(cfgerr.New("httpapi", "rate",
+				"cluster: rate conflicts with workload (the spec fixes per-class rates)"))
 		}
 		if req.Partial != nil {
-			return ClusterSimResponse{}, cfgerr.New("httpapi", "partial_fraction",
-				"cluster: partial_fraction conflicts with workload (set per-class partial fractions in the spec)")
+			return fail(cfgerr.New("httpapi", "partial_fraction",
+				"cluster: partial_fraction conflicts with workload (set per-class partial fractions in the spec)"))
 		}
 		if req.Duration > 0 {
 			req.Workload.Duration = req.Duration
@@ -197,18 +203,18 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 			req.Workload.Seed = req.Seed
 		}
 		if err := req.Workload.Validate(); err != nil {
-			return ClusterSimResponse{}, err
+			return fail(err)
 		}
 		if server.ClassQuality, err = req.Workload.QualityByClass(); err != nil {
-			return ClusterSimResponse{}, err
+			return fail(err)
 		}
 		server.ClassPriority = req.Workload.PriorityByClass()
 		if req.Stream {
 			if src, err = workloadspec.NewStream(req.Workload); err != nil {
-				return ClusterSimResponse{}, err
+				return fail(err)
 			}
 		} else if jobs, err = workloadspec.Compile(req.Workload); err != nil {
-			return ClusterSimResponse{}, err
+			return fail(err)
 		}
 		horizon = req.Workload.Duration
 	} else {
@@ -226,10 +232,10 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		}
 		if req.Stream {
 			if src, err = workload.NewStream(wl); err != nil {
-				return ClusterSimResponse{}, err
+				return fail(err)
 			}
 		} else if jobs, err = workload.Generate(wl); err != nil {
-			return ClusterSimResponse{}, err
+			return fail(err)
 		}
 		horizon = wl.Duration
 	}
@@ -261,7 +267,7 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 	if req.ChaosSeed != nil {
 		faults, err := cluster.ChaosFaults(*req.ChaosSeed, horizon, cfg.Servers, server.Cores)
 		if err != nil {
-			return ClusterSimResponse{}, err
+			return fail(err)
 		}
 		cfg.Faults = faults
 	}
@@ -273,7 +279,7 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 		res, err = cluster.Run(cfg, jobs)
 	}
 	if err != nil {
-		return ClusterSimResponse{}, err
+		return fail(err)
 	}
 
 	resp := ClusterSimResponse{
@@ -311,7 +317,36 @@ func runCluster(ctx context.Context, req ClusterSimRequest) (ClusterSimResponse,
 			resp.Series = ins.Series.Samples()
 		}
 	}
-	return resp, nil
+	entry := ledger.Entry{
+		Fingerprint: ledger.Fingerprint(cluster.FingerprintConfig(cfg)),
+		Seed:        req.Seed,
+		Policy:      res.Policy,
+		Servers:     res.Servers,
+		Cores:       server.Cores,
+		BudgetW:     server.Budget * float64(res.Servers),
+		DurationS:   horizon,
+		Jobs:        res.Arrived,
+		Quality:     res.Quality,
+		NormQuality: res.NormQuality,
+		EnergyJ:     res.Energy,
+		Completed:   res.Completed,
+		Deadlined:   res.Deadlined,
+		Shed:        res.Shed,
+		Classes:     ledgerClasses(res.Classes),
+	}
+	if req.GlobalBudget > 0 {
+		entry.BudgetW = req.GlobalBudget
+	}
+	if req.Stream {
+		entry.Note = "streamed"
+	}
+	if req.Workload != nil {
+		entry.Workload = req.Workload.Name
+		if raw, err := json.Marshal(req.Workload); err == nil {
+			entry.WorkloadHash = ledger.HashBytes(raw)
+		}
+	}
+	return resp, entry, nil
 }
 
 // SweepRequest is the body of POST /v1/sweep: a parameter grid executed
@@ -343,7 +378,7 @@ type SweepRequest struct {
 	Telemetry bool `json:"telemetry,omitempty"`
 }
 
-func handleSweep(w http.ResponseWriter, r *http.Request) {
+func (a api) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeDecodeError(w, err)
@@ -353,6 +388,29 @@ func handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if len(rep.Cells) > 0 {
+		// Mirror `desim sweep -ledger`: one manifest for the grid, keyed on
+		// the best cell by normalized quality.
+		best := rep.Cells[0]
+		jobs := 0
+		for _, c := range rep.Cells {
+			jobs += c.Arrived
+			if c.NormQuality > best.NormQuality {
+				best = c
+			}
+		}
+		a.record(r, ledger.Entry{
+			Seeds:       req.Seeds,
+			Policies:    req.Policies,
+			Servers:     req.Servers,
+			DurationS:   req.Duration,
+			Jobs:        jobs,
+			NormQuality: best.NormQuality,
+			EnergyJ:     best.Energy,
+			Note: fmt.Sprintf("sweep: %d cells; best cell policy=%s rate=%g cores=%d budget=%g seed=%d",
+				len(rep.Cells), best.Policy, best.Rate, best.Cores, best.Budget, best.Seed),
+		})
 	}
 	writeJSON(w, http.StatusOK, rep)
 }

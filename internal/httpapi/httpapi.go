@@ -44,23 +44,52 @@ import (
 	"dessched/internal/power"
 	"dessched/internal/registry"
 	"dessched/internal/sim"
+	"dessched/internal/telemetry/ledger"
 	"dessched/internal/workload"
 	"dessched/internal/workloadspec"
 )
 
-// NewMux returns the service's routing table. Router-generated errors —
-// the stdlib mux's plain-text 404 for unknown paths and 405 for wrong
-// methods — are rewritten into the JSON error envelope, so every error
-// the API emits has the same shape.
-func NewMux() http.Handler {
+// NewMux returns the service's routing table with default options (no
+// run ledger, no request log). Router-generated errors — the stdlib
+// mux's plain-text 404 for unknown paths and 405 for wrong methods — are
+// rewritten into the JSON error envelope, so every error the API emits
+// has the same shape.
+func NewMux() http.Handler { return newMux(Options{}) }
+
+// api carries the per-service options the handlers need: the run-ledger
+// path and the structured logger.
+type api struct{ o Options }
+
+func newMux(o Options) http.Handler {
+	a := api{o: o}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealth)
 	mux.HandleFunc("GET /v1/experiments", handleList)
-	mux.HandleFunc("POST /v1/experiments/{id}", handleRunExperiment)
-	mux.HandleFunc("POST /v1/simulate", handleSimulate)
-	mux.HandleFunc("POST /v1/cluster/simulate", handleClusterSimulate)
-	mux.HandleFunc("POST /v1/sweep", handleSweep)
+	mux.HandleFunc("POST /v1/experiments/{id}", a.handleRunExperiment)
+	mux.HandleFunc("POST /v1/simulate", a.handleSimulate)
+	mux.HandleFunc("POST /v1/cluster/simulate", a.handleClusterSimulate)
+	mux.HandleFunc("POST /v1/sweep", a.handleSweep)
 	return envelopeRouterErrors(mux)
+}
+
+// record appends a run manifest to the service ledger, when one is
+// configured. A ledger failure never fails the request that produced the
+// result — it is logged and dropped, matching the "observability must
+// not perturb the run" contract.
+func (a api) record(r *http.Request, e ledger.Entry) {
+	if a.o.LedgerPath == "" {
+		return
+	}
+	e.Cmd = "http:" + r.URL.Path
+	if id := RequestID(r.Context()); id != "" {
+		if e.Note != "" {
+			e.Note += "; "
+		}
+		e.Note += "request " + id
+	}
+	if err := ledger.Append(a.o.LedgerPath, e); err != nil && a.o.Log != nil {
+		a.o.Log.Warn("ledger append failed", "path", a.o.LedgerPath, "err", err)
+	}
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -103,7 +132,7 @@ type TableJSON struct {
 	Rows      [][]float64 `json:"rows"`
 }
 
-func handleRunExperiment(w http.ResponseWriter, r *http.Request) {
+func (a api) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := experiments.ByID(id)
 	if !ok {
@@ -137,6 +166,11 @@ func handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, tj)
 	}
+	a.record(r, ledger.Entry{
+		Seed:      req.Seed,
+		DurationS: req.Duration,
+		Note:      fmt.Sprintf("experiment %s: %s", e.ID, e.Title),
+	})
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -232,17 +266,18 @@ type SimResponse struct {
 	Resilience *metrics.ResilienceReport `json:"resilience,omitempty"`
 }
 
-func handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (a api) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeDecodeError(w, err)
 		return
 	}
-	resp, err := runSimulation(r.Context(), req)
+	resp, entry, err := runSimulation(r.Context(), req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	a.record(r, entry)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -285,7 +320,8 @@ func simPolicy(req SimRequest, cfg *sim.Config) (sim.Policy, error) {
 	return p, nil
 }
 
-func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
+func runSimulation(ctx context.Context, req SimRequest) (SimResponse, ledger.Entry, error) {
+	fail := func(err error) (SimResponse, ledger.Entry, error) { return SimResponse{}, ledger.Entry{}, err }
 	cfg := sim.PaperConfig()
 	if req.Cores > 0 {
 		cfg.Cores = req.Cores
@@ -304,10 +340,10 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 	horizon := 30.0
 	if req.Workload != nil {
 		if req.Rate != 0 {
-			return SimResponse{}, fmt.Errorf("rate conflicts with workload (the spec fixes per-class rates)")
+			return fail(fmt.Errorf("rate conflicts with workload (the spec fixes per-class rates)"))
 		}
 		if req.Partial != nil {
-			return SimResponse{}, fmt.Errorf("partial_fraction conflicts with workload (set per-class partial fractions in the spec)")
+			return fail(fmt.Errorf("partial_fraction conflicts with workload (set per-class partial fractions in the spec)"))
 		}
 		if req.Duration > 0 {
 			req.Workload.Duration = req.Duration
@@ -316,17 +352,17 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 			req.Workload.Seed = req.Seed
 		}
 		if err := req.Workload.Validate(); err != nil {
-			return SimResponse{}, err
+			return fail(err)
 		}
 		var err error
 		if cfg.ClassQuality, err = req.Workload.QualityByClass(); err != nil {
-			return SimResponse{}, err
+			return fail(err)
 		}
 		cfg.ClassPriority = req.Workload.PriorityByClass()
 		horizon = req.Workload.Duration
 	} else {
 		if req.Rate <= 0 {
-			return SimResponse{}, fmt.Errorf("rate must be positive")
+			return fail(fmt.Errorf("rate must be positive"))
 		}
 		wl = workload.DefaultConfig(req.Rate)
 		if req.Duration > 0 {
@@ -359,20 +395,20 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 	if req.ChaosSeed != nil {
 		plan, err := sim.DefaultChaos(*req.ChaosSeed, horizon, cfg.Cores).Generate()
 		if err != nil {
-			return SimResponse{}, err
+			return fail(err)
 		}
 		bursts = append(bursts, plan.Apply(&cfg)...)
 	}
 	if req.Admission != nil {
 		pol, err := registry.Admission(req.Admission.Policy)
 		if err != nil {
-			return SimResponse{}, err
+			return fail(err)
 		}
 		cfg.Admission = admission.Config{Policy: pol, MaxQueue: req.Admission.MaxQueue}
 	}
 	order, err := registry.QueueOrder(req.QueueOrder)
 	if err != nil {
-		return SimResponse{}, err
+		return fail(err)
 	}
 	cfg.QueueOrder = order
 	faulted := len(cfg.Faults) > 0 || len(cfg.BudgetFaults) > 0 || len(bursts) > 0
@@ -402,7 +438,7 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 	}
 	res, err := run(cfg, bursts)
 	if err != nil {
-		return SimResponse{}, err
+		return fail(err)
 	}
 	resp := SimResponse{
 		Policy:           res.Policy,
@@ -423,19 +459,64 @@ func runSimulation(ctx context.Context, req SimRequest) (SimResponse, error) {
 	}
 	if faulted {
 		if err := ctx.Err(); err != nil {
-			return SimResponse{}, err // request timed out or client left: skip the twin
+			return fail(err) // request timed out or client left: skip the twin
 		}
 		twinCfg := cfg
 		twinCfg.Faults = nil
 		twinCfg.BudgetFaults = nil
 		twin, err := run(twinCfg, nil)
 		if err != nil {
-			return SimResponse{}, err
+			return fail(err)
 		}
 		report := metrics.Resilience(twin, res)
 		resp.Resilience = &report
 	}
-	return resp, nil
+	// The provenance manifest fingerprints the exact engine config the run
+	// used: rebuild the policy's config adjustments on a copy, the same
+	// way the run closure did.
+	fpCfg := cfg
+	if _, err := simPolicy(req, &fpCfg); err != nil {
+		return fail(err)
+	}
+	entry := ledger.Entry{
+		Fingerprint: ledger.Fingerprint(sim.FingerprintConfig(&fpCfg, res.Policy)),
+		Seed:        req.Seed,
+		Policy:      res.Policy,
+		Servers:     1,
+		Cores:       fpCfg.Cores,
+		BudgetW:     fpCfg.Budget,
+		DurationS:   horizon,
+		Jobs:        res.Arrived,
+		Quality:     res.Quality,
+		NormQuality: res.NormQuality,
+		EnergyJ:     res.Energy,
+		Completed:   res.Completed,
+		Deadlined:   res.Deadlined,
+		Shed:        res.Shed,
+		Classes:     ledgerClasses(res.Classes),
+	}
+	if req.Workload != nil {
+		entry.Workload = req.Workload.Name
+		if raw, err := json.Marshal(req.Workload); err == nil {
+			entry.WorkloadHash = ledger.HashBytes(raw)
+		}
+	}
+	return resp, entry, nil
+}
+
+// ledgerClasses projects per-class results into ledger class metrics.
+func ledgerClasses(classes []sim.ClassResult) []ledger.ClassMetric {
+	var out []ledger.ClassMetric
+	for _, c := range classes {
+		out = append(out, ledger.ClassMetric{
+			Class:       c.Class,
+			NormQuality: c.NormQuality,
+			Completed:   c.Completed,
+			Deadlined:   c.Deadlined,
+			Shed:        c.Shed,
+		})
+	}
+	return out
 }
 
 func decodeBody(r *http.Request, dst any) error {

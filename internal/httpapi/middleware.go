@@ -1,10 +1,13 @@
 package httpapi
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,6 +33,17 @@ type Options struct {
 	// outside the hardening stack. Off by default: profiling endpoints
 	// are a debugging surface, opt in with desserver -pprof.
 	Pprof bool
+	// LedgerPath, when set, appends a dessched-run/v1 provenance manifest
+	// to this JSONL file for every successful /v1/* run (simulate,
+	// cluster, sweep, experiments, stream) — the HTTP face of
+	// `desim -ledger`. Ledger failures are logged, never surfaced to the
+	// client.
+	LedgerPath string
+	// Log, when non-nil, receives structured request logs (method, path,
+	// status, duration, request id) and service warnings. Every request
+	// is tagged with a process-unique id, echoed in the X-Request-ID
+	// response header and into ledger notes.
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -58,7 +72,7 @@ func NewHandler(o Options) http.Handler {
 		m = NewServerMetrics(nil)
 	}
 	root := http.NewServeMux()
-	root.Handle("/", m.Instrument(Harden(NewMux(), o)))
+	root.Handle("/", m.Instrument(Harden(newMux(o), o)))
 	root.Handle("GET /metrics", m.ExpositionHandler())
 	// The SSE stream cannot live behind http.TimeoutHandler (it buffers
 	// the response, so per-frame flushes never reach the client); it gets
@@ -73,7 +87,53 @@ func NewHandler(o Options) http.Handler {
 	if o.Pprof {
 		mountPprof(root)
 	}
-	return recoverPanics(root)
+	h := http.Handler(root)
+	if o.Log != nil {
+		h = requestLog(h, o.Log)
+	}
+	return recoverPanics(h)
+}
+
+// requestIDKey carries the per-request id through the request context.
+type requestIDKey struct{}
+
+// RequestID returns the request id assigned by the request-log
+// middleware, or "" when none is active.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// requestIDs is the process-wide request counter behind the ids.
+var requestIDs atomic.Uint64
+
+// requestLog tags every request with a process-unique id (context +
+// X-Request-ID header) and emits one structured log line per request
+// with method, path, status, duration, and that id — enough to join a
+// server log line to the ledger entry the same request appended. It
+// reuses the metrics layer's statusWriter, whose Unwrap keeps
+// http.ResponseController (flush, write deadlines — the SSE stream's
+// tools) working through the wrapper.
+func requestLog(h http.Handler, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%06d", requestIDs.Add(1))
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // nothing written: implicit 200
+		}
+		logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"dur_ms", time.Since(start).Milliseconds(),
+		)
+	})
 }
 
 // Harden wraps any handler in the service's protective middleware stack.

@@ -13,8 +13,10 @@ import (
 
 	"dessched/internal/cfgerr"
 	"dessched/internal/cluster"
+	"dessched/internal/job"
 	"dessched/internal/sim"
 	"dessched/internal/telemetry"
+	"dessched/internal/telemetry/ledger"
 	"dessched/internal/workload"
 )
 
@@ -96,6 +98,7 @@ type streamParams struct {
 	seed         uint64
 	chaosSeed    *uint64
 	throttle     time.Duration
+	stream       bool
 }
 
 func parseStreamParams(r *http.Request) (streamParams, error) {
@@ -155,6 +158,13 @@ func parseStreamParams(r *http.Request) (streamParams, error) {
 			return p, cfgerr.New("httpapi", "throttle_ms", "stream: throttle_ms must be in [0, %d], got %q", maxStreamThrottle, s)
 		}
 		p.throttle = time.Duration(v) * time.Millisecond
+	}
+	if s := q.Get("stream"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return p, cfgerr.New("httpapi", "stream", "stream: bad stream %q", s)
+		}
+		p.stream = v
 	}
 	p.policy = q.Get("policy")
 	var err error
@@ -276,6 +286,23 @@ func StreamHandler(o Options) http.Handler {
 						_ = writeFrame("error", map[string]string{"error": out.err.Error()})
 						return
 					}
+					entry := ledger.Entry{
+						Seed:        p.seed,
+						Policy:      out.res.Policy,
+						Servers:     out.res.Servers,
+						DurationS:   p.duration,
+						Jobs:        out.res.Arrived,
+						Quality:     out.res.Quality,
+						NormQuality: out.res.NormQuality,
+						EnergyJ:     out.res.Energy,
+						Completed:   out.res.Completed,
+						Deadlined:   out.res.Deadlined,
+						Shed:        out.res.Shed,
+					}
+					if p.stream {
+						entry.Note = "streamed"
+					}
+					api{o: o}.record(r, entry)
 					_ = writeFrame("done", streamDone{
 						Servers:       out.res.Servers,
 						NormQuality:   out.res.NormQuality,
@@ -342,9 +369,12 @@ func runStreamSim(ctx context.Context, p streamParams, rec *telemetry.SeriesReco
 	if p.seed > 0 {
 		wl.Seed = p.seed
 	}
-	jobs, err := workload.Generate(wl)
-	if err != nil {
-		return cluster.Result{}, err
+	var jobs []job.Job
+	if !p.stream {
+		var err error
+		if jobs, err = workload.Generate(wl); err != nil {
+			return cluster.Result{}, err
+		}
 	}
 
 	cfg := cluster.Config{
@@ -362,6 +392,21 @@ func runStreamSim(ctx context.Context, p streamParams, rec *telemetry.SeriesReco
 			return cluster.Result{}, err
 		}
 		cfg.Faults = faults
+	}
+	if p.stream {
+		// stream=true drives the bounded-memory streamed pipeline: the
+		// arrival stream is pulled lazily per dispatch epoch instead of
+		// materializing the whole job slice, and the per-epoch samples fan
+		// into the SSE channel exactly as in the batch path.
+		src, err := workload.NewStream(wl)
+		if err != nil {
+			return cluster.Result{}, err
+		}
+		res, err := cluster.RunStream(cfg, src)
+		if err != nil {
+			return cluster.Result{}, fmt.Errorf("stream: %w", err)
+		}
+		return res, nil
 	}
 	res, err := cluster.Run(cfg, jobs)
 	if err != nil {

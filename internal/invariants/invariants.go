@@ -27,6 +27,7 @@ import (
 
 	"dessched/internal/sim"
 	"dessched/internal/telemetry"
+	"dessched/internal/telemetry/flightrec"
 	"dessched/internal/yds"
 )
 
@@ -352,6 +353,22 @@ func (c *Checker) Metrics(reg *telemetry.Registry) {
 	prev := c.onViolate
 	c.onViolate = func(v Violation) {
 		vec.With(v.Kind.String()).Inc()
+		if prev != nil {
+			prev(v)
+		}
+	}
+}
+
+// Flight trips a flight recorder on every violation — the invariant
+// trigger of the flight-recorder system: the ring dump captures the
+// events leading up to the breach. Chains any OnViolation callback
+// already installed (like Metrics); call before the run. The trigger
+// name is "invariant:<kind>" and the dump detail carries the violation
+// text.
+func (c *Checker) Flight(rec *flightrec.Recorder) {
+	prev := c.onViolate
+	c.onViolate = func(v Violation) {
+		rec.Trip("invariant:"+v.Kind.String(), v.Time, v.Detail)
 		if prev != nil {
 			prev(v)
 		}

@@ -1,0 +1,140 @@
+// Package runlog is the repo's structured-logging front: log/slog with a
+// deterministic handler. The stock slog handlers stamp wall-clock time on
+// every record, which breaks the simulator's reproducibility discipline —
+// two identical seeded runs should emit identical bytes. The runlog
+// handler therefore prints no wall time at all: simulation paths attach
+// the sim clock explicitly (runlog.Sim(t)), HTTP paths attach a request
+// id, and a golden test pins the exact output format.
+//
+// Format, one line per record:
+//
+//	level=INFO msg="checkpoint written" snapshots=3 path=snap.json
+//
+// Attributes render in the order they were logged (slog preserves it),
+// values through strconv.Quote only when they contain spaces or quotes —
+// stable, grep-friendly, diff-able.
+package runlog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// New returns a logger writing deterministic single-line records to w at
+// level Info and above.
+func New(w io.Writer) *slog.Logger { return NewLevel(w, slog.LevelInfo) }
+
+// NewLevel returns a logger writing deterministic records to w at the
+// given minimum level.
+func NewLevel(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(&handler{w: w, level: level, mu: &sync.Mutex{}})
+}
+
+// Sim attaches a simulation-clock timestamp (seconds) to a record — the
+// sim path's replacement for the wall time the handler deliberately
+// omits. Fixed 6-decimal formatting keeps output byte-stable across
+// platforms.
+func Sim(t float64) slog.Attr { return slog.String("sim_t", strconv.FormatFloat(t, 'f', 6, 64)) }
+
+// handler renders records as "level=L msg=... k=v ..." with no wall
+// time. Safe for concurrent use (one mutex-guarded write per record).
+type handler struct {
+	w     io.Writer
+	level slog.Level
+	attrs []slog.Attr // from WithAttrs, prefix every record
+	group string      // dotted prefix from WithGroup
+	mu    *sync.Mutex
+}
+
+// Enabled implements slog.Handler.
+func (h *handler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+// Handle implements slog.Handler: one deterministic line per record.
+func (h *handler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString("level=")
+	b.WriteString(r.Level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(r.Message))
+	for _, a := range h.attrs {
+		h.writeAttr(&b, a, "")
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		h.writeAttr(&b, a, h.group)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// writeAttr renders one attribute; group is the dotted prefix to apply
+// (record attrs take the handler's open group, pre-qualified WithAttrs
+// attrs pass "").
+func (h *handler) writeAttr(b *strings.Builder, a slog.Attr, group string) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	key := a.Key
+	if group != "" {
+		key = group + "." + key
+	}
+	b.WriteByte(' ')
+	b.WriteString(key)
+	b.WriteByte('=')
+	b.WriteString(quote(value(a.Value)))
+}
+
+// value renders a slog value deterministically; floats use %g so ints in
+// float clothing stay short.
+func value(v slog.Value) string {
+	v = v.Resolve()
+	if v.Kind() == slog.KindFloat64 {
+		return fmt.Sprintf("%g", v.Float64())
+	}
+	return v.String()
+}
+
+// quote wraps a value in strconv.Quote only when it needs it, keeping
+// the common case clean.
+func quote(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// WithAttrs implements slog.Handler. Keys are qualified with the group
+// open at With time (slog semantics: attrs added before a WithGroup stay
+// outside it), then stored pre-qualified.
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append([]slog.Attr(nil), h.attrs...)
+	for _, a := range attrs {
+		if h.group != "" {
+			a.Key = h.group + "." + a.Key
+		}
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+// WithGroup implements slog.Handler.
+func (h *handler) WithGroup(name string) slog.Handler {
+	nh := *h
+	if name != "" {
+		if nh.group != "" {
+			nh.group += "." + name
+		} else {
+			nh.group = name
+		}
+	}
+	return &nh
+}

@@ -1,0 +1,90 @@
+package runlog
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFormat pins the exact handler output byte for byte: no wall
+// time, attrs in logged order, values quoted only when they need it,
+// floats through %g, the sim-clock attr in fixed 6-decimal form. Any
+// change here is a breaking change for log consumers — bump consciously.
+func TestGoldenFormat(t *testing.T) {
+	var b strings.Builder
+	log := New(&b)
+
+	log.Info("checkpoint written", "snapshots", 3, "path", "snap.json")
+	log.Warn("ledger append failed", "err", "open results: permission denied")
+	log.Info("epoch closed", Sim(12.5), "quality", 0.9375, "queue", 0)
+	log.Info("empty value", "note", "")
+
+	want := strings.Join([]string{
+		`level=INFO msg="checkpoint written" snapshots=3 path=snap.json`,
+		`level=WARN msg="ledger append failed" err="open results: permission denied"`,
+		`level=INFO msg="epoch closed" sim_t=12.500000 quality=0.9375 queue=0`,
+		`level=INFO msg="empty value" note=""`,
+	}, "\n") + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDeterminism: two identical logging sequences produce identical
+// bytes — the property the stock slog handlers break with wall-clock
+// timestamps.
+func TestDeterminism(t *testing.T) {
+	emit := func() string {
+		var b strings.Builder
+		log := New(&b)
+		log.Info("run done", Sim(60), "jobs", 1800, "norm_quality", 0.8125)
+		log.Info("flight dumps written", "dumps", 2, "path", "flight.json")
+		return b.String()
+	}
+	if a, b := emit(), emit(); a != b {
+		t.Errorf("identical sequences diverged:\n%q\n%q", a, b)
+	}
+}
+
+// TestLevelFilter: records below the handler level are dropped entirely.
+func TestLevelFilter(t *testing.T) {
+	var b strings.Builder
+	log := NewLevel(&b, slog.LevelWarn)
+	log.Info("suppressed")
+	log.Warn("kept")
+	got := b.String()
+	if strings.Contains(got, "suppressed") || !strings.Contains(got, "kept") {
+		t.Errorf("level filter wrong: %q", got)
+	}
+}
+
+// TestWithAttrsAndGroup: WithAttrs prefixes every record, WithGroup dots
+// the keys — both deterministic.
+func TestWithAttrsAndGroup(t *testing.T) {
+	var b strings.Builder
+	log := New(&b).With("req", "r000042")
+	log.WithGroup("sim").Info("started", "seed", 7)
+	want := "level=INFO msg=started req=r000042 sim.seed=7\n"
+	if got := b.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// TestSimAttrStable: the sim-clock attr always renders 6 decimals so a
+// grep for a timestamp works across platforms and magnitudes.
+func TestSimAttrStable(t *testing.T) {
+	for _, tc := range []struct {
+		t    float64
+		want string
+	}{
+		{0, "0.000000"},
+		{0.25, "0.250000"},
+		{59.999999, "59.999999"},
+		{3600, "3600.000000"},
+	} {
+		a := Sim(tc.t)
+		if a.Key != "sim_t" || a.Value.String() != tc.want {
+			t.Errorf("Sim(%v) = %s=%s, want sim_t=%s", tc.t, a.Key, a.Value.String(), tc.want)
+		}
+	}
+}

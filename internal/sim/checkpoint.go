@@ -574,3 +574,11 @@ func (f *fnv1a) str(s string) {
 	}
 	f.u64(uint64(len(s)))
 }
+
+// FingerprintConfig exposes the checkpoint fingerprint to provenance
+// tooling (the run ledger): a stable FNV-1a hash of every configuration
+// field that affects simulation outcomes, under the named policy. Equal
+// fingerprints mean "same experiment" for replay purposes.
+func FingerprintConfig(cfg *Config, policy string) uint64 {
+	return fingerprintConfig(cfg, policy)
+}

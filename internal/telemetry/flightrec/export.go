@@ -1,0 +1,119 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dessched/internal/sim"
+)
+
+// Schema identifies the flight-dump bundle JSON layout for downstream
+// tooling (destrace auto-detects it); bump on breaking change.
+const Schema = "dessched-flight/v1"
+
+// recordJSON is the stable serialized form of one ring record: the event
+// kind by name, timestamps in simulation seconds, job/core -1 when
+// absent.
+type recordJSON struct {
+	Time    float64 `json:"time_s"`
+	Kind    string  `json:"kind"`
+	Job     int64   `json:"job"`
+	Core    int     `json:"core"`
+	Queue   int     `json:"queue"`
+	Quality float64 `json:"quality,omitempty"`
+	Class   string  `json:"class,omitempty"`
+}
+
+type dumpJSON struct {
+	Server  int          `json:"server"`
+	Trigger string       `json:"trigger"`
+	Time    float64      `json:"time_s"`
+	Detail  string       `json:"detail,omitempty"`
+	Seen    int          `json:"seen"`
+	Records []recordJSON `json:"records"`
+}
+
+type bundleJSON struct {
+	Schema string     `json:"schema"`
+	Depth  int        `json:"depth"`
+	Trips  int        `json:"trips"`
+	Seen   int        `json:"seen"`
+	Dumps  []dumpJSON `json:"dumps"`
+}
+
+// WriteJSON serializes the recorder's dumps in the stable
+// dessched-flight/v1 format: dumps in capture order, records
+// oldest-first, every timestamp in simulation seconds. Identical
+// recorder state always yields identical bytes. Nil recorders write an
+// empty (but valid) bundle.
+func WriteJSON(w io.Writer, r *Recorder) error {
+	out := bundleJSON{Schema: Schema, Trips: r.Trips(), Seen: r.Seen(), Dumps: make([]dumpJSON, 0, len(r.Dumps()))}
+	if r != nil {
+		out.Depth = r.cfg.Depth
+	}
+	for _, d := range r.Dumps() {
+		dj := dumpJSON{
+			Server: d.Server, Trigger: d.Trigger, Time: d.Time,
+			Detail: d.Detail, Seen: d.Seen, Records: make([]recordJSON, 0, len(d.Records)),
+		}
+		for _, rec := range d.Records {
+			dj.Records = append(dj.Records, recordJSON{
+				Time: rec.Time, Kind: rec.Kind.String(), Job: rec.Job,
+				Core: rec.Core, Queue: rec.Queue, Quality: rec.Quality, Class: rec.Class,
+			})
+		}
+		out.Dumps = append(out.Dumps, dj)
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// Bundle is a decoded dessched-flight/v1 file — what tooling like
+// destrace works with after ReadJSON.
+type Bundle struct {
+	// Depth is the ring capacity the dumps were captured with.
+	Depth int
+	// Trips counts every trigger fire, captured or not.
+	Trips int
+	// Seen is the total events the recorder(s) observed.
+	Seen int
+	// Dumps holds the captured snapshots in capture order.
+	Dumps []Dump
+}
+
+// kindByName inverts sim.EventKind.String for decoding.
+var kindByName = func() map[string]sim.EventKind {
+	m := make(map[string]sim.EventKind)
+	for k := sim.EvArrival; k <= sim.EvAbandon; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// ReadJSON decodes a dessched-flight/v1 bundle, rejecting other schemas
+// with a pointed error.
+func ReadJSON(rd io.Reader) (*Bundle, error) {
+	var in bundleJSON
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, fmt.Errorf("flight bundle: %w", err)
+	}
+	if in.Schema != Schema {
+		return nil, fmt.Errorf("flight bundle: schema %q, want %q", in.Schema, Schema)
+	}
+	b := &Bundle{Depth: in.Depth, Trips: in.Trips, Seen: in.Seen}
+	for _, dj := range in.Dumps {
+		d := Dump{Server: dj.Server, Trigger: dj.Trigger, Time: dj.Time, Detail: dj.Detail, Seen: dj.Seen}
+		for _, rj := range dj.Records {
+			kind, ok := kindByName[rj.Kind]
+			if !ok {
+				return nil, fmt.Errorf("flight bundle: unknown event kind %q", rj.Kind)
+			}
+			d.Records = append(d.Records, Record{
+				Time: rj.Time, Kind: kind, Job: rj.Job, Core: rj.Core,
+				Queue: rj.Queue, Quality: rj.Quality, Class: rj.Class,
+			})
+		}
+		b.Dumps = append(b.Dumps, d)
+	}
+	return b, nil
+}

@@ -1,0 +1,20 @@
+package flightrec
+
+import (
+	"testing"
+
+	"dessched/internal/sim"
+)
+
+func BenchmarkFlightObservePerEvent(b *testing.B) {
+	r := New(Config{})
+	evs := []sim.Event{
+		{Kind: sim.EvInvoke, Time: 1, Job: -1, Core: -1, Queue: 3},
+		{Kind: sim.EvArrival, Time: 1, Job: 5, Core: -1},
+		{Kind: sim.EvComplete, Time: 2, Job: 5, Core: 0, Quality: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe(evs[i%3])
+	}
+}

@@ -1,0 +1,151 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry() Entry {
+	return Entry{
+		Time:        "2026-08-08T00:00:00Z", // fixed: determinism under test
+		Cmd:         "sim",
+		GoVersion:   "go0.0-test",
+		Fingerprint: Fingerprint(0xdeadbeefcafef00d),
+		Seed:        42,
+		Policy:      "des",
+		Servers:     1,
+		Cores:       4,
+		BudgetW:     80,
+		DurationS:   60,
+		Jobs:        1800,
+		Quality:     123.5,
+		NormQuality: 0.8125,
+		EnergyJ:     4100.25,
+		Completed:   1700,
+		Deadlined:   80,
+		Shed:        20,
+		Classes:     []ClassMetric{{Class: "interactive", NormQuality: 0.9, Completed: 900}},
+		Note:        "unit test",
+	}
+}
+
+// TestAppendReadRoundTrip: Append creates file and directory, stamps the
+// schema, and Read returns the exact entries oldest-first.
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results", "ledger.jsonl")
+	e1, e2 := entry(), entry()
+	e2.Seed = 43
+	e2.Note = "second run"
+	if err := Append(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d entries, want 2", len(got))
+	}
+	for _, e := range got {
+		if e.Schema != Schema {
+			t.Errorf("schema %q, want %q", e.Schema, Schema)
+		}
+	}
+	if got[0].Seed != 42 || got[1].Seed != 43 {
+		t.Errorf("entry order lost: seeds %d, %d", got[0].Seed, got[1].Seed)
+	}
+	want := e1
+	want.Schema = Schema
+	if d := Diff(want, got[0]); len(d) != 0 {
+		t.Errorf("round trip changed entry: %v", d)
+	}
+}
+
+// TestAppendStamps: empty Time and GoVersion are stamped, provided
+// values are kept.
+func TestAppendStamps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "l.jsonl")
+	if err := Append(path, Entry{Cmd: "sim"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Time == "" || got[0].GoVersion == "" {
+		t.Errorf("Append left stamps empty: %+v", got[0])
+	}
+	fixed := entry()
+	if err := Append(path, fixed); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Time != fixed.Time || got[1].GoVersion != fixed.GoVersion {
+		t.Errorf("Append overwrote provided stamps: %+v", got[1])
+	}
+}
+
+// TestReadRejectsBadLines: malformed JSON and foreign schemas are hard
+// errors carrying the line number — a provenance log must not silently
+// drop lines.
+func TestReadRejectsBadLines(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bad); err == nil || !strings.Contains(err.Error(), ":1:") {
+		t.Errorf("malformed line: err = %v, want line-numbered error", err)
+	}
+	foreign := filepath.Join(dir, "foreign.jsonl")
+	if err := os.WriteFile(foreign, []byte(`{"schema":"other/v9"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(foreign); err == nil || !strings.Contains(err.Error(), "other/v9") {
+		t.Errorf("foreign schema: err = %v, want schema error", err)
+	}
+}
+
+// TestDiff: identical entries diff empty (Time and Note excluded by
+// design); changed fields are reported by name in "a → b" form.
+func TestDiff(t *testing.T) {
+	a := entry()
+	b := entry()
+	b.Time = "2027-01-01T00:00:00Z"
+	b.Note = "different note"
+	if d := Diff(a, b); len(d) != 0 {
+		t.Errorf("time/note changes should diff empty, got %v", d)
+	}
+	b.Seed = 99
+	b.EnergyJ = 5000
+	d := Diff(a, b)
+	if len(d) != 2 {
+		t.Fatalf("diff = %v, want 2 lines", d)
+	}
+	if !strings.HasPrefix(d[0], "seed: 42 → 99") || !strings.HasPrefix(d[1], "energy_j: 4100.25 → 5000") {
+		t.Errorf("diff lines wrong: %v", d)
+	}
+}
+
+// TestHashBytesStable: the workload hash is a pure function of the
+// bytes, distinct for distinct inputs.
+func TestHashBytesStable(t *testing.T) {
+	a := HashBytes([]byte("spec-a"))
+	if a != HashBytes([]byte("spec-a")) {
+		t.Error("HashBytes not deterministic")
+	}
+	if a == HashBytes([]byte("spec-b")) {
+		t.Error("distinct inputs collided")
+	}
+	if len(a) != 16 {
+		t.Errorf("hash %q, want 16 hex digits", a)
+	}
+}

@@ -29,9 +29,10 @@ type spanJSON struct {
 }
 
 type traceJSON struct {
-	Schema  string     `json:"schema"`
-	Dropped int        `json:"dropped,omitempty"`
-	Spans   []spanJSON `json:"spans"`
+	Schema     string     `json:"schema"`
+	Dropped    int        `json:"dropped,omitempty"`
+	SampledOut int        `json:"sampled_out,omitempty"`
+	Spans      []spanJSON `json:"spans"`
 }
 
 // WriteJSON serializes the trace in the stable dessched-spans/v1 format:
@@ -39,7 +40,7 @@ type traceJSON struct {
 // timestamp in simulation seconds. Identical tracer state always yields
 // identical bytes.
 func WriteJSON(w io.Writer, t *Tracer) error {
-	out := traceJSON{Schema: Schema, Dropped: t.Dropped(), Spans: make([]spanJSON, 0, t.Len())}
+	out := traceJSON{Schema: Schema, Dropped: t.Dropped(), SampledOut: t.SampledOut(), Spans: make([]spanJSON, 0, t.Len())}
 	for _, s := range t.Spans() {
 		sj := spanJSON{ID: s.ID, Parent: s.Parent, Name: s.Name, Start: s.Start, End: s.End}
 		for _, a := range s.Attrs {

@@ -1,0 +1,22 @@
+package span
+
+import (
+	"testing"
+
+	"dessched/internal/sim"
+)
+
+func BenchmarkSamplingObservePerEvent(b *testing.B) {
+	tr := NewSampling(SampleConfig{Seed: 1, Rate: 1, Rates: map[string]float64{"replan": 0.01}})
+	root := tr.StartUnsampled(NoSpan, "server", 0)
+	obs := Observe(tr, root)
+	evs := []sim.Event{
+		{Kind: sim.EvInvoke, Time: 1, Job: -1, Core: -1, Queue: 3},
+		{Kind: sim.EvArrival, Time: 1, Job: 5, Core: -1},
+		{Kind: sim.EvComplete, Time: 2, Job: 5, Core: 0, Quality: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs(evs[i%3])
+	}
+}

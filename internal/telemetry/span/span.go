@@ -70,9 +70,11 @@ const DefaultMaxSpans = 1 << 20
 // ready; use New or NewLimited. A nil *Tracer is the disabled tracer:
 // all methods no-op.
 type Tracer struct {
-	spans   []Span
-	limit   int
-	dropped int
+	spans      []Span
+	limit      int
+	dropped    int
+	sampler    *sampler // nil = keep every span (see sample.go)
+	sampledOut int
 }
 
 // New returns a tracer bounded at DefaultMaxSpans.
@@ -90,9 +92,33 @@ func NewLimited(maxSpans int) *Tracer {
 
 // Start opens a span under parent (NoSpan for a root) at simulation time
 // at, returning its ID. End defaults to the start time, so a span never
-// explicitly ended reads as an instant event. Nil-safe: a nil tracer
-// returns NoSpan.
+// explicitly ended reads as an instant event. On a sampling tracer the
+// seeded sampler may decline the span (counted by SampledOut), in which
+// case Start returns NoSpan and later End/attr calls no-op. Nil-safe: a
+// nil tracer returns NoSpan.
 func (t *Tracer) Start(parent ID, name string, at float64) ID {
+	if t == nil {
+		return NoSpan
+	}
+	if t.sampler != nil && !t.sampler.keep(name) {
+		t.sampledOut++
+		return NoSpan
+	}
+	if len(t.spans) >= t.limit {
+		t.dropped++
+		return NoSpan
+	}
+	id := ID(len(t.spans))
+	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, Start: at, End: at})
+	return id
+}
+
+// StartUnsampled opens a span like Start but bypasses the sampler — for
+// structural spans (cluster, server, and epoch roots) that anchor
+// sampled instants: losing a hot "replan" to sampling is the point,
+// losing the subtree root would orphan everything under it. On a
+// non-sampling tracer it is exactly Start.
+func (t *Tracer) StartUnsampled(parent ID, name string, at float64) ID {
 	if t == nil {
 		return NoSpan
 	}
@@ -190,4 +216,5 @@ func (t *Tracer) Adopt(child *Tracer, parent ID) {
 		t.spans = append(t.spans, ns)
 	}
 	t.dropped += child.dropped
+	t.sampledOut += child.sampledOut
 }

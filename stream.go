@@ -67,9 +67,10 @@ func NewWorkloadSpecStream(s *WorkloadSpec) (JobSource, error) {
 // routes them, water-fills the global power budget, and advances every
 // server engine before pulling the next window. Results are bit-identical
 // for any ClusterConfig.Workers value. Batch-only knobs — CollectJobs,
-// ClusterConfig.Checkpoint, and the unbounded Instrument sinks (Tracer,
-// Traces) — are rejected with typed errors; Series and Registry are
-// supported.
+// ClusterConfig.Checkpoint, and the unbounded Instrument sinks (a full
+// Tracer, Traces) — are rejected with typed errors; Series, Registry,
+// a sampling tracer (NewSamplingSpanTracer), and the flight recorder
+// (ClusterInstrument.Flight) all stay bounded and are supported.
 func SimulateClusterStream(cfg ClusterConfig, src JobSource) (ClusterResult, error) {
 	return cluster.RunStream(cfg, src)
 }
